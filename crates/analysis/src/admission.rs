@@ -1,0 +1,238 @@
+//! Admission control: a *sufficient* schedulability test assembled from the
+//! paper's worst-case ingredients.
+//!
+//! For each task the test charges, within one critical-time window:
+//!
+//! * its own demand — compute `u_i`, object accesses `t_acc·m_i`, plus the
+//!   discipline's contention term (`s·f_i` retries via Theorem 2, or
+//!   `r·min(m_i, n_i)` blocking via the paper's §5);
+//! * interference — the maximal number of jobs every other task can release
+//!   in the window (`a_j(⌈C_i/W_j⌉+1)`, the Theorem 2 counting), each at
+//!   its own worst-case demand.
+//!
+//! A task is *admitted* when that worst case still beats its critical time;
+//! an admitted set therefore meets all critical times under any
+//! work-conserving discipline. The test is conservative — real runs do far
+//! better — but everything it admits is safe, which is what admission
+//! control is for.
+
+use lfrt_uam::Uam;
+use serde::{Deserialize, Serialize};
+
+/// A task as seen by the admission test.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionTask {
+    /// Arrival model `⟨l, a, W⟩`.
+    pub uam: Uam,
+    /// Critical time `C` in ticks.
+    pub critical_time: u64,
+    /// Compute time `u` (excluding accesses), ticks.
+    pub compute: u64,
+    /// Shared-object accesses `m` per job.
+    pub accesses: u64,
+}
+
+/// The sharing discipline whose worst case the test charges.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Discipline {
+    /// Lock-free sharing with per-attempt access time `s`.
+    LockFree {
+        /// Access time `s` in ticks.
+        access_ticks: u64,
+    },
+    /// Lock-based sharing with critical-section length `r`.
+    LockBased {
+        /// Access time `r` in ticks.
+        access_ticks: u64,
+    },
+}
+
+/// Per-task admission verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskVerdict {
+    /// Conservative worst-case sojourn time, ticks.
+    pub worst_sojourn: u64,
+    /// The task's critical time.
+    pub critical_time: u64,
+    /// Whether `worst_sojourn < critical_time`.
+    pub admitted: bool,
+}
+
+/// The outcome of [`admit`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionReport {
+    /// Verdicts, indexed like the input tasks.
+    pub per_task: Vec<TaskVerdict>,
+}
+
+impl AdmissionReport {
+    /// Whether every task was admitted.
+    pub fn all_admitted(&self) -> bool {
+        self.per_task.iter().all(|v| v.admitted)
+    }
+}
+
+/// Runs the sufficient schedulability test for `tasks` under `discipline`.
+///
+/// # Examples
+///
+/// ```
+/// use lfrt_analysis::admission::{admit, AdmissionTask, Discipline};
+/// use lfrt_uam::Uam;
+///
+/// # fn main() -> Result<(), lfrt_uam::UamError> {
+/// let tasks = vec![
+///     AdmissionTask { uam: Uam::new(1, 1, 100_000)?, critical_time: 90_000, compute: 1_000, accesses: 2 },
+///     AdmissionTask { uam: Uam::new(1, 1, 100_000)?, critical_time: 90_000, compute: 1_000, accesses: 2 },
+/// ];
+/// let report = admit(&tasks, Discipline::LockFree { access_ticks: 10 });
+/// assert!(report.all_admitted());
+/// # Ok(())
+/// # }
+/// ```
+pub fn admit(tasks: &[AdmissionTask], discipline: Discipline) -> AdmissionReport {
+    let per_task = (0..tasks.len())
+        .map(|i| {
+            let worst = worst_sojourn(tasks, i, discipline);
+            TaskVerdict {
+                worst_sojourn: worst,
+                critical_time: tasks[i].critical_time,
+                admitted: worst < tasks[i].critical_time,
+            }
+        })
+        .collect();
+    AdmissionReport { per_task }
+}
+
+/// The Theorem 2 retry bound of task `i`, evaluated over `tasks`.
+fn retry_bound(tasks: &[AdmissionTask], i: usize) -> u64 {
+    let own = &tasks[i];
+    3 * u64::from(own.uam.max_arrivals()) + 2 * interference_x(tasks, i)
+}
+
+/// `x_i = Σ_{j≠i} a_j(⌈C_i/W_j⌉+1)` — the per-window interference count.
+fn interference_x(tasks: &[AdmissionTask], i: usize) -> u64 {
+    let c = tasks[i].critical_time;
+    tasks
+        .iter()
+        .enumerate()
+        .filter(|&(j, _)| j != i)
+        .map(|(_, t)| u64::from(t.uam.max_arrivals()) * (c.div_ceil(t.uam.window()) + 1))
+        .sum()
+}
+
+/// One job's worst-case processor demand under the discipline (excluding
+/// interference from other tasks).
+fn own_demand(tasks: &[AdmissionTask], i: usize, discipline: Discipline) -> u64 {
+    let t = &tasks[i];
+    match discipline {
+        Discipline::LockFree { access_ticks } => {
+            if t.accesses == 0 {
+                // No accesses, no retries: nothing to interfere with.
+                return t.compute;
+            }
+            t.compute + access_ticks * (t.accesses + retry_bound(tasks, i))
+        }
+        Discipline::LockBased { access_ticks } => {
+            // n_i ≤ 2a_i + x_i jobs can block it, one critical section each,
+            // capped at its own access count (§5 of the paper).
+            let n = 2 * u64::from(t.uam.max_arrivals()) + interference_x(tasks, i);
+            t.compute + access_ticks * (t.accesses + t.accesses.min(n))
+        }
+    }
+}
+
+/// Conservative worst-case sojourn for task `i`: its own demand plus every
+/// other task's maximal windowed demand.
+fn worst_sojourn(tasks: &[AdmissionTask], i: usize, discipline: Discipline) -> u64 {
+    let c = tasks[i].critical_time;
+    let own = own_demand(tasks, i, discipline);
+    let interference: u64 = tasks
+        .iter()
+        .enumerate()
+        .filter(|&(j, _)| j != i)
+        .map(|(j, t)| {
+            let jobs = u64::from(t.uam.max_arrivals()) * (c.div_ceil(t.uam.window()) + 1);
+            jobs * own_demand(tasks, j, discipline)
+        })
+        .sum();
+    own + interference
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(a: u32, w: u64, c: u64, compute: u64, m: u64) -> AdmissionTask {
+        AdmissionTask {
+            uam: Uam::new(1, a, w).expect("valid"),
+            critical_time: c,
+            compute,
+            accesses: m,
+        }
+    }
+
+    #[test]
+    fn light_set_admitted_under_both_disciplines() {
+        let tasks = vec![
+            task(1, 100_000, 90_000, 1_000, 2),
+            task(1, 100_000, 90_000, 1_000, 2),
+            task(2, 200_000, 180_000, 2_000, 1),
+        ];
+        assert!(admit(&tasks, Discipline::LockFree { access_ticks: 10 }).all_admitted());
+        assert!(admit(&tasks, Discipline::LockBased { access_ticks: 10 }).all_admitted());
+    }
+
+    #[test]
+    fn heavy_task_breaks_admission() {
+        let mut tasks = vec![task(1, 10_000, 9_000, 1_000, 1); 3];
+        assert!(admit(&tasks, Discipline::LockFree { access_ticks: 5 }).all_admitted());
+        // A monster task floods every window.
+        tasks.push(task(3, 5_000, 4_500, 4_000, 1));
+        let report = admit(&tasks, Discipline::LockFree { access_ticks: 5 });
+        assert!(!report.all_admitted());
+    }
+
+    #[test]
+    fn larger_access_time_never_helps() {
+        let tasks = vec![
+            task(1, 50_000, 45_000, 2_000, 3),
+            task(2, 80_000, 70_000, 3_000, 2),
+        ];
+        let cheap = admit(&tasks, Discipline::LockFree { access_ticks: 5 });
+        let pricey = admit(&tasks, Discipline::LockFree { access_ticks: 500 });
+        for (a, b) in cheap.per_task.iter().zip(&pricey.per_task) {
+            assert!(b.worst_sojourn >= a.worst_sojourn);
+            if !a.admitted {
+                assert!(!b.admitted, "raising s cannot admit a rejected task");
+            }
+        }
+    }
+
+    #[test]
+    fn verdict_reports_margins() {
+        let tasks = vec![task(1, 100_000, 90_000, 1_000, 0)];
+        let report = admit(&tasks, Discipline::LockFree { access_ticks: 10 });
+        assert_eq!(report.per_task.len(), 1);
+        let v = report.per_task[0];
+        assert_eq!(v.critical_time, 90_000);
+        assert_eq!(v.worst_sojourn, 1_000, "a lone task with no accesses just computes");
+        assert!(v.admitted);
+    }
+
+    #[test]
+    fn lock_based_charges_blocking_lock_free_charges_retries() {
+        // With huge windows, x is small; compare the contention terms.
+        let tasks = vec![
+            task(1, 1_000_000, 900_000, 1_000, 10),
+            task(1, 1_000_000, 900_000, 1_000, 10),
+        ];
+        // x = 1·(1+1) = 2; f = 3 + 4 = 7; n = 2+2 = 4.
+        // lock-free own demand: 1000 + s·(10 + 7) = 1000 + 17s.
+        let lf = admit(&tasks, Discipline::LockFree { access_ticks: 10 });
+        assert_eq!(lf.per_task[0].worst_sojourn, (1_000 + 170) * 3);
+        // lock-based own demand: 1000 + r·(10 + min(10,4)) = 1000 + 14r.
+        let lb = admit(&tasks, Discipline::LockBased { access_ticks: 10 });
+        assert_eq!(lb.per_task[0].worst_sojourn, (1_000 + 140) * 3);
+    }
+}

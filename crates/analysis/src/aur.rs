@@ -1,0 +1,210 @@
+use lfrt_tuf::Tuf;
+use lfrt_uam::Uam;
+use serde::{Deserialize, Serialize};
+
+/// Per-task parameters for the AUR bounds of Lemmas 4 and 5.
+///
+/// The same structure serves both lemmas: for the lock-free bound
+/// (Lemma 4), `access_time` is `s` and `delay` is `I_i + R_i`; for the
+/// lock-based bound (Lemma 5), `access_time` is `r` and `delay` is
+/// `I_i + B_i`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AurTaskParams {
+    /// The task's arrival model `⟨l_i, a_i, W_i⟩`.
+    pub uam: Uam,
+    /// The task's TUF (must be non-increasing for the lemmas to apply).
+    pub tuf: Tuf,
+    /// `u_i`: computation time excluding object accesses, ticks.
+    pub compute: u64,
+    /// `m_i`: shared-object accesses per job.
+    pub accesses: u64,
+    /// Worst-case extra delay: interference plus retry time (lock-free) or
+    /// interference plus blocking time (lock-based), ticks.
+    pub delay: u64,
+}
+
+impl AurTaskParams {
+    /// Best-case sojourn under access time `t_acc`: `u_i + t_acc·m_i`.
+    pub fn best_sojourn(&self, access_time: f64) -> u64 {
+        self.compute + (access_time * self.accesses as f64).round() as u64
+    }
+
+    /// Worst-case sojourn: best case plus the delay term.
+    pub fn worst_sojourn(&self, access_time: f64) -> u64 {
+        self.best_sojourn(access_time) + self.delay
+    }
+}
+
+/// The lower/upper AUR bounds produced by [`aur_bounds`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AurBounds {
+    /// The Lemma 4/5 lower bound: minimum-rate weights, worst-case sojourns.
+    pub lower: f64,
+    /// The Lemma 4/5 upper bound: maximum-rate weights, best-case sojourns.
+    pub upper: f64,
+}
+
+impl AurBounds {
+    /// Whether an observed AUR lies within the bounds (inclusive, with a
+    /// small tolerance for floating-point aggregation).
+    pub fn contains(&self, observed: f64) -> bool {
+        observed >= self.lower - 1e-9 && observed <= self.upper + 1e-9
+    }
+}
+
+/// Computes the AUR bounds of Lemma 4 (lock-free, with `access_time = s`)
+/// or Lemma 5 (lock-based, with `access_time = r`):
+///
+/// ```text
+/// Σ (l_i/W_i)·U_i(worst sojourn)        Σ (a_i/W_i)·U_i(best sojourn)
+/// ------------------------------ < AUR < ------------------------------
+/// Σ (l_i/W_i)·U_i(0)                    Σ (a_i/W_i)·U_i(0)
+/// ```
+///
+/// Both lemmas require all jobs feasible and all TUFs non-increasing; this
+/// function does not enforce feasibility (the caller's setup determines it)
+/// but debug-asserts non-increasing TUFs.
+///
+/// Returns `AurBounds { lower: 0.0, upper: 1.0 }` for an empty task set.
+pub fn aur_bounds(tasks: &[AurTaskParams], access_time: f64) -> AurBounds {
+    debug_assert!(
+        tasks.iter().all(|t| t.tuf.is_non_increasing()),
+        "the AUR lemmas require non-increasing TUFs"
+    );
+    if tasks.is_empty() {
+        return AurBounds { lower: 0.0, upper: 1.0 };
+    }
+    let mut lower_num = 0.0;
+    let mut lower_den = 0.0;
+    let mut upper_num = 0.0;
+    let mut upper_den = 0.0;
+    for t in tasks {
+        let min_rate = t.uam.min_rate();
+        let max_rate = t.uam.max_rate();
+        let at_zero = t.tuf.utility(0);
+        lower_num += min_rate * t.tuf.utility(t.worst_sojourn(access_time));
+        lower_den += min_rate * at_zero;
+        upper_num += max_rate * t.tuf.utility(t.best_sojourn(access_time));
+        upper_den += max_rate * at_zero;
+    }
+    AurBounds {
+        lower: if lower_den > 0.0 { lower_num / lower_den } else { 0.0 },
+        upper: if upper_den > 0.0 { upper_num / upper_den } else { 1.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(l: u32, a: u32, w: u64, tuf: Tuf, compute: u64, m: u64, delay: u64) -> AurTaskParams {
+        AurTaskParams {
+            uam: Uam::new(l, a, w).expect("valid"),
+            tuf,
+            compute,
+            accesses: m,
+            delay,
+        }
+    }
+
+    #[test]
+    fn step_tufs_feasible_everywhere_give_unit_bounds() {
+        // If even the worst-case sojourn beats the critical time, both
+        // bounds are 1 for step TUFs.
+        let t = params(1, 2, 1_000, Tuf::step(5.0, 500).expect("valid"), 50, 2, 100);
+        let b = aur_bounds(&[t], 10.0);
+        assert!((b.lower - 1.0).abs() < 1e-12);
+        assert!((b.upper - 1.0).abs() < 1e-12);
+        assert!(b.contains(1.0));
+    }
+
+    #[test]
+    fn worst_case_miss_zeroes_the_lower_bound() {
+        // Worst sojourn 50 + 20 + 500 = 570 ≥ C = 500: lower bound 0; best
+        // sojourn 70 < 500: upper bound 1.
+        let t = params(1, 1, 1_000, Tuf::step(5.0, 500).expect("valid"), 50, 2, 500);
+        let b = aur_bounds(&[t], 10.0);
+        assert_eq!(b.lower, 0.0);
+        assert!((b.upper - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_tuf_bounds_match_hand_computation() {
+        // U(t) = 10·(1 − t/100); u=20, m=1, s=10 → best sojourn 30,
+        // worst 30+40=70. Single task: bounds are U(70)/10 and U(30)/10.
+        let t = params(1, 1, 1_000, Tuf::linear_decreasing(10.0, 100).expect("valid"), 20, 1, 40);
+        let b = aur_bounds(&[t], 10.0);
+        assert!((b.lower - 0.3).abs() < 1e-9);
+        assert!((b.upper - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lower_never_exceeds_upper() {
+        for delay in [0u64, 10, 100, 1_000] {
+            for access in [0.0, 5.0, 50.0] {
+                let tasks = vec![
+                    params(1, 3, 500, Tuf::step(2.0, 400).expect("valid"), 30, 2, delay),
+                    params(
+                        1,
+                        1,
+                        900,
+                        Tuf::parabolic(7.0, 800).expect("valid"),
+                        100,
+                        3,
+                        delay,
+                    ),
+                    params(
+                        2,
+                        4,
+                        1_200,
+                        Tuf::linear_decreasing(4.0, 1_000).expect("valid"),
+                        60,
+                        1,
+                        delay,
+                    ),
+                ];
+                let b = aur_bounds(&tasks, access);
+                assert!(
+                    b.lower <= b.upper + 1e-12,
+                    "lower {} > upper {} (delay {delay}, access {access})",
+                    b.lower,
+                    b.upper
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn larger_access_time_cannot_raise_the_upper_bound() {
+        let tasks = vec![params(
+            1,
+            2,
+            1_000,
+            Tuf::linear_decreasing(10.0, 500).expect("valid"),
+            50,
+            4,
+            100,
+        )];
+        let cheap = aur_bounds(&tasks, 1.0);
+        let pricey = aur_bounds(&tasks, 50.0);
+        assert!(pricey.upper <= cheap.upper + 1e-12);
+        assert!(pricey.lower <= cheap.lower + 1e-12);
+    }
+
+    #[test]
+    fn empty_task_set_is_trivial() {
+        let b = aur_bounds(&[], 10.0);
+        assert_eq!(b.lower, 0.0);
+        assert_eq!(b.upper, 1.0);
+    }
+
+    #[test]
+    fn zero_min_rate_tasks_drop_from_the_lower_bound() {
+        // l = 0: the task may never arrive; it contributes nothing to the
+        // lower bound's weights but caps the upper normally.
+        let t = params(0, 1, 1_000, Tuf::step(5.0, 500).expect("valid"), 50, 0, 0);
+        let b = aur_bounds(&[t], 0.0);
+        assert_eq!(b.lower, 0.0); // degenerate: no guaranteed arrivals
+        assert!((b.upper - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,144 @@
+//! Task-set-wide application of Theorem 3: per-task sojourn-time
+//! comparisons between lock-based and lock-free sharing, packaged as a
+//! report for tooling and benches.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{RetryBoundInput, SojournComparison};
+use lfrt_uam::Uam;
+
+/// Per-task inputs for the discipline comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompareTask {
+    /// Arrival model.
+    pub uam: Uam,
+    /// Critical time `C_i`, ticks.
+    pub critical_time: u64,
+    /// Shared-object accesses `m_i` per job.
+    pub accesses: u64,
+}
+
+/// The Theorem 3 verdict for one task.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskComparison {
+    /// `m_i`.
+    pub accesses: u64,
+    /// The `n_i ≤ 2a_i + x_i` blocker bound used.
+    pub blockers: u64,
+    /// `x_i`, the Theorem 2 interference term.
+    pub interference_x: u64,
+    /// The exact `s/r` threshold below which lock-free wins.
+    pub ratio_threshold: f64,
+    /// Whether lock-free wins at the given `s` and `r`.
+    pub lock_free_wins: bool,
+    /// Worst-case extra sojourn under lock-based sharing, ticks.
+    pub lock_based_extra: f64,
+    /// Worst-case extra sojourn under lock-free sharing, ticks.
+    pub lock_free_extra: f64,
+}
+
+/// Applies Theorem 3 to every task of a set, with `n_i` instantiated at its
+/// model bound `2a_i + x_i`.
+///
+/// # Examples
+///
+/// ```
+/// use lfrt_analysis::compare::{compare_task_set, CompareTask};
+/// use lfrt_uam::Uam;
+///
+/// # fn main() -> Result<(), lfrt_uam::UamError> {
+/// let tasks = vec![
+///     CompareTask { uam: Uam::new(1, 2, 10_000)?, critical_time: 9_000, accesses: 4 },
+///     CompareTask { uam: Uam::new(1, 1, 20_000)?, critical_time: 18_000, accesses: 2 },
+/// ];
+/// let report = compare_task_set(&tasks, 400.0, 10.0);
+/// assert!(report.iter().all(|t| t.lock_free_wins), "s/r = 1/40 wins everywhere");
+/// # Ok(())
+/// # }
+/// ```
+pub fn compare_task_set(
+    tasks: &[CompareTask],
+    lock_based_access: f64,
+    lock_free_access: f64,
+) -> Vec<TaskComparison> {
+    (0..tasks.len())
+        .map(|i| {
+            let own = &tasks[i];
+            let x = RetryBoundInput {
+                own_max_arrivals: own.uam.max_arrivals(),
+                critical_time: own.critical_time,
+                others: tasks
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, t)| t.uam)
+                    .collect(),
+            }
+            .interference_x();
+            let blockers = 2 * u64::from(own.uam.max_arrivals()) + x;
+            let cmp = SojournComparison {
+                lock_based_access,
+                lock_free_access,
+                accesses: own.accesses,
+                blockers,
+                own_max_arrivals: own.uam.max_arrivals(),
+                interference_x: x,
+            };
+            TaskComparison {
+                accesses: own.accesses,
+                blockers,
+                interference_x: x,
+                ratio_threshold: cmp.ratio_threshold(),
+                lock_free_wins: cmp.lock_free_wins(),
+                lock_based_extra: cmp.lock_based_extra(),
+                lock_free_extra: cmp.lock_free_extra(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tasks() -> Vec<CompareTask> {
+        vec![
+            CompareTask {
+                uam: Uam::new(1, 2, 10_000).expect("valid"),
+                critical_time: 9_000,
+                accesses: 4,
+            },
+            CompareTask {
+                uam: Uam::new(1, 1, 20_000).expect("valid"),
+                critical_time: 18_000,
+                accesses: 8,
+            },
+        ]
+    }
+
+    #[test]
+    fn tiny_ratio_wins_everywhere() {
+        let report = compare_task_set(&tasks(), 1_000.0, 1.0);
+        assert!(report.iter().all(|t| t.lock_free_wins));
+    }
+
+    #[test]
+    fn unit_ratio_loses_everywhere() {
+        let report = compare_task_set(&tasks(), 100.0, 100.0);
+        assert!(report.iter().all(|t| !t.lock_free_wins));
+    }
+
+    #[test]
+    fn verdict_matches_raw_theorem() {
+        let report = compare_task_set(&tasks(), 300.0, 90.0);
+        for t in &report {
+            assert_eq!(t.lock_free_wins, t.lock_based_extra > t.lock_free_extra);
+            assert!(t.ratio_threshold <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_set_is_empty_report() {
+        assert!(compare_task_set(&[], 100.0, 10.0).is_empty());
+    }
+}

@@ -1,0 +1,50 @@
+//! The analytical results of *Lock-Free Synchronization for Dynamic
+//! Embedded Real-Time Systems* (Cho, Ravindran, Jensen — DATE 2006),
+//! implemented as checkable formulas:
+//!
+//! * [`RetryBoundInput`] — **Theorem 2**: the first upper bound on lock-free
+//!   retries under the unimodal arbitrary arrival model,
+//!   `f_i ≤ 3a_i + Σ_{j≠i} 2a_j(⌈C_i/W_j⌉ + 1)`;
+//! * [`SojournComparison`] — **Theorem 3**: the conditions on the access
+//!   time ratio `s/r` under which a job's worst-case sojourn time is shorter
+//!   with lock-free sharing than with lock-based;
+//! * [`aur_bounds`] — **Lemmas 4 and 5**: lower and upper bounds on the
+//!   accrued utility ratio of lock-free and lock-based RUA under UAM;
+//! * [`admission`] — a sufficient schedulability (admission) test assembled
+//!   from the bounds above: whatever it admits meets all critical times.
+//!
+//! Everything here is pure arithmetic over task parameters; the simulation
+//! crates cross-validate these formulas against measured behaviour (see the
+//! workspace `tests/` and the `lfrt-bench` binaries).
+//!
+//! # Examples
+//!
+//! ```
+//! use lfrt_analysis::RetryBoundInput;
+//! use lfrt_uam::Uam;
+//!
+//! # fn main() -> Result<(), lfrt_uam::UamError> {
+//! let bound = RetryBoundInput {
+//!     own_max_arrivals: 1,
+//!     critical_time: 1_000,
+//!     others: vec![Uam::new(1, 2, 500)?],
+//! }
+//! .retry_bound();
+//! // 3·1 + 2·2·(⌈1000/500⌉ + 1) = 3 + 12 = 15.
+//! assert_eq!(bound, 15);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+mod aur;
+pub mod compare;
+mod retry_bound;
+mod sojourn;
+
+pub use aur::{aur_bounds, AurBounds, AurTaskParams};
+pub use retry_bound::RetryBoundInput;
+pub use sojourn::SojournComparison;

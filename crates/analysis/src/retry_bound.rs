@@ -1,0 +1,151 @@
+use lfrt_uam::Uam;
+use serde::{Deserialize, Serialize};
+
+/// Inputs to the paper's Theorem 2 retry bound for one job `J_i`.
+///
+/// The bound counts scheduling events within `[t_0, t_0 + C_i]`: each of the
+/// other tasks `T_j` can release at most `a_j·(⌈C_i/W_j⌉ + 1)` jobs in the
+/// interval (every release and every departure is an event, hence the factor
+/// 2), and `J_i`'s own task contributes at most `3a_i` events (releases and
+/// completions inside the interval plus completions of jobs released up to
+/// `C_i` earlier). By Lemma 1 a job cannot be preempted — and therefore
+/// cannot retry — more often than the scheduler is invoked.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryBoundInput {
+    /// `a_i`: the job's own task's per-window arrival maximum.
+    pub own_max_arrivals: u32,
+    /// `C_i`: the job's critical time, in ticks.
+    pub critical_time: u64,
+    /// The arrival models of all other tasks (`T_j`, `j ≠ i`).
+    pub others: Vec<Uam>,
+}
+
+impl RetryBoundInput {
+    /// The Theorem 2 bound:
+    /// `f_i ≤ 3a_i + Σ_{j≠i} 2a_j(⌈C_i/W_j⌉ + 1)`.
+    pub fn retry_bound(&self) -> u64 {
+        3 * u64::from(self.own_max_arrivals) + 2 * self.interference_x()
+    }
+
+    /// The interference term `x_i = Σ_{j≠i} a_j(⌈C_i/W_j⌉ + 1)` shared with
+    /// Theorem 3.
+    pub fn interference_x(&self) -> u64 {
+        self.others
+            .iter()
+            .map(|uam| {
+                u64::from(uam.max_arrivals())
+                    * (self.critical_time.div_ceil(uam.window()) + 1)
+            })
+            .sum()
+    }
+
+    /// Upper bound on the total number of scheduling events `J_i` can
+    /// witness (identical to the retry bound; retries cannot outnumber
+    /// events, per Lemma 1).
+    pub fn event_bound(&self) -> u64 {
+        self.retry_bound()
+    }
+
+    /// Builds the bound input for task `i` of a task set described by
+    /// `(uam, critical_time)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn for_task(tasks: &[(Uam, u64)], i: usize) -> Self {
+        let (own, critical_time) = tasks[i];
+        Self {
+            own_max_arrivals: own.max_arrivals(),
+            critical_time,
+            others: tasks
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, &(uam, _))| uam)
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uam(a: u32, w: u64) -> Uam {
+        Uam::new(1, a, w).expect("valid")
+    }
+
+    #[test]
+    fn matches_hand_computation() {
+        // f ≤ 3·2 + 2·[ 3·(⌈1000/400⌉+1) + 1·(⌈1000/1000⌉+1) ]
+        //   = 6 + 2·[ 3·4 + 1·2 ] = 6 + 28 = 34.
+        let input = RetryBoundInput {
+            own_max_arrivals: 2,
+            critical_time: 1_000,
+            others: vec![uam(3, 400), uam(1, 1_000)],
+        };
+        assert_eq!(input.interference_x(), 14);
+        assert_eq!(input.retry_bound(), 34);
+    }
+
+    #[test]
+    fn no_other_tasks_leaves_own_events_only() {
+        let input = RetryBoundInput {
+            own_max_arrivals: 4,
+            critical_time: 500,
+            others: vec![],
+        };
+        assert_eq!(input.retry_bound(), 12);
+    }
+
+    #[test]
+    fn window_longer_than_critical_time_still_contributes_two_bursts() {
+        // ⌈C/W⌉ + 1 = 2 when W > C: bursts at both ends of the interval.
+        let input = RetryBoundInput {
+            own_max_arrivals: 1,
+            critical_time: 100,
+            others: vec![uam(5, 10_000)],
+        };
+        assert_eq!(input.interference_x(), 10);
+        assert_eq!(input.retry_bound(), 23);
+    }
+
+    #[test]
+    fn bound_monotone_in_critical_time() {
+        let mk = |c| RetryBoundInput {
+            own_max_arrivals: 1,
+            critical_time: c,
+            others: vec![uam(2, 300), uam(1, 700)],
+        };
+        let mut prev = 0;
+        for c in [1u64, 100, 300, 900, 5_000] {
+            let b = mk(c).retry_bound();
+            assert!(b >= prev, "bound must not shrink as C grows");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn for_task_excludes_self() {
+        let tasks = vec![(uam(1, 100), 90), (uam(2, 200), 150), (uam(3, 300), 250)];
+        let input = RetryBoundInput::for_task(&tasks, 1);
+        assert_eq!(input.own_max_arrivals, 2);
+        assert_eq!(input.critical_time, 150);
+        assert_eq!(input.others.len(), 2);
+        assert!(input.others.contains(&uam(1, 100)));
+        assert!(input.others.contains(&uam(3, 300)));
+    }
+
+    #[test]
+    fn bound_independent_of_object_count() {
+        // Theorem 2's remark: f_i does not depend on how many objects J_i
+        // touches — the input has no object-count parameter at all, so two
+        // jobs differing only in accesses share a bound.
+        let input = RetryBoundInput {
+            own_max_arrivals: 1,
+            critical_time: 1_000,
+            others: vec![uam(1, 500)],
+        };
+        assert_eq!(input.retry_bound(), input.clone().retry_bound());
+    }
+}

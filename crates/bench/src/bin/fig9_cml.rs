@@ -1,0 +1,134 @@
+//! **Figure 9** — Critical-time Miss Load (CML) versus mean job execution
+//! time for ideal, lock-free, and lock-based RUA.
+//!
+//! The CML of a scheduler is the approximate load `AL = Σ uᵢ/Cᵢ` *after
+//! which* it begins to miss critical times. An ideal scheduler has CML 1.0;
+//! real implementations fall short for small job execution times because
+//! per-event overhead (scheduling plus object access) eats the budget.
+//!
+//! For each mean execution time the binary binary-searches the largest AL at
+//! which no critical time is missed, under:
+//!
+//! * **ideal RUA** — zero-cost objects (scheduler overhead still charged);
+//! * **lock-free RUA** — `s`-tick accesses with retry semantics;
+//! * **lock-based RUA** — `r`-tick critical sections, blocking, and
+//!   lock/unlock scheduler activations.
+//!
+//! Expected shape (paper): lock-free tracks ideal closely and reaches CML
+//! ≈ 1 around 10 µs jobs; lock-based needs jobs ~100× longer.
+//!
+//! Usage: `cargo run -p lfrt-bench --release --bin fig9_cml
+//! [-- --r 400 --s 5 --nsop 0.2]` (times in ticks = µs).
+
+use lfrt_bench::workloads::uniform_periodic;
+use lfrt_bench::{table, Args};
+use lfrt_core::{RuaLockBased, RuaLockFree, RuaLockFreeSampled};
+use lfrt_sim::{Engine, OverheadModel, SharingMode, SimConfig, UaScheduler};
+
+const TASKS: usize = 10;
+const OBJECTS: usize = 10;
+const ACCESSES: usize = 4;
+
+#[derive(Clone, Copy)]
+enum Discipline {
+    Ideal,
+    LockFree { s: u64 },
+    LockFreeSampled { s: u64 },
+    LockBased { r: u64 },
+}
+
+fn main() {
+    let args = Args::from_env();
+    let r = args.get_u64("r", 400);
+    let s = args.get_u64("s", 5);
+    let ticks_per_op = args.get_f64("nsop", 0.2);
+
+    println!("# Figure 9: Critical-time Miss Load (1 tick = 1 µs)");
+    println!("# r = {r} µs, s = {s} µs, scheduler overhead = {ticks_per_op} µs/op");
+
+    let exec_times: [u64; 9] = [5, 10, 20, 50, 100, 200, 500, 1_000, 2_000];
+    let mut rows = Vec::new();
+    for &exec in &exec_times {
+        let cml_ideal = cml(exec, Discipline::Ideal, ticks_per_op);
+        let cml_lf = cml(exec, Discipline::LockFree { s }, ticks_per_op);
+        let cml_sampled = cml(exec, Discipline::LockFreeSampled { s }, ticks_per_op);
+        let cml_lb = cml(exec, Discipline::LockBased { r }, ticks_per_op);
+        rows.push(vec![
+            exec.to_string(),
+            format!("{cml_ideal:.2}"),
+            format!("{cml_lf:.2}"),
+            format!("{cml_sampled:.2}"),
+            format!("{cml_lb:.2}"),
+        ]);
+    }
+    table::print(
+        "Figure 9: CML vs mean job execution time (µs)",
+        &["exec (µs)", "ideal RUA", "lock-free RUA", "lf sampled (§3.6)", "lock-based RUA"],
+        &rows,
+    );
+    println!("\nshape check: lock-free ≈ ideal; lock-based needs far longer jobs to reach 1.0.");
+}
+
+/// Binary-searches the largest AL (to 0.02) at which the discipline misses
+/// no critical times.
+fn cml(exec: u64, discipline: Discipline, ticks_per_op: f64) -> f64 {
+    let mut lo = 0.0f64; // no-miss
+    let mut hi = 1.2f64; // assume misses at 1.2 (checked below)
+    if !misses(exec, discipline, hi, ticks_per_op) {
+        return hi;
+    }
+    for _ in 0..7 {
+        let mid = 0.5 * (lo + hi);
+        if misses(exec, discipline, mid, ticks_per_op) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    lo
+}
+
+fn misses(exec: u64, discipline: Discipline, load: f64, ticks_per_op: f64) -> bool {
+    if load <= 0.0 {
+        return false;
+    }
+    // AL = N·exec / C with C = 0.9·W  =>  W = N·exec / (0.9·load).
+    let window = ((TASKS as f64 * exec as f64) / (0.9 * load)).round() as u64;
+    let window = window.max(TASKS as u64);
+    let critical = ((0.9 * window as f64).round() as u64).max(exec + 1);
+    // Enough windows for ~40 jobs per task.
+    let horizon = window * 40;
+    let (tasks, traces) = uniform_periodic(
+        TASKS, exec, window, critical, ACCESSES, OBJECTS, horizon,
+    );
+    let sharing = match discipline {
+        Discipline::Ideal => SharingMode::Ideal,
+        Discipline::LockFree { s } | Discipline::LockFreeSampled { s } => {
+            SharingMode::LockFree { access_ticks: s }
+        }
+        Discipline::LockBased { r } => SharingMode::LockBased { access_ticks: r },
+    };
+    let config = SimConfig::new(sharing)
+        .overhead(OverheadModel::per_op(ticks_per_op))
+        .record_jobs(false);
+    let metrics = match discipline {
+        Discipline::LockBased { .. } => run(tasks, traces, config, RuaLockBased::new()),
+        Discipline::LockFreeSampled { .. } => {
+            run(tasks, traces, config, RuaLockFreeSampled::new(2, 1))
+        }
+        _ => run(tasks, traces, config, RuaLockFree::new()),
+    };
+    metrics.aborted() > 0
+}
+
+fn run<S: UaScheduler>(
+    tasks: Vec<lfrt_sim::TaskSpec>,
+    traces: Vec<lfrt_uam::ArrivalTrace>,
+    config: SimConfig,
+    scheduler: S,
+) -> lfrt_sim::SimMetrics {
+    Engine::new(tasks, traces, config)
+        .expect("valid engine")
+        .run(scheduler)
+        .metrics
+}

@@ -1,0 +1,44 @@
+//! One-command reproduction: runs every paper experiment in sequence by
+//! invoking the sibling binaries (same build profile, same defaults) and
+//! streaming their output.
+//!
+//! Usage: `cargo run -p lfrt-bench --release --bin paper_all`
+
+use std::process::Command;
+
+fn main() {
+    let me = std::env::current_exe().expect("own path");
+    let bin_dir = me.parent().expect("bin directory").to_path_buf();
+    let runs: &[(&str, &[&str])] = &[
+        ("fig8_access_times", &[]),
+        ("fig9_cml", &[]),
+        ("fig10_13_aur_cmr", &["--load", "0.4", "--tufs", "step"]),
+        ("fig10_13_aur_cmr", &["--load", "0.4", "--tufs", "hetero"]),
+        ("fig10_13_aur_cmr", &["--load", "1.1", "--tufs", "step"]),
+        ("fig10_13_aur_cmr", &["--load", "1.1", "--tufs", "hetero"]),
+        ("fig14_readers", &[]),
+        ("retry_bound_table", &[]),
+        ("sojourn_crossover", &[]),
+        ("taxonomy_table", &[]),
+        ("crash_starvation", &[]),
+        ("mp_scaling", &[]),
+    ];
+    let mut failed = Vec::new();
+    for (bin, args) in runs {
+        println!("\n==================== {bin} {} ====================", args.join(" "));
+        let status = Command::new(bin_dir.join(bin))
+            .args(*args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            failed.push(format!("{bin} {}", args.join(" ")));
+        }
+    }
+    println!("\n====================================================");
+    if failed.is_empty() {
+        println!("all experiments completed; see EXPERIMENTS.md for the recorded shapes.");
+    } else {
+        println!("FAILED experiments: {failed:?}");
+        std::process::exit(1);
+    }
+}

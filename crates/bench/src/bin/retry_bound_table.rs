@@ -1,0 +1,96 @@
+//! **Theorem 2 audit** — analytic retry bound versus measured retries, per
+//! task, on an adversarial UAM workload.
+//!
+//! For every task the table reports the Theorem 2 bound
+//! `f_i ≤ 3a_i + Σ_{j≠i} 2a_j(⌈C_i/W_j⌉+1)`, the worst and mean retries
+//! measured across that task's jobs under lock-free RUA, and the headroom.
+//! The bound must never be exceeded; the adversarial back-to-back arrival
+//! pattern (from the theorem's own proof) pushes measurements toward it.
+//!
+//! Usage: `cargo run -p lfrt-bench --release --bin retry_bound_table --
+//! [--seed 5] [--s 200] [--adversarial true]`
+
+use lfrt_analysis::RetryBoundInput;
+use lfrt_bench::{table, Args};
+use lfrt_core::RuaLockFree;
+use lfrt_sim::workload::{ArrivalStyle, TufClass, WorkloadSpec};
+use lfrt_sim::{Engine, SharingMode, SimConfig};
+use lfrt_uam::Uam;
+
+fn main() {
+    let args = Args::from_env();
+    let seed = args.get_u64("seed", 5);
+    let s = args.get_u64("s", 200);
+    let adversarial = args.get_str("adversarial", "true") == "true";
+
+    let spec = WorkloadSpec {
+        num_tasks: 8,
+        num_objects: 1, // one object: maximal interference
+        accesses_per_job: 4,
+        tuf_class: TufClass::Step,
+        target_load: 0.9,
+        window_range: (5_000, 20_000),
+        max_burst: 2,
+        critical_time_frac: 0.9,
+        arrival_style: if adversarial {
+            ArrivalStyle::BackToBackBurst
+        } else {
+            ArrivalStyle::RandomUam { intensity: 3.0 }
+        },
+        horizon: 400_000,
+        read_fraction: 0.0,
+        seed,
+    };
+    println!("# Theorem 2 audit: retry bound vs measurement");
+    println!(
+        "# s = {s} µs, {} arrivals, seed {seed}",
+        if adversarial { "adversarial back-to-back" } else { "random UAM" }
+    );
+
+    let (tasks, traces) = spec.build().expect("valid workload");
+    let params: Vec<(Uam, u64)> =
+        tasks.iter().map(|t| (*t.uam(), t.tuf().critical_time())).collect();
+    let outcome = Engine::new(
+        tasks.clone(),
+        traces,
+        SimConfig::new(SharingMode::LockFree { access_ticks: s }),
+    )
+    .expect("valid engine")
+    .run(RuaLockFree::new());
+
+    let mut rows = Vec::new();
+    let mut violated = false;
+    for (i, task) in tasks.iter().enumerate() {
+        let bound = RetryBoundInput::for_task(&params, i).retry_bound();
+        let task_records: Vec<_> =
+            outcome.records.iter().filter(|r| r.task.index() == i).collect();
+        let max = task_records.iter().map(|r| r.retries).max().unwrap_or(0);
+        let mean = if task_records.is_empty() {
+            0.0
+        } else {
+            task_records.iter().map(|r| r.retries).sum::<u64>() as f64
+                / task_records.len() as f64
+        };
+        violated |= max > bound;
+        rows.push(vec![
+            task.name().to_string(),
+            format!("{}", task.uam().max_arrivals()),
+            format!("{}", task.uam().window()),
+            format!("{}", task.tuf().critical_time()),
+            bound.to_string(),
+            max.to_string(),
+            format!("{mean:.2}"),
+            task_records.len().to_string(),
+        ]);
+    }
+    table::print(
+        "Theorem 2: analytic bound vs measured lock-free retries",
+        &["task", "a_i", "W_i", "C_i", "bound f_i", "max meas.", "mean meas.", "jobs"],
+        &rows,
+    );
+    println!(
+        "\nresult: bound {}",
+        if violated { "VIOLATED — investigate!" } else { "holds for every job" }
+    );
+    assert!(!violated, "Theorem 2 bound violated");
+}

@@ -1,0 +1,122 @@
+//! **Theorem 3 audit** — the lock-based/lock-free sojourn-time crossover as
+//! a function of the access-time ratio `s/r`.
+//!
+//! Theorem 3 predicts a threshold on `s/r` below which a job's *worst-case*
+//! sojourn time is shorter under lock-free sharing. This binary fixes `r`
+//! and sweeps `s`, measuring the worst observed sojourn of the most
+//! contended task under both disciplines on the same workload, and prints
+//! the analytic threshold alongside — the measured crossover should sit at
+//! or above the analytic one (the analysis is worst-case, so lock-free may
+//! win even past the analytic threshold, never the other way below it).
+//!
+//! Usage: `cargo run -p lfrt-bench --release --bin sojourn_crossover --
+//! [--r 400] [--seed 3]`
+
+use lfrt_analysis::{RetryBoundInput, SojournComparison};
+use lfrt_bench::{table, Args};
+use lfrt_core::{RuaLockBased, RuaLockFree};
+use lfrt_sim::workload::{ArrivalStyle, TufClass, WorkloadSpec};
+use lfrt_sim::{Engine, SharingMode, SimConfig, UaScheduler};
+use lfrt_uam::Uam;
+
+fn main() {
+    let args = Args::from_env();
+    let r = args.get_u64("r", 400);
+    let seed = args.get_u64("seed", 3);
+
+    let spec = WorkloadSpec {
+        num_tasks: 6,
+        num_objects: 2,
+        accesses_per_job: 4,
+        tuf_class: TufClass::Step,
+        target_load: 0.6,
+        window_range: (30_000, 60_000),
+        max_burst: 2,
+        critical_time_frac: 0.9,
+        arrival_style: ArrivalStyle::RandomUam { intensity: 3.0 },
+        horizon: 2_000_000,
+        read_fraction: 0.0,
+        seed,
+    };
+    let (tasks, traces) = spec.build().expect("valid workload");
+    let params: Vec<(Uam, u64)> =
+        tasks.iter().map(|t| (*t.uam(), t.tuf().critical_time())).collect();
+
+    // Analytic inputs for task 0.
+    let bound_input = RetryBoundInput::for_task(&params, 0);
+    let x = bound_input.interference_x();
+    let m = tasks[0].access_count() as u64;
+    let n = x + 2 * u64::from(tasks[0].uam().max_arrivals()); // n_i ≤ 2a_i + x_i
+    println!("# Theorem 3 audit: sojourn crossover (r = {r} µs fixed, s swept)");
+    println!("# task 0: m = {m}, n ≤ {n}, a = {}, x = {x}", tasks[0].uam().max_arrivals());
+
+    let lb_outcome = run(
+        tasks.clone(),
+        traces.clone(),
+        SharingMode::LockBased { access_ticks: r },
+        RuaLockBased::new(),
+    );
+    let lb_worst = worst_sojourn(&lb_outcome, 0);
+
+    let mut rows = Vec::new();
+    for ratio_pct in [5u64, 10, 20, 30, 40, 50, 67, 80, 100, 120] {
+        let s = (r * ratio_pct / 100).max(1);
+        let comparison = SojournComparison {
+            lock_based_access: r as f64,
+            lock_free_access: s as f64,
+            accesses: m,
+            blockers: n,
+            own_max_arrivals: tasks[0].uam().max_arrivals(),
+            interference_x: x,
+        };
+        let lf_outcome = run(
+            tasks.clone(),
+            traces.clone(),
+            SharingMode::LockFree { access_ticks: s },
+            RuaLockFree::new(),
+        );
+        let lf_worst = worst_sojourn(&lf_outcome, 0);
+        rows.push(vec![
+            format!("{:.2}", comparison.ratio()),
+            format!("{:.2}", comparison.ratio_threshold()),
+            if comparison.lock_free_wins() { "lock-free".into() } else { "lock-based".into() },
+            lf_worst.to_string(),
+            lb_worst.to_string(),
+            if lf_worst <= lb_worst { "lock-free".into() } else { "lock-based".into() },
+        ]);
+    }
+    table::print(
+        "Theorem 3: analytic vs measured winner as s/r grows",
+        &[
+            "s/r",
+            "analytic threshold",
+            "analytic winner (worst-case)",
+            "measured worst LF sojourn",
+            "measured worst LB sojourn",
+            "measured winner",
+        ],
+        &rows,
+    );
+    println!("\nshape check: below the analytic threshold lock-free must also win empirically.");
+}
+
+fn worst_sojourn(outcome: &lfrt_sim::SimOutcome, task: usize) -> u64 {
+    outcome
+        .records
+        .iter()
+        .filter(|r| r.task.index() == task)
+        .map(|r| r.sojourn())
+        .max()
+        .unwrap_or(0)
+}
+
+fn run<S: UaScheduler>(
+    tasks: Vec<lfrt_sim::TaskSpec>,
+    traces: Vec<lfrt_uam::ArrivalTrace>,
+    sharing: SharingMode,
+    scheduler: S,
+) -> lfrt_sim::SimOutcome {
+    Engine::new(tasks, traces, SimConfig::new(sharing))
+        .expect("valid engine")
+        .run(scheduler)
+}

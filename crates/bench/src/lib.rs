@@ -1,0 +1,111 @@
+//! Shared infrastructure for the experiment harness: summary statistics,
+//! plain-text table rendering, a tiny CLI-flag parser, and synthetic
+//! scheduler contexts for the cost ablations.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper's evaluation; see `DESIGN.md` §5 for the experiment index and
+//! `EXPERIMENTS.md` for recorded outputs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod stats;
+pub mod synth;
+pub mod table;
+pub mod workloads;
+
+use std::collections::HashMap;
+
+/// A minimal `--key value` flag parser for the experiment binaries.
+///
+/// Flags may appear after a literal `--` separator (as cargo passes them).
+///
+/// # Examples
+///
+/// ```
+/// use lfrt_bench::Args;
+///
+/// let args = Args::parse(["--load", "1.1", "--tufs", "hetero"].iter().map(|s| s.to_string()));
+/// assert_eq!(args.get_f64("load", 0.4), 1.1);
+/// assert_eq!(args.get_str("tufs", "step"), "hetero");
+/// assert_eq!(args.get_u64("seed", 1), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses flags from an iterator of raw arguments.
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Self {
+        let mut values = HashMap::new();
+        let mut iter = raw.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if arg == "--" {
+                continue;
+            }
+            if let Some(key) = arg.strip_prefix("--") {
+                if let Some(value) = iter.peek() {
+                    if !value.starts_with("--") {
+                        values.insert(key.to_string(), iter.next().expect("peeked"));
+                        continue;
+                    }
+                }
+                values.insert(key.to_string(), String::from("true"));
+            }
+        }
+        Self { values }
+    }
+
+    /// Parses the process's own command line.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// String flag with a default.
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.values.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    /// Float flag with a default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flag is present but not a valid float.
+    pub fn get_f64(&self, key: &str, default: f64) -> f64 {
+        self.values
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects a number, got {v}")))
+            .unwrap_or(default)
+    }
+
+    /// Integer flag with a default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flag is present but not a valid integer.
+    pub fn get_u64(&self, key: &str, default: u64) -> u64 {
+        self.values
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer, got {v}")))
+            .unwrap_or(default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_mixed_flags() {
+        let args = Args::parse(
+            ["--", "--load", "0.9", "--verbose", "--seed", "7"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(args.get_f64("load", 0.0), 0.9);
+        assert_eq!(args.get_u64("seed", 0), 7);
+        assert_eq!(args.get_str("verbose", "false"), "true");
+        assert_eq!(args.get_str("missing", "x"), "x");
+    }
+}

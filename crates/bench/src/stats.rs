@@ -1,0 +1,68 @@
+//! Summary statistics for experiment reporting.
+
+/// Mean, standard deviation, and 95% confidence half-width of a sample set.
+///
+/// The paper reports each data point with a 95% confidence interval; this is
+/// the same normal-approximation interval (`1.96·σ/√n`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (unbiased, `n-1` denominator).
+    pub std_dev: f64,
+    /// Half-width of the 95% confidence interval around the mean.
+    pub ci95: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl Summary {
+    /// Summarizes `samples`. Returns zeros for an empty slice.
+    pub fn of(samples: &[f64]) -> Self {
+        let n = samples.len();
+        if n == 0 {
+            return Self { mean: 0.0, std_dev: 0.0, ci95: 0.0, n: 0 };
+        }
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        if n == 1 {
+            return Self { mean, std_dev: 0.0, ci95: 0.0, n };
+        }
+        let var = samples.iter().map(|&x| (x - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
+        let std_dev = var.sqrt();
+        let ci95 = 1.96 * std_dev / (n as f64).sqrt();
+        Self { mean, std_dev, ci95, n }
+    }
+
+    /// Renders as `mean ± ci95` with the given precision.
+    pub fn display(&self, precision: usize) -> String {
+        format!("{:.p$} ± {:.p$}", self.mean, self.ci95, p = precision)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(Summary::of(&[]).n, 0);
+        let s = Summary::of(&[5.0]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.ci95, 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample std dev with n-1: sqrt(32/7).
+        assert!((s.std_dev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert!(s.ci95 > 0.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = Summary::of(&[1.0, 2.0, 3.0]);
+        assert!(s.display(2).contains("±"));
+    }
+}

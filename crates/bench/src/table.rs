@@ -1,0 +1,82 @@
+//! Plain-text table rendering for experiment outputs.
+
+/// Renders an aligned plain-text table to a `String`.
+///
+/// # Examples
+///
+/// ```
+/// use lfrt_bench::table::render;
+///
+/// let out = render(
+///     &["n", "aur"],
+///     &[vec!["1".into(), "0.99".into()], vec!["10".into(), "0.52".into()]],
+/// );
+/// assert!(out.contains("aur"));
+/// assert!(out.lines().count() >= 4);
+/// ```
+pub fn render(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let sep: String = widths
+        .iter()
+        .map(|w| "-".repeat(w + 2))
+        .collect::<Vec<_>>()
+        .join("+");
+    let fmt_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!(" {:>w$} ", c, w = widths.get(i).copied().unwrap_or(c.len())))
+            .collect::<Vec<_>>()
+            .join("|")
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells));
+    out.push('\n');
+    out.push_str(&sep);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Prints a titled table to stdout.
+pub fn print(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n## {title}\n");
+    print!("{}", render(header, rows));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligns_columns() {
+        let out = render(
+            &["x", "value"],
+            &[
+                vec!["1".into(), "short".into()],
+                vec!["1000".into(), "a-much-longer-cell".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines share the same width.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn handles_ragged_rows() {
+        let out = render(&["a", "b"], &[vec!["1".into()]]);
+        assert!(out.contains('1'));
+    }
+}

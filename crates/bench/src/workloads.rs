@@ -1,0 +1,88 @@
+//! Purpose-built workloads for experiments that need direct control over
+//! per-task execution time (the Figure 9 CML sweep), beyond what the
+//! general [`WorkloadSpec`](lfrt_sim::workload::WorkloadSpec) recipe offers.
+
+use lfrt_sim::{AccessKind, ObjectId, Segment, TaskSpec, Ticks};
+use lfrt_tuf::Tuf;
+use lfrt_uam::{ArrivalGenerator, ArrivalTrace, PeriodicArrivals, Uam};
+
+/// A set of `n` identical periodic tasks: each job computes `compute` ticks
+/// split around `accesses` writes to `objects` shared objects (round-robin),
+/// with window `window`, critical time `critical`, unit-step TUFs, and
+/// phases staggered by `window / n`.
+///
+/// The approximate load is `n · compute / window`.
+///
+/// # Panics
+///
+/// Panics if `n`, `window`, `critical`, or `compute` is zero.
+pub fn uniform_periodic(
+    n: usize,
+    compute: Ticks,
+    window: Ticks,
+    critical: Ticks,
+    accesses: usize,
+    objects: usize,
+    horizon: Ticks,
+) -> (Vec<TaskSpec>, Vec<ArrivalTrace>) {
+    assert!(n > 0 && window > 0 && critical > 0 && compute > 0);
+    let mut tasks = Vec::with_capacity(n);
+    let mut traces = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut segments = Vec::new();
+        let chunks = accesses as Ticks + 1;
+        let base = compute / chunks;
+        let rem = compute % chunks;
+        for c in 0..chunks {
+            let chunk = base + u64::from(c < rem);
+            if chunk > 0 {
+                segments.push(Segment::Compute(chunk));
+            }
+            if c < accesses as Ticks && objects > 0 {
+                let object = (i + c as usize) % objects;
+                segments.push(Segment::Access {
+                    object: ObjectId::new(object),
+                    kind: AccessKind::Write,
+                });
+            }
+        }
+        tasks.push(
+            TaskSpec::builder(format!("u{i}"))
+                .tuf(Tuf::step(1.0, critical).expect("critical > 0"))
+                .uam(Uam::periodic(window))
+                .segments(segments)
+                .build()
+                .expect("non-empty segments"),
+        );
+        let phase = (window / n as u64) * i as u64;
+        traces.push(PeriodicArrivals::with_phase(window, phase).generate(horizon));
+    }
+    (tasks, traces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_requested_shape() {
+        let (tasks, traces) = uniform_periodic(10, 100, 10_000, 9_000, 4, 10, 100_000);
+        assert_eq!(tasks.len(), 10);
+        for t in &tasks {
+            assert_eq!(t.compute_ticks(), 100);
+            assert_eq!(t.access_count(), 4);
+            assert_eq!(t.tuf().critical_time(), 9_000);
+        }
+        // Staggered phases: first arrivals differ.
+        assert_ne!(traces[0].times()[0], traces[1].times()[0]);
+        // Load = 10 * 100 / 10_000 = 0.1.
+        let load: f64 = tasks.iter().map(TaskSpec::approximate_load).sum::<f64>();
+        assert!((load - 10.0 * 100.0 / 9_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_accesses_supported() {
+        let (tasks, _) = uniform_periodic(2, 50, 1_000, 900, 0, 0, 5_000);
+        assert_eq!(tasks[0].access_count(), 0);
+    }
+}

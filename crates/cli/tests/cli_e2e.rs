@@ -1,0 +1,95 @@
+//! End-to-end tests of the `lfrt` binary: spawn the real executable and
+//! check its output and exit codes.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn lfrt() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_lfrt"))
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = lfrt().arg("help").output().expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("workload"));
+}
+
+#[test]
+fn no_arguments_fails_with_usage() {
+    let out = lfrt().output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).expect("utf8").contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = lfrt().arg("frobnicate").output().expect("spawn");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn workload_runs_deterministically() {
+    let run = || {
+        let out = lfrt()
+            .args(["workload", "--tasks", "4", "--load", "0.4", "--horizon", "100000", "--seed", "7"])
+            .output()
+            .expect("spawn");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8(out.stdout).expect("utf8")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "same seed, same report");
+    assert!(a.contains("AUR"));
+}
+
+#[test]
+fn bound_computes_known_value() {
+    let out = lfrt()
+        .args(["bound", "--critical", "1000", "--a", "1", "--others", "2:500"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(text.contains("≤ 15"), "{text}");
+}
+
+#[test]
+fn fit_reads_stdin() {
+    let mut child = lfrt()
+        .args(["fit", "--window", "100", "--horizon", "1000"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin")
+        .write_all(b"0\n10\n10\n500\n")
+        .expect("write");
+    let out = child.wait_with_output().expect("wait");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(text.contains("a=3"), "{text}");
+}
+
+#[test]
+fn summary_reads_record_csv() {
+    let mut child = lfrt()
+        .arg("summary")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn");
+    let csv = "job,task,arrival,resolved_at,completed,utility,retries,blockings,preemptions\n\
+               0,0,0,100,true,5,0,0,0\n";
+    child.stdin.as_mut().expect("stdin").write_all(csv.as_bytes()).expect("write");
+    let out = child.wait_with_output().expect("wait");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(text.contains("records 1"), "{text}");
+}

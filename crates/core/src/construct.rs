@@ -1,0 +1,89 @@
+//! Shared schedule-construction logic (§3.4 of the paper), used by both the
+//! lock-based and lock-free RUA variants.
+
+use lfrt_sim::{JobId, SchedulerContext};
+
+use crate::ops::OpsCounter;
+use crate::schedule::TentativeSchedule;
+
+/// A chain ready for insertion: the owning job, its dependency chain (head
+/// first; a singleton under lock-free sharing), and its PUD.
+#[derive(Debug, Clone)]
+pub(crate) struct RankedChain {
+    pub job: JobId,
+    pub chain: Vec<JobId>,
+    pub pud: f64,
+}
+
+/// Sorts chains by non-increasing PUD (ties toward the lower job id),
+/// charging one operation per comparison.
+pub(crate) fn sort_by_pud(chains: &mut [RankedChain], ops: &mut OpsCounter) {
+    chains.sort_by(|a, b| {
+        ops.tick();
+        b.pud
+            .partial_cmp(&a.pud)
+            .expect("PUDs are finite")
+            .then(a.job.cmp(&b.job))
+    });
+}
+
+/// Examines chains in the given (non-increasing PUD) order, inserting each
+/// job with its dependents into a tentative copy of the schedule at their
+/// critical-time positions while respecting dependency order, and keeping
+/// each insertion only if the tentative schedule remains feasible.
+///
+/// This is the paper's §3.4 procedure, including the removal/reinsertion of
+/// already-present dependents (Figure 5) and the critical-time advancement
+/// of Figure 4.
+pub(crate) fn build_schedule(
+    ctx: &SchedulerContext<'_>,
+    chains: &[RankedChain],
+    ops: &mut OpsCounter,
+) -> TentativeSchedule {
+    let mut schedule = TentativeSchedule::new();
+    for ranked in chains {
+        // A job already inserted as someone else's dependent is settled.
+        if schedule.position(ranked.job, ops).is_some() {
+            continue;
+        }
+        let mut tentative = schedule.clone();
+        ops.add(tentative.len() as u64); // copying the schedule costs O(n)
+        // Insert from the tail of the chain (the job itself) toward the head
+        // (its deepest dependent); every next member must precede the last.
+        let mut limit: Option<usize> = None;
+        for &member in ranked.chain.iter().rev() {
+            let Some(view) = ctx.job(member) else { continue };
+            match tentative.position(member, ops) {
+                Some(pos) => match limit {
+                    Some(lim) if pos > lim => {
+                        // Figure 5 Case 2: the dependent sits after the job
+                        // that needs it; move it forward, advancing its
+                        // effective critical time to the successor's.
+                        let entry = tentative.remove(pos, ops);
+                        let new_pos = tentative.insert_before(
+                            member,
+                            entry.effective_critical_time,
+                            Some(lim),
+                            ops,
+                        );
+                        limit = Some(new_pos);
+                    }
+                    _ => limit = Some(pos),
+                },
+                None => {
+                    let pos = tentative.insert_before(
+                        member,
+                        view.absolute_critical_time,
+                        limit,
+                        ops,
+                    );
+                    limit = Some(pos);
+                }
+            }
+        }
+        if tentative.is_feasible(ctx, ops) {
+            schedule = tentative;
+        }
+    }
+    schedule
+}

@@ -1,0 +1,99 @@
+//! Deadlock detection and victim selection (§3.3 of the paper).
+//!
+//! RUA resolves deadlocks — cycles in the dependency graph, possible only
+//! with nested critical sections — by aborting the job on the cycle that
+//! would contribute the least utility. The comparisons of the paper exclude
+//! nested sections, so this module is never triggered there; it is
+//! implemented and tested for completeness with §3's full description.
+
+use lfrt_sim::{JobId, SchedulerContext};
+
+use crate::dependency::Chain;
+use crate::ops::OpsCounter;
+use crate::pud::chain_pud;
+
+/// Picks the deadlock victim from a detected cycle: the job whose singleton
+/// PUD (its own utility density) is lowest — the member "likely to
+/// contribute the least utility" (§3.3). Ties break toward the higher job
+/// id (the younger job).
+///
+/// Returns `None` if the chain is not a cycle or the cycle is empty.
+pub fn select_victim(
+    ctx: &SchedulerContext<'_>,
+    chain: &Chain,
+    ops: &mut OpsCounter,
+) -> Option<JobId> {
+    if !chain.is_cycle() {
+        return None;
+    }
+    chain
+        .jobs()
+        .iter()
+        .map(|&job| (chain_pud(ctx, &[job], ops), job))
+        .min_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("PUDs are finite")
+                .then(b.1.cmp(&a.1))
+        })
+        .map(|(_, job)| job)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lfrt_sim::{JobView, ObjectId, TaskId};
+    use lfrt_tuf::Tuf;
+
+    #[test]
+    fn victim_is_lowest_pud_member() {
+        let high = Tuf::step(100.0, 1_000).expect("valid");
+        let low = Tuf::step(1.0, 1_000).expect("valid");
+        let mk = |id: usize, tuf, blocked: usize, holds: usize| JobView {
+            id: JobId::new(id),
+            task: TaskId::new(0),
+            arrival: 0,
+            absolute_critical_time: 1_000,
+            window: 1_000,
+            tuf,
+            remaining: 10,
+            blocked_on: Some(ObjectId::new(blocked)),
+            holds: vec![ObjectId::new(holds)],
+        };
+        let ctx = SchedulerContext {
+            now: 0,
+            jobs: vec![mk(1, &high, 2, 1), mk(2, &low, 1, 2)],
+        };
+        let cycle = Chain::Cycle(vec![JobId::new(1), JobId::new(2)]);
+        let victim = select_victim(&ctx, &cycle, &mut OpsCounter::new());
+        assert_eq!(victim, Some(JobId::new(2)), "low-utility member dies");
+    }
+
+    #[test]
+    fn acyclic_chain_has_no_victim() {
+        let tuf = Tuf::step(1.0, 1_000).expect("valid");
+        let ctx = SchedulerContext { now: 0, jobs: Vec::new() };
+        let _ = &tuf;
+        let chain = Chain::Acyclic(vec![JobId::new(1)]);
+        assert_eq!(select_victim(&ctx, &chain, &mut OpsCounter::new()), None);
+    }
+
+    #[test]
+    fn tie_breaks_toward_younger_job() {
+        let tuf = Tuf::step(1.0, 1_000).expect("valid");
+        let mk = |id: usize| JobView {
+            id: JobId::new(id),
+            task: TaskId::new(0),
+            arrival: 0,
+            absolute_critical_time: 1_000,
+            window: 1_000,
+            tuf: &tuf,
+            remaining: 10,
+            blocked_on: Some(ObjectId::new(0)),
+            holds: vec![ObjectId::new(1)],
+        };
+        let ctx = SchedulerContext { now: 0, jobs: vec![mk(1), mk(2)] };
+        let cycle = Chain::Cycle(vec![JobId::new(1), JobId::new(2)]);
+        let victim = select_victim(&ctx, &cycle, &mut OpsCounter::new());
+        assert_eq!(victim, Some(JobId::new(2)));
+    }
+}

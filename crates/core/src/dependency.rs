@@ -1,0 +1,171 @@
+//! Dependency-chain computation (§3.1 of the paper).
+//!
+//! A job `J` blocked on an object depends on the object's lock holder, which
+//! may itself be blocked, and so on. The *dependency chain* of `J` is the
+//! sequence `⟨head, …, J⟩` where `head` is the deepest dependency (a job
+//! that is not blocked): each element must execute (at least far enough to
+//! release its lock) before its successor.
+
+use lfrt_sim::{JobId, SchedulerContext};
+
+use crate::ops::OpsCounter;
+
+/// The result of following a job's dependency edges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Chain {
+    /// The acyclic chain `⟨head, …, job⟩`, head (deepest dependency) first.
+    Acyclic(Vec<JobId>),
+    /// A cycle was found (only possible with nested critical sections): the
+    /// jobs on the cycle, in discovery order.
+    Cycle(Vec<JobId>),
+}
+
+impl Chain {
+    /// The chain's jobs regardless of cyclicity.
+    pub fn jobs(&self) -> &[JobId] {
+        match self {
+            Chain::Acyclic(v) | Chain::Cycle(v) => v,
+        }
+    }
+
+    /// Whether a deadlock (cycle) was detected.
+    pub fn is_cycle(&self) -> bool {
+        matches!(self, Chain::Cycle(_))
+    }
+}
+
+/// Computes the dependency chain of `job` by following
+/// `blocked_on → holder` edges, charging one operation per hop.
+///
+/// Returns [`Chain::Cycle`] if the edges loop — the deadlock condition of
+/// §3.3, which cannot arise without nested critical sections but is detected
+/// for completeness.
+pub fn dependency_chain(
+    ctx: &SchedulerContext<'_>,
+    job: JobId,
+    ops: &mut OpsCounter,
+) -> Chain {
+    let mut chain = vec![job];
+    let mut current = job;
+    loop {
+        ops.tick();
+        let view = match ctx.job(current) {
+            Some(v) => v,
+            None => break,
+        };
+        let Some(object) = view.blocked_on else { break };
+        let Some(holder) = ctx.holder_of(object) else {
+            // The holder resolved between state updates; treat as chain end.
+            break;
+        };
+        if chain.contains(&holder) {
+            // Found a cycle: report the jobs from the first occurrence on.
+            let start = chain.iter().position(|&j| j == holder).expect("contained");
+            return Chain::Cycle(chain[start..].to_vec());
+        }
+        chain.push(holder);
+        current = holder;
+    }
+    // Stored ⟨job, …, head⟩; the paper's convention is head first.
+    chain.reverse();
+    Chain::Acyclic(chain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lfrt_sim::{JobView, ObjectId, TaskId};
+    use lfrt_tuf::Tuf;
+
+    fn ctx_with<'a>(
+        tuf: &'a Tuf,
+        jobs: Vec<(usize, Option<usize>, Option<usize>)>, // (id, blocked_on, holds)
+    ) -> SchedulerContext<'a> {
+        SchedulerContext {
+            now: 0,
+            jobs: jobs
+                .into_iter()
+                .map(|(id, blocked, holds)| JobView {
+                    id: JobId::new(id),
+                    task: TaskId::new(0),
+                    arrival: 0,
+                    absolute_critical_time: 1_000,
+                    window: 1_000,
+                    tuf,
+                    remaining: 10,
+                    blocked_on: blocked.map(ObjectId::new),
+                    holds: holds.map(ObjectId::new).into_iter().collect(),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn unblocked_job_is_its_own_chain() {
+        let tuf = Tuf::step(1.0, 1_000).expect("valid");
+        let ctx = ctx_with(&tuf, vec![(0, None, None)]);
+        let mut ops = OpsCounter::new();
+        let chain = dependency_chain(&ctx, JobId::new(0), &mut ops);
+        assert_eq!(chain, Chain::Acyclic(vec![JobId::new(0)]));
+        assert!(ops.total() >= 1);
+    }
+
+    #[test]
+    fn transitive_chain_head_first() {
+        // The paper's §3.1 example: T1 waits on R1 held by T2; T2 waits on
+        // R2 held by T3. T1's chain is ⟨T3, T2, T1⟩.
+        let tuf = Tuf::step(1.0, 1_000).expect("valid");
+        let ctx = ctx_with(
+            &tuf,
+            vec![
+                (1, Some(1), None),    // T1 blocked on R1
+                (2, Some(2), Some(1)), // T2 holds R1, blocked on R2
+                (3, None, Some(2)),    // T3 holds R2
+            ],
+        );
+        let mut ops = OpsCounter::new();
+        let chain = dependency_chain(&ctx, JobId::new(1), &mut ops);
+        assert_eq!(
+            chain,
+            Chain::Acyclic(vec![JobId::new(3), JobId::new(2), JobId::new(1)])
+        );
+        // T2's own chain is ⟨T3, T2⟩, T3's is ⟨T3⟩.
+        let chain2 = dependency_chain(&ctx, JobId::new(2), &mut OpsCounter::new());
+        assert_eq!(chain2, Chain::Acyclic(vec![JobId::new(3), JobId::new(2)]));
+        let chain3 = dependency_chain(&ctx, JobId::new(3), &mut OpsCounter::new());
+        assert_eq!(chain3, Chain::Acyclic(vec![JobId::new(3)]));
+    }
+
+    #[test]
+    fn cycle_detected() {
+        // T1 holds O1, waits O2; T2 holds O2, waits O1 — a deadlock (needs
+        // nested sections, which the simulator excludes, but the detector
+        // must still work per §3.3).
+        let tuf = Tuf::step(1.0, 1_000).expect("valid");
+        let ctx = ctx_with(
+            &tuf,
+            vec![(1, Some(2), Some(1)), (2, Some(1), Some(2))],
+        );
+        let chain = dependency_chain(&ctx, JobId::new(1), &mut OpsCounter::new());
+        assert!(chain.is_cycle());
+        assert_eq!(chain.jobs(), &[JobId::new(1), JobId::new(2)]);
+    }
+
+    #[test]
+    fn self_cycle_detected() {
+        // A job blocked on an object it also holds (pathological nesting).
+        let tuf = Tuf::step(1.0, 1_000).expect("valid");
+        let ctx = ctx_with(&tuf, vec![(1, Some(1), Some(1))]);
+        let chain = dependency_chain(&ctx, JobId::new(1), &mut OpsCounter::new());
+        assert!(chain.is_cycle());
+        assert_eq!(chain.jobs(), &[JobId::new(1)]);
+    }
+
+    #[test]
+    fn missing_holder_ends_chain() {
+        let tuf = Tuf::step(1.0, 1_000).expect("valid");
+        let ctx = ctx_with(&tuf, vec![(1, Some(7), None)]);
+        let chain = dependency_chain(&ctx, JobId::new(1), &mut OpsCounter::new());
+        assert_eq!(chain, Chain::Acyclic(vec![JobId::new(1)]));
+    }
+}

@@ -1,0 +1,50 @@
+use lfrt_sim::{Decision, JobId, SchedulerContext, UaScheduler};
+
+use crate::ops::OpsCounter;
+
+/// Earliest-critical-time-first: the classic EDF baseline.
+///
+/// EDF is optimal during underloads (it meets all critical times whenever
+/// any algorithm can) and is the schedule RUA degenerates to for step TUFs
+/// without object sharing during underloads. During overloads it thrashes,
+/// which is exactly the contrast the UA schedulers exist to fix.
+///
+/// Cost: one sort, `O(n log n)` reported operations.
+///
+/// # Examples
+///
+/// ```
+/// use lfrt_core::Edf;
+/// use lfrt_sim::UaScheduler;
+///
+/// assert_eq!(Edf::new().name(), "edf");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Edf {
+    _private: (),
+}
+
+impl Edf {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl UaScheduler for Edf {
+    fn name(&self) -> &str {
+        "edf"
+    }
+
+    fn schedule(&mut self, ctx: &SchedulerContext<'_>) -> Decision {
+        let mut ops = OpsCounter::new();
+        let mut order: Vec<JobId> = ctx.jobs.iter().map(|j| j.id).collect();
+        order.sort_by(|&a, &b| {
+            ops.tick();
+            let ka = ctx.job(a).map(|j| j.absolute_critical_time);
+            let kb = ctx.job(b).map(|j| j.absolute_critical_time);
+            ka.cmp(&kb).then(a.cmp(&b))
+        });
+        Decision { order, ops: ops.total(), aborts: Vec::new() }
+    }
+}

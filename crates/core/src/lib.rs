@@ -1,0 +1,87 @@
+//! The RUA utility-accrual schedulers — the primary contribution of
+//! *Lock-Free Synchronization for Dynamic Embedded Real-Time Systems*
+//! (Cho, Ravindran, Jensen — DATE 2006).
+//!
+//! RUA (Wu, Ravindran, Jensen, Balli — RTCSA'04) maximizes total accrued
+//! utility for arbitrarily-shaped TUFs under mutual-exclusion object
+//! sharing. Its major steps at every scheduling event are:
+//!
+//! 1. compute each job's *dependency chain* (who must run before whom to
+//!    respect lock ownership) — [`dependency`];
+//! 2. compute each chain's *potential utility density* (utility per unit
+//!    time of running the job and everything it depends on) — [`pud`];
+//! 3. detect and resolve deadlocks (cycles in the chains) — [`deadlock`];
+//! 4. examine chains in decreasing-PUD order, tentatively inserting each
+//!    into an earliest-critical-time-first schedule while respecting
+//!    dependencies, keeping the insertion only if the schedule stays
+//!    feasible — [`schedule`].
+//!
+//! The paper's observation: with lock-free object sharing, dependencies
+//! never arise, collapsing every chain to a single job — steps 1 and 3
+//! vanish and the algorithm drops from `O(n² log n)` to `O(n²)`. This crate
+//! implements both variants plus an EDF baseline, all against the
+//! [`UaScheduler`](lfrt_sim::UaScheduler) interface of the simulator, and
+//! each reports an honest operation count so the simulator can charge
+//! scheduling overhead at the algorithms' true asymptotic growth.
+//!
+//! * [`RuaLockBased`] — full RUA with dependency chains (`O(n² log n)`);
+//! * [`RuaLockFree`] — lock-free RUA, chains collapsed (`O(n²)`);
+//! * [`Edf`] — earliest-critical-time-first, the underload-optimal baseline
+//!   that RUA defaults to for step TUFs without sharing;
+//! * [`Lbesa`] — Locke's best-effort scheduler (shed-lowest-density), the
+//!   other classic UA algorithm, as a cross-check;
+//! * [`Rm`], [`Llf`] — the static and fully-dynamic priority baselines of
+//!   the paper's §4.1 preemption taxonomy.
+//!
+//! # Examples
+//!
+//! ```
+//! use lfrt_core::RuaLockFree;
+//! use lfrt_sim::{Engine, Segment, SharingMode, SimConfig, TaskSpec};
+//! use lfrt_tuf::Tuf;
+//! use lfrt_uam::{ArrivalTrace, Uam};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let task = TaskSpec::builder("sensor")
+//!     .tuf(Tuf::linear_decreasing(10.0, 1_000)?)
+//!     .uam(Uam::new(1, 2, 1_000)?)
+//!     .segments(vec![Segment::Compute(100)])
+//!     .build()?;
+//! let outcome = Engine::new(
+//!     vec![task],
+//!     vec![ArrivalTrace::new(vec![0, 500])],
+//!     SimConfig::new(SharingMode::LockFree { access_ticks: 5 }),
+//! )?
+//! .run(RuaLockFree::new());
+//! assert_eq!(outcome.metrics.completed(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod construct;
+pub mod deadlock;
+pub mod dependency;
+mod edf;
+mod edf_pi;
+mod lbesa;
+mod llf;
+mod lock_based;
+mod lock_free;
+mod lock_free_sampled;
+mod ops;
+pub mod pud;
+mod rm;
+pub mod schedule;
+
+pub use edf::Edf;
+pub use edf_pi::EdfPi;
+pub use lbesa::Lbesa;
+pub use llf::Llf;
+pub use lock_based::RuaLockBased;
+pub use lock_free::RuaLockFree;
+pub use lock_free_sampled::RuaLockFreeSampled;
+pub use ops::OpsCounter;
+pub use rm::Rm;

@@ -1,0 +1,240 @@
+//! The earliest-critical-time-first tentative schedule (§3.4 of the paper).
+//!
+//! RUA builds its output by tentatively inserting each job (with its
+//! dependents) into an ECF-ordered list, resolving conflicts between the
+//! critical-time order and the dependency order by *advancing* a dependent's
+//! effective critical time (Figures 4 and 5 of the paper), and keeping the
+//! insertion only if every entry can still finish by its effective critical
+//! time.
+
+use lfrt_sim::{JobId, SchedulerContext, SimTime};
+
+use crate::ops::OpsCounter;
+
+/// One entry of the tentative schedule: a job with its (possibly advanced)
+/// effective critical time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Entry {
+    /// The scheduled job.
+    pub job: JobId,
+    /// The critical time used for ordering and feasibility — advanced below
+    /// the job's own critical time when a dependent must precede a
+    /// shorter-deadline successor.
+    pub effective_critical_time: SimTime,
+}
+
+/// An ECF-ordered tentative schedule.
+///
+/// Lookup, insert, and remove are charged at their `O(log n)` textbook cost
+/// through the caller's [`OpsCounter`], matching the paper's §3.6 cost
+/// accounting.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TentativeSchedule {
+    entries: Vec<Entry>,
+}
+
+impl TentativeSchedule {
+    /// An empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The entries, head (next to run) first.
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+
+    /// The scheduled jobs, head first.
+    pub fn jobs(&self) -> Vec<JobId> {
+        self.entries.iter().map(|e| e.job).collect()
+    }
+
+    /// Number of scheduled jobs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Position of `job`, if scheduled.
+    pub fn position(&self, job: JobId, ops: &mut OpsCounter) -> Option<usize> {
+        ops.charge_log(self.entries.len());
+        self.entries.iter().position(|e| e.job == job)
+    }
+
+    /// Inserts `job` with critical time `critical`, at its ECF position but
+    /// never at or after `limit` (the position of the already-inserted
+    /// successor that depends on it). When the ECF position would violate
+    /// the limit, the job is placed immediately before the successor with
+    /// its effective critical time advanced to the successor's (the paper's
+    /// Figure 4 "Case 2"). Returns the insertion position.
+    pub fn insert_before(
+        &mut self,
+        job: JobId,
+        critical: SimTime,
+        limit: Option<usize>,
+        ops: &mut OpsCounter,
+    ) -> usize {
+        ops.charge_log(self.entries.len());
+        let mut effective = critical;
+        // First index whose effective critical time is >= ours: inserting
+        // there keeps ECF order and puts us before equal-critical entries.
+        let ecf_pos = self
+            .entries
+            .partition_point(|e| e.effective_critical_time < critical);
+        let pos = match limit {
+            Some(lim) if ecf_pos > lim => {
+                // Dependency order wins: advance the critical time.
+                effective = effective.min(self.entries[lim].effective_critical_time);
+                lim
+            }
+            _ => ecf_pos,
+        };
+        self.entries.insert(pos, Entry { job, effective_critical_time: effective });
+        pos
+    }
+
+    /// Removes the entry at `pos` and returns it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is out of bounds.
+    pub fn remove(&mut self, pos: usize, ops: &mut OpsCounter) -> Entry {
+        ops.charge_log(self.entries.len());
+        self.entries.remove(pos)
+    }
+
+    /// Tests feasibility: walking the schedule head-to-tail and accumulating
+    /// each job's remaining execution time from `ctx.now`, every entry must
+    /// finish at or before its effective critical time. Charges one
+    /// operation per entry.
+    ///
+    /// Jobs missing from the context are skipped (they resolved since the
+    /// schedule was copied).
+    pub fn is_feasible(&self, ctx: &SchedulerContext<'_>, ops: &mut OpsCounter) -> bool {
+        let mut elapsed: u64 = 0;
+        for entry in &self.entries {
+            ops.tick();
+            let Some(view) = ctx.job(entry.job) else { continue };
+            elapsed += view.remaining;
+            if ctx.now + elapsed > entry.effective_critical_time {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lfrt_sim::{JobView, TaskId};
+    use lfrt_tuf::Tuf;
+
+    fn j(i: usize) -> JobId {
+        JobId::new(i)
+    }
+
+    #[test]
+    fn ecf_order_maintained() {
+        let mut s = TentativeSchedule::new();
+        let mut ops = OpsCounter::new();
+        s.insert_before(j(1), 300, None, &mut ops);
+        s.insert_before(j(2), 100, None, &mut ops);
+        s.insert_before(j(3), 200, None, &mut ops);
+        assert_eq!(s.jobs(), vec![j(2), j(3), j(1)]);
+    }
+
+    #[test]
+    fn tie_inserts_before_equal_entries() {
+        let mut s = TentativeSchedule::new();
+        let mut ops = OpsCounter::new();
+        s.insert_before(j(1), 100, None, &mut ops);
+        s.insert_before(j(2), 100, None, &mut ops);
+        assert_eq!(s.jobs(), vec![j(2), j(1)]);
+    }
+
+    #[test]
+    fn dependency_limit_advances_critical_time() {
+        // Paper Figure 4, Case 2: dependent T2 (C=500) must precede T1
+        // (C=200); T2 is inserted before T1 with C2 := C1 = 200.
+        let mut s = TentativeSchedule::new();
+        let mut ops = OpsCounter::new();
+        let p1 = s.insert_before(j(1), 200, None, &mut ops);
+        let p2 = s.insert_before(j(2), 500, Some(p1), &mut ops);
+        assert_eq!(p2, 0);
+        assert_eq!(s.jobs(), vec![j(2), j(1)]);
+        assert_eq!(s.entries()[0].effective_critical_time, 200);
+    }
+
+    #[test]
+    fn dependency_limit_case_one_keeps_ecf_position() {
+        // Case 1: C2 < C1 — ECF order already satisfies the dependency.
+        let mut s = TentativeSchedule::new();
+        let mut ops = OpsCounter::new();
+        let p1 = s.insert_before(j(1), 500, None, &mut ops);
+        let p2 = s.insert_before(j(2), 200, Some(p1), &mut ops);
+        assert_eq!(p2, 0);
+        assert_eq!(s.entries()[0].effective_critical_time, 200, "unchanged");
+    }
+
+    #[test]
+    fn remove_and_position() {
+        let mut s = TentativeSchedule::new();
+        let mut ops = OpsCounter::new();
+        s.insert_before(j(1), 100, None, &mut ops);
+        s.insert_before(j(2), 200, None, &mut ops);
+        assert_eq!(s.position(j(2), &mut ops), Some(1));
+        let removed = s.remove(1, &mut ops);
+        assert_eq!(removed.job, j(2));
+        assert_eq!(s.position(j(2), &mut ops), None);
+        assert_eq!(s.len(), 1);
+    }
+
+    fn feasibility_ctx<'a>(tuf: &'a Tuf, remainings: &[(usize, u64)]) -> SchedulerContext<'a> {
+        SchedulerContext {
+            now: 0,
+            jobs: remainings
+                .iter()
+                .map(|&(id, remaining)| JobView {
+                    id: JobId::new(id),
+                    task: TaskId::new(0),
+                    arrival: 0,
+                    absolute_critical_time: 1_000,
+                    window: 1_000,
+                    tuf,
+                    remaining,
+                    blocked_on: None,
+                    holds: Vec::new(),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn feasibility_accumulates_remaining() {
+        let tuf = Tuf::step(1.0, 1_000).expect("valid");
+        let ctx = feasibility_ctx(&tuf, &[(1, 100), (2, 100)]);
+        let mut s = TentativeSchedule::new();
+        let mut ops = OpsCounter::new();
+        s.insert_before(j(1), 100, None, &mut ops);
+        s.insert_before(j(2), 200, None, &mut ops);
+        assert!(s.is_feasible(&ctx, &mut ops));
+        // Tighten: second job's critical time now too early (cumulative
+        // 200 > 150).
+        let mut s2 = TentativeSchedule::new();
+        s2.insert_before(j(1), 100, None, &mut ops);
+        s2.insert_before(j(2), 150, None, &mut ops);
+        assert!(!s2.is_feasible(&ctx, &mut ops));
+    }
+
+    #[test]
+    fn empty_schedule_is_feasible() {
+        let tuf = Tuf::step(1.0, 1_000).expect("valid");
+        let ctx = feasibility_ctx(&tuf, &[]);
+        assert!(TentativeSchedule::new().is_feasible(&ctx, &mut OpsCounter::new()));
+    }
+}

@@ -1,0 +1,174 @@
+//! §4.1 of the paper: the preemption taxonomy of scheduler classes
+//! (static / job-level dynamic / fully dynamic), Figure 6's mutual
+//! preemption, and Lemma 1's bound of preemptions by scheduling events.
+
+use lfrt_core::{Edf, Llf, Rm, RuaLockFree};
+use lfrt_sim::{
+    Engine, Segment, SharingMode, SimConfig, SimOutcome, TaskSpec, UaScheduler,
+};
+use lfrt_tuf::Tuf;
+use lfrt_uam::{ArrivalTrace, Uam};
+
+fn compute_task(name: &str, critical: u64, window: u64, compute: u64) -> TaskSpec {
+    TaskSpec::builder(name)
+        .tuf(Tuf::step(1.0, critical).expect("valid tuf"))
+        .uam(Uam::periodic(window))
+        .segments(vec![Segment::Compute(compute)])
+        .build()
+        .expect("valid task")
+}
+
+/// Two long jobs with nearly equal laxities plus a stream of tiny jobs whose
+/// arrivals create scheduling events. Under a fully-dynamic discipline (LLF)
+/// the two long jobs keep overtaking each other at every event — the mutual
+/// preemption of Figure 6. Under EDF (job-level dynamic) their order is
+/// fixed at release and they never swap.
+fn figure6_scenario<S: UaScheduler>(scheduler: S) -> SimOutcome {
+    let long_a = compute_task("long-a", 40_000, 1_000_000, 9_000);
+    let long_b = compute_task("long-b", 40_100, 1_000_000, 9_000);
+    let ticker = compute_task("ticker", 900, 1_000, 10);
+    let tick_arrivals: Vec<u64> = (1..30).map(|k| k * 1_000).collect();
+    Engine::new(
+        vec![long_a, long_b, ticker],
+        vec![
+            ArrivalTrace::new(vec![0]),
+            ArrivalTrace::new(vec![0]),
+            ArrivalTrace::new(tick_arrivals),
+        ],
+        SimConfig::new(SharingMode::Ideal),
+    )
+    .expect("valid engine")
+    .run(scheduler)
+}
+
+fn long_job_preemptions(outcome: &SimOutcome) -> u64 {
+    outcome
+        .records
+        .iter()
+        .filter(|r| r.task.index() < 2)
+        .map(|r| r.preemptions)
+        .sum()
+}
+
+#[test]
+fn figure6_llf_mutually_preempts_edf_does_not() {
+    let llf = figure6_scenario(Llf::new());
+    let edf = figure6_scenario(Edf::new());
+    assert_eq!(llf.metrics.completed(), edf.metrics.completed());
+    assert!(long_job_preemptions(&llf) > 0);
+    let completion = |outcome: &SimOutcome, task: usize| {
+        outcome
+            .records
+            .iter()
+            .find(|r| r.task.index() == task)
+            .expect("long job resolved")
+            .resolved_at
+    };
+    // EDF fixes the order at release: long-a (earlier deadline) finishes
+    // completely before long-b executes a single tick.
+    let (edf_a, edf_b) = (completion(&edf, 0), completion(&edf, 1));
+    assert!(edf_b > edf_a + 8_000, "EDF serializes the long jobs");
+    // LLF's laxities cross at every scheduling event, so the two jobs
+    // ping-pong (Figure 6) and finish nearly together — and long-a finishes
+    // far later than it would under EDF.
+    let (llf_a, llf_b) = (completion(&llf, 0), completion(&llf, 1));
+    assert!(
+        llf_a > edf_a + 5_000,
+        "mutual preemption must delay long-a: llf {llf_a} vs edf {edf_a}"
+    );
+    assert!(
+        llf_a.abs_diff(llf_b) < 3_000,
+        "ping-ponging jobs finish together: {llf_a} vs {llf_b}"
+    );
+}
+
+#[test]
+fn lemma1_preemptions_bounded_by_scheduling_events() {
+    // Lemma 1: a job scheduled by a UA scheduler is preempted at most as
+    // many times as the scheduler is invoked. Check the aggregate (which
+    // dominates the per-job statement) on a random bursty workload, for
+    // every fully-dynamic discipline we ship.
+    let spec = lfrt_sim::workload::WorkloadSpec {
+        target_load: 0.9,
+        ..lfrt_sim::workload::WorkloadSpec::paper_baseline(21)
+    };
+    let run = |sched: &str| -> SimOutcome {
+        let (tasks, traces) = spec.build().expect("valid workload");
+        let engine = Engine::new(
+            tasks,
+            traces,
+            SimConfig::new(SharingMode::LockFree { access_ticks: 10 }),
+        )
+        .expect("valid engine");
+        match sched {
+            "rua" => engine.run(RuaLockFree::new()),
+            "llf" => engine.run(Llf::new()),
+            _ => engine.run(Edf::new()),
+        }
+    };
+    for sched in ["rua", "llf", "edf"] {
+        let outcome = run(sched);
+        assert!(
+            outcome.metrics.preemptions() <= outcome.metrics.sched_invocations,
+            "{sched}: {} preemptions > {} scheduler invocations",
+            outcome.metrics.preemptions(),
+            outcome.metrics.sched_invocations
+        );
+        assert!(outcome.metrics.preemptions() > 0, "{sched}: workload must preempt");
+    }
+}
+
+#[test]
+fn rm_preemptions_bounded_by_higher_priority_releases() {
+    // Static priorities: a job can only be preempted by releases of
+    // higher-priority (shorter-window) tasks, so total preemptions are
+    // bounded by total releases of the highest-rate task.
+    let fast = compute_task("fast", 900, 1_000, 100);
+    let slow = compute_task("slow", 9_000, 10_000, 3_000);
+    let outcome = Engine::new(
+        vec![fast, slow],
+        vec![
+            ArrivalTrace::new((0..50).map(|k| 500 + k * 1_000).collect()),
+            ArrivalTrace::new((0..5).map(|k| k * 10_000).collect()),
+        ],
+        SimConfig::new(SharingMode::Ideal),
+    )
+    .expect("valid engine")
+    .run(Rm::new());
+    assert_eq!(outcome.metrics.completed(), 55, "underloaded RM meets everything");
+    let slow_preemptions: u64 = outcome
+        .records
+        .iter()
+        .filter(|r| r.task.index() == 1)
+        .map(|r| r.preemptions)
+        .sum();
+    // 50 fast releases is the hard ceiling; each slow job (3 ms) overlaps
+    // at most 4 fast windows, so 5 jobs see at most 20.
+    assert!(slow_preemptions > 0);
+    assert!(slow_preemptions <= 20, "static priorities: got {slow_preemptions}");
+    // And the fast task, being highest priority, is never preempted.
+    let fast_preemptions: u64 = outcome
+        .records
+        .iter()
+        .filter(|r| r.task.index() == 0)
+        .map(|r| r.preemptions)
+        .sum();
+    assert_eq!(fast_preemptions, 0);
+}
+
+#[test]
+fn edf_job_level_dynamic_no_mutual_preemption_between_two_jobs() {
+    // Two jobs alone: under EDF the earlier-deadline job runs to completion
+    // first; at most one preemption total can occur (at the second arrival).
+    let a = compute_task("a", 5_000, 100_000, 2_000);
+    let b = compute_task("b", 4_000, 100_000, 1_000);
+    let outcome = Engine::new(
+        vec![a, b],
+        vec![ArrivalTrace::new(vec![0]), ArrivalTrace::new(vec![500])],
+        SimConfig::new(SharingMode::Ideal),
+    )
+    .expect("valid engine")
+    .run(Edf::new());
+    assert_eq!(outcome.metrics.completed(), 2);
+    assert!(outcome.metrics.preemptions() <= 1);
+}

@@ -1,0 +1,327 @@
+//! Integration tests: the RUA variants driving the simulator exhibit the
+//! paper's qualitative behaviours.
+
+use lfrt_core::{Edf, RuaLockBased, RuaLockFree, RuaLockFreeSampled};
+use lfrt_sim::{
+    AccessKind, Engine, ObjectId, Segment, SharingMode, SimConfig, SimOutcome, TaskSpec,
+    UaScheduler,
+};
+use lfrt_tuf::Tuf;
+use lfrt_uam::{ArrivalTrace, Uam};
+
+fn step_task(name: &str, utility: f64, critical: u64, compute: u64) -> TaskSpec {
+    TaskSpec::builder(name)
+        .tuf(Tuf::step(utility, critical).expect("valid tuf"))
+        .uam(Uam::periodic(critical.max(1)))
+        .segments(vec![Segment::Compute(compute)])
+        .build()
+        .expect("valid task")
+}
+
+fn access(object: usize) -> Segment {
+    Segment::Access { object: ObjectId::new(object), kind: AccessKind::Write }
+}
+
+fn run<S: UaScheduler>(
+    tasks: Vec<TaskSpec>,
+    traces: Vec<ArrivalTrace>,
+    sharing: SharingMode,
+    scheduler: S,
+) -> SimOutcome {
+    Engine::new(tasks, traces, SimConfig::new(sharing))
+        .expect("valid engine")
+        .run(scheduler)
+}
+
+#[test]
+fn underload_rua_meets_everything_like_edf() {
+    // Three periodic step-TUF tasks at 30% load: EDF and both RUAs must meet
+    // every critical time (RUA defaults to ECF during underloads).
+    let mk_tasks = || {
+        vec![
+            step_task("a", 1.0, 1_000, 100),
+            step_task("b", 2.0, 2_000, 200),
+            step_task("c", 3.0, 4_000, 300),
+        ]
+    };
+    let mk_traces = || {
+        vec![
+            ArrivalTrace::new((0..10).map(|i| i * 1_000).collect()),
+            ArrivalTrace::new((0..5).map(|i| i * 2_000).collect()),
+            ArrivalTrace::new((0..3).map(|i| i * 4_000).collect()),
+        ]
+    };
+    for outcome in [
+        run(mk_tasks(), mk_traces(), SharingMode::Ideal, Edf::new()),
+        run(mk_tasks(), mk_traces(), SharingMode::Ideal, RuaLockFree::new()),
+        run(mk_tasks(), mk_traces(), SharingMode::Ideal, RuaLockBased::new()),
+    ] {
+        assert_eq!(outcome.metrics.aborted(), 0);
+        assert!((outcome.metrics.aur() - 1.0).abs() < 1e-12);
+        assert!((outcome.metrics.cmr() - 1.0).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn overload_rua_favors_importance_edf_favors_urgency() {
+    // Two simultaneous jobs, each needing 600 ticks, critical times 700 and
+    // 1000: only one can meet its constraint. The later-deadline job is 10×
+    // more important.
+    let urgent_cheap = step_task("urgent", 1.0, 700, 600);
+    let late_valuable = step_task("valuable", 10.0, 1_000, 600);
+    let traces = || vec![ArrivalTrace::new(vec![0]), ArrivalTrace::new(vec![0])];
+
+    // EDF runs the urgent job first; the valuable one then misses
+    // (600 + 600 > 1000) — total utility 1.
+    let edf = run(
+        vec![urgent_cheap.clone(), late_valuable.clone()],
+        traces(),
+        SharingMode::Ideal,
+        Edf::new(),
+    );
+    let edf_utility: f64 = edf.records.iter().map(|r| r.utility).sum();
+    assert_eq!(edf_utility, 1.0);
+
+    // RUA rejects the low-PUD urgent job and banks the valuable one.
+    let rua = run(
+        vec![urgent_cheap, late_valuable],
+        traces(),
+        SharingMode::Ideal,
+        RuaLockFree::new(),
+    );
+    let rua_utility: f64 = rua.records.iter().map(|r| r.utility).sum();
+    assert_eq!(rua_utility, 10.0);
+    let valuable = rua.records.iter().find(|r| r.task.index() == 1).expect("ran");
+    assert!(valuable.completed);
+}
+
+#[test]
+fn lock_based_rua_runs_lock_holder_before_blocked_high_pud_job() {
+    // The holder (low utility) grabs the object; a far more important job
+    // then blocks on it. RUA must schedule the holder (the head of the
+    // important job's dependency chain) so the important job can proceed.
+    let holder = TaskSpec::builder("holder")
+        .tuf(Tuf::step(1.0, 10_000).expect("valid"))
+        .uam(Uam::periodic(100_000))
+        .segments(vec![Segment::Compute(10), access(0), Segment::Compute(500)])
+        .build()
+        .expect("valid task");
+    let important = TaskSpec::builder("important")
+        .tuf(Tuf::step(100.0, 2_000).expect("valid"))
+        .uam(Uam::periodic(100_000))
+        .segments(vec![access(0)])
+        .build()
+        .expect("valid task");
+    let outcome = run(
+        vec![holder, important],
+        vec![ArrivalTrace::new(vec![0]), ArrivalTrace::new(vec![50])],
+        SharingMode::LockBased { access_ticks: 400 },
+        RuaLockBased::new(),
+    );
+    assert_eq!(outcome.metrics.completed(), 2);
+    let important_rec = outcome.records.iter().find(|r| r.task.index() == 1).expect("ran");
+    assert!(important_rec.completed, "dependency chain must be honoured");
+    // Holder's critical section runs 10..410; important blocked at 50,
+    // acquires at 410, finishes at 810 — before its 2050 critical time.
+    assert!(important_rec.resolved_at <= 2_000);
+    assert_eq!(important_rec.blockings, 1);
+}
+
+#[test]
+fn lock_free_rua_invokes_scheduler_less_often() {
+    // Same lock-heavy workload under both disciplines: lock-based RUA fires
+    // on lock/unlock events too, so it must be invoked strictly more often.
+    let mk = || {
+        (0..4)
+            .map(|i| {
+                TaskSpec::builder(format!("t{i}"))
+                    .tuf(Tuf::step(1.0 + i as f64, 5_000).expect("valid"))
+                    .uam(Uam::periodic(5_000))
+                    .segments(vec![
+                        Segment::Compute(50),
+                        access(0),
+                        Segment::Compute(50),
+                        access(1),
+                    ])
+                    .build()
+                    .expect("valid task")
+            })
+            .collect::<Vec<_>>()
+    };
+    let traces = || {
+        (0..4)
+            .map(|i| ArrivalTrace::new((0..5).map(|k| k * 5_000 + i * 10).collect()))
+            .collect::<Vec<_>>()
+    };
+    let lock_based = run(
+        mk(),
+        traces(),
+        SharingMode::LockBased { access_ticks: 30 },
+        RuaLockBased::new(),
+    );
+    let lock_free = run(
+        mk(),
+        traces(),
+        SharingMode::LockFree { access_ticks: 10 },
+        RuaLockFree::new(),
+    );
+    assert!(
+        lock_based.metrics.sched_invocations > lock_free.metrics.sched_invocations,
+        "lock events must add scheduler activations ({} vs {})",
+        lock_based.metrics.sched_invocations,
+        lock_free.metrics.sched_invocations,
+    );
+    assert_eq!(lock_free.metrics.blockings(), 0);
+}
+
+#[test]
+fn rejected_job_reconsidered_after_situation_improves() {
+    // At t=0 two jobs overload the processor and RUA rejects the cheap one;
+    // its critical time is generous, so once the valuable job finishes the
+    // cheap one still completes.
+    let cheap = step_task("cheap", 1.0, 5_000, 600);
+    let valuable = step_task("valuable", 10.0, 700, 600);
+    let outcome = run(
+        vec![cheap, valuable],
+        vec![ArrivalTrace::new(vec![0]), ArrivalTrace::new(vec![0])],
+        SharingMode::Ideal,
+        RuaLockFree::new(),
+    );
+    assert_eq!(outcome.metrics.completed(), 2);
+    let cheap_rec = outcome.records.iter().find(|r| r.task.index() == 0).expect("ran");
+    assert_eq!(cheap_rec.resolved_at, 1_200, "cheap job runs second");
+}
+
+#[test]
+fn non_step_tufs_prefer_early_completion() {
+    // A linearly-decreasing TUF accrues more when finished earlier; with two
+    // equal-importance jobs, RUA still completes both, and total utility
+    // reflects one early and one late finish.
+    let mk = |name: &str| {
+        TaskSpec::builder(name)
+            .tuf(Tuf::linear_decreasing(10.0, 1_000).expect("valid"))
+            .uam(Uam::periodic(10_000))
+            .segments(vec![Segment::Compute(200)])
+            .build()
+            .expect("valid task")
+    };
+    let outcome = run(
+        vec![mk("x"), mk("y")],
+        vec![ArrivalTrace::new(vec![0]), ArrivalTrace::new(vec![0])],
+        SharingMode::Ideal,
+        RuaLockFree::new(),
+    );
+    assert_eq!(outcome.metrics.completed(), 2);
+    let total: f64 = outcome.records.iter().map(|r| r.utility).sum();
+    // First finishes at 200 (utility 8), second at 400 (utility 6).
+    assert!((total - 14.0).abs() < 1e-9, "total utility {total}");
+}
+
+#[test]
+fn lock_free_retries_happen_under_contention_but_jobs_finish() {
+    let mk = |i: usize, critical: u64| {
+        TaskSpec::builder(format!("t{i}"))
+            .tuf(Tuf::step(1.0, critical).expect("valid"))
+            .uam(Uam::periodic(10_000))
+            .segments(vec![Segment::Compute(20), access(0), Segment::Compute(20)])
+            .build()
+            .expect("valid task")
+    };
+    // Staggered arrivals force preemption inside accesses.
+    let outcome = run(
+        vec![mk(0, 9_000), mk(1, 5_000), mk(2, 2_000)],
+        vec![
+            ArrivalTrace::new(vec![0]),
+            ArrivalTrace::new(vec![25]),
+            ArrivalTrace::new(vec![50]),
+        ],
+        SharingMode::LockFree { access_ticks: 100 },
+        RuaLockFree::new(),
+    );
+    assert_eq!(outcome.metrics.completed(), 3);
+    assert!(outcome.metrics.retries() > 0, "contended accesses must retry");
+}
+
+#[test]
+fn both_rua_variants_are_deterministic_on_random_workloads() {
+    let spec = lfrt_sim::workload::WorkloadSpec::paper_baseline(13);
+    let once = |sched: bool| {
+        let (tasks, traces) = spec.build().expect("valid workload");
+        if sched {
+            run(tasks, traces, SharingMode::LockFree { access_ticks: 10 }, RuaLockFree::new())
+        } else {
+            run(tasks, traces, SharingMode::LockBased { access_ticks: 30 }, RuaLockBased::new())
+        }
+    };
+    assert_eq!(once(true).records, once(true).records);
+    assert_eq!(once(false).records, once(false).records);
+}
+
+#[test]
+fn random_underload_workload_all_disciplines_complete_everything() {
+    let spec = lfrt_sim::workload::WorkloadSpec {
+        target_load: 0.2,
+        horizon: 500_000,
+        ..lfrt_sim::workload::WorkloadSpec::paper_baseline(99)
+    };
+    let (tasks, traces) = spec.build().expect("valid workload");
+    let lf = run(
+        tasks.clone(),
+        traces.clone(),
+        SharingMode::LockFree { access_ticks: 5 },
+        RuaLockFree::new(),
+    );
+    assert!(lf.metrics.cmr() > 0.99, "lock-free underload CMR {}", lf.metrics.cmr());
+    let lb = run(
+        tasks,
+        traces,
+        SharingMode::LockBased { access_ticks: 5 },
+        RuaLockBased::new(),
+    );
+    assert!(lb.metrics.cmr() > 0.99, "lock-based underload CMR {}", lb.metrics.cmr());
+}
+
+#[test]
+fn sampled_feasibility_loses_little_utility() {
+    // §3.6's randomized-feasibility optimization: on the paper-style
+    // workloads, the sampled variant accrues nearly the utility of exact
+    // lock-free RUA while charging far fewer scheduler operations.
+    let mut exact_total = 0.0;
+    let mut sampled_total = 0.0;
+    let mut exact_ops = 0u64;
+    let mut sampled_ops = 0u64;
+    for seed in 0..5 {
+        let spec = lfrt_sim::workload::WorkloadSpec {
+            target_load: 1.1,
+            window_range: (6_000, 18_000),
+            ..lfrt_sim::workload::WorkloadSpec::paper_baseline(seed)
+        };
+        let (tasks, traces) = spec.build().expect("valid workload");
+        let exact = Engine::new(
+            tasks.clone(),
+            traces.clone(),
+            lfrt_sim::SimConfig::new(SharingMode::LockFree { access_ticks: 10 }),
+        )
+        .expect("valid engine")
+        .run(RuaLockFree::new());
+        let sampled = Engine::new(
+            tasks,
+            traces,
+            lfrt_sim::SimConfig::new(SharingMode::LockFree { access_ticks: 10 }),
+        )
+        .expect("valid engine")
+        .run(RuaLockFreeSampled::new(2, seed));
+        exact_total += exact.metrics.aur();
+        sampled_total += sampled.metrics.aur();
+        exact_ops += exact.metrics.sched_ops;
+        sampled_ops += sampled.metrics.sched_ops;
+    }
+    assert!(
+        sampled_total >= exact_total - 0.25,
+        "sampled AUR {sampled_total:.3} too far below exact {exact_total:.3}"
+    );
+    assert!(
+        sampled_ops < exact_ops,
+        "sampling must reduce charged scheduler work ({sampled_ops} vs {exact_ops})"
+    );
+}

@@ -1,0 +1,365 @@
+use std::fmt;
+use std::sync::atomic::Ordering::{Acquire, Relaxed, Release};
+
+use crossbeam::epoch::{self, Atomic, Guard, Owned, Shared};
+
+use crate::stats::OpStats;
+
+/// A lock-free sorted linked list (set of `u64` keys).
+///
+/// Lock-free linked lists are the third classic structure the paper's §1.1
+/// surveys (Valois, PODC'95 \[26\]); this implementation follows the
+/// refinement by Harris: logically delete a node by marking its `next`
+/// pointer (the mark is packed into the pointer's low tag bit), then
+/// physically unlink during traversal. Memory is reclaimed through
+/// `crossbeam`'s epochs.
+///
+/// All three operations (`insert`, `remove`, `contains`) are lock-free:
+/// some operation always completes; an individual operation retries when a
+/// concurrent CAS wins, and every retry is counted in [`LockFreeList::stats`].
+///
+/// # Examples
+///
+/// ```
+/// use lfrt_lockfree::LockFreeList;
+///
+/// let list = LockFreeList::new();
+/// assert!(list.insert(3));
+/// assert!(list.insert(1));
+/// assert!(!list.insert(3), "duplicate");
+/// assert!(list.contains(1));
+/// assert!(list.remove(1));
+/// assert!(!list.contains(1));
+/// ```
+pub struct LockFreeList {
+    head: Atomic<Node>,
+    stats: OpStats,
+}
+
+struct Node {
+    key: u64,
+    next: Atomic<Node>,
+}
+
+/// Tag bit 1 on `next` marks the owning node as logically deleted.
+const MARK: usize = 1;
+
+// SAFETY: all shared mutation is CAS on `Atomic` pointers; reclamation is
+// epoch-protected; keys are plain `u64`s.
+unsafe impl Send for LockFreeList {}
+// SAFETY: as above.
+unsafe impl Sync for LockFreeList {}
+
+impl LockFreeList {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        Self { head: Atomic::null(), stats: OpStats::new() }
+    }
+
+    /// Inserts `key`; returns `false` if it was already present.
+    pub fn insert(&self, key: u64) -> bool {
+        let guard = &epoch::pin();
+        let mut new = Owned::new(Node { key, next: Atomic::null() });
+        loop {
+            self.stats.attempt();
+            let Some((prev, curr)) = self.search(key, guard) else {
+                self.stats.retry();
+                continue;
+            };
+            // SAFETY: `curr` protected by `guard`.
+            if let Some(node) = unsafe { curr.as_ref() } {
+                if node.key == key {
+                    return false;
+                }
+            }
+            new.next.store(curr, Relaxed);
+            match prev.compare_exchange(curr, new, Release, Relaxed, guard) {
+                Ok(_) => return true,
+                Err(e) => {
+                    new = e.new;
+                    self.stats.retry();
+                }
+            }
+        }
+    }
+
+    /// Removes `key`; returns `false` if it was absent.
+    pub fn remove(&self, key: u64) -> bool {
+        let guard = &epoch::pin();
+        loop {
+            self.stats.attempt();
+            let Some((prev, curr)) = self.search(key, guard) else {
+                self.stats.retry();
+                continue;
+            };
+            // SAFETY: `curr` protected by `guard`.
+            let Some(node) = (unsafe { curr.as_ref() }) else { return false };
+            if node.key != key {
+                return false;
+            }
+            let next = node.next.load(Acquire, guard);
+            if next.tag() & MARK != 0 {
+                // Someone else is already deleting it.
+                self.stats.retry();
+                continue;
+            }
+            // Logical deletion: mark the node's next pointer.
+            if node
+                .next
+                .compare_exchange(next, next.with_tag(next.tag() | MARK), Release, Relaxed, guard)
+                .is_err()
+            {
+                self.stats.retry();
+                continue;
+            }
+            // Physical unlink (best effort; search() also helps).
+            if prev
+                .compare_exchange(curr, next.with_tag(0), Release, Relaxed, guard)
+                .is_ok()
+            {
+                // SAFETY: unlinked; destruction deferred past all pins.
+                unsafe { guard.defer_destroy(curr) };
+            }
+            return true;
+        }
+    }
+
+    /// Whether `key` is present (and not logically deleted).
+    pub fn contains(&self, key: u64) -> bool {
+        let guard = &epoch::pin();
+        let mut curr = self.head.load(Acquire, guard);
+        // SAFETY: every dereferenced pointer was loaded under `guard`.
+        while let Some(node) = unsafe { curr.as_ref() } {
+            let next = node.next.load(Acquire, guard);
+            if node.key >= key {
+                return node.key == key && next.tag() & MARK == 0;
+            }
+            curr = next.with_tag(0);
+        }
+        false
+    }
+
+    /// Snapshot of the current keys, in order (racy under concurrency).
+    pub fn to_vec(&self) -> Vec<u64> {
+        let guard = &epoch::pin();
+        let mut out = Vec::new();
+        let mut curr = self.head.load(Acquire, guard);
+        // SAFETY: protected by `guard`.
+        while let Some(node) = unsafe { curr.as_ref() } {
+            let next = node.next.load(Acquire, guard);
+            if next.tag() & MARK == 0 {
+                out.push(node.key);
+            }
+            curr = next.with_tag(0);
+        }
+        out
+    }
+
+    /// Number of (unmarked) keys — a racy snapshot.
+    pub fn len(&self) -> usize {
+        self.to_vec().len()
+    }
+
+    /// Whether the list is observed empty.
+    pub fn is_empty(&self) -> bool {
+        self.to_vec().is_empty()
+    }
+
+    /// The attempt/retry counters of this list.
+    pub fn stats(&self) -> &OpStats {
+        &self.stats
+    }
+
+    /// Finds the first node with `node.key >= key`, unlinking marked nodes
+    /// along the way. Returns `(prev_link, curr)` where `*prev_link`'s
+    /// successor is `curr`; `None` means a helping CAS failed and the caller
+    /// should restart.
+    fn search<'g>(
+        &'g self,
+        key: u64,
+        guard: &'g Guard,
+    ) -> Option<(&'g Atomic<Node>, Shared<'g, Node>)> {
+        let mut prev: &Atomic<Node> = &self.head;
+        let mut curr = prev.load(Acquire, guard);
+        loop {
+            // SAFETY: protected by `guard`.
+            let Some(node) = (unsafe { curr.as_ref() }) else {
+                return Some((prev, curr));
+            };
+            let next = node.next.load(Acquire, guard);
+            if next.tag() & MARK != 0 {
+                // Help unlink the logically deleted node.
+                match prev.compare_exchange(
+                    curr.with_tag(0),
+                    next.with_tag(0),
+                    Release,
+                    Relaxed,
+                    guard,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: unlinked; deferred destruction.
+                        unsafe { guard.defer_destroy(curr) };
+                        curr = next.with_tag(0);
+                        continue;
+                    }
+                    Err(_) => return None,
+                }
+            }
+            if node.key >= key {
+                return Some((prev, curr));
+            }
+            prev = &node.next;
+            curr = next.with_tag(0);
+        }
+    }
+}
+
+impl Default for LockFreeList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for LockFreeList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LockFreeList")
+            .field("stats", &self.stats.snapshot())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Drop for LockFreeList {
+    fn drop(&mut self) {
+        // SAFETY: `&mut self` guarantees exclusive access.
+        unsafe {
+            let guard = epoch::unprotected();
+            let mut node = self.head.load(Relaxed, guard);
+            while !node.is_null() {
+                let next = node.deref().next.load(Relaxed, guard).with_tag(0);
+                drop(node.into_owned());
+                node = next;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sorted_insertion() {
+        let list = LockFreeList::new();
+        for k in [5u64, 1, 9, 3, 7] {
+            assert!(list.insert(k));
+        }
+        assert_eq!(list.to_vec(), vec![1, 3, 5, 7, 9]);
+        assert_eq!(list.len(), 5);
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        let list = LockFreeList::new();
+        assert!(list.insert(4));
+        assert!(!list.insert(4));
+        assert_eq!(list.len(), 1);
+    }
+
+    #[test]
+    fn remove_and_contains() {
+        let list = LockFreeList::new();
+        for k in 0..10 {
+            list.insert(k);
+        }
+        assert!(list.remove(5));
+        assert!(!list.remove(5));
+        assert!(!list.contains(5));
+        assert!(list.contains(4));
+        assert_eq!(list.to_vec(), vec![0, 1, 2, 3, 4, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn remove_head_and_tail() {
+        let list = LockFreeList::new();
+        for k in [1u64, 2, 3] {
+            list.insert(k);
+        }
+        assert!(list.remove(1));
+        assert!(list.remove(3));
+        assert_eq!(list.to_vec(), vec![2]);
+    }
+
+    #[test]
+    fn empty_list_operations() {
+        let list = LockFreeList::new();
+        assert!(list.is_empty());
+        assert!(!list.contains(0));
+        assert!(!list.remove(0));
+    }
+
+    #[test]
+    fn drop_frees_all_nodes() {
+        let list = LockFreeList::new();
+        for k in 0..100 {
+            list.insert(k);
+        }
+        drop(list);
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts_all_land() {
+        const THREADS: u64 = 4;
+        const PER_THREAD: u64 = 500;
+        let list = Arc::new(LockFreeList::new());
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let list = Arc::clone(&list);
+                std::thread::spawn(move || {
+                    for i in 0..PER_THREAD {
+                        assert!(list.insert(t * PER_THREAD + i));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("inserter panicked");
+        }
+        let v = list.to_vec();
+        assert_eq!(v.len() as u64, THREADS * PER_THREAD);
+        assert!(v.windows(2).all(|w| w[0] < w[1]), "sorted and unique");
+    }
+
+    #[test]
+    fn concurrent_insert_remove_churn() {
+        let list = Arc::new(LockFreeList::new());
+        for k in 0..200 {
+            list.insert(k);
+        }
+        let inserter = {
+            let list = Arc::clone(&list);
+            std::thread::spawn(move || {
+                for k in 200..700u64 {
+                    list.insert(k);
+                }
+            })
+        };
+        let remover = {
+            let list = Arc::clone(&list);
+            std::thread::spawn(move || {
+                let mut removed = 0;
+                for k in 0..200u64 {
+                    if list.remove(k) {
+                        removed += 1;
+                    }
+                }
+                removed
+            })
+        };
+        inserter.join().expect("inserter panicked");
+        let removed = remover.join().expect("remover panicked");
+        assert_eq!(removed, 200);
+        let v = list.to_vec();
+        assert_eq!(v, (200..700).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,198 @@
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::object::{ConcurrentQueue, ConcurrentStack};
+
+/// A mutual-exclusion FIFO queue: the lock-based counterpart of
+/// [`LockFreeQueue`](crate::LockFreeQueue).
+///
+/// Every operation acquires the mutex, so accesses serialize and contending
+/// threads block — the source of the blocking time `B_i` in the paper's
+/// sojourn-time analysis. The number of times the lock was contended is
+/// tracked for reporting.
+///
+/// # Examples
+///
+/// ```
+/// use lfrt_lockfree::{ConcurrentQueue, LockedQueue};
+///
+/// let q = LockedQueue::new();
+/// q.enqueue(7);
+/// assert_eq!(q.dequeue(), Some(7));
+/// ```
+#[derive(Debug, Default)]
+pub struct LockedQueue<T> {
+    inner: Mutex<VecDeque<T>>,
+    contended: AtomicU64,
+}
+
+impl<T> LockedQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self { inner: Mutex::new(VecDeque::new()), contended: AtomicU64::new(0) }
+    }
+
+    /// Appends `value` at the tail, blocking if the lock is held.
+    pub fn enqueue(&self, value: T) {
+        self.lock_counting().push_back(value);
+    }
+
+    /// Removes and returns the head element, blocking if the lock is held.
+    pub fn dequeue(&self) -> Option<T> {
+        self.lock_counting().pop_front()
+    }
+
+    /// Whether the queue is empty at the instant the lock is held.
+    pub fn is_empty(&self) -> bool {
+        self.lock_counting().is_empty()
+    }
+
+    /// Number of operations that found the lock already held and had to
+    /// block — the measured analogue of the paper's blocking count.
+    pub fn contended_acquisitions(&self) -> u64 {
+        self.contended.load(Ordering::Relaxed)
+    }
+
+    fn lock_counting(&self) -> parking_lot::MutexGuard<'_, VecDeque<T>> {
+        match self.inner.try_lock() {
+            Some(guard) => guard,
+            None => {
+                self.contended.fetch_add(1, Ordering::Relaxed);
+                self.inner.lock()
+            }
+        }
+    }
+}
+
+impl<T: Send> ConcurrentQueue<T> for LockedQueue<T> {
+    fn enqueue(&self, value: T) {
+        LockedQueue::enqueue(self, value);
+    }
+
+    fn dequeue(&self) -> Option<T> {
+        LockedQueue::dequeue(self)
+    }
+
+    fn is_empty(&self) -> bool {
+        LockedQueue::is_empty(self)
+    }
+}
+
+/// A mutual-exclusion LIFO stack: the lock-based counterpart of
+/// [`TreiberStack`](crate::TreiberStack).
+#[derive(Debug, Default)]
+pub struct LockedStack<T> {
+    inner: Mutex<Vec<T>>,
+    contended: AtomicU64,
+}
+
+impl<T> LockedStack<T> {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        Self { inner: Mutex::new(Vec::new()), contended: AtomicU64::new(0) }
+    }
+
+    /// Pushes `value` on top, blocking if the lock is held.
+    pub fn push(&self, value: T) {
+        self.lock_counting().push(value);
+    }
+
+    /// Pops the top element, blocking if the lock is held.
+    pub fn pop(&self) -> Option<T> {
+        self.lock_counting().pop()
+    }
+
+    /// Whether the stack is empty at the instant the lock is held.
+    pub fn is_empty(&self) -> bool {
+        self.lock_counting().is_empty()
+    }
+
+    /// Number of operations that found the lock already held.
+    pub fn contended_acquisitions(&self) -> u64 {
+        self.contended.load(Ordering::Relaxed)
+    }
+
+    fn lock_counting(&self) -> parking_lot::MutexGuard<'_, Vec<T>> {
+        match self.inner.try_lock() {
+            Some(guard) => guard,
+            None => {
+                self.contended.fetch_add(1, Ordering::Relaxed);
+                self.inner.lock()
+            }
+        }
+    }
+}
+
+impl<T: Send> ConcurrentStack<T> for LockedStack<T> {
+    fn push(&self, value: T) {
+        LockedStack::push(self, value);
+    }
+
+    fn pop(&self) -> Option<T> {
+        LockedStack::pop(self)
+    }
+
+    fn is_empty(&self) -> bool {
+        LockedStack::is_empty(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn queue_fifo() {
+        let q = LockedQueue::new();
+        q.enqueue(1);
+        q.enqueue(2);
+        assert_eq!(q.dequeue(), Some(1));
+        assert_eq!(q.dequeue(), Some(2));
+        assert_eq!(q.dequeue(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn stack_lifo() {
+        let s = LockedStack::new();
+        s.push(1);
+        s.push(2);
+        assert_eq!(s.pop(), Some(2));
+        assert_eq!(s.pop(), Some(1));
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    fn queue_concurrent_conservation() {
+        const N: usize = 4_000;
+        let q = Arc::new(LockedQueue::new());
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                for i in 0..N {
+                    q.enqueue(i);
+                }
+            })
+        };
+        let mut got = Vec::new();
+        while got.len() < N {
+            if let Some(v) = q.dequeue() {
+                got.push(v);
+            }
+        }
+        producer.join().expect("producer panicked");
+        assert_eq!(got, (0..N).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn uncontended_has_zero_contention_count() {
+        let q = LockedQueue::new();
+        for i in 0..100 {
+            q.enqueue(i);
+        }
+        assert_eq!(q.contended_acquisitions(), 0);
+    }
+}

@@ -1,0 +1,31 @@
+/// A multi-producer/multi-consumer FIFO queue shareable across threads.
+///
+/// Implemented by the lock-free [`LockFreeQueue`](crate::LockFreeQueue) and
+/// the mutual-exclusion [`LockedQueue`](crate::LockedQueue), so benchmarks
+/// and applications can swap synchronization disciplines behind one
+/// interface — the comparison at the heart of the paper's Section 5.
+pub trait ConcurrentQueue<T>: Send + Sync {
+    /// Appends `value` at the tail.
+    fn enqueue(&self, value: T);
+
+    /// Removes and returns the head element, or `None` if empty.
+    fn dequeue(&self) -> Option<T>;
+
+    /// Whether the queue is observed empty (a racy snapshot).
+    fn is_empty(&self) -> bool;
+}
+
+/// A multi-producer/multi-consumer LIFO stack shareable across threads.
+///
+/// Implemented by [`TreiberStack`](crate::TreiberStack) and
+/// [`LockedStack`](crate::LockedStack).
+pub trait ConcurrentStack<T>: Send + Sync {
+    /// Pushes `value` on top.
+    fn push(&self, value: T);
+
+    /// Pops the top element, or `None` if empty.
+    fn pop(&self) -> Option<T>;
+
+    /// Whether the stack is observed empty (a racy snapshot).
+    fn is_empty(&self) -> bool;
+}

@@ -1,0 +1,342 @@
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::sync::atomic::Ordering::{Acquire, Relaxed, Release};
+
+use crossbeam::epoch::{self, Atomic, Owned, Shared};
+
+use crate::object::ConcurrentQueue;
+use crate::stats::OpStats;
+
+/// The Michael–Scott lock-free FIFO queue (Michael & Scott, JPDC'98).
+///
+/// Multi-producer, multi-consumer, linearizable, and lock-free: some
+/// operation always completes in a finite number of steps; an individual
+/// operation may retry when a concurrent operation wins its CAS. Memory is
+/// reclaimed with `crossbeam`'s epoch scheme, standing in for the paper's
+/// type-stable node pools on QNX.
+///
+/// Retries are counted in an [`OpStats`] readable via
+/// [`LockFreeQueue::stats`] — the measured analogue of the retry count `f_i`
+/// that the paper's Theorem 2 bounds under the UAM.
+///
+/// # Examples
+///
+/// ```
+/// use lfrt_lockfree::LockFreeQueue;
+///
+/// let q = LockFreeQueue::new();
+/// q.enqueue("job");
+/// assert_eq!(q.dequeue(), Some("job"));
+/// assert!(q.is_empty());
+/// ```
+pub struct LockFreeQueue<T> {
+    head: Atomic<Node<T>>,
+    tail: Atomic<Node<T>>,
+    stats: OpStats,
+}
+
+struct Node<T> {
+    /// `None` only for the sentinel. Wrapped in `UnsafeCell` because the
+    /// dequeuer that wins the head CAS takes the value out of what is, from
+    /// the type system's perspective, a shared node.
+    data: UnsafeCell<Option<T>>,
+    next: Atomic<Node<T>>,
+}
+
+// SAFETY: the queue hands each element to exactly one consumer, and nodes are
+// reclaimed through the epoch scheme, so sending the queue (or sharing it)
+// across threads is sound exactly when `T` itself can move between threads.
+unsafe impl<T: Send> Send for LockFreeQueue<T> {}
+// SAFETY: as above; all shared-state mutation goes through atomics.
+unsafe impl<T: Send> Sync for LockFreeQueue<T> {}
+
+impl<T> LockFreeQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        let queue = Self {
+            head: Atomic::null(),
+            tail: Atomic::null(),
+            stats: OpStats::new(),
+        };
+        let sentinel = Owned::new(Node {
+            data: UnsafeCell::new(None),
+            next: Atomic::null(),
+        });
+        // SAFETY: the queue is not yet shared; no other thread can observe
+        // these stores, so the unprotected guard is sound.
+        let guard = unsafe { epoch::unprotected() };
+        let sentinel = sentinel.into_shared(guard);
+        queue.head.store(sentinel, Relaxed);
+        queue.tail.store(sentinel, Relaxed);
+        queue
+    }
+
+    /// Appends `value` at the tail.
+    ///
+    /// Lock-free: retries only when a concurrent enqueue wins the tail CAS;
+    /// each retry is recorded in [`LockFreeQueue::stats`].
+    pub fn enqueue(&self, value: T) {
+        let guard = &epoch::pin();
+        let new = Owned::new(Node {
+            data: UnsafeCell::new(Some(value)),
+            next: Atomic::null(),
+        })
+        .into_shared(guard);
+        loop {
+            self.stats.attempt();
+            let tail = self.tail.load(Acquire, guard);
+            // SAFETY: `tail` was read under `guard`, so the node cannot have
+            // been reclaimed; head/tail are never null after construction.
+            let tail_ref = unsafe { tail.deref() };
+            let next = tail_ref.next.load(Acquire, guard);
+            if !next.is_null() {
+                // Tail pointer lags behind the real tail: help advance it.
+                let _ = self
+                    .tail
+                    .compare_exchange(tail, next, Release, Relaxed, guard);
+                self.stats.retry();
+                continue;
+            }
+            match tail_ref
+                .next
+                .compare_exchange(Shared::null(), new, Release, Relaxed, guard)
+            {
+                Ok(_) => {
+                    // Swing the tail; failure is benign (someone helped).
+                    let _ = self
+                        .tail
+                        .compare_exchange(tail, new, Release, Relaxed, guard);
+                    return;
+                }
+                Err(_) => self.stats.retry(),
+            }
+        }
+    }
+
+    /// Removes and returns the element at the head, or `None` if empty.
+    pub fn dequeue(&self) -> Option<T> {
+        let guard = &epoch::pin();
+        loop {
+            self.stats.attempt();
+            let head = self.head.load(Acquire, guard);
+            // SAFETY: protected by `guard`; never null after construction.
+            let head_ref = unsafe { head.deref() };
+            let next = head_ref.next.load(Acquire, guard);
+            // SAFETY: protected by `guard`.
+            let next_ref = unsafe { next.as_ref() }?;
+            let tail = self.tail.load(Acquire, guard);
+            if tail == head {
+                // Tail lags behind a non-empty queue: help advance it.
+                let _ = self
+                    .tail
+                    .compare_exchange(tail, next, Release, Relaxed, guard);
+            }
+            match self
+                .head
+                .compare_exchange(head, next, Release, Relaxed, guard)
+            {
+                Ok(_) => {
+                    // SAFETY: winning the head CAS grants exclusive ownership
+                    // of `next`'s payload: `next` is now the sentinel, whose
+                    // data is never read again by any other operation.
+                    let data = unsafe { (*next_ref.data.get()).take() };
+                    debug_assert!(data.is_some(), "non-sentinel node had no data");
+                    // SAFETY: `head` is unlinked; defer destruction until all
+                    // pinned threads move on.
+                    unsafe { guard.defer_destroy(head) };
+                    return data;
+                }
+                Err(_) => self.stats.retry(),
+            }
+        }
+    }
+
+    /// Whether the queue is observed empty (a snapshot; other threads may
+    /// mutate concurrently).
+    pub fn is_empty(&self) -> bool {
+        let guard = &epoch::pin();
+        let head = self.head.load(Acquire, guard);
+        // SAFETY: protected by `guard`; never null after construction.
+        let head_ref = unsafe { head.deref() };
+        head_ref.next.load(Acquire, guard).is_null()
+    }
+
+    /// The attempt/retry counters of this queue.
+    pub fn stats(&self) -> &OpStats {
+        &self.stats
+    }
+}
+
+impl<T> Default for LockFreeQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> fmt::Debug for LockFreeQueue<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LockFreeQueue")
+            .field("stats", &self.stats.snapshot())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T> Drop for LockFreeQueue<T> {
+    fn drop(&mut self) {
+        // SAFETY: `&mut self` guarantees exclusive access; no other thread
+        // can be inside an operation, so walking and freeing without epoch
+        // protection is sound.
+        unsafe {
+            let guard = epoch::unprotected();
+            let mut node = self.head.load(Relaxed, guard);
+            while !node.is_null() {
+                let next = node.deref().next.load(Relaxed, guard);
+                drop(node.into_owned());
+                node = next;
+            }
+        }
+    }
+}
+
+impl<T: Send> ConcurrentQueue<T> for LockFreeQueue<T> {
+    fn enqueue(&self, value: T) {
+        LockFreeQueue::enqueue(self, value);
+    }
+
+    fn dequeue(&self) -> Option<T> {
+        LockFreeQueue::dequeue(self)
+    }
+
+    fn is_empty(&self) -> bool {
+        LockFreeQueue::is_empty(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let q = LockFreeQueue::new();
+        for i in 0..100 {
+            q.enqueue(i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.dequeue(), Some(i));
+        }
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn empty_reports_none_and_is_empty() {
+        let q: LockFreeQueue<u32> = LockFreeQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.dequeue(), None);
+        q.enqueue(1);
+        assert!(!q.is_empty());
+        q.dequeue();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_enqueue_dequeue() {
+        let q = LockFreeQueue::new();
+        q.enqueue(1);
+        q.enqueue(2);
+        assert_eq!(q.dequeue(), Some(1));
+        q.enqueue(3);
+        assert_eq!(q.dequeue(), Some(2));
+        assert_eq!(q.dequeue(), Some(3));
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn no_retries_without_contention() {
+        let q = LockFreeQueue::new();
+        for i in 0..50 {
+            q.enqueue(i);
+        }
+        while q.dequeue().is_some() {}
+        assert_eq!(q.stats().retries(), 0);
+    }
+
+    #[test]
+    fn drop_releases_remaining_elements() {
+        // Boxed values make leaks visible to sanitizers/miri.
+        let q = LockFreeQueue::new();
+        for i in 0..10 {
+            q.enqueue(Box::new(i));
+        }
+        drop(q); // must free the 10 boxes and all nodes
+    }
+
+    #[test]
+    fn concurrent_element_conservation() {
+        const PRODUCERS: usize = 4;
+        const PER_PRODUCER: usize = 2_000;
+        let q = Arc::new(LockFreeQueue::new());
+        let mut handles = Vec::new();
+        for p in 0..PRODUCERS {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..PER_PRODUCER {
+                    q.enqueue(p * PER_PRODUCER + i);
+                }
+            }));
+        }
+        let consumers: Vec<_> = (0..PRODUCERS)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while got.len() < PER_PRODUCER {
+                        if let Some(v) = q.dequeue() {
+                            got.push(v);
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("producer panicked");
+        }
+        let mut all: Vec<usize> = consumers
+            .into_iter()
+            .flat_map(|h| h.join().expect("consumer panicked"))
+            .collect();
+        all.sort_unstable();
+        let expected: Vec<usize> = (0..PRODUCERS * PER_PRODUCER).collect();
+        assert_eq!(all, expected, "every element delivered exactly once");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn per_producer_fifo_preserved() {
+        // With one producer and one consumer, global FIFO must hold even
+        // under concurrency.
+        let q = Arc::new(LockFreeQueue::new());
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                for i in 0..10_000u64 {
+                    q.enqueue(i);
+                }
+            })
+        };
+        let mut last = None;
+        let mut seen = 0;
+        while seen < 10_000 {
+            if let Some(v) = q.dequeue() {
+                if let Some(prev) = last {
+                    assert!(v > prev, "FIFO violated: {v} after {prev}");
+                }
+                last = Some(v);
+                seen += 1;
+            }
+        }
+        producer.join().expect("producer panicked");
+    }
+}

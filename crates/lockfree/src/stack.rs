@@ -1,0 +1,238 @@
+use std::fmt;
+use std::mem::ManuallyDrop;
+use std::sync::atomic::Ordering::{Acquire, Relaxed, Release};
+
+use crossbeam::epoch::{self, Atomic, Owned};
+
+use crate::object::ConcurrentStack;
+use crate::stats::OpStats;
+
+/// Treiber's lock-free LIFO stack (R. K. Treiber, IBM RJ 5118, 1986).
+///
+/// Push and pop are single-CAS operations on the top-of-stack pointer; a
+/// retry happens whenever a concurrent operation changes the top between the
+/// read and the CAS — precisely the interference the paper's Theorem 2
+/// bounds per job under the UAM.
+///
+/// # Examples
+///
+/// ```
+/// use lfrt_lockfree::TreiberStack;
+///
+/// let s = TreiberStack::new();
+/// s.push(1);
+/// s.push(2);
+/// assert_eq!(s.pop(), Some(2));
+/// assert_eq!(s.pop(), Some(1));
+/// assert_eq!(s.pop(), None);
+/// ```
+pub struct TreiberStack<T> {
+    top: Atomic<Node<T>>,
+    stats: OpStats,
+}
+
+struct Node<T> {
+    /// `ManuallyDrop` because the popping thread moves the payload out with
+    /// `ptr::read`; the node's own drop must then skip it.
+    data: ManuallyDrop<T>,
+    next: Atomic<Node<T>>,
+}
+
+// SAFETY: elements are handed to exactly one popper and reclamation is
+// epoch-protected; thread-safety reduces to `T: Send`.
+unsafe impl<T: Send> Send for TreiberStack<T> {}
+// SAFETY: as above; all shared-state mutation goes through atomics.
+unsafe impl<T: Send> Sync for TreiberStack<T> {}
+
+impl<T> TreiberStack<T> {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        Self { top: Atomic::null(), stats: OpStats::new() }
+    }
+
+    /// Pushes `value` on top of the stack.
+    pub fn push(&self, value: T) {
+        let guard = &epoch::pin();
+        let mut new = Owned::new(Node {
+            data: ManuallyDrop::new(value),
+            next: Atomic::null(),
+        });
+        loop {
+            self.stats.attempt();
+            let top = self.top.load(Acquire, guard);
+            new.next.store(top, Relaxed);
+            match self.top.compare_exchange(top, new, Release, Relaxed, guard) {
+                Ok(_) => return,
+                Err(e) => {
+                    new = e.new;
+                    self.stats.retry();
+                }
+            }
+        }
+    }
+
+    /// Pops the top element, or returns `None` if the stack is empty.
+    pub fn pop(&self) -> Option<T> {
+        let guard = &epoch::pin();
+        loop {
+            self.stats.attempt();
+            let top = self.top.load(Acquire, guard);
+            // SAFETY: protected by `guard`; `as_ref` handles null.
+            let top_ref = unsafe { top.as_ref() }?;
+            let next = top_ref.next.load(Relaxed, guard);
+            match self.top.compare_exchange(top, next, Release, Relaxed, guard) {
+                Ok(_) => {
+                    // SAFETY: winning the CAS unlinked `top`; we are the only
+                    // thread that will ever read its payload. `ManuallyDrop`
+                    // guarantees the node's deferred destruction will not
+                    // drop the payload a second time.
+                    let data =
+                        unsafe { ManuallyDrop::into_inner(std::ptr::read(&top_ref.data)) };
+                    // SAFETY: the node is unlinked; destruction is deferred
+                    // until all pinned threads move on.
+                    unsafe { guard.defer_destroy(top) };
+                    return Some(data);
+                }
+                Err(_) => self.stats.retry(),
+            }
+        }
+    }
+
+    /// Whether the stack is observed empty (a snapshot under concurrency).
+    pub fn is_empty(&self) -> bool {
+        let guard = &epoch::pin();
+        self.top.load(Acquire, guard).is_null()
+    }
+
+    /// The attempt/retry counters of this stack.
+    pub fn stats(&self) -> &OpStats {
+        &self.stats
+    }
+}
+
+impl<T> Default for TreiberStack<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> fmt::Debug for TreiberStack<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TreiberStack")
+            .field("stats", &self.stats.snapshot())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T> Drop for TreiberStack<T> {
+    fn drop(&mut self) {
+        // SAFETY: `&mut self` guarantees exclusive access. Remaining nodes
+        // still own their payloads, so drop them explicitly (ManuallyDrop
+        // would otherwise leak them).
+        unsafe {
+            let guard = epoch::unprotected();
+            let mut node = self.top.load(Relaxed, guard);
+            while !node.is_null() {
+                let next = node.deref().next.load(Relaxed, guard);
+                let mut owned = node.into_owned();
+                ManuallyDrop::drop(&mut owned.data);
+                drop(owned);
+                node = next;
+            }
+        }
+    }
+}
+
+impl<T: Send> ConcurrentStack<T> for TreiberStack<T> {
+    fn push(&self, value: T) {
+        TreiberStack::push(self, value);
+    }
+
+    fn pop(&self) -> Option<T> {
+        TreiberStack::pop(self)
+    }
+
+    fn is_empty(&self) -> bool {
+        TreiberStack::is_empty(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lifo_order_single_thread() {
+        let s = TreiberStack::new();
+        for i in 0..100 {
+            s.push(i);
+        }
+        for i in (0..100).rev() {
+            assert_eq!(s.pop(), Some(i));
+        }
+        assert_eq!(s.pop(), None);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn no_retries_without_contention() {
+        let s = TreiberStack::new();
+        for i in 0..50 {
+            s.push(i);
+        }
+        while s.pop().is_some() {}
+        assert_eq!(s.stats().retries(), 0);
+    }
+
+    #[test]
+    fn drop_releases_remaining_elements() {
+        let s = TreiberStack::new();
+        for i in 0..10 {
+            s.push(Box::new(i));
+        }
+        drop(s);
+    }
+
+    #[test]
+    fn concurrent_element_conservation() {
+        const THREADS: usize = 4;
+        const PER_THREAD: usize = 2_000;
+        let s = Arc::new(TreiberStack::new());
+        let producers: Vec<_> = (0..THREADS)
+            .map(|p| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for i in 0..PER_THREAD {
+                        s.push(p * PER_THREAD + i);
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while got.len() < PER_THREAD {
+                        if let Some(v) = s.pop() {
+                            got.push(v);
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        for h in producers {
+            h.join().expect("producer panicked");
+        }
+        let mut all: Vec<usize> = consumers
+            .into_iter()
+            .flat_map(|h| h.join().expect("consumer panicked"))
+            .collect();
+        all.sort_unstable();
+        let expected: Vec<usize> = (0..THREADS * PER_THREAD).collect();
+        assert_eq!(all, expected);
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,123 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Attempt/retry counters for a lock-free object.
+///
+/// A *retry* is a failed pass through an operation's CAS loop — the quantity
+/// the paper bounds per job in Theorem 2. An *attempt* counts every pass, so
+/// `attempts == successes + retries` and a contention-free run has
+/// `retries == 0`.
+///
+/// Counters use relaxed atomics: they are monotone statistics, not
+/// synchronization.
+#[derive(Debug, Default)]
+pub struct OpStats {
+    attempts: AtomicU64,
+    retries: AtomicU64,
+}
+
+impl OpStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one pass through an operation loop.
+    #[inline]
+    pub fn attempt(&self) {
+        self.attempts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one failed pass (the operation will retry).
+    #[inline]
+    pub fn retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total passes through operation loops so far.
+    pub fn attempts(&self) -> u64 {
+        self.attempts.load(Ordering::Relaxed)
+    }
+
+    /// Total failed passes (retries) so far.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Total successful operations so far.
+    pub fn successes(&self) -> u64 {
+        self.attempts().saturating_sub(self.retries())
+    }
+
+    /// Takes a consistent-enough snapshot for reporting.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot { attempts: self.attempts(), retries: self.retries() }
+    }
+
+    /// Resets both counters to zero.
+    pub fn reset(&self) {
+        self.attempts.store(0, Ordering::Relaxed);
+        self.retries.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of [`OpStats`] counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Total passes through operation loops.
+    pub attempts: u64,
+    /// Total failed passes.
+    pub retries: u64,
+}
+
+impl StatsSnapshot {
+    /// Successful operations in this snapshot.
+    pub fn successes(&self) -> u64 {
+        self.attempts.saturating_sub(self.retries)
+    }
+
+    /// Mean retries per successful operation, or zero if none succeeded.
+    pub fn retries_per_op(&self) -> f64 {
+        let ok = self.successes();
+        if ok == 0 {
+            0.0
+        } else {
+            self.retries as f64 / ok as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = OpStats::new();
+        s.attempt();
+        s.attempt();
+        s.retry();
+        assert_eq!(s.attempts(), 2);
+        assert_eq!(s.retries(), 1);
+        assert_eq!(s.successes(), 1);
+    }
+
+    #[test]
+    fn snapshot_and_reset() {
+        let s = OpStats::new();
+        s.attempt();
+        s.retry();
+        let snap = s.snapshot();
+        assert_eq!(snap, StatsSnapshot { attempts: 1, retries: 1 });
+        assert_eq!(snap.successes(), 0);
+        assert_eq!(snap.retries_per_op(), 0.0);
+        s.reset();
+        assert_eq!(s.attempts(), 0);
+        assert_eq!(s.retries(), 0);
+    }
+
+    #[test]
+    fn retries_per_op() {
+        let snap = StatsSnapshot { attempts: 30, retries: 10 };
+        assert!((snap.retries_per_op() - 0.5).abs() < 1e-12);
+    }
+}

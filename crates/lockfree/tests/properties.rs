@@ -1,0 +1,149 @@
+//! Property-based tests: the concurrent objects agree with sequential models
+//! and with their lock-based counterparts under arbitrary operation mixes.
+
+use lfrt_lockfree::{
+    CasRegister, ConcurrentQueue, ConcurrentStack, LockFreeQueue, LockedQueue, LockedStack,
+    TreiberStack,
+};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Push(u32),
+    Pop,
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![any::<u32>().prop_map(Op::Push), Just(Op::Pop)],
+        0..200,
+    )
+}
+
+proptest! {
+    /// The lock-free queue behaves exactly like a VecDeque when used
+    /// sequentially, for any operation mix.
+    #[test]
+    fn lockfree_queue_matches_model(ops in ops()) {
+        let q = LockFreeQueue::new();
+        let mut model = VecDeque::new();
+        for op in &ops {
+            match op {
+                Op::Push(v) => {
+                    q.enqueue(*v);
+                    model.push_back(*v);
+                }
+                Op::Pop => prop_assert_eq!(q.dequeue(), model.pop_front()),
+            }
+            prop_assert_eq!(q.is_empty(), model.is_empty());
+        }
+        // Drain fully: remaining contents agree.
+        while let Some(expected) = model.pop_front() {
+            prop_assert_eq!(q.dequeue(), Some(expected));
+        }
+        prop_assert_eq!(q.dequeue(), None);
+    }
+
+    /// Lock-free and locked queues are observationally equivalent.
+    #[test]
+    fn queues_agree(ops in ops()) {
+        let lf = LockFreeQueue::new();
+        let lk = LockedQueue::new();
+        for op in &ops {
+            match op {
+                Op::Push(v) => {
+                    ConcurrentQueue::enqueue(&lf, *v);
+                    ConcurrentQueue::enqueue(&lk, *v);
+                }
+                Op::Pop => prop_assert_eq!(
+                    ConcurrentQueue::dequeue(&lf),
+                    ConcurrentQueue::dequeue(&lk)
+                ),
+            }
+        }
+    }
+
+    /// The Treiber stack behaves exactly like a Vec when used sequentially.
+    #[test]
+    fn treiber_stack_matches_model(ops in ops()) {
+        let s = TreiberStack::new();
+        let mut model = Vec::new();
+        for op in &ops {
+            match op {
+                Op::Push(v) => {
+                    s.push(*v);
+                    model.push(*v);
+                }
+                Op::Pop => prop_assert_eq!(s.pop(), model.pop()),
+            }
+            prop_assert_eq!(s.is_empty(), model.is_empty());
+        }
+    }
+
+    /// Lock-free and locked stacks are observationally equivalent.
+    #[test]
+    fn stacks_agree(ops in ops()) {
+        let lf = TreiberStack::new();
+        let lk = LockedStack::new();
+        for op in &ops {
+            match op {
+                Op::Push(v) => {
+                    ConcurrentStack::push(&lf, *v);
+                    ConcurrentStack::push(&lk, *v);
+                }
+                Op::Pop => prop_assert_eq!(
+                    ConcurrentStack::pop(&lf),
+                    ConcurrentStack::pop(&lk)
+                ),
+            }
+        }
+    }
+
+    /// Register updates compose: applying a sequence of deltas lands on the
+    /// sum, and attempts always cover successes.
+    #[test]
+    fn register_updates_compose(deltas in proptest::collection::vec(0u64..1_000, 0..100)) {
+        let r = CasRegister::new(0);
+        for &d in &deltas {
+            r.update(|v| v + d);
+        }
+        prop_assert_eq!(r.load(), deltas.iter().sum::<u64>());
+        let snap = r.stats().snapshot();
+        prop_assert_eq!(snap.successes(), deltas.len() as u64);
+        prop_assert!(snap.attempts >= snap.retries);
+    }
+}
+
+/// Dropping a partially drained queue under concurrent churn does not lose or
+/// double-free elements (exercised with boxed payloads so sanitizers bite).
+#[test]
+fn queue_drop_under_churn() {
+    use std::sync::Arc;
+    for _ in 0..20 {
+        let q = Arc::new(LockFreeQueue::new());
+        let pusher = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                for i in 0..500 {
+                    q.enqueue(Box::new(i));
+                }
+            })
+        };
+        let popper = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut n = 0;
+                for _ in 0..200 {
+                    if q.dequeue().is_some() {
+                        n += 1;
+                    }
+                }
+                n
+            })
+        };
+        pusher.join().expect("pusher panicked");
+        popper.join().expect("popper panicked");
+        drop(q); // remaining boxes freed exactly once
+    }
+}

@@ -1,0 +1,114 @@
+//! Cross-structure stress tests: several threads hammer every concurrent
+//! structure at once for a bounded number of operations, checking global
+//! conservation invariants at the end. Catches reclamation and ordering
+//! regressions that single-structure tests can miss.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use lfrt_lockfree::{
+    nbw_register, AtomicSnapshot, BoundedMpmcQueue, CasRegister, LockFreeList, LockFreeQueue,
+    TreiberStack,
+};
+
+const THREADS: usize = 4;
+const OPS_PER_THREAD: u64 = 10_000;
+
+#[test]
+fn mixed_structure_stress_conserves_everything() {
+    let queue = Arc::new(LockFreeQueue::new());
+    let stack = Arc::new(TreiberStack::new());
+    let mpmc = Arc::new(BoundedMpmcQueue::new(128));
+    let list = Arc::new(LockFreeList::new());
+    let counter = Arc::new(CasRegister::new(0));
+    let snapshot = Arc::new(AtomicSnapshot::new(THREADS));
+    let (mut nbw_writer, nbw_reader) = nbw_register((0u64, 0u64));
+
+    let produced = Arc::new(AtomicU64::new(0));
+    let consumed = Arc::new(AtomicU64::new(0));
+
+    let workers: Vec<_> = (0..THREADS)
+        .map(|w| {
+            let queue = Arc::clone(&queue);
+            let stack = Arc::clone(&stack);
+            let mpmc = Arc::clone(&mpmc);
+            let list = Arc::clone(&list);
+            let counter = Arc::clone(&counter);
+            let snapshot = Arc::clone(&snapshot);
+            let nbw_reader = nbw_reader.clone();
+            let produced = Arc::clone(&produced);
+            let consumed = Arc::clone(&consumed);
+            std::thread::spawn(move || {
+                for i in 0..OPS_PER_THREAD {
+                    let tag = (w as u64) << 32 | i;
+                    match i % 5 {
+                        0 => {
+                            queue.enqueue(tag);
+                            produced.fetch_add(1, Ordering::Relaxed);
+                            if queue.dequeue().is_some() {
+                                consumed.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        1 => {
+                            stack.push(tag);
+                            produced.fetch_add(1, Ordering::Relaxed);
+                            if stack.pop().is_some() {
+                                consumed.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        2 => {
+                            if mpmc.push(tag).is_ok() {
+                                produced.fetch_add(1, Ordering::Relaxed);
+                            }
+                            if mpmc.pop().is_some() {
+                                consumed.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        3 => {
+                            list.insert(tag);
+                            assert!(list.contains(tag) || list.remove(tag) || true);
+                            list.remove(tag);
+                        }
+                        _ => {
+                            counter.update(|v| v + 1);
+                            snapshot.write(w, i as u32);
+                            let view = snapshot.scan();
+                            assert_eq!(view.len(), THREADS);
+                            let (a, b) = nbw_reader.read();
+                            assert_eq!(b, 2 * a, "torn NBW read");
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // The NBW writer runs on the main thread concurrently.
+    for i in 0..OPS_PER_THREAD {
+        nbw_writer.write((i, 2 * i));
+    }
+    for h in workers {
+        h.join().expect("worker panicked");
+    }
+
+    // Drain and check conservation of the pipes.
+    let mut leftover = 0u64;
+    while queue.dequeue().is_some() {
+        leftover += 1;
+    }
+    while stack.pop().is_some() {
+        leftover += 1;
+    }
+    while mpmc.pop().is_some() {
+        leftover += 1;
+    }
+    assert_eq!(
+        produced.load(Ordering::Relaxed),
+        consumed.load(Ordering::Relaxed) + leftover,
+        "every produced element was consumed exactly once or is still queued"
+    );
+    // Counter: every update of branch 4 landed.
+    assert_eq!(counter.load(), (THREADS as u64) * OPS_PER_THREAD.div_ceil(5));
+    // List drained by its own branch.
+    assert!(list.is_empty(), "leftover keys: {:?}", list.to_vec());
+}

@@ -1,0 +1,116 @@
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::event::EventKind;
+use crate::SimTime;
+
+/// A deterministic min-time event queue.
+///
+/// Ties on time are broken by insertion order (a monotone sequence number),
+/// so simulations are reproducible regardless of heap internals.
+#[derive(Debug, Default)]
+pub(crate) struct Calendar {
+    heap: BinaryHeap<Reverse<Entry>>,
+    seq: u64,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct Entry {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Calendar {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `kind` at `time`.
+    pub(crate) fn push(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { time, seq, kind }));
+    }
+
+    /// The time of the earliest pending event.
+    pub(crate) fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Pops the earliest event if it is due at or before `now`.
+    pub(crate) fn pop_due(&mut self, now: SimTime) -> Option<(SimTime, EventKind)> {
+        match self.heap.peek() {
+            Some(Reverse(e)) if e.time <= now => {
+                let Reverse(e) = self.heap.pop().expect("peeked entry exists");
+                Some((e.time, e.kind))
+            }
+            _ => None,
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::TaskId;
+
+    fn arrival(t: usize) -> EventKind {
+        EventKind::Arrival { task: TaskId::new(t) }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut c = Calendar::new();
+        c.push(30, arrival(3));
+        c.push(10, arrival(1));
+        c.push(20, arrival(2));
+        assert_eq!(c.peek_time(), Some(10));
+        assert_eq!(c.pop_due(100), Some((10, arrival(1))));
+        assert_eq!(c.pop_due(100), Some((20, arrival(2))));
+        assert_eq!(c.pop_due(100), Some((30, arrival(3))));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut c = Calendar::new();
+        c.push(5, arrival(0));
+        c.push(5, arrival(1));
+        c.push(5, arrival(2));
+        assert_eq!(c.pop_due(5), Some((5, arrival(0))));
+        assert_eq!(c.pop_due(5), Some((5, arrival(1))));
+        assert_eq!(c.pop_due(5), Some((5, arrival(2))));
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut c = Calendar::new();
+        c.push(50, arrival(0));
+        assert_eq!(c.pop_due(49), None);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.pop_due(50), Some((50, arrival(0))));
+    }
+}

@@ -1,0 +1,140 @@
+//! Plain-CSV export/import for experiment pipelines — job records out,
+//! arrival traces in/out — with no dependency beyond `std`.
+
+use std::io::{self, BufRead, Write};
+
+use crate::ids::{JobId, TaskId};
+use crate::job::JobRecord;
+
+/// Writes job records as CSV with a header row.
+///
+/// Columns: `job,task,arrival,resolved_at,completed,utility,retries,blockings,preemptions`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `writer`.
+///
+/// # Examples
+///
+/// ```
+/// use lfrt_sim::csv::write_records;
+///
+/// # fn main() -> std::io::Result<()> {
+/// let mut out = Vec::new();
+/// write_records(&mut out, &[])?;
+/// assert!(String::from_utf8(out).expect("utf8").starts_with("job,task,"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_records<W: Write>(mut writer: W, records: &[JobRecord]) -> io::Result<()> {
+    writeln!(
+        writer,
+        "job,task,arrival,resolved_at,completed,utility,retries,blockings,preemptions"
+    )?;
+    for r in records {
+        writeln!(
+            writer,
+            "{},{},{},{},{},{},{},{},{}",
+            r.id.index(),
+            r.task.index(),
+            r.arrival,
+            r.resolved_at,
+            r.completed,
+            r.utility,
+            r.retries,
+            r.blockings,
+            r.preemptions
+        )?;
+    }
+    Ok(())
+}
+
+/// Parses job records from the CSV produced by [`write_records`].
+///
+/// # Errors
+///
+/// Returns `io::ErrorKind::InvalidData` on malformed rows, besides
+/// propagating reader errors.
+pub fn read_records<R: BufRead>(reader: R) -> io::Result<Vec<JobRecord>> {
+    let mut records = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        if lineno == 0 || line.trim().is_empty() {
+            continue; // header / trailing newline
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 9 {
+            return Err(bad(lineno, "expected 9 fields"));
+        }
+        let parse_u64 =
+            |i: usize| fields[i].trim().parse::<u64>().map_err(|_| bad(lineno, "integer"));
+        let parse_usize =
+            |i: usize| fields[i].trim().parse::<usize>().map_err(|_| bad(lineno, "index"));
+        records.push(JobRecord {
+            id: JobId::new(parse_usize(0)?),
+            task: TaskId::new(parse_usize(1)?),
+            arrival: parse_u64(2)?,
+            resolved_at: parse_u64(3)?,
+            completed: match fields[4].trim() {
+                "true" => true,
+                "false" => false,
+                _ => return Err(bad(lineno, "bool")),
+            },
+            utility: fields[5].trim().parse::<f64>().map_err(|_| bad(lineno, "float"))?,
+            retries: parse_u64(6)?,
+            blockings: parse_u64(7)?,
+            preemptions: parse_u64(8)?,
+        });
+    }
+    Ok(records)
+}
+
+fn bad(lineno: usize, what: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("csv line {}: malformed {what}", lineno + 1),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: usize) -> JobRecord {
+        JobRecord {
+            id: JobId::new(id),
+            task: TaskId::new(id % 3),
+            arrival: id as u64 * 10,
+            resolved_at: id as u64 * 10 + 7,
+            completed: id.is_multiple_of(2),
+            utility: id as f64 * 1.5,
+            retries: id as u64,
+            blockings: 0,
+            preemptions: 1,
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let records: Vec<JobRecord> = (0..20).map(rec).collect();
+        let mut buffer = Vec::new();
+        write_records(&mut buffer, &records).expect("write");
+        let parsed = read_records(buffer.as_slice()).expect("read");
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn empty_round_trip() {
+        let mut buffer = Vec::new();
+        write_records(&mut buffer, &[]).expect("write");
+        assert_eq!(read_records(buffer.as_slice()).expect("read"), vec![]);
+    }
+
+    #[test]
+    fn malformed_rows_rejected() {
+        let bad_field = "job,task,arrival,resolved_at,completed,utility,retries,blockings,preemptions\n1,2,3,4,maybe,5,6,7,8\n";
+        assert!(read_records(bad_field.as_bytes()).is_err());
+        let short = "header\n1,2,3\n";
+        assert!(read_records(short.as_bytes()).is_err());
+    }
+}

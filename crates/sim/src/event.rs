@@ -1,0 +1,23 @@
+use crate::ids::{JobId, TaskId};
+
+/// An externally scheduled simulator event.
+///
+/// Internal happenings (segment completions, lock grants) are derived by the
+/// engine from execution progress; only arrivals, critical-time timers, and
+/// deferred rescheduling live in the calendar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A job of the given task arrives.
+    Arrival {
+        /// The releasing task.
+        task: TaskId,
+    },
+    /// The timer armed at a job's arrival fires at its critical time; if the
+    /// job is still live it is aborted (§3.5 of the paper).
+    CriticalTimeExpiry {
+        /// The job whose critical time expires.
+        job: JobId,
+    },
+    /// A scheduling pass deferred past a kernel-busy window.
+    Reschedule,
+}

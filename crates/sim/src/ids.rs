@@ -1,0 +1,74 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(usize);
+
+        impl $name {
+            /// Creates an id from a raw index.
+            #[inline]
+            pub const fn new(index: usize) -> Self {
+                Self(index)
+            }
+
+            /// The raw index.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(index: usize) -> Self {
+                Self(index)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a task (a recurrent activity with a TUF and a UAM).
+    TaskId,
+    "T"
+);
+id_type!(
+    /// Identifies a job — one invocation of a task, the unit of scheduling.
+    JobId,
+    "J"
+);
+id_type!(
+    /// Identifies a sequentially-shared object (e.g. a queue).
+    ObjectId,
+    "O"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_display() {
+        let t = TaskId::new(3);
+        assert_eq!(t.index(), 3);
+        assert_eq!(t.to_string(), "T3");
+        assert_eq!(JobId::new(7).to_string(), "J7");
+        assert_eq!(ObjectId::from(1).to_string(), "O1");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(JobId::new(1) < JobId::new(2));
+    }
+}

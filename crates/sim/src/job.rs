@@ -1,0 +1,205 @@
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{JobId, ObjectId, TaskId};
+use crate::segment::Segment;
+use crate::task::SharingMode;
+use crate::{SimTime, Ticks};
+
+/// The lifecycle state of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobPhase {
+    /// Eligible to run (possibly mid-segment).
+    Ready,
+    /// Blocked waiting for the lock on the given object (lock-based only).
+    Blocked(ObjectId),
+    /// Finished all segments.
+    Completed,
+    /// Aborted at its critical time (§3.5).
+    Aborted,
+    /// Crashed (failure injection): halted forever without releasing locks
+    /// or running the abort handler.
+    Crashed,
+}
+
+impl JobPhase {
+    /// Whether the job is still live (ready or blocked).
+    pub fn is_live(&self) -> bool {
+        matches!(self, JobPhase::Ready | JobPhase::Blocked(_))
+    }
+}
+
+/// One invocation of a task — the simulator's unit of scheduling.
+///
+/// Execution progress is tracked per segment; a lock-free access in flight
+/// remembers the object version it started from so the engine can detect
+/// interference and charge a retry.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// This job's identity.
+    pub id: JobId,
+    /// The releasing task.
+    pub task: TaskId,
+    /// Arrival (release) time.
+    pub arrival: SimTime,
+    /// Absolute critical time (`arrival + C_i`).
+    pub absolute_critical_time: SimTime,
+    /// Lifecycle state.
+    pub phase: JobPhase,
+    /// Index of the segment currently executing.
+    pub seg_idx: usize,
+    /// Ticks of progress within the current segment (or current attempt, for
+    /// lock-free accesses).
+    pub seg_progress: Ticks,
+    /// Object version observed when the in-flight lock-free access started.
+    pub access_start_version: Option<u64>,
+    /// Objects this job currently holds locks on, in acquisition order.
+    /// Flat [`Segment::Access`] critical sections hold exactly one; explicit
+    /// [`Segment::Acquire`]/[`Segment::Release`] pairs may nest.
+    pub holds: Vec<ObjectId>,
+    /// Lock-free retries suffered so far (the `f_i` of Theorem 2).
+    pub retries: u64,
+    /// Times this job blocked on a lock (lock-based only).
+    pub blockings: u64,
+    /// Times this job was preempted (switched out mid-execution while still
+    /// ready) — the quantity Lemma 1 bounds by the scheduling-event count.
+    pub preemptions: u64,
+    /// Context-dependent execution scale: actual compute durations are the
+    /// nominal plan times this factor (1.0 = as estimated). Schedulers are
+    /// never shown this — their estimates stay nominal.
+    pub exec_scale: f64,
+    /// Total ticks actually executed so far (drives crash injection).
+    pub executed: Ticks,
+    /// Completion or abort time, once resolved.
+    pub resolved_at: Option<SimTime>,
+}
+
+impl Job {
+    pub(crate) fn new(
+        id: JobId,
+        task: TaskId,
+        arrival: SimTime,
+        critical_time: Ticks,
+    ) -> Self {
+        Self {
+            id,
+            task,
+            arrival,
+            absolute_critical_time: arrival.saturating_add(critical_time),
+            phase: JobPhase::Ready,
+            seg_idx: 0,
+            seg_progress: 0,
+            access_start_version: None,
+            holds: Vec::new(),
+            retries: 0,
+            blockings: 0,
+            preemptions: 0,
+            exec_scale: 1.0,
+            executed: 0,
+            resolved_at: None,
+        }
+    }
+
+    /// Nominal remaining execution under `mode`: the sum of remaining
+    /// segment durations (accesses at their no-retry cost), minus progress
+    /// in the current segment. This is the execution-time *estimate* a UA
+    /// scheduler sees.
+    pub fn remaining_exec(&self, segments: &[Segment], mode: SharingMode) -> Ticks {
+        let mut total: Ticks = 0;
+        for (i, seg) in segments.iter().enumerate().skip(self.seg_idx) {
+            let dur = match seg {
+                Segment::Compute(t) => *t,
+                Segment::Access { .. } => mode.access_cost(),
+                Segment::Acquire { .. } | Segment::Release { .. } => 0,
+            };
+            if i == self.seg_idx {
+                total += dur.saturating_sub(self.seg_progress);
+            } else {
+                total += dur;
+            }
+        }
+        total
+    }
+
+    /// Sojourn time if the job resolved, else `None`.
+    pub fn sojourn(&self) -> Option<Ticks> {
+        self.resolved_at.map(|t| t - self.arrival)
+    }
+}
+
+/// The per-job outcome record kept by the simulator for analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// The job's identity.
+    pub id: JobId,
+    /// The releasing task.
+    pub task: TaskId,
+    /// Arrival time.
+    pub arrival: SimTime,
+    /// Completion or abort time.
+    pub resolved_at: SimTime,
+    /// Whether the job completed (vs. aborted at its critical time).
+    pub completed: bool,
+    /// Utility accrued (zero when aborted).
+    pub utility: f64,
+    /// Lock-free retries suffered (the measured `f_i`).
+    pub retries: u64,
+    /// Times the job blocked on a lock.
+    pub blockings: u64,
+    /// Times the job was preempted while ready (Lemma 1's quantity).
+    pub preemptions: u64,
+}
+
+impl JobRecord {
+    /// The job's sojourn time (arrival to resolution).
+    pub fn sojourn(&self) -> Ticks {
+        self.resolved_at - self.arrival
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::AccessKind;
+
+    fn segs() -> Vec<Segment> {
+        vec![
+            Segment::Compute(50),
+            Segment::Access { object: ObjectId::new(0), kind: AccessKind::Write },
+            Segment::Compute(30),
+        ]
+    }
+
+    #[test]
+    fn remaining_exec_counts_modes() {
+        let job = Job::new(JobId::new(0), TaskId::new(0), 100, 1_000);
+        assert_eq!(job.remaining_exec(&segs(), SharingMode::LockFree { access_ticks: 7 }), 87);
+        assert_eq!(job.remaining_exec(&segs(), SharingMode::LockBased { access_ticks: 20 }), 100);
+        assert_eq!(job.remaining_exec(&segs(), SharingMode::Ideal), 80);
+    }
+
+    #[test]
+    fn remaining_exec_subtracts_progress() {
+        let mut job = Job::new(JobId::new(0), TaskId::new(0), 0, 1_000);
+        job.seg_idx = 0;
+        job.seg_progress = 20;
+        assert_eq!(job.remaining_exec(&segs(), SharingMode::Ideal), 60);
+        job.seg_idx = 2;
+        job.seg_progress = 10;
+        assert_eq!(job.remaining_exec(&segs(), SharingMode::Ideal), 20);
+    }
+
+    #[test]
+    fn phase_liveness() {
+        assert!(JobPhase::Ready.is_live());
+        assert!(JobPhase::Blocked(ObjectId::new(0)).is_live());
+        assert!(!JobPhase::Completed.is_live());
+        assert!(!JobPhase::Aborted.is_live());
+    }
+
+    #[test]
+    fn critical_time_is_absolute() {
+        let job = Job::new(JobId::new(1), TaskId::new(0), 250, 1_000);
+        assert_eq!(job.absolute_critical_time, 1_250);
+        assert_eq!(job.sojourn(), None);
+    }
+}

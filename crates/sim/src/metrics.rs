@@ -1,0 +1,282 @@
+use serde::{Deserialize, Serialize};
+
+use crate::job::JobRecord;
+use crate::{SimTime, Ticks};
+
+/// Aggregated outcomes for one task.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TaskMetrics {
+    /// Jobs released.
+    pub released: u64,
+    /// Jobs that completed (at any time before their critical time — jobs
+    /// reaching it are aborted, so completion implies meeting it).
+    pub completed: u64,
+    /// Jobs aborted at their critical time.
+    pub aborted: u64,
+    /// Total utility accrued by completed jobs.
+    pub utility_accrued: f64,
+    /// Maximum possible utility (`U_i(0)`-equivalent) summed over releases.
+    pub utility_possible: f64,
+    /// Sum of sojourn times of completed jobs.
+    pub sojourn_sum: Ticks,
+    /// Largest sojourn time of a completed job.
+    pub sojourn_max: Ticks,
+    /// Total lock-free retries across this task's jobs.
+    pub retries: u64,
+    /// Total lock blockings across this task's jobs.
+    pub blockings: u64,
+    /// Total preemptions across this task's jobs.
+    pub preemptions: u64,
+    /// Jobs crashed by failure injection (never completed nor aborted
+    /// cleanly; any held locks stay held forever).
+    pub crashed: u64,
+}
+
+impl TaskMetrics {
+    /// Mean sojourn time of completed jobs, or `None` if none completed.
+    pub fn mean_sojourn(&self) -> Option<f64> {
+        (self.completed > 0).then(|| self.sojourn_sum as f64 / self.completed as f64)
+    }
+}
+
+/// Aggregated outcomes of a simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimMetrics {
+    per_task: Vec<TaskMetrics>,
+    /// Number of scheduler invocations.
+    pub sched_invocations: u64,
+    /// Total operations reported by the scheduler.
+    pub sched_ops: u64,
+    /// Total processor time charged as scheduling overhead.
+    pub overhead_ticks: Ticks,
+    /// Total processor time spent executing jobs (summed across processors
+    /// on a multiprocessor run).
+    pub busy_ticks: Ticks,
+    /// Time of the last handled event.
+    pub makespan: SimTime,
+}
+
+impl SimMetrics {
+    pub(crate) fn new(tasks: usize) -> Self {
+        Self { per_task: vec![TaskMetrics::default(); tasks], ..Self::default() }
+    }
+
+    pub(crate) fn task_mut(&mut self, task: usize) -> &mut TaskMetrics {
+        &mut self.per_task[task]
+    }
+
+    /// Per-task metrics, indexed by task.
+    pub fn per_task(&self) -> &[TaskMetrics] {
+        &self.per_task
+    }
+
+    /// Total jobs released.
+    pub fn released(&self) -> u64 {
+        self.per_task.iter().map(|t| t.released).sum()
+    }
+
+    /// Total jobs completed.
+    pub fn completed(&self) -> u64 {
+        self.per_task.iter().map(|t| t.completed).sum()
+    }
+
+    /// Total jobs aborted.
+    pub fn aborted(&self) -> u64 {
+        self.per_task.iter().map(|t| t.aborted).sum()
+    }
+
+    /// Total lock-free retries.
+    pub fn retries(&self) -> u64 {
+        self.per_task.iter().map(|t| t.retries).sum()
+    }
+
+    /// Total lock blockings.
+    pub fn blockings(&self) -> u64 {
+        self.per_task.iter().map(|t| t.blockings).sum()
+    }
+
+    /// Total preemptions (Lemma 1 bounds these by scheduling events).
+    pub fn preemptions(&self) -> u64 {
+        self.per_task.iter().map(|t| t.preemptions).sum()
+    }
+
+    /// Total crashed jobs (failure injection).
+    pub fn crashed(&self) -> u64 {
+        self.per_task.iter().map(|t| t.crashed).sum()
+    }
+
+    /// The *accrued utility ratio*: actual total utility over the maximum
+    /// possible total utility (Section 5 of the paper).
+    ///
+    /// Returns 1.0 when nothing was released (vacuously perfect).
+    pub fn aur(&self) -> f64 {
+        let possible: f64 = self.per_task.iter().map(|t| t.utility_possible).sum();
+        if possible <= 0.0 {
+            return 1.0;
+        }
+        let accrued: f64 = self.per_task.iter().map(|t| t.utility_accrued).sum();
+        accrued / possible
+    }
+
+    /// Fraction of one processor's time spent executing jobs over the
+    /// makespan (can exceed 1.0 on multiprocessors; divide by the CPU count
+    /// for per-processor utilization). Excludes charged scheduler overhead.
+    pub fn utilization(&self) -> f64 {
+        if self.makespan == 0 {
+            return 0.0;
+        }
+        self.busy_ticks as f64 / self.makespan as f64
+    }
+
+    /// The *critical-time meet ratio*: jobs meeting their critical time over
+    /// jobs released (Section 6.2 of the paper).
+    ///
+    /// Returns 1.0 when nothing was released.
+    pub fn cmr(&self) -> f64 {
+        let released = self.released();
+        if released == 0 {
+            return 1.0;
+        }
+        self.completed() as f64 / released as f64
+    }
+}
+
+/// Sojourn-time percentiles over a set of job records.
+///
+/// Percentiles use the nearest-rank method over *completed* jobs; aborted
+/// jobs are excluded (their "sojourn" is the abort latency, not a service
+/// time). Returns `None` if no job completed.
+///
+/// # Examples
+///
+/// ```
+/// # use lfrt_sim::{JobId, TaskId, JobRecord};
+/// # let rec = |s: u64| JobRecord {
+/// #     id: JobId::new(0), task: TaskId::new(0), arrival: 0, resolved_at: s,
+/// #     completed: true, utility: 1.0, retries: 0, blockings: 0, preemptions: 0,
+/// # };
+/// let records: Vec<JobRecord> = (1..=100).map(|i| rec(i * 10)).collect();
+/// let p = lfrt_sim::sojourn_percentiles(&records).expect("completions exist");
+/// assert_eq!(p.p50, 500);
+/// assert_eq!(p.p99, 990);
+/// assert_eq!(p.max, 1_000);
+/// ```
+pub fn sojourn_percentiles(records: &[JobRecord]) -> Option<SojournPercentiles> {
+    let mut sojourns: Vec<Ticks> =
+        records.iter().filter(|r| r.completed).map(JobRecord::sojourn).collect();
+    if sojourns.is_empty() {
+        return None;
+    }
+    sojourns.sort_unstable();
+    let rank = |p: f64| -> Ticks {
+        let idx = ((p / 100.0) * sojourns.len() as f64).ceil() as usize;
+        sojourns[idx.clamp(1, sojourns.len()) - 1]
+    };
+    Some(SojournPercentiles {
+        p50: rank(50.0),
+        p90: rank(90.0),
+        p99: rank(99.0),
+        max: *sojourns.last().expect("non-empty"),
+        n: sojourns.len(),
+    })
+}
+
+/// Nearest-rank sojourn percentiles; see [`sojourn_percentiles`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SojournPercentiles {
+    /// Median sojourn.
+    pub p50: Ticks,
+    /// 90th percentile.
+    pub p90: Ticks,
+    /// 99th percentile.
+    pub p99: Ticks,
+    /// Worst observed sojourn.
+    pub max: Ticks,
+    /// Number of completed jobs summarized.
+    pub n: usize,
+}
+
+/// Derives per-task and global metrics from raw job records.
+///
+/// Useful for re-aggregating after filtering (e.g. dropping a warm-up
+/// prefix).
+pub fn aggregate(records: &[JobRecord], tasks: usize, possible: &[f64]) -> SimMetrics {
+    let mut m = SimMetrics::new(tasks);
+    for r in records {
+        let t = m.task_mut(r.task.index());
+        t.released += 1;
+        t.utility_possible += possible[r.task.index()];
+        t.retries += r.retries;
+        t.blockings += r.blockings;
+        t.preemptions += r.preemptions;
+        if r.completed {
+            t.completed += 1;
+            t.utility_accrued += r.utility;
+            t.sojourn_sum += r.sojourn();
+            t.sojourn_max = t.sojourn_max.max(r.sojourn());
+        } else {
+            t.aborted += 1;
+        }
+        m.makespan = m.makespan.max(r.resolved_at);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{JobId, TaskId};
+
+    fn rec(task: usize, arrival: SimTime, resolved: SimTime, done: bool, u: f64) -> JobRecord {
+        JobRecord {
+            id: JobId::new(0),
+            task: TaskId::new(task),
+            arrival,
+            resolved_at: resolved,
+            completed: done,
+            utility: u,
+            retries: 1,
+            blockings: 0,
+            preemptions: 0,
+        }
+    }
+
+    #[test]
+    fn empty_metrics_are_vacuously_perfect() {
+        let m = SimMetrics::new(2);
+        assert_eq!(m.aur(), 1.0);
+        assert_eq!(m.cmr(), 1.0);
+        assert_eq!(m.released(), 0);
+    }
+
+    #[test]
+    fn percentiles_handle_small_and_empty_sets() {
+        assert_eq!(sojourn_percentiles(&[]), None);
+        let aborted = rec(0, 0, 100, false, 0.0);
+        assert_eq!(sojourn_percentiles(&[aborted]), None, "aborts are excluded");
+        let single = rec(0, 0, 70, true, 1.0);
+        let p = sojourn_percentiles(&[single]).expect("one completion");
+        assert_eq!((p.p50, p.p90, p.p99, p.max, p.n), (70, 70, 70, 70, 1));
+    }
+
+    #[test]
+    fn aggregate_computes_ratios() {
+        let records = vec![
+            rec(0, 0, 50, true, 10.0),
+            rec(0, 100, 160, true, 10.0),
+            rec(1, 0, 200, false, 0.0),
+            rec(1, 50, 120, true, 5.0),
+        ];
+        let m = aggregate(&records, 2, &[10.0, 5.0]);
+        assert_eq!(m.released(), 4);
+        assert_eq!(m.completed(), 3);
+        assert_eq!(m.aborted(), 1);
+        // possible: 2*10 + 2*5 = 30; accrued: 25.
+        assert!((m.aur() - 25.0 / 30.0).abs() < 1e-12);
+        assert!((m.cmr() - 0.75).abs() < 1e-12);
+        assert_eq!(m.retries(), 4);
+        assert_eq!(m.makespan, 200);
+        assert_eq!(m.per_task()[0].mean_sojourn(), Some(55.0));
+        assert_eq!(m.per_task()[0].sojourn_max, 60);
+    }
+}

@@ -1,0 +1,245 @@
+use crate::ids::{JobId, ObjectId};
+
+/// The state of all sequentially-shared objects in a simulation.
+///
+/// Under lock-based sharing, each object carries a holder set bounded by its
+/// *capacity* and a waiter list. The default capacity is 1 — plain mutual
+/// exclusion; larger capacities model the *multiunit resources* of RUA's
+/// origin paper (Wu et al., RTCSA'04: "arbitrary time/utility functions and
+/// multiunit resource constraints"), i.e. counting semaphores.
+///
+/// Under lock-free sharing, each object carries a *version* counter that a
+/// committed write bumps — an in-flight access whose start version no longer
+/// matches must retry, which is exactly the interference pattern bounded by
+/// the paper's Theorem 2.
+#[derive(Debug, Clone)]
+pub struct ObjectTable {
+    objects: Vec<ObjectState>,
+}
+
+#[derive(Debug, Clone)]
+struct ObjectState {
+    holders: Vec<JobId>,
+    capacity: u32,
+    waiters: Vec<JobId>,
+    version: u64,
+}
+
+impl Default for ObjectState {
+    fn default() -> Self {
+        Self { holders: Vec::new(), capacity: 1, waiters: Vec::new(), version: 0 }
+    }
+}
+
+impl ObjectTable {
+    /// Creates a table of `count` unlocked, capacity-1, version-zero
+    /// objects.
+    pub fn new(count: usize) -> Self {
+        Self { objects: vec![ObjectState::default(); count] }
+    }
+
+    /// Sets per-object capacities (units of the counting semaphore);
+    /// objects beyond the slice keep capacity 1, and zero entries are
+    /// clamped to 1.
+    pub fn set_capacities(&mut self, capacities: &[u32]) {
+        for (state, &cap) in self.objects.iter_mut().zip(capacities) {
+            state.capacity = cap.max(1);
+        }
+    }
+
+    /// The capacity (concurrent holders allowed) of `object`.
+    pub fn capacity(&self, object: ObjectId) -> u32 {
+        self.objects[object.index()].capacity
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the table holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// The current lock holders of `object`, in acquisition order.
+    pub fn holders(&self, object: ObjectId) -> &[JobId] {
+        &self.objects[object.index()].holders
+    }
+
+    /// The first current holder of `object`, if any — the dependency target
+    /// a blocked job's chain follows (with multiunit objects this is one of
+    /// possibly several holders; the chain picks the senior one).
+    pub fn owner(&self, object: ObjectId) -> Option<JobId> {
+        self.objects[object.index()].holders.first().copied()
+    }
+
+    /// Jobs currently blocked on `object`, in blocking order.
+    pub fn waiters(&self, object: ObjectId) -> &[JobId] {
+        &self.objects[object.index()].waiters
+    }
+
+    /// Attempts to take one unit of `object` for `job`. On failure the job
+    /// is appended to the waiter list and `false` is returned.
+    pub fn try_lock(&mut self, object: ObjectId, job: JobId) -> bool {
+        let state = &mut self.objects[object.index()];
+        if state.holders.contains(&job) {
+            return true; // re-request within a segment
+        }
+        if (state.holders.len() as u32) < state.capacity {
+            state.holders.push(job);
+            true
+        } else {
+            if !state.waiters.contains(&job) {
+                state.waiters.push(job);
+            }
+            false
+        }
+    }
+
+    /// Releases `job`'s unit of `object`, returning the jobs that were
+    /// waiting on it (they become ready and will re-request when
+    /// dispatched).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `job` does not hold the object — releasing another job's
+    /// unit is a simulator bug.
+    pub fn unlock(&mut self, object: ObjectId, job: JobId) -> Vec<JobId> {
+        let state = &mut self.objects[object.index()];
+        let before = state.holders.len();
+        state.holders.retain(|&h| h != job);
+        assert_eq!(
+            state.holders.len(),
+            before - 1,
+            "{job} released {object} without holding it"
+        );
+        std::mem::take(&mut state.waiters)
+    }
+
+    /// Removes `job` from the waiter list of `object` (e.g. on abort).
+    pub fn remove_waiter(&mut self, object: ObjectId, job: JobId) {
+        self.objects[object.index()].waiters.retain(|&w| w != job);
+    }
+
+    /// The lock-free version counter of `object`.
+    pub fn version(&self, object: ObjectId) -> u64 {
+        self.objects[object.index()].version
+    }
+
+    /// Records a committed write: bumps the version so in-flight accesses to
+    /// the same object observe interference and retry.
+    pub fn commit_write(&mut self, object: ObjectId) {
+        self.objects[object.index()].version += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn o(i: usize) -> ObjectId {
+        ObjectId::new(i)
+    }
+    fn j(i: usize) -> JobId {
+        JobId::new(i)
+    }
+
+    #[test]
+    fn lock_grant_and_block() {
+        let mut t = ObjectTable::new(2);
+        assert!(t.try_lock(o(0), j(1)));
+        assert_eq!(t.owner(o(0)), Some(j(1)));
+        assert!(!t.try_lock(o(0), j(2)));
+        assert_eq!(t.waiters(o(0)), &[j(2)]);
+        // Other object unaffected.
+        assert!(t.try_lock(o(1), j(2)));
+    }
+
+    #[test]
+    fn re_request_by_holder_succeeds_without_duplication() {
+        let mut t = ObjectTable::new(1);
+        assert!(t.try_lock(o(0), j(1)));
+        assert!(t.try_lock(o(0), j(1)));
+        assert!(t.waiters(o(0)).is_empty());
+        assert_eq!(t.holders(o(0)), &[j(1)]);
+    }
+
+    #[test]
+    fn duplicate_waiters_not_recorded() {
+        let mut t = ObjectTable::new(1);
+        t.try_lock(o(0), j(1));
+        t.try_lock(o(0), j(2));
+        t.try_lock(o(0), j(2));
+        assert_eq!(t.waiters(o(0)), &[j(2)]);
+    }
+
+    #[test]
+    fn unlock_wakes_waiters() {
+        let mut t = ObjectTable::new(1);
+        t.try_lock(o(0), j(1));
+        t.try_lock(o(0), j(2));
+        t.try_lock(o(0), j(3));
+        let woken = t.unlock(o(0), j(1));
+        assert_eq!(woken, vec![j(2), j(3)]);
+        assert_eq!(t.owner(o(0)), None);
+        assert!(t.waiters(o(0)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "without holding it")]
+    fn unlock_by_non_holder_panics() {
+        let mut t = ObjectTable::new(1);
+        t.try_lock(o(0), j(1));
+        t.unlock(o(0), j(2));
+    }
+
+    #[test]
+    fn versions_count_committed_writes() {
+        let mut t = ObjectTable::new(2);
+        assert_eq!(t.version(o(0)), 0);
+        t.commit_write(o(0));
+        t.commit_write(o(0));
+        assert_eq!(t.version(o(0)), 2);
+        assert_eq!(t.version(o(1)), 0);
+    }
+
+    #[test]
+    fn remove_waiter_on_abort() {
+        let mut t = ObjectTable::new(1);
+        t.try_lock(o(0), j(1));
+        t.try_lock(o(0), j(2));
+        t.remove_waiter(o(0), j(2));
+        assert!(t.waiters(o(0)).is_empty());
+    }
+
+    #[test]
+    fn multiunit_object_admits_capacity_holders() {
+        let mut t = ObjectTable::new(1);
+        t.set_capacities(&[2]);
+        assert_eq!(t.capacity(o(0)), 2);
+        assert!(t.try_lock(o(0), j(1)));
+        assert!(t.try_lock(o(0), j(2)), "second unit available");
+        assert!(!t.try_lock(o(0), j(3)), "third requester blocks");
+        assert_eq!(t.holders(o(0)), &[j(1), j(2)]);
+        let woken = t.unlock(o(0), j(1));
+        assert_eq!(woken, vec![j(3)]);
+        assert_eq!(t.holders(o(0)), &[j(2)]);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut t = ObjectTable::new(1);
+        t.set_capacities(&[0]);
+        assert_eq!(t.capacity(o(0)), 1);
+    }
+
+    #[test]
+    fn capacities_beyond_slice_stay_one() {
+        let mut t = ObjectTable::new(3);
+        t.set_capacities(&[4]);
+        assert_eq!(t.capacity(o(0)), 4);
+        assert_eq!(t.capacity(o(1)), 1);
+        assert_eq!(t.capacity(o(2)), 1);
+    }
+}

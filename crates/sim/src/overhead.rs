@@ -1,0 +1,80 @@
+use serde::{Deserialize, Serialize};
+
+use crate::Ticks;
+
+/// Converts a scheduler's reported operation count into charged processor
+/// time.
+///
+/// The paper's Figure 9 (Critical-time Miss Load) hinges on scheduler
+/// overhead: lock-based RUA's `O(n² log n)` work per event versus lock-free
+/// RUA's `O(n²)` versus an "ideal" zero-overhead scheduler. Rather than
+/// hard-coding asymptotic formulas, the simulator charges
+/// `ops × ticks_per_op` where `ops` is counted by the *actual* scheduler
+/// implementation, so measured overheads scale exactly as the real
+/// algorithms do.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverheadModel {
+    ticks_per_op: f64,
+}
+
+impl OverheadModel {
+    /// Charges `ticks_per_op` ticks of processor time per scheduler
+    /// operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ticks_per_op` is negative, NaN, or infinite.
+    pub fn per_op(ticks_per_op: f64) -> Self {
+        assert!(
+            ticks_per_op.is_finite() && ticks_per_op >= 0.0,
+            "ticks_per_op must be a finite non-negative number"
+        );
+        Self { ticks_per_op }
+    }
+
+    /// No overhead: scheduling is free (the "ideal" scheduler of Figure 9).
+    pub fn zero() -> Self {
+        Self { ticks_per_op: 0.0 }
+    }
+
+    /// The configured cost per operation.
+    pub fn ticks_per_op(&self) -> f64 {
+        self.ticks_per_op
+    }
+
+    /// Processor time charged for a scheduler invocation reporting `ops`
+    /// operations (rounded to the nearest tick).
+    pub fn charge(&self, ops: u64) -> Ticks {
+        (ops as f64 * self.ticks_per_op).round() as Ticks
+    }
+}
+
+impl Default for OverheadModel {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_charges_nothing() {
+        assert_eq!(OverheadModel::zero().charge(1_000_000), 0);
+    }
+
+    #[test]
+    fn proportional_charging() {
+        let m = OverheadModel::per_op(0.5);
+        assert_eq!(m.charge(0), 0);
+        assert_eq!(m.charge(10), 5);
+        assert_eq!(m.charge(11), 6); // rounds 5.5 away from zero
+    }
+
+    #[test]
+    #[should_panic(expected = "finite non-negative")]
+    fn negative_rejected() {
+        let _ = OverheadModel::per_op(-1.0);
+    }
+}

@@ -1,0 +1,106 @@
+use serde::{Deserialize, Serialize};
+
+use crate::ids::ObjectId;
+use crate::Ticks;
+
+/// How a job touches a shared object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// A read-only access. Under lock-free sharing, reads are invalidated by
+    /// concurrent writes but do not themselves invalidate others.
+    Read,
+    /// A mutating access (e.g. enqueue/dequeue). Under lock-free sharing a
+    /// committed write invalidates any in-flight access to the same object.
+    Write,
+}
+
+/// One step of a job's execution plan.
+///
+/// A job alternates local computation with accesses to sequentially-shared
+/// objects. Access durations are determined by the simulation's
+/// [`SharingMode`](crate::SharingMode): `r` ticks for lock-based critical
+/// sections, `s` ticks per lock-free attempt, zero for the ideal discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Segment {
+    /// Local computation for the given number of ticks (part of `u_i`).
+    Compute(Ticks),
+    /// One flat access to a shared object (part of `m_i`): under lock-based
+    /// sharing a self-contained critical section, under lock-free sharing
+    /// one retryable attempt.
+    Access {
+        /// The object accessed.
+        object: ObjectId,
+        /// Whether the access mutates the object.
+        kind: AccessKind,
+    },
+    /// Explicitly acquires the lock on `object` (lock-based sharing only),
+    /// holding it across subsequent segments until the matching
+    /// [`Segment::Release`]. Enables *nested* critical sections — the
+    /// configuration under which RUA's deadlock detection and resolution
+    /// (§3.3 of the paper) can actually trigger.
+    Acquire {
+        /// The object to lock.
+        object: ObjectId,
+    },
+    /// Releases a lock previously taken by [`Segment::Acquire`].
+    Release {
+        /// The object to unlock.
+        object: ObjectId,
+    },
+}
+
+impl Segment {
+    /// Whether this segment is a flat shared-object access (the `m_i` of
+    /// the paper's analysis; explicit acquire/release pairs are counted
+    /// separately).
+    #[inline]
+    pub fn is_access(&self) -> bool {
+        matches!(self, Segment::Access { .. })
+    }
+
+    /// Whether this segment uses explicit lock structuring
+    /// ([`Segment::Acquire`] or [`Segment::Release`]).
+    #[inline]
+    pub fn is_explicit_lock(&self) -> bool {
+        matches!(self, Segment::Acquire { .. } | Segment::Release { .. })
+    }
+
+    /// Local compute ticks of this segment (zero for accesses and lock
+    /// operations).
+    #[inline]
+    pub fn compute_ticks(&self) -> Ticks {
+        match self {
+            Segment::Compute(t) => *t,
+            _ => 0,
+        }
+    }
+
+    /// The object touched by this segment, if any.
+    #[inline]
+    pub fn object(&self) -> Option<ObjectId> {
+        match self {
+            Segment::Compute(_) => None,
+            Segment::Access { object, .. }
+            | Segment::Acquire { object }
+            | Segment::Release { object } => Some(*object),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let c = Segment::Compute(25);
+        assert!(!c.is_access());
+        assert_eq!(c.compute_ticks(), 25);
+        assert_eq!(c.object(), None);
+
+        let a = Segment::Access { object: ObjectId::new(2), kind: AccessKind::Write };
+        assert!(a.is_access());
+        assert_eq!(a.compute_ticks(), 0);
+        assert_eq!(a.object(), Some(ObjectId::new(2)));
+    }
+}

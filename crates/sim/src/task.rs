@@ -1,0 +1,375 @@
+use lfrt_tuf::Tuf;
+use lfrt_uam::Uam;
+use serde::{Deserialize, Serialize};
+
+use crate::error::SimError;
+use crate::segment::Segment;
+use crate::Ticks;
+
+/// The discipline under which shared objects are accessed, and its cost.
+///
+/// The access-time parameters play the roles of `r` (lock-based) and `s`
+/// (lock-free) in the paper's Theorem 3; the [`SharingMode::Ideal`] variant
+/// is the zero-cost yardstick of the paper's Figure 9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SharingMode {
+    /// Mutual exclusion: each access locks the object for `access_ticks`
+    /// (= `r`). Lock and unlock requests are scheduling events; contention
+    /// blocks the requester.
+    LockBased {
+        /// Critical-section length `r` in ticks.
+        access_ticks: Ticks,
+    },
+    /// Lock-free: each access attempt takes `access_ticks` (= `s`) and is
+    /// retried whenever another job commits a write to the same object while
+    /// the attempt is in flight. No lock/unlock scheduling events occur.
+    LockFree {
+        /// Per-attempt duration `s` in ticks.
+        access_ticks: Ticks,
+    },
+    /// Zero-cost, interference-free accesses: the "ideal" implementation
+    /// against which both real disciplines are judged.
+    Ideal,
+}
+
+impl SharingMode {
+    /// Nominal duration of a single access attempt under this mode.
+    #[inline]
+    pub fn access_cost(&self) -> Ticks {
+        match self {
+            SharingMode::LockBased { access_ticks } | SharingMode::LockFree { access_ticks } => {
+                *access_ticks
+            }
+            SharingMode::Ideal => 0,
+        }
+    }
+
+    /// Whether lock/unlock requests are scheduling events under this mode.
+    #[inline]
+    pub fn uses_locks(&self) -> bool {
+        matches!(self, SharingMode::LockBased { .. })
+    }
+}
+
+/// How actual job execution times relate to the nominal (estimated) plan.
+///
+/// The paper's dynamic systems have *context-dependent* execution times:
+/// the durations presented to the scheduler are only estimates, and
+/// overruns are possible (§3.2, footnote 4). Under
+/// [`ExecTimeModel::Uniform`], each released job's compute segments are
+/// scaled by a per-job factor drawn uniformly from `[min_factor,
+/// max_factor]`; schedulers keep seeing the *nominal* remaining time, so
+/// their feasibility tests and PUDs can be wrong in exactly the way the
+/// paper anticipates.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum ExecTimeModel {
+    /// Actual execution equals the nominal plan.
+    #[default]
+    Nominal,
+    /// Per-job uniform scaling of compute segments in
+    /// `[min_factor, max_factor]`, seeded for reproducibility.
+    Uniform {
+        /// Smallest scale factor (e.g. 0.5 = may finish in half the time).
+        min_factor: f64,
+        /// Largest scale factor (e.g. 2.0 = may overrun to double).
+        max_factor: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+
+/// The static description of a task: its TUF, arrival model, execution plan,
+/// and abort-handler cost.
+///
+/// Construct with [`TaskSpec::builder`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    name: String,
+    tuf: Tuf,
+    uam: Uam,
+    segments: Vec<Segment>,
+    abort_handler_ticks: Ticks,
+    crash_after: Option<Ticks>,
+}
+
+impl TaskSpec {
+    /// Starts building a task with the given name.
+    pub fn builder(name: impl Into<String>) -> TaskSpecBuilder {
+        TaskSpecBuilder {
+            name: name.into(),
+            tuf: None,
+            uam: None,
+            segments: Vec::new(),
+            abort_handler_ticks: 0,
+            crash_after: None,
+        }
+    }
+
+    /// The task's name (for reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The task's time/utility function. Its critical time is `C_i`.
+    pub fn tuf(&self) -> &Tuf {
+        &self.tuf
+    }
+
+    /// The task's arrival model `⟨l_i, a_i, W_i⟩`.
+    pub fn uam(&self) -> &Uam {
+        &self.uam
+    }
+
+    /// The execution plan of each job of this task.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Time charged for running the abort-exception handler (§3.5).
+    pub fn abort_handler_ticks(&self) -> Ticks {
+        self.abort_handler_ticks
+    }
+
+    /// Failure injection: if set, each job of this task *crashes* after
+    /// executing this many ticks — it stops forever, never completes, never
+    /// runs its abort handler, and never releases any locks it holds. This
+    /// models the §1.1 failure mode: "deadlocks can occur when lock holders
+    /// crash, causing indefinite starvation to blockers."
+    pub fn crash_after(&self) -> Option<Ticks> {
+        self.crash_after
+    }
+
+    /// Total local computation `u_i` (excluding object accesses).
+    pub fn compute_ticks(&self) -> Ticks {
+        self.segments.iter().map(Segment::compute_ticks).sum()
+    }
+
+    /// Number of shared-object accesses `m_i` per job.
+    pub fn access_count(&self) -> usize {
+        self.segments.iter().filter(|s| s.is_access()).count()
+    }
+
+    /// Nominal execution time of one job under `mode` — `u_i + m_i · t_acc`,
+    /// assuming no retries or blocking.
+    pub fn nominal_exec(&self, mode: SharingMode) -> Ticks {
+        self.compute_ticks() + self.access_count() as Ticks * mode.access_cost()
+    }
+
+    /// The paper's per-task *approximate load* contribution `u_i / C_i`
+    /// (object access time excluded, per §6.1).
+    pub fn approximate_load(&self) -> f64 {
+        self.compute_ticks() as f64 / self.tuf.critical_time() as f64
+    }
+
+    /// Long-run processor utilization contribution under the UAM's maximum
+    /// arrival rate: `(a_i / W_i) · u_i`.
+    pub fn max_utilization(&self) -> f64 {
+        self.uam.max_rate() * self.compute_ticks() as f64
+    }
+
+    /// Whether the task uses explicit `Acquire`/`Release` segments — i.e.
+    /// holds locks across computation, possibly nested.
+    pub fn uses_explicit_locks(&self) -> bool {
+        self.segments.iter().any(Segment::is_explicit_lock)
+    }
+
+    /// Checks that explicit locking is properly nested (LIFO), never
+    /// re-acquires a held object, never flat-accesses a held object, and
+    /// releases everything before the job ends.
+    fn validate_locking(&self) -> Result<(), SimError> {
+        let mut held: Vec<crate::ids::ObjectId> = Vec::new();
+        for seg in &self.segments {
+            match seg {
+                Segment::Acquire { object } => {
+                    if held.contains(object) {
+                        return Err(SimError::UnbalancedLocking {
+                            task: self.name.clone(),
+                            detail: format!("re-acquires held object {object}"),
+                        });
+                    }
+                    held.push(*object);
+                }
+                Segment::Release { object } => {
+                    if held.last() != Some(object) {
+                        return Err(SimError::UnbalancedLocking {
+                            task: self.name.clone(),
+                            detail: format!("releases {object} out of LIFO order"),
+                        });
+                    }
+                    held.pop();
+                }
+                Segment::Access { object, .. } => {
+                    if held.contains(object) {
+                        return Err(SimError::UnbalancedLocking {
+                            task: self.name.clone(),
+                            detail: format!("flat access to held object {object}"),
+                        });
+                    }
+                }
+                Segment::Compute(_) => {}
+            }
+        }
+        if let Some(object) = held.first() {
+            return Err(SimError::UnbalancedLocking {
+                task: self.name.clone(),
+                detail: format!("job ends still holding {object}"),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`TaskSpec`]. Created by [`TaskSpec::builder`].
+#[derive(Debug, Clone)]
+pub struct TaskSpecBuilder {
+    name: String,
+    tuf: Option<Tuf>,
+    uam: Option<Uam>,
+    segments: Vec<Segment>,
+    abort_handler_ticks: Ticks,
+    crash_after: Option<Ticks>,
+}
+
+impl TaskSpecBuilder {
+    /// Sets the time/utility function (required).
+    #[must_use]
+    pub fn tuf(mut self, tuf: Tuf) -> Self {
+        self.tuf = Some(tuf);
+        self
+    }
+
+    /// Sets the arrival model (required).
+    #[must_use]
+    pub fn uam(mut self, uam: Uam) -> Self {
+        self.uam = Some(uam);
+        self
+    }
+
+    /// Sets the full execution plan (required, non-empty).
+    #[must_use]
+    pub fn segments(mut self, segments: Vec<Segment>) -> Self {
+        self.segments = segments;
+        self
+    }
+
+    /// Appends one segment to the execution plan.
+    #[must_use]
+    pub fn segment(mut self, segment: Segment) -> Self {
+        self.segments.push(segment);
+        self
+    }
+
+    /// Sets the abort-handler execution time (default 0).
+    #[must_use]
+    pub fn abort_handler_ticks(mut self, ticks: Ticks) -> Self {
+        self.abort_handler_ticks = ticks;
+        self
+    }
+
+    /// Injects a crash: every job of this task halts permanently after
+    /// executing `ticks` — see [`TaskSpec::crash_after`].
+    #[must_use]
+    pub fn crash_after(mut self, ticks: Ticks) -> Self {
+        self.crash_after = Some(ticks);
+        self
+    }
+
+    /// Finalizes the task.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if a required field is missing, the segment list
+    /// is empty, or total compute time is zero.
+    pub fn build(self) -> Result<TaskSpec, SimError> {
+        let tuf = self.tuf.ok_or(SimError::MissingField { field: "tuf" })?;
+        let uam = self.uam.ok_or(SimError::MissingField { field: "uam" })?;
+        if self.segments.is_empty() {
+            return Err(SimError::EmptySegments { task: self.name });
+        }
+        let spec = TaskSpec {
+            name: self.name,
+            tuf,
+            uam,
+            segments: self.segments,
+            abort_handler_ticks: self.abort_handler_ticks,
+            crash_after: self.crash_after,
+        };
+        if spec.compute_ticks() == 0 && spec.access_count() == 0 {
+            return Err(SimError::ZeroComputeTime { task: spec.name });
+        }
+        spec.validate_locking()?;
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ObjectId;
+    use crate::segment::AccessKind;
+
+    fn tuf() -> Tuf {
+        Tuf::step(1.0, 1_000).expect("valid tuf")
+    }
+
+    fn spec() -> TaskSpec {
+        TaskSpec::builder("t")
+            .tuf(tuf())
+            .uam(Uam::periodic(1_000))
+            .segments(vec![
+                Segment::Compute(60),
+                Segment::Access { object: ObjectId::new(0), kind: AccessKind::Write },
+                Segment::Compute(40),
+                Segment::Access { object: ObjectId::new(1), kind: AccessKind::Read },
+            ])
+            .build()
+            .expect("valid spec")
+    }
+
+    #[test]
+    fn builder_requires_fields() {
+        assert_eq!(
+            TaskSpec::builder("x").uam(Uam::periodic(10)).build().unwrap_err(),
+            SimError::MissingField { field: "tuf" }
+        );
+        assert_eq!(
+            TaskSpec::builder("x").tuf(tuf()).build().unwrap_err(),
+            SimError::MissingField { field: "uam" }
+        );
+        assert_eq!(
+            TaskSpec::builder("x").tuf(tuf()).uam(Uam::periodic(10)).build().unwrap_err(),
+            SimError::EmptySegments { task: "x".into() }
+        );
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let s = spec();
+        assert_eq!(s.compute_ticks(), 100);
+        assert_eq!(s.access_count(), 2);
+        assert_eq!(s.nominal_exec(SharingMode::LockBased { access_ticks: 30 }), 160);
+        assert_eq!(s.nominal_exec(SharingMode::LockFree { access_ticks: 5 }), 110);
+        assert_eq!(s.nominal_exec(SharingMode::Ideal), 100);
+        assert!((s.approximate_load() - 0.1).abs() < 1e-12);
+        assert!((s.max_utilization() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sharing_mode_helpers() {
+        assert!(SharingMode::LockBased { access_ticks: 1 }.uses_locks());
+        assert!(!SharingMode::LockFree { access_ticks: 1 }.uses_locks());
+        assert!(!SharingMode::Ideal.uses_locks());
+        assert_eq!(SharingMode::Ideal.access_cost(), 0);
+    }
+
+    #[test]
+    fn access_only_task_is_valid() {
+        let s = TaskSpec::builder("a")
+            .tuf(tuf())
+            .uam(Uam::periodic(100))
+            .segment(Segment::Access { object: ObjectId::new(0), kind: AccessKind::Write })
+            .build();
+        assert!(s.is_ok());
+    }
+}

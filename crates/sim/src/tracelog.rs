@@ -1,0 +1,321 @@
+//! Optional fine-grained execution tracing.
+//!
+//! When enabled via [`SimConfig::trace`](crate::SimConfig::trace), the
+//! engine records every externally meaningful transition — releases,
+//! dispatches, preemptions, lock traffic, lock-free retries, completions,
+//! aborts — with its timestamp. Tests use the log to pin exact interleaving
+//! semantics; [`TraceLog::render_gantt`] draws an ASCII timeline for humans.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{JobId, ObjectId, TaskId};
+use crate::SimTime;
+
+/// Why a job was aborted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AbortReason {
+    /// The job's critical time expired (§3.5 timer abort).
+    CriticalTime,
+    /// The scheduler selected the job as a deadlock victim (§3.3).
+    Deadlock,
+}
+
+/// One recorded transition.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A job was released.
+    Released {
+        /// The new job.
+        job: JobId,
+        /// Its task.
+        task: TaskId,
+    },
+    /// The processor switched to this job.
+    Dispatched {
+        /// The job now running.
+        job: JobId,
+    },
+    /// A running job was switched out while still ready.
+    Preempted {
+        /// The job switched out.
+        job: JobId,
+    },
+    /// A lock request found the object held.
+    Blocked {
+        /// The requesting job.
+        job: JobId,
+        /// The contended object.
+        object: ObjectId,
+    },
+    /// A blocked job became ready again (the lock was released).
+    Woken {
+        /// The woken job.
+        job: JobId,
+        /// The object it was waiting for.
+        object: ObjectId,
+    },
+    /// A lock request was granted.
+    LockAcquired {
+        /// The new owner.
+        job: JobId,
+        /// The locked object.
+        object: ObjectId,
+    },
+    /// A lock was released.
+    LockReleased {
+        /// The previous owner.
+        job: JobId,
+        /// The unlocked object.
+        object: ObjectId,
+    },
+    /// A lock-free access attempt failed and restarted.
+    Retried {
+        /// The interfered-with job.
+        job: JobId,
+        /// The contended object.
+        object: ObjectId,
+    },
+    /// A job finished all segments.
+    Completed {
+        /// The finished job.
+        job: JobId,
+        /// Utility accrued.
+        utility: f64,
+    },
+    /// A job was aborted.
+    Aborted {
+        /// The aborted job.
+        job: JobId,
+        /// Why.
+        reason: AbortReason,
+    },
+    /// A job crashed (failure injection): halted without releasing locks.
+    Crashed {
+        /// The crashed job.
+        job: JobId,
+    },
+    /// The scheduler ran.
+    SchedulerInvoked {
+        /// Reported operation count.
+        ops: u64,
+    },
+}
+
+/// A timestamped [`TraceEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// When the transition happened.
+    pub at: SimTime,
+    /// What happened.
+    pub event: TraceEvent,
+}
+
+/// The recorded transitions of a simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceLog {
+    records: Vec<TraceRecord>,
+}
+
+impl TraceLog {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn push(&mut self, at: SimTime, event: TraceEvent) {
+        self.records.push(TraceRecord { at, event });
+    }
+
+    /// All records, in time order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Whether any records were captured.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Records matching a predicate on the event.
+    pub fn filter<F: Fn(&TraceEvent) -> bool>(&self, pred: F) -> Vec<TraceRecord> {
+        self.records.iter().copied().filter(|r| pred(&r.event)).collect()
+    }
+
+    /// Reconstructs the processor's running intervals
+    /// `(job, start, end)` from dispatch/stop transitions.
+    pub fn running_intervals(&self) -> Vec<(JobId, SimTime, SimTime)> {
+        let mut intervals = Vec::new();
+        let mut current: Option<(JobId, SimTime)> = None;
+        for rec in &self.records {
+            match rec.event {
+                TraceEvent::Dispatched { job } => {
+                    if let Some((prev, since)) = current.take() {
+                        if prev != job && rec.at > since {
+                            intervals.push((prev, since, rec.at));
+                        } else if prev == job {
+                            current = Some((prev, since));
+                            continue;
+                        }
+                    }
+                    current = Some((job, rec.at));
+                }
+                TraceEvent::Preempted { job }
+                | TraceEvent::Blocked { job, .. }
+                | TraceEvent::Completed { job, .. }
+                | TraceEvent::Aborted { job, .. }
+                | TraceEvent::Crashed { job } => {
+                    if let Some((prev, since)) = current {
+                        if prev == job {
+                            if rec.at > since {
+                                intervals.push((prev, since, rec.at));
+                            }
+                            current = None;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        intervals
+    }
+
+    /// Draws an ASCII Gantt chart of the running intervals, one row per
+    /// job, `width` columns across the full time span. Jobs are labelled by
+    /// id; `#` marks processor time.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lfrt_sim::{Engine, Segment, SharingMode, SimConfig, TaskSpec};
+    /// use lfrt_sim::scheduler::{Decision, SchedulerContext, UaScheduler};
+    /// use lfrt_tuf::Tuf;
+    /// use lfrt_uam::{ArrivalTrace, Uam};
+    ///
+    /// struct Fifo;
+    /// impl UaScheduler for Fifo {
+    ///     fn name(&self) -> &str { "fifo" }
+    ///     fn schedule(&mut self, ctx: &SchedulerContext<'_>) -> Decision {
+    ///         let order: Vec<_> = ctx.jobs.iter().map(|j| j.id).collect();
+    ///         Decision { order, ops: 1, ..Decision::default() }
+    ///     }
+    /// }
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let task = TaskSpec::builder("t")
+    ///     .tuf(Tuf::step(1.0, 1_000)?)
+    ///     .uam(Uam::periodic(1_000))
+    ///     .segments(vec![Segment::Compute(100)])
+    ///     .build()?;
+    /// let outcome = Engine::new(
+    ///     vec![task],
+    ///     vec![ArrivalTrace::new(vec![0])],
+    ///     SimConfig::new(SharingMode::Ideal).trace(true),
+    /// )?
+    /// .run(Fifo);
+    /// let chart = outcome.trace.render_gantt(40);
+    /// assert!(chart.contains("J0"));
+    /// assert!(chart.contains('#'));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn render_gantt(&self, width: usize) -> String {
+        let intervals = self.running_intervals();
+        if intervals.is_empty() || width == 0 {
+            return String::from("(no execution recorded)\n");
+        }
+        let start = intervals.iter().map(|&(_, s, _)| s).min().expect("non-empty");
+        let end = intervals.iter().map(|&(_, _, e)| e).max().expect("non-empty");
+        let span = (end - start).max(1);
+        let mut jobs: Vec<JobId> = intervals.iter().map(|&(j, _, _)| j).collect();
+        jobs.sort_unstable();
+        jobs.dedup();
+        let mut out = String::new();
+        out.push_str(&format!("time {start}..{end} ({span} ticks, {width} cols)\n"));
+        for job in jobs {
+            let mut row = vec![b' '; width];
+            for &(j, s, e) in &intervals {
+                if j != job {
+                    continue;
+                }
+                let lo = ((s - start) as u128 * width as u128 / span as u128) as usize;
+                let hi = (((e - start) as u128 * width as u128).div_ceil(span as u128)) as usize;
+                for cell in row.iter_mut().take(hi.min(width)).skip(lo) {
+                    *cell = b'#';
+                }
+            }
+            out.push_str(&format!(
+                "{:>6} |{}|\n",
+                job.to_string(),
+                String::from_utf8(row).expect("ascii")
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn j(i: usize) -> JobId {
+        JobId::new(i)
+    }
+
+    #[test]
+    fn intervals_from_dispatch_sequence() {
+        let mut log = TraceLog::new();
+        log.push(0, TraceEvent::Dispatched { job: j(0) });
+        log.push(50, TraceEvent::Preempted { job: j(0) });
+        log.push(50, TraceEvent::Dispatched { job: j(1) });
+        log.push(80, TraceEvent::Completed { job: j(1), utility: 1.0 });
+        log.push(80, TraceEvent::Dispatched { job: j(0) });
+        log.push(120, TraceEvent::Completed { job: j(0), utility: 1.0 });
+        assert_eq!(
+            log.running_intervals(),
+            vec![(j(0), 0, 50), (j(1), 50, 80), (j(0), 80, 120)]
+        );
+    }
+
+    #[test]
+    fn redundant_dispatch_of_same_job_merges() {
+        let mut log = TraceLog::new();
+        log.push(0, TraceEvent::Dispatched { job: j(0) });
+        log.push(30, TraceEvent::Dispatched { job: j(0) });
+        log.push(60, TraceEvent::Completed { job: j(0), utility: 0.0 });
+        assert_eq!(log.running_intervals(), vec![(j(0), 0, 60)]);
+    }
+
+    #[test]
+    fn gantt_renders_rows() {
+        let mut log = TraceLog::new();
+        log.push(0, TraceEvent::Dispatched { job: j(0) });
+        log.push(50, TraceEvent::Preempted { job: j(0) });
+        log.push(50, TraceEvent::Dispatched { job: j(1) });
+        log.push(100, TraceEvent::Completed { job: j(1), utility: 1.0 });
+        let chart = log.render_gantt(20);
+        assert!(chart.contains("J0"));
+        assert!(chart.contains("J1"));
+        assert!(chart.contains('#'));
+        // Two job rows plus the header.
+        assert_eq!(chart.lines().count(), 3);
+    }
+
+    #[test]
+    fn empty_log_renders_placeholder() {
+        assert!(TraceLog::new().render_gantt(10).contains("no execution"));
+    }
+
+    #[test]
+    fn filter_selects_events() {
+        let mut log = TraceLog::new();
+        log.push(0, TraceEvent::Released { job: j(0), task: TaskId::new(0) });
+        log.push(1, TraceEvent::Retried { job: j(0), object: ObjectId::new(0) });
+        let retries = log.filter(|e| matches!(e, TraceEvent::Retried { .. }));
+        assert_eq!(retries.len(), 1);
+        assert_eq!(retries[0].at, 1);
+    }
+}

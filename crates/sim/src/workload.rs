@@ -1,0 +1,350 @@
+//! Seeded task-set and arrival-trace builders for the paper's experiments.
+//!
+//! Experiments in the paper share a common recipe: `N` tasks accessing `K`
+//! shared queues, with TUF shapes drawn from a homogeneous (all step) or
+//! heterogeneous (step + parabolic + linearly-decreasing) class, scaled to a
+//! target *approximate load*. [`WorkloadSpec`] captures that recipe; every
+//! parameter is explicit and every random choice is seeded, so a workload is
+//! reproducible from its spec alone.
+
+use lfrt_tuf::Tuf;
+use lfrt_uam::{
+    ArrivalGenerator, ArrivalTrace, BackToBackBurst, PeriodicArrivals, RandomUamArrivals, Uam,
+};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::error::SimError;
+use crate::ids::ObjectId;
+use crate::segment::{AccessKind, Segment};
+use crate::task::TaskSpec;
+use crate::Ticks;
+
+/// The TUF shape mix of a workload (the paper's §6.2 classes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TufClass {
+    /// Homogeneous: every task has a downward step TUF.
+    Step,
+    /// Heterogeneous: tasks cycle through step, parabolic, and
+    /// linearly-decreasing shapes.
+    Heterogeneous,
+}
+
+/// How arrivals are generated for each task.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalStyle {
+    /// Strictly periodic (`⟨1, 1, W⟩`).
+    Periodic,
+    /// Random UAM-conformant arrivals at the given candidate-intensity
+    /// multiple of the model's maximum rate.
+    RandomUam {
+        /// Candidate arrival intensity (1.0 = the UAM max rate).
+        intensity: f64,
+    },
+    /// The adversarial back-to-back burst pattern of the Theorem 2 proof.
+    BackToBackBurst,
+}
+
+/// A reproducible recipe for a task set plus arrival traces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Number of tasks `N`.
+    pub num_tasks: usize,
+    /// Number of shared objects `K`.
+    pub num_objects: usize,
+    /// Shared-object accesses per job (`m_i`, same for all tasks).
+    pub accesses_per_job: usize,
+    /// TUF shape mix.
+    pub tuf_class: TufClass,
+    /// Target approximate load `AL = Σ uᵢ·(aᵢ/Wᵢ)` (object access time
+    /// excluded, per the paper's §6.1). Values above 1.0 are overloads.
+    pub target_load: f64,
+    /// Range of UAM windows `[min, max]` in ticks, sampled uniformly.
+    pub window_range: (Ticks, Ticks),
+    /// Maximum per-window burst `a_i`, sampled uniformly from `1..=max`.
+    pub max_burst: u32,
+    /// Critical time as a fraction of the window (`C_i = frac · W_i`).
+    pub critical_time_frac: f64,
+    /// Arrival generation style.
+    pub arrival_style: ArrivalStyle,
+    /// Simulation horizon in ticks (arrivals generated in `[0, horizon)`).
+    pub horizon: Ticks,
+    /// Fraction of accesses that are reads (reads are invalidated by
+    /// concurrent writes under lock-free sharing but never invalidate
+    /// anyone). 0.0 = all writes (the queue workloads of the paper's §6);
+    /// 1.0 = all reads.
+    pub read_fraction: f64,
+    /// RNG seed; same spec + same seed = same workload.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// A 10-task / 10-object baseline mirroring the paper's §6 setup.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lfrt_sim::workload::WorkloadSpec;
+    ///
+    /// # fn main() -> Result<(), lfrt_sim::SimError> {
+    /// let (tasks, traces) = WorkloadSpec::paper_baseline(42).build()?;
+    /// assert_eq!(tasks.len(), 10);
+    /// // Every generated trace is certified against its task's UAM.
+    /// for (task, trace) in tasks.iter().zip(&traces) {
+    ///     assert!(trace.conforms_to(task.uam()).is_ok());
+    /// }
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn paper_baseline(seed: u64) -> Self {
+        Self {
+            num_tasks: 10,
+            num_objects: 10,
+            accesses_per_job: 4,
+            tuf_class: TufClass::Step,
+            target_load: 0.4,
+            window_range: (20_000, 60_000),
+            max_burst: 2,
+            critical_time_frac: 0.9,
+            arrival_style: ArrivalStyle::RandomUam { intensity: 2.0 },
+            horizon: 2_000_000,
+            read_fraction: 0.0,
+            seed,
+        }
+    }
+
+    /// Builds the task set and one arrival trace per task.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the spec is degenerate (zero tasks, zero
+    /// load, empty window range, or horizon shorter than a window).
+    ///
+    /// # Panics
+    ///
+    /// Panics if numeric fields are NaN.
+    pub fn build(&self) -> Result<(Vec<TaskSpec>, Vec<ArrivalTrace>), SimError> {
+        if self.num_tasks == 0 {
+            return Err(SimError::MissingField { field: "num_tasks" });
+        }
+        if self.target_load <= 0.0 || self.target_load.is_nan() {
+            return Err(SimError::MissingField { field: "target_load" });
+        }
+        if self.window_range.0 == 0 || self.window_range.1 < self.window_range.0 {
+            return Err(SimError::MissingField { field: "window_range" });
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut tasks = Vec::with_capacity(self.num_tasks);
+        let mut traces = Vec::with_capacity(self.num_tasks);
+        let per_task_load = self.target_load / self.num_tasks as f64;
+        for i in 0..self.num_tasks {
+            let window = rng.random_range(self.window_range.0..=self.window_range.1);
+            let burst = match self.arrival_style {
+                ArrivalStyle::Periodic => 1,
+                _ => rng.random_range(1..=self.max_burst.max(1)),
+            };
+            let uam = match self.arrival_style {
+                ArrivalStyle::Periodic => Uam::periodic(window),
+                _ => Uam::new(1, burst, window).expect("burst >= 1, window > 0"),
+            };
+            // u_i chosen so that (a_i / W_i) · u_i = per-task load share.
+            let compute =
+                ((per_task_load * window as f64 / f64::from(burst)).round() as Ticks).max(1);
+            let critical =
+                ((self.critical_time_frac * window as f64).round() as Ticks).max(compute + 1);
+            let importance = rng.random_range(1..=10) as f64;
+            let tuf = match self.tuf_class {
+                TufClass::Step => Tuf::step(importance, critical),
+                TufClass::Heterogeneous => match i % 3 {
+                    0 => Tuf::step(importance, critical),
+                    1 => Tuf::parabolic(importance, critical),
+                    _ => Tuf::linear_decreasing(importance, critical),
+                },
+            }
+            .expect("positive critical time and finite utility");
+            let segments = spread_accesses(
+                compute,
+                self.accesses_per_job,
+                self.num_objects,
+                self.read_fraction,
+                &mut rng,
+            );
+            tasks.push(
+                TaskSpec::builder(format!("task{i}"))
+                    .tuf(tuf)
+                    .uam(uam)
+                    .segments(segments)
+                    .build()?,
+            );
+            let trace = match self.arrival_style {
+                ArrivalStyle::Periodic => PeriodicArrivals::new(window).generate(self.horizon),
+                ArrivalStyle::RandomUam { intensity } => {
+                    RandomUamArrivals::new(uam, self.seed.wrapping_add(i as u64))
+                        .with_intensity(intensity)
+                        .generate(self.horizon)
+                }
+                ArrivalStyle::BackToBackBurst => {
+                    BackToBackBurst::new(uam).generate(self.horizon)
+                }
+            };
+            traces.push(trace);
+        }
+        Ok((tasks, traces))
+    }
+}
+
+/// Splits `compute` ticks into `accesses + 1` chunks with an access to a
+/// randomly chosen object between consecutive chunks.
+fn spread_accesses(
+    compute: Ticks,
+    accesses: usize,
+    num_objects: usize,
+    read_fraction: f64,
+    rng: &mut StdRng,
+) -> Vec<Segment> {
+    if accesses == 0 || num_objects == 0 {
+        return vec![Segment::Compute(compute)];
+    }
+    let chunks = accesses as Ticks + 1;
+    let base = compute / chunks;
+    let remainder = compute % chunks;
+    let mut segments = Vec::with_capacity(accesses * 2 + 1);
+    for c in 0..chunks {
+        let extra = u64::from(c < remainder);
+        let chunk = base + extra;
+        if chunk > 0 {
+            segments.push(Segment::Compute(chunk));
+        }
+        if (c as usize) < accesses {
+            let object = ObjectId::new(rng.random_range(0..num_objects));
+            let kind = if read_fraction > 0.0 && rng.random::<f64>() < read_fraction {
+                AccessKind::Read
+            } else {
+                AccessKind::Write
+            };
+            segments.push(Segment::Access { object, kind });
+        }
+    }
+    segments
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_builds_and_hits_load() {
+        let spec = WorkloadSpec::paper_baseline(1);
+        let (tasks, traces) = spec.build().expect("valid spec");
+        assert_eq!(tasks.len(), 10);
+        assert_eq!(traces.len(), 10);
+        let load: f64 = tasks.iter().map(TaskSpec::max_utilization).sum();
+        assert!(
+            (load - 0.4).abs() < 0.05,
+            "load {load} should be near the 0.4 target"
+        );
+        for (task, trace) in tasks.iter().zip(&traces) {
+            assert!(trace.conforms_to(task.uam()).is_ok());
+            assert_eq!(task.access_count(), 4);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = WorkloadSpec::paper_baseline(7).build().expect("valid");
+        let b = WorkloadSpec::paper_baseline(7).build().expect("valid");
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+        let c = WorkloadSpec::paper_baseline(8).build().expect("valid");
+        assert_ne!(a.1, c.1);
+    }
+
+    #[test]
+    fn zero_accesses_yields_single_compute_segment() {
+        let mut spec = WorkloadSpec::paper_baseline(1);
+        spec.accesses_per_job = 0;
+        let (tasks, _) = spec.build().expect("valid spec");
+        for t in &tasks {
+            assert_eq!(t.access_count(), 0);
+            assert_eq!(t.segments().len(), 1);
+        }
+    }
+
+    #[test]
+    fn overload_spec_builds() {
+        let mut spec = WorkloadSpec::paper_baseline(1);
+        spec.target_load = 1.1;
+        let (tasks, _) = spec.build().expect("valid spec");
+        let load: f64 = tasks.iter().map(TaskSpec::max_utilization).sum();
+        assert!(load > 1.0);
+    }
+
+    #[test]
+    fn heterogeneous_mixes_shapes() {
+        let mut spec = WorkloadSpec::paper_baseline(1);
+        spec.tuf_class = TufClass::Heterogeneous;
+        let (tasks, _) = spec.build().expect("valid spec");
+        let non_step = tasks
+            .iter()
+            .filter(|t| !matches!(t.tuf().shape(), lfrt_tuf::TufShape::Step { .. }))
+            .count();
+        assert!(non_step >= 6, "expected parabolic and linear TUFs in the mix");
+    }
+
+    #[test]
+    fn degenerate_specs_rejected() {
+        let mut spec = WorkloadSpec::paper_baseline(1);
+        spec.num_tasks = 0;
+        assert!(spec.build().is_err());
+        let mut spec = WorkloadSpec::paper_baseline(1);
+        spec.target_load = 0.0;
+        assert!(spec.build().is_err());
+        let mut spec = WorkloadSpec::paper_baseline(1);
+        spec.window_range = (0, 10);
+        assert!(spec.build().is_err());
+    }
+
+    #[test]
+    fn read_fraction_mixes_access_kinds() {
+        let mut spec = WorkloadSpec::paper_baseline(1);
+        spec.read_fraction = 0.5;
+        let (tasks, _) = spec.build().expect("valid spec");
+        let (mut reads, mut writes) = (0, 0);
+        for t in &tasks {
+            for seg in t.segments() {
+                match seg {
+                    Segment::Access { kind: AccessKind::Read, .. } => reads += 1,
+                    Segment::Access { kind: AccessKind::Write, .. } => writes += 1,
+                    _ => {}
+                }
+            }
+        }
+        assert!(reads > 0 && writes > 0, "both kinds present: {reads} reads, {writes} writes");
+    }
+
+    #[test]
+    fn all_read_workload_is_pure_reads() {
+        let mut spec = WorkloadSpec::paper_baseline(1);
+        spec.read_fraction = 1.0;
+        let (tasks, _) = spec.build().expect("valid spec");
+        assert!(tasks.iter().all(|t| t
+            .segments()
+            .iter()
+            .all(|s| !matches!(s, Segment::Access { kind: AccessKind::Write, .. }))));
+    }
+
+    #[test]
+    fn compute_split_preserves_total() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for compute in [1u64, 7, 100, 1_234] {
+            for accesses in [0usize, 1, 3, 9] {
+                let segs = spread_accesses(compute, accesses, 5, 0.0, &mut rng);
+                let total: Ticks = segs.iter().map(Segment::compute_ticks).sum();
+                assert_eq!(total, compute);
+                let n_access = segs.iter().filter(|s| s.is_access()).count();
+                assert_eq!(n_access, accesses);
+            }
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! §3.5 abort-handler accounting: the exception handler runs immediately at
+//! the abort, consumes processor time (a kernel-busy window), and restores
+//! consistency by releasing held locks.
+
+use lfrt_sim::{
+    Decision, Engine, JobId, ObjectId, SchedulerContext, Segment, SharingMode, SimConfig,
+    TaskSpec, UaScheduler,
+};
+use lfrt_tuf::Tuf;
+use lfrt_uam::{ArrivalTrace, Uam};
+
+struct Edf;
+
+impl UaScheduler for Edf {
+    fn name(&self) -> &str {
+        "edf-test"
+    }
+
+    fn schedule(&mut self, ctx: &SchedulerContext<'_>) -> Decision {
+        let mut order: Vec<JobId> = ctx.jobs.iter().map(|j| j.id).collect();
+        order.sort_by_key(|&id| {
+            let j = ctx.job(id).expect("listed job");
+            (j.absolute_critical_time, id)
+        });
+        Decision { order, ops: 1, ..Decision::default() }
+    }
+}
+
+#[test]
+fn handler_time_delays_the_next_job() {
+    // "doomed" can never finish (compute > critical time); its abort at
+    // t=500 runs a 300-tick handler, during which "next" cannot progress.
+    let doomed = TaskSpec::builder("doomed")
+        .tuf(Tuf::step(1.0, 500).expect("valid tuf"))
+        .uam(Uam::periodic(100_000))
+        .segments(vec![Segment::Compute(10_000)])
+        .abort_handler_ticks(300)
+        .build()
+        .expect("valid task");
+    let next = TaskSpec::builder("next")
+        .tuf(Tuf::step(1.0, 50_000).expect("valid tuf"))
+        .uam(Uam::periodic(100_000))
+        .segments(vec![Segment::Compute(100)])
+        .build()
+        .expect("valid task");
+    let outcome = Engine::new(
+        vec![doomed, next],
+        vec![ArrivalTrace::new(vec![0]), ArrivalTrace::new(vec![490])],
+        SimConfig::new(SharingMode::Ideal),
+    )
+    .expect("valid engine")
+    .run(Edf);
+    let doomed_rec = outcome.records.iter().find(|r| r.task.index() == 0).expect("ran");
+    assert!(!doomed_rec.completed);
+    assert_eq!(doomed_rec.resolved_at, 500);
+    let next_rec = outcome.records.iter().find(|r| r.task.index() == 1).expect("ran");
+    // "next" arrives at 490 but "doomed" has the earlier critical time and
+    // keeps the CPU; the abort at 500 is followed by the 300-tick handler,
+    // so "next" runs 800..900.
+    assert_eq!(next_rec.resolved_at, 900, "the handler's 300 ticks must be charged");
+}
+
+#[test]
+fn zero_handler_time_costs_nothing() {
+    let doomed = TaskSpec::builder("doomed")
+        .tuf(Tuf::step(1.0, 500).expect("valid tuf"))
+        .uam(Uam::periodic(100_000))
+        .segments(vec![Segment::Compute(10_000)])
+        .build()
+        .expect("valid task");
+    let next = TaskSpec::builder("next")
+        .tuf(Tuf::step(1.0, 50_000).expect("valid tuf"))
+        .uam(Uam::periodic(100_000))
+        .segments(vec![Segment::Compute(100)])
+        .build()
+        .expect("valid task");
+    let outcome = Engine::new(
+        vec![doomed, next],
+        vec![ArrivalTrace::new(vec![0]), ArrivalTrace::new(vec![490])],
+        SimConfig::new(SharingMode::Ideal),
+    )
+    .expect("valid engine")
+    .run(Edf);
+    let next_rec = outcome.records.iter().find(|r| r.task.index() == 1).expect("ran");
+    // Without a handler, "next" starts right at the abort: 500..600.
+    assert_eq!(next_rec.resolved_at, 600);
+}
+
+#[test]
+fn handler_releases_lock_before_waiter_resumes() {
+    // Two CPUs so the waiter can request while the holder is mid-section:
+    // the holder aborts at its critical time with a 200-tick handler; the
+    // waiter is woken at the abort but cannot execute until the handler's
+    // kernel window ends.
+    let holder = TaskSpec::builder("holder")
+        .tuf(Tuf::step(1.0, 500).expect("valid tuf"))
+        .uam(Uam::periodic(100_000))
+        .segments(vec![Segment::Access {
+            object: ObjectId::new(0),
+            kind: lfrt_sim::AccessKind::Write,
+        }])
+        .abort_handler_ticks(200)
+        .build()
+        .expect("valid task");
+    let waiter = TaskSpec::builder("waiter")
+        .tuf(Tuf::step(1.0, 50_000).expect("valid tuf"))
+        .uam(Uam::periodic(100_000))
+        .segments(vec![Segment::Access {
+            object: ObjectId::new(0),
+            kind: lfrt_sim::AccessKind::Write,
+        }])
+        .build()
+        .expect("valid task");
+    let outcome = lfrt_sim::mp::MpEngine::new(
+        vec![holder, waiter],
+        vec![ArrivalTrace::new(vec![0]), ArrivalTrace::new(vec![10])],
+        SimConfig::new(SharingMode::LockBased { access_ticks: 1_000 }),
+        2,
+    )
+    .expect("valid engine")
+    .run(Edf);
+    let waiter_rec = outcome.records.iter().find(|r| r.task.index() == 1).expect("ran");
+    assert!(waiter_rec.completed);
+    // Abort at 500 + 200 handler + 1000 critical section = 1700.
+    assert_eq!(waiter_rec.resolved_at, 1_700);
+    assert_eq!(waiter_rec.blockings, 1);
+}

@@ -1,0 +1,140 @@
+//! Failure injection: §1.1's argument that "deadlocks can occur when lock
+//! holders crash, causing indefinite starvation to blockers" — and that
+//! lock-free sharing is immune, because no crashed peer can hold anything.
+
+use lfrt_sim::{
+    AccessKind, Decision, Engine, JobId, ObjectId, SchedulerContext, Segment, SharingMode,
+    SimConfig, TaskSpec, UaScheduler,
+};
+use lfrt_tuf::Tuf;
+use lfrt_uam::{ArrivalTrace, Uam};
+
+struct Edf;
+
+impl UaScheduler for Edf {
+    fn name(&self) -> &str {
+        "edf-test"
+    }
+
+    fn schedule(&mut self, ctx: &SchedulerContext<'_>) -> Decision {
+        let mut order: Vec<JobId> = ctx.jobs.iter().map(|j| j.id).collect();
+        order.sort_by_key(|&id| {
+            let j = ctx.job(id).expect("listed job");
+            (j.absolute_critical_time, id)
+        });
+        Decision { order, ops: 1, ..Decision::default() }
+    }
+}
+
+fn access(object: usize) -> Segment {
+    Segment::Access { object: ObjectId::new(object), kind: AccessKind::Write }
+}
+
+/// A holder that crashes mid-critical-section, plus a stream of jobs that
+/// need the same object.
+fn scenario(sharing: SharingMode) -> lfrt_sim::SimOutcome {
+    let crasher = TaskSpec::builder("crasher")
+        .tuf(Tuf::step(1.0, 1_000_000).expect("valid tuf"))
+        .uam(Uam::periodic(10_000_000))
+        .segments(vec![Segment::Compute(10), access(0)])
+        .crash_after(200) // dies 190 ticks into its 1000-tick access
+        .build()
+        .expect("valid task");
+    let stream = TaskSpec::builder("stream")
+        .tuf(Tuf::step(5.0, 4_000).expect("valid tuf"))
+        .uam(Uam::periodic(5_000))
+        .segments(vec![access(0), Segment::Compute(50)])
+        .build()
+        .expect("valid task");
+    Engine::new(
+        vec![crasher, stream],
+        vec![
+            ArrivalTrace::new(vec![0]),
+            ArrivalTrace::new((0..10).map(|k| 500 + k * 5_000).collect()),
+        ],
+        SimConfig::new(sharing),
+    )
+    .expect("valid engine")
+    .run(Edf)
+}
+
+#[test]
+fn crashed_lock_holder_starves_every_blocker() {
+    let outcome = scenario(SharingMode::LockBased { access_ticks: 1_000 });
+    assert_eq!(outcome.metrics.crashed(), 1, "the holder crashed");
+    // Every stream job blocks on the dead holder's lock and dies at its own
+    // critical time: indefinite starvation.
+    let stream: Vec<_> = outcome.records.iter().filter(|r| r.task.index() == 1).collect();
+    assert_eq!(stream.len(), 10);
+    assert!(
+        stream.iter().all(|r| !r.completed),
+        "no stream job can ever acquire the dead lock"
+    );
+    assert!(outcome.metrics.blockings() >= 10);
+    assert_eq!(outcome.metrics.aur(), 0.0);
+}
+
+#[test]
+fn lock_free_sharing_is_immune_to_the_crash() {
+    let outcome = scenario(SharingMode::LockFree { access_ticks: 1_000 });
+    assert_eq!(outcome.metrics.crashed(), 1, "the holder still crashes");
+    let stream: Vec<_> = outcome.records.iter().filter(|r| r.task.index() == 1).collect();
+    assert_eq!(stream.len(), 10);
+    assert!(
+        stream.iter().all(|r| r.completed),
+        "lock-free peers sail past the crashed job"
+    );
+    assert_eq!(outcome.metrics.blockings(), 0);
+    assert!(outcome.metrics.aur() > 0.9);
+}
+
+#[test]
+fn crash_point_is_exact_and_counted_once() {
+    let crasher = TaskSpec::builder("c")
+        .tuf(Tuf::step(1.0, 100_000).expect("valid tuf"))
+        .uam(Uam::periodic(1_000_000))
+        .segments(vec![Segment::Compute(10_000)])
+        .crash_after(1_234)
+        .build()
+        .expect("valid task");
+    let outcome = Engine::new(
+        vec![crasher],
+        vec![ArrivalTrace::new(vec![0])],
+        SimConfig::new(SharingMode::Ideal),
+    )
+    .expect("valid engine")
+    .run(Edf);
+    assert_eq!(outcome.metrics.crashed(), 1);
+    assert_eq!(outcome.metrics.completed(), 0);
+    assert_eq!(outcome.metrics.aborted(), 0, "a crash is not a clean abort");
+    assert_eq!(outcome.records[0].resolved_at, 1_234);
+}
+
+#[test]
+fn crash_only_counts_executed_time_not_wall_time() {
+    // The crasher is preempted by an urgent job; its crash point moves out
+    // in wall-clock terms because only executed ticks count.
+    let crasher = TaskSpec::builder("c")
+        .tuf(Tuf::step(1.0, 100_000).expect("valid tuf"))
+        .uam(Uam::periodic(1_000_000))
+        .segments(vec![Segment::Compute(10_000)])
+        .crash_after(500)
+        .build()
+        .expect("valid task");
+    let urgent = TaskSpec::builder("u")
+        .tuf(Tuf::step(5.0, 1_000).expect("valid tuf"))
+        .uam(Uam::periodic(1_000_000))
+        .segments(vec![Segment::Compute(300)])
+        .build()
+        .expect("valid task");
+    let outcome = Engine::new(
+        vec![crasher, urgent],
+        vec![ArrivalTrace::new(vec![0]), ArrivalTrace::new(vec![100])],
+        SimConfig::new(SharingMode::Ideal),
+    )
+    .expect("valid engine")
+    .run(Edf);
+    let crash = outcome.records.iter().find(|r| r.task.index() == 0).expect("crashed");
+    // 100 executed + 300 preempted + 400 more executed = crash at t = 800.
+    assert_eq!(crash.resolved_at, 800);
+}

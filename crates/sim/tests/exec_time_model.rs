@@ -1,0 +1,119 @@
+//! Tests for context-dependent execution times (`ExecTimeModel`): actual
+//! compute durations deviate from the nominal plan that schedulers see, so
+//! feasibility tests can be wrong and overruns end in aborts — the paper's
+//! "execution overruns are quite possible" (§3.2, footnote 4).
+
+use lfrt_sim::{
+    Decision, Engine, ExecTimeModel, JobId, SchedulerContext, Segment, SharingMode, SimConfig,
+    TaskSpec, UaScheduler,
+};
+use lfrt_tuf::Tuf;
+use lfrt_uam::{ArrivalTrace, Uam};
+
+struct Edf;
+
+impl UaScheduler for Edf {
+    fn name(&self) -> &str {
+        "edf-test"
+    }
+
+    fn schedule(&mut self, ctx: &SchedulerContext<'_>) -> Decision {
+        let mut order: Vec<JobId> = ctx.jobs.iter().map(|j| j.id).collect();
+        order.sort_by_key(|&id| {
+            let j = ctx.job(id).expect("listed job");
+            (j.absolute_critical_time, id)
+        });
+        Decision { order, ops: 1, ..Decision::default() }
+    }
+}
+
+fn task(critical: u64, compute: u64) -> TaskSpec {
+    TaskSpec::builder("t")
+        .tuf(Tuf::step(1.0, critical).expect("valid tuf"))
+        .uam(Uam::periodic(critical))
+        .segments(vec![Segment::Compute(compute)])
+        .build()
+        .expect("valid task")
+}
+
+fn run(critical: u64, compute: u64, arrivals: Vec<u64>, model: ExecTimeModel) -> lfrt_sim::SimOutcome {
+    Engine::new(
+        vec![task(critical, compute)],
+        vec![ArrivalTrace::new(arrivals)],
+        SimConfig::new(SharingMode::Ideal).exec_time(model),
+    )
+    .expect("valid engine")
+    .run(Edf)
+}
+
+#[test]
+fn unit_factor_matches_nominal_exactly() {
+    let nominal = run(1_000, 100, vec![0, 1_000, 2_000], ExecTimeModel::Nominal);
+    let unit = run(
+        1_000,
+        100,
+        vec![0, 1_000, 2_000],
+        ExecTimeModel::Uniform { min_factor: 1.0, max_factor: 1.0, seed: 9 },
+    );
+    assert_eq!(nominal.records, unit.records);
+}
+
+#[test]
+fn overruns_break_nominally_feasible_jobs() {
+    // Nominal 600 of 1000 is feasible; a 2× overrun (1200 > 1000) is not.
+    let doomed = run(
+        1_000,
+        600,
+        vec![0],
+        ExecTimeModel::Uniform { min_factor: 2.0, max_factor: 2.0, seed: 1 },
+    );
+    assert_eq!(doomed.metrics.completed(), 0);
+    assert_eq!(doomed.metrics.aborted(), 1);
+    assert_eq!(doomed.records[0].resolved_at, 1_000, "abort at the critical time");
+}
+
+#[test]
+fn underruns_shorten_sojourns() {
+    let fast = run(
+        1_000,
+        600,
+        vec![0],
+        ExecTimeModel::Uniform { min_factor: 0.5, max_factor: 0.5, seed: 1 },
+    );
+    assert_eq!(fast.metrics.completed(), 1);
+    assert_eq!(fast.records[0].sojourn(), 300);
+}
+
+#[test]
+fn jitter_is_deterministic_per_seed_and_varies_across_jobs() {
+    let model = ExecTimeModel::Uniform { min_factor: 0.5, max_factor: 1.5, seed: 33 };
+    let arrivals: Vec<u64> = (0..20).map(|k| k * 10_000).collect();
+    let a = run(9_000, 1_000, arrivals.clone(), model);
+    let b = run(9_000, 1_000, arrivals, model);
+    assert_eq!(a.records, b.records);
+    // Sojourns differ across jobs (different draws).
+    let sojourns: Vec<u64> = a.records.iter().map(|r| r.sojourn()).collect();
+    assert!(sojourns.iter().any(|&s| s != sojourns[0]), "jitter must vary: {sojourns:?}");
+    // All within the configured envelope.
+    for &s in &sojourns {
+        assert!((500..=1_500).contains(&s), "sojourn {s} outside the 0.5–1.5 envelope");
+    }
+}
+
+#[test]
+fn different_seeds_draw_different_scales() {
+    let arrivals: Vec<u64> = (0..10).map(|k| k * 10_000).collect();
+    let a = run(
+        9_000,
+        1_000,
+        arrivals.clone(),
+        ExecTimeModel::Uniform { min_factor: 0.5, max_factor: 1.5, seed: 1 },
+    );
+    let b = run(
+        9_000,
+        1_000,
+        arrivals,
+        ExecTimeModel::Uniform { min_factor: 0.5, max_factor: 1.5, seed: 2 },
+    );
+    assert_ne!(a.records, b.records);
+}

@@ -1,0 +1,138 @@
+//! Trace-log integration tests: the fine-grained transition log is
+//! internally consistent with the aggregated metrics and with the engine's
+//! locking protocol.
+
+use lfrt_sim::{
+    AccessKind, Decision, Engine, JobId, ObjectId, SchedulerContext, Segment, SharingMode,
+    SimConfig, TaskSpec, TraceEvent, UaScheduler,
+};
+use lfrt_tuf::Tuf;
+use lfrt_uam::{ArrivalTrace, Uam};
+
+struct Edf;
+
+impl UaScheduler for Edf {
+    fn name(&self) -> &str {
+        "edf-test"
+    }
+
+    fn schedule(&mut self, ctx: &SchedulerContext<'_>) -> Decision {
+        let mut order: Vec<JobId> = ctx.jobs.iter().map(|j| j.id).collect();
+        order.sort_by_key(|&id| {
+            let j = ctx.job(id).expect("listed job");
+            (j.absolute_critical_time, id)
+        });
+        Decision { order, ops: 1, ..Decision::default() }
+    }
+}
+
+fn task(name: &str, critical: u64, segments: Vec<Segment>) -> TaskSpec {
+    TaskSpec::builder(name)
+        .tuf(Tuf::step(1.0, critical).expect("valid tuf"))
+        .uam(Uam::periodic(100_000))
+        .segments(segments)
+        .build()
+        .expect("valid task")
+}
+
+fn access(object: usize) -> Segment {
+    Segment::Access { object: ObjectId::new(object), kind: AccessKind::Write }
+}
+
+#[test]
+fn lock_traffic_is_balanced_and_ordered() {
+    let holder = task("holder", 50_000, vec![Segment::Compute(10), access(0)]);
+    let contender = task("contender", 1_000, vec![access(0)]);
+    let outcome = Engine::new(
+        vec![holder, contender],
+        vec![ArrivalTrace::new(vec![0]), ArrivalTrace::new(vec![50])],
+        SimConfig::new(SharingMode::LockBased { access_ticks: 100 }).trace(true),
+    )
+    .expect("valid engine")
+    .run(Edf);
+    let log = &outcome.trace;
+    assert!(!log.is_empty());
+
+    let acquires = log.filter(|e| matches!(e, TraceEvent::LockAcquired { .. }));
+    let releases = log.filter(|e| matches!(e, TraceEvent::LockReleased { .. }));
+    assert_eq!(acquires.len(), releases.len(), "every acquire has a release");
+    assert_eq!(acquires.len(), 2);
+
+    // The contender blocks, then wakes when the holder releases, in order.
+    let blocked = log.filter(|e| matches!(e, TraceEvent::Blocked { .. }));
+    let woken = log.filter(|e| matches!(e, TraceEvent::Woken { .. }));
+    assert_eq!(blocked.len(), 1);
+    assert_eq!(woken.len(), 1);
+    assert!(blocked[0].at < woken[0].at);
+    // The wake coincides with the holder's release of object 0.
+    assert_eq!(woken[0].at, releases[0].at);
+}
+
+#[test]
+fn retry_events_match_metrics() {
+    let victim = task("victim", 50_000, vec![Segment::Compute(10), access(0)]);
+    let interferer = task("interferer", 500, vec![access(0)]);
+    let outcome = Engine::new(
+        vec![victim, interferer],
+        vec![ArrivalTrace::new(vec![0]), ArrivalTrace::new(vec![50])],
+        SimConfig::new(SharingMode::LockFree { access_ticks: 100 }).trace(true),
+    )
+    .expect("valid engine")
+    .run(Edf);
+    let retried = outcome.trace.filter(|e| matches!(e, TraceEvent::Retried { .. }));
+    assert_eq!(retried.len() as u64, outcome.metrics.retries());
+    assert_eq!(retried.len(), 1);
+}
+
+#[test]
+fn release_and_completion_events_match_metrics() {
+    let t = task("t", 1_000, vec![Segment::Compute(100)]);
+    let outcome = Engine::new(
+        vec![t],
+        vec![ArrivalTrace::new(vec![0, 1_000, 2_000])],
+        SimConfig::new(SharingMode::Ideal).trace(true),
+    )
+    .expect("valid engine")
+    .run(Edf);
+    let released = outcome.trace.filter(|e| matches!(e, TraceEvent::Released { .. }));
+    let completed = outcome.trace.filter(|e| matches!(e, TraceEvent::Completed { .. }));
+    assert_eq!(released.len() as u64, outcome.metrics.released());
+    assert_eq!(completed.len() as u64, outcome.metrics.completed());
+    // Scheduler invocations are traced one-for-one.
+    let invoked = outcome.trace.filter(|e| matches!(e, TraceEvent::SchedulerInvoked { .. }));
+    assert_eq!(invoked.len() as u64, outcome.metrics.sched_invocations);
+}
+
+#[test]
+fn gantt_shows_preemption_pattern() {
+    let long = task("long", 50_000, vec![Segment::Compute(1_000)]);
+    let short = task("short", 300, vec![Segment::Compute(100)]);
+    let outcome = Engine::new(
+        vec![long, short],
+        vec![ArrivalTrace::new(vec![0]), ArrivalTrace::new(vec![200])],
+        SimConfig::new(SharingMode::Ideal).trace(true),
+    )
+    .expect("valid engine")
+    .run(Edf);
+    let intervals = outcome.trace.running_intervals();
+    // long runs 0..200, short 200..300, long 300..1100.
+    assert_eq!(intervals.len(), 3);
+    assert_eq!(intervals[0], (JobId::new(0), 0, 200));
+    assert_eq!(intervals[1], (JobId::new(1), 200, 300));
+    assert_eq!(intervals[2], (JobId::new(0), 300, 1_100));
+    let chart = outcome.trace.render_gantt(44);
+    assert_eq!(chart.lines().count(), 3, "header + two job rows:\n{chart}");
+}
+
+#[test]
+fn tracing_disabled_keeps_log_empty() {
+    let t = task("t", 1_000, vec![Segment::Compute(100)]);
+    let outcome = Engine::new(
+        vec![t],
+        vec![ArrivalTrace::new(vec![0])],
+        SimConfig::new(SharingMode::Ideal),
+    )
+    .expect("valid engine")
+    .run(Edf);
+    assert!(outcome.trace.is_empty());
+}

@@ -1,0 +1,50 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when constructing an invalid [`Tuf`](crate::Tuf).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TufError {
+    /// The critical time was zero; a TUF must be positive somewhere.
+    ZeroCriticalTime,
+    /// A utility value was negative, NaN, or infinite.
+    InvalidUtility {
+        /// The offending value, rendered for diagnostics.
+        value: String,
+    },
+    /// A piecewise-linear TUF was given no control points.
+    EmptyPoints,
+    /// Piecewise-linear control points were not strictly increasing in time.
+    UnsortedPoints {
+        /// Index of the first out-of-order point.
+        index: usize,
+    },
+    /// A piecewise-linear point lies at or beyond the critical time.
+    PointBeyondCriticalTime {
+        /// Time coordinate of the offending point.
+        time: u64,
+        /// The declared critical time.
+        critical_time: u64,
+    },
+}
+
+impl fmt::Display for TufError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TufError::ZeroCriticalTime => write!(f, "critical time must be positive"),
+            TufError::InvalidUtility { value } => {
+                write!(f, "utility value {value} is not a finite non-negative number")
+            }
+            TufError::EmptyPoints => write!(f, "piecewise TUF requires at least one point"),
+            TufError::UnsortedPoints { index } => {
+                write!(f, "piecewise TUF points must be strictly increasing in time (point {index})")
+            }
+            TufError::PointBeyondCriticalTime { time, critical_time } => write!(
+                f,
+                "piecewise TUF point at time {time} lies at or beyond critical time {critical_time}"
+            ),
+        }
+    }
+}
+
+impl Error for TufError {}

@@ -1,0 +1,43 @@
+//! Time/utility functions (TUFs) for utility-accrual real-time scheduling.
+//!
+//! A *time/utility function* (Jensen, Locke, Tokuda — RTSS'85) expresses the
+//! utility of completing an activity as a function of its completion time.
+//! Classic deadlines are the special case of a binary-valued, downward "step"
+//! TUF. This crate provides the TUF shapes used in the evaluation of
+//! *Lock-Free Synchronization for Dynamic Embedded Real-Time Systems*
+//! (Cho, Ravindran, Jensen — DATE 2006): step, linearly-decreasing,
+//! parabolic, and arbitrary piecewise-linear functions.
+//!
+//! Every TUF has a single *critical time* `C`: the time at which the function
+//! drops to zero utility, and after which it stays at zero. Time is measured
+//! in integer ticks **relative to the activity's arrival** (i.e. the argument
+//! of [`Tuf::utility`] is the activity's sojourn time).
+//!
+//! # Examples
+//!
+//! ```
+//! use lfrt_tuf::Tuf;
+//!
+//! # fn main() -> Result<(), lfrt_tuf::TufError> {
+//! // A classic deadline at t = 100 with unit utility.
+//! let deadline = Tuf::step(1.0, 100)?;
+//! assert_eq!(deadline.utility(99), 1.0);
+//! assert_eq!(deadline.utility(100), 0.0);
+//!
+//! // Utility decays linearly from 10 to 0 over the first 50 ticks.
+//! let linear = Tuf::linear_decreasing(10.0, 50)?;
+//! assert_eq!(linear.utility(25), 5.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod shape;
+mod tuf;
+
+pub use error::TufError;
+pub use shape::TufShape;
+pub use tuf::Tuf;

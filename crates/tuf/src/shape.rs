@@ -1,0 +1,212 @@
+use serde::{Deserialize, Serialize};
+
+/// The shape of a time/utility function over `[0, C)`, where `C` is the
+/// critical time held by the enclosing [`Tuf`](crate::Tuf).
+///
+/// All shapes evaluate to zero at and after the critical time; the variants
+/// only describe behaviour strictly before it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum TufShape {
+    /// Binary-valued downward step: constant `height` before the critical
+    /// time, zero afterwards. This is the classic deadline.
+    Step {
+        /// Utility accrued by completing before the critical time.
+        height: f64,
+    },
+    /// Utility decays linearly from `initial` at `t = 0` to `final_utility`
+    /// just before the critical time (then drops to zero).
+    Linear {
+        /// Utility at completion time zero.
+        initial: f64,
+        /// Utility approached as completion time nears the critical time.
+        final_utility: f64,
+    },
+    /// Downward parabola `u(t) = peak · (1 − (t/C)²)` — non-increasing, with
+    /// maximum `peak` at `t = 0`. Models "soft" time constraints such as the
+    /// AWACS association-quality TUF in the paper's Figure 1.
+    Parabolic {
+        /// Utility at completion time zero.
+        peak: f64,
+    },
+    /// Exponential decay `u(t) = initial · e^(−rate·t)` — the "value
+    /// evaporates" constraints of the TUF literature (e.g. stale sensor
+    /// fusion). Non-increasing for `rate ≥ 0`.
+    Exponential {
+        /// Utility at completion time zero.
+        initial: f64,
+        /// Decay rate per tick (must be finite and non-negative).
+        rate: f64,
+    },
+    /// Arbitrary piecewise-linear function through the given `(time, utility)`
+    /// control points, linearly interpolated. Before the first point the
+    /// utility is the first point's utility; between the last point and the
+    /// critical time it is the last point's utility.
+    PiecewiseLinear {
+        /// Strictly time-increasing control points within `[0, C)`.
+        points: Vec<(u64, f64)>,
+    },
+}
+
+impl TufShape {
+    /// Evaluates the shape at sojourn time `t`, given the critical time `c`.
+    ///
+    /// Returns zero for `t >= c`. The caller (i.e. [`Tuf`](crate::Tuf))
+    /// guarantees `c > 0` and that all utilities are finite and non-negative.
+    pub(crate) fn eval(&self, t: u64, c: u64) -> f64 {
+        if t >= c {
+            return 0.0;
+        }
+        match self {
+            TufShape::Step { height } => *height,
+            TufShape::Linear { initial, final_utility } => {
+                let frac = t as f64 / c as f64;
+                initial + (final_utility - initial) * frac
+            }
+            TufShape::Parabolic { peak } => {
+                let frac = t as f64 / c as f64;
+                peak * (1.0 - frac * frac)
+            }
+            TufShape::Exponential { initial, rate } => initial * (-rate * t as f64).exp(),
+            TufShape::PiecewiseLinear { points } => piecewise_eval(points, t),
+        }
+    }
+
+    /// Maximum utility the shape can yield anywhere in `[0, C)`.
+    pub(crate) fn max_utility(&self) -> f64 {
+        match self {
+            TufShape::Step { height } => *height,
+            TufShape::Linear { initial, final_utility } => initial.max(*final_utility),
+            TufShape::Parabolic { peak } => *peak,
+            TufShape::Exponential { initial, .. } => *initial,
+            TufShape::PiecewiseLinear { points } => {
+                points.iter().map(|&(_, u)| u).fold(0.0, f64::max)
+            }
+        }
+    }
+
+    /// Whether the shape is non-increasing over `[0, C)`.
+    ///
+    /// Non-increasing TUFs are the precondition of the paper's Lemmas 4 and 5
+    /// (shorter sojourn times always accrue at least as much utility).
+    pub(crate) fn is_non_increasing(&self) -> bool {
+        match self {
+            TufShape::Step { .. }
+            | TufShape::Parabolic { .. }
+            | TufShape::Exponential { .. } => true,
+            TufShape::Linear { initial, final_utility } => final_utility <= initial,
+            TufShape::PiecewiseLinear { points } => {
+                points.windows(2).all(|w| w[1].1 <= w[0].1)
+            }
+        }
+    }
+
+    /// All utility values that define the shape, for validation.
+    pub(crate) fn utility_values(&self) -> Vec<f64> {
+        match self {
+            TufShape::Step { height } => vec![*height],
+            TufShape::Linear { initial, final_utility } => vec![*initial, *final_utility],
+            TufShape::Parabolic { peak } => vec![*peak],
+            TufShape::Exponential { initial, .. } => vec![*initial],
+            TufShape::PiecewiseLinear { points } => points.iter().map(|&(_, u)| u).collect(),
+        }
+    }
+}
+
+fn piecewise_eval(points: &[(u64, f64)], t: u64) -> f64 {
+    debug_assert!(!points.is_empty());
+    if t <= points[0].0 {
+        return points[0].1;
+    }
+    if t >= points[points.len() - 1].0 {
+        return points[points.len() - 1].1;
+    }
+    // Find the segment containing t.
+    let idx = points.partition_point(|&(pt, _)| pt <= t);
+    let (t0, u0) = points[idx - 1];
+    let (t1, u1) = points[idx];
+    debug_assert!(t0 <= t && t < t1);
+    let frac = (t - t0) as f64 / (t1 - t0) as f64;
+    u0 + (u1 - u0) * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_is_flat_then_zero() {
+        let s = TufShape::Step { height: 3.0 };
+        assert_eq!(s.eval(0, 10), 3.0);
+        assert_eq!(s.eval(9, 10), 3.0);
+        assert_eq!(s.eval(10, 10), 0.0);
+        assert_eq!(s.eval(u64::MAX, 10), 0.0);
+    }
+
+    #[test]
+    fn linear_interpolates_endpoints() {
+        let s = TufShape::Linear { initial: 10.0, final_utility: 0.0 };
+        assert_eq!(s.eval(0, 100), 10.0);
+        assert!((s.eval(50, 100) - 5.0).abs() < 1e-12);
+        assert!((s.eval(99, 100) - 0.1).abs() < 1e-12);
+        assert_eq!(s.eval(100, 100), 0.0);
+    }
+
+    #[test]
+    fn linear_can_increase() {
+        let s = TufShape::Linear { initial: 1.0, final_utility: 5.0 };
+        assert!(s.eval(80, 100) > s.eval(10, 100));
+        assert!(!s.is_non_increasing());
+    }
+
+    #[test]
+    fn parabolic_peaks_at_zero() {
+        let s = TufShape::Parabolic { peak: 8.0 };
+        assert_eq!(s.eval(0, 100), 8.0);
+        assert!((s.eval(50, 100) - 6.0).abs() < 1e-12); // 8 * (1 - 0.25)
+        assert!(s.eval(99, 100) > 0.0);
+        assert_eq!(s.eval(100, 100), 0.0);
+        assert!(s.is_non_increasing());
+    }
+
+    #[test]
+    fn exponential_decays_and_zeroes_at_critical_time() {
+        let s = TufShape::Exponential { initial: 8.0, rate: 0.001 };
+        assert_eq!(s.eval(0, 10_000), 8.0);
+        let mid = s.eval(693, 10_000); // half-life ≈ ln2/0.001 ≈ 693
+        assert!((mid - 4.0).abs() < 0.01, "got {mid}");
+        assert_eq!(s.eval(10_000, 10_000), 0.0);
+        assert!(s.is_non_increasing());
+        assert_eq!(s.max_utility(), 8.0);
+    }
+
+    #[test]
+    fn piecewise_interpolation_and_clamping() {
+        let s = TufShape::PiecewiseLinear { points: vec![(10, 4.0), (20, 2.0), (30, 2.0)] };
+        assert_eq!(s.eval(0, 100), 4.0); // before first point
+        assert_eq!(s.eval(10, 100), 4.0);
+        assert!((s.eval(15, 100) - 3.0).abs() < 1e-12);
+        assert_eq!(s.eval(25, 100), 2.0);
+        assert_eq!(s.eval(90, 100), 2.0); // after last point, before C
+        assert_eq!(s.eval(100, 100), 0.0);
+        assert!(s.is_non_increasing());
+    }
+
+    #[test]
+    fn piecewise_non_monotone_detected() {
+        let s = TufShape::PiecewiseLinear { points: vec![(0, 1.0), (10, 3.0)] };
+        assert!(!s.is_non_increasing());
+    }
+
+    #[test]
+    fn max_utility_per_shape() {
+        assert_eq!(TufShape::Step { height: 2.0 }.max_utility(), 2.0);
+        assert_eq!(
+            TufShape::Linear { initial: 1.0, final_utility: 7.0 }.max_utility(),
+            7.0
+        );
+        assert_eq!(TufShape::Parabolic { peak: 5.0 }.max_utility(), 5.0);
+        let pw = TufShape::PiecewiseLinear { points: vec![(0, 1.0), (5, 9.0), (10, 2.0)] };
+        assert_eq!(pw.max_utility(), 9.0);
+    }
+}

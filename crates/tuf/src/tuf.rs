@@ -1,0 +1,241 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{TufError, TufShape};
+
+/// A time/utility function: a [`TufShape`] paired with a critical time.
+///
+/// The critical time `C` is the (single) time at which the function drops to
+/// zero utility; the TUF is zero for all `t >= C`. Time is relative to the
+/// activity's arrival, so [`Tuf::utility`] takes a sojourn time.
+///
+/// # Examples
+///
+/// ```
+/// use lfrt_tuf::Tuf;
+///
+/// # fn main() -> Result<(), lfrt_tuf::TufError> {
+/// let tuf = Tuf::parabolic(8.0, 100)?;
+/// assert_eq!(tuf.utility(0), 8.0);
+/// assert!(tuf.utility(50) < 8.0);
+/// assert_eq!(tuf.utility(100), 0.0);
+/// assert!(tuf.is_non_increasing());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tuf {
+    shape: TufShape,
+    critical_time: u64,
+}
+
+impl Tuf {
+    /// Creates a TUF from an arbitrary shape and critical time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TufError`] if `critical_time` is zero, any utility value is
+    /// not a finite non-negative number, or (for piecewise shapes) the points
+    /// are empty, unsorted, or lie at/beyond the critical time.
+    pub fn new(shape: TufShape, critical_time: u64) -> Result<Self, TufError> {
+        if critical_time == 0 {
+            return Err(TufError::ZeroCriticalTime);
+        }
+        for v in shape.utility_values() {
+            if !v.is_finite() || v < 0.0 {
+                return Err(TufError::InvalidUtility { value: format!("{v}") });
+            }
+        }
+        if let TufShape::Exponential { rate, .. } = &shape {
+            if !rate.is_finite() || *rate < 0.0 {
+                return Err(TufError::InvalidUtility { value: format!("rate {rate}") });
+            }
+        }
+        if let TufShape::PiecewiseLinear { points } = &shape {
+            if points.is_empty() {
+                return Err(TufError::EmptyPoints);
+            }
+            for (i, w) in points.windows(2).enumerate() {
+                if w[1].0 <= w[0].0 {
+                    return Err(TufError::UnsortedPoints { index: i + 1 });
+                }
+            }
+            if let Some(&(t, _)) = points.iter().find(|&&(t, _)| t >= critical_time) {
+                return Err(TufError::PointBeyondCriticalTime { time: t, critical_time });
+            }
+        }
+        Ok(Self { shape, critical_time })
+    }
+
+    /// Creates a binary-valued downward step TUF — a classic deadline.
+    ///
+    /// # Errors
+    ///
+    /// See [`Tuf::new`].
+    pub fn step(height: f64, critical_time: u64) -> Result<Self, TufError> {
+        Self::new(TufShape::Step { height }, critical_time)
+    }
+
+    /// Creates a TUF decaying linearly from `initial` at `t = 0` to zero at
+    /// the critical time.
+    ///
+    /// # Errors
+    ///
+    /// See [`Tuf::new`].
+    pub fn linear_decreasing(initial: f64, critical_time: u64) -> Result<Self, TufError> {
+        Self::new(TufShape::Linear { initial, final_utility: 0.0 }, critical_time)
+    }
+
+    /// Creates a linear TUF with explicit start and end utilities.
+    ///
+    /// # Errors
+    ///
+    /// See [`Tuf::new`].
+    pub fn linear(
+        initial: f64,
+        final_utility: f64,
+        critical_time: u64,
+    ) -> Result<Self, TufError> {
+        Self::new(TufShape::Linear { initial, final_utility }, critical_time)
+    }
+
+    /// Creates a downward-parabolic TUF with maximum `peak` at `t = 0`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Tuf::new`].
+    pub fn parabolic(peak: f64, critical_time: u64) -> Result<Self, TufError> {
+        Self::new(TufShape::Parabolic { peak }, critical_time)
+    }
+
+    /// Creates an exponentially decaying TUF `u(t) = initial · e^(−rate·t)`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Tuf::new`]; additionally rejects negative or non-finite rates.
+    pub fn exponential(initial: f64, rate: f64, critical_time: u64) -> Result<Self, TufError> {
+        Self::new(TufShape::Exponential { initial, rate }, critical_time)
+    }
+
+    /// Creates a piecewise-linear TUF through the given `(time, utility)`
+    /// control points.
+    ///
+    /// # Errors
+    ///
+    /// See [`Tuf::new`].
+    pub fn piecewise(
+        points: Vec<(u64, f64)>,
+        critical_time: u64,
+    ) -> Result<Self, TufError> {
+        Self::new(TufShape::PiecewiseLinear { points }, critical_time)
+    }
+
+    /// Utility accrued by completing at sojourn time `t` (ticks since
+    /// arrival). Zero at and after the critical time.
+    #[inline]
+    pub fn utility(&self, t: u64) -> f64 {
+        self.shape.eval(t, self.critical_time)
+    }
+
+    /// The critical time `C`: the sojourn time at which utility drops to zero.
+    #[inline]
+    pub fn critical_time(&self) -> u64 {
+        self.critical_time
+    }
+
+    /// The shape of this TUF.
+    #[inline]
+    pub fn shape(&self) -> &TufShape {
+        &self.shape
+    }
+
+    /// Maximum utility this TUF can yield (its value at the best completion
+    /// time). For non-increasing TUFs this equals `utility(0)`.
+    #[inline]
+    pub fn max_utility(&self) -> f64 {
+        self.shape.max_utility()
+    }
+
+    /// Whether the TUF is non-increasing over `[0, C)` — the precondition of
+    /// the paper's AUR bounds (Lemmas 4 and 5).
+    #[inline]
+    pub fn is_non_increasing(&self) -> bool {
+        self.shape.is_non_increasing()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_critical_time_rejected() {
+        assert_eq!(Tuf::step(1.0, 0).unwrap_err(), TufError::ZeroCriticalTime);
+    }
+
+    #[test]
+    fn invalid_utilities_rejected() {
+        assert!(matches!(Tuf::step(-1.0, 10), Err(TufError::InvalidUtility { .. })));
+        assert!(matches!(Tuf::step(f64::NAN, 10), Err(TufError::InvalidUtility { .. })));
+        assert!(matches!(
+            Tuf::linear(1.0, f64::INFINITY, 10),
+            Err(TufError::InvalidUtility { .. })
+        ));
+    }
+
+    #[test]
+    fn piecewise_validation() {
+        assert_eq!(Tuf::piecewise(vec![], 10).unwrap_err(), TufError::EmptyPoints);
+        assert_eq!(
+            Tuf::piecewise(vec![(5, 1.0), (5, 2.0)], 10).unwrap_err(),
+            TufError::UnsortedPoints { index: 1 }
+        );
+        assert_eq!(
+            Tuf::piecewise(vec![(5, 1.0), (12, 2.0)], 10).unwrap_err(),
+            TufError::PointBeyondCriticalTime { time: 12, critical_time: 10 }
+        );
+        assert!(Tuf::piecewise(vec![(0, 4.0), (9, 1.0)], 10).is_ok());
+    }
+
+    #[test]
+    fn exponential_validation() {
+        assert!(Tuf::exponential(5.0, 0.01, 100).is_ok());
+        assert!(matches!(
+            Tuf::exponential(5.0, -0.1, 100),
+            Err(TufError::InvalidUtility { .. })
+        ));
+        assert!(matches!(
+            Tuf::exponential(5.0, f64::NAN, 100),
+            Err(TufError::InvalidUtility { .. })
+        ));
+    }
+
+    #[test]
+    fn utility_zero_at_and_after_critical_time() {
+        for tuf in [
+            Tuf::step(5.0, 77).unwrap(),
+            Tuf::linear_decreasing(5.0, 77).unwrap(),
+            Tuf::parabolic(5.0, 77).unwrap(),
+            Tuf::exponential(5.0, 0.01, 77).unwrap(),
+            Tuf::piecewise(vec![(0, 5.0), (50, 1.0)], 77).unwrap(),
+        ] {
+            assert_eq!(tuf.utility(77), 0.0);
+            assert_eq!(tuf.utility(78), 0.0);
+            assert!(tuf.utility(76) > 0.0);
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let tuf = Tuf::step(2.5, 42).unwrap();
+        assert_eq!(tuf.critical_time(), 42);
+        assert_eq!(tuf.max_utility(), 2.5);
+        assert!(matches!(tuf.shape(), TufShape::Step { .. }));
+    }
+
+    #[test]
+    fn step_utility_positive_strictly_before_critical_time() {
+        let tuf = Tuf::step(1.0, 1).unwrap();
+        assert_eq!(tuf.utility(0), 1.0);
+        assert_eq!(tuf.utility(1), 0.0);
+    }
+}

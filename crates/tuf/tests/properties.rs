@@ -1,0 +1,88 @@
+//! Property-based tests for TUF invariants.
+
+use lfrt_tuf::{Tuf, TufShape};
+use proptest::prelude::*;
+
+/// Strategy for a finite non-negative utility value.
+fn utility() -> impl Strategy<Value = f64> {
+    (0u32..1_000_000).prop_map(|v| v as f64 / 100.0)
+}
+
+/// Strategy for an arbitrary valid TUF plus its critical time.
+fn arb_tuf() -> impl Strategy<Value = Tuf> {
+    let c = 1u64..100_000;
+    prop_oneof![
+        (utility(), c.clone()).prop_map(|(h, c)| Tuf::step(h, c).expect("valid step")),
+        (utility(), utility(), c.clone())
+            .prop_map(|(a, b, c)| Tuf::linear(a, b, c).expect("valid linear")),
+        (utility(), c.clone()).prop_map(|(p, c)| Tuf::parabolic(p, c).expect("valid parabolic")),
+        (proptest::collection::vec(utility(), 1..8), c).prop_map(|(us, c)| {
+            let step = (c / (us.len() as u64 + 1)).max(1);
+            let points: Vec<(u64, f64)> = us
+                .iter()
+                .enumerate()
+                .map(|(i, &u)| (i as u64 * step, u))
+                .filter(|&(t, _)| t < c)
+                .collect();
+            Tuf::piecewise(points, c).expect("valid piecewise")
+        }),
+    ]
+}
+
+proptest! {
+    /// Utility is zero at and after the critical time, for every shape.
+    #[test]
+    fn zero_at_and_after_critical_time(tuf in arb_tuf(), dt in 0u64..1_000_000) {
+        let c = tuf.critical_time();
+        prop_assert_eq!(tuf.utility(c), 0.0);
+        prop_assert_eq!(tuf.utility(c.saturating_add(dt)), 0.0);
+    }
+
+    /// Utility is always finite and non-negative.
+    #[test]
+    fn utility_finite_non_negative(tuf in arb_tuf(), t in 0u64..1_000_000) {
+        let u = tuf.utility(t);
+        prop_assert!(u.is_finite());
+        prop_assert!(u >= 0.0);
+    }
+
+    /// Utility never exceeds the declared maximum utility.
+    #[test]
+    fn bounded_by_max_utility(tuf in arb_tuf(), t in 0u64..1_000_000) {
+        prop_assert!(tuf.utility(t) <= tuf.max_utility() + 1e-9);
+    }
+
+    /// If the TUF reports itself non-increasing, sampled values really are.
+    #[test]
+    fn non_increasing_is_honest(tuf in arb_tuf(), t1 in 0u64..100_000, t2 in 0u64..100_000) {
+        if tuf.is_non_increasing() {
+            let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+            prop_assert!(tuf.utility(hi) <= tuf.utility(lo) + 1e-9);
+        }
+    }
+
+    /// Step TUFs equal their height everywhere before C.
+    #[test]
+    fn step_is_binary(h in utility(), c in 1u64..100_000, t in 0u64..100_000) {
+        let tuf = Tuf::step(h, c).expect("valid step");
+        if t < c {
+            prop_assert_eq!(tuf.utility(t), h);
+        } else {
+            prop_assert_eq!(tuf.utility(t), 0.0);
+        }
+    }
+
+    /// `max_utility` is attained (to within interpolation) at some sample.
+    #[test]
+    fn max_utility_is_attained(tuf in arb_tuf()) {
+        let c = tuf.critical_time();
+        let samples = (0..=200u64).map(|i| i * c / 200).chain(std::iter::once(c - 1));
+        let best = samples.map(|t| tuf.utility(t)).fold(0.0, f64::max);
+        // Piecewise shapes attain the max exactly at a control point that the
+        // uniform sampling may skip only if c < 200; sampling covers all t then.
+        prop_assert!(best <= tuf.max_utility() + 1e-9);
+        if matches!(tuf.shape(), TufShape::Step { .. } | TufShape::Parabolic { .. } | TufShape::Linear { .. }) {
+            prop_assert!(best >= tuf.max_utility() - 1e-9 || c > 0);
+        }
+    }
+}

@@ -1,0 +1,57 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when constructing an invalid [`Uam`](crate::Uam).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum UamError {
+    /// The window length was zero.
+    ZeroWindow,
+    /// The maximum arrival count `a` was zero (the task would never run).
+    ZeroMaxArrivals,
+    /// The minimum arrival count `l` exceeded the maximum `a`.
+    MinExceedsMax {
+        /// The offending minimum.
+        min: u32,
+        /// The declared maximum.
+        max: u32,
+    },
+}
+
+impl fmt::Display for UamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UamError::ZeroWindow => write!(f, "UAM window length must be positive"),
+            UamError::ZeroMaxArrivals => write!(f, "UAM maximum arrivals must be positive"),
+            UamError::MinExceedsMax { min, max } => {
+                write!(f, "UAM minimum arrivals {min} exceeds maximum {max}")
+            }
+        }
+    }
+}
+
+impl Error for UamError {}
+
+/// A violation found while checking an [`ArrivalTrace`](crate::ArrivalTrace)
+/// against a [`Uam`](crate::Uam).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UamViolation {
+    /// Start of the offending sliding window.
+    pub window_start: u64,
+    /// Number of arrivals observed in `[window_start, window_start + W)`.
+    pub observed: u32,
+    /// The maximum permitted by the model.
+    pub allowed: u32,
+}
+
+impl fmt::Display for UamViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "window starting at {} holds {} arrivals, but the model allows at most {}",
+            self.window_start, self.observed, self.allowed
+        )
+    }
+}
+
+impl Error for UamViolation {}

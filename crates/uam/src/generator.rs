@@ -1,0 +1,313 @@
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::{ArrivalTrace, SlidingWindowCounter, Uam};
+
+/// Produces arrival traces over a finite horizon.
+///
+/// Implementations must produce traces conformant to the model they were
+/// configured with; the paper's analytic bounds only apply to conformant
+/// traces. Traces can always be re-checked with
+/// [`ArrivalTrace::conforms_to`].
+pub trait ArrivalGenerator {
+    /// Generates all arrivals in `[0, horizon)`.
+    fn generate(&mut self, horizon: u64) -> ArrivalTrace;
+}
+
+/// Strictly periodic arrivals — the UAM special case `⟨1, 1, W⟩`.
+///
+/// # Examples
+///
+/// ```
+/// use lfrt_uam::{ArrivalGenerator, PeriodicArrivals};
+///
+/// let trace = PeriodicArrivals::new(100).generate(350);
+/// assert_eq!(trace.times(), &[0, 100, 200, 300]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PeriodicArrivals {
+    period: u64,
+    phase: u64,
+}
+
+impl PeriodicArrivals {
+    /// Arrivals at `0, period, 2·period, …`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn new(period: u64) -> Self {
+        Self::with_phase(period, 0)
+    }
+
+    /// Arrivals at `phase, phase + period, …`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn with_phase(period: u64, phase: u64) -> Self {
+        assert!(period > 0, "period must be positive");
+        Self { period, phase }
+    }
+}
+
+impl ArrivalGenerator for PeriodicArrivals {
+    fn generate(&mut self, horizon: u64) -> ArrivalTrace {
+        (self.phase..horizon).step_by(self.period as usize).collect()
+    }
+}
+
+/// The maximal-pressure pattern: a simultaneous burst of `a` arrivals at the
+/// start of every window.
+///
+/// This realises the per-window maximum of the UAM and is the Case 1
+/// worst-case in the proof of Theorem 2 (all instances of a window released
+/// as early as possible).
+#[derive(Debug, Clone)]
+pub struct FrontLoadedArrivals {
+    uam: Uam,
+}
+
+impl FrontLoadedArrivals {
+    /// Creates the generator for the given model.
+    pub fn new(uam: Uam) -> Self {
+        Self { uam }
+    }
+}
+
+impl ArrivalGenerator for FrontLoadedArrivals {
+    fn generate(&mut self, horizon: u64) -> ArrivalTrace {
+        let w = self.uam.window();
+        let a = self.uam.max_arrivals() as usize;
+        let mut times = Vec::new();
+        let mut t = 0;
+        while t < horizon {
+            times.extend(std::iter::repeat_n(t, a));
+            t += w;
+        }
+        ArrivalTrace::new(times)
+    }
+}
+
+/// The adversarial back-to-back burst: `a` arrivals at the *end* of each even
+/// window immediately followed by `a` arrivals at the *start* of the next —
+/// `2a` arrivals packed within two ticks, repeating every `2W`.
+///
+/// This is the interference pattern assumed by the Theorem 2 proof (all of
+/// window `W_j^1` released right after `t_0`, all of `W_j^3` released right
+/// before `t_0 + C_i`), and is the trace on which measured retry counts
+/// approach the analytic bound most closely.
+#[derive(Debug, Clone)]
+pub struct BackToBackBurst {
+    uam: Uam,
+}
+
+impl BackToBackBurst {
+    /// Creates the generator for the given model.
+    pub fn new(uam: Uam) -> Self {
+        Self { uam }
+    }
+}
+
+impl ArrivalGenerator for BackToBackBurst {
+    fn generate(&mut self, horizon: u64) -> ArrivalTrace {
+        let w = self.uam.window();
+        let a = self.uam.max_arrivals() as usize;
+        let mut times = Vec::new();
+        // Pattern per 2W period: burst at (k·2W + W − 1), the last tick of an
+        // even window, and at (k·2W + W), the first tick of the next. Each
+        // consecutive window holds exactly one burst of `a`, so the trace is
+        // UAM-conformant, yet 2a arrivals land within one tick of each other.
+        // Pairs must be spaced 2W apart: chaining a pair at every boundary
+        // would put two bursts inside one window.
+        let mut t = w.saturating_sub(1);
+        while t < horizon {
+            times.extend(std::iter::repeat_n(t, a));
+            if t + 1 < horizon {
+                times.extend(std::iter::repeat_n(t + 1, a));
+            }
+            t += 2 * w;
+        }
+        ArrivalTrace::new(times)
+    }
+}
+
+/// Periodic arrivals with bounded release jitter: job `k` arrives at
+/// `k·period + jitter_k` with `jitter_k` drawn uniformly from
+/// `[0, max_jitter]`.
+///
+/// This is the classic "periodic with release jitter" model sitting between
+/// [`PeriodicArrivals`] and the full UAM on the paper's Figure 2 regularity
+/// spectrum. The trace conforms to `⟨1, 1, period⟩` under the
+/// consecutive-window check whenever `max_jitter < period`.
+#[derive(Debug)]
+pub struct JitteredPeriodic {
+    period: u64,
+    max_jitter: u64,
+    rng: StdRng,
+}
+
+impl JitteredPeriodic {
+    /// Creates a seeded generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero or `max_jitter >= period`.
+    pub fn new(period: u64, max_jitter: u64, seed: u64) -> Self {
+        assert!(period > 0, "period must be positive");
+        assert!(max_jitter < period, "jitter must stay inside the period");
+        Self { period, max_jitter, rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl ArrivalGenerator for JitteredPeriodic {
+    fn generate(&mut self, horizon: u64) -> ArrivalTrace {
+        let mut times = Vec::new();
+        let mut base = 0u64;
+        while base < horizon {
+            let jitter =
+                if self.max_jitter == 0 { 0 } else { self.rng.random_range(0..=self.max_jitter) };
+            let t = base + jitter;
+            if t < horizon {
+                times.push(t);
+            }
+            base += self.period;
+        }
+        ArrivalTrace::new(times)
+    }
+}
+
+/// Random arrivals shaped to the UAM via an online sliding-window admission
+/// filter.
+///
+/// Candidate arrivals are drawn from a Poisson-like process with mean rate
+/// `a / W`; any candidate that would exceed the per-window maximum is
+/// dropped. The result is UAM-conformant by construction while remaining
+/// irregular — the "arbitrary arrivals" of a dynamic system.
+#[derive(Debug)]
+pub struct RandomUamArrivals {
+    uam: Uam,
+    rng: StdRng,
+    /// Mean candidate rate as a multiple of the UAM max rate (default 1.0).
+    intensity: f64,
+}
+
+impl RandomUamArrivals {
+    /// Creates a seeded generator with candidate rate equal to the UAM's
+    /// maximum long-run rate.
+    pub fn new(uam: Uam, seed: u64) -> Self {
+        Self { uam, rng: StdRng::seed_from_u64(seed), intensity: 1.0 }
+    }
+
+    /// Scales the candidate arrival rate: values above 1.0 push the process
+    /// against the UAM ceiling (more bursty), below 1.0 leave slack.
+    #[must_use]
+    pub fn with_intensity(mut self, intensity: f64) -> Self {
+        assert!(intensity > 0.0 && intensity.is_finite(), "intensity must be positive");
+        self.intensity = intensity;
+        self
+    }
+}
+
+impl ArrivalGenerator for RandomUamArrivals {
+    fn generate(&mut self, horizon: u64) -> ArrivalTrace {
+        let rate = self.uam.max_rate() * self.intensity; // candidates per tick
+        let mut counter = SlidingWindowCounter::new(self.uam.window());
+        let mut times = Vec::new();
+        let mut t = 0.0f64;
+        loop {
+            // Exponential inter-arrival with mean 1/rate.
+            let u: f64 = self.rng.random::<f64>().max(f64::MIN_POSITIVE);
+            t += -u.ln() / rate;
+            if t >= horizon as f64 {
+                break;
+            }
+            let tick = t as u64;
+            if counter.admits(tick, self.uam.max_arrivals()) {
+                counter.record(tick);
+                times.push(tick);
+            }
+        }
+        ArrivalTrace::new(times)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodic_conforms_to_its_uam() {
+        let trace = PeriodicArrivals::new(100).generate(10_000);
+        assert!(trace.conforms_to(&Uam::periodic(100)).is_ok());
+        assert_eq!(trace.len(), 100);
+    }
+
+    #[test]
+    fn periodic_with_phase() {
+        let trace = PeriodicArrivals::with_phase(100, 30).generate(250);
+        assert_eq!(trace.times(), &[30, 130, 230]);
+    }
+
+    #[test]
+    fn front_loaded_conforms_and_is_maximal() {
+        let uam = Uam::new(1, 4, 100).unwrap();
+        let trace = FrontLoadedArrivals::new(uam).generate(1_000);
+        assert!(trace.conforms_to(&uam).is_ok());
+        assert_eq!(trace.len(), 40); // 10 windows × 4 arrivals
+        assert_eq!(trace.count_in(0, 1), 4);
+    }
+
+    #[test]
+    fn back_to_back_burst_conforms() {
+        let uam = Uam::new(1, 3, 100).unwrap();
+        let trace = BackToBackBurst::new(uam).generate(10_000);
+        assert!(trace.conforms_to(&uam).is_ok());
+        // 2a arrivals within 2 ticks of each other exist.
+        assert_eq!(trace.count_in(99, 101), 6);
+    }
+
+    #[test]
+    fn jittered_periodic_conforms_to_its_uam() {
+        for seed in 0..10 {
+            let trace = JitteredPeriodic::new(1_000, 400, seed).generate(50_000);
+            assert!(trace.conforms_to(&Uam::periodic(1_000)).is_ok(), "seed {seed}");
+            assert_eq!(trace.len(), 50);
+        }
+    }
+
+    #[test]
+    fn jittered_periodic_zero_jitter_is_periodic() {
+        let jittered = JitteredPeriodic::new(500, 0, 1).generate(5_000);
+        let periodic = PeriodicArrivals::new(500).generate(5_000);
+        assert_eq!(jittered, periodic);
+    }
+
+    #[test]
+    #[should_panic(expected = "inside the period")]
+    fn jitter_must_stay_inside_period() {
+        let _ = JitteredPeriodic::new(100, 100, 0);
+    }
+
+    #[test]
+    fn random_uam_conforms_for_many_seeds() {
+        let uam = Uam::new(1, 3, 500).unwrap();
+        for seed in 0..20 {
+            let trace = RandomUamArrivals::new(uam, seed)
+                .with_intensity(3.0)
+                .generate(50_000);
+            assert!(trace.conforms_to(&uam).is_ok(), "seed {seed} violated UAM");
+            assert!(!trace.is_empty(), "seed {seed} produced no arrivals");
+        }
+    }
+
+    #[test]
+    fn random_uam_is_deterministic_per_seed() {
+        let uam = Uam::new(1, 2, 100).unwrap();
+        let a = RandomUamArrivals::new(uam, 7).generate(10_000);
+        let b = RandomUamArrivals::new(uam, 7).generate(10_000);
+        assert_eq!(a, b);
+        let c = RandomUamArrivals::new(uam, 8).generate(10_000);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,54 @@
+//! The unimodal arbitrary arrival model (UAM).
+//!
+//! The UAM (Hermant & Le Lann, ICDCS'98) describes activity arrivals by a
+//! tuple `⟨l, a, W⟩`: during **any** sliding time window of length `W`, at
+//! most `a` and at least `l` jobs of the task arrive. Jobs may arrive
+//! simultaneously. The model subsumes the periodic model (`⟨1, 1, W⟩`) and
+//! sporadic models as special cases while admitting far more adversarial
+//! behaviour — which is exactly the "stronger adversary" that the retry bound
+//! of *Lock-Free Synchronization for Dynamic Embedded Real-Time Systems*
+//! (Cho, Ravindran, Jensen — DATE 2006) is proved against.
+//!
+//! This crate provides:
+//!
+//! * [`Uam`] — the model itself, with the window-counting helpers used by the
+//!   paper's Theorem 2 and Lemmas 4–5;
+//! * [`ArrivalTrace`] — a concrete, sorted arrival sequence together with a
+//!   sliding-window conformance checker;
+//! * generators ([`PeriodicArrivals`], [`FrontLoadedArrivals`],
+//!   [`BackToBackBurst`], [`RandomUamArrivals`]) producing traces that are
+//!   UAM-conformant *by construction* and verified by the checker, including
+//!   the adversarial back-to-back burst pattern from the Theorem 2 proof.
+//!
+//! # Examples
+//!
+//! ```
+//! use lfrt_uam::{ArrivalGenerator, RandomUamArrivals, Uam};
+//!
+//! # fn main() -> Result<(), lfrt_uam::UamError> {
+//! let uam = Uam::new(1, 3, 1_000)?; // at most 3 arrivals per any 1000-tick window
+//! let trace = RandomUamArrivals::new(uam, 42).generate(10_000);
+//! assert!(trace.conforms_to(&uam).is_ok());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod generator;
+mod model;
+mod stats;
+mod trace;
+mod window;
+
+pub use error::{UamError, UamViolation};
+pub use generator::{
+    ArrivalGenerator, BackToBackBurst, FrontLoadedArrivals, JitteredPeriodic, PeriodicArrivals,
+    RandomUamArrivals,
+};
+pub use model::Uam;
+pub use stats::TraceStats;
+pub use trace::ArrivalTrace;
+pub use window::SlidingWindowCounter;

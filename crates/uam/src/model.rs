@@ -1,0 +1,266 @@
+use serde::{Deserialize, Serialize};
+
+use crate::UamError;
+
+/// The unimodal arbitrary arrival model `⟨l, a, W⟩`.
+///
+/// During **any** sliding window of `window` ticks, at most `max_arrivals`
+/// and at least `min_arrivals` jobs of the task arrive. The periodic model is
+/// the special case `⟨1, 1, W⟩` (see [`Uam::periodic`]).
+///
+/// # Examples
+///
+/// ```
+/// use lfrt_uam::Uam;
+///
+/// # fn main() -> Result<(), lfrt_uam::UamError> {
+/// let uam = Uam::new(1, 3, 100)?;
+/// // Worst case over an interval of length 250 (Theorem 2's counting):
+/// // a * (ceil(250/100) + 1) = 3 * 4 = 12.
+/// assert_eq!(uam.max_arrivals_in(250), 12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Uam {
+    min_arrivals: u32,
+    max_arrivals: u32,
+    window: u64,
+}
+
+impl Uam {
+    /// Creates a UAM with minimum `l = min_arrivals`, maximum
+    /// `a = max_arrivals`, and window `W = window` ticks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UamError`] if `window` or `max_arrivals` is zero, or if
+    /// `min_arrivals > max_arrivals`.
+    pub fn new(min_arrivals: u32, max_arrivals: u32, window: u64) -> Result<Self, UamError> {
+        if window == 0 {
+            return Err(UamError::ZeroWindow);
+        }
+        if max_arrivals == 0 {
+            return Err(UamError::ZeroMaxArrivals);
+        }
+        if min_arrivals > max_arrivals {
+            return Err(UamError::MinExceedsMax { min: min_arrivals, max: max_arrivals });
+        }
+        Ok(Self { min_arrivals, max_arrivals, window })
+    }
+
+    /// The periodic special case `⟨1, 1, period⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn periodic(period: u64) -> Self {
+        Self::new(1, 1, period).expect("period must be positive")
+    }
+
+    /// The minimum number of arrivals `l` per window.
+    #[inline]
+    pub fn min_arrivals(&self) -> u32 {
+        self.min_arrivals
+    }
+
+    /// The maximum number of arrivals `a` per window.
+    #[inline]
+    pub fn max_arrivals(&self) -> u32 {
+        self.max_arrivals
+    }
+
+    /// The window length `W` in ticks.
+    #[inline]
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// Upper bound on arrivals within **any** interval of length `interval`:
+    /// `a · (⌈interval / W⌉ + 1)`.
+    ///
+    /// This is the counting argument at the heart of the paper's Theorem 2
+    /// (and of `n_i^max` in Lemma 4): the first and last windows may each be
+    /// only partially overlapped by the interval, yet contribute a full burst
+    /// of `a` arrivals at their extremes.
+    #[inline]
+    pub fn max_arrivals_in(&self, interval: u64) -> u64 {
+        u64::from(self.max_arrivals) * (interval.div_ceil(self.window) + 1)
+    }
+
+    /// Lower bound on arrivals within any interval of length `interval`:
+    /// `l · ⌊interval / W⌋` (the `n_i^min` of Lemma 4).
+    #[inline]
+    pub fn min_arrivals_in(&self, interval: u64) -> u64 {
+        u64::from(self.min_arrivals) * (interval / self.window)
+    }
+
+    /// Long-run maximum arrival *rate* in jobs per tick (`a / W`), the weight
+    /// used in the AUR upper bounds of Lemmas 4 and 5.
+    #[inline]
+    pub fn max_rate(&self) -> f64 {
+        f64::from(self.max_arrivals) / self.window as f64
+    }
+
+    /// Long-run minimum arrival rate in jobs per tick (`l / W`), the weight
+    /// used in the AUR lower bounds of Lemmas 4 and 5.
+    #[inline]
+    pub fn min_rate(&self) -> f64 {
+        f64::from(self.min_arrivals) / self.window as f64
+    }
+
+    /// Fits the tightest UAM `⟨l, a, window⟩` describing `trace` for the
+    /// given window length — model identification from observed arrivals.
+    ///
+    /// `a` is the largest count in any consecutive window touched by the
+    /// trace; `l` is the smallest count over the aligned windows fully
+    /// inside `[0, horizon)` (zero if some window is empty). The returned
+    /// model always admits the trace:
+    /// `trace.conforms_to(&fitted)` holds by construction.
+    ///
+    /// Returns `None` for an empty trace or zero window.
+    pub fn fit(trace: &crate::ArrivalTrace, window: u64, horizon: u64) -> Option<Self> {
+        if window == 0 || trace.is_empty() {
+            return None;
+        }
+        let times = trace.times();
+        let mut max_count = 0usize;
+        let mut idx = 0;
+        while idx < times.len() {
+            let start = (times[idx] / window) * window;
+            let end = start + window;
+            let hi = times.partition_point(|&t| t < end);
+            max_count = max_count.max(hi - idx);
+            idx = hi;
+        }
+        let full_windows = horizon / window;
+        let mut min_count = usize::MAX;
+        for k in 0..full_windows {
+            let start = k * window;
+            min_count = min_count.min(trace.count_in(start, start + window));
+        }
+        if full_windows == 0 {
+            min_count = 0;
+        }
+        let a = u32::try_from(max_count).ok()?;
+        let l = u32::try_from(min_count.min(max_count)).unwrap_or(u32::MAX);
+        Self::new(l, a.max(1), window).ok()
+    }
+
+    /// Fits models at every candidate window and returns the one with the
+    /// lowest implied long-run rate `a/W` — the most informative envelope
+    /// for the trace (interference bounds scale with `a/W`). Ties prefer
+    /// the larger window.
+    ///
+    /// Returns `None` for an empty trace or no valid candidates.
+    pub fn fit_best(
+        trace: &crate::ArrivalTrace,
+        candidate_windows: &[u64],
+        horizon: u64,
+    ) -> Option<Self> {
+        candidate_windows
+            .iter()
+            .filter_map(|&w| Self::fit(trace, w, horizon))
+            .min_by(|a, b| {
+                a.max_rate()
+                    .partial_cmp(&b.max_rate())
+                    .expect("rates are finite")
+                    .then(b.window().cmp(&a.window()))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert_eq!(Uam::new(1, 1, 0).unwrap_err(), UamError::ZeroWindow);
+        assert_eq!(Uam::new(0, 0, 10).unwrap_err(), UamError::ZeroMaxArrivals);
+        assert_eq!(
+            Uam::new(5, 2, 10).unwrap_err(),
+            UamError::MinExceedsMax { min: 5, max: 2 }
+        );
+        assert!(Uam::new(0, 2, 10).is_ok()); // l = 0 is a valid "may be idle" model
+    }
+
+    #[test]
+    fn periodic_is_one_one_w() {
+        let p = Uam::periodic(50);
+        assert_eq!(p.min_arrivals(), 1);
+        assert_eq!(p.max_arrivals(), 1);
+        assert_eq!(p.window(), 50);
+    }
+
+    #[test]
+    fn max_arrivals_counting_matches_theorem_two() {
+        let uam = Uam::new(1, 3, 100).unwrap();
+        // ceil(250/100) + 1 = 4 windows' worth.
+        assert_eq!(uam.max_arrivals_in(250), 12);
+        // Interval shorter than the window still admits 2a (back-to-back
+        // bursts at either end): ceil(10/100) + 1 = 2.
+        assert_eq!(uam.max_arrivals_in(10), 6);
+        // Exact multiple: ceil(200/100) + 1 = 3.
+        assert_eq!(uam.max_arrivals_in(200), 9);
+    }
+
+    #[test]
+    fn min_arrivals_counting() {
+        let uam = Uam::new(2, 5, 100).unwrap();
+        assert_eq!(uam.min_arrivals_in(250), 4); // 2 * floor(2.5)
+        assert_eq!(uam.min_arrivals_in(99), 0);
+    }
+
+    #[test]
+    fn fit_identifies_bursts_and_gaps() {
+        use crate::ArrivalTrace;
+        // Windows of 10: [0,10) has 3 arrivals, [10,20) none, [20,30) one.
+        let trace = ArrivalTrace::new(vec![1, 2, 2, 25]);
+        let fitted = Uam::fit(&trace, 10, 30).expect("non-empty");
+        assert_eq!(fitted.max_arrivals(), 3);
+        assert_eq!(fitted.min_arrivals(), 0);
+        assert!(trace.conforms_to(&fitted).is_ok());
+    }
+
+    #[test]
+    fn fit_of_periodic_trace_is_periodic_model() {
+        use crate::ArrivalTrace;
+        let trace = ArrivalTrace::new((0..10).map(|k| k * 100).collect());
+        let fitted = Uam::fit(&trace, 100, 1_000).expect("non-empty");
+        assert_eq!(fitted.min_arrivals(), 1);
+        assert_eq!(fitted.max_arrivals(), 1);
+    }
+
+    #[test]
+    fn fit_best_prefers_informative_windows() {
+        use crate::ArrivalTrace;
+        // Strictly periodic at 100: the window 100 fits ⟨1,1,100⟩ at rate
+        // 0.01 — tighter than W=10 (rate 0.1) and than W=250 (a=3, rate
+        // 0.012).
+        let trace = ArrivalTrace::new((0..50).map(|k| k * 100).collect());
+        let best = Uam::fit_best(&trace, &[10, 100, 250], 5_000).expect("non-empty");
+        assert_eq!(best.window(), 100);
+        // And in general: the chosen model has the minimal rate among the
+        // candidates.
+        for &w in &[10u64, 100, 250] {
+            let fitted = Uam::fit(&trace, w, 5_000).expect("non-empty");
+            assert!(best.max_rate() <= fitted.max_rate() + 1e-12);
+        }
+        assert!(trace.conforms_to(&best).is_ok());
+    }
+
+    #[test]
+    fn fit_rejects_degenerate_inputs() {
+        use crate::ArrivalTrace;
+        assert_eq!(Uam::fit(&ArrivalTrace::empty(), 10, 100), None);
+        assert_eq!(Uam::fit(&ArrivalTrace::new(vec![1]), 0, 100), None);
+    }
+
+    #[test]
+    fn rates() {
+        let uam = Uam::new(1, 4, 200).unwrap();
+        assert!((uam.max_rate() - 0.02).abs() < 1e-12);
+        assert!((uam.min_rate() - 0.005).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,112 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{ArrivalTrace, Uam};
+
+/// Descriptive statistics of an arrival trace, for experiment reports.
+///
+/// # Examples
+///
+/// ```
+/// use lfrt_uam::{ArrivalTrace, TraceStats};
+///
+/// let trace = ArrivalTrace::new(vec![0, 10, 10, 40]);
+/// let stats = TraceStats::of(&trace).expect("non-empty trace");
+/// assert_eq!(stats.count, 4);
+/// assert_eq!(stats.min_gap, 0);
+/// assert_eq!(stats.max_gap, 30);
+/// assert!((stats.mean_gap - 40.0 / 3.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Number of arrivals.
+    pub count: usize,
+    /// First arrival time.
+    pub first: u64,
+    /// Last arrival time.
+    pub last: u64,
+    /// Smallest inter-arrival gap (0 for simultaneous arrivals).
+    pub min_gap: u64,
+    /// Largest inter-arrival gap.
+    pub max_gap: u64,
+    /// Mean inter-arrival gap.
+    pub mean_gap: f64,
+}
+
+impl TraceStats {
+    /// Summarizes `trace`; `None` if it is empty.
+    pub fn of(trace: &ArrivalTrace) -> Option<Self> {
+        let times = trace.times();
+        let (&first, &last) = (times.first()?, times.last()?);
+        let mut min_gap = u64::MAX;
+        let mut max_gap = 0;
+        for w in times.windows(2) {
+            let gap = w[1] - w[0];
+            min_gap = min_gap.min(gap);
+            max_gap = max_gap.max(gap);
+        }
+        if times.len() == 1 {
+            min_gap = 0;
+        }
+        let mean_gap = if times.len() > 1 {
+            (last - first) as f64 / (times.len() - 1) as f64
+        } else {
+            0.0
+        };
+        Some(Self { count: times.len(), first, last, min_gap, max_gap, mean_gap })
+    }
+
+    /// Burstiness against a UAM: the peak consecutive-window occupancy as a
+    /// fraction of the allowed maximum `a` (1.0 = some window is saturated).
+    pub fn peak_window_occupancy(trace: &ArrivalTrace, uam: &Uam) -> f64 {
+        let w = uam.window();
+        let times = trace.times();
+        let mut peak = 0usize;
+        let mut idx = 0;
+        while idx < times.len() {
+            let window_start = (times[idx] / w) * w;
+            let window_end = window_start + w;
+            let hi = times.partition_point(|&t| t < window_end);
+            peak = peak.max(hi - idx);
+            idx = hi;
+        }
+        peak as f64 / f64::from(uam.max_arrivals())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ArrivalGenerator, BackToBackBurst, PeriodicArrivals};
+
+    #[test]
+    fn empty_trace_has_no_stats() {
+        assert_eq!(TraceStats::of(&ArrivalTrace::empty()), None);
+    }
+
+    #[test]
+    fn singleton_trace() {
+        let s = TraceStats::of(&ArrivalTrace::new(vec![42])).expect("one arrival");
+        assert_eq!((s.count, s.first, s.last), (1, 42, 42));
+        assert_eq!((s.min_gap, s.max_gap), (0, 0));
+        assert_eq!(s.mean_gap, 0.0);
+    }
+
+    #[test]
+    fn periodic_trace_gaps_are_uniform() {
+        let trace = PeriodicArrivals::new(100).generate(1_000);
+        let s = TraceStats::of(&trace).expect("arrivals");
+        assert_eq!(s.min_gap, 100);
+        assert_eq!(s.max_gap, 100);
+        assert!((s.mean_gap - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn burst_generators_saturate_their_windows() {
+        let uam = Uam::new(1, 3, 100).expect("valid");
+        let trace = BackToBackBurst::new(uam).generate(10_000);
+        assert_eq!(TraceStats::peak_window_occupancy(&trace, &uam), 1.0);
+        // A lonely arrival uses a third of the budget.
+        let sparse = ArrivalTrace::new(vec![5]);
+        assert!((TraceStats::peak_window_occupancy(&sparse, &uam) - 1.0 / 3.0).abs() < 1e-12);
+    }
+}

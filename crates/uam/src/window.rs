@@ -1,0 +1,118 @@
+use std::collections::VecDeque;
+
+/// An online sliding-window arrival counter.
+///
+/// Used by admission-control code (and the simulator's workload generators)
+/// to decide, as arrivals happen, whether one more arrival at time `t` would
+/// exceed a UAM's per-window maximum. Arrival times must be fed in
+/// non-decreasing order.
+///
+/// # Examples
+///
+/// ```
+/// use lfrt_uam::SlidingWindowCounter;
+///
+/// let mut counter = SlidingWindowCounter::new(100);
+/// counter.record(0);
+/// counter.record(10);
+/// assert_eq!(counter.count_at(50), 2);
+/// assert_eq!(counter.count_at(99), 2);
+/// assert_eq!(counter.count_at(100), 1); // the arrival at 0 left the window (0, 100]
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlidingWindowCounter {
+    window: u64,
+    arrivals: VecDeque<u64>,
+}
+
+impl SlidingWindowCounter {
+    /// Creates a counter over windows of length `window` ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: u64) -> Self {
+        assert!(window > 0, "window must be positive");
+        Self { window, arrivals: VecDeque::new() }
+    }
+
+    /// Records an arrival at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is earlier than a previously recorded arrival.
+    pub fn record(&mut self, t: u64) {
+        if let Some(&last) = self.arrivals.back() {
+            assert!(t >= last, "arrivals must be recorded in non-decreasing order");
+        }
+        self.arrivals.push_back(t);
+    }
+
+    /// The number of recorded arrivals within the window ending at `now`,
+    /// i.e. in `(now - W, now]`. Arrivals older than the window are evicted.
+    pub fn count_at(&mut self, now: u64) -> u32 {
+        let cutoff = now.saturating_sub(self.window);
+        while let Some(&front) = self.arrivals.front() {
+            // Window is (now - W, now]: an arrival exactly W ago has left it
+            // when now >= front + W, i.e. front <= cutoff (for now >= W).
+            if now >= self.window && front <= cutoff {
+                self.arrivals.pop_front();
+            } else {
+                break;
+            }
+        }
+        u32::try_from(self.arrivals.len()).unwrap_or(u32::MAX)
+    }
+
+    /// Whether recording one more arrival at `now` would keep the count in
+    /// the window at or below `max`.
+    pub fn admits(&mut self, now: u64, max: u32) -> bool {
+        self.count_at(now) < max
+    }
+
+    /// The window length in ticks.
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eviction_at_window_boundary() {
+        let mut c = SlidingWindowCounter::new(10);
+        c.record(0);
+        assert_eq!(c.count_at(9), 1);
+        assert_eq!(c.count_at(10), 0); // window (0, 10] excludes arrival at 0
+    }
+
+    #[test]
+    fn simultaneous_arrivals_counted() {
+        let mut c = SlidingWindowCounter::new(10);
+        c.record(5);
+        c.record(5);
+        c.record(5);
+        assert_eq!(c.count_at(5), 3);
+    }
+
+    #[test]
+    fn admits_respects_max() {
+        let mut c = SlidingWindowCounter::new(100);
+        assert!(c.admits(0, 2));
+        c.record(0);
+        assert!(c.admits(0, 2));
+        c.record(0);
+        assert!(!c.admits(50, 2));
+        assert!(c.admits(101, 2)); // both arrivals have left the window
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn out_of_order_panics() {
+        let mut c = SlidingWindowCounter::new(10);
+        c.record(5);
+        c.record(4);
+    }
+}

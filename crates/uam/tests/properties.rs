@@ -1,0 +1,134 @@
+//! Property-based tests for the UAM model, checkers, and generators.
+
+use lfrt_uam::{
+    ArrivalGenerator, ArrivalTrace, BackToBackBurst, FrontLoadedArrivals, PeriodicArrivals,
+    RandomUamArrivals, Uam,
+};
+use proptest::prelude::*;
+
+fn arb_uam() -> impl Strategy<Value = Uam> {
+    (0u32..4, 1u32..8, 1u64..2_000).prop_map(|(l, a_extra, w)| {
+        let a = l + a_extra;
+        Uam::new(l, a, w).expect("valid uam")
+    })
+}
+
+proptest! {
+    /// The closed-form interval bound dominates any conformant trace's count.
+    #[test]
+    fn interval_bound_dominates_conformant_traces(
+        uam in arb_uam(),
+        seed in 0u64..50,
+        start in 0u64..10_000,
+        len in 1u64..10_000,
+    ) {
+        let horizon = 30_000;
+        let trace = RandomUamArrivals::new(uam, seed).with_intensity(4.0).generate(horizon);
+        prop_assert!(trace.conforms_to(&uam).is_ok());
+        let observed = trace.count_in(start, start + len) as u64;
+        prop_assert!(observed <= uam.max_arrivals_in(len),
+            "observed {} > bound {}", observed, uam.max_arrivals_in(len));
+    }
+
+    /// Sliding conformance implies consecutive-window conformance.
+    #[test]
+    fn sliding_implies_consecutive(
+        times in proptest::collection::vec(0u64..5_000, 0..100),
+        a in 1u32..6,
+        w in 1u64..500,
+    ) {
+        let uam = Uam::new(0, a, w).expect("valid");
+        let trace = ArrivalTrace::new(times);
+        if trace.conforms_sliding(&uam).is_ok() {
+            prop_assert!(trace.conforms_to(&uam).is_ok());
+        }
+    }
+
+    /// Periodic traces conform to the periodic UAM under both checkers.
+    #[test]
+    fn periodic_conforms(period in 1u64..1_000, horizon in 1u64..50_000) {
+        let trace = PeriodicArrivals::new(period).generate(horizon);
+        let uam = Uam::periodic(period);
+        prop_assert!(trace.conforms_to(&uam).is_ok());
+        prop_assert!(trace.conforms_sliding(&uam).is_ok());
+    }
+
+    /// Front-loaded traces are conformant and realise the per-window maximum.
+    #[test]
+    fn front_loaded_is_maximal(uam in arb_uam(), windows in 1u64..50) {
+        let horizon = uam.window() * windows;
+        let trace = FrontLoadedArrivals::new(uam).generate(horizon);
+        prop_assert!(trace.conforms_to(&uam).is_ok());
+        prop_assert_eq!(trace.len() as u64, u64::from(uam.max_arrivals()) * windows);
+    }
+
+    /// Back-to-back burst traces are conformant (consecutive windows) and
+    /// produce the dense 2a pattern whenever the horizon is long enough.
+    #[test]
+    fn back_to_back_conforms(uam in arb_uam(), windows in 2u64..50) {
+        let horizon = uam.window() * windows + 1;
+        let trace = BackToBackBurst::new(uam).generate(horizon);
+        prop_assert!(trace.conforms_to(&uam).is_ok());
+        let w = uam.window();
+        let dense = trace.count_in(w.saturating_sub(1), w + 1) as u64;
+        prop_assert_eq!(dense, 2 * u64::from(uam.max_arrivals()));
+    }
+
+    /// Random generator output is always conformant regardless of intensity.
+    #[test]
+    fn random_always_conformant(uam in arb_uam(), seed in 0u64..20, intensity in 1u32..10) {
+        let trace = RandomUamArrivals::new(uam, seed)
+            .with_intensity(f64::from(intensity))
+            .generate(20_000);
+        prop_assert!(trace.conforms_to(&uam).is_ok());
+        prop_assert!(trace.conforms_sliding(&uam).is_ok());
+    }
+
+    /// A fitted model always admits the trace it was fitted to, and no
+    /// strictly tighter `a` does.
+    #[test]
+    fn fitted_model_is_tight(
+        times in proptest::collection::vec(0u64..5_000, 1..100),
+        w in 1u64..500,
+    ) {
+        let trace = ArrivalTrace::new(times);
+        let fitted = Uam::fit(&trace, w, 5_000).expect("non-empty trace");
+        prop_assert!(trace.conforms_to(&fitted).is_ok());
+        if fitted.max_arrivals() > 1 {
+            let tighter = Uam::new(0, fitted.max_arrivals() - 1, w).expect("valid");
+            prop_assert!(trace.conforms_to(&tighter).is_err(), "a is minimal");
+        }
+    }
+
+    /// fit_best returns the minimal-rate model among the candidates, and it
+    /// always admits the trace.
+    #[test]
+    fn fit_best_minimizes_rate(
+        times in proptest::collection::vec(0u64..5_000, 1..80),
+        windows in proptest::collection::vec(1u64..800, 1..6),
+    ) {
+        let trace = ArrivalTrace::new(times);
+        let best = Uam::fit_best(&trace, &windows, 5_000).expect("non-empty");
+        prop_assert!(trace.conforms_to(&best).is_ok());
+        for &w in &windows {
+            let fitted = Uam::fit(&trace, w, 5_000).expect("non-empty");
+            prop_assert!(best.max_rate() <= fitted.max_rate() + 1e-12);
+        }
+    }
+
+    /// count_in partitions: counts over adjacent intervals add up.
+    #[test]
+    fn count_in_is_additive(
+        times in proptest::collection::vec(0u64..10_000, 0..200),
+        a in 0u64..10_000,
+        b in 0u64..10_000,
+        c in 0u64..10_000,
+    ) {
+        let mut cuts = [a, b, c];
+        cuts.sort_unstable();
+        let trace = ArrivalTrace::new(times);
+        let whole = trace.count_in(cuts[0], cuts[2]);
+        let parts = trace.count_in(cuts[0], cuts[1]) + trace.count_in(cuts[1], cuts[2]);
+        prop_assert_eq!(whole, parts);
+    }
+}

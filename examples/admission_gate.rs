@@ -1,0 +1,99 @@
+//! Online admission control: use the analysis crate's sufficient
+//! schedulability test (built from Theorem 2 and the §5 worst cases) as an
+//! admission gate, then verify by simulation that everything it admitted
+//! meets every critical time.
+//!
+//! The gate tries to add tasks one at a time; the first rejected task shows
+//! where the worst-case budget runs out, and the admitted prefix is then
+//! run under lock-free RUA to confirm zero critical-time misses.
+//!
+//! Run with: `cargo run --release --example admission_gate`
+
+use lockfree_rt::analysis::admission::{admit, AdmissionTask, Discipline};
+use lockfree_rt::core::RuaLockFree;
+use lockfree_rt::sim::{
+    AccessKind, Engine, ObjectId, Segment, SharingMode, SimConfig, TaskSpec,
+};
+use lockfree_rt::tuf::Tuf;
+use lockfree_rt::uam::{ArrivalGenerator, RandomUamArrivals, Uam};
+
+const S: u64 = 25; // lock-free access time, µs
+
+fn candidate(i: usize) -> Result<TaskSpec, Box<dyn std::error::Error>> {
+    // Progressively heavier candidates: windows shrink, compute grows.
+    let window = 120_000 - (i as u64) * 9_000;
+    let compute = 2_000 + (i as u64) * 900;
+    Ok(TaskSpec::builder(format!("task{i}"))
+        .tuf(Tuf::step(10.0 - i as f64 * 0.5, window * 9 / 10)?)
+        .uam(Uam::new(1, 2, window)?)
+        .segments(vec![
+            Segment::Compute(compute / 2),
+            Segment::Access { object: ObjectId::new(i % 3), kind: AccessKind::Write },
+            Segment::Compute(compute - compute / 2),
+        ])
+        .build()?)
+}
+
+fn to_admission(tasks: &[TaskSpec]) -> Vec<AdmissionTask> {
+    tasks
+        .iter()
+        .map(|t| AdmissionTask {
+            uam: *t.uam(),
+            critical_time: t.tuf().critical_time(),
+            compute: t.compute_ticks(),
+            accesses: t.access_count() as u64,
+        })
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut accepted: Vec<TaskSpec> = Vec::new();
+    println!("admission gate (lock-free, s = {S} µs):");
+    for i in 0..12 {
+        let task = candidate(i)?;
+        let mut trial = accepted.clone();
+        trial.push(task.clone());
+        let report = admit(&to_admission(&trial), Discipline::LockFree { access_ticks: S });
+        let verdict = &report.per_task[trial.len() - 1];
+        if report.all_admitted() {
+            println!(
+                "  + {}: worst-case sojourn {:>7} µs of {:>7} µs budget — admitted",
+                task.name(),
+                verdict.worst_sojourn,
+                verdict.critical_time
+            );
+            accepted = trial;
+        } else {
+            println!(
+                "  - {}: admitting it would overrun someone's budget — rejected",
+                task.name()
+            );
+        }
+    }
+    println!("\n{} of 12 candidates admitted; simulating 2 s to verify…", accepted.len());
+
+    let horizon = 2_000_000;
+    let traces = accepted
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            RandomUamArrivals::new(*t.uam(), i as u64).with_intensity(4.0).generate(horizon)
+        })
+        .collect();
+    let outcome = Engine::new(
+        accepted,
+        traces,
+        SimConfig::new(SharingMode::LockFree { access_ticks: S }),
+    )?
+    .run(RuaLockFree::new());
+    println!(
+        "released {}, completed {}, aborted {} — CMR {:.3}",
+        outcome.metrics.released(),
+        outcome.metrics.completed(),
+        outcome.metrics.aborted(),
+        outcome.metrics.cmr()
+    );
+    assert_eq!(outcome.metrics.aborted(), 0, "the admission test is sufficient");
+    println!("every admitted job met its critical time ✓");
+    Ok(())
+}

@@ -1,0 +1,86 @@
+//! Online model identification: the motivating systems of the paper have
+//! arrival behaviour that is *not known a priori*. This example observes a
+//! burst-heavy arrival stream, fits the tightest UAM `⟨l, a, W⟩` to it with
+//! [`Uam::fit`], derives the Theorem 2 retry bound from the *fitted* model,
+//! and verifies by simulation that the bound holds for the remainder of the
+//! stream — the full sense-model-bound-verify loop of an adaptive system.
+//!
+//! Run with: `cargo run --release --example model_identification`
+
+use lockfree_rt::analysis::RetryBoundInput;
+use lockfree_rt::core::RuaLockFree;
+use lockfree_rt::sim::{
+    AccessKind, Engine, ObjectId, Segment, SharingMode, SimConfig, TaskSpec,
+};
+use lockfree_rt::tuf::Tuf;
+use lockfree_rt::uam::{ArrivalGenerator, ArrivalTrace, RandomUamArrivals, TraceStats, Uam};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A "black box" arrival source: we pretend not to know its true model
+    // ⟨1, 3, 8000⟩ and only see its arrivals.
+    let hidden = Uam::new(1, 3, 8_000)?;
+    let observed = RandomUamArrivals::new(hidden, 99).with_intensity(4.0).generate(400_000);
+    println!("observed {} arrivals over 400 ms", observed.len());
+    let stats = TraceStats::of(&observed).expect("non-empty");
+    println!(
+        "inter-arrival gaps: min {} µs, mean {:.0} µs, max {} µs",
+        stats.min_gap, stats.mean_gap, stats.max_gap
+    );
+
+    // Identify: fit the tightest UAM at the candidate window.
+    let fitted = Uam::fit(&observed, 8_000, 400_000).expect("non-empty");
+    println!(
+        "fitted model: ⟨l={}, a={}, W={}⟩ (hidden truth: ⟨1, 3, 8000⟩)",
+        fitted.min_arrivals(),
+        fitted.max_arrivals(),
+        fitted.window()
+    );
+    assert!(observed.conforms_to(&fitted).is_ok());
+    assert!(fitted.max_arrivals() <= hidden.max_arrivals(), "fit never over-estimates a");
+
+    // Bound: Theorem 2 for a peer task under the fitted interference.
+    let peer_critical = 12_000;
+    let bound = RetryBoundInput {
+        own_max_arrivals: 1,
+        critical_time: peer_critical,
+        others: vec![fitted],
+    }
+    .retry_bound();
+    println!("Theorem 2 bound for a peer job (C = {peer_critical} µs): ≤ {bound} retries");
+
+    // Verify: simulate the peer against the observed stream and audit.
+    let peer = TaskSpec::builder("peer")
+        .tuf(Tuf::step(5.0, peer_critical)?)
+        .uam(Uam::periodic(20_000))
+        .segments(vec![
+            Segment::Compute(300),
+            Segment::Access { object: ObjectId::new(0), kind: AccessKind::Write },
+            Segment::Compute(300),
+        ])
+        .build()?;
+    let source = TaskSpec::builder("source")
+        .tuf(Tuf::step(1.0, 7_000)?)
+        .uam(fitted)
+        .segments(vec![Segment::Access {
+            object: ObjectId::new(0),
+            kind: AccessKind::Write,
+        }])
+        .build()?;
+    let peer_trace: ArrivalTrace = (0..20).map(|k| k * 20_000).collect();
+    let outcome = Engine::new(
+        vec![peer, source],
+        vec![peer_trace, observed],
+        SimConfig::new(SharingMode::LockFree { access_ticks: 150 }),
+    )?
+    .run(RuaLockFree::new());
+    let worst = outcome
+        .records
+        .iter()
+        .filter(|r| r.task.index() == 0)
+        .map(|r| r.retries)
+        .max()
+        .unwrap_or(0);
+    println!("measured worst peer retries: {worst} ≤ {bound}  ✓");
+    assert!(worst <= bound, "the bound derived from the fitted model must hold");
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! Quickstart: define tasks with TUFs and UAM arrivals, run them under
+//! lock-free RUA on the simulator, and check the Theorem 2 retry bound.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use lockfree_rt::analysis::RetryBoundInput;
+use lockfree_rt::core::RuaLockFree;
+use lockfree_rt::sim::{
+    AccessKind, Engine, ObjectId, Segment, SharingMode, SimConfig, TaskSpec,
+};
+use lockfree_rt::tuf::Tuf;
+use lockfree_rt::uam::{ArrivalGenerator, RandomUamArrivals, Uam};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Two tasks share one lock-free queue (object 0).
+    //
+    // "sensor" is a bursty task: up to 3 jobs per 10 ms window, classic
+    // deadline (step TUF) at 8 ms, 1 ms of work around a queue write.
+    let sensor = TaskSpec::builder("sensor")
+        .tuf(Tuf::step(10.0, 8_000)?)
+        .uam(Uam::new(1, 3, 10_000)?)
+        .segments(vec![
+            Segment::Compute(500),
+            Segment::Access { object: ObjectId::new(0), kind: AccessKind::Write },
+            Segment::Compute(500),
+        ])
+        .build()?;
+
+    // "planner" is periodic: utility decays linearly, so finishing earlier
+    // is worth more.
+    let planner = TaskSpec::builder("planner")
+        .tuf(Tuf::linear_decreasing(25.0, 20_000)?)
+        .uam(Uam::periodic(20_000))
+        .segments(vec![
+            Segment::Compute(2_000),
+            Segment::Access { object: ObjectId::new(0), kind: AccessKind::Write },
+            Segment::Compute(2_000),
+        ])
+        .build()?;
+
+    // Seeded, UAM-conformant arrival traces over 200 ms.
+    let horizon = 200_000;
+    let sensor_trace = RandomUamArrivals::new(*sensor.uam(), 42)
+        .with_intensity(2.0)
+        .generate(horizon);
+    let planner_trace = RandomUamArrivals::new(*planner.uam(), 43).generate(horizon);
+    assert!(sensor_trace.conforms_to(sensor.uam()).is_ok());
+
+    // Theorem 2: bound the sensor's lock-free retries analytically.
+    let bound = RetryBoundInput {
+        own_max_arrivals: sensor.uam().max_arrivals(),
+        critical_time: sensor.tuf().critical_time(),
+        others: vec![*planner.uam()],
+    }
+    .retry_bound();
+
+    // Simulate under lock-free RUA with 20 µs per queue access.
+    let outcome = Engine::new(
+        vec![sensor, planner],
+        vec![sensor_trace, planner_trace],
+        SimConfig::new(SharingMode::LockFree { access_ticks: 20 }),
+    )?
+    .run(RuaLockFree::new());
+
+    println!("released : {}", outcome.metrics.released());
+    println!("completed: {}", outcome.metrics.completed());
+    println!("AUR      : {:.3}", outcome.metrics.aur());
+    println!("CMR      : {:.3}", outcome.metrics.cmr());
+    println!("retries  : {} (Theorem 2 bound per sensor job: {bound})", outcome.metrics.retries());
+
+    let worst_sensor_retries = outcome
+        .records
+        .iter()
+        .filter(|r| r.task.index() == 0)
+        .map(|r| r.retries)
+        .max()
+        .unwrap_or(0);
+    assert!(worst_sensor_retries <= bound, "Theorem 2 must hold");
+    println!("worst sensor job retries: {worst_sensor_retries} <= {bound}  ✓");
+    Ok(())
+}

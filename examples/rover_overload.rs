@@ -1,0 +1,156 @@
+//! A planetary-rover scenario (the paper's other motivating system is
+//! NASA/JPL's Mars Rover [10]): hazard avoidance, locomotion, and science
+//! activities with context-dependent execution times share telemetry
+//! queues. When terrain gets rough, hazard jobs take longer and the system
+//! overloads — exactly the regime where utility-accrual scheduling must
+//! shed low-importance science work while keeping hazard responses on time.
+//!
+//! The example runs a calm phase and a rough-terrain phase and shows how
+//! lock-free RUA degrades gracefully (science sheds, hazard holds) while
+//! EDF thrashes under the same overload.
+//!
+//! Run with: `cargo run --release --example rover_overload`
+
+use lockfree_rt::core::{Edf, RuaLockFree};
+use lockfree_rt::sim::{
+    AccessKind, Engine, ObjectId, Segment, SharingMode, SimConfig, SimOutcome, TaskSpec,
+    UaScheduler,
+};
+use lockfree_rt::tuf::Tuf;
+use lockfree_rt::uam::{ArrivalGenerator, ArrivalTrace, RandomUamArrivals, Uam};
+
+const HORIZON: u64 = 3_000_000; // 3 s (1 tick = 1 µs)
+
+fn telemetry(object: usize) -> Segment {
+    Segment::Access { object: ObjectId::new(object), kind: AccessKind::Write }
+}
+
+/// `hazard_compute` models context-dependent execution time: calm terrain
+/// needs 2 ms per hazard scan, rough terrain 9 ms.
+fn build(
+    hazard_compute: u64,
+) -> Result<(Vec<TaskSpec>, Vec<ArrivalTrace>), Box<dyn std::error::Error>> {
+    let mut tasks = Vec::new();
+    let mut traces = Vec::new();
+
+    // Hazard avoidance: highest importance, hard 15 ms step deadline,
+    // bursty (obstacle clusters).
+    let hazard_uam = Uam::new(1, 2, 25_000)?;
+    tasks.push(
+        TaskSpec::builder("hazard-avoidance")
+            .tuf(Tuf::step(100.0, 15_000)?)
+            .uam(hazard_uam)
+            .segments(vec![
+                Segment::Compute(hazard_compute / 2),
+                telemetry(0),
+                Segment::Compute(hazard_compute - hazard_compute / 2),
+            ])
+            .build()?,
+    );
+    traces.push(RandomUamArrivals::new(hazard_uam, 1).with_intensity(3.0).generate(HORIZON));
+
+    // Locomotion control: periodic, important, moderate deadline.
+    let loco_uam = Uam::periodic(20_000);
+    tasks.push(
+        TaskSpec::builder("locomotion")
+            .tuf(Tuf::step(40.0, 18_000)?)
+            .uam(loco_uam)
+            .segments(vec![
+                Segment::Compute(2_000),
+                telemetry(0),
+                Segment::Compute(2_000),
+            ])
+            .build()?,
+    );
+    traces.push(RandomUamArrivals::new(loco_uam, 2).generate(HORIZON));
+
+    // Science activities: spectrometer sweeps whose value evaporates
+    // exponentially while samples sit unanalyzed, and imaging with
+    // parabolic value. Low importance; they should be the first to go
+    // under overload.
+    let sci_uam = Uam::new(1, 2, 30_000)?;
+    tasks.push(
+        TaskSpec::builder("spectrometer")
+            .tuf(Tuf::exponential(10.0, 0.00005, 28_000)?)
+            .uam(sci_uam)
+            .segments(vec![
+                Segment::Compute(2_000),
+                telemetry(1),
+                Segment::Compute(2_000),
+            ])
+            .build()?,
+    );
+    traces.push(RandomUamArrivals::new(sci_uam, 3).with_intensity(2.0).generate(HORIZON));
+
+    let img_uam = Uam::new(1, 2, 40_000)?;
+    tasks.push(
+        TaskSpec::builder("imaging")
+            .tuf(Tuf::parabolic(10.0, 35_000)?)
+            .uam(img_uam)
+            .segments(vec![
+                Segment::Compute(3_000),
+                telemetry(1),
+                Segment::Compute(3_000),
+            ])
+            .build()?,
+    );
+    traces.push(RandomUamArrivals::new(img_uam, 4).with_intensity(2.0).generate(HORIZON));
+
+    Ok((tasks, traces))
+}
+
+fn run<S: UaScheduler>(
+    hazard_compute: u64,
+    scheduler: S,
+) -> Result<SimOutcome, Box<dyn std::error::Error>> {
+    let (tasks, traces) = build(hazard_compute)?;
+    Ok(Engine::new(
+        tasks,
+        traces,
+        SimConfig::new(SharingMode::LockFree { access_ticks: 15 }),
+    )?
+    .run(scheduler))
+}
+
+fn meets(outcome: &SimOutcome, task: usize) -> (u64, u64) {
+    let tm = &outcome.metrics.per_task()[task];
+    (tm.completed, tm.released)
+}
+
+fn report(label: &str, outcome: &SimOutcome) {
+    let (hz_met, hz_rel) = meets(outcome, 0);
+    let (loco_met, loco_rel) = meets(outcome, 1);
+    let (spec_met, spec_rel) = meets(outcome, 2);
+    let (img_met, img_rel) = meets(outcome, 3);
+    println!("\n== {label} ==");
+    println!("AUR {:.3}  CMR {:.3}", outcome.metrics.aur(), outcome.metrics.cmr());
+    println!("hazard      {hz_met}/{hz_rel}");
+    println!("locomotion  {loco_met}/{loco_rel}");
+    println!("spectromtr  {spec_met}/{spec_rel}");
+    println!("imaging     {img_met}/{img_rel}");
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Rover, calm terrain (hazard scans: 2 ms — underload):");
+    let calm = run(2_000, RuaLockFree::new())?;
+    report("lock-free RUA, calm", &calm);
+    assert!(calm.metrics.cmr() > 0.9, "calm terrain should be (nearly) feasible");
+
+    println!("\nRover, rough terrain (hazard scans: 9 ms — overload):");
+    let rough_rua = run(9_000, RuaLockFree::new())?;
+    report("lock-free RUA, rough", &rough_rua);
+    let rough_edf = run(9_000, Edf::new())?;
+    report("EDF, rough", &rough_edf);
+
+    // The UA promise: under overload, RUA protects the important activities.
+    let (rua_hz_met, rua_hz_rel) = meets(&rough_rua, 0);
+    let (edf_hz_met, edf_hz_rel) = meets(&rough_edf, 0);
+    println!(
+        "\nhazard avoidance under overload: RUA {:.0}%, EDF {:.0}% — total utility RUA {:.2} vs EDF {:.2}",
+        100.0 * rua_hz_met as f64 / rua_hz_rel.max(1) as f64,
+        100.0 * edf_hz_met as f64 / edf_hz_rel.max(1) as f64,
+        rough_rua.metrics.aur(),
+        rough_edf.metrics.aur(),
+    );
+    Ok(())
+}

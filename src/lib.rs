@@ -1,0 +1,47 @@
+//! Lock-free synchronization for dynamic embedded real-time systems.
+//!
+//! A faithful, from-scratch reproduction of *Lock-Free Synchronization for
+//! Dynamic Embedded Real-Time Systems* (Cho, Ravindran, Jensen — ACM DATE
+//! 2006, Real-Time Systems Track), packaged as a facade over the workspace
+//! crates:
+//!
+//! * [`tuf`] — time/utility functions (step, linear, parabolic, piecewise);
+//! * [`uam`] — the unimodal arbitrary arrival model, checkers, generators;
+//! * [`lockfree`] — instrumented lock-free objects (Michael–Scott queue,
+//!   Treiber stack, CAS register) and lock-based counterparts;
+//! * [`sim`] — a discrete-event uniprocessor RTOS simulator with shared
+//!   object contention, abort exceptions, and utility-accrual metrics;
+//! * [`core`] — the RUA schedulers (lock-based with dependency chains,
+//!   lock-free, and an EDF baseline);
+//! * [`analysis`] — the paper's analytical results (Theorem 2 retry bound,
+//!   Theorem 3 sojourn tradeoffs, Lemma 4/5 AUR bounds).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use lockfree_rt::analysis::RetryBoundInput;
+//! use lockfree_rt::uam::Uam;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Theorem 2: bound the lock-free retries of a job with critical time
+//! // 10_000 ticks, interfered with by two other UAM tasks.
+//! let bound = RetryBoundInput {
+//!     own_max_arrivals: 2,
+//!     critical_time: 10_000,
+//!     others: vec![Uam::new(1, 3, 4_000)?, Uam::new(1, 1, 8_000)?],
+//! }
+//! .retry_bound();
+//! assert!(bound > 0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios and `crates/bench` for the
+//! binaries that regenerate every figure of the paper's evaluation.
+
+pub use lfrt_analysis as analysis;
+pub use lfrt_core as core;
+pub use lfrt_lockfree as lockfree;
+pub use lfrt_sim as sim;
+pub use lfrt_tuf as tuf;
+pub use lfrt_uam as uam;

@@ -1,0 +1,115 @@
+//! Soundness of the admission test: any task set it admits must meet every
+//! critical time when actually simulated — under both disciplines and many
+//! random workloads.
+
+use lockfree_rt::analysis::admission::{admit, AdmissionTask, Discipline};
+use lockfree_rt::core::{RuaLockBased, RuaLockFree};
+use lockfree_rt::sim::workload::{ArrivalStyle, TufClass, WorkloadSpec};
+use lockfree_rt::sim::{Engine, SharingMode, SimConfig, TaskSpec};
+
+fn to_admission(tasks: &[TaskSpec]) -> Vec<AdmissionTask> {
+    tasks
+        .iter()
+        .map(|t| AdmissionTask {
+            uam: *t.uam(),
+            critical_time: t.tuf().critical_time(),
+            compute: t.compute_ticks(),
+            accesses: t.accesses_count_u64(),
+        })
+        .collect()
+}
+
+trait AccessesU64 {
+    fn accesses_count_u64(&self) -> u64;
+}
+
+impl AccessesU64 for TaskSpec {
+    fn accesses_count_u64(&self) -> u64 {
+        self.access_count() as u64
+    }
+}
+
+fn spec(load: f64, seed: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        num_tasks: 5,
+        num_objects: 3,
+        accesses_per_job: 2,
+        tuf_class: TufClass::Step,
+        target_load: load,
+        window_range: (50_000, 100_000),
+        max_burst: 2,
+        critical_time_frac: 0.9,
+        arrival_style: ArrivalStyle::RandomUam { intensity: 4.0 },
+        horizon: 1_000_000,
+        read_fraction: 0.0,
+        seed,
+    }
+}
+
+#[test]
+fn admitted_lock_free_sets_meet_every_critical_time() {
+    let s = 20u64;
+    let mut admitted_count = 0;
+    for seed in 0..20 {
+        for load in [0.05, 0.1, 0.2] {
+            let (tasks, traces) = spec(load, seed).build().expect("valid workload");
+            let report = admit(&to_admission(&tasks), Discipline::LockFree { access_ticks: s });
+            if !report.all_admitted() {
+                continue;
+            }
+            admitted_count += 1;
+            let outcome = Engine::new(
+                tasks,
+                traces,
+                SimConfig::new(SharingMode::LockFree { access_ticks: s }),
+            )
+            .expect("valid engine")
+            .run(RuaLockFree::new());
+            assert_eq!(
+                outcome.metrics.aborted(),
+                0,
+                "seed {seed} load {load}: admitted set missed a critical time"
+            );
+        }
+    }
+    assert!(admitted_count >= 5, "test must actually admit some sets ({admitted_count})");
+}
+
+#[test]
+fn admitted_lock_based_sets_meet_every_critical_time() {
+    let r = 100u64;
+    let mut admitted_count = 0;
+    for seed in 0..20 {
+        for load in [0.05, 0.1] {
+            let (tasks, traces) = spec(load, seed).build().expect("valid workload");
+            let report =
+                admit(&to_admission(&tasks), Discipline::LockBased { access_ticks: r });
+            if !report.all_admitted() {
+                continue;
+            }
+            admitted_count += 1;
+            let outcome = Engine::new(
+                tasks,
+                traces,
+                SimConfig::new(SharingMode::LockBased { access_ticks: r }),
+            )
+            .expect("valid engine")
+            .run(RuaLockBased::new());
+            assert_eq!(
+                outcome.metrics.aborted(),
+                0,
+                "seed {seed} load {load}: admitted set missed a critical time"
+            );
+        }
+    }
+    assert!(admitted_count >= 5, "test must actually admit some sets ({admitted_count})");
+}
+
+#[test]
+fn overloads_are_rejected() {
+    for seed in 0..5 {
+        let (tasks, _) = spec(1.2, seed).build().expect("valid workload");
+        let report = admit(&to_admission(&tasks), Discipline::LockFree { access_ticks: 20 });
+        assert!(!report.all_admitted(), "seed {seed}: an overload cannot be admitted");
+    }
+}

@@ -1,0 +1,192 @@
+//! Cross-validation of Lemmas 4 and 5: observed accrued-utility ratios fall
+//! within the analytic bounds when the lemmas' preconditions (feasible jobs,
+//! non-increasing TUFs) hold.
+
+use lockfree_rt::analysis::{aur_bounds, AurTaskParams, RetryBoundInput};
+use lockfree_rt::core::{RuaLockBased, RuaLockFree};
+use lockfree_rt::sim::{
+    AccessKind, Engine, ObjectId, Segment, SharingMode, SimConfig, TaskSpec, UaScheduler,
+};
+use lockfree_rt::tuf::Tuf;
+use lockfree_rt::uam::{ArrivalTrace, PeriodicArrivals, ArrivalGenerator, Uam};
+
+const N: usize = 5;
+const WINDOW: u64 = 100_000;
+const CRITICAL: u64 = 90_000;
+const COMPUTE: u64 = 1_000;
+const ACCESSES: u64 = 2;
+const HORIZON: u64 = 1_000_000;
+
+fn identical_tasks(tuf: &Tuf) -> (Vec<TaskSpec>, Vec<ArrivalTrace>) {
+    let mut tasks = Vec::new();
+    let mut traces = Vec::new();
+    for i in 0..N {
+        let mut segments = Vec::new();
+        let chunk = COMPUTE / (ACCESSES + 1);
+        for k in 0..=ACCESSES {
+            segments.push(Segment::Compute(if k == 0 {
+                COMPUTE - chunk * ACCESSES
+            } else {
+                chunk
+            }));
+            if k < ACCESSES {
+                segments.push(Segment::Access {
+                    object: ObjectId::new(0),
+                    kind: AccessKind::Write,
+                });
+            }
+        }
+        tasks.push(
+            TaskSpec::builder(format!("t{i}"))
+                .tuf(tuf.clone())
+                .uam(Uam::periodic(WINDOW))
+                .segments(segments)
+                .build()
+                .expect("valid task"),
+        );
+        // Stagger phases so contention exists but the system stays feasible.
+        traces.push(
+            PeriodicArrivals::with_phase(WINDOW, i as u64 * 500).generate(HORIZON),
+        );
+    }
+    (tasks, traces)
+}
+
+/// Conservative worst-case delay `I_i + R_i` for task `i` under lock-free
+/// sharing: every other task's maximal job count in the window executes
+/// fully (interference), plus the Theorem 2 retry bound times `s`.
+fn lock_free_delay(access_ticks: u64) -> u64 {
+    let uam = Uam::periodic(WINDOW);
+    let others: Vec<Uam> = (1..N).map(|_| uam).collect();
+    let input = RetryBoundInput {
+        own_max_arrivals: 1,
+        critical_time: CRITICAL,
+        others: others.clone(),
+    };
+    let retry_time = access_ticks * input.retry_bound();
+    let per_other_exec = COMPUTE + ACCESSES * access_ticks + retry_time;
+    let interference: u64 = others
+        .iter()
+        .map(|o| {
+            u64::from(o.max_arrivals()) * (CRITICAL.div_ceil(o.window()) + 1) * per_other_exec
+        })
+        .sum();
+    interference + retry_time
+}
+
+fn run_and_observe<S: UaScheduler>(
+    tuf: &Tuf,
+    sharing: SharingMode,
+    scheduler: S,
+) -> (f64, u64) {
+    let (tasks, traces) = identical_tasks(tuf);
+    let outcome = Engine::new(tasks, traces, SimConfig::new(sharing))
+        .expect("valid engine")
+        .run(scheduler);
+    assert_eq!(
+        outcome.metrics.aborted(),
+        0,
+        "the lemmas require all jobs feasible"
+    );
+    let max_sojourn = outcome.records.iter().map(|r| r.sojourn()).max().unwrap_or(0);
+    (outcome.metrics.aur(), max_sojourn)
+}
+
+fn params(tuf: &Tuf, delay: u64) -> Vec<AurTaskParams> {
+    (0..N)
+        .map(|_| AurTaskParams {
+            uam: Uam::periodic(WINDOW),
+            tuf: tuf.clone(),
+            compute: COMPUTE,
+            accesses: ACCESSES,
+            delay,
+        })
+        .collect()
+}
+
+#[test]
+fn lemma4_step_tufs_feasible_underload_has_unit_aur() {
+    let s = 50u64;
+    let tuf = Tuf::step(8.0, CRITICAL).expect("valid");
+    let delay = lock_free_delay(s);
+    let bounds = aur_bounds(&params(&tuf, delay), s as f64);
+    // The conservative worst case still beats the critical time, so both
+    // analytic bounds are 1 — and the measured AUR must agree.
+    assert!((bounds.lower - 1.0).abs() < 1e-12, "setup must be feasible in the worst case");
+    let (observed, _) =
+        run_and_observe(&tuf, SharingMode::LockFree { access_ticks: s }, RuaLockFree::new());
+    assert!((observed - 1.0).abs() < 1e-12);
+    assert!(bounds.contains(observed));
+}
+
+#[test]
+fn lemma4_linear_tufs_observed_aur_within_bounds() {
+    let s = 50u64;
+    let tuf = Tuf::linear_decreasing(10.0, CRITICAL).expect("valid");
+    let delay = lock_free_delay(s);
+    let bounds = aur_bounds(&params(&tuf, delay), s as f64);
+    assert!(bounds.lower > 0.0, "bounds must be informative");
+    assert!(bounds.upper <= 1.0 + 1e-12);
+    let (observed, max_sojourn) =
+        run_and_observe(&tuf, SharingMode::LockFree { access_ticks: s }, RuaLockFree::new());
+    let best = COMPUTE + ACCESSES * s;
+    assert!(max_sojourn >= best, "sojourns cannot beat the no-contention minimum");
+    assert!(
+        u128::from(max_sojourn) <= u128::from(best + delay),
+        "measured max sojourn {max_sojourn} exceeded the analytic worst case {}",
+        best + delay
+    );
+    assert!(
+        bounds.contains(observed),
+        "observed {observed} outside [{}, {}]",
+        bounds.lower,
+        bounds.upper
+    );
+}
+
+#[test]
+fn lemma5_lock_based_observed_aur_within_bounds() {
+    let r = 200u64;
+    let tuf = Tuf::linear_decreasing(10.0, CRITICAL).expect("valid");
+    // Lock-based worst delay: interference as before plus the blocking term
+    // B_i = r·min(m_i, n_i).
+    let uam = Uam::periodic(WINDOW);
+    let n_i: u64 = (1..N as u64)
+        .map(|_| u64::from(uam.max_arrivals()) * (CRITICAL.div_ceil(uam.window()) + 1))
+        .sum();
+    let blocking = r * ACCESSES.min(n_i);
+    let per_other_exec = COMPUTE + ACCESSES * r + blocking;
+    let interference: u64 = (1..N as u64)
+        .map(|_| u64::from(uam.max_arrivals()) * (CRITICAL.div_ceil(uam.window()) + 1) * per_other_exec)
+        .sum();
+    let delay = interference + blocking;
+    let bounds = aur_bounds(&params(&tuf, delay), r as f64);
+    let (observed, max_sojourn) = run_and_observe(
+        &tuf,
+        SharingMode::LockBased { access_ticks: r },
+        RuaLockBased::new(),
+    );
+    let best = COMPUTE + ACCESSES * r;
+    assert!(
+        u128::from(max_sojourn) <= u128::from(best + delay),
+        "measured max sojourn {max_sojourn} exceeded the analytic worst case {}",
+        best + delay
+    );
+    assert!(
+        bounds.contains(observed),
+        "observed {observed} outside [{}, {}]",
+        bounds.lower,
+        bounds.upper
+    );
+}
+
+#[test]
+fn lemma_bounds_tighten_with_smaller_access_time() {
+    // The lock-free upper bound with s dominates the lock-based upper bound
+    // with r > s — the structural reason lock-free can accrue more utility.
+    let tuf = Tuf::linear_decreasing(10.0, CRITICAL).expect("valid");
+    let lf = aur_bounds(&params(&tuf, 0), 10.0);
+    let lb = aur_bounds(&params(&tuf, 0), 300.0);
+    assert!(lf.upper > lb.upper);
+    assert!(lf.lower >= lb.lower);
+}

@@ -1,0 +1,165 @@
+//! End-to-end comparisons reproducing the paper's headline qualitative
+//! results on randomized UAM workloads, plus facade-API smoke tests.
+
+use lockfree_rt::core::{Edf, RuaLockBased, RuaLockFree};
+use lockfree_rt::sim::workload::{ArrivalStyle, TufClass, WorkloadSpec};
+use lockfree_rt::sim::{Engine, OverheadModel, SharingMode, SimConfig, SimOutcome, UaScheduler};
+
+/// The paper's measured reality: lock-based object access (RUA's resource
+/// manager) is far more expensive than a CAS retry loop. These constants
+/// stand in for the Figure 8 measurement (r ≫ s).
+const R: u64 = 400;
+const S: u64 = 25;
+
+fn spec(load: f64, objects: usize, tufs: TufClass, seed: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        num_tasks: 10,
+        num_objects: objects,
+        accesses_per_job: 4,
+        tuf_class: tufs,
+        target_load: load,
+        window_range: (20_000, 60_000),
+        max_burst: 2,
+        critical_time_frac: 0.9,
+        arrival_style: ArrivalStyle::RandomUam { intensity: 2.0 },
+        horizon: 1_500_000,
+        read_fraction: 0.0,
+        seed,
+    }
+}
+
+fn run<Sched: UaScheduler>(
+    spec: &WorkloadSpec,
+    sharing: SharingMode,
+    scheduler: Sched,
+) -> SimOutcome {
+    let (tasks, traces) = spec.build().expect("valid workload");
+    Engine::new(
+        tasks,
+        traces,
+        SimConfig::new(sharing).overhead(OverheadModel::per_op(0.05)),
+    )
+    .expect("valid engine")
+    .run(scheduler)
+}
+
+#[test]
+fn underload_both_disciplines_perform_well() {
+    let w = spec(0.3, 4, TufClass::Step, 1);
+    let lf = run(&w, SharingMode::LockFree { access_ticks: S }, RuaLockFree::new());
+    let lb = run(&w, SharingMode::LockBased { access_ticks: R }, RuaLockBased::new());
+    assert!(lf.metrics.aur() > 0.95, "lock-free underload AUR {}", lf.metrics.aur());
+    assert!(lb.metrics.aur() > 0.80, "lock-based underload AUR {}", lb.metrics.aur());
+}
+
+#[test]
+fn overload_lock_free_beats_lock_based() {
+    // Figures 12/13: during overloads with many shared objects, lock-based
+    // RUA collapses while lock-free RUA keeps accruing.
+    for seed in [2u64, 3, 4] {
+        let w = spec(1.1, 10, TufClass::Heterogeneous, seed);
+        let lf = run(&w, SharingMode::LockFree { access_ticks: S }, RuaLockFree::new());
+        let lb = run(&w, SharingMode::LockBased { access_ticks: R }, RuaLockBased::new());
+        assert!(
+            lf.metrics.aur() > lb.metrics.aur(),
+            "seed {seed}: lock-free AUR {} must beat lock-based {}",
+            lf.metrics.aur(),
+            lb.metrics.aur()
+        );
+        assert!(
+            lf.metrics.cmr() > lb.metrics.cmr(),
+            "seed {seed}: lock-free CMR {} must beat lock-based {}",
+            lf.metrics.cmr(),
+            lb.metrics.cmr()
+        );
+    }
+}
+
+#[test]
+fn lock_free_rua_tracks_ideal_rua() {
+    // Figure 9's qualitative core: lock-free RUA performs almost as well as
+    // the ideal (zero-cost-object) RUA.
+    let w = spec(0.7, 10, TufClass::Step, 5);
+    let ideal = run(&w, SharingMode::Ideal, RuaLockFree::new());
+    let lf = run(&w, SharingMode::LockFree { access_ticks: S }, RuaLockFree::new());
+    assert!(
+        (ideal.metrics.aur() - lf.metrics.aur()).abs() < 0.10,
+        "lock-free {} should track ideal {}",
+        lf.metrics.aur(),
+        ideal.metrics.aur()
+    );
+}
+
+#[test]
+fn overload_rua_beats_edf_on_utility() {
+    // The reason UA scheduling exists: during overloads EDF thrashes while
+    // RUA sheds low-return jobs.
+    let mut better = 0;
+    let mut total_rua = 0.0;
+    let mut total_edf = 0.0;
+    for seed in [7u64, 8, 9, 10, 11] {
+        let w = spec(1.4, 4, TufClass::Step, seed);
+        let rua = run(&w, SharingMode::LockFree { access_ticks: S }, RuaLockFree::new());
+        let edf = run(&w, SharingMode::LockFree { access_ticks: S }, Edf::new());
+        total_rua += rua.metrics.aur();
+        total_edf += edf.metrics.aur();
+        if rua.metrics.aur() >= edf.metrics.aur() {
+            better += 1;
+        }
+    }
+    assert!(
+        better >= 4,
+        "RUA should beat EDF on most overloaded seeds ({better}/5)"
+    );
+    assert!(total_rua > total_edf, "aggregate utility must favor RUA");
+}
+
+#[test]
+fn more_objects_hurt_lock_based_not_lock_free() {
+    // Figures 10–13's x-axis: increasing the number of shared objects (and
+    // hence lock traffic) degrades lock-based RUA; lock-free RUA stays flat.
+    let few = spec(0.9, 2, TufClass::Step, 13);
+    let many = {
+        let mut s = spec(0.9, 2, TufClass::Step, 13);
+        s.num_objects = 10;
+        s.accesses_per_job = 8;
+        s
+    };
+    let lb_few = run(&few, SharingMode::LockBased { access_ticks: R }, RuaLockBased::new());
+    let lb_many = run(&many, SharingMode::LockBased { access_ticks: R }, RuaLockBased::new());
+    let lf_few = run(&few, SharingMode::LockFree { access_ticks: S }, RuaLockFree::new());
+    let lf_many = run(&many, SharingMode::LockFree { access_ticks: S }, RuaLockFree::new());
+    let lb_drop = lb_few.metrics.aur() - lb_many.metrics.aur();
+    let lf_drop = lf_few.metrics.aur() - lf_many.metrics.aur();
+    assert!(
+        lb_drop > lf_drop,
+        "lock-based degradation ({lb_drop:.3}) must exceed lock-free ({lf_drop:.3})"
+    );
+    assert!(lf_many.metrics.aur() > 0.9, "lock-free stays healthy: {}", lf_many.metrics.aur());
+}
+
+#[test]
+fn facade_reexports_compose() {
+    // The README quickstart path: everything reachable through the facade.
+    let tuf = lockfree_rt::tuf::Tuf::step(1.0, 1_000).expect("valid");
+    let uam = lockfree_rt::uam::Uam::periodic(1_000);
+    let task = lockfree_rt::sim::TaskSpec::builder("t")
+        .tuf(tuf)
+        .uam(uam)
+        .segments(vec![lockfree_rt::sim::Segment::Compute(100)])
+        .build()
+        .expect("valid task");
+    let outcome = lockfree_rt::sim::Engine::new(
+        vec![task],
+        vec![lockfree_rt::uam::ArrivalTrace::new(vec![0])],
+        lockfree_rt::sim::SimConfig::new(lockfree_rt::sim::SharingMode::Ideal),
+    )
+    .expect("valid engine")
+    .run(lockfree_rt::core::RuaLockFree::new());
+    assert_eq!(outcome.metrics.completed(), 1);
+
+    // The concurrent objects are also part of the public story.
+    let queue = lockfree_rt::lockfree::LockFreeQueue::new();
+    queue.enqueue(42u32);
+    assert_eq!(queue.dequeue(), Some(42));
+}
