@@ -17,10 +17,9 @@
 //! control is for.
 
 use lfrt_uam::Uam;
-use serde::{Deserialize, Serialize};
 
 /// A task as seen by the admission test.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AdmissionTask {
     /// Arrival model `⟨l, a, W⟩`.
     pub uam: Uam,
@@ -33,7 +32,7 @@ pub struct AdmissionTask {
 }
 
 /// The sharing discipline whose worst case the test charges.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Discipline {
     /// Lock-free sharing with per-attempt access time `s`.
     LockFree {
@@ -48,7 +47,7 @@ pub enum Discipline {
 }
 
 /// Per-task admission verdict.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TaskVerdict {
     /// Conservative worst-case sojourn time, ticks.
     pub worst_sojourn: u64,
@@ -59,7 +58,7 @@ pub struct TaskVerdict {
 }
 
 /// The outcome of [`admit`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AdmissionReport {
     /// Verdicts, indexed like the input tasks.
     pub per_task: Vec<TaskVerdict>,
@@ -216,7 +215,10 @@ mod tests {
         assert_eq!(report.per_task.len(), 1);
         let v = report.per_task[0];
         assert_eq!(v.critical_time, 90_000);
-        assert_eq!(v.worst_sojourn, 1_000, "a lone task with no accesses just computes");
+        assert_eq!(
+            v.worst_sojourn, 1_000,
+            "a lone task with no accesses just computes"
+        );
         assert!(v.admitted);
     }
 

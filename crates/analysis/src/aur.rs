@@ -1,6 +1,5 @@
 use lfrt_tuf::Tuf;
 use lfrt_uam::Uam;
-use serde::{Deserialize, Serialize};
 
 /// Per-task parameters for the AUR bounds of Lemmas 4 and 5.
 ///
@@ -8,7 +7,7 @@ use serde::{Deserialize, Serialize};
 /// (Lemma 4), `access_time` is `s` and `delay` is `I_i + R_i`; for the
 /// lock-based bound (Lemma 5), `access_time` is `r` and `delay` is
 /// `I_i + B_i`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AurTaskParams {
     /// The task's arrival model `⟨l_i, a_i, W_i⟩`.
     pub uam: Uam,
@@ -36,7 +35,7 @@ impl AurTaskParams {
 }
 
 /// The lower/upper AUR bounds produced by [`aur_bounds`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AurBounds {
     /// The Lemma 4/5 lower bound: minimum-rate weights, worst-case sojourns.
     pub lower: f64,
@@ -72,7 +71,10 @@ pub fn aur_bounds(tasks: &[AurTaskParams], access_time: f64) -> AurBounds {
         "the AUR lemmas require non-increasing TUFs"
     );
     if tasks.is_empty() {
-        return AurBounds { lower: 0.0, upper: 1.0 };
+        return AurBounds {
+            lower: 0.0,
+            upper: 1.0,
+        };
     }
     let mut lower_num = 0.0;
     let mut lower_den = 0.0;
@@ -88,8 +90,16 @@ pub fn aur_bounds(tasks: &[AurTaskParams], access_time: f64) -> AurBounds {
         upper_den += max_rate * at_zero;
     }
     AurBounds {
-        lower: if lower_den > 0.0 { lower_num / lower_den } else { 0.0 },
-        upper: if upper_den > 0.0 { upper_num / upper_den } else { 1.0 },
+        lower: if lower_den > 0.0 {
+            lower_num / lower_den
+        } else {
+            0.0
+        },
+        upper: if upper_den > 0.0 {
+            upper_num / upper_den
+        } else {
+            1.0
+        },
     }
 }
 
@@ -132,7 +142,15 @@ mod tests {
     fn linear_tuf_bounds_match_hand_computation() {
         // U(t) = 10·(1 − t/100); u=20, m=1, s=10 → best sojourn 30,
         // worst 30+40=70. Single task: bounds are U(70)/10 and U(30)/10.
-        let t = params(1, 1, 1_000, Tuf::linear_decreasing(10.0, 100).expect("valid"), 20, 1, 40);
+        let t = params(
+            1,
+            1,
+            1_000,
+            Tuf::linear_decreasing(10.0, 100).expect("valid"),
+            20,
+            1,
+            40,
+        );
         let b = aur_bounds(&[t], 10.0);
         assert!((b.lower - 0.3).abs() < 1e-9);
         assert!((b.upper - 0.7).abs() < 1e-9);

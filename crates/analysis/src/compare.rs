@@ -2,13 +2,11 @@
 //! comparisons between lock-based and lock-free sharing, packaged as a
 //! report for tooling and benches.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{RetryBoundInput, SojournComparison};
 use lfrt_uam::Uam;
 
 /// Per-task inputs for the discipline comparison.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CompareTask {
     /// Arrival model.
     pub uam: Uam,
@@ -19,7 +17,7 @@ pub struct CompareTask {
 }
 
 /// The Theorem 3 verdict for one task.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TaskComparison {
     /// `m_i`.
     pub accesses: u64,

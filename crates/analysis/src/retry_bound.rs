@@ -1,5 +1,4 @@
 use lfrt_uam::Uam;
-use serde::{Deserialize, Serialize};
 
 /// Inputs to the paper's Theorem 2 retry bound for one job `J_i`.
 ///
@@ -10,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// completions inside the interval plus completions of jobs released up to
 /// `C_i` earlier). By Lemma 1 a job cannot be preempted — and therefore
 /// cannot retry — more often than the scheduler is invoked.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RetryBoundInput {
     /// `a_i`: the job's own task's per-window arrival maximum.
     pub own_max_arrivals: u32,
@@ -33,8 +32,7 @@ impl RetryBoundInput {
         self.others
             .iter()
             .map(|uam| {
-                u64::from(uam.max_arrivals())
-                    * (self.critical_time.div_ceil(uam.window()) + 1)
+                u64::from(uam.max_arrivals()) * (self.critical_time.div_ceil(uam.window()) + 1)
             })
             .sum()
     }

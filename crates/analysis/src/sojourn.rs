@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 /// Inputs to the paper's Theorem 3: lock-based versus lock-free worst-case
 /// sojourn times for one job `J_i`.
 ///
@@ -12,7 +10,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// Lock-free wins exactly when the lock-based extra exceeds the lock-free
 /// extra.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SojournComparison {
     /// `r`: lock-based object access time (critical-section cost), ticks.
     pub lock_based_access: f64,
@@ -74,9 +72,7 @@ impl SojournComparison {
     /// `s/r < (m_i + n_i) / (m_i + 3a_i + 2x_i)`.
     pub fn condition_m_gt_n(&self) -> bool {
         let ratio = self.lock_free_access / self.lock_based_access;
-        ratio
-            < (self.accesses + self.blockers) as f64
-                / (self.accesses + self.retry_bound()) as f64
+        ratio < (self.accesses + self.blockers) as f64 / (self.accesses + self.retry_bound()) as f64
     }
 
     /// The actual ratio `s/r`.
@@ -147,8 +143,7 @@ mod tests {
                     // The model bounds n_i by the jobs that can coexist with
                     // J_i: n_i ≤ 2a_i + x_i (used in the Theorem 3 proof).
                     let own_max_arrivals = 2u32;
-                    let blockers =
-                        blockers.min(2 * u64::from(own_max_arrivals) + x);
+                    let blockers = blockers.min(2 * u64::from(own_max_arrivals) + x);
                     let c = SojournComparison {
                         lock_based_access: 50.0,
                         lock_free_access: 5.0,

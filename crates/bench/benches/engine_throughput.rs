@@ -42,8 +42,7 @@ fn mp_engine(c: &mut Criterion) {
                 let outcome = MpEngine::new(
                     tasks,
                     traces,
-                    SimConfig::new(SharingMode::LockFree { access_ticks: 10 })
-                        .record_jobs(false),
+                    SimConfig::new(SharingMode::LockFree { access_ticks: 10 }).record_jobs(false),
                     cpus,
                 )
                 .expect("valid engine")

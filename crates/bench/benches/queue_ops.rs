@@ -123,5 +123,11 @@ fn other_structures(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, uncontended, contended, cas_register, other_structures);
+criterion_group!(
+    benches,
+    uncontended,
+    contended,
+    cas_register,
+    other_structures
+);
 criterion_main!(benches);

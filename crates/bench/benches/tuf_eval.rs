@@ -9,11 +9,8 @@ fn tuf_eval(c: &mut Criterion) {
     let mut group = c.benchmark_group("tuf_eval");
     let step = Tuf::step(10.0, 1_000).expect("valid");
     let parabolic = Tuf::parabolic(10.0, 1_000).expect("valid");
-    let piecewise = Tuf::piecewise(
-        (0..16).map(|i| (i * 60, 16.0 - i as f64)).collect(),
-        1_000,
-    )
-    .expect("valid");
+    let piecewise =
+        Tuf::piecewise((0..16).map(|i| (i * 60, 16.0 - i as f64)).collect(), 1_000).expect("valid");
     group.bench_function("step", |b| {
         b.iter(|| std::hint::black_box(step.utility(std::hint::black_box(500))));
     });
@@ -28,7 +25,9 @@ fn tuf_eval(c: &mut Criterion) {
 
 fn uam_check(c: &mut Criterion) {
     let uam = Uam::new(1, 3, 1_000).expect("valid");
-    let trace = RandomUamArrivals::new(uam, 7).with_intensity(3.0).generate(1_000_000);
+    let trace = RandomUamArrivals::new(uam, 7)
+        .with_intensity(3.0)
+        .generate(1_000_000);
     c.bench_function("uam_conformance_1k_windows", |b| {
         b.iter(|| std::hint::black_box(trace.conforms_to(&uam)).is_ok());
     });

@@ -9,8 +9,10 @@
 //! the lock, lock-free barely notices.
 //!
 //! Usage: `cargo run -p lfrt-bench --release --bin crash_starvation --
-//! [--seeds 5]`
+//! [--seeds 5] [--json <path>] [--threads N] [--quick]`
 
+use lfrt_bench::json::{self, Point, Report};
+use lfrt_bench::runner::Sweep;
 use lfrt_bench::stats::Summary;
 use lfrt_bench::{table, Args};
 use lfrt_core::{RuaLockBased, RuaLockFree};
@@ -21,6 +23,7 @@ use lfrt_tuf::Tuf;
 use lfrt_uam::{ArrivalGenerator, ArrivalTrace, RandomUamArrivals, Uam};
 
 const HORIZON: u64 = 400_000;
+const CRASHES: [Option<u64>; 4] = [None, Some(50), Some(150), Some(190)];
 
 fn build(crash_after: Option<Ticks>, seed: u64) -> (Vec<TaskSpec>, Vec<ArrivalTrace>) {
     let mut tasks = Vec::new();
@@ -31,7 +34,10 @@ fn build(crash_after: Option<Ticks>, seed: u64) -> (Vec<TaskSpec>, Vec<ArrivalTr
         .uam(Uam::periodic(50_000))
         .segments(vec![
             Segment::Compute(100),
-            Segment::Access { object: ObjectId::new(0), kind: AccessKind::Write },
+            Segment::Access {
+                object: ObjectId::new(0),
+                kind: AccessKind::Write,
+            },
             Segment::Compute(100),
         ]);
     if let Some(c) = crash_after {
@@ -48,7 +54,10 @@ fn build(crash_after: Option<Ticks>, seed: u64) -> (Vec<TaskSpec>, Vec<ArrivalTr
                 .uam(uam)
                 .segments(vec![
                     Segment::Compute(200),
-                    Segment::Access { object: ObjectId::new(0), kind: AccessKind::Write },
+                    Segment::Access {
+                        object: ObjectId::new(0),
+                        kind: AccessKind::Write,
+                    },
                     Segment::Compute(200),
                 ])
                 .build()
@@ -78,36 +87,75 @@ fn run<S: UaScheduler>(
 }
 
 fn main() {
+    let started = std::time::Instant::now();
     let args = Args::from_env();
-    let seeds = args.get_u64("seeds", 5);
+    let quick = args.quick();
+    let seeds = args.get_u64("seeds", if quick { 2 } else { 5 });
     println!("# §1.1 crash starvation: a lock holder dies mid-critical-section");
     println!("# 1 crasher + 6 workers on one object; r = 2000 µs, s = 100 µs; {seeds} seeds");
 
+    // One point per (crash scenario, seed); each evaluates both disciplines.
+    let points: Vec<(Option<u64>, u64)> = CRASHES
+        .iter()
+        .flat_map(|&c| (0..seeds).map(move |seed| (c, seed)))
+        .collect();
+    let results = Sweep::new("crash_starvation", points)
+        .threads(args.threads())
+        .run(|&(crash, seed)| {
+            let lb = run(
+                crash,
+                seed,
+                SharingMode::LockBased {
+                    access_ticks: 2_000,
+                },
+                RuaLockBased::new(),
+            );
+            let lf = run(
+                crash,
+                seed,
+                SharingMode::LockFree { access_ticks: 100 },
+                RuaLockFree::new(),
+            );
+            [lf, lb]
+        });
+
+    let mut report = Report::new("crash_starvation", "crash", "AUR after a lock-holder crash")
+        .config("seeds", seeds)
+        .config("r_ticks", 2_000u64)
+        .config("s_ticks", 100u64)
+        .config("horizon", HORIZON);
+
     let mut rows = Vec::new();
-    for crash in [None, Some(50u64), Some(150), Some(190)] {
+    for (i, &crash) in CRASHES.iter().enumerate() {
         let label = match crash {
             None => "no crash".to_string(),
             // The access starts 100 ticks in; crashes at ≥100 die holding it.
             Some(c) if c < 100 => format!("crash at {c} (before lock)"),
             Some(c) => format!("crash at {c} (HOLDING lock)"),
         };
-        let mut lb = Vec::new();
-        let mut lf = Vec::new();
-        for seed in 0..seeds {
-            lb.push(run(
-                crash,
-                seed,
-                SharingMode::LockBased { access_ticks: 2_000 },
-                RuaLockBased::new(),
-            ));
-            lf.push(run(
-                crash,
-                seed,
-                SharingMode::LockFree { access_ticks: 100 },
-                RuaLockFree::new(),
-            ));
-        }
-        rows.push(vec![label, Summary::of(&lf).display(3), Summary::of(&lb).display(3)]);
+        let chunk = &results[i * seeds as usize..(i + 1) * seeds as usize];
+        let lf: Vec<f64> = chunk.iter().map(|c| c[0]).collect();
+        let lb: Vec<f64> = chunk.iter().map(|c| c[1]).collect();
+        rows.push(vec![
+            label.clone(),
+            Summary::of(&lf).display(3),
+            Summary::of(&lb).display(3),
+        ]);
+        report.points.push(Point {
+            params: vec![
+                (
+                    "crash_after".into(),
+                    crash.map_or(json::Json::Null, Into::into),
+                ),
+                ("scenario".into(), label.into()),
+            ],
+            seeds: (0..seeds).collect(),
+            metrics: vec![
+                ("aur_lock_free".into(), json::summary_of(&lf)),
+                ("aur_lock_based".into(), json::summary_of(&lb)),
+            ],
+            timing: Vec::new(),
+        });
     }
     table::print(
         "Accrued utility ratio after a holder crash",
@@ -116,4 +164,9 @@ fn main() {
     );
     println!("\nshape check: lock-based collapses when the crash lands inside the critical");
     println!("section (the lock is never released); lock-free is indifferent to the crash.");
+
+    if let Some(path) = args.json_path() {
+        let meta = json::RunMeta::capture(args.threads(), quick);
+        json::write_reports(&path, &[report], meta, started).expect("write JSON report");
+    }
 }

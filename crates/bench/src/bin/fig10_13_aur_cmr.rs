@@ -19,8 +19,11 @@
 //! underloads and far above lock-based during overloads.
 //!
 //! Usage: `cargo run -p lfrt-bench --release --bin fig10_13_aur_cmr --
-//! [--load 0.4|1.1] [--tufs step|hetero] [--seeds 5] [--r 400] [--s 5]`
+//! [--load 0.4|1.1] [--tufs step|hetero] [--seeds 5] [--r 400] [--s 5]
+//! [--json <path>] [--threads N] [--quick]`
 
+use lfrt_bench::json::{self, Point, Report};
+use lfrt_bench::runner::Sweep;
 use lfrt_bench::stats::Summary;
 use lfrt_bench::{table, Args};
 use lfrt_core::{RuaLockBased, RuaLockFree};
@@ -28,15 +31,23 @@ use lfrt_sim::workload::{ArrivalStyle, TufClass, WorkloadSpec};
 use lfrt_sim::{Engine, OverheadModel, SharingMode, SimConfig, UaScheduler};
 
 fn main() {
+    let started = std::time::Instant::now();
     let args = Args::from_env();
+    let quick = args.quick();
     let load = args.get_f64("load", 0.4);
     let tufs = match args.get_str("tufs", "step").as_str() {
         "hetero" | "heterogeneous" => TufClass::Heterogeneous,
         _ => TufClass::Step,
     };
-    let seeds = args.get_u64("seeds", 5);
+    let seeds = args.get_u64("seeds", if quick { 2 } else { 5 });
     let r = args.get_u64("r", 400);
     let s = args.get_u64("s", 5);
+    let horizon = args.get_u64("horizon", if quick { 200_000 } else { 1_000_000 });
+    let object_counts: Vec<usize> = if quick {
+        vec![1, 4, 10]
+    } else {
+        vec![1, 2, 4, 6, 8, 10]
+    };
     let figure = match (load > 0.9, tufs) {
         (false, TufClass::Step) => "10",
         (false, TufClass::Heterogeneous) => "11",
@@ -47,13 +58,15 @@ fn main() {
     println!("# Figure {figure}: AUR/CMR vs shared objects (AL = {load}, {tufs:?} TUFs)");
     println!("# r = {r} µs, s = {s} µs, {seeds} seeds per point");
 
-    let mut rows = Vec::new();
-    for objects in [1usize, 2, 4, 6, 8, 10] {
-        let mut lb_aur = Vec::new();
-        let mut lb_cmr = Vec::new();
-        let mut lf_aur = Vec::new();
-        let mut lf_cmr = Vec::new();
-        for seed in 0..seeds {
+    // One sweep point per (object count, seed); each evaluates the
+    // lock-based and lock-free engines on the identical workload.
+    let points: Vec<(usize, u64)> = object_counts
+        .iter()
+        .flat_map(|&k| (0..seeds).map(move |seed| (k, seed)))
+        .collect();
+    let results = Sweep::new(format!("fig{figure}"), points.clone())
+        .threads(args.threads())
+        .run(|&(objects, seed)| {
             let spec = WorkloadSpec {
                 num_tasks: 10,
                 num_objects: objects,
@@ -64,17 +77,38 @@ fn main() {
                 max_burst: 2,
                 critical_time_frac: 0.9,
                 arrival_style: ArrivalStyle::RandomUam { intensity: 4.0 },
-                horizon: 1_000_000,
+                horizon,
                 read_fraction: 0.0,
                 seed,
             };
-            let lb = run(&spec, SharingMode::LockBased { access_ticks: r }, RuaLockBased::new());
-            lb_aur.push(lb.aur());
-            lb_cmr.push(lb.cmr());
-            let lf = run(&spec, SharingMode::LockFree { access_ticks: s }, RuaLockFree::new());
-            lf_aur.push(lf.aur());
-            lf_cmr.push(lf.cmr());
-        }
+            let lb = run(
+                &spec,
+                SharingMode::LockBased { access_ticks: r },
+                RuaLockBased::new(),
+            );
+            let lf = run(
+                &spec,
+                SharingMode::LockFree { access_ticks: s },
+                RuaLockFree::new(),
+            );
+            [lf.aur(), lb.aur(), lf.cmr(), lb.cmr()]
+        });
+
+    let mut report = Report::new("fig10_13_aur_cmr", figure, "AUR and CMR vs shared objects")
+        .config("load", load)
+        .config("tufs", format!("{tufs:?}"))
+        .config("seeds", seeds)
+        .config("r_ticks", r)
+        .config("s_ticks", s)
+        .config("horizon", horizon)
+        .config("num_tasks", 10u64);
+
+    let mut rows = Vec::new();
+    for (i, &objects) in object_counts.iter().enumerate() {
+        // Seed-major slices out of the seed-ordered sweep results.
+        let chunk = &results[i * seeds as usize..(i + 1) * seeds as usize];
+        let column = |j: usize| chunk.iter().map(|m| m[j]).collect::<Vec<f64>>();
+        let (lf_aur, lb_aur, lf_cmr, lb_cmr) = (column(0), column(1), column(2), column(3));
         rows.push(vec![
             objects.to_string(),
             Summary::of(&lf_aur).display(3),
@@ -82,16 +116,42 @@ fn main() {
             Summary::of(&lf_cmr).display(3),
             Summary::of(&lb_cmr).display(3),
         ]);
+        report.points.push(Point {
+            params: vec![("objects".into(), objects.into())],
+            seeds: (0..seeds).collect(),
+            metrics: vec![
+                ("aur_lock_free".into(), json::summary_of(&lf_aur)),
+                ("aur_lock_based".into(), json::summary_of(&lb_aur)),
+                ("cmr_lock_free".into(), json::summary_of(&lf_cmr)),
+                ("cmr_lock_based".into(), json::summary_of(&lb_cmr)),
+            ],
+            timing: Vec::new(),
+        });
     }
     table::print(
         &format!("Figure {figure}: AUR and CMR vs number of shared objects"),
-        &["objects", "AUR lock-free", "AUR lock-based", "CMR lock-free", "CMR lock-based"],
+        &[
+            "objects",
+            "AUR lock-free",
+            "AUR lock-based",
+            "CMR lock-free",
+            "CMR lock-based",
+        ],
         &rows,
     );
     println!(
         "\nshape check: lock-based decays with objects{}; lock-free stays high.",
-        if load > 0.9 { " (toward 0 in overload)" } else { "" }
+        if load > 0.9 {
+            " (toward 0 in overload)"
+        } else {
+            ""
+        }
     );
+
+    if let Some(path) = args.json_path() {
+        let meta = json::RunMeta::capture(args.threads(), quick);
+        json::write_reports(&path, &[report], meta, started).expect("write JSON report");
+    }
 }
 
 fn run<S: UaScheduler>(

@@ -13,93 +13,175 @@
 //! load range and for every reader population.
 //!
 //! Usage: `cargo run -p lfrt-bench --release --bin fig14_readers --
-//! [--seeds 5] [--r 400] [--s 5]`
+//! [--seeds 5] [--r 400] [--s 5] [--json <path>] [--threads N] [--quick]`
 
+use lfrt_bench::json::{self, Point, Report};
+use lfrt_bench::runner::Sweep;
 use lfrt_bench::stats::Summary;
 use lfrt_bench::{table, Args};
 use lfrt_core::{RuaLockBased, RuaLockFree};
 use lfrt_sim::workload::{ArrivalStyle, TufClass, WorkloadSpec};
 use lfrt_sim::{Engine, OverheadModel, SharingMode, SimConfig, UaScheduler};
 
+/// AUR and CMR samples for the four (scheduler × metric) columns of one
+/// (tasks, load, seed) run.
+type Cell = [f64; 4];
+
 fn main() {
+    let started = std::time::Instant::now();
     let args = Args::from_env();
-    let seeds = args.get_u64("seeds", 5);
+    let quick = args.quick();
+    let seeds = args.get_u64("seeds", if quick { 2 } else { 5 });
     let r = args.get_u64("r", 400);
     let s = args.get_u64("s", 5);
+    let horizon = args.get_u64("horizon", if quick { 200_000 } else { 1_000_000 });
+    let threads = args.threads();
 
     println!("# Figure 14: load sweep and reader sweep (heterogeneous TUFs)");
     println!("# r = {r} µs, s = {s} µs, {seeds} seeds per point");
 
+    let loads: Vec<f64> = if quick {
+        vec![0.3, 0.7, 1.1]
+    } else {
+        vec![0.1, 0.3, 0.5, 0.7, 0.9, 1.1]
+    };
+    let reader_counts: Vec<usize> = if quick {
+        vec![4, 10, 14]
+    } else {
+        vec![4, 6, 8, 10, 12, 14]
+    };
+
+    // Both panels share one sweep so the pool drains a single work list:
+    // (tasks, load, seed), with panel a varying load and panel b tasks.
+    let mut points: Vec<(usize, f64, u64)> = Vec::new();
+    for &load in &loads {
+        points.extend((0..seeds).map(|seed| (10usize, load, seed)));
+    }
+    for &readers in &reader_counts {
+        points.extend((0..seeds).map(|seed| (readers, 0.8, seed)));
+    }
+    let results = Sweep::new("fig14", points)
+        .threads(threads)
+        .run(|&(tasks, load, seed)| {
+            let spec = WorkloadSpec {
+                num_tasks: tasks,
+                num_objects: 10,
+                accesses_per_job: 6,
+                tuf_class: TufClass::Heterogeneous,
+                target_load: load,
+                window_range: (6_000, 18_000),
+                max_burst: 2,
+                critical_time_frac: 0.9,
+                arrival_style: ArrivalStyle::RandomUam { intensity: 4.0 },
+                horizon,
+                read_fraction: 0.0,
+                seed: seed + 1000,
+            };
+            let lf = run(
+                &spec,
+                SharingMode::LockFree { access_ticks: s },
+                RuaLockFree::new(),
+            );
+            let lb = run(
+                &spec,
+                SharingMode::LockBased { access_ticks: r },
+                RuaLockBased::new(),
+            );
+            [lf.aur(), lb.aur(), lf.cmr(), lb.cmr()]
+        });
+    let (load_cells, reader_cells) = results.split_at(loads.len() * seeds as usize);
+
+    let common = |report: Report| {
+        report
+            .config("seeds", seeds)
+            .config("r_ticks", r)
+            .config("s_ticks", s)
+            .config("horizon", horizon)
+            .config("tufs", "Heterogeneous")
+    };
+    let mut report_a = common(Report::new(
+        "fig14_readers",
+        "14a",
+        "AUR and CMR vs load (10 tasks, 10 objects)",
+    ));
+    let mut report_b = common(Report::new(
+        "fig14_readers",
+        "14b",
+        "AUR and CMR vs reader tasks (AL = 0.8)",
+    ));
+
     let mut rows = Vec::new();
-    for load10 in [1u64, 3, 5, 7, 9, 11] {
-        let load = load10 as f64 / 10.0;
-        let (lf, lb) = sweep_point(10, load, seeds, r, s);
-        rows.push(vec![
-            format!("{load:.1}"),
-            lf.0.display(3),
-            lb.0.display(3),
-            lf.1.display(3),
-            lb.1.display(3),
-        ]);
+    for (i, &load) in loads.iter().enumerate() {
+        let chunk = &load_cells[i * seeds as usize..(i + 1) * seeds as usize];
+        rows.push(row(format!("{load:.1}"), chunk));
+        report_a
+            .points
+            .push(point(vec![("load".into(), load.into())], seeds, chunk));
     }
     table::print(
         "Figure 14a: AUR and CMR vs load (10 tasks, 10 objects)",
-        &["AL", "AUR lock-free", "AUR lock-based", "CMR lock-free", "CMR lock-based"],
+        &[
+            "AL",
+            "AUR lock-free",
+            "AUR lock-based",
+            "CMR lock-free",
+            "CMR lock-based",
+        ],
         &rows,
     );
 
     let mut rows = Vec::new();
-    for readers in [4usize, 6, 8, 10, 12, 14] {
-        let (lf, lb) = sweep_point(readers, 0.8, seeds, r, s);
-        rows.push(vec![
-            readers.to_string(),
-            lf.0.display(3),
-            lb.0.display(3),
-            lf.1.display(3),
-            lb.1.display(3),
-        ]);
+    for (i, &readers) in reader_counts.iter().enumerate() {
+        let chunk = &reader_cells[i * seeds as usize..(i + 1) * seeds as usize];
+        rows.push(row(readers.to_string(), chunk));
+        report_b.points.push(point(
+            vec![("readers".into(), readers.into())],
+            seeds,
+            chunk,
+        ));
     }
     table::print(
         "Figure 14b: AUR and CMR vs reader tasks (AL = 0.8)",
-        &["readers", "AUR lock-free", "AUR lock-based", "CMR lock-free", "CMR lock-based"],
+        &[
+            "readers",
+            "AUR lock-free",
+            "AUR lock-based",
+            "CMR lock-free",
+            "CMR lock-based",
+        ],
         &rows,
     );
     println!("\nshape check: lock-free dominates across the load range and all populations.");
+
+    if let Some(path) = args.json_path() {
+        let meta = json::RunMeta::capture(threads, quick);
+        json::write_reports(&path, &[report_a, report_b], meta, started)
+            .expect("write JSON report");
+    }
 }
 
-type Point = (Summary, Summary); // (AUR, CMR)
+fn column(cells: &[Cell], j: usize) -> Vec<f64> {
+    cells.iter().map(|c| c[j]).collect()
+}
 
-fn sweep_point(tasks: usize, load: f64, seeds: u64, r: u64, s: u64) -> (Point, Point) {
-    let mut lf_aur = Vec::new();
-    let mut lf_cmr = Vec::new();
-    let mut lb_aur = Vec::new();
-    let mut lb_cmr = Vec::new();
-    for seed in 0..seeds {
-        let spec = WorkloadSpec {
-            num_tasks: tasks,
-            num_objects: 10,
-            accesses_per_job: 6,
-            tuf_class: TufClass::Heterogeneous,
-            target_load: load,
-            window_range: (6_000, 18_000),
-            max_burst: 2,
-            critical_time_frac: 0.9,
-            arrival_style: ArrivalStyle::RandomUam { intensity: 4.0 },
-            horizon: 1_000_000,
-            read_fraction: 0.0,
-            seed: seed + 1000,
-        };
-        let lf = run(&spec, SharingMode::LockFree { access_ticks: s }, RuaLockFree::new());
-        lf_aur.push(lf.aur());
-        lf_cmr.push(lf.cmr());
-        let lb = run(&spec, SharingMode::LockBased { access_ticks: r }, RuaLockBased::new());
-        lb_aur.push(lb.aur());
-        lb_cmr.push(lb.cmr());
+fn row(label: String, cells: &[Cell]) -> Vec<String> {
+    let mut row = vec![label];
+    row.extend((0..4).map(|j| Summary::of(&column(cells, j)).display(3)));
+    row
+}
+
+fn point(params: Vec<(String, json::Json)>, seeds: u64, cells: &[Cell]) -> Point {
+    Point {
+        params,
+        seeds: (0..seeds).map(|s| s + 1000).collect(),
+        metrics: vec![
+            ("aur_lock_free".into(), json::summary_of(&column(cells, 0))),
+            ("aur_lock_based".into(), json::summary_of(&column(cells, 1))),
+            ("cmr_lock_free".into(), json::summary_of(&column(cells, 2))),
+            ("cmr_lock_based".into(), json::summary_of(&column(cells, 3))),
+        ],
+        timing: Vec::new(),
     }
-    (
-        (Summary::of(&lf_aur), Summary::of(&lf_cmr)),
-        (Summary::of(&lb_aur), Summary::of(&lb_cmr)),
-    )
 }
 
 fn run<S: UaScheduler>(

@@ -20,13 +20,20 @@
 //! Expected shape (paper): `r ≫ s`; `r` grows with the object count, `s`
 //! stays nearly flat.
 //!
+//! All results of this experiment are host wall-clock measurements, so in
+//! the JSON report they live under each point's `timing` section — nothing
+//! here is part of the deterministic payload, and the sweep always runs on
+//! one worker thread (overlapping timing runs would disturb each other).
+//!
 //! Usage: `cargo run -p lfrt-bench --release --bin fig8_access_times
-//! [-- --samples 2000 --threads 10]`
+//! [-- --samples 2000 --contention 10] [--json <path>] [--quick]`
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use lfrt_bench::json::{self, Point, Report};
+use lfrt_bench::runner::Sweep;
 use lfrt_bench::stats::Summary;
 use lfrt_bench::synth::SyntheticWorkload;
 use lfrt_bench::{table, Args};
@@ -37,26 +44,50 @@ use lfrt_sim::UaScheduler;
 const TASKS: usize = 10;
 
 fn main() {
+    let started = std::time::Instant::now();
     let args = Args::from_env();
-    let samples = args.get_u64("samples", 2_000) as usize;
-    let threads = args.get_u64("threads", TASKS as u64) as usize;
+    let quick = args.quick();
+    let samples = args.get_u64("samples", if quick { 400 } else { 2_000 }) as usize;
+    let contention = args.get_u64("contention", TASKS as u64) as usize;
+    let object_counts: Vec<usize> = if quick {
+        vec![1, 4, 10]
+    } else {
+        (1..=10).collect()
+    };
 
     println!("# Figure 8: shared-object access times (host wall-clock)");
-    println!("# threads = {threads}, samples per point = {samples}");
+    println!("# contention threads = {contention}, samples per point = {samples}");
+
+    // Wall-clock measurement: always one worker, whatever --threads says —
+    // concurrent points would contend for the CPU and skew each other.
+    let results = Sweep::new("fig8", object_counts.clone())
+        .threads(1)
+        .run(|&k| {
+            let s = measure_queue_ops(
+                (0..k).map(|_| LockFreeQueue::new()).collect::<Vec<_>>(),
+                contention,
+                samples,
+            );
+            let mutex_part = measure_queue_ops(
+                (0..k).map(|_| LockedQueue::new()).collect::<Vec<_>>(),
+                contention,
+                samples,
+            );
+            let sched_part = measure_lock_path_scheduling(k, samples);
+            (s, mutex_part, sched_part)
+        });
+
+    let mut report = Report::new(
+        "fig8_access_times",
+        "8",
+        "Object access time vs shared objects",
+    )
+    .config("samples", samples)
+    .config("contention_threads", contention)
+    .config("num_tasks", TASKS);
 
     let mut rows = Vec::new();
-    for k in 1..=10usize {
-        let s = measure_queue_ops(
-            (0..k).map(|_| LockFreeQueue::new()).collect::<Vec<_>>(),
-            threads,
-            samples,
-        );
-        let mutex_part = measure_queue_ops(
-            (0..k).map(|_| LockedQueue::new()).collect::<Vec<_>>(),
-            threads,
-            samples,
-        );
-        let sched_part = measure_lock_path_scheduling(k, samples);
+    for (&k, (s, mutex_part, sched_part)) in object_counts.iter().zip(&results) {
         let r_mean = mutex_part.mean + 2.0 * sched_part.mean;
         let r_ci = (mutex_part.ci95.powi(2) + (2.0 * sched_part.ci95).powi(2)).sqrt();
         rows.push(vec![
@@ -65,6 +96,19 @@ fn main() {
             format!("{r_mean:.0} ± {r_ci:.0}"),
             format!("{:.1}", r_mean / s.mean.max(1.0)),
         ]);
+        report.points.push(Point {
+            params: vec![("objects".into(), k.into())],
+            seeds: Vec::new(),
+            metrics: Vec::new(), // wall-clock only — see module docs
+            timing: vec![
+                ("s_ns".into(), (s).into()),
+                ("r_mutex_ns".into(), (mutex_part).into()),
+                ("r_sched_ns".into(), (sched_part).into()),
+                ("r_ns_mean".into(), r_mean.into()),
+                ("r_ns_ci95".into(), r_ci.into()),
+                ("r_over_s".into(), (r_mean / s.mean.max(1.0)).into()),
+            ],
+        });
     }
     table::print(
         "Figure 8: object access time vs number of shared objects",
@@ -72,6 +116,11 @@ fn main() {
         &rows,
     );
     println!("\nshape check: r >> s throughout; r grows with objects, s stays flat.");
+
+    if let Some(path) = args.json_path() {
+        let meta = json::RunMeta::capture(1, quick);
+        json::write_reports(&path, &[report], meta, started).expect("write JSON report");
+    }
 }
 
 /// Mean per-op latency (ns) of `threads` workers performing

@@ -18,8 +18,11 @@
 //! ≈ 1 around 10 µs jobs; lock-based needs jobs ~100× longer.
 //!
 //! Usage: `cargo run -p lfrt-bench --release --bin fig9_cml
-//! [-- --r 400 --s 5 --nsop 0.2]` (times in ticks = µs).
+//! [-- --r 400 --s 5 --nsop 0.2] [--json <path>] [--threads N] [--quick]`
+//! (times in ticks = µs).
 
+use lfrt_bench::json::{self, Point, Report};
+use lfrt_bench::runner::Sweep;
 use lfrt_bench::workloads::uniform_periodic;
 use lfrt_bench::{table, Args};
 use lfrt_core::{RuaLockBased, RuaLockFree, RuaLockFreeSampled};
@@ -38,46 +41,97 @@ enum Discipline {
 }
 
 fn main() {
+    let started = std::time::Instant::now();
     let args = Args::from_env();
+    let quick = args.quick();
     let r = args.get_u64("r", 400);
     let s = args.get_u64("s", 5);
     let ticks_per_op = args.get_f64("nsop", 0.2);
+    // Bisection iterations: 7 resolves AL to ~0.01, 5 to ~0.04 (quick).
+    let iters = args.get_u64("iters", if quick { 5 } else { 7 }) as u32;
 
     println!("# Figure 9: Critical-time Miss Load (1 tick = 1 µs)");
     println!("# r = {r} µs, s = {s} µs, scheduler overhead = {ticks_per_op} µs/op");
 
-    let exec_times: [u64; 9] = [5, 10, 20, 50, 100, 200, 500, 1_000, 2_000];
+    let exec_times: Vec<u64> = if quick {
+        vec![5, 20, 100, 500, 2_000]
+    } else {
+        vec![5, 10, 20, 50, 100, 200, 500, 1_000, 2_000]
+    };
+
+    // One point per (execution time, discipline); each runs its own
+    // bisection, so the pool load-balances the expensive long-horizon cells.
+    const DISCIPLINE_NAMES: [&str; 4] = ["ideal", "lock_free", "lock_free_sampled", "lock_based"];
+    let points: Vec<(u64, usize)> = exec_times
+        .iter()
+        .flat_map(|&exec| (0..4).map(move |d| (exec, d)))
+        .collect();
+    let results = Sweep::new("fig9", points)
+        .threads(args.threads())
+        .run(|&(exec, d)| {
+            let discipline = match d {
+                0 => Discipline::Ideal,
+                1 => Discipline::LockFree { s },
+                2 => Discipline::LockFreeSampled { s },
+                _ => Discipline::LockBased { r },
+            };
+            cml(exec, discipline, ticks_per_op, iters)
+        });
+
+    let mut report = Report::new("fig9_cml", "9", "CML vs mean job execution time")
+        .config("r_ticks", r)
+        .config("s_ticks", s)
+        .config("ticks_per_op", ticks_per_op)
+        .config("bisection_iters", u64::from(iters))
+        .config("num_tasks", TASKS)
+        .config("num_objects", OBJECTS)
+        .config("accesses_per_job", ACCESSES);
+
     let mut rows = Vec::new();
-    for &exec in &exec_times {
-        let cml_ideal = cml(exec, Discipline::Ideal, ticks_per_op);
-        let cml_lf = cml(exec, Discipline::LockFree { s }, ticks_per_op);
-        let cml_sampled = cml(exec, Discipline::LockFreeSampled { s }, ticks_per_op);
-        let cml_lb = cml(exec, Discipline::LockBased { r }, ticks_per_op);
-        rows.push(vec![
-            exec.to_string(),
-            format!("{cml_ideal:.2}"),
-            format!("{cml_lf:.2}"),
-            format!("{cml_sampled:.2}"),
-            format!("{cml_lb:.2}"),
-        ]);
+    for (i, &exec) in exec_times.iter().enumerate() {
+        let cmls = &results[i * 4..(i + 1) * 4];
+        let mut row = vec![exec.to_string()];
+        row.extend(cmls.iter().map(|c| format!("{c:.2}")));
+        rows.push(row);
+        report.points.push(Point {
+            params: vec![("exec_us".into(), exec.into())],
+            seeds: Vec::new(), // deterministic periodic workload, seedless
+            metrics: DISCIPLINE_NAMES
+                .iter()
+                .zip(cmls)
+                .map(|(name, &cml)| (format!("cml_{name}"), cml.into()))
+                .collect(),
+            timing: Vec::new(),
+        });
     }
     table::print(
         "Figure 9: CML vs mean job execution time (µs)",
-        &["exec (µs)", "ideal RUA", "lock-free RUA", "lf sampled (§3.6)", "lock-based RUA"],
+        &[
+            "exec (µs)",
+            "ideal RUA",
+            "lock-free RUA",
+            "lf sampled (§3.6)",
+            "lock-based RUA",
+        ],
         &rows,
     );
     println!("\nshape check: lock-free ≈ ideal; lock-based needs far longer jobs to reach 1.0.");
+
+    if let Some(path) = args.json_path() {
+        let meta = json::RunMeta::capture(args.threads(), quick);
+        json::write_reports(&path, &[report], meta, started).expect("write JSON report");
+    }
 }
 
-/// Binary-searches the largest AL (to 0.02) at which the discipline misses
-/// no critical times.
-fn cml(exec: u64, discipline: Discipline, ticks_per_op: f64) -> f64 {
+/// Binary-searches the largest AL at which the discipline misses no
+/// critical times (`iters` bisection steps after the 1.2 probe).
+fn cml(exec: u64, discipline: Discipline, ticks_per_op: f64, iters: u32) -> f64 {
     let mut lo = 0.0f64; // no-miss
     let mut hi = 1.2f64; // assume misses at 1.2 (checked below)
     if !misses(exec, discipline, hi, ticks_per_op) {
         return hi;
     }
-    for _ in 0..7 {
+    for _ in 0..iters {
         let mid = 0.5 * (lo + hi);
         if misses(exec, discipline, mid, ticks_per_op) {
             hi = mid;
@@ -98,9 +152,8 @@ fn misses(exec: u64, discipline: Discipline, load: f64, ticks_per_op: f64) -> bo
     let critical = ((0.9 * window as f64).round() as u64).max(exec + 1);
     // Enough windows for ~40 jobs per task.
     let horizon = window * 40;
-    let (tasks, traces) = uniform_periodic(
-        TASKS, exec, window, critical, ACCESSES, OBJECTS, horizon,
-    );
+    let (tasks, traces) =
+        uniform_periodic(TASKS, exec, window, critical, ACCESSES, OBJECTS, horizon);
     let sharing = match discipline {
         Discipline::Ideal => SharingMode::Ideal,
         Discipline::LockFree { s } | Discipline::LockFreeSampled { s } => {

@@ -12,8 +12,10 @@
 //! deliberately overloaded single-object workload so both effects show.
 //!
 //! Usage: `cargo run -p lfrt-bench --release --bin mp_scaling --
-//! [--seeds 5] [--s 50]`
+//! [--seeds 5] [--s 50] [--json <path>] [--threads N] [--quick]`
 
+use lfrt_bench::json::{self, Point, Report};
+use lfrt_bench::runner::Sweep;
 use lfrt_bench::stats::Summary;
 use lfrt_bench::{table, Args};
 use lfrt_core::RuaLockFree;
@@ -22,19 +24,28 @@ use lfrt_sim::workload::{ArrivalStyle, TufClass, WorkloadSpec};
 use lfrt_sim::{SharingMode, SimConfig};
 
 fn main() {
+    let started = std::time::Instant::now();
     let args = Args::from_env();
-    let seeds = args.get_u64("seeds", 5);
+    let quick = args.quick();
+    let seeds = args.get_u64("seeds", if quick { 2 } else { 5 });
     let s = args.get_u64("s", 50);
+    let horizon = args.get_u64("horizon", if quick { 200_000 } else { 400_000 });
+    let processor_counts: Vec<usize> = if quick {
+        vec![1, 2, 4, 8]
+    } else {
+        vec![1, 2, 3, 4, 6, 8]
+    };
 
     println!("# Multiprocessor scaling: global lock-free RUA (paper §7 future work)");
     println!("# 12 tasks, 2 shared objects, s = {s} µs, load 2.5 (overloaded), {seeds} seeds");
 
-    let mut rows = Vec::new();
-    for processors in [1usize, 2, 3, 4, 6, 8] {
-        let mut aur = Vec::new();
-        let mut cmr = Vec::new();
-        let mut retries = Vec::new();
-        for seed in 0..seeds {
+    let points: Vec<(usize, u64)> = processor_counts
+        .iter()
+        .flat_map(|&m| (0..seeds).map(move |seed| (m, seed)))
+        .collect();
+    let results = Sweep::new("mp_scaling", points)
+        .threads(args.threads())
+        .run(|&(processors, seed)| {
             let spec = WorkloadSpec {
                 num_tasks: 12,
                 num_objects: 2,
@@ -45,7 +56,7 @@ fn main() {
                 max_burst: 2,
                 critical_time_frac: 0.9,
                 arrival_style: ArrivalStyle::RandomUam { intensity: 4.0 },
-                horizon: 400_000,
+                horizon,
                 read_fraction: 0.0,
                 seed,
             };
@@ -58,16 +69,45 @@ fn main() {
             )
             .expect("valid engine")
             .run(RuaLockFree::new());
-            aur.push(outcome.metrics.aur());
-            cmr.push(outcome.metrics.cmr());
-            retries.push(outcome.metrics.retries() as f64);
-        }
+            [
+                outcome.metrics.aur(),
+                outcome.metrics.cmr(),
+                outcome.metrics.retries() as f64,
+            ]
+        });
+
+    let mut report = Report::new(
+        "mp_scaling",
+        "mp",
+        "Global lock-free RUA vs processor count",
+    )
+    .config("seeds", seeds)
+    .config("s_ticks", s)
+    .config("horizon", horizon)
+    .config("num_tasks", 12u64)
+    .config("target_load", 2.5);
+
+    let mut rows = Vec::new();
+    for (i, &processors) in processor_counts.iter().enumerate() {
+        let chunk = &results[i * seeds as usize..(i + 1) * seeds as usize];
+        let column = |j: usize| chunk.iter().map(|c| c[j]).collect::<Vec<f64>>();
+        let (aur, cmr, retries) = (column(0), column(1), column(2));
         rows.push(vec![
             processors.to_string(),
             Summary::of(&aur).display(3),
             Summary::of(&cmr).display(3),
             Summary::of(&retries).display(0),
         ]);
+        report.points.push(Point {
+            params: vec![("processors".into(), processors.into())],
+            seeds: (0..seeds).collect(),
+            metrics: vec![
+                ("aur".into(), json::summary_of(&aur)),
+                ("cmr".into(), json::summary_of(&cmr)),
+                ("retries".into(), json::summary_of(&retries)),
+            ],
+            timing: Vec::new(),
+        });
     }
     table::print(
         "Global lock-free RUA vs processor count (overloaded workload)",
@@ -75,4 +115,9 @@ fn main() {
         &rows,
     );
     println!("\nshape check: AUR/CMR climb with capacity; retries reflect true-concurrency races.");
+
+    if let Some(path) = args.json_path() {
+        let meta = json::RunMeta::capture(args.threads(), quick);
+        json::write_reports(&path, &[report], meta, started).expect("write JSON report");
+    }
 }

@@ -8,9 +8,12 @@
 //! pattern (from the theorem's own proof) pushes measurements toward it.
 //!
 //! Usage: `cargo run -p lfrt-bench --release --bin retry_bound_table --
-//! [--seed 5] [--s 200] [--adversarial true]`
+//! [--seed 5] [--s 200] [--adversarial true] [--json <path>] [--threads N]
+//! [--quick]`
 
 use lfrt_analysis::RetryBoundInput;
+use lfrt_bench::json::{self, Point, Report};
+use lfrt_bench::runner::Sweep;
 use lfrt_bench::{table, Args};
 use lfrt_core::RuaLockFree;
 use lfrt_sim::workload::{ArrivalStyle, TufClass, WorkloadSpec};
@@ -18,10 +21,13 @@ use lfrt_sim::{Engine, SharingMode, SimConfig};
 use lfrt_uam::Uam;
 
 fn main() {
+    let started = std::time::Instant::now();
     let args = Args::from_env();
+    let quick = args.quick();
     let seed = args.get_u64("seed", 5);
     let s = args.get_u64("s", 200);
     let adversarial = args.get_str("adversarial", "true") == "true";
+    let horizon = args.get_u64("horizon", if quick { 150_000 } else { 400_000 });
 
     let spec = WorkloadSpec {
         num_tasks: 8,
@@ -37,39 +43,67 @@ fn main() {
         } else {
             ArrivalStyle::RandomUam { intensity: 3.0 }
         },
-        horizon: 400_000,
+        horizon,
         read_fraction: 0.0,
         seed,
     };
     println!("# Theorem 2 audit: retry bound vs measurement");
     println!(
         "# s = {s} µs, {} arrivals, seed {seed}",
-        if adversarial { "adversarial back-to-back" } else { "random UAM" }
+        if adversarial {
+            "adversarial back-to-back"
+        } else {
+            "random UAM"
+        }
     );
 
     let (tasks, traces) = spec.build().expect("valid workload");
-    let params: Vec<(Uam, u64)> =
-        tasks.iter().map(|t| (*t.uam(), t.tuf().critical_time())).collect();
-    let outcome = Engine::new(
-        tasks.clone(),
-        traces,
-        SimConfig::new(SharingMode::LockFree { access_ticks: s }),
+    let params: Vec<(Uam, u64)> = tasks
+        .iter()
+        .map(|t| (*t.uam(), t.tuf().critical_time()))
+        .collect();
+    // One simulation feeds every row; a single-point sweep keeps the shared
+    // runner/flag surface (`--threads` is simply moot here).
+    let outcome = Sweep::new("theorem2", vec![seed])
+        .threads(args.threads())
+        .run(|&seed_| {
+            assert_eq!(seed_, seed);
+            Engine::new(
+                tasks.clone(),
+                traces.clone(),
+                SimConfig::new(SharingMode::LockFree { access_ticks: s }),
+            )
+            .expect("valid engine")
+            .run(RuaLockFree::new())
+        })
+        .pop()
+        .expect("one outcome");
+
+    let mut report = Report::new(
+        "retry_bound_table",
+        "table:theorem2",
+        "Theorem 2 retry-bound audit",
     )
-    .expect("valid engine")
-    .run(RuaLockFree::new());
+    .config("seed", seed)
+    .config("s_ticks", s)
+    .config("adversarial", adversarial)
+    .config("horizon", horizon)
+    .config("num_tasks", 8u64);
 
     let mut rows = Vec::new();
     let mut violated = false;
     for (i, task) in tasks.iter().enumerate() {
         let bound = RetryBoundInput::for_task(&params, i).retry_bound();
-        let task_records: Vec<_> =
-            outcome.records.iter().filter(|r| r.task.index() == i).collect();
+        let task_records: Vec<_> = outcome
+            .records
+            .iter()
+            .filter(|r| r.task.index() == i)
+            .collect();
         let max = task_records.iter().map(|r| r.retries).max().unwrap_or(0);
         let mean = if task_records.is_empty() {
             0.0
         } else {
-            task_records.iter().map(|r| r.retries).sum::<u64>() as f64
-                / task_records.len() as f64
+            task_records.iter().map(|r| r.retries).sum::<u64>() as f64 / task_records.len() as f64
         };
         violated |= max > bound;
         rows.push(vec![
@@ -82,15 +116,51 @@ fn main() {
             format!("{mean:.2}"),
             task_records.len().to_string(),
         ]);
+        report.points.push(Point {
+            params: vec![("task".into(), task.name().into())],
+            seeds: vec![seed],
+            metrics: vec![
+                (
+                    "max_arrivals".into(),
+                    u64::from(task.uam().max_arrivals()).into(),
+                ),
+                ("window".into(), task.uam().window().into()),
+                ("critical_time".into(), task.tuf().critical_time().into()),
+                ("retry_bound".into(), bound.into()),
+                ("max_measured".into(), max.into()),
+                ("mean_measured".into(), mean.into()),
+                ("jobs".into(), task_records.len().into()),
+                ("bound_holds".into(), (max <= bound).into()),
+            ],
+            timing: Vec::new(),
+        });
     }
     table::print(
         "Theorem 2: analytic bound vs measured lock-free retries",
-        &["task", "a_i", "W_i", "C_i", "bound f_i", "max meas.", "mean meas.", "jobs"],
+        &[
+            "task",
+            "a_i",
+            "W_i",
+            "C_i",
+            "bound f_i",
+            "max meas.",
+            "mean meas.",
+            "jobs",
+        ],
         &rows,
     );
     println!(
         "\nresult: bound {}",
-        if violated { "VIOLATED — investigate!" } else { "holds for every job" }
+        if violated {
+            "VIOLATED — investigate!"
+        } else {
+            "holds for every job"
+        }
     );
+
+    if let Some(path) = args.json_path() {
+        let meta = json::RunMeta::capture(args.threads(), quick);
+        json::write_reports(&path, &[report], meta, started).expect("write JSON report");
+    }
     assert!(!violated, "Theorem 2 bound violated");
 }

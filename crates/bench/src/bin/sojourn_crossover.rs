@@ -10,9 +10,11 @@
 //! win even past the analytic threshold, never the other way below it).
 //!
 //! Usage: `cargo run -p lfrt-bench --release --bin sojourn_crossover --
-//! [--r 400] [--seed 3]`
+//! [--r 400] [--seed 3] [--json <path>] [--threads N] [--quick]`
 
 use lfrt_analysis::{RetryBoundInput, SojournComparison};
+use lfrt_bench::json::{self, Point, Report};
+use lfrt_bench::runner::Sweep;
 use lfrt_bench::{table, Args};
 use lfrt_core::{RuaLockBased, RuaLockFree};
 use lfrt_sim::workload::{ArrivalStyle, TufClass, WorkloadSpec};
@@ -20,9 +22,17 @@ use lfrt_sim::{Engine, SharingMode, SimConfig, UaScheduler};
 use lfrt_uam::Uam;
 
 fn main() {
+    let started = std::time::Instant::now();
     let args = Args::from_env();
+    let quick = args.quick();
     let r = args.get_u64("r", 400);
     let seed = args.get_u64("seed", 3);
+    let horizon = args.get_u64("horizon", if quick { 500_000 } else { 2_000_000 });
+    let ratios: Vec<u64> = if quick {
+        vec![5, 20, 50, 80, 120]
+    } else {
+        vec![5, 10, 20, 30, 40, 50, 67, 80, 100, 120]
+    };
 
     let spec = WorkloadSpec {
         num_tasks: 6,
@@ -34,13 +44,15 @@ fn main() {
         max_burst: 2,
         critical_time_frac: 0.9,
         arrival_style: ArrivalStyle::RandomUam { intensity: 3.0 },
-        horizon: 2_000_000,
+        horizon,
         read_fraction: 0.0,
         seed,
     };
     let (tasks, traces) = spec.build().expect("valid workload");
-    let params: Vec<(Uam, u64)> =
-        tasks.iter().map(|t| (*t.uam(), t.tuf().critical_time())).collect();
+    let params: Vec<(Uam, u64)> = tasks
+        .iter()
+        .map(|t| (*t.uam(), t.tuf().critical_time()))
+        .collect();
 
     // Analytic inputs for task 0.
     let bound_input = RetryBoundInput::for_task(&params, 0);
@@ -48,7 +60,10 @@ fn main() {
     let m = tasks[0].access_count() as u64;
     let n = x + 2 * u64::from(tasks[0].uam().max_arrivals()); // n_i ≤ 2a_i + x_i
     println!("# Theorem 3 audit: sojourn crossover (r = {r} µs fixed, s swept)");
-    println!("# task 0: m = {m}, n ≤ {n}, a = {}, x = {x}", tasks[0].uam().max_arrivals());
+    println!(
+        "# task 0: m = {m}, n ≤ {n}, a = {}, x = {x}",
+        tasks[0].uam().max_arrivals()
+    );
 
     let lb_outcome = run(
         tasks.clone(),
@@ -58,8 +73,36 @@ fn main() {
     );
     let lb_worst = worst_sojourn(&lb_outcome, 0);
 
+    // One lock-free simulation per swept ratio; the fixed lock-based run
+    // above is shared by every row.
+    let lf_worsts = Sweep::new("theorem3", ratios.clone())
+        .threads(args.threads())
+        .run(|&ratio_pct| {
+            let s = (r * ratio_pct / 100).max(1);
+            let lf_outcome = run(
+                tasks.clone(),
+                traces.clone(),
+                SharingMode::LockFree { access_ticks: s },
+                RuaLockFree::new(),
+            );
+            worst_sojourn(&lf_outcome, 0)
+        });
+
+    let mut report = Report::new(
+        "sojourn_crossover",
+        "table:theorem3",
+        "Theorem 3 sojourn crossover",
+    )
+    .config("r_ticks", r)
+    .config("seed", seed)
+    .config("horizon", horizon)
+    .config("accesses_m", m)
+    .config("blockers_n", n)
+    .config("interference_x", x)
+    .config("lb_worst_sojourn", lb_worst);
+
     let mut rows = Vec::new();
-    for ratio_pct in [5u64, 10, 20, 30, 40, 50, 67, 80, 100, 120] {
+    for (&ratio_pct, &lf_worst) in ratios.iter().zip(&lf_worsts) {
         let s = (r * ratio_pct / 100).max(1);
         let comparison = SojournComparison {
             lock_based_access: r as f64,
@@ -69,21 +112,47 @@ fn main() {
             own_max_arrivals: tasks[0].uam().max_arrivals(),
             interference_x: x,
         };
-        let lf_outcome = run(
-            tasks.clone(),
-            traces.clone(),
-            SharingMode::LockFree { access_ticks: s },
-            RuaLockFree::new(),
-        );
-        let lf_worst = worst_sojourn(&lf_outcome, 0);
         rows.push(vec![
             format!("{:.2}", comparison.ratio()),
             format!("{:.2}", comparison.ratio_threshold()),
-            if comparison.lock_free_wins() { "lock-free".into() } else { "lock-based".into() },
+            if comparison.lock_free_wins() {
+                "lock-free".into()
+            } else {
+                "lock-based".into()
+            },
             lf_worst.to_string(),
             lb_worst.to_string(),
-            if lf_worst <= lb_worst { "lock-free".into() } else { "lock-based".into() },
+            if lf_worst <= lb_worst {
+                "lock-free".into()
+            } else {
+                "lock-based".into()
+            },
         ]);
+        report.points.push(Point {
+            params: vec![
+                ("ratio_pct".into(), ratio_pct.into()),
+                ("s_ticks".into(), s.into()),
+            ],
+            seeds: vec![seed],
+            metrics: vec![
+                ("ratio".into(), comparison.ratio().into()),
+                (
+                    "analytic_threshold".into(),
+                    comparison.ratio_threshold().into(),
+                ),
+                (
+                    "analytic_lock_free_wins".into(),
+                    comparison.lock_free_wins().into(),
+                ),
+                ("lf_worst_sojourn".into(), lf_worst.into()),
+                ("lb_worst_sojourn".into(), lb_worst.into()),
+                (
+                    "measured_lock_free_wins".into(),
+                    (lf_worst <= lb_worst).into(),
+                ),
+            ],
+            timing: Vec::new(),
+        });
     }
     table::print(
         "Theorem 3: analytic vs measured winner as s/r grows",
@@ -98,6 +167,11 @@ fn main() {
         &rows,
     );
     println!("\nshape check: below the analytic threshold lock-free must also win empirically.");
+
+    if let Some(path) = args.json_path() {
+        let meta = json::RunMeta::capture(args.threads(), quick);
+        json::write_reports(&path, &[report], meta, started).expect("write JSON report");
+    }
 }
 
 fn worst_sojourn(outcome: &lfrt_sim::SimOutcome, task: usize) -> u64 {

@@ -8,17 +8,30 @@
 //! than the priority baselines, and every class respects Lemma 1.
 //!
 //! Usage: `cargo run -p lfrt-bench --release --bin taxonomy_table --
-//! [--seed 3] [--load 0.8]`
+//! [--seed 3] [--load 0.8] [--json <path>] [--threads N] [--quick]`
 
+use lfrt_bench::json::{self, Point, Report};
+use lfrt_bench::runner::Sweep;
 use lfrt_bench::{table, Args};
 use lfrt_core::{Edf, Lbesa, Llf, Rm, RuaLockFree};
 use lfrt_sim::workload::{ArrivalStyle, TufClass, WorkloadSpec};
 use lfrt_sim::{sojourn_percentiles, Engine, SharingMode, SimConfig, SimOutcome};
 
+const SCHEDULERS: [(&str, &str); 5] = [
+    ("rm", "static"),
+    ("edf", "job-level dynamic"),
+    ("llf", "fully dynamic"),
+    ("lbesa", "fully dynamic (UA)"),
+    ("rua-lock-free", "fully dynamic (UA)"),
+];
+
 fn main() {
+    let started = std::time::Instant::now();
     let args = Args::from_env();
+    let quick = args.quick();
     let seed = args.get_u64("seed", 3);
     let load = args.get_f64("load", 1.3);
+    let horizon = args.get_u64("horizon", if quick { 300_000 } else { 800_000 });
 
     let spec = WorkloadSpec {
         num_tasks: 8,
@@ -30,39 +43,45 @@ fn main() {
         max_burst: 2,
         critical_time_frac: 0.9,
         arrival_style: ArrivalStyle::RandomUam { intensity: 3.0 },
-        horizon: 800_000,
+        horizon,
         read_fraction: 0.0,
         seed,
     };
     println!("# §4.1 scheduler taxonomy: preemption behaviour by priority class");
     println!("# load {load}, seed {seed}, lock-free objects (s = 10 µs)");
 
-    let run = |name: &str| -> SimOutcome {
-        let (tasks, traces) = spec.build().expect("valid workload");
-        let engine = Engine::new(
-            tasks,
-            traces,
-            SimConfig::new(SharingMode::LockFree { access_ticks: 10 }),
-        )
-        .expect("valid engine");
-        match name {
-            "rm" => engine.run(Rm::new()),
-            "edf" => engine.run(Edf::new()),
-            "llf" => engine.run(Llf::new()),
-            "lbesa" => engine.run(Lbesa::new()),
-            _ => engine.run(RuaLockFree::new()),
-        }
-    };
+    // One sweep point per scheduler, identical workload each.
+    let outcomes = Sweep::new("taxonomy", SCHEDULERS.to_vec())
+        .threads(args.threads())
+        .run(|&(name, _)| -> SimOutcome {
+            let (tasks, traces) = spec.build().expect("valid workload");
+            let engine = Engine::new(
+                tasks,
+                traces,
+                SimConfig::new(SharingMode::LockFree { access_ticks: 10 }),
+            )
+            .expect("valid engine");
+            match name {
+                "rm" => engine.run(Rm::new()),
+                "edf" => engine.run(Edf::new()),
+                "llf" => engine.run(Llf::new()),
+                "lbesa" => engine.run(Lbesa::new()),
+                _ => engine.run(RuaLockFree::new()),
+            }
+        });
+
+    let mut report = Report::new(
+        "taxonomy_table",
+        "table:taxonomy",
+        "Preemptions by scheduler class",
+    )
+    .config("seed", seed)
+    .config("load", load)
+    .config("horizon", horizon)
+    .config("s_ticks", 10u64);
 
     let mut rows = Vec::new();
-    for (name, class) in [
-        ("rm", "static"),
-        ("edf", "job-level dynamic"),
-        ("llf", "fully dynamic"),
-        ("lbesa", "fully dynamic (UA)"),
-        ("rua-lock-free", "fully dynamic (UA)"),
-    ] {
-        let outcome = run(name);
+    for ((name, class), outcome) in SCHEDULERS.iter().zip(&outcomes) {
         let m = &outcome.metrics;
         assert!(
             m.preemptions() <= m.sched_invocations,
@@ -70,21 +89,52 @@ fn main() {
         );
         let p = sojourn_percentiles(&outcome.records);
         let (p50, p99) = p.map_or((0, 0), |p| (p.p50, p.p99));
+        let ratio = m.preemptions() as f64 / m.sched_invocations.max(1) as f64;
         rows.push(vec![
-            name.to_string(),
-            class.to_string(),
+            (*name).to_string(),
+            (*class).to_string(),
             m.sched_invocations.to_string(),
             m.preemptions().to_string(),
-            format!("{:.3}", m.preemptions() as f64 / m.sched_invocations.max(1) as f64),
+            format!("{ratio:.3}"),
             format!("{:.3}", m.aur()),
             p50.to_string(),
             p99.to_string(),
         ]);
+        report.points.push(Point {
+            params: vec![
+                ("scheduler".into(), (*name).into()),
+                ("class".into(), (*class).into()),
+            ],
+            seeds: vec![seed],
+            metrics: vec![
+                ("invocations".into(), m.sched_invocations.into()),
+                ("preemptions".into(), m.preemptions().into()),
+                ("preempt_per_invoke".into(), ratio.into()),
+                ("aur".into(), m.aur().into()),
+                ("p50_sojourn".into(), p50.into()),
+                ("p99_sojourn".into(), p99.into()),
+            ],
+            timing: Vec::new(),
+        });
     }
     table::print(
         "Preemptions by scheduler class (Lemma 1: preempt/invoke ≤ 1)",
-        &["scheduler", "class", "invocations", "preemptions", "preempt/invoke", "AUR", "p50 sojourn", "p99 sojourn"],
+        &[
+            "scheduler",
+            "class",
+            "invocations",
+            "preemptions",
+            "preempt/invoke",
+            "AUR",
+            "p50 sojourn",
+            "p99 sojourn",
+        ],
         &rows,
     );
     println!("\nshape check: Lemma 1 holds for every class; under overload the UA rows bank more utility.");
+
+    if let Some(path) = args.json_path() {
+        let meta = json::RunMeta::capture(args.threads(), quick);
+        json::write_reports(&path, &[report], meta, started).expect("write JSON report");
+    }
 }

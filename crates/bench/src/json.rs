@@ -1,0 +1,776 @@
+//! Machine-readable experiment results.
+//!
+//! Every experiment binary can emit its results as JSON (flag `--json
+//! <path>`) next to the human-readable text tables, so benchmark
+//! trajectories can be recorded per commit (`BENCH_*.json`) and diffed by
+//! CI. The format is hand-rolled (the build environment is offline, so no
+//! serde_json) but deliberately tiny: an ordered [`Json`] value tree, a
+//! canonical pretty-printer, and a strict parser for round-tripping.
+//!
+//! # Document schema (`schema_version` 1)
+//!
+//! ```text
+//! {
+//!   "schema_version": 1,
+//!   "meta": {                      // run provenance — NOT deterministic
+//!     "generator": "lfrt-bench",
+//!     "git_rev": "<rev or unknown>",
+//!     "threads": N,                // worker threads used by the sweep
+//!     "quick": bool,               // reduced-resolution CI mode?
+//!     "duration_secs": float       // wall-clock for the whole run
+//!   },
+//!   "experiments": [               // one entry per experiment (figure/table)
+//!     {
+//!       "experiment": "fig10_13_aur_cmr",  // binary name
+//!       "figure": "12",                    // paper figure/table key
+//!       "title": "...",
+//!       "config": { ... },                 // resolved parameters
+//!       "points": [
+//!         {
+//!           "params": { "objects": 4 },    // the sweep coordinates
+//!           "seeds": [0, 1, 2],            // ascending; [] if seedless
+//!           "metrics": { ... },            // DETERMINISTIC results; summary
+//!                                          // stats carry mean/std_dev/ci95/n
+//!                                          // plus the seed-ordered samples
+//!           "timing": { ... }              // host wall-clock measurements —
+//!                                          // NOT deterministic; omitted when
+//!                                          // the experiment has none
+//!         }
+//!       ]
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! **Determinism contract:** for a fixed command line, everything under
+//! `experiments` *except* the `timing` objects is a pure function of the
+//! experiment's seeds — independent of `--threads`, wall-clock, and host.
+//! [`payload`] extracts exactly that deterministic subtree; CI asserts its
+//! bytes match across `--threads 1` and `--threads 8`.
+
+use std::fmt::Write as _;
+
+use crate::stats::Summary;
+
+/// An ordered JSON value (object keys keep insertion order, so documents
+/// print byte-identically for identical content).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (always stored as `f64`; printed as an integer when whole).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Json::Bool(v)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::Num(v)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        Json::Num(v as f64)
+    }
+}
+
+impl From<u32> for Json {
+    fn from(v: u32) -> Self {
+        Json::Num(f64::from(v))
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Json::Num(v as f64)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(v: i64) -> Self {
+        Json::Num(v as f64)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Self {
+        Json::Str(v.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Self {
+        Json::Str(v)
+    }
+}
+
+impl From<&Summary> for Json {
+    /// `{mean, std_dev, ci95, n}` — attach the raw samples with
+    /// [`summary_of`] when they exist.
+    fn from(s: &Summary) -> Self {
+        Json::Obj(vec![
+            ("mean".into(), s.mean.into()),
+            ("std_dev".into(), s.std_dev.into()),
+            ("ci95".into(), s.ci95.into()),
+            ("n".into(), s.n.into()),
+        ])
+    }
+}
+
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Self {
+        Json::Arr(v.into_iter().map(Into::into).collect())
+    }
+}
+
+/// Summarizes `samples` (mean/std-dev/95% CI) and keeps the raw,
+/// seed-ordered samples alongside, so the JSON is both diffable at a glance
+/// and fully reproducible.
+pub fn summary_of(samples: &[f64]) -> Json {
+    let s = Summary::of(samples);
+    let Json::Obj(mut fields) = Json::from(&s) else {
+        unreachable!("Summary is an object")
+    };
+    fields.push((
+        "samples".into(),
+        Json::Arr(samples.iter().map(|&v| Json::Num(v)).collect()),
+    ));
+    Json::Obj(fields)
+}
+
+impl Json {
+    /// Member lookup on objects; `None` otherwise.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The elements if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Pretty-prints with two-space indentation and `\n` line endings — the
+    /// canonical on-disk form (equal values always print equal bytes).
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => write_number(out, *v),
+            Json::Str(s) => write_string(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                // Scalar-only arrays print inline; nested ones one-per-line.
+                let inline = items
+                    .iter()
+                    .all(|i| !matches!(i, Json::Arr(_) | Json::Obj(_)));
+                if inline {
+                    out.push('[');
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(", ");
+                        }
+                        item.write(out, depth + 1);
+                    }
+                    out.push(']');
+                } else {
+                    out.push_str("[\n");
+                    for (i, item) in items.iter().enumerate() {
+                        indent(out, depth + 1);
+                        item.write(out, depth + 1);
+                        if i + 1 < items.len() {
+                            out.push(',');
+                        }
+                        out.push('\n');
+                    }
+                    indent(out, depth);
+                    out.push(']');
+                }
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    indent(out, depth + 1);
+                    write_string(out, key);
+                    out.push_str(": ");
+                    value.write(out, depth + 1);
+                    if i + 1 < fields.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                indent(out, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_number(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        // JSON has no NaN/Inf; results should never produce them, but a
+        // corrupt document would be worse than an honest null.
+        out.push_str("null");
+    } else if v == v.trunc() && v.abs() < 9.0e15 {
+        let _ = write!(out, "{}", v as i64);
+    } else {
+        // Rust's shortest-roundtrip float formatting: deterministic and
+        // parses back to the identical bit pattern.
+        let _ = write!(out, "{v}");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A JSON parse error with byte offset context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the input.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a JSON document (strict; trailing content is an error).
+pub fn parse(input: &str) -> Result<Json, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing content after document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> ParseError {
+        ParseError {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ParseError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\') {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("surrogate \\u escape"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII slice");
+        text.parse::<f64>().map(Json::Num).map_err(|_| ParseError {
+            message: format!("invalid number '{text}'"),
+            offset: start,
+        })
+    }
+}
+
+/// One experiment's results: a figure or table of the paper.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// The experiment binary's name, e.g. `fig10_13_aur_cmr`.
+    pub experiment: String,
+    /// The paper figure/table key, e.g. `12` or `table:theorem2`.
+    pub figure: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Resolved configuration (flag values, derived constants).
+    pub config: Vec<(String, Json)>,
+    /// The sweep's data points, in deterministic sweep order.
+    pub points: Vec<Point>,
+}
+
+/// One sweep point of a [`Report`].
+#[derive(Debug, Clone, Default)]
+pub struct Point {
+    /// Sweep coordinates (e.g. `objects`, `load`).
+    pub params: Vec<(String, Json)>,
+    /// The seeds aggregated into this point, ascending; empty if seedless.
+    pub seeds: Vec<u64>,
+    /// Deterministic results (identical for every `--threads` value).
+    pub metrics: Vec<(String, Json)>,
+    /// Host wall-clock measurements (non-deterministic; may be empty).
+    pub timing: Vec<(String, Json)>,
+}
+
+impl Report {
+    /// A report with no points yet.
+    pub fn new(
+        experiment: impl Into<String>,
+        figure: impl Into<String>,
+        title: impl Into<String>,
+    ) -> Self {
+        Self {
+            experiment: experiment.into(),
+            figure: figure.into(),
+            title: title.into(),
+            config: Vec::new(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a config entry (builder-style).
+    pub fn config(mut self, key: impl Into<String>, value: impl Into<Json>) -> Self {
+        self.config.push((key.into(), value.into()));
+        self
+    }
+
+    /// Renders to the `experiments[i]` JSON shape.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("experiment".into(), self.experiment.as_str().into()),
+            ("figure".into(), self.figure.as_str().into()),
+            ("title".into(), self.title.as_str().into()),
+            ("config".into(), Json::Obj(self.config.clone())),
+            (
+                "points".into(),
+                Json::Arr(
+                    self.points
+                        .iter()
+                        .map(|p| {
+                            let mut fields = vec![
+                                ("params".into(), Json::Obj(p.params.clone())),
+                                (
+                                    "seeds".into(),
+                                    Json::Arr(p.seeds.iter().map(|&s| s.into()).collect()),
+                                ),
+                                ("metrics".into(), Json::Obj(p.metrics.clone())),
+                            ];
+                            if !p.timing.is_empty() {
+                                fields.push(("timing".into(), Json::Obj(p.timing.clone())));
+                            }
+                            Json::Obj(fields)
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Run provenance recorded under `meta` (see the module docs: `meta` is
+/// explicitly outside the determinism contract).
+#[derive(Debug, Clone)]
+pub struct RunMeta {
+    /// `git rev-parse HEAD` of the working tree, or `unknown`.
+    pub git_rev: String,
+    /// Worker threads used by the sweeps.
+    pub threads: usize,
+    /// Whether `--quick` reduced resolution.
+    pub quick: bool,
+    /// Wall-clock duration of the whole run, seconds.
+    pub duration_secs: f64,
+}
+
+impl RunMeta {
+    /// Captures provenance for a run that used `threads` workers.
+    pub fn capture(threads: usize, quick: bool) -> Self {
+        Self {
+            git_rev: git_rev(),
+            threads,
+            quick,
+            duration_secs: 0.0,
+        }
+    }
+}
+
+/// Best-effort `git rev-parse HEAD` (short); `unknown` outside a checkout.
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Assembles the full document from per-experiment reports.
+pub fn document(reports: &[Report], meta: &RunMeta) -> Json {
+    Json::Obj(vec![
+        ("schema_version".into(), 1u64.into()),
+        (
+            "meta".into(),
+            Json::Obj(vec![
+                ("generator".into(), "lfrt-bench".into()),
+                ("git_rev".into(), meta.git_rev.as_str().into()),
+                ("threads".into(), meta.threads.into()),
+                ("quick".into(), meta.quick.into()),
+                ("duration_secs".into(), meta.duration_secs.into()),
+            ]),
+        ),
+        (
+            "experiments".into(),
+            Json::Arr(reports.iter().map(Report::to_json).collect()),
+        ),
+    ])
+}
+
+/// The deterministic subtree of a document: its `experiments` array with
+/// every `timing` member removed. Byte-identical across `--threads` values
+/// for the same command line (the determinism contract CI enforces).
+pub fn payload(doc: &Json) -> Json {
+    fn strip(value: &Json) -> Json {
+        match value {
+            Json::Obj(fields) => Json::Obj(
+                fields
+                    .iter()
+                    .filter(|(k, _)| k != "timing")
+                    .map(|(k, v)| (k.clone(), strip(v)))
+                    .collect(),
+            ),
+            Json::Arr(items) => Json::Arr(items.iter().map(strip).collect()),
+            other => other.clone(),
+        }
+    }
+    strip(doc.get("experiments").unwrap_or(&Json::Arr(Vec::new())))
+}
+
+/// Writes `reports` to `path`, stamping `meta` with `duration_secs`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from writing `path`.
+pub fn write_reports(
+    path: &std::path::Path,
+    reports: &[Report],
+    mut meta: RunMeta,
+    started: std::time::Instant,
+) -> std::io::Result<()> {
+    meta.duration_secs = started.elapsed().as_secs_f64();
+    std::fs::write(path, document(reports, &meta).to_string_pretty())?;
+    eprintln!(
+        "wrote {} experiment(s) to {}",
+        reports.len(),
+        path.display()
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_doc() -> Json {
+        let mut report = Report::new("fig_x", "7", "a title").config("seeds", 2u64);
+        report.points.push(Point {
+            params: vec![("objects".into(), 4u64.into())],
+            seeds: vec![0, 1],
+            metrics: vec![("aur".into(), summary_of(&[0.5, 0.75]))],
+            timing: vec![("ns".into(), 12.5.into())],
+        });
+        document(
+            &[report],
+            &RunMeta {
+                git_rev: "abc123".into(),
+                threads: 2,
+                quick: true,
+                duration_secs: 0.25,
+            },
+        )
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let doc = sample_doc();
+        let text = doc.to_string_pretty();
+        let reparsed = parse(&text).expect("own output must parse");
+        assert_eq!(reparsed, doc);
+        // And printing again is byte-identical (canonical form).
+        assert_eq!(reparsed.to_string_pretty(), text);
+    }
+
+    #[test]
+    fn parses_escapes_and_numbers() {
+        let text = r#"{"a": "x\n\"y\"A", "b": [-1.5e3, 0.25, 7], "c": null, "d": true}"#;
+        let v = parse(text).expect("valid document");
+        assert_eq!(v.get("a").and_then(Json::as_str), Some("x\n\"y\"A"));
+        assert_eq!(
+            v.get("b").and_then(Json::as_array).map(<[Json]>::len),
+            Some(3)
+        );
+        assert_eq!(
+            v.get("b").unwrap().as_array().unwrap()[0].as_f64(),
+            Some(-1500.0)
+        );
+        assert_eq!(v.get("c"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{} extra").is_err());
+        assert!(parse("nul").is_err());
+    }
+
+    #[test]
+    fn whole_floats_print_as_integers() {
+        assert_eq!(Json::Num(3.0).to_string_pretty(), "3\n");
+        assert_eq!(Json::Num(0.5).to_string_pretty(), "0.5\n");
+        assert_eq!(Json::Num(-2.0).to_string_pretty(), "-2\n");
+    }
+
+    #[test]
+    fn payload_strips_timing_only() {
+        let doc = sample_doc();
+        let payload = payload(&doc);
+        let text = payload.to_string_pretty();
+        assert!(!text.contains("timing"));
+        assert!(
+            !text.contains("duration_secs"),
+            "meta must not leak into payload"
+        );
+        assert!(text.contains("metrics"));
+        assert!(text.contains("samples"));
+    }
+
+    #[test]
+    fn summary_of_embeds_ordered_samples() {
+        let json = summary_of(&[1.0, 2.0, 3.0]);
+        assert_eq!(json.get("n").and_then(Json::as_f64), Some(3.0));
+        let samples = json
+            .get("samples")
+            .and_then(Json::as_array)
+            .expect("samples");
+        let values: Vec<f64> = samples.iter().filter_map(Json::as_f64).collect();
+        assert_eq!(values, vec![1.0, 2.0, 3.0]);
+    }
+}

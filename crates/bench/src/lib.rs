@@ -1,14 +1,23 @@
 //! Shared infrastructure for the experiment harness: summary statistics,
-//! plain-text table rendering, a tiny CLI-flag parser, and synthetic
-//! scheduler contexts for the cost ablations.
+//! plain-text table rendering, a tiny CLI-flag parser, a parallel sweep
+//! runner with deterministic result merging, machine-readable JSON reports,
+//! and synthetic scheduler contexts for the cost ablations.
 //!
 //! Each binary under `src/bin/` regenerates one table or figure of the
 //! paper's evaluation; see `DESIGN.md` §5 for the experiment index and
-//! `EXPERIMENTS.md` for recorded outputs.
+//! `EXPERIMENTS.md` for recorded outputs. Every binary understands three
+//! shared flags on top of its own:
+//!
+//! * `--json <path>` — also write results as JSON ([`json`] documents);
+//! * `--threads N` — worker threads for the sweep ([`runner::Sweep`]);
+//!   results are byte-identical for any `N`;
+//! * `--quick` — reduced-resolution mode sized for CI smoke runs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
+pub mod runner;
 pub mod stats;
 pub mod synth;
 pub mod table;
@@ -64,7 +73,10 @@ impl Args {
 
     /// String flag with a default.
     pub fn get_str(&self, key: &str, default: &str) -> String {
-        self.values.get(key).cloned().unwrap_or_else(|| default.to_string())
+        self.values
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 
     /// Float flag with a default.
@@ -75,7 +87,10 @@ impl Args {
     pub fn get_f64(&self, key: &str, default: f64) -> f64 {
         self.values
             .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects a number, got {v}")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} expects a number, got {v}"))
+            })
             .unwrap_or(default)
     }
 
@@ -87,8 +102,53 @@ impl Args {
     pub fn get_u64(&self, key: &str, default: u64) -> u64 {
         self.values
             .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer, got {v}")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} expects an integer, got {v}"))
+            })
             .unwrap_or(default)
+    }
+
+    /// `usize` flag with a default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flag is present but not a valid integer.
+    pub fn get_usize(&self, key: &str, default: usize) -> usize {
+        self.values
+            .get(key)
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} expects an integer, got {v}"))
+            })
+            .unwrap_or(default)
+    }
+
+    /// Boolean flag: present without a value (or as `true`) means on.
+    pub fn get_bool(&self, key: &str) -> bool {
+        matches!(
+            self.values.get(key).map(String::as_str),
+            Some("true" | "1" | "yes")
+        )
+    }
+
+    /// Whether `--quick` reduced-resolution mode is on (for CI smoke runs).
+    pub fn quick(&self) -> bool {
+        self.get_bool("quick")
+    }
+
+    /// Worker threads for [`runner::Sweep`]s: `--threads N`, defaulting to
+    /// the host's available parallelism.
+    pub fn threads(&self) -> usize {
+        let default = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        self.get_usize("threads", default).max(1)
+    }
+
+    /// Destination for the JSON report, if `--json <path>` was given.
+    pub fn json_path(&self) -> Option<std::path::PathBuf> {
+        self.values.get("json").map(std::path::PathBuf::from)
     }
 }
 
@@ -107,5 +167,28 @@ mod tests {
         assert_eq!(args.get_u64("seed", 0), 7);
         assert_eq!(args.get_str("verbose", "false"), "true");
         assert_eq!(args.get_str("missing", "x"), "x");
+    }
+
+    #[test]
+    fn shared_runner_flags() {
+        let args = Args::parse(
+            ["--quick", "--threads", "3", "--json", "out/results.json"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert!(args.quick());
+        assert!(args.get_bool("quick"));
+        assert!(!args.get_bool("missing"));
+        assert_eq!(args.threads(), 3);
+        assert_eq!(args.get_usize("threads", 1), 3);
+        assert_eq!(
+            args.json_path(),
+            Some(std::path::PathBuf::from("out/results.json"))
+        );
+
+        let bare = Args::parse(std::iter::empty());
+        assert!(!bare.quick());
+        assert!(bare.threads() >= 1);
+        assert_eq!(bare.json_path(), None);
     }
 }

@@ -1,0 +1,175 @@
+//! Parallel sweep execution with deterministic result order.
+//!
+//! Every experiment is a *sweep*: an ordered list of independent points
+//! (seed × load × object-count × …) whose evaluations share nothing but
+//! read-only configuration. [`Sweep`] fans those points out over a pool of
+//! `std::thread` workers and hands the results back **in input order**, so
+//! callers observe exactly the sequence a serial `for` loop would have
+//! produced — tables, JSON documents, and digests are identical for
+//! `--threads 1` and `--threads 8`.
+//!
+//! Scheduling is a single shared [`AtomicUsize`] work index: each worker
+//! claims the next unstarted point, evaluates it, and sends `(index,
+//! result)` down an [`mpsc`] channel. The receiver slots results by index,
+//! which is what makes the merge order-stable regardless of which worker
+//! finished first.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// An ordered set of independent experiment points to evaluate.
+///
+/// # Examples
+///
+/// ```
+/// use lfrt_bench::runner::Sweep;
+///
+/// let squares = Sweep::new("squares", (0u64..8).collect::<Vec<_>>())
+///     .threads(4)
+///     .run(|&n| n * n);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
+#[derive(Debug)]
+pub struct Sweep<P> {
+    label: String,
+    points: Vec<P>,
+    threads: usize,
+}
+
+impl<P: Sync> Sweep<P> {
+    /// A sweep over `points`, labelled for progress output.
+    pub fn new(label: impl Into<String>, points: Vec<P>) -> Self {
+        Self {
+            label: label.into(),
+            points,
+            threads: 1,
+        }
+    }
+
+    /// Sets the worker-pool size (clamped to at least 1; capped at the
+    /// point count since extra workers would only idle).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Number of points in the sweep.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the sweep has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Evaluates `eval` on every point and returns the results in the order
+    /// the points were given, regardless of worker interleaving.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any `eval` invocation (the whole run aborts —
+    /// an experiment with a failed point must not emit partial results).
+    pub fn run<R, F>(self, eval: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&P) -> R + Sync,
+    {
+        let n = self.points.len();
+        let workers = self.threads.min(n.max(1));
+        eprintln!("[{}] {} point(s) on {} thread(s)", self.label, n, workers);
+        if n == 0 {
+            return Vec::new();
+        }
+        if workers == 1 {
+            // Serial fast path: same order by construction, no pool setup.
+            return self.points.iter().map(&eval).collect();
+        }
+
+        let next = &AtomicUsize::new(0);
+        let points = &self.points;
+        let eval = &eval;
+        let (tx, rx) = mpsc::channel::<(usize, R)>();
+
+        let mut slots: Vec<Option<R>> = std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                scope.spawn(move || {
+                    loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(point) = points.get(index) else {
+                            break;
+                        };
+                        // A send only fails if the receiver hung up, which
+                        // cannot happen while this scope holds it alive.
+                        tx.send((index, eval(point))).expect("receiver alive");
+                    }
+                });
+            }
+            drop(tx); // workers hold the remaining clones
+
+            let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+            for (index, result) in rx {
+                debug_assert!(slots[index].is_none(), "point {index} evaluated twice");
+                slots[index] = Some(result);
+            }
+            slots
+        });
+
+        (0..n)
+            .map(|i| slots[i].take().expect("every point evaluated exactly once"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn preserves_input_order_across_thread_counts() {
+        let points: Vec<u64> = (0..57).collect();
+        let serial = Sweep::new("t", points.clone())
+            .threads(1)
+            .run(|&p| p * 3 + 1);
+        for workers in [2, 4, 8] {
+            let parallel = Sweep::new("t", points.clone()).threads(workers).run(|&p| {
+                // Perturb finish order so late indices can finish early.
+                if p % 5 == 0 {
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+                p * 3 + 1
+            });
+            assert_eq!(parallel, serial, "threads={workers}");
+        }
+    }
+
+    #[test]
+    fn evaluates_every_point_exactly_once() {
+        let hits = AtomicU64::new(0);
+        let results = Sweep::new("t", (0..100u64).collect::<Vec<_>>())
+            .threads(7)
+            .run(|&p| {
+                hits.fetch_add(1, Ordering::Relaxed);
+                p
+            });
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+        assert_eq!(results.len(), 100);
+    }
+
+    #[test]
+    fn handles_empty_and_single_point_sweeps() {
+        let empty: Vec<u32> = Sweep::new("t", Vec::<u32>::new()).threads(8).run(|&p| p);
+        assert!(empty.is_empty());
+        let one = Sweep::new("t", vec![41u32]).threads(8).run(|&p| p + 1);
+        assert_eq!(one, vec![42]);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let results = Sweep::new("t", vec![1u32, 2]).threads(0).run(|&p| p);
+        assert_eq!(results, vec![1, 2]);
+    }
+}

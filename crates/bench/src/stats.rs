@@ -21,16 +21,31 @@ impl Summary {
     pub fn of(samples: &[f64]) -> Self {
         let n = samples.len();
         if n == 0 {
-            return Self { mean: 0.0, std_dev: 0.0, ci95: 0.0, n: 0 };
+            return Self {
+                mean: 0.0,
+                std_dev: 0.0,
+                ci95: 0.0,
+                n: 0,
+            };
         }
         let mean = samples.iter().sum::<f64>() / n as f64;
         if n == 1 {
-            return Self { mean, std_dev: 0.0, ci95: 0.0, n };
+            return Self {
+                mean,
+                std_dev: 0.0,
+                ci95: 0.0,
+                n,
+            };
         }
         let var = samples.iter().map(|&x| (x - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
         let std_dev = var.sqrt();
         let ci95 = 1.96 * std_dev / (n as f64).sqrt();
-        Self { mean, std_dev, ci95, n }
+        Self {
+            mean,
+            std_dev,
+            ci95,
+            n,
+        }
     }
 
     /// Renders as `mean ± ci95` with the given precision.

@@ -31,7 +31,10 @@ impl SyntheticWorkload {
     ///
     /// Panics if `n` exceeds the capacity given at construction.
     pub fn independent(&self, n: usize) -> SchedulerContext<'_> {
-        SchedulerContext { now: 0, jobs: (0..n).map(|i| self.view(i, None, None)).collect() }
+        SchedulerContext {
+            now: 0,
+            jobs: (0..n).map(|i| self.view(i, None, None)).collect(),
+        }
     }
 
     /// A context of `n` jobs forming blocking chains of length
@@ -76,12 +79,7 @@ impl SyntheticWorkload {
         ctx
     }
 
-    fn view(
-        &self,
-        i: usize,
-        blocked_on: Option<usize>,
-        holds: Option<usize>,
-    ) -> JobView<'_> {
+    fn view(&self, i: usize, blocked_on: Option<usize>, holds: Option<usize>) -> JobView<'_> {
         let tuf = &self.tufs[i];
         JobView {
             id: JobId::new(i),
@@ -106,7 +104,10 @@ mod tests {
         let w = SyntheticWorkload::new(32);
         let ctx = w.independent(16);
         assert_eq!(ctx.jobs.len(), 16);
-        assert!(ctx.jobs.iter().all(|j| j.blocked_on.is_none() && j.holds.is_empty()));
+        assert!(ctx
+            .jobs
+            .iter()
+            .all(|j| j.blocked_on.is_none() && j.holds.is_empty()));
     }
 
     #[test]
@@ -129,7 +130,10 @@ mod tests {
         let w = SyntheticWorkload::new(64);
         let relaxed = RuaLockBased::new().schedule(&w.chained(64, 8));
         let tight = RuaLockBased::new().schedule(&w.tight_chained(64, 8));
-        assert!(tight.order.len() < relaxed.order.len(), "tight deadlines reject jobs");
+        assert!(
+            tight.order.len() < relaxed.order.len(),
+            "tight deadlines reject jobs"
+        );
         // Rejections disable the skip rule, so the tight population charges
         // more work per admitted job.
         let lf = RuaLockFree::new().schedule(&w.tight_chained(64, 8));

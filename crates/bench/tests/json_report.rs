@@ -1,0 +1,140 @@
+//! End-to-end test of the experiment runner's JSON output: spawns the real
+//! `fig10_13_aur_cmr` binary in `--quick` mode and checks that the report
+//! round-trips, carries the expected shape, and is independent of the
+//! worker-thread count.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use lfrt_bench::json::{self, Json};
+
+/// Runs the figure 10 sweep with the given worker count and returns the
+/// parsed report document.
+fn run_quick_sweep(threads: usize, out: &PathBuf) -> Json {
+    let status = Command::new(env!("CARGO_BIN_EXE_fig10_13_aur_cmr"))
+        .args(["--quick", "--load", "0.4", "--tufs", "step"])
+        .args(["--threads", &threads.to_string()])
+        .arg("--json")
+        .arg(out)
+        .status()
+        .expect("launch fig10_13_aur_cmr");
+    assert!(status.success(), "sweep binary failed");
+    let text = std::fs::read_to_string(out).expect("report written");
+    json::parse(&text).expect("report parses")
+}
+
+fn scratch(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("lfrt_json_report_{}_{name}", std::process::id()))
+}
+
+#[test]
+fn quick_sweep_json_round_trips_with_expected_shape() {
+    let path = scratch("shape.json");
+    let doc = run_quick_sweep(2, &path);
+
+    // Envelope.
+    assert_eq!(doc.get("schema_version").and_then(Json::as_f64), Some(1.0));
+    let meta = doc.get("meta").expect("meta object");
+    assert_eq!(
+        meta.get("generator").and_then(Json::as_str),
+        Some("lfrt-bench")
+    );
+    assert_eq!(meta.get("threads").and_then(Json::as_f64), Some(2.0));
+    assert_eq!(meta.get("quick"), Some(&Json::Bool(true)));
+
+    // Exactly one experiment: figure 10 (load 0.4, step TUFs).
+    let experiments = doc
+        .get("experiments")
+        .and_then(Json::as_array)
+        .expect("experiments");
+    assert_eq!(experiments.len(), 1);
+    let exp = &experiments[0];
+    assert_eq!(
+        exp.get("experiment").and_then(Json::as_str),
+        Some("fig10_13_aur_cmr")
+    );
+    assert_eq!(exp.get("figure").and_then(Json::as_str), Some("10"));
+    assert_eq!(
+        exp.get("config")
+            .and_then(|c| c.get("load"))
+            .and_then(Json::as_f64),
+        Some(0.4)
+    );
+
+    // Quick mode sweeps objects [1, 4, 10] × 2 seeds.
+    let points = exp.get("points").and_then(Json::as_array).expect("points");
+    let objects: Vec<f64> = points
+        .iter()
+        .map(|p| {
+            p.get("params")
+                .unwrap()
+                .get("objects")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+        })
+        .collect();
+    assert_eq!(objects, vec![1.0, 4.0, 10.0]);
+    for point in points {
+        // Seeds are listed ascending and match the sample count.
+        let seeds: Vec<f64> = point
+            .get("seeds")
+            .and_then(Json::as_array)
+            .expect("seeds")
+            .iter()
+            .map(|s| s.as_f64().expect("numeric seed"))
+            .collect();
+        assert_eq!(seeds, vec![0.0, 1.0], "seeds must be ascending");
+        let metrics = point.get("metrics").expect("metrics");
+        for key in [
+            "aur_lock_free",
+            "aur_lock_based",
+            "cmr_lock_free",
+            "cmr_lock_based",
+        ] {
+            let summary = metrics.get(key).unwrap_or_else(|| panic!("metric {key}"));
+            let n = summary.get("n").and_then(Json::as_f64).expect("n");
+            assert_eq!(n, seeds.len() as f64, "{key}: n must equal the seed count");
+            let samples = summary
+                .get("samples")
+                .and_then(Json::as_array)
+                .expect("seed-ordered samples");
+            assert_eq!(samples.len(), seeds.len());
+            let mean = summary.get("mean").and_then(Json::as_f64).expect("mean");
+            let expected: f64 =
+                samples.iter().map(|s| s.as_f64().unwrap()).sum::<f64>() / samples.len() as f64;
+            assert!(
+                (mean - expected).abs() < 1e-9,
+                "{key}: mean must match samples"
+            );
+        }
+    }
+
+    // Round trip: parse(print(x)) is identity and printing is canonical.
+    let text = doc.to_string_pretty();
+    let reparsed = json::parse(&text).expect("round trip");
+    assert_eq!(reparsed, doc);
+    assert_eq!(reparsed.to_string_pretty(), text);
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn payload_is_independent_of_thread_count() {
+    let path_serial = scratch("t1.json");
+    let path_parallel = scratch("t8.json");
+    let serial = run_quick_sweep(1, &path_serial);
+    let parallel = run_quick_sweep(8, &path_parallel);
+
+    // The full documents differ (meta.threads, duration), but the
+    // deterministic payload must be byte-identical.
+    assert_ne!(serial, parallel, "meta must reflect the actual run");
+    assert_eq!(
+        json::payload(&serial).to_string_pretty(),
+        json::payload(&parallel).to_string_pretty(),
+        "deterministic payload must not depend on --threads"
+    );
+
+    let _ = std::fs::remove_file(&path_serial);
+    let _ = std::fs::remove_file(&path_parallel);
+}

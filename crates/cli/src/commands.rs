@@ -10,9 +10,7 @@ use lfrt_bench::Args;
 use lfrt_core::{Edf, EdfPi, Lbesa, Llf, Rm, RuaLockBased, RuaLockFree};
 use lfrt_sim::mp::MpEngine;
 use lfrt_sim::workload::{ArrivalStyle, TufClass, WorkloadSpec};
-use lfrt_sim::{
-    sojourn_percentiles, Engine, SharingMode, SimConfig, SimOutcome, TaskSpec,
-};
+use lfrt_sim::{sojourn_percentiles, Engine, SharingMode, SimConfig, SimOutcome, TaskSpec};
 use lfrt_uam::{ArrivalTrace, TraceStats, Uam};
 
 fn spec_from(args: &Args) -> WorkloadSpec {
@@ -28,7 +26,9 @@ fn spec_from(args: &Args) -> WorkloadSpec {
         window_range: (args.get_u64("wmin", 6_000), args.get_u64("wmax", 18_000)),
         max_burst: args.get_u64("burst", 2) as u32,
         critical_time_frac: args.get_f64("cfrac", 0.9),
-        arrival_style: ArrivalStyle::RandomUam { intensity: args.get_f64("intensity", 3.0) },
+        arrival_style: ArrivalStyle::RandomUam {
+            intensity: args.get_f64("intensity", 3.0),
+        },
         horizon: args.get_u64("horizon", 500_000),
         read_fraction: args.get_f64("reads", 0.0),
         seed: args.get_u64("seed", 1),
@@ -40,8 +40,12 @@ pub fn workload(args: &Args) -> Result<String, String> {
     let spec = spec_from(args);
     let (tasks, traces) = spec.build().map_err(|e| e.to_string())?;
     let sharing = match args.get_str("sharing", "lockfree").as_str() {
-        "lockfree" => SharingMode::LockFree { access_ticks: args.get_u64("s", 10) },
-        "lockbased" => SharingMode::LockBased { access_ticks: args.get_u64("r", 400) },
+        "lockfree" => SharingMode::LockFree {
+            access_ticks: args.get_u64("s", 10),
+        },
+        "lockbased" => SharingMode::LockBased {
+            access_ticks: args.get_u64("r", 400),
+        },
         "ideal" => SharingMode::Ideal,
         other => return Err(format!("unknown sharing mode {other:?}")),
     };
@@ -68,7 +72,9 @@ fn dispatch_run(
     macro_rules! run_with {
         ($sched:expr) => {
             if cpus <= 1 {
-                Engine::new(tasks, traces, config).map_err(|e| e.to_string())?.run($sched)
+                Engine::new(tasks, traces, config)
+                    .map_err(|e| e.to_string())?
+                    .run($sched)
             } else {
                 MpEngine::new(tasks, traces, config, cpus)
                     .map_err(|e| e.to_string())?
@@ -137,12 +143,20 @@ pub fn admit(args: &Args) -> Result<String, String> {
             task.name(),
             verdict.worst_sojourn,
             verdict.critical_time,
-            if verdict.admitted { "admitted" } else { "REJECTED" }
+            if verdict.admitted {
+                "admitted"
+            } else {
+                "REJECTED"
+            }
         ));
     }
     out.push_str(&format!(
         "verdict: {}\n",
-        if report.all_admitted() { "all admitted" } else { "not schedulable in the worst case" }
+        if report.all_admitted() {
+            "all admitted"
+        } else {
+            "not schedulable in the worst case"
+        }
     ));
     Ok(out)
 }
@@ -173,8 +187,14 @@ pub fn parse_others(text: &str) -> Result<Vec<Uam>, String> {
         let (a, w) = part
             .split_once(':')
             .ok_or_else(|| format!("expected a:w, got {part:?}"))?;
-        let a: u32 = a.trim().parse().map_err(|_| format!("bad burst in {part:?}"))?;
-        let w: u64 = w.trim().parse().map_err(|_| format!("bad window in {part:?}"))?;
+        let a: u32 = a
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad burst in {part:?}"))?;
+        let w: u64 = w
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad window in {part:?}"))?;
         out.push(Uam::new(1, a.max(1), w).map_err(|e| e.to_string())?);
     }
     Ok(out)
@@ -184,12 +204,8 @@ pub fn parse_others(text: &str) -> Result<Vec<Uam>, String> {
 pub fn fit(args: &Args, input: &str) -> Result<String, String> {
     let trace = ArrivalTrace::read_csv(input.as_bytes()).map_err(|e| e.to_string())?;
     let window = args.get_u64("window", 10_000);
-    let horizon = args.get_u64(
-        "horizon",
-        trace.times().last().map_or(0, |&t| t + 1),
-    );
-    let fitted = Uam::fit(&trace, window, horizon)
-        .ok_or("empty trace or zero window")?;
+    let horizon = args.get_u64("horizon", trace.times().last().map_or(0, |&t| t + 1));
+    let fitted = Uam::fit(&trace, window, horizon).ok_or("empty trace or zero window")?;
     let stats = TraceStats::of(&trace).ok_or("empty trace")?;
     Ok(format!(
         "arrivals {}  span {}..{}\ngaps: min {} mean {:.1} max {}\nfitted ⟨l={}, a={}, W={}⟩\npeak window occupancy {:.2}\n",

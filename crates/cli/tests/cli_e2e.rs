@@ -21,7 +21,9 @@ fn help_prints_usage() {
 fn no_arguments_fails_with_usage() {
     let out = lfrt().output().expect("spawn");
     assert!(!out.status.success());
-    assert!(String::from_utf8(out.stderr).expect("utf8").contains("USAGE"));
+    assert!(String::from_utf8(out.stderr)
+        .expect("utf8")
+        .contains("USAGE"));
 }
 
 #[test]
@@ -34,10 +36,24 @@ fn unknown_command_fails() {
 fn workload_runs_deterministically() {
     let run = || {
         let out = lfrt()
-            .args(["workload", "--tasks", "4", "--load", "0.4", "--horizon", "100000", "--seed", "7"])
+            .args([
+                "workload",
+                "--tasks",
+                "4",
+                "--load",
+                "0.4",
+                "--horizon",
+                "100000",
+                "--seed",
+                "7",
+            ])
             .output()
             .expect("spawn");
-        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
         String::from_utf8(out.stdout).expect("utf8")
     };
     let a = run();
@@ -49,7 +65,15 @@ fn workload_runs_deterministically() {
 #[test]
 fn bound_computes_known_value() {
     let out = lfrt()
-        .args(["bound", "--critical", "1000", "--a", "1", "--others", "2:500"])
+        .args([
+            "bound",
+            "--critical",
+            "1000",
+            "--a",
+            "1",
+            "--others",
+            "2:500",
+        ])
         .output()
         .expect("spawn");
     assert!(out.status.success());
@@ -87,7 +111,12 @@ fn summary_reads_record_csv() {
         .expect("spawn");
     let csv = "job,task,arrival,resolved_at,completed,utility,retries,blockings,preemptions\n\
                0,0,0,100,true,5,0,0,0\n";
-    child.stdin.as_mut().expect("stdin").write_all(csv.as_bytes()).expect("write");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin")
+        .write_all(csv.as_bytes())
+        .expect("write");
     let out = child.wait_with_output().expect("wait");
     assert!(out.status.success());
     let text = String::from_utf8(out.stdout).expect("utf8");

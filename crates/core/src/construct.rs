@@ -48,11 +48,13 @@ pub(crate) fn build_schedule(
         }
         let mut tentative = schedule.clone();
         ops.add(tentative.len() as u64); // copying the schedule costs O(n)
-        // Insert from the tail of the chain (the job itself) toward the head
-        // (its deepest dependent); every next member must precede the last.
+                                         // Insert from the tail of the chain (the job itself) toward the head
+                                         // (its deepest dependent); every next member must precede the last.
         let mut limit: Option<usize> = None;
         for &member in ranked.chain.iter().rev() {
-            let Some(view) = ctx.job(member) else { continue };
+            let Some(view) = ctx.job(member) else {
+                continue;
+            };
             match tentative.position(member, ops) {
                 Some(pos) => match limit {
                     Some(lim) if pos > lim => {
@@ -71,12 +73,8 @@ pub(crate) fn build_schedule(
                     _ => limit = Some(pos),
                 },
                 None => {
-                    let pos = tentative.insert_before(
-                        member,
-                        view.absolute_critical_time,
-                        limit,
-                        ops,
-                    );
+                    let pos =
+                        tentative.insert_before(member, view.absolute_critical_time, limit, ops);
                     limit = Some(pos);
                 }
             }

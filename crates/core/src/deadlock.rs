@@ -71,7 +71,10 @@ mod tests {
     #[test]
     fn acyclic_chain_has_no_victim() {
         let tuf = Tuf::step(1.0, 1_000).expect("valid");
-        let ctx = SchedulerContext { now: 0, jobs: Vec::new() };
+        let ctx = SchedulerContext {
+            now: 0,
+            jobs: Vec::new(),
+        };
         let _ = &tuf;
         let chain = Chain::Acyclic(vec![JobId::new(1)]);
         assert_eq!(select_victim(&ctx, &chain, &mut OpsCounter::new()), None);
@@ -91,7 +94,10 @@ mod tests {
             blocked_on: Some(ObjectId::new(0)),
             holds: vec![ObjectId::new(1)],
         };
-        let ctx = SchedulerContext { now: 0, jobs: vec![mk(1), mk(2)] };
+        let ctx = SchedulerContext {
+            now: 0,
+            jobs: vec![mk(1), mk(2)],
+        };
         let cycle = Chain::Cycle(vec![JobId::new(1), JobId::new(2)]);
         let victim = select_victim(&ctx, &cycle, &mut OpsCounter::new());
         assert_eq!(victim, Some(JobId::new(2)));

@@ -40,11 +40,7 @@ impl Chain {
 /// Returns [`Chain::Cycle`] if the edges loop — the deadlock condition of
 /// §3.3, which cannot arise without nested critical sections but is detected
 /// for completeness.
-pub fn dependency_chain(
-    ctx: &SchedulerContext<'_>,
-    job: JobId,
-    ops: &mut OpsCounter,
-) -> Chain {
+pub fn dependency_chain(ctx: &SchedulerContext<'_>, job: JobId, ops: &mut OpsCounter) -> Chain {
     let mut chain = vec![job];
     let mut current = job;
     loop {
@@ -142,10 +138,7 @@ mod tests {
         // nested sections, which the simulator excludes, but the detector
         // must still work per §3.3).
         let tuf = Tuf::step(1.0, 1_000).expect("valid");
-        let ctx = ctx_with(
-            &tuf,
-            vec![(1, Some(2), Some(1)), (2, Some(1), Some(2))],
-        );
+        let ctx = ctx_with(&tuf, vec![(1, Some(2), Some(1)), (2, Some(1), Some(2))]);
         let chain = dependency_chain(&ctx, JobId::new(1), &mut OpsCounter::new());
         assert!(chain.is_cycle());
         assert_eq!(chain.jobs(), &[JobId::new(1), JobId::new(2)]);

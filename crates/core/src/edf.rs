@@ -45,6 +45,10 @@ impl UaScheduler for Edf {
             let kb = ctx.job(b).map(|j| j.absolute_critical_time);
             ka.cmp(&kb).then(a.cmp(&b))
         });
-        Decision { order, ops: ops.total(), aborts: Vec::new() }
+        Decision {
+            order,
+            ops: ops.total(),
+            aborts: Vec::new(),
+        }
     }
 }

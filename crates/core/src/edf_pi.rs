@@ -54,7 +54,9 @@ impl UaScheduler for EdfPi {
             .collect();
         for view in &ctx.jobs {
             let chain = dependency_chain(ctx, view.id, &mut ops);
-            let Chain::Acyclic(members) = chain else { continue };
+            let Chain::Acyclic(members) = chain else {
+                continue;
+            };
             for member in members {
                 if member == view.id {
                     continue;
@@ -110,7 +112,11 @@ mod tests {
             ],
         };
         let d = EdfPi::new().schedule(&ctx);
-        assert_eq!(d.order[0], JobId::new(0), "holder inherits the urgent deadline");
+        assert_eq!(
+            d.order[0],
+            JobId::new(0),
+            "holder inherits the urgent deadline"
+        );
         assert_eq!(d.order[1], JobId::new(1));
         assert_eq!(d.order[2], JobId::new(2));
     }
@@ -129,7 +135,10 @@ mod tests {
             blocked_on: None,
             holds: Vec::new(),
         };
-        let ctx = SchedulerContext { now: 0, jobs: vec![mk(0, 300), mk(1, 100), mk(2, 200)] };
+        let ctx = SchedulerContext {
+            now: 0,
+            jobs: vec![mk(0, 300), mk(1, 100), mk(2, 200)],
+        };
         let d = EdfPi::new().schedule(&ctx);
         assert_eq!(d.order, vec![JobId::new(1), JobId::new(2), JobId::new(0)]);
     }
@@ -158,6 +167,10 @@ mod tests {
             ],
         };
         let d = EdfPi::new().schedule(&ctx);
-        assert_eq!(d.order[0], JobId::new(0), "deepest holder inherits transitively");
+        assert_eq!(
+            d.order[0],
+            JobId::new(0),
+            "deepest holder inherits transitively"
+        );
     }
 }

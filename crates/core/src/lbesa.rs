@@ -61,14 +61,22 @@ impl UaScheduler for Lbesa {
                 .iter()
                 .copied()
                 .map(|id| (chain_pud(ctx, &[id], &mut ops), id))
-                .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite PUDs").then(b.1.cmp(&a.1)))
+                .min_by(|a, b| {
+                    a.0.partial_cmp(&b.0)
+                        .expect("finite PUDs")
+                        .then(b.1.cmp(&a.1))
+                })
             else {
                 break;
             };
             order.retain(|&id| id != worst.1);
             ops.charge_log(order.len());
         }
-        Decision { order, ops: ops.total(), aborts: Vec::new() }
+        Decision {
+            order,
+            ops: ops.total(),
+            aborts: Vec::new(),
+        }
     }
 }
 
@@ -143,7 +151,10 @@ mod tests {
             .map(|i| Tuf::step(1.0 + i as f64, 1_000).expect("valid"))
             .collect();
         // Each needs 600; only one fits by t=1000.
-        let ctx = ctx_of(&tufs, &[(1_000, 600), (1_000, 600), (1_000, 600), (1_000, 600)]);
+        let ctx = ctx_of(
+            &tufs,
+            &[(1_000, 600), (1_000, 600), (1_000, 600), (1_000, 600)],
+        );
         let d = Lbesa::new().schedule(&ctx);
         assert_eq!(d.order.len(), 1);
         // The highest-density job (utility 4) survives.

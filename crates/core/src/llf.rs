@@ -53,7 +53,11 @@ impl UaScheduler for Llf {
             ops.tick();
             laxity(a).cmp(&laxity(b))
         });
-        Decision { order, ops: ops.total(), aborts: Vec::new() }
+        Decision {
+            order,
+            ops: ops.total(),
+            aborts: Vec::new(),
+        }
     }
 }
 
@@ -79,7 +83,10 @@ mod tests {
         };
         // Job 1 has the later deadline but so much remaining work that its
         // laxity (5000-0-4900=100) undercuts job 0's (1000-0-10=990).
-        let ctx = SchedulerContext { now: 0, jobs: vec![mk(0, 1_000, 10), mk(1, 5_000, 4_900)] };
+        let ctx = SchedulerContext {
+            now: 0,
+            jobs: vec![mk(0, 1_000, 10), mk(1, 5_000, 4_900)],
+        };
         let decision = Llf::new().schedule(&ctx);
         assert_eq!(decision.order[0], JobId::new(1));
     }
@@ -99,7 +106,10 @@ mod tests {
             holds: Vec::new(),
         };
         // Job 0 is already doomed (laxity −900); it still sorts first.
-        let ctx = SchedulerContext { now: 0, jobs: vec![mk(0, 100, 1_000), mk(1, 5_000, 10)] };
+        let ctx = SchedulerContext {
+            now: 0,
+            jobs: vec![mk(0, 100, 1_000), mk(1, 5_000, 10)],
+        };
         let decision = Llf::new().schedule(&ctx);
         assert_eq!(decision.order[0], JobId::new(0));
     }

@@ -68,9 +68,15 @@ impl UaScheduler for RuaLockBased {
                 }
                 continue;
             }
-            let Chain::Acyclic(members) = chain else { unreachable!() };
+            let Chain::Acyclic(members) = chain else {
+                unreachable!()
+            };
             let pud = chain_pud(ctx, &members, &mut ops);
-            chains.push(RankedChain { job: view.id, chain: members, pud });
+            chains.push(RankedChain {
+                job: view.id,
+                chain: members,
+                pud,
+            });
         }
         if !excluded.is_empty() {
             chains.retain(|c| {
@@ -83,6 +89,10 @@ impl UaScheduler for RuaLockBased {
         let schedule = build_schedule(ctx, &chains, &mut ops);
         // Deadlock victims are handed to the engine for immediate abortion
         // (the abort-exception model of §3.5 resolves the deadlock).
-        Decision { order: schedule.jobs(), ops: ops.total(), aborts: excluded }
+        Decision {
+            order: schedule.jobs(),
+            ops: ops.total(),
+            aborts: excluded,
+        }
     }
 }

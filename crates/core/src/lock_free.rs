@@ -53,11 +53,19 @@ impl UaScheduler for RuaLockFree {
             .map(|view| {
                 let chain = vec![view.id];
                 let pud = chain_pud(ctx, &chain, &mut ops);
-                RankedChain { job: view.id, chain, pud }
+                RankedChain {
+                    job: view.id,
+                    chain,
+                    pud,
+                }
             })
             .collect();
         sort_by_pud(&mut chains, &mut ops);
         let schedule = build_schedule(ctx, &chains, &mut ops);
-        Decision { order: schedule.jobs(), ops: ops.total(), aborts: Vec::new() }
+        Decision {
+            order: schedule.jobs(),
+            ops: ops.total(),
+            aborts: Vec::new(),
+        }
     }
 }

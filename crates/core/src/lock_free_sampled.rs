@@ -50,7 +50,10 @@ impl RuaLockFreeSampled {
     /// Creates the scheduler checking `samples` random entries per
     /// insertion (plus the inserted entry itself).
     pub fn new(samples: usize, seed: u64) -> Self {
-        Self { samples, rng: StdRng::seed_from_u64(seed) }
+        Self {
+            samples,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -67,14 +70,20 @@ impl UaScheduler for RuaLockFreeSampled {
             .map(|view| {
                 let chain = vec![view.id];
                 let pud = chain_pud(ctx, &chain, &mut ops);
-                RankedChain { job: view.id, chain, pud }
+                RankedChain {
+                    job: view.id,
+                    chain,
+                    pud,
+                }
             })
             .collect();
         sort_by_pud(&mut chains, &mut ops);
 
         let mut schedule = TentativeSchedule::new();
         for ranked in &chains {
-            let Some(view) = ctx.job(ranked.job) else { continue };
+            let Some(view) = ctx.job(ranked.job) else {
+                continue;
+            };
             let mut tentative = schedule.clone();
             let pos =
                 tentative.insert_before(ranked.job, view.absolute_critical_time, None, &mut ops);
@@ -82,7 +91,11 @@ impl UaScheduler for RuaLockFreeSampled {
                 schedule = tentative;
             }
         }
-        Decision { order: schedule.jobs(), ops: ops.total(), aborts: Vec::new() }
+        Decision {
+            order: schedule.jobs(),
+            ops: ops.total(),
+            aborts: Vec::new(),
+        }
     }
 }
 
@@ -161,8 +174,9 @@ mod tests {
 
     #[test]
     fn feasible_underload_schedules_everything() {
-        let tufs: Vec<Tuf> =
-            (0..5).map(|i| Tuf::step(1.0 + i as f64, 10_000).expect("valid")).collect();
+        let tufs: Vec<Tuf> = (0..5)
+            .map(|i| Tuf::step(1.0 + i as f64, 10_000).expect("valid"))
+            .collect();
         let jobs: Vec<(u64, u64)> = (0..5).map(|i| (2_000 + i * 1_000, 100)).collect();
         let ctx = ctx_of(&tufs, &jobs);
         let d = RuaLockFreeSampled::new(3, 1).schedule(&ctx);
@@ -179,14 +193,18 @@ mod tests {
         ];
         let ctx = ctx_of(&tufs, &[(100, 500), (10_000, 10)]);
         let d = RuaLockFreeSampled::new(0, 1).schedule(&ctx);
-        assert!(!d.order.contains(&JobId::new(0)), "self-infeasible job rejected");
+        assert!(
+            !d.order.contains(&JobId::new(0)),
+            "self-infeasible job rejected"
+        );
         assert!(d.order.contains(&JobId::new(1)));
     }
 
     #[test]
     fn deterministic_per_seed() {
-        let tufs: Vec<Tuf> =
-            (0..20).map(|i| Tuf::step(1.0 + (i % 7) as f64, 5_000).expect("valid")).collect();
+        let tufs: Vec<Tuf> = (0..20)
+            .map(|i| Tuf::step(1.0 + (i % 7) as f64, 5_000).expect("valid"))
+            .collect();
         let jobs: Vec<(u64, u64)> = (0..20).map(|i| (1_000 + i * 137 % 4_000, 150)).collect();
         let ctx = ctx_of(&tufs, &jobs);
         let a = RuaLockFreeSampled::new(2, 9).schedule(&ctx);
@@ -198,10 +216,10 @@ mod tests {
     #[test]
     fn sampling_reports_fewer_ops_than_exact_on_large_contexts() {
         use crate::RuaLockFree;
-        let tufs: Vec<Tuf> =
-            (0..200).map(|i| Tuf::step(1.0 + (i % 9) as f64, 100_000).expect("valid")).collect();
-        let jobs: Vec<(u64, u64)> =
-            (0..200).map(|i| (50_000 + i * 211 % 50_000, 100)).collect();
+        let tufs: Vec<Tuf> = (0..200)
+            .map(|i| Tuf::step(1.0 + (i % 9) as f64, 100_000).expect("valid"))
+            .collect();
+        let jobs: Vec<(u64, u64)> = (0..200).map(|i| (50_000 + i * 211 % 50_000, 100)).collect();
         let ctx = ctx_of(&tufs, &jobs);
         let exact = RuaLockFree::new().schedule(&ctx);
         let sampled = RuaLockFreeSampled::new(2, 3).schedule(&ctx);

@@ -28,7 +28,9 @@ pub fn chain_pud(ctx: &SchedulerContext<'_>, chain: &[JobId], ops: &mut OpsCount
     let mut total_utility = 0.0;
     for &member in chain {
         ops.tick();
-        let Some(view) = ctx.job(member) else { continue };
+        let Some(view) = ctx.job(member) else {
+            continue;
+        };
         elapsed += view.remaining;
         let completion = ctx.now + elapsed;
         let sojourn = completion.saturating_sub(view.arrival);
@@ -38,7 +40,11 @@ pub fn chain_pud(ctx: &SchedulerContext<'_>, chain: &[JobId], ops: &mut OpsCount
         // A chain of zero remaining work either yields utility instantly
         // (infinite density, approximated by the utility itself scaled
         // large) or nothing at all.
-        return if total_utility > 0.0 { f64::MAX / 2.0 } else { 0.0 };
+        return if total_utility > 0.0 {
+            f64::MAX / 2.0
+        } else {
+            0.0
+        };
     }
     total_utility / elapsed as f64
 }
@@ -66,7 +72,10 @@ mod tests {
     #[test]
     fn singleton_chain_is_utility_over_remaining() {
         let tuf = Tuf::step(10.0, 1_000).expect("valid");
-        let ctx = SchedulerContext { now: 0, jobs: vec![view(0, &tuf, 0, 50)] };
+        let ctx = SchedulerContext {
+            now: 0,
+            jobs: vec![view(0, &tuf, 0, 50)],
+        };
         let mut ops = OpsCounter::new();
         let pud = chain_pud(&ctx, &[JobId::new(0)], &mut ops);
         assert!((pud - 10.0 / 50.0).abs() < 1e-12);
@@ -81,7 +90,11 @@ mod tests {
             now: 0,
             jobs: vec![view(0, &tuf_a, 0, 100), view(1, &tuf_b, 0, 100)],
         };
-        let pud = chain_pud(&ctx, &[JobId::new(0), JobId::new(1)], &mut OpsCounter::new());
+        let pud = chain_pud(
+            &ctx,
+            &[JobId::new(0), JobId::new(1)],
+            &mut OpsCounter::new(),
+        );
         // (6 + 4) / 200.
         assert!((pud - 0.05).abs() < 1e-12);
     }
@@ -90,7 +103,10 @@ mod tests {
     fn member_past_its_critical_time_contributes_nothing() {
         let tuf = Tuf::step(10.0, 100).expect("valid");
         // Completion estimate lands at sojourn 150 >= 100: zero utility.
-        let ctx = SchedulerContext { now: 100, jobs: vec![view(0, &tuf, 50, 100)] };
+        let ctx = SchedulerContext {
+            now: 100,
+            jobs: vec![view(0, &tuf, 50, 100)],
+        };
         let pud = chain_pud(&ctx, &[JobId::new(0)], &mut OpsCounter::new());
         assert_eq!(pud, 0.0);
     }
@@ -99,7 +115,10 @@ mod tests {
     fn non_step_tuf_uses_estimated_completion() {
         let tuf = Tuf::linear_decreasing(10.0, 100).expect("valid");
         // Completion at sojourn 50: utility 5; PUD = 5 / 50.
-        let ctx = SchedulerContext { now: 0, jobs: vec![view(0, &tuf, 0, 50)] };
+        let ctx = SchedulerContext {
+            now: 0,
+            jobs: vec![view(0, &tuf, 0, 50)],
+        };
         let pud = chain_pud(&ctx, &[JobId::new(0)], &mut OpsCounter::new());
         assert!((pud - 0.1).abs() < 1e-12);
     }
@@ -107,8 +126,14 @@ mod tests {
     #[test]
     fn empty_and_missing_are_zero() {
         let tuf = Tuf::step(10.0, 100).expect("valid");
-        let ctx = SchedulerContext { now: 0, jobs: vec![view(0, &tuf, 0, 10)] };
+        let ctx = SchedulerContext {
+            now: 0,
+            jobs: vec![view(0, &tuf, 0, 10)],
+        };
         assert_eq!(chain_pud(&ctx, &[], &mut OpsCounter::new()), 0.0);
-        assert_eq!(chain_pud(&ctx, &[JobId::new(9)], &mut OpsCounter::new()), 0.0);
+        assert_eq!(
+            chain_pud(&ctx, &[JobId::new(9)], &mut OpsCounter::new()),
+            0.0
+        );
     }
 }

@@ -46,7 +46,11 @@ impl UaScheduler for Rm {
             let kb = ctx.job(b).map(|j| (j.window, j.task, j.id));
             ka.cmp(&kb)
         });
-        Decision { order, ops: ops.total(), aborts: Vec::new() }
+        Decision {
+            order,
+            ops: ops.total(),
+            aborts: Vec::new(),
+        }
     }
 }
 

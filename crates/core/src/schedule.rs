@@ -93,7 +93,13 @@ impl TentativeSchedule {
             }
             _ => ecf_pos,
         };
-        self.entries.insert(pos, Entry { job, effective_critical_time: effective });
+        self.entries.insert(
+            pos,
+            Entry {
+                job,
+                effective_critical_time: effective,
+            },
+        );
         pos
     }
 
@@ -118,7 +124,9 @@ impl TentativeSchedule {
         let mut elapsed: u64 = 0;
         for entry in &self.entries {
             ops.tick();
-            let Some(view) = ctx.job(entry.job) else { continue };
+            let Some(view) = ctx.job(entry.job) else {
+                continue;
+            };
             elapsed += view.remaining;
             if ctx.now + elapsed > entry.effective_critical_time {
                 return false;

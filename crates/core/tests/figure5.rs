@@ -58,9 +58,9 @@ fn figure5_removal_and_reinsertion() {
     let ctx = SchedulerContext {
         now: 0,
         jobs: vec![
-            fixture.view(1, 400, 50, None, Some(0)),    // T1 holds R
-            fixture.view(2, 500, 50, Some(0), None),    // T2 waits on R
-            fixture.view(3, 300, 50, Some(0), None),    // T3 waits on R
+            fixture.view(1, 400, 50, None, Some(0)), // T1 holds R
+            fixture.view(2, 500, 50, Some(0), None), // T2 waits on R
+            fixture.view(3, 300, 50, Some(0), None), // T3 waits on R
         ],
     };
     let decision = RuaLockBased::new().schedule(&ctx);
@@ -108,5 +108,9 @@ fn infeasible_insertion_is_rejected_keeping_the_previous_schedule() {
         ],
     };
     let decision = RuaLockBased::new().schedule(&ctx);
-    assert_eq!(decision.order, vec![JobId::new(1)], "the impossible job is rejected");
+    assert_eq!(
+        decision.order,
+        vec![JobId::new(1)],
+        "the impossible job is rejected"
+    );
 }

@@ -3,9 +3,7 @@
 //! preemption, and Lemma 1's bound of preemptions by scheduling events.
 
 use lfrt_core::{Edf, Llf, Rm, RuaLockFree};
-use lfrt_sim::{
-    Engine, Segment, SharingMode, SimConfig, SimOutcome, TaskSpec, UaScheduler,
-};
+use lfrt_sim::{Engine, Segment, SharingMode, SimConfig, SimOutcome, TaskSpec, UaScheduler};
 use lfrt_tuf::Tuf;
 use lfrt_uam::{ArrivalTrace, Uam};
 
@@ -114,7 +112,10 @@ fn lemma1_preemptions_bounded_by_scheduling_events() {
             outcome.metrics.preemptions(),
             outcome.metrics.sched_invocations
         );
-        assert!(outcome.metrics.preemptions() > 0, "{sched}: workload must preempt");
+        assert!(
+            outcome.metrics.preemptions() > 0,
+            "{sched}: workload must preempt"
+        );
     }
 }
 
@@ -135,7 +136,11 @@ fn rm_preemptions_bounded_by_higher_priority_releases() {
     )
     .expect("valid engine")
     .run(Rm::new());
-    assert_eq!(outcome.metrics.completed(), 55, "underloaded RM meets everything");
+    assert_eq!(
+        outcome.metrics.completed(),
+        55,
+        "underloaded RM meets everything"
+    );
     let slow_preemptions: u64 = outcome
         .records
         .iter()
@@ -145,7 +150,10 @@ fn rm_preemptions_bounded_by_higher_priority_releases() {
     // 50 fast releases is the hard ceiling; each slow job (3 ms) overlaps
     // at most 4 fast windows, so 5 jobs see at most 20.
     assert!(slow_preemptions > 0);
-    assert!(slow_preemptions <= 20, "static priorities: got {slow_preemptions}");
+    assert!(
+        slow_preemptions <= 20,
+        "static priorities: got {slow_preemptions}"
+    );
     // And the fast task, being highest priority, is never preempted.
     let fast_preemptions: u64 = outcome
         .records

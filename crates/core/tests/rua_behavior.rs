@@ -19,7 +19,10 @@ fn step_task(name: &str, utility: f64, critical: u64, compute: u64) -> TaskSpec 
 }
 
 fn access(object: usize) -> Segment {
-    Segment::Access { object: ObjectId::new(object), kind: AccessKind::Write }
+    Segment::Access {
+        object: ObjectId::new(object),
+        kind: AccessKind::Write,
+    }
 }
 
 fn run<S: UaScheduler>(
@@ -53,8 +56,18 @@ fn underload_rua_meets_everything_like_edf() {
     };
     for outcome in [
         run(mk_tasks(), mk_traces(), SharingMode::Ideal, Edf::new()),
-        run(mk_tasks(), mk_traces(), SharingMode::Ideal, RuaLockFree::new()),
-        run(mk_tasks(), mk_traces(), SharingMode::Ideal, RuaLockBased::new()),
+        run(
+            mk_tasks(),
+            mk_traces(),
+            SharingMode::Ideal,
+            RuaLockFree::new(),
+        ),
+        run(
+            mk_tasks(),
+            mk_traces(),
+            SharingMode::Ideal,
+            RuaLockBased::new(),
+        ),
     ] {
         assert_eq!(outcome.metrics.aborted(), 0);
         assert!((outcome.metrics.aur() - 1.0).abs() < 1e-12);
@@ -91,7 +104,11 @@ fn overload_rua_favors_importance_edf_favors_urgency() {
     );
     let rua_utility: f64 = rua.records.iter().map(|r| r.utility).sum();
     assert_eq!(rua_utility, 10.0);
-    let valuable = rua.records.iter().find(|r| r.task.index() == 1).expect("ran");
+    let valuable = rua
+        .records
+        .iter()
+        .find(|r| r.task.index() == 1)
+        .expect("ran");
     assert!(valuable.completed);
 }
 
@@ -119,7 +136,11 @@ fn lock_based_rua_runs_lock_holder_before_blocked_high_pud_job() {
         RuaLockBased::new(),
     );
     assert_eq!(outcome.metrics.completed(), 2);
-    let important_rec = outcome.records.iter().find(|r| r.task.index() == 1).expect("ran");
+    let important_rec = outcome
+        .records
+        .iter()
+        .find(|r| r.task.index() == 1)
+        .expect("ran");
     assert!(important_rec.completed, "dependency chain must be honoured");
     // Holder's critical section runs 10..410; important blocked at 50,
     // acquires at 410, finishes at 810 — before its 2050 critical time.
@@ -188,7 +209,11 @@ fn rejected_job_reconsidered_after_situation_improves() {
         RuaLockFree::new(),
     );
     assert_eq!(outcome.metrics.completed(), 2);
-    let cheap_rec = outcome.records.iter().find(|r| r.task.index() == 0).expect("ran");
+    let cheap_rec = outcome
+        .records
+        .iter()
+        .find(|r| r.task.index() == 0)
+        .expect("ran");
     assert_eq!(cheap_rec.resolved_at, 1_200, "cheap job runs second");
 }
 
@@ -239,7 +264,10 @@ fn lock_free_retries_happen_under_contention_but_jobs_finish() {
         RuaLockFree::new(),
     );
     assert_eq!(outcome.metrics.completed(), 3);
-    assert!(outcome.metrics.retries() > 0, "contended accesses must retry");
+    assert!(
+        outcome.metrics.retries() > 0,
+        "contended accesses must retry"
+    );
 }
 
 #[test]
@@ -248,9 +276,19 @@ fn both_rua_variants_are_deterministic_on_random_workloads() {
     let once = |sched: bool| {
         let (tasks, traces) = spec.build().expect("valid workload");
         if sched {
-            run(tasks, traces, SharingMode::LockFree { access_ticks: 10 }, RuaLockFree::new())
+            run(
+                tasks,
+                traces,
+                SharingMode::LockFree { access_ticks: 10 },
+                RuaLockFree::new(),
+            )
         } else {
-            run(tasks, traces, SharingMode::LockBased { access_ticks: 30 }, RuaLockBased::new())
+            run(
+                tasks,
+                traces,
+                SharingMode::LockBased { access_ticks: 30 },
+                RuaLockBased::new(),
+            )
         }
     };
     assert_eq!(once(true).records, once(true).records);
@@ -271,14 +309,22 @@ fn random_underload_workload_all_disciplines_complete_everything() {
         SharingMode::LockFree { access_ticks: 5 },
         RuaLockFree::new(),
     );
-    assert!(lf.metrics.cmr() > 0.99, "lock-free underload CMR {}", lf.metrics.cmr());
+    assert!(
+        lf.metrics.cmr() > 0.99,
+        "lock-free underload CMR {}",
+        lf.metrics.cmr()
+    );
     let lb = run(
         tasks,
         traces,
         SharingMode::LockBased { access_ticks: 5 },
         RuaLockBased::new(),
     );
-    assert!(lb.metrics.cmr() > 0.99, "lock-based underload CMR {}", lb.metrics.cmr());
+    assert!(
+        lb.metrics.cmr() > 0.99,
+        "lock-based underload CMR {}",
+        lb.metrics.cmr()
+    );
 }
 
 #[test]

@@ -53,13 +53,19 @@ unsafe impl Sync for LockFreeList {}
 impl LockFreeList {
     /// Creates an empty list.
     pub fn new() -> Self {
-        Self { head: Atomic::null(), stats: OpStats::new() }
+        Self {
+            head: Atomic::null(),
+            stats: OpStats::new(),
+        }
     }
 
     /// Inserts `key`; returns `false` if it was already present.
     pub fn insert(&self, key: u64) -> bool {
         let guard = &epoch::pin();
-        let mut new = Owned::new(Node { key, next: Atomic::null() });
+        let mut new = Owned::new(Node {
+            key,
+            next: Atomic::null(),
+        });
         loop {
             self.stats.attempt();
             let Some((prev, curr)) = self.search(key, guard) else {
@@ -93,7 +99,9 @@ impl LockFreeList {
                 continue;
             };
             // SAFETY: `curr` protected by `guard`.
-            let Some(node) = (unsafe { curr.as_ref() }) else { return false };
+            let Some(node) = (unsafe { curr.as_ref() }) else {
+                return false;
+            };
             if node.key != key {
                 return false;
             }
@@ -106,7 +114,13 @@ impl LockFreeList {
             // Logical deletion: mark the node's next pointer.
             if node
                 .next
-                .compare_exchange(next, next.with_tag(next.tag() | MARK), Release, Relaxed, guard)
+                .compare_exchange(
+                    next,
+                    next.with_tag(next.tag() | MARK),
+                    Release,
+                    Relaxed,
+                    guard,
+                )
                 .is_err()
             {
                 self.stats.retry();

@@ -31,7 +31,10 @@ pub struct LockedQueue<T> {
 impl<T> LockedQueue<T> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        Self { inner: Mutex::new(VecDeque::new()), contended: AtomicU64::new(0) }
+        Self {
+            inner: Mutex::new(VecDeque::new()),
+            contended: AtomicU64::new(0),
+        }
     }
 
     /// Appends `value` at the tail, blocking if the lock is held.
@@ -91,7 +94,10 @@ pub struct LockedStack<T> {
 impl<T> LockedStack<T> {
     /// Creates an empty stack.
     pub fn new() -> Self {
-        Self { inner: Mutex::new(Vec::new()), contended: AtomicU64::new(0) }
+        Self {
+            inner: Mutex::new(Vec::new()),
+            contended: AtomicU64::new(0),
+        }
     }
 
     /// Pushes `value` on top, blocking if the lock is held.

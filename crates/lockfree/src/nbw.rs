@@ -29,7 +29,12 @@ pub fn nbw_register<T: Copy + Send>(initial: T) -> (NbwWriter<T>, NbwReader<T>) 
         data: UnsafeCell::new(initial),
         stats: OpStats::new(),
     });
-    (NbwWriter { shared: Arc::clone(&shared) }, NbwReader { shared })
+    (
+        NbwWriter {
+            shared: Arc::clone(&shared),
+        },
+        NbwReader { shared },
+    )
 }
 
 struct Shared<T> {
@@ -82,7 +87,9 @@ pub struct NbwReader<T> {
 
 impl<T> Clone for NbwReader<T> {
     fn clone(&self) -> Self {
-        Self { shared: Arc::clone(&self.shared) }
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
     }
 }
 

@@ -29,7 +29,10 @@ pub struct CasRegister {
 impl CasRegister {
     /// Creates a register holding `initial`.
     pub fn new(initial: u64) -> Self {
-        Self { value: AtomicU64::new(initial), stats: OpStats::new() }
+        Self {
+            value: AtomicU64::new(initial),
+            stats: OpStats::new(),
+        }
     }
 
     /// Reads the current value.

@@ -37,11 +37,18 @@ pub fn spsc_ring<T: Send>(capacity: usize) -> (RingProducer<T>, RingConsumer<T>)
     assert!(capacity > 0, "capacity must be positive");
     let slots = capacity + 1;
     let shared = Arc::new(Shared {
-        buffer: (0..slots).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect(),
+        buffer: (0..slots)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect(),
         head: AtomicUsize::new(0),
         tail: AtomicUsize::new(0),
     });
-    (RingProducer { shared: Arc::clone(&shared) }, RingConsumer { shared })
+    (
+        RingProducer {
+            shared: Arc::clone(&shared),
+        },
+        RingConsumer { shared },
+    )
 }
 
 struct Shared<T> {
@@ -108,8 +115,7 @@ impl<T: Send> RingProducer<T> {
     /// Whether a push would currently fail.
     pub fn is_full(&self) -> bool {
         let shared = &*self.shared;
-        shared.next(shared.tail.load(Ordering::Relaxed))
-            == shared.head.load(Ordering::Acquire)
+        shared.next(shared.tail.load(Ordering::Relaxed)) == shared.head.load(Ordering::Acquire)
     }
 }
 

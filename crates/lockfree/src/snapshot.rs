@@ -70,8 +70,7 @@ impl AtomicSnapshot {
         loop {
             let (_, seq) = unpack(current);
             let next = pack(value, seq.wrapping_add(1));
-            match cell.compare_exchange_weak(current, next, Ordering::AcqRel, Ordering::Acquire)
-            {
+            match cell.compare_exchange_weak(current, next, Ordering::AcqRel, Ordering::Acquire) {
                 Ok(_) => return,
                 Err(actual) => current = actual,
             }
@@ -93,10 +92,16 @@ impl AtomicSnapshot {
     pub fn scan(&self) -> Vec<u32> {
         loop {
             self.stats.attempt();
-            let first: Vec<u64> =
-                self.cells.iter().map(|c| c.load(Ordering::Acquire)).collect();
-            let second: Vec<u64> =
-                self.cells.iter().map(|c| c.load(Ordering::Acquire)).collect();
+            let first: Vec<u64> = self
+                .cells
+                .iter()
+                .map(|c| c.load(Ordering::Acquire))
+                .collect();
+            let second: Vec<u64> = self
+                .cells
+                .iter()
+                .map(|c| c.load(Ordering::Acquire))
+                .collect();
             if first == second {
                 return first.into_iter().map(|w| unpack(w).0).collect();
             }
@@ -167,10 +172,7 @@ mod tests {
                         // Within one sweep, later cells may lag the earlier
                         // ones by exactly one round — never more, and never
                         // a torn mix of distant rounds.
-                        assert!(
-                            max - min <= 1,
-                            "inconsistent snapshot: {view:?}"
-                        );
+                        assert!(max - min <= 1, "inconsistent snapshot: {view:?}");
                     }
                 })
             })

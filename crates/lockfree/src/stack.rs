@@ -47,7 +47,10 @@ unsafe impl<T: Send> Sync for TreiberStack<T> {}
 impl<T> TreiberStack<T> {
     /// Creates an empty stack.
     pub fn new() -> Self {
-        Self { top: Atomic::null(), stats: OpStats::new() }
+        Self {
+            top: Atomic::null(),
+            stats: OpStats::new(),
+        }
     }
 
     /// Pushes `value` on top of the stack.
@@ -80,14 +83,16 @@ impl<T> TreiberStack<T> {
             // SAFETY: protected by `guard`; `as_ref` handles null.
             let top_ref = unsafe { top.as_ref() }?;
             let next = top_ref.next.load(Relaxed, guard);
-            match self.top.compare_exchange(top, next, Release, Relaxed, guard) {
+            match self
+                .top
+                .compare_exchange(top, next, Release, Relaxed, guard)
+            {
                 Ok(_) => {
                     // SAFETY: winning the CAS unlinked `top`; we are the only
                     // thread that will ever read its payload. `ManuallyDrop`
                     // guarantees the node's deferred destruction will not
                     // drop the payload a second time.
-                    let data =
-                        unsafe { ManuallyDrop::into_inner(std::ptr::read(&top_ref.data)) };
+                    let data = unsafe { ManuallyDrop::into_inner(std::ptr::read(&top_ref.data)) };
                     // SAFETY: the node is unlinked; destruction is deferred
                     // until all pinned threads move on.
                     unsafe { guard.defer_destroy(top) };

@@ -50,7 +50,10 @@ impl OpStats {
 
     /// Takes a consistent-enough snapshot for reporting.
     pub fn snapshot(&self) -> StatsSnapshot {
-        StatsSnapshot { attempts: self.attempts(), retries: self.retries() }
+        StatsSnapshot {
+            attempts: self.attempts(),
+            retries: self.retries(),
+        }
     }
 
     /// Resets both counters to zero.
@@ -107,7 +110,13 @@ mod tests {
         s.attempt();
         s.retry();
         let snap = s.snapshot();
-        assert_eq!(snap, StatsSnapshot { attempts: 1, retries: 1 });
+        assert_eq!(
+            snap,
+            StatsSnapshot {
+                attempts: 1,
+                retries: 1
+            }
+        );
         assert_eq!(snap.successes(), 0);
         assert_eq!(snap.retries_per_op(), 0.0);
         s.reset();
@@ -117,7 +126,10 @@ mod tests {
 
     #[test]
     fn retries_per_op() {
-        let snap = StatsSnapshot { attempts: 30, retries: 10 };
+        let snap = StatsSnapshot {
+            attempts: 30,
+            retries: 10,
+        };
         assert!((snap.retries_per_op() - 0.5).abs() < 1e-12);
     }
 }

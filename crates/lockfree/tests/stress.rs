@@ -66,7 +66,11 @@ fn mixed_structure_stress_conserves_everything() {
                         }
                         3 => {
                             list.insert(tag);
-                            assert!(list.contains(tag) || list.remove(tag) || true);
+                            // Concurrent removers may already have won the
+                            // race, so no outcome is guaranteed — just
+                            // exercise both paths.
+                            let _ = list.contains(tag);
+                            let _ = list.remove(tag);
                             list.remove(tag);
                         }
                         _ => {
@@ -108,7 +112,10 @@ fn mixed_structure_stress_conserves_everything() {
         "every produced element was consumed exactly once or is still queued"
     );
     // Counter: every update of branch 4 landed.
-    assert_eq!(counter.load(), (THREADS as u64) * OPS_PER_THREAD.div_ceil(5));
+    assert_eq!(
+        counter.load(),
+        (THREADS as u64) * OPS_PER_THREAD.div_ceil(5)
+    );
     // List drained by its own branch.
     assert!(list.is_empty(), "leftover keys: {:?}", list.to_vec());
 }

@@ -78,7 +78,9 @@ mod tests {
     use crate::ids::TaskId;
 
     fn arrival(t: usize) -> EventKind {
-        EventKind::Arrival { task: TaskId::new(t) }
+        EventKind::Arrival {
+            task: TaskId::new(t),
+        }
     }
 
     #[test]

@@ -66,10 +66,18 @@ pub fn read_records<R: BufRead>(reader: R) -> io::Result<Vec<JobRecord>> {
         if fields.len() != 9 {
             return Err(bad(lineno, "expected 9 fields"));
         }
-        let parse_u64 =
-            |i: usize| fields[i].trim().parse::<u64>().map_err(|_| bad(lineno, "integer"));
-        let parse_usize =
-            |i: usize| fields[i].trim().parse::<usize>().map_err(|_| bad(lineno, "index"));
+        let parse_u64 = |i: usize| {
+            fields[i]
+                .trim()
+                .parse::<u64>()
+                .map_err(|_| bad(lineno, "integer"))
+        };
+        let parse_usize = |i: usize| {
+            fields[i]
+                .trim()
+                .parse::<usize>()
+                .map_err(|_| bad(lineno, "index"))
+        };
         records.push(JobRecord {
             id: JobId::new(parse_usize(0)?),
             task: TaskId::new(parse_usize(1)?),
@@ -80,7 +88,10 @@ pub fn read_records<R: BufRead>(reader: R) -> io::Result<Vec<JobRecord>> {
                 "false" => false,
                 _ => return Err(bad(lineno, "bool")),
             },
-            utility: fields[5].trim().parse::<f64>().map_err(|_| bad(lineno, "float"))?,
+            utility: fields[5]
+                .trim()
+                .parse::<f64>()
+                .map_err(|_| bad(lineno, "float"))?,
             retries: parse_u64(6)?,
             blockings: parse_u64(7)?,
             preemptions: parse_u64(8)?,

@@ -229,7 +229,12 @@ impl Engine {
         let mut calendar = Calendar::new();
         for (idx, trace) in traces.iter().enumerate() {
             for &t in trace.times() {
-                calendar.push(t, EventKind::Arrival { task: TaskId::new(idx) });
+                calendar.push(
+                    t,
+                    EventKind::Arrival {
+                        task: TaskId::new(idx),
+                    },
+                );
             }
         }
         let mut objects = ObjectTable::new(num_objects);
@@ -237,9 +242,9 @@ impl Engine {
         let metrics = SimMetrics::new(tasks.len());
         let exec_rng = match config.exec_time {
             ExecTimeModel::Nominal => None,
-            ExecTimeModel::Uniform { seed, .. } => {
-                Some(<rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed))
-            }
+            ExecTimeModel::Uniform { seed, .. } => Some(
+                <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed),
+            ),
         };
         Ok(Self {
             tasks,
@@ -338,7 +343,11 @@ impl Engine {
                 self.request_reschedule(&mut scheduler);
             }
         }
-        SimOutcome { metrics: self.metrics, records: self.records, trace: self.trace }
+        SimOutcome {
+            metrics: self.metrics,
+            records: self.records,
+            trace: self.trace,
+        }
     }
 
     #[inline]
@@ -402,7 +411,9 @@ impl Engine {
     /// Handles the running job finishing its current activity. Returns
     /// whether a scheduling event occurred.
     fn handle_activity_completion(&mut self) -> bool {
-        let id = self.running.expect("activity completion without a running job");
+        let id = self
+            .running
+            .expect("activity completion without a running job");
         let idx = id.index();
         let task_idx = self.jobs[idx].task.index();
         let segment = self.tasks[task_idx].segments()[self.jobs[idx].seg_idx];
@@ -496,8 +507,14 @@ impl Engine {
         let critical = spec.tuf().critical_time();
         let max_utility = spec.tuf().max_utility();
         let mut job = Job::new(id, task, self.now, critical);
-        if let (ExecTimeModel::Uniform { min_factor, max_factor, .. }, Some(rng)) =
-            (self.config.exec_time, self.exec_rng.as_mut())
+        if let (
+            ExecTimeModel::Uniform {
+                min_factor,
+                max_factor,
+                ..
+            },
+            Some(rng),
+        ) = (self.config.exec_time, self.exec_rng.as_mut())
         {
             job.exec_scale = rand::RngExt::random_range(rng, min_factor..=max_factor);
         }
@@ -627,7 +644,8 @@ impl Engine {
     fn request_reschedule<S: UaScheduler>(&mut self, scheduler: &mut S) {
         if self.now < self.kernel_busy_until {
             if !self.resched_queued {
-                self.calendar.push(self.kernel_busy_until, EventKind::Reschedule);
+                self.calendar
+                    .push(self.kernel_busy_until, EventKind::Reschedule);
                 self.resched_queued = true;
             }
             return;
@@ -669,9 +687,7 @@ impl Engine {
         // A context switch away from a job that is still ready (not blocked,
         // not resolved) is a preemption — the quantity Lemma 1 bounds.
         if let Some(prev) = previously_running {
-            if self.running != Some(prev)
-                && self.jobs[prev.index()].phase == JobPhase::Ready
-            {
+            if self.running != Some(prev) && self.jobs[prev.index()].phase == JobPhase::Ready {
                 self.jobs[prev.index()].preemptions += 1;
                 self.trace_event(TraceEvent::Preempted { job: prev });
             }
@@ -706,7 +722,10 @@ impl Engine {
                 }
             })
             .collect();
-        SchedulerContext { now: self.now, jobs }
+        SchedulerContext {
+            now: self.now,
+            jobs,
+        }
     }
 
     fn dispatch(&mut self) {

@@ -1,12 +1,10 @@
-use serde::{Deserialize, Serialize};
-
 use crate::ids::{JobId, ObjectId, TaskId};
 use crate::segment::Segment;
 use crate::task::SharingMode;
 use crate::{SimTime, Ticks};
 
 /// The lifecycle state of a job.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JobPhase {
     /// Eligible to run (possibly mid-segment).
     Ready,
@@ -74,12 +72,7 @@ pub struct Job {
 }
 
 impl Job {
-    pub(crate) fn new(
-        id: JobId,
-        task: TaskId,
-        arrival: SimTime,
-        critical_time: Ticks,
-    ) -> Self {
+    pub(crate) fn new(id: JobId, task: TaskId, arrival: SimTime, critical_time: Ticks) -> Self {
         Self {
             id,
             task,
@@ -127,7 +120,7 @@ impl Job {
 }
 
 /// The per-job outcome record kept by the simulator for analysis.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct JobRecord {
     /// The job's identity.
     pub id: JobId,
@@ -164,7 +157,10 @@ mod tests {
     fn segs() -> Vec<Segment> {
         vec![
             Segment::Compute(50),
-            Segment::Access { object: ObjectId::new(0), kind: AccessKind::Write },
+            Segment::Access {
+                object: ObjectId::new(0),
+                kind: AccessKind::Write,
+            },
             Segment::Compute(30),
         ]
     }
@@ -172,8 +168,14 @@ mod tests {
     #[test]
     fn remaining_exec_counts_modes() {
         let job = Job::new(JobId::new(0), TaskId::new(0), 100, 1_000);
-        assert_eq!(job.remaining_exec(&segs(), SharingMode::LockFree { access_ticks: 7 }), 87);
-        assert_eq!(job.remaining_exec(&segs(), SharingMode::LockBased { access_ticks: 20 }), 100);
+        assert_eq!(
+            job.remaining_exec(&segs(), SharingMode::LockFree { access_ticks: 7 }),
+            87
+        );
+        assert_eq!(
+            job.remaining_exec(&segs(), SharingMode::LockBased { access_ticks: 20 }),
+            100
+        );
         assert_eq!(job.remaining_exec(&segs(), SharingMode::Ideal), 80);
     }
 

@@ -96,8 +96,8 @@ pub use error::SimError;
 pub use ids::{JobId, ObjectId, TaskId};
 pub use job::{Job, JobPhase, JobRecord};
 pub use metrics::{aggregate, sojourn_percentiles, SimMetrics, SojournPercentiles, TaskMetrics};
-pub use object::ObjectTable;
 pub use mp::{DispatchPolicy, MpEngine};
+pub use object::ObjectTable;
 pub use overhead::OverheadModel;
 pub use scheduler::{Decision, JobView, SchedulerContext, UaScheduler};
 pub use segment::{AccessKind, Segment};

@@ -1,10 +1,8 @@
-use serde::{Deserialize, Serialize};
-
 use crate::job::JobRecord;
 use crate::{SimTime, Ticks};
 
 /// Aggregated outcomes for one task.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TaskMetrics {
     /// Jobs released.
     pub released: u64,
@@ -40,7 +38,7 @@ impl TaskMetrics {
 }
 
 /// Aggregated outcomes of a simulation run.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimMetrics {
     per_task: Vec<TaskMetrics>,
     /// Number of scheduler invocations.
@@ -58,7 +56,10 @@ pub struct SimMetrics {
 
 impl SimMetrics {
     pub(crate) fn new(tasks: usize) -> Self {
-        Self { per_task: vec![TaskMetrics::default(); tasks], ..Self::default() }
+        Self {
+            per_task: vec![TaskMetrics::default(); tasks],
+            ..Self::default()
+        }
     }
 
     pub(crate) fn task_mut(&mut self, task: usize) -> &mut TaskMetrics {
@@ -162,8 +163,11 @@ impl SimMetrics {
 /// assert_eq!(p.max, 1_000);
 /// ```
 pub fn sojourn_percentiles(records: &[JobRecord]) -> Option<SojournPercentiles> {
-    let mut sojourns: Vec<Ticks> =
-        records.iter().filter(|r| r.completed).map(JobRecord::sojourn).collect();
+    let mut sojourns: Vec<Ticks> = records
+        .iter()
+        .filter(|r| r.completed)
+        .map(JobRecord::sojourn)
+        .collect();
     if sojourns.is_empty() {
         return None;
     }
@@ -182,7 +186,7 @@ pub fn sojourn_percentiles(records: &[JobRecord]) -> Option<SojournPercentiles> 
 }
 
 /// Nearest-rank sojourn percentiles; see [`sojourn_percentiles`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SojournPercentiles {
     /// Median sojourn.
     pub p50: Ticks,

@@ -130,7 +130,9 @@ impl MpEngine {
         processors: usize,
     ) -> Result<Self, SimError> {
         if processors == 0 {
-            return Err(SimError::MissingField { field: "processors" });
+            return Err(SimError::MissingField {
+                field: "processors",
+            });
         }
         if tasks.len() != traces.len() {
             return Err(SimError::TraceCountMismatch {
@@ -155,7 +157,12 @@ impl MpEngine {
         let mut calendar = Calendar::new();
         for (idx, trace) in traces.iter().enumerate() {
             for &t in trace.times() {
-                calendar.push(t, EventKind::Arrival { task: TaskId::new(idx) });
+                calendar.push(
+                    t,
+                    EventKind::Arrival {
+                        task: TaskId::new(idx),
+                    },
+                );
             }
         }
         let mut objects = ObjectTable::new(num_objects);
@@ -163,9 +170,9 @@ impl MpEngine {
         let metrics = SimMetrics::new(tasks.len());
         let exec_rng = match config.exec_time_model() {
             ExecTimeModel::Nominal => None,
-            ExecTimeModel::Uniform { seed, .. } => {
-                Some(<rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed))
-            }
+            ExecTimeModel::Uniform { seed, .. } => Some(
+                <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed),
+            ),
         };
         Ok(Self {
             tasks,
@@ -199,7 +206,9 @@ impl MpEngine {
         if assignment.len() != self.tasks.len()
             || assignment.iter().any(|&cpu| cpu >= self.processors)
         {
-            return Err(SimError::MissingField { field: "partition assignment" });
+            return Err(SimError::MissingField {
+                field: "partition assignment",
+            });
         }
         self.policy = DispatchPolicy::Partitioned(assignment);
         Ok(self)
@@ -222,7 +231,9 @@ impl MpEngine {
             let mut resched = false;
             // Failure injection: crashed jobs halt forever, locks kept.
             for cpu in 0..self.processors {
-                let Some(id) = self.running[cpu] else { continue };
+                let Some(id) = self.running[cpu] else {
+                    continue;
+                };
                 let job = &self.jobs[id.index()];
                 if let Some(crash) = self.tasks[job.task.index()].crash_after() {
                     if job.executed >= crash && self.now >= self.kernel_busy_until {
@@ -267,7 +278,11 @@ impl MpEngine {
                 self.request_reschedule(&mut scheduler);
             }
         }
-        SimOutcome { metrics: self.metrics, records: self.records, trace: self.trace }
+        SimOutcome {
+            metrics: self.metrics,
+            records: self.records,
+            trace: self.trace,
+        }
     }
 
     #[inline]
@@ -280,7 +295,9 @@ impl MpEngine {
     fn next_internal(&self) -> Option<SimTime> {
         let mut earliest: Option<SimTime> = None;
         for cpu in 0..self.processors {
-            let Some(id) = self.running[cpu] else { continue };
+            let Some(id) = self.running[cpu] else {
+                continue;
+            };
             let t = if self.now < self.kernel_busy_until {
                 self.kernel_busy_until
             } else {
@@ -323,8 +340,7 @@ impl MpEngine {
         match self.running[cpu] {
             Some(id) if self.now >= self.kernel_busy_until => {
                 let job = &self.jobs[id.index()];
-                job.phase == JobPhase::Ready
-                    && job.seg_progress >= self.activity_duration(job)
+                job.phase == JobPhase::Ready && job.seg_progress >= self.activity_duration(job)
             }
             _ => false,
         }
@@ -413,13 +429,21 @@ impl MpEngine {
         let critical = spec.tuf().critical_time();
         let max_utility = spec.tuf().max_utility();
         let mut job = Job::new(id, task, self.now, critical);
-        if let (ExecTimeModel::Uniform { min_factor, max_factor, .. }, Some(rng)) =
-            (self.config.exec_time_model(), self.exec_rng.as_mut())
+        if let (
+            ExecTimeModel::Uniform {
+                min_factor,
+                max_factor,
+                ..
+            },
+            Some(rng),
+        ) = (self.config.exec_time_model(), self.exec_rng.as_mut())
         {
             job.exec_scale = rand::RngExt::random_range(rng, min_factor..=max_factor);
         }
-        self.calendar
-            .push(job.absolute_critical_time, EventKind::CriticalTimeExpiry { job: id });
+        self.calendar.push(
+            job.absolute_critical_time,
+            EventKind::CriticalTimeExpiry { job: id },
+        );
         self.jobs.push(job);
         self.live.push(id);
         self.trace_event(TraceEvent::Released { job: id, task });
@@ -537,7 +561,8 @@ impl MpEngine {
     fn request_reschedule<S: UaScheduler>(&mut self, scheduler: &mut S) {
         if self.now < self.kernel_busy_until {
             if !self.resched_queued {
-                self.calendar.push(self.kernel_busy_until, EventKind::Reschedule);
+                self.calendar
+                    .push(self.kernel_busy_until, EventKind::Reschedule);
                 self.resched_queued = true;
             }
             return;
@@ -609,7 +634,10 @@ impl MpEngine {
                 }
             })
             .collect();
-        SchedulerContext { now: self.now, jobs }
+        SchedulerContext {
+            now: self.now,
+            jobs,
+        }
     }
 
     /// Assigns runnable jobs to processors according to the dispatch
@@ -709,7 +737,9 @@ impl MpEngine {
     }
 
     fn prepare_cpu(&mut self, cpu: usize) -> bool {
-        let Some(id) = self.running[cpu] else { return false };
+        let Some(id) = self.running[cpu] else {
+            return false;
+        };
         let idx = id.index();
         let job = &self.jobs[idx];
         if job.seg_idx >= self.tasks[job.task.index()].segments().len() {

@@ -27,7 +27,12 @@ struct ObjectState {
 
 impl Default for ObjectState {
     fn default() -> Self {
-        Self { holders: Vec::new(), capacity: 1, waiters: Vec::new(), version: 0 }
+        Self {
+            holders: Vec::new(),
+            capacity: 1,
+            waiters: Vec::new(),
+            version: 0,
+        }
     }
 }
 
@@ -35,7 +40,9 @@ impl ObjectTable {
     /// Creates a table of `count` unlocked, capacity-1, version-zero
     /// objects.
     pub fn new(count: usize) -> Self {
-        Self { objects: vec![ObjectState::default(); count] }
+        Self {
+            objects: vec![ObjectState::default(); count],
+        }
     }
 
     /// Sets per-object capacities (units of the counting semaphore);

@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use crate::Ticks;
 
 /// Converts a scheduler's reported operation count into charged processor
@@ -12,7 +10,7 @@ use crate::Ticks;
 /// `ops × ticks_per_op` where `ops` is counted by the *actual* scheduler
 /// implementation, so measured overheads scale exactly as the real
 /// algorithms do.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OverheadModel {
     ticks_per_op: f64,
 }

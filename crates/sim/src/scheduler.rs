@@ -51,7 +51,10 @@ impl<'a> SchedulerContext<'a> {
 
     /// The job currently holding the lock on `object`, if any.
     pub fn holder_of(&self, object: ObjectId) -> Option<JobId> {
-        self.jobs.iter().find(|j| j.holds.contains(&object)).map(|j| j.id)
+        self.jobs
+            .iter()
+            .find(|j| j.holds.contains(&object))
+            .map(|j| j.id)
     }
 }
 

@@ -1,10 +1,8 @@
-use serde::{Deserialize, Serialize};
-
 use crate::ids::ObjectId;
 use crate::Ticks;
 
 /// How a job touches a shared object.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessKind {
     /// A read-only access. Under lock-free sharing, reads are invalidated by
     /// concurrent writes but do not themselves invalidate others.
@@ -20,7 +18,7 @@ pub enum AccessKind {
 /// objects. Access durations are determined by the simulation's
 /// [`SharingMode`](crate::SharingMode): `r` ticks for lock-based critical
 /// sections, `s` ticks per lock-free attempt, zero for the ideal discipline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Segment {
     /// Local computation for the given number of ticks (part of `u_i`).
     Compute(Ticks),
@@ -98,7 +96,10 @@ mod tests {
         assert_eq!(c.compute_ticks(), 25);
         assert_eq!(c.object(), None);
 
-        let a = Segment::Access { object: ObjectId::new(2), kind: AccessKind::Write };
+        let a = Segment::Access {
+            object: ObjectId::new(2),
+            kind: AccessKind::Write,
+        };
         assert!(a.is_access());
         assert_eq!(a.compute_ticks(), 0);
         assert_eq!(a.object(), Some(ObjectId::new(2)));

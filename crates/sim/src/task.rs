@@ -1,6 +1,5 @@
 use lfrt_tuf::Tuf;
 use lfrt_uam::Uam;
-use serde::{Deserialize, Serialize};
 
 use crate::error::SimError;
 use crate::segment::Segment;
@@ -11,7 +10,7 @@ use crate::Ticks;
 /// The access-time parameters play the roles of `r` (lock-based) and `s`
 /// (lock-free) in the paper's Theorem 3; the [`SharingMode::Ideal`] variant
 /// is the zero-cost yardstick of the paper's Figure 9.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SharingMode {
     /// Mutual exclusion: each access locks the object for `access_ticks`
     /// (= `r`). Lock and unlock requests are scheduling events; contention
@@ -61,7 +60,7 @@ impl SharingMode {
 /// max_factor]`; schedulers keep seeing the *nominal* remaining time, so
 /// their feasibility tests and PUDs can be wrong in exactly the way the
 /// paper anticipates.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum ExecTimeModel {
     /// Actual execution equals the nominal plan.
     #[default]
@@ -78,12 +77,11 @@ pub enum ExecTimeModel {
     },
 }
 
-
 /// The static description of a task: its TUF, arrival model, execution plan,
 /// and abort-handler cost.
 ///
 /// Construct with [`TaskSpec::builder`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TaskSpec {
     name: String,
     tuf: Tuf,
@@ -319,9 +317,15 @@ mod tests {
             .uam(Uam::periodic(1_000))
             .segments(vec![
                 Segment::Compute(60),
-                Segment::Access { object: ObjectId::new(0), kind: AccessKind::Write },
+                Segment::Access {
+                    object: ObjectId::new(0),
+                    kind: AccessKind::Write,
+                },
                 Segment::Compute(40),
-                Segment::Access { object: ObjectId::new(1), kind: AccessKind::Read },
+                Segment::Access {
+                    object: ObjectId::new(1),
+                    kind: AccessKind::Read,
+                },
             ])
             .build()
             .expect("valid spec")
@@ -330,7 +334,10 @@ mod tests {
     #[test]
     fn builder_requires_fields() {
         assert_eq!(
-            TaskSpec::builder("x").uam(Uam::periodic(10)).build().unwrap_err(),
+            TaskSpec::builder("x")
+                .uam(Uam::periodic(10))
+                .build()
+                .unwrap_err(),
             SimError::MissingField { field: "tuf" }
         );
         assert_eq!(
@@ -338,7 +345,11 @@ mod tests {
             SimError::MissingField { field: "uam" }
         );
         assert_eq!(
-            TaskSpec::builder("x").tuf(tuf()).uam(Uam::periodic(10)).build().unwrap_err(),
+            TaskSpec::builder("x")
+                .tuf(tuf())
+                .uam(Uam::periodic(10))
+                .build()
+                .unwrap_err(),
             SimError::EmptySegments { task: "x".into() }
         );
     }
@@ -348,8 +359,14 @@ mod tests {
         let s = spec();
         assert_eq!(s.compute_ticks(), 100);
         assert_eq!(s.access_count(), 2);
-        assert_eq!(s.nominal_exec(SharingMode::LockBased { access_ticks: 30 }), 160);
-        assert_eq!(s.nominal_exec(SharingMode::LockFree { access_ticks: 5 }), 110);
+        assert_eq!(
+            s.nominal_exec(SharingMode::LockBased { access_ticks: 30 }),
+            160
+        );
+        assert_eq!(
+            s.nominal_exec(SharingMode::LockFree { access_ticks: 5 }),
+            110
+        );
         assert_eq!(s.nominal_exec(SharingMode::Ideal), 100);
         assert!((s.approximate_load() - 0.1).abs() < 1e-12);
         assert!((s.max_utilization() - 0.1).abs() < 1e-12);
@@ -368,7 +385,10 @@ mod tests {
         let s = TaskSpec::builder("a")
             .tuf(tuf())
             .uam(Uam::periodic(100))
-            .segment(Segment::Access { object: ObjectId::new(0), kind: AccessKind::Write })
+            .segment(Segment::Access {
+                object: ObjectId::new(0),
+                kind: AccessKind::Write,
+            })
             .build();
         assert!(s.is_ok());
     }

@@ -6,13 +6,11 @@
 //! aborts — with its timestamp. Tests use the log to pin exact interleaving
 //! semantics; [`TraceLog::render_gantt`] draws an ASCII timeline for humans.
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::{JobId, ObjectId, TaskId};
 use crate::SimTime;
 
 /// Why a job was aborted.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AbortReason {
     /// The job's critical time expired (§3.5 timer abort).
     CriticalTime,
@@ -21,7 +19,7 @@ pub enum AbortReason {
 }
 
 /// One recorded transition.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TraceEvent {
     /// A job was released.
     Released {
@@ -102,7 +100,7 @@ pub enum TraceEvent {
 }
 
 /// A timestamped [`TraceEvent`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceRecord {
     /// When the transition happened.
     pub at: SimTime,
@@ -111,7 +109,7 @@ pub struct TraceRecord {
 }
 
 /// The recorded transitions of a simulation run.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TraceLog {
     records: Vec<TraceRecord>,
 }
@@ -142,7 +140,11 @@ impl TraceLog {
 
     /// Records matching a predicate on the event.
     pub fn filter<F: Fn(&TraceEvent) -> bool>(&self, pred: F) -> Vec<TraceRecord> {
-        self.records.iter().copied().filter(|r| pred(&r.event)).collect()
+        self.records
+            .iter()
+            .copied()
+            .filter(|r| pred(&r.event))
+            .collect()
     }
 
     /// Reconstructs the processor's running intervals
@@ -227,14 +229,24 @@ impl TraceLog {
         if intervals.is_empty() || width == 0 {
             return String::from("(no execution recorded)\n");
         }
-        let start = intervals.iter().map(|&(_, s, _)| s).min().expect("non-empty");
-        let end = intervals.iter().map(|&(_, _, e)| e).max().expect("non-empty");
+        let start = intervals
+            .iter()
+            .map(|&(_, s, _)| s)
+            .min()
+            .expect("non-empty");
+        let end = intervals
+            .iter()
+            .map(|&(_, _, e)| e)
+            .max()
+            .expect("non-empty");
         let span = (end - start).max(1);
         let mut jobs: Vec<JobId> = intervals.iter().map(|&(j, _, _)| j).collect();
         jobs.sort_unstable();
         jobs.dedup();
         let mut out = String::new();
-        out.push_str(&format!("time {start}..{end} ({span} ticks, {width} cols)\n"));
+        out.push_str(&format!(
+            "time {start}..{end} ({span} ticks, {width} cols)\n"
+        ));
         for job in jobs {
             let mut row = vec![b' '; width];
             for &(j, s, e) in &intervals {
@@ -271,9 +283,21 @@ mod tests {
         log.push(0, TraceEvent::Dispatched { job: j(0) });
         log.push(50, TraceEvent::Preempted { job: j(0) });
         log.push(50, TraceEvent::Dispatched { job: j(1) });
-        log.push(80, TraceEvent::Completed { job: j(1), utility: 1.0 });
+        log.push(
+            80,
+            TraceEvent::Completed {
+                job: j(1),
+                utility: 1.0,
+            },
+        );
         log.push(80, TraceEvent::Dispatched { job: j(0) });
-        log.push(120, TraceEvent::Completed { job: j(0), utility: 1.0 });
+        log.push(
+            120,
+            TraceEvent::Completed {
+                job: j(0),
+                utility: 1.0,
+            },
+        );
         assert_eq!(
             log.running_intervals(),
             vec![(j(0), 0, 50), (j(1), 50, 80), (j(0), 80, 120)]
@@ -285,7 +309,13 @@ mod tests {
         let mut log = TraceLog::new();
         log.push(0, TraceEvent::Dispatched { job: j(0) });
         log.push(30, TraceEvent::Dispatched { job: j(0) });
-        log.push(60, TraceEvent::Completed { job: j(0), utility: 0.0 });
+        log.push(
+            60,
+            TraceEvent::Completed {
+                job: j(0),
+                utility: 0.0,
+            },
+        );
         assert_eq!(log.running_intervals(), vec![(j(0), 0, 60)]);
     }
 
@@ -295,7 +325,13 @@ mod tests {
         log.push(0, TraceEvent::Dispatched { job: j(0) });
         log.push(50, TraceEvent::Preempted { job: j(0) });
         log.push(50, TraceEvent::Dispatched { job: j(1) });
-        log.push(100, TraceEvent::Completed { job: j(1), utility: 1.0 });
+        log.push(
+            100,
+            TraceEvent::Completed {
+                job: j(1),
+                utility: 1.0,
+            },
+        );
         let chart = log.render_gantt(20);
         assert!(chart.contains("J0"));
         assert!(chart.contains("J1"));
@@ -312,8 +348,20 @@ mod tests {
     #[test]
     fn filter_selects_events() {
         let mut log = TraceLog::new();
-        log.push(0, TraceEvent::Released { job: j(0), task: TaskId::new(0) });
-        log.push(1, TraceEvent::Retried { job: j(0), object: ObjectId::new(0) });
+        log.push(
+            0,
+            TraceEvent::Released {
+                job: j(0),
+                task: TaskId::new(0),
+            },
+        );
+        log.push(
+            1,
+            TraceEvent::Retried {
+                job: j(0),
+                object: ObjectId::new(0),
+            },
+        );
         let retries = log.filter(|e| matches!(e, TraceEvent::Retried { .. }));
         assert_eq!(retries.len(), 1);
         assert_eq!(retries[0].at, 1);

@@ -13,7 +13,6 @@ use lfrt_uam::{
 };
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 use crate::error::SimError;
 use crate::ids::ObjectId;
@@ -22,7 +21,7 @@ use crate::task::TaskSpec;
 use crate::Ticks;
 
 /// The TUF shape mix of a workload (the paper's §6.2 classes).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TufClass {
     /// Homogeneous: every task has a downward step TUF.
     Step,
@@ -32,7 +31,7 @@ pub enum TufClass {
 }
 
 /// How arrivals are generated for each task.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ArrivalStyle {
     /// Strictly periodic (`⟨1, 1, W⟩`).
     Periodic,
@@ -47,7 +46,7 @@ pub enum ArrivalStyle {
 }
 
 /// A reproducible recipe for a task set plus arrival traces.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadSpec {
     /// Number of tasks `N`.
     pub num_tasks: usize,
@@ -129,10 +128,14 @@ impl WorkloadSpec {
             return Err(SimError::MissingField { field: "num_tasks" });
         }
         if self.target_load <= 0.0 || self.target_load.is_nan() {
-            return Err(SimError::MissingField { field: "target_load" });
+            return Err(SimError::MissingField {
+                field: "target_load",
+            });
         }
         if self.window_range.0 == 0 || self.window_range.1 < self.window_range.0 {
-            return Err(SimError::MissingField { field: "window_range" });
+            return Err(SimError::MissingField {
+                field: "window_range",
+            });
         }
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut tasks = Vec::with_capacity(self.num_tasks);
@@ -184,9 +187,7 @@ impl WorkloadSpec {
                         .with_intensity(intensity)
                         .generate(self.horizon)
                 }
-                ArrivalStyle::BackToBackBurst => {
-                    BackToBackBurst::new(uam).generate(self.horizon)
-                }
+                ArrivalStyle::BackToBackBurst => BackToBackBurst::new(uam).generate(self.horizon),
             };
             traces.push(trace);
         }
@@ -289,7 +290,10 @@ mod tests {
             .iter()
             .filter(|t| !matches!(t.tuf().shape(), lfrt_tuf::TufShape::Step { .. }))
             .count();
-        assert!(non_step >= 6, "expected parabolic and linear TUFs in the mix");
+        assert!(
+            non_step >= 6,
+            "expected parabolic and linear TUFs in the mix"
+        );
     }
 
     #[test]
@@ -314,13 +318,22 @@ mod tests {
         for t in &tasks {
             for seg in t.segments() {
                 match seg {
-                    Segment::Access { kind: AccessKind::Read, .. } => reads += 1,
-                    Segment::Access { kind: AccessKind::Write, .. } => writes += 1,
+                    Segment::Access {
+                        kind: AccessKind::Read,
+                        ..
+                    } => reads += 1,
+                    Segment::Access {
+                        kind: AccessKind::Write,
+                        ..
+                    } => writes += 1,
                     _ => {}
                 }
             }
         }
-        assert!(reads > 0 && writes > 0, "both kinds present: {reads} reads, {writes} writes");
+        assert!(
+            reads > 0 && writes > 0,
+            "both kinds present: {reads} reads, {writes} writes"
+        );
     }
 
     #[test]
@@ -328,10 +341,13 @@ mod tests {
         let mut spec = WorkloadSpec::paper_baseline(1);
         spec.read_fraction = 1.0;
         let (tasks, _) = spec.build().expect("valid spec");
-        assert!(tasks.iter().all(|t| t
-            .segments()
-            .iter()
-            .all(|s| !matches!(s, Segment::Access { kind: AccessKind::Write, .. }))));
+        assert!(tasks.iter().all(|t| t.segments().iter().all(|s| !matches!(
+            s,
+            Segment::Access {
+                kind: AccessKind::Write,
+                ..
+            }
+        ))));
     }
 
     #[test]

@@ -3,8 +3,8 @@
 //! consistency by releasing held locks.
 
 use lfrt_sim::{
-    Decision, Engine, JobId, ObjectId, SchedulerContext, Segment, SharingMode, SimConfig,
-    TaskSpec, UaScheduler,
+    Decision, Engine, JobId, ObjectId, SchedulerContext, Segment, SharingMode, SimConfig, TaskSpec,
+    UaScheduler,
 };
 use lfrt_tuf::Tuf;
 use lfrt_uam::{ArrivalTrace, Uam};
@@ -22,7 +22,11 @@ impl UaScheduler for Edf {
             let j = ctx.job(id).expect("listed job");
             (j.absolute_critical_time, id)
         });
-        Decision { order, ops: 1, ..Decision::default() }
+        Decision {
+            order,
+            ops: 1,
+            ..Decision::default()
+        }
     }
 }
 
@@ -50,14 +54,25 @@ fn handler_time_delays_the_next_job() {
     )
     .expect("valid engine")
     .run(Edf);
-    let doomed_rec = outcome.records.iter().find(|r| r.task.index() == 0).expect("ran");
+    let doomed_rec = outcome
+        .records
+        .iter()
+        .find(|r| r.task.index() == 0)
+        .expect("ran");
     assert!(!doomed_rec.completed);
     assert_eq!(doomed_rec.resolved_at, 500);
-    let next_rec = outcome.records.iter().find(|r| r.task.index() == 1).expect("ran");
+    let next_rec = outcome
+        .records
+        .iter()
+        .find(|r| r.task.index() == 1)
+        .expect("ran");
     // "next" arrives at 490 but "doomed" has the earlier critical time and
     // keeps the CPU; the abort at 500 is followed by the 300-tick handler,
     // so "next" runs 800..900.
-    assert_eq!(next_rec.resolved_at, 900, "the handler's 300 ticks must be charged");
+    assert_eq!(
+        next_rec.resolved_at, 900,
+        "the handler's 300 ticks must be charged"
+    );
 }
 
 #[test]
@@ -81,7 +96,11 @@ fn zero_handler_time_costs_nothing() {
     )
     .expect("valid engine")
     .run(Edf);
-    let next_rec = outcome.records.iter().find(|r| r.task.index() == 1).expect("ran");
+    let next_rec = outcome
+        .records
+        .iter()
+        .find(|r| r.task.index() == 1)
+        .expect("ran");
     // Without a handler, "next" starts right at the abort: 500..600.
     assert_eq!(next_rec.resolved_at, 600);
 }
@@ -114,12 +133,18 @@ fn handler_releases_lock_before_waiter_resumes() {
     let outcome = lfrt_sim::mp::MpEngine::new(
         vec![holder, waiter],
         vec![ArrivalTrace::new(vec![0]), ArrivalTrace::new(vec![10])],
-        SimConfig::new(SharingMode::LockBased { access_ticks: 1_000 }),
+        SimConfig::new(SharingMode::LockBased {
+            access_ticks: 1_000,
+        }),
         2,
     )
     .expect("valid engine")
     .run(Edf);
-    let waiter_rec = outcome.records.iter().find(|r| r.task.index() == 1).expect("ran");
+    let waiter_rec = outcome
+        .records
+        .iter()
+        .find(|r| r.task.index() == 1)
+        .expect("ran");
     assert!(waiter_rec.completed);
     // Abort at 500 + 200 handler + 1000 critical section = 1700.
     assert_eq!(waiter_rec.resolved_at, 1_700);

@@ -22,12 +22,19 @@ impl UaScheduler for Edf {
             let j = ctx.job(id).expect("listed job");
             (j.absolute_critical_time, id)
         });
-        Decision { order, ops: 1, ..Decision::default() }
+        Decision {
+            order,
+            ops: 1,
+            ..Decision::default()
+        }
     }
 }
 
 fn access(object: usize) -> Segment {
-    Segment::Access { object: ObjectId::new(object), kind: AccessKind::Write }
+    Segment::Access {
+        object: ObjectId::new(object),
+        kind: AccessKind::Write,
+    }
 }
 
 /// A holder that crashes mid-critical-section, plus a stream of jobs that
@@ -60,11 +67,17 @@ fn scenario(sharing: SharingMode) -> lfrt_sim::SimOutcome {
 
 #[test]
 fn crashed_lock_holder_starves_every_blocker() {
-    let outcome = scenario(SharingMode::LockBased { access_ticks: 1_000 });
+    let outcome = scenario(SharingMode::LockBased {
+        access_ticks: 1_000,
+    });
     assert_eq!(outcome.metrics.crashed(), 1, "the holder crashed");
     // Every stream job blocks on the dead holder's lock and dies at its own
     // critical time: indefinite starvation.
-    let stream: Vec<_> = outcome.records.iter().filter(|r| r.task.index() == 1).collect();
+    let stream: Vec<_> = outcome
+        .records
+        .iter()
+        .filter(|r| r.task.index() == 1)
+        .collect();
     assert_eq!(stream.len(), 10);
     assert!(
         stream.iter().all(|r| !r.completed),
@@ -76,9 +89,15 @@ fn crashed_lock_holder_starves_every_blocker() {
 
 #[test]
 fn lock_free_sharing_is_immune_to_the_crash() {
-    let outcome = scenario(SharingMode::LockFree { access_ticks: 1_000 });
+    let outcome = scenario(SharingMode::LockFree {
+        access_ticks: 1_000,
+    });
     assert_eq!(outcome.metrics.crashed(), 1, "the holder still crashes");
-    let stream: Vec<_> = outcome.records.iter().filter(|r| r.task.index() == 1).collect();
+    let stream: Vec<_> = outcome
+        .records
+        .iter()
+        .filter(|r| r.task.index() == 1)
+        .collect();
     assert_eq!(stream.len(), 10);
     assert!(
         stream.iter().all(|r| r.completed),
@@ -134,7 +153,11 @@ fn crash_only_counts_executed_time_not_wall_time() {
     )
     .expect("valid engine")
     .run(Edf);
-    let crash = outcome.records.iter().find(|r| r.task.index() == 0).expect("crashed");
+    let crash = outcome
+        .records
+        .iter()
+        .find(|r| r.task.index() == 0)
+        .expect("crashed");
     // 100 executed + 300 preempted + 400 more executed = crash at t = 800.
     assert_eq!(crash.resolved_at, 800);
 }

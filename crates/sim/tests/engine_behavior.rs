@@ -23,7 +23,11 @@ impl UaScheduler for Edf {
             let j = ctx.job(id).expect("listed job");
             (j.absolute_critical_time, id)
         });
-        Decision { order, ops: ctx.jobs.len() as u64, ..Decision::default() }
+        Decision {
+            order,
+            ops: ctx.jobs.len() as u64,
+            ..Decision::default()
+        }
     }
 }
 
@@ -37,17 +41,15 @@ impl UaScheduler for Lazy {
     }
 
     fn schedule(&mut self, _ctx: &SchedulerContext<'_>) -> Decision {
-        Decision { order: Vec::new(), ops: 1, ..Decision::default() }
+        Decision {
+            order: Vec::new(),
+            ops: 1,
+            ..Decision::default()
+        }
     }
 }
 
-fn task(
-    name: &str,
-    utility: f64,
-    critical: u64,
-    window: u64,
-    segments: Vec<Segment>,
-) -> TaskSpec {
+fn task(name: &str, utility: f64, critical: u64, window: u64, segments: Vec<Segment>) -> TaskSpec {
     TaskSpec::builder(name)
         .tuf(Tuf::step(utility, critical).expect("valid tuf"))
         .uam(Uam::periodic(window))
@@ -57,7 +59,10 @@ fn task(
 }
 
 fn access(object: usize) -> Segment {
-    Segment::Access { object: ObjectId::new(object), kind: AccessKind::Write }
+    Segment::Access {
+        object: ObjectId::new(object),
+        kind: AccessKind::Write,
+    }
 }
 
 fn run(
@@ -73,7 +78,11 @@ fn run(
 #[test]
 fn single_job_completes_with_full_utility() {
     let t = task("a", 5.0, 1_000, 10_000, vec![Segment::Compute(100)]);
-    let out = run(vec![t], vec![ArrivalTrace::new(vec![0])], SharingMode::Ideal);
+    let out = run(
+        vec![t],
+        vec![ArrivalTrace::new(vec![0])],
+        SharingMode::Ideal,
+    );
     assert_eq!(out.metrics.completed(), 1);
     assert_eq!(out.metrics.aborted(), 0);
     let rec = &out.records[0];
@@ -87,7 +96,11 @@ fn single_job_completes_with_full_utility() {
 fn infeasible_job_aborts_at_critical_time() {
     // 500 ticks of work but the critical time is 200.
     let t = task("a", 5.0, 200, 10_000, vec![Segment::Compute(500)]);
-    let out = run(vec![t], vec![ArrivalTrace::new(vec![0])], SharingMode::Ideal);
+    let out = run(
+        vec![t],
+        vec![ArrivalTrace::new(vec![0])],
+        SharingMode::Ideal,
+    );
     assert_eq!(out.metrics.completed(), 0);
     assert_eq!(out.metrics.aborted(), 1);
     let rec = &out.records[0];
@@ -109,10 +122,18 @@ fn earlier_deadline_arrival_preempts() {
         SharingMode::Ideal,
     );
     assert_eq!(out.metrics.completed(), 2);
-    let short_rec = out.records.iter().find(|r| r.task.index() == 1).expect("short ran");
+    let short_rec = out
+        .records
+        .iter()
+        .find(|r| r.task.index() == 1)
+        .expect("short ran");
     // Dispatched at 100, runs 200 ticks uninterrupted.
     assert_eq!(short_rec.resolved_at, 300);
-    let long_rec = out.records.iter().find(|r| r.task.index() == 0).expect("long ran");
+    let long_rec = out
+        .records
+        .iter()
+        .find(|r| r.task.index() == 0)
+        .expect("long ran");
     // 100 ticks before preemption + 200 preempted + 900 after.
     assert_eq!(long_rec.resolved_at, 1_200);
 }
@@ -135,11 +156,19 @@ fn lock_based_contention_blocks_and_serializes() {
     );
     assert_eq!(out.metrics.completed(), 2);
     assert_eq!(out.metrics.blockings(), 1, "contender blocked exactly once");
-    let holder_rec = out.records.iter().find(|r| r.task.index() == 0).expect("holder");
+    let holder_rec = out
+        .records
+        .iter()
+        .find(|r| r.task.index() == 0)
+        .expect("holder");
     // Holder: 10 compute + 100 critical section, never preempted mid-CS
     // because the contender blocks.
     assert_eq!(holder_rec.resolved_at, 110);
-    let contender_rec = out.records.iter().find(|r| r.task.index() == 1).expect("contender");
+    let contender_rec = out
+        .records
+        .iter()
+        .find(|r| r.task.index() == 1)
+        .expect("contender");
     // Arrives 50, blocks until 110, then 100 ticks of critical section.
     assert_eq!(contender_rec.resolved_at, 210);
     assert_eq!(contender_rec.blockings, 1);
@@ -166,20 +195,34 @@ fn lock_free_interference_causes_exactly_one_retry() {
     );
     assert_eq!(out.metrics.completed(), 2);
     assert_eq!(out.metrics.blockings(), 0, "lock-free never blocks");
-    let victim_rec = out.records.iter().find(|r| r.task.index() == 0).expect("victim");
+    let victim_rec = out
+        .records
+        .iter()
+        .find(|r| r.task.index() == 0)
+        .expect("victim");
     assert_eq!(victim_rec.retries, 1, "one interference, one retry");
     // Timeline: 10 compute, 40 of first attempt, preempted 100 (interferer's
     // attempt commits at 150), resumes and finishes the doomed attempt at
     // 210, retries: full 100 again -> 310.
     assert_eq!(victim_rec.resolved_at, 310);
-    let interferer_rec = out.records.iter().find(|r| r.task.index() == 1).expect("interferer");
+    let interferer_rec = out
+        .records
+        .iter()
+        .find(|r| r.task.index() == 1)
+        .expect("interferer");
     assert_eq!(interferer_rec.retries, 0);
     assert_eq!(interferer_rec.resolved_at, 150);
 }
 
 #[test]
 fn uninterfered_lock_free_access_never_retries() {
-    let t = task("a", 1.0, 10_000, 100_000, vec![access(0), access(1), access(0)]);
+    let t = task(
+        "a",
+        1.0,
+        10_000,
+        100_000,
+        vec![access(0), access(1), access(0)],
+    );
     let out = run(
         vec![t],
         vec![ArrivalTrace::new(vec![0, 10_000, 20_000])],
@@ -198,17 +241,29 @@ fn ideal_mode_costs_nothing_per_access() {
         100_000,
         vec![Segment::Compute(100), access(0), access(1), access(2)],
     );
-    let out = run(vec![t], vec![ArrivalTrace::new(vec![0])], SharingMode::Ideal);
-    assert_eq!(out.records[0].sojourn(), 100, "accesses are free under Ideal");
+    let out = run(
+        vec![t],
+        vec![ArrivalTrace::new(vec![0])],
+        SharingMode::Ideal,
+    );
+    assert_eq!(
+        out.records[0].sojourn(),
+        100,
+        "accesses are free under Ideal"
+    );
 }
 
 #[test]
 fn scheduler_overhead_is_charged_and_delays_completion() {
     let t = task("a", 1.0, 10_000, 100_000, vec![Segment::Compute(100)]);
     let traces = vec![ArrivalTrace::new(vec![0])];
-    let no_overhead = Engine::new(vec![t.clone()], traces.clone(), SimConfig::new(SharingMode::Ideal))
-        .expect("valid engine")
-        .run(Edf);
+    let no_overhead = Engine::new(
+        vec![t.clone()],
+        traces.clone(),
+        SimConfig::new(SharingMode::Ideal),
+    )
+    .expect("valid engine")
+    .run(Edf);
     let with_overhead = Engine::new(
         vec![t],
         traces,
@@ -233,13 +288,26 @@ fn abort_releases_lock_and_wakes_waiter() {
     let out = run(
         vec![holder, waiter],
         vec![ArrivalTrace::new(vec![0]), ArrivalTrace::new(vec![10])],
-        SharingMode::LockBased { access_ticks: 1_000 },
+        SharingMode::LockBased {
+            access_ticks: 1_000,
+        },
     );
-    let holder_rec = out.records.iter().find(|r| r.task.index() == 0).expect("holder");
+    let holder_rec = out
+        .records
+        .iter()
+        .find(|r| r.task.index() == 0)
+        .expect("holder");
     assert!(!holder_rec.completed);
     assert_eq!(holder_rec.resolved_at, 500);
-    let waiter_rec = out.records.iter().find(|r| r.task.index() == 1).expect("waiter");
-    assert!(waiter_rec.completed, "waiter must acquire the lock after the abort");
+    let waiter_rec = out
+        .records
+        .iter()
+        .find(|r| r.task.index() == 1)
+        .expect("waiter");
+    assert!(
+        waiter_rec.completed,
+        "waiter must acquire the lock after the abort"
+    );
     // Woken at 500, runs its 1000-tick critical section.
     assert_eq!(waiter_rec.resolved_at, 1_500);
 }
@@ -254,7 +322,11 @@ fn empty_schedule_falls_back_to_work_conserving_dispatch() {
     )
     .expect("valid engine")
     .run(Lazy);
-    assert_eq!(out.metrics.completed(), 1, "fallback must keep the CPU busy");
+    assert_eq!(
+        out.metrics.completed(),
+        1,
+        "fallback must keep the CPU busy"
+    );
 }
 
 #[test]
@@ -312,14 +384,21 @@ fn trace_count_mismatch_rejected() {
     let err = Engine::new(vec![t], vec![], SimConfig::new(SharingMode::Ideal)).unwrap_err();
     assert_eq!(
         err,
-        lfrt_sim::SimError::TraceCountMismatch { tasks: 1, traces: 0 }
+        lfrt_sim::SimError::TraceCountMismatch {
+            tasks: 1,
+            traces: 0
+        }
     );
 }
 
 #[test]
 fn utilization_counts_only_job_execution() {
     let t = task("a", 1.0, 10_000, 100_000, vec![Segment::Compute(400)]);
-    let out = run(vec![t], vec![ArrivalTrace::new(vec![0, 1_000])], SharingMode::Ideal);
+    let out = run(
+        vec![t],
+        vec![ArrivalTrace::new(vec![0, 1_000])],
+        SharingMode::Ideal,
+    );
     // Two jobs of 400 ticks each; the makespan extends to the last (stale)
     // critical-time timer, so utilization is busy/makespan.
     assert_eq!(out.metrics.busy_ticks, 800);

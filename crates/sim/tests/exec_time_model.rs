@@ -23,7 +23,11 @@ impl UaScheduler for Edf {
             let j = ctx.job(id).expect("listed job");
             (j.absolute_critical_time, id)
         });
-        Decision { order, ops: 1, ..Decision::default() }
+        Decision {
+            order,
+            ops: 1,
+            ..Decision::default()
+        }
     }
 }
 
@@ -36,7 +40,12 @@ fn task(critical: u64, compute: u64) -> TaskSpec {
         .expect("valid task")
 }
 
-fn run(critical: u64, compute: u64, arrivals: Vec<u64>, model: ExecTimeModel) -> lfrt_sim::SimOutcome {
+fn run(
+    critical: u64,
+    compute: u64,
+    arrivals: Vec<u64>,
+    model: ExecTimeModel,
+) -> lfrt_sim::SimOutcome {
     Engine::new(
         vec![task(critical, compute)],
         vec![ArrivalTrace::new(arrivals)],
@@ -53,7 +62,11 @@ fn unit_factor_matches_nominal_exactly() {
         1_000,
         100,
         vec![0, 1_000, 2_000],
-        ExecTimeModel::Uniform { min_factor: 1.0, max_factor: 1.0, seed: 9 },
+        ExecTimeModel::Uniform {
+            min_factor: 1.0,
+            max_factor: 1.0,
+            seed: 9,
+        },
     );
     assert_eq!(nominal.records, unit.records);
 }
@@ -65,11 +78,18 @@ fn overruns_break_nominally_feasible_jobs() {
         1_000,
         600,
         vec![0],
-        ExecTimeModel::Uniform { min_factor: 2.0, max_factor: 2.0, seed: 1 },
+        ExecTimeModel::Uniform {
+            min_factor: 2.0,
+            max_factor: 2.0,
+            seed: 1,
+        },
     );
     assert_eq!(doomed.metrics.completed(), 0);
     assert_eq!(doomed.metrics.aborted(), 1);
-    assert_eq!(doomed.records[0].resolved_at, 1_000, "abort at the critical time");
+    assert_eq!(
+        doomed.records[0].resolved_at, 1_000,
+        "abort at the critical time"
+    );
 }
 
 #[test]
@@ -78,7 +98,11 @@ fn underruns_shorten_sojourns() {
         1_000,
         600,
         vec![0],
-        ExecTimeModel::Uniform { min_factor: 0.5, max_factor: 0.5, seed: 1 },
+        ExecTimeModel::Uniform {
+            min_factor: 0.5,
+            max_factor: 0.5,
+            seed: 1,
+        },
     );
     assert_eq!(fast.metrics.completed(), 1);
     assert_eq!(fast.records[0].sojourn(), 300);
@@ -86,17 +110,27 @@ fn underruns_shorten_sojourns() {
 
 #[test]
 fn jitter_is_deterministic_per_seed_and_varies_across_jobs() {
-    let model = ExecTimeModel::Uniform { min_factor: 0.5, max_factor: 1.5, seed: 33 };
+    let model = ExecTimeModel::Uniform {
+        min_factor: 0.5,
+        max_factor: 1.5,
+        seed: 33,
+    };
     let arrivals: Vec<u64> = (0..20).map(|k| k * 10_000).collect();
     let a = run(9_000, 1_000, arrivals.clone(), model);
     let b = run(9_000, 1_000, arrivals, model);
     assert_eq!(a.records, b.records);
     // Sojourns differ across jobs (different draws).
     let sojourns: Vec<u64> = a.records.iter().map(|r| r.sojourn()).collect();
-    assert!(sojourns.iter().any(|&s| s != sojourns[0]), "jitter must vary: {sojourns:?}");
+    assert!(
+        sojourns.iter().any(|&s| s != sojourns[0]),
+        "jitter must vary: {sojourns:?}"
+    );
     // All within the configured envelope.
     for &s in &sojourns {
-        assert!((500..=1_500).contains(&s), "sojourn {s} outside the 0.5–1.5 envelope");
+        assert!(
+            (500..=1_500).contains(&s),
+            "sojourn {s} outside the 0.5–1.5 envelope"
+        );
     }
 }
 
@@ -107,13 +141,21 @@ fn different_seeds_draw_different_scales() {
         9_000,
         1_000,
         arrivals.clone(),
-        ExecTimeModel::Uniform { min_factor: 0.5, max_factor: 1.5, seed: 1 },
+        ExecTimeModel::Uniform {
+            min_factor: 0.5,
+            max_factor: 1.5,
+            seed: 1,
+        },
     );
     let b = run(
         9_000,
         1_000,
         arrivals,
-        ExecTimeModel::Uniform { min_factor: 0.5, max_factor: 1.5, seed: 2 },
+        ExecTimeModel::Uniform {
+            min_factor: 0.5,
+            max_factor: 1.5,
+            seed: 2,
+        },
     );
     assert_ne!(a.records, b.records);
 }

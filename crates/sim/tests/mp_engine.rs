@@ -24,7 +24,11 @@ impl UaScheduler for Edf {
             let j = ctx.job(id).expect("listed job");
             (j.absolute_critical_time, id)
         });
-        Decision { order, ops: 1, ..Decision::default() }
+        Decision {
+            order,
+            ops: 1,
+            ..Decision::default()
+        }
     }
 }
 
@@ -38,7 +42,10 @@ fn task(name: &str, critical: u64, segments: Vec<Segment>) -> TaskSpec {
 }
 
 fn access(object: usize) -> Segment {
-    Segment::Access { object: ObjectId::new(object), kind: AccessKind::Write }
+    Segment::Access {
+        object: ObjectId::new(object),
+        kind: AccessKind::Write,
+    }
 }
 
 #[test]
@@ -69,7 +76,10 @@ fn single_cpu_mp_matches_uniprocessor_engine() {
                 task("a", 10_000, vec![Segment::Compute(700), access(0)]),
                 task("b", 4_000, vec![access(0), Segment::Compute(300)]),
             ],
-            vec![ArrivalTrace::new(vec![0, 10_000]), ArrivalTrace::new(vec![100])],
+            vec![
+                ArrivalTrace::new(vec![0, 10_000]),
+                ArrivalTrace::new(vec![100]),
+            ],
         )
     };
     let (tasks, traces) = mk();
@@ -89,7 +99,10 @@ fn single_cpu_mp_matches_uniprocessor_engine() {
     )
     .expect("valid engine")
     .run(Edf);
-    assert_eq!(uni.records, mp.records, "m = 1 must degenerate to the uniprocessor engine");
+    assert_eq!(
+        uni.records, mp.records,
+        "m = 1 must degenerate to the uniprocessor engine"
+    );
 }
 
 #[test]
@@ -109,9 +122,22 @@ fn concurrent_lock_free_access_interferes_without_preemption() {
     .expect("valid engine")
     .run(Edf);
     assert_eq!(outcome.metrics.completed(), 2);
-    assert_eq!(outcome.metrics.preemptions(), 0, "nobody was ever descheduled");
-    assert_eq!(outcome.metrics.retries(), 1, "exactly one attempt loses the race");
-    let latest = outcome.records.iter().map(|r| r.resolved_at).max().expect("ran");
+    assert_eq!(
+        outcome.metrics.preemptions(),
+        0,
+        "nobody was ever descheduled"
+    );
+    assert_eq!(
+        outcome.metrics.retries(),
+        1,
+        "exactly one attempt loses the race"
+    );
+    let latest = outcome
+        .records
+        .iter()
+        .map(|r| r.resolved_at)
+        .max()
+        .expect("ran");
     assert_eq!(latest, 1_000, "loser retries once: 500 wasted + 500 clean");
 }
 
@@ -129,7 +155,11 @@ fn lock_based_blocks_across_cpus() {
     .run(Edf);
     assert_eq!(outcome.metrics.completed(), 2);
     assert_eq!(outcome.metrics.blockings(), 1);
-    let waiter_rec = outcome.records.iter().find(|r| r.task.index() == 1).expect("ran");
+    let waiter_rec = outcome
+        .records
+        .iter()
+        .find(|r| r.task.index() == 1)
+        .expect("ran");
     // Waits for the holder's 400-tick critical section, then runs its own.
     assert_eq!(waiter_rec.resolved_at, 800);
 }
@@ -210,7 +240,12 @@ fn partitioned_dispatch_pins_tasks_to_their_cpu() {
         .run(Edf);
     assert_eq!(outcome.metrics.completed(), 3);
     let done = |t: usize| {
-        outcome.records.iter().find(|r| r.task.index() == t).expect("ran").resolved_at
+        outcome
+            .records
+            .iter()
+            .find(|r| r.task.index() == t)
+            .expect("ran")
+            .resolved_at
     };
     assert_eq!(done(0), 500);
     assert_eq!(done(1), 1_000);
@@ -235,7 +270,12 @@ fn global_beats_partitioned_on_imbalanced_load() {
     let outcome = MpEngine::new(tasks, traces, SimConfig::new(SharingMode::Ideal), 2)
         .expect("valid engine")
         .run(Edf);
-    let makespan = outcome.records.iter().map(|r| r.resolved_at).max().expect("ran");
+    let makespan = outcome
+        .records
+        .iter()
+        .map(|r| r.resolved_at)
+        .max()
+        .expect("ran");
     assert_eq!(makespan, 1_500, "global dispatch fills the idle CPU");
 }
 
@@ -249,7 +289,10 @@ fn bad_partition_assignments_rejected() {
         2,
     )
     .expect("valid engine");
-    assert!(engine.with_partitioning(vec![5]).is_err(), "cpu out of range");
+    assert!(
+        engine.with_partitioning(vec![5]).is_err(),
+        "cpu out of range"
+    );
     let engine = MpEngine::new(
         vec![t],
         vec![ArrivalTrace::new(vec![0])],
@@ -257,7 +300,10 @@ fn bad_partition_assignments_rejected() {
         2,
     )
     .expect("valid engine");
-    assert!(engine.with_partitioning(vec![0, 1]).is_err(), "wrong length");
+    assert!(
+        engine.with_partitioning(vec![0, 1]).is_err(),
+        "wrong length"
+    );
 }
 
 #[test]
@@ -281,9 +327,17 @@ fn crash_injection_works_on_multiprocessors() {
     .run(Edf);
     assert_eq!(outcome.metrics.crashed(), 1);
     assert_eq!(outcome.metrics.completed(), 1);
-    let crash = outcome.records.iter().find(|r| r.task.index() == 0).expect("crashed");
+    let crash = outcome
+        .records
+        .iter()
+        .find(|r| r.task.index() == 0)
+        .expect("crashed");
     assert_eq!(crash.resolved_at, 700);
-    let peer_rec = outcome.records.iter().find(|r| r.task.index() == 1).expect("ran");
+    let peer_rec = outcome
+        .records
+        .iter()
+        .find(|r| r.task.index() == 1)
+        .expect("ran");
     assert_eq!(peer_rec.resolved_at, 2_000, "the peer is unaffected");
 }
 
@@ -303,9 +357,10 @@ fn partitioning_by_object_eliminates_cross_cpu_blocking() {
             .expect("valid task")
     };
     let tasks = vec![mk("a0", 0), mk("a1", 0), mk("b0", 1), mk("b1", 1)];
-    let traces: Vec<ArrivalTrace> =
-        (0..4).map(|_| ArrivalTrace::new(vec![0])).collect();
-    let sharing = SharingMode::LockBased { access_ticks: 1_000 };
+    let traces: Vec<ArrivalTrace> = (0..4).map(|_| ArrivalTrace::new(vec![0])).collect();
+    let sharing = SharingMode::LockBased {
+        access_ticks: 1_000,
+    };
 
     let global = MpEngine::new(tasks.clone(), traces.clone(), SimConfig::new(sharing), 2)
         .expect("valid engine")
@@ -318,7 +373,10 @@ fn partitioning_by_object_eliminates_cross_cpu_blocking() {
 
     assert_eq!(global.metrics.completed(), 4);
     assert_eq!(partitioned.metrics.completed(), 4);
-    assert!(global.metrics.blockings() >= 1, "global dispatch contends cross-CPU");
+    assert!(
+        global.metrics.blockings() >= 1,
+        "global dispatch contends cross-CPU"
+    );
     assert_eq!(
         partitioned.metrics.blockings(),
         0,

@@ -23,7 +23,11 @@ impl UaScheduler for Edf {
             let j = ctx.job(id).expect("listed job");
             (j.absolute_critical_time, id)
         });
-        Decision { order, ops: 1, ..Decision::default() }
+        Decision {
+            order,
+            ops: 1,
+            ..Decision::default()
+        }
     }
 }
 
@@ -32,9 +36,13 @@ fn holder_task(name: &str, critical: u64) -> TaskSpec {
         .tuf(Tuf::step(1.0, critical).expect("valid tuf"))
         .uam(Uam::periodic(100_000))
         .segments(vec![
-            Segment::Acquire { object: ObjectId::new(0) },
+            Segment::Acquire {
+                object: ObjectId::new(0),
+            },
             Segment::Compute(1_000),
-            Segment::Release { object: ObjectId::new(0) },
+            Segment::Release {
+                object: ObjectId::new(0),
+            },
         ])
         .build()
         .expect("valid task")
@@ -48,7 +56,10 @@ fn run(capacity: u32, arrivals: [u64; 3]) -> lfrt_sim::SimOutcome {
         holder_task("b", 30_001),
         holder_task("c", 30_002),
     ];
-    let traces = arrivals.iter().map(|&t| ArrivalTrace::new(vec![t])).collect();
+    let traces = arrivals
+        .iter()
+        .map(|&t| ArrivalTrace::new(vec![t]))
+        .collect();
     MpEngine::new(
         tasks,
         traces,
@@ -69,7 +80,12 @@ fn capacity_one_serializes_three_holders() {
     assert_eq!(outcome.metrics.blockings(), 3);
     // Despite three CPUs, the semaphore serializes the holds: the last
     // completes no earlier than 3000.
-    let last = outcome.records.iter().map(|r| r.resolved_at).max().expect("ran");
+    let last = outcome
+        .records
+        .iter()
+        .map(|r| r.resolved_at)
+        .max()
+        .expect("ran");
     assert!(last >= 3_000);
 }
 
@@ -94,7 +110,14 @@ fn unit_release_wakes_exactly_when_a_unit_frees() {
     // c(200) blocks until a releases at t=1000, then holds 1000 ticks.
     let outcome = run(2, [0, 100, 200]);
     assert_eq!(outcome.metrics.completed(), 3);
-    let c = outcome.records.iter().find(|r| r.task.index() == 2).expect("ran");
+    let c = outcome
+        .records
+        .iter()
+        .find(|r| r.task.index() == 2)
+        .expect("ran");
     assert_eq!(c.blockings, 1);
-    assert_eq!(c.resolved_at, 2_000, "woken at a's release (1000) + 1000 hold");
+    assert_eq!(
+        c.resolved_at, 2_000,
+        "woken at a's release (1000) + 1000 hold"
+    );
 }

@@ -35,7 +35,11 @@ impl UaScheduler for RoundRobin {
             order.rotate_left(self.turn);
         }
         let ops = order.len() as u64;
-        Decision { order, ops, ..Decision::default() }
+        Decision {
+            order,
+            ops,
+            ..Decision::default()
+        }
     }
 }
 
@@ -76,7 +80,11 @@ fn quantum_time_slices_equal_jobs() {
     .run(RoundRobin::new());
     assert_eq!(plain.metrics.completed(), 2);
     assert_eq!(sliced.metrics.completed(), 2);
-    assert_eq!(plain.metrics.preemptions(), 0, "nothing interrupts the first job");
+    assert_eq!(
+        plain.metrics.preemptions(),
+        0,
+        "nothing interrupts the first job"
+    );
     assert!(
         sliced.metrics.preemptions() >= 8,
         "quantum boundaries force interleaving (got {})",
@@ -94,14 +102,11 @@ fn short_accesses_retry_at_most_once_per_success_under_quantum() {
     // the quantum (200). A preempted access can be invalidated and retried,
     // but the retried attempt fits comfortably inside the next quantum, so
     // retries never chain: retries ≤ successful accesses.
-    let access = Segment::Access { object: ObjectId::new(0), kind: AccessKind::Write };
-    let mk_task = |i: usize| {
-        task(
-            &format!("t{i}"),
-            1_000_000,
-            vec![access; 10],
-        )
+    let access = Segment::Access {
+        object: ObjectId::new(0),
+        kind: AccessKind::Write,
     };
+    let mk_task = |i: usize| task(&format!("t{i}"), 1_000_000, vec![access; 10]);
     let tasks: Vec<TaskSpec> = (0..3).map(mk_task).collect();
     let traces = (0..3).map(|i| ArrivalTrace::new(vec![i * 7])).collect();
     let outcome = Engine::new(

@@ -22,7 +22,11 @@ impl UaScheduler for Edf {
             let j = ctx.job(id).expect("listed job");
             (j.absolute_critical_time, id)
         });
-        Decision { order, ops: 1, ..Decision::default() }
+        Decision {
+            order,
+            ops: 1,
+            ..Decision::default()
+        }
     }
 }
 
@@ -36,7 +40,10 @@ fn task(name: &str, critical: u64, segments: Vec<Segment>) -> TaskSpec {
 }
 
 fn access(object: usize) -> Segment {
-    Segment::Access { object: ObjectId::new(object), kind: AccessKind::Write }
+    Segment::Access {
+        object: ObjectId::new(object),
+        kind: AccessKind::Write,
+    }
 }
 
 #[test]
@@ -55,7 +62,11 @@ fn lock_traffic_is_balanced_and_ordered() {
 
     let acquires = log.filter(|e| matches!(e, TraceEvent::LockAcquired { .. }));
     let releases = log.filter(|e| matches!(e, TraceEvent::LockReleased { .. }));
-    assert_eq!(acquires.len(), releases.len(), "every acquire has a release");
+    assert_eq!(
+        acquires.len(),
+        releases.len(),
+        "every acquire has a release"
+    );
     assert_eq!(acquires.len(), 2);
 
     // The contender blocks, then wakes when the holder releases, in order.
@@ -79,7 +90,9 @@ fn retry_events_match_metrics() {
     )
     .expect("valid engine")
     .run(Edf);
-    let retried = outcome.trace.filter(|e| matches!(e, TraceEvent::Retried { .. }));
+    let retried = outcome
+        .trace
+        .filter(|e| matches!(e, TraceEvent::Retried { .. }));
     assert_eq!(retried.len() as u64, outcome.metrics.retries());
     assert_eq!(retried.len(), 1);
 }
@@ -94,12 +107,18 @@ fn release_and_completion_events_match_metrics() {
     )
     .expect("valid engine")
     .run(Edf);
-    let released = outcome.trace.filter(|e| matches!(e, TraceEvent::Released { .. }));
-    let completed = outcome.trace.filter(|e| matches!(e, TraceEvent::Completed { .. }));
+    let released = outcome
+        .trace
+        .filter(|e| matches!(e, TraceEvent::Released { .. }));
+    let completed = outcome
+        .trace
+        .filter(|e| matches!(e, TraceEvent::Completed { .. }));
     assert_eq!(released.len() as u64, outcome.metrics.released());
     assert_eq!(completed.len() as u64, outcome.metrics.completed());
     // Scheduler invocations are traced one-for-one.
-    let invoked = outcome.trace.filter(|e| matches!(e, TraceEvent::SchedulerInvoked { .. }));
+    let invoked = outcome
+        .trace
+        .filter(|e| matches!(e, TraceEvent::SchedulerInvoked { .. }));
     assert_eq!(invoked.len() as u64, outcome.metrics.sched_invocations);
 }
 

@@ -33,13 +33,22 @@ impl fmt::Display for TufError {
         match self {
             TufError::ZeroCriticalTime => write!(f, "critical time must be positive"),
             TufError::InvalidUtility { value } => {
-                write!(f, "utility value {value} is not a finite non-negative number")
+                write!(
+                    f,
+                    "utility value {value} is not a finite non-negative number"
+                )
             }
             TufError::EmptyPoints => write!(f, "piecewise TUF requires at least one point"),
             TufError::UnsortedPoints { index } => {
-                write!(f, "piecewise TUF points must be strictly increasing in time (point {index})")
+                write!(
+                    f,
+                    "piecewise TUF points must be strictly increasing in time (point {index})"
+                )
             }
-            TufError::PointBeyondCriticalTime { time, critical_time } => write!(
+            TufError::PointBeyondCriticalTime {
+                time,
+                critical_time,
+            } => write!(
                 f,
                 "piecewise TUF point at time {time} lies at or beyond critical time {critical_time}"
             ),

@@ -1,11 +1,9 @@
-use serde::{Deserialize, Serialize};
-
 /// The shape of a time/utility function over `[0, C)`, where `C` is the
 /// critical time held by the enclosing [`Tuf`](crate::Tuf).
 ///
 /// All shapes evaluate to zero at and after the critical time; the variants
 /// only describe behaviour strictly before it.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum TufShape {
     /// Binary-valued downward step: constant `height` before the critical
@@ -59,7 +57,10 @@ impl TufShape {
         }
         match self {
             TufShape::Step { height } => *height,
-            TufShape::Linear { initial, final_utility } => {
+            TufShape::Linear {
+                initial,
+                final_utility,
+            } => {
                 let frac = t as f64 / c as f64;
                 initial + (final_utility - initial) * frac
             }
@@ -76,7 +77,10 @@ impl TufShape {
     pub(crate) fn max_utility(&self) -> f64 {
         match self {
             TufShape::Step { height } => *height,
-            TufShape::Linear { initial, final_utility } => initial.max(*final_utility),
+            TufShape::Linear {
+                initial,
+                final_utility,
+            } => initial.max(*final_utility),
             TufShape::Parabolic { peak } => *peak,
             TufShape::Exponential { initial, .. } => *initial,
             TufShape::PiecewiseLinear { points } => {
@@ -91,13 +95,14 @@ impl TufShape {
     /// (shorter sojourn times always accrue at least as much utility).
     pub(crate) fn is_non_increasing(&self) -> bool {
         match self {
-            TufShape::Step { .. }
-            | TufShape::Parabolic { .. }
-            | TufShape::Exponential { .. } => true,
-            TufShape::Linear { initial, final_utility } => final_utility <= initial,
-            TufShape::PiecewiseLinear { points } => {
-                points.windows(2).all(|w| w[1].1 <= w[0].1)
+            TufShape::Step { .. } | TufShape::Parabolic { .. } | TufShape::Exponential { .. } => {
+                true
             }
+            TufShape::Linear {
+                initial,
+                final_utility,
+            } => final_utility <= initial,
+            TufShape::PiecewiseLinear { points } => points.windows(2).all(|w| w[1].1 <= w[0].1),
         }
     }
 
@@ -105,7 +110,10 @@ impl TufShape {
     pub(crate) fn utility_values(&self) -> Vec<f64> {
         match self {
             TufShape::Step { height } => vec![*height],
-            TufShape::Linear { initial, final_utility } => vec![*initial, *final_utility],
+            TufShape::Linear {
+                initial,
+                final_utility,
+            } => vec![*initial, *final_utility],
             TufShape::Parabolic { peak } => vec![*peak],
             TufShape::Exponential { initial, .. } => vec![*initial],
             TufShape::PiecewiseLinear { points } => points.iter().map(|&(_, u)| u).collect(),
@@ -145,7 +153,10 @@ mod tests {
 
     #[test]
     fn linear_interpolates_endpoints() {
-        let s = TufShape::Linear { initial: 10.0, final_utility: 0.0 };
+        let s = TufShape::Linear {
+            initial: 10.0,
+            final_utility: 0.0,
+        };
         assert_eq!(s.eval(0, 100), 10.0);
         assert!((s.eval(50, 100) - 5.0).abs() < 1e-12);
         assert!((s.eval(99, 100) - 0.1).abs() < 1e-12);
@@ -154,7 +165,10 @@ mod tests {
 
     #[test]
     fn linear_can_increase() {
-        let s = TufShape::Linear { initial: 1.0, final_utility: 5.0 };
+        let s = TufShape::Linear {
+            initial: 1.0,
+            final_utility: 5.0,
+        };
         assert!(s.eval(80, 100) > s.eval(10, 100));
         assert!(!s.is_non_increasing());
     }
@@ -171,7 +185,10 @@ mod tests {
 
     #[test]
     fn exponential_decays_and_zeroes_at_critical_time() {
-        let s = TufShape::Exponential { initial: 8.0, rate: 0.001 };
+        let s = TufShape::Exponential {
+            initial: 8.0,
+            rate: 0.001,
+        };
         assert_eq!(s.eval(0, 10_000), 8.0);
         let mid = s.eval(693, 10_000); // half-life ≈ ln2/0.001 ≈ 693
         assert!((mid - 4.0).abs() < 0.01, "got {mid}");
@@ -182,7 +199,9 @@ mod tests {
 
     #[test]
     fn piecewise_interpolation_and_clamping() {
-        let s = TufShape::PiecewiseLinear { points: vec![(10, 4.0), (20, 2.0), (30, 2.0)] };
+        let s = TufShape::PiecewiseLinear {
+            points: vec![(10, 4.0), (20, 2.0), (30, 2.0)],
+        };
         assert_eq!(s.eval(0, 100), 4.0); // before first point
         assert_eq!(s.eval(10, 100), 4.0);
         assert!((s.eval(15, 100) - 3.0).abs() < 1e-12);
@@ -194,7 +213,9 @@ mod tests {
 
     #[test]
     fn piecewise_non_monotone_detected() {
-        let s = TufShape::PiecewiseLinear { points: vec![(0, 1.0), (10, 3.0)] };
+        let s = TufShape::PiecewiseLinear {
+            points: vec![(0, 1.0), (10, 3.0)],
+        };
         assert!(!s.is_non_increasing());
     }
 
@@ -202,11 +223,17 @@ mod tests {
     fn max_utility_per_shape() {
         assert_eq!(TufShape::Step { height: 2.0 }.max_utility(), 2.0);
         assert_eq!(
-            TufShape::Linear { initial: 1.0, final_utility: 7.0 }.max_utility(),
+            TufShape::Linear {
+                initial: 1.0,
+                final_utility: 7.0
+            }
+            .max_utility(),
             7.0
         );
         assert_eq!(TufShape::Parabolic { peak: 5.0 }.max_utility(), 5.0);
-        let pw = TufShape::PiecewiseLinear { points: vec![(0, 1.0), (5, 9.0), (10, 2.0)] };
+        let pw = TufShape::PiecewiseLinear {
+            points: vec![(0, 1.0), (5, 9.0), (10, 2.0)],
+        };
         assert_eq!(pw.max_utility(), 9.0);
     }
 }

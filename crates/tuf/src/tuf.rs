@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use crate::{TufError, TufShape};
 
 /// A time/utility function: a [`TufShape`] paired with a critical time.
@@ -22,7 +20,7 @@ use crate::{TufError, TufShape};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Tuf {
     shape: TufShape,
     critical_time: u64,
@@ -42,12 +40,16 @@ impl Tuf {
         }
         for v in shape.utility_values() {
             if !v.is_finite() || v < 0.0 {
-                return Err(TufError::InvalidUtility { value: format!("{v}") });
+                return Err(TufError::InvalidUtility {
+                    value: format!("{v}"),
+                });
             }
         }
         if let TufShape::Exponential { rate, .. } = &shape {
             if !rate.is_finite() || *rate < 0.0 {
-                return Err(TufError::InvalidUtility { value: format!("rate {rate}") });
+                return Err(TufError::InvalidUtility {
+                    value: format!("rate {rate}"),
+                });
             }
         }
         if let TufShape::PiecewiseLinear { points } = &shape {
@@ -60,10 +62,16 @@ impl Tuf {
                 }
             }
             if let Some(&(t, _)) = points.iter().find(|&&(t, _)| t >= critical_time) {
-                return Err(TufError::PointBeyondCriticalTime { time: t, critical_time });
+                return Err(TufError::PointBeyondCriticalTime {
+                    time: t,
+                    critical_time,
+                });
             }
         }
-        Ok(Self { shape, critical_time })
+        Ok(Self {
+            shape,
+            critical_time,
+        })
     }
 
     /// Creates a binary-valued downward step TUF — a classic deadline.
@@ -82,7 +90,13 @@ impl Tuf {
     ///
     /// See [`Tuf::new`].
     pub fn linear_decreasing(initial: f64, critical_time: u64) -> Result<Self, TufError> {
-        Self::new(TufShape::Linear { initial, final_utility: 0.0 }, critical_time)
+        Self::new(
+            TufShape::Linear {
+                initial,
+                final_utility: 0.0,
+            },
+            critical_time,
+        )
     }
 
     /// Creates a linear TUF with explicit start and end utilities.
@@ -90,12 +104,14 @@ impl Tuf {
     /// # Errors
     ///
     /// See [`Tuf::new`].
-    pub fn linear(
-        initial: f64,
-        final_utility: f64,
-        critical_time: u64,
-    ) -> Result<Self, TufError> {
-        Self::new(TufShape::Linear { initial, final_utility }, critical_time)
+    pub fn linear(initial: f64, final_utility: f64, critical_time: u64) -> Result<Self, TufError> {
+        Self::new(
+            TufShape::Linear {
+                initial,
+                final_utility,
+            },
+            critical_time,
+        )
     }
 
     /// Creates a downward-parabolic TUF with maximum `peak` at `t = 0`.
@@ -122,10 +138,7 @@ impl Tuf {
     /// # Errors
     ///
     /// See [`Tuf::new`].
-    pub fn piecewise(
-        points: Vec<(u64, f64)>,
-        critical_time: u64,
-    ) -> Result<Self, TufError> {
+    pub fn piecewise(points: Vec<(u64, f64)>, critical_time: u64) -> Result<Self, TufError> {
         Self::new(TufShape::PiecewiseLinear { points }, critical_time)
     }
 
@@ -174,8 +187,14 @@ mod tests {
 
     #[test]
     fn invalid_utilities_rejected() {
-        assert!(matches!(Tuf::step(-1.0, 10), Err(TufError::InvalidUtility { .. })));
-        assert!(matches!(Tuf::step(f64::NAN, 10), Err(TufError::InvalidUtility { .. })));
+        assert!(matches!(
+            Tuf::step(-1.0, 10),
+            Err(TufError::InvalidUtility { .. })
+        ));
+        assert!(matches!(
+            Tuf::step(f64::NAN, 10),
+            Err(TufError::InvalidUtility { .. })
+        ));
         assert!(matches!(
             Tuf::linear(1.0, f64::INFINITY, 10),
             Err(TufError::InvalidUtility { .. })
@@ -184,14 +203,20 @@ mod tests {
 
     #[test]
     fn piecewise_validation() {
-        assert_eq!(Tuf::piecewise(vec![], 10).unwrap_err(), TufError::EmptyPoints);
+        assert_eq!(
+            Tuf::piecewise(vec![], 10).unwrap_err(),
+            TufError::EmptyPoints
+        );
         assert_eq!(
             Tuf::piecewise(vec![(5, 1.0), (5, 2.0)], 10).unwrap_err(),
             TufError::UnsortedPoints { index: 1 }
         );
         assert_eq!(
             Tuf::piecewise(vec![(5, 1.0), (12, 2.0)], 10).unwrap_err(),
-            TufError::PointBeyondCriticalTime { time: 12, critical_time: 10 }
+            TufError::PointBeyondCriticalTime {
+                time: 12,
+                critical_time: 10
+            }
         );
         assert!(Tuf::piecewise(vec![(0, 4.0), (9, 1.0)], 10).is_ok());
     }

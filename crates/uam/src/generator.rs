@@ -53,7 +53,9 @@ impl PeriodicArrivals {
 
 impl ArrivalGenerator for PeriodicArrivals {
     fn generate(&mut self, horizon: u64) -> ArrivalTrace {
-        (self.phase..horizon).step_by(self.period as usize).collect()
+        (self.phase..horizon)
+            .step_by(self.period as usize)
+            .collect()
     }
 }
 
@@ -156,7 +158,11 @@ impl JitteredPeriodic {
     pub fn new(period: u64, max_jitter: u64, seed: u64) -> Self {
         assert!(period > 0, "period must be positive");
         assert!(max_jitter < period, "jitter must stay inside the period");
-        Self { period, max_jitter, rng: StdRng::seed_from_u64(seed) }
+        Self {
+            period,
+            max_jitter,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -165,8 +171,11 @@ impl ArrivalGenerator for JitteredPeriodic {
         let mut times = Vec::new();
         let mut base = 0u64;
         while base < horizon {
-            let jitter =
-                if self.max_jitter == 0 { 0 } else { self.rng.random_range(0..=self.max_jitter) };
+            let jitter = if self.max_jitter == 0 {
+                0
+            } else {
+                self.rng.random_range(0..=self.max_jitter)
+            };
             let t = base + jitter;
             if t < horizon {
                 times.push(t);
@@ -196,14 +205,21 @@ impl RandomUamArrivals {
     /// Creates a seeded generator with candidate rate equal to the UAM's
     /// maximum long-run rate.
     pub fn new(uam: Uam, seed: u64) -> Self {
-        Self { uam, rng: StdRng::seed_from_u64(seed), intensity: 1.0 }
+        Self {
+            uam,
+            rng: StdRng::seed_from_u64(seed),
+            intensity: 1.0,
+        }
     }
 
     /// Scales the candidate arrival rate: values above 1.0 push the process
     /// against the UAM ceiling (more bursty), below 1.0 leave slack.
     #[must_use]
     pub fn with_intensity(mut self, intensity: f64) -> Self {
-        assert!(intensity > 0.0 && intensity.is_finite(), "intensity must be positive");
+        assert!(
+            intensity > 0.0 && intensity.is_finite(),
+            "intensity must be positive"
+        );
         self.intensity = intensity;
         self
     }
@@ -271,7 +287,10 @@ mod tests {
     fn jittered_periodic_conforms_to_its_uam() {
         for seed in 0..10 {
             let trace = JitteredPeriodic::new(1_000, 400, seed).generate(50_000);
-            assert!(trace.conforms_to(&Uam::periodic(1_000)).is_ok(), "seed {seed}");
+            assert!(
+                trace.conforms_to(&Uam::periodic(1_000)).is_ok(),
+                "seed {seed}"
+            );
             assert_eq!(trace.len(), 50);
         }
     }

@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use crate::UamError;
 
 /// The unimodal arbitrary arrival model `⟨l, a, W⟩`.
@@ -21,7 +19,7 @@ use crate::UamError;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Uam {
     min_arrivals: u32,
     max_arrivals: u32,
@@ -44,9 +42,16 @@ impl Uam {
             return Err(UamError::ZeroMaxArrivals);
         }
         if min_arrivals > max_arrivals {
-            return Err(UamError::MinExceedsMax { min: min_arrivals, max: max_arrivals });
+            return Err(UamError::MinExceedsMax {
+                min: min_arrivals,
+                max: max_arrivals,
+            });
         }
-        Ok(Self { min_arrivals, max_arrivals, window })
+        Ok(Self {
+            min_arrivals,
+            max_arrivals,
+            window,
+        })
     }
 
     /// The periodic special case `⟨1, 1, period⟩`.

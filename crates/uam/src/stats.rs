@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use crate::{ArrivalTrace, Uam};
 
 /// Descriptive statistics of an arrival trace, for experiment reports.
@@ -16,7 +14,7 @@ use crate::{ArrivalTrace, Uam};
 /// assert_eq!(stats.max_gap, 30);
 /// assert!((stats.mean_gap - 40.0 / 3.0).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceStats {
     /// Number of arrivals.
     pub count: usize,
@@ -52,7 +50,14 @@ impl TraceStats {
         } else {
             0.0
         };
-        Some(Self { count: times.len(), first, last, min_gap, max_gap, mean_gap })
+        Some(Self {
+            count: times.len(),
+            first,
+            last,
+            min_gap,
+            max_gap,
+            mean_gap,
+        })
     }
 
     /// Burstiness against a UAM: the peak consecutive-window occupancy as a

@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use crate::{Uam, UamViolation};
 
 /// A concrete, sorted sequence of arrival times for one task.
@@ -8,7 +6,7 @@ use crate::{Uam, UamViolation};
 /// generator produces a trace, [`ArrivalTrace::conforms_to`] certifies it
 /// against a [`Uam`], and only then do the paper's analytic bounds
 /// legitimately apply to a simulation driven by it.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ArrivalTrace {
     times: Vec<u64>,
 }
@@ -65,7 +63,11 @@ impl ArrivalTrace {
             let hi = self.times.partition_point(|&t| t < window_end);
             let observed = u32::try_from(hi - idx).unwrap_or(u32::MAX);
             if observed > a {
-                return Err(UamViolation { window_start, observed, allowed: a });
+                return Err(UamViolation {
+                    window_start,
+                    observed,
+                    allowed: a,
+                });
             }
             idx = hi;
         }
@@ -252,7 +254,11 @@ mod tests {
     #[test]
     fn sliding_implies_consecutive() {
         let m = uam(2, 10);
-        for times in [vec![0, 4, 12, 13], vec![0, 9, 10, 19, 20], vec![3, 3, 13, 13]] {
+        for times in [
+            vec![0, 4, 12, 13],
+            vec![0, 9, 10, 19, 20],
+            vec![3, 3, 13, 13],
+        ] {
             let t = ArrivalTrace::new(times);
             if t.conforms_sliding(&m).is_ok() {
                 assert!(t.conforms_to(&m).is_ok());
@@ -292,9 +298,13 @@ mod tests {
         trace.write_csv(&mut buffer).expect("write");
         let parsed = ArrivalTrace::read_csv(buffer.as_slice()).expect("read");
         assert_eq!(parsed, trace);
-        assert!(ArrivalTrace::read_csv("12
+        assert!(ArrivalTrace::read_csv(
+            "12
 nope
-".as_bytes()).is_err());
+"
+            .as_bytes()
+        )
+        .is_err());
     }
 
     #[test]

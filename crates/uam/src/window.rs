@@ -33,7 +33,10 @@ impl SlidingWindowCounter {
     /// Panics if `window` is zero.
     pub fn new(window: u64) -> Self {
         assert!(window > 0, "window must be positive");
-        Self { window, arrivals: VecDeque::new() }
+        Self {
+            window,
+            arrivals: VecDeque::new(),
+        }
     }
 
     /// Records an arrival at time `t`.
@@ -43,7 +46,10 @@ impl SlidingWindowCounter {
     /// Panics if `t` is earlier than a previously recorded arrival.
     pub fn record(&mut self, t: u64) {
         if let Some(&last) = self.arrivals.back() {
-            assert!(t >= last, "arrivals must be recorded in non-decreasing order");
+            assert!(
+                t >= last,
+                "arrivals must be recorded in non-decreasing order"
+            );
         }
         self.arrivals.push_back(t);
     }

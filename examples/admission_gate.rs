@@ -11,9 +11,7 @@
 
 use lockfree_rt::analysis::admission::{admit, AdmissionTask, Discipline};
 use lockfree_rt::core::RuaLockFree;
-use lockfree_rt::sim::{
-    AccessKind, Engine, ObjectId, Segment, SharingMode, SimConfig, TaskSpec,
-};
+use lockfree_rt::sim::{AccessKind, Engine, ObjectId, Segment, SharingMode, SimConfig, TaskSpec};
 use lockfree_rt::tuf::Tuf;
 use lockfree_rt::uam::{ArrivalGenerator, RandomUamArrivals, Uam};
 
@@ -28,7 +26,10 @@ fn candidate(i: usize) -> Result<TaskSpec, Box<dyn std::error::Error>> {
         .uam(Uam::new(1, 2, window)?)
         .segments(vec![
             Segment::Compute(compute / 2),
-            Segment::Access { object: ObjectId::new(i % 3), kind: AccessKind::Write },
+            Segment::Access {
+                object: ObjectId::new(i % 3),
+                kind: AccessKind::Write,
+            },
             Segment::Compute(compute - compute / 2),
         ])
         .build()?)
@@ -53,7 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let task = candidate(i)?;
         let mut trial = accepted.clone();
         trial.push(task.clone());
-        let report = admit(&to_admission(&trial), Discipline::LockFree { access_ticks: S });
+        let report = admit(
+            &to_admission(&trial),
+            Discipline::LockFree { access_ticks: S },
+        );
         let verdict = &report.per_task[trial.len() - 1];
         if report.all_admitted() {
             println!(
@@ -70,14 +74,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
         }
     }
-    println!("\n{} of 12 candidates admitted; simulating 2 s to verify…", accepted.len());
+    println!(
+        "\n{} of 12 candidates admitted; simulating 2 s to verify…",
+        accepted.len()
+    );
 
     let horizon = 2_000_000;
     let traces = accepted
         .iter()
         .enumerate()
         .map(|(i, t)| {
-            RandomUamArrivals::new(*t.uam(), i as u64).with_intensity(4.0).generate(horizon)
+            RandomUamArrivals::new(*t.uam(), i as u64)
+                .with_intensity(4.0)
+                .generate(horizon)
         })
         .collect();
     let outcome = Engine::new(
@@ -93,7 +102,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         outcome.metrics.aborted(),
         outcome.metrics.cmr()
     );
-    assert_eq!(outcome.metrics.aborted(), 0, "the admission test is sufficient");
+    assert_eq!(
+        outcome.metrics.aborted(),
+        0,
+        "the admission test is sufficient"
+    );
     println!("every admitted job met its critical time ✓");
     Ok(())
 }

@@ -24,7 +24,10 @@ use lockfree_rt::uam::{ArrivalGenerator, ArrivalTrace, RandomUamArrivals, Uam};
 const HORIZON: u64 = 2_000_000; // 2 s of surveillance
 
 fn track_db_access(object: usize) -> Segment {
-    Segment::Access { object: ObjectId::new(object), kind: AccessKind::Write }
+    Segment::Access {
+        object: ObjectId::new(object),
+        kind: AccessKind::Write,
+    }
 }
 
 fn build_scenario() -> Result<(Vec<TaskSpec>, Vec<ArrivalTrace>), Box<dyn std::error::Error>> {
@@ -148,7 +151,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     report("lock-based RUA (r = 400 µs)", &lock_based);
 
-    let lock_free = run(SharingMode::LockFree { access_ticks: 10 }, RuaLockFree::new())?;
+    let lock_free = run(
+        SharingMode::LockFree { access_ticks: 10 },
+        RuaLockFree::new(),
+    )?;
     report("lock-free RUA (s = 10 µs)", &lock_free);
 
     println!(

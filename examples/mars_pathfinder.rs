@@ -32,12 +32,19 @@ const BUS: usize = 0;
 fn bus_transaction(hold: u64, lock_based: bool) -> Vec<Segment> {
     if lock_based {
         vec![
-            Segment::Acquire { object: ObjectId::new(BUS) },
+            Segment::Acquire {
+                object: ObjectId::new(BUS),
+            },
             Segment::Compute(hold),
-            Segment::Release { object: ObjectId::new(BUS) },
+            Segment::Release {
+                object: ObjectId::new(BUS),
+            },
         ]
     } else {
-        vec![Segment::Access { object: ObjectId::new(BUS), kind: AccessKind::Write }]
+        vec![Segment::Access {
+            object: ObjectId::new(BUS),
+            kind: AccessKind::Write,
+        }]
     }
 }
 
@@ -83,10 +90,18 @@ fn run<S: UaScheduler>(
 }
 
 fn report(label: &str, outcome: &SimOutcome) {
-    let bus = outcome.records.iter().find(|r| r.task.index() == 1).expect("bus mgmt ran");
+    let bus = outcome
+        .records
+        .iter()
+        .find(|r| r.task.index() == 1)
+        .expect("bus mgmt ran");
     println!(
         "{label:<22} bus-mgmt {}  (resolved t={} µs, watchdog at 6000)",
-        if bus.completed { "MET its deadline ✓" } else { "WATCHDOG RESET ✗" },
+        if bus.completed {
+            "MET its deadline ✓"
+        } else {
+            "WATCHDOG RESET ✗"
+        },
         bus.resolved_at
     );
 }
@@ -106,11 +121,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Lock-free: the bus transactions become retryable accesses of the
     // same length — no lock, no inversion.
-    let lock_free = run(SharingMode::LockFree { access_ticks: 200 }, RuaLockFree::new())?;
+    let lock_free = run(
+        SharingMode::LockFree { access_ticks: 200 },
+        RuaLockFree::new(),
+    )?;
     report("lock-free RUA:", &lock_free);
 
     // The punchline, asserted.
-    let failed = |o: &SimOutcome| !o.records.iter().find(|r| r.task.index() == 1).expect("ran").completed;
+    let failed = |o: &SimOutcome| {
+        !o.records
+            .iter()
+            .find(|r| r.task.index() == 1)
+            .expect("ran")
+            .completed
+    };
     assert!(failed(&inversion), "plain EDF must exhibit the inversion");
     assert!(!failed(&inherited), "inheritance must fix it");
     assert!(!failed(&rua), "RUA's dependency chains must fix it");

@@ -9,9 +9,7 @@
 
 use lockfree_rt::analysis::RetryBoundInput;
 use lockfree_rt::core::RuaLockFree;
-use lockfree_rt::sim::{
-    AccessKind, Engine, ObjectId, Segment, SharingMode, SimConfig, TaskSpec,
-};
+use lockfree_rt::sim::{AccessKind, Engine, ObjectId, Segment, SharingMode, SimConfig, TaskSpec};
 use lockfree_rt::tuf::Tuf;
 use lockfree_rt::uam::{ArrivalGenerator, ArrivalTrace, RandomUamArrivals, TraceStats, Uam};
 
@@ -19,7 +17,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A "black box" arrival source: we pretend not to know its true model
     // ⟨1, 3, 8000⟩ and only see its arrivals.
     let hidden = Uam::new(1, 3, 8_000)?;
-    let observed = RandomUamArrivals::new(hidden, 99).with_intensity(4.0).generate(400_000);
+    let observed = RandomUamArrivals::new(hidden, 99)
+        .with_intensity(4.0)
+        .generate(400_000);
     println!("observed {} arrivals over 400 ms", observed.len());
     let stats = TraceStats::of(&observed).expect("non-empty");
     println!(
@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         fitted.window()
     );
     assert!(observed.conforms_to(&fitted).is_ok());
-    assert!(fitted.max_arrivals() <= hidden.max_arrivals(), "fit never over-estimates a");
+    assert!(
+        fitted.max_arrivals() <= hidden.max_arrivals(),
+        "fit never over-estimates a"
+    );
 
     // Bound: Theorem 2 for a peer task under the fitted interference.
     let peer_critical = 12_000;
@@ -54,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .uam(Uam::periodic(20_000))
         .segments(vec![
             Segment::Compute(300),
-            Segment::Access { object: ObjectId::new(0), kind: AccessKind::Write },
+            Segment::Access {
+                object: ObjectId::new(0),
+                kind: AccessKind::Write,
+            },
             Segment::Compute(300),
         ])
         .build()?;
@@ -81,6 +87,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .max()
         .unwrap_or(0);
     println!("measured worst peer retries: {worst} ≤ {bound}  ✓");
-    assert!(worst <= bound, "the bound derived from the fitted model must hold");
+    assert!(
+        worst <= bound,
+        "the bound derived from the fitted model must hold"
+    );
     Ok(())
 }

@@ -6,17 +6,19 @@
 //! Run with: `cargo run --example nested_transactions`
 
 use lockfree_rt::core::RuaLockBased;
-use lockfree_rt::sim::{
-    Engine, ObjectId, Segment, SharingMode, SimConfig, TaskSpec, TraceEvent,
-};
+use lockfree_rt::sim::{Engine, ObjectId, Segment, SharingMode, SimConfig, TaskSpec, TraceEvent};
 use lockfree_rt::tuf::Tuf;
 use lockfree_rt::uam::{ArrivalTrace, Uam};
 
 fn acquire(o: usize) -> Segment {
-    Segment::Acquire { object: ObjectId::new(o) }
+    Segment::Acquire {
+        object: ObjectId::new(o),
+    }
 }
 fn release(o: usize) -> Segment {
-    Segment::Release { object: ObjectId::new(o) }
+    Segment::Release {
+        object: ObjectId::new(o),
+    }
 }
 
 fn transaction(
@@ -62,7 +64,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 println!("  t={:>5}  {job} BLOCKED on {object}", rec.at);
             }
             TraceEvent::Aborted { job, reason } => {
-                println!("  t={:>5}  {job} ABORTED ({reason:?}) — deadlock resolved", rec.at);
+                println!(
+                    "  t={:>5}  {job} ABORTED ({reason:?}) — deadlock resolved",
+                    rec.at
+                );
             }
             TraceEvent::Woken { job, object } => {
                 println!("  t={:>5}  {job} woken ({object} released)", rec.at);
@@ -79,11 +84,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .find(|r| r.task.index() == 1)
         .expect("transfer resolved");
-    assert!(transfer_rec.completed, "the valuable transaction must commit");
+    assert!(
+        transfer_rec.completed,
+        "the valuable transaction must commit"
+    );
     println!(
         "\ntotal utility {:.0} of {:.0} possible — the audit was sacrificed to the deadlock.",
-        outcome.metrics.per_task().iter().map(|t| t.utility_accrued).sum::<f64>(),
-        outcome.metrics.per_task().iter().map(|t| t.utility_possible).sum::<f64>(),
+        outcome
+            .metrics
+            .per_task()
+            .iter()
+            .map(|t| t.utility_accrued)
+            .sum::<f64>(),
+        outcome
+            .metrics
+            .per_task()
+            .iter()
+            .map(|t| t.utility_possible)
+            .sum::<f64>(),
     );
     Ok(())
 }

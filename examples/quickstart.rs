@@ -5,9 +5,7 @@
 
 use lockfree_rt::analysis::RetryBoundInput;
 use lockfree_rt::core::RuaLockFree;
-use lockfree_rt::sim::{
-    AccessKind, Engine, ObjectId, Segment, SharingMode, SimConfig, TaskSpec,
-};
+use lockfree_rt::sim::{AccessKind, Engine, ObjectId, Segment, SharingMode, SimConfig, TaskSpec};
 use lockfree_rt::tuf::Tuf;
 use lockfree_rt::uam::{ArrivalGenerator, RandomUamArrivals, Uam};
 
@@ -21,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .uam(Uam::new(1, 3, 10_000)?)
         .segments(vec![
             Segment::Compute(500),
-            Segment::Access { object: ObjectId::new(0), kind: AccessKind::Write },
+            Segment::Access {
+                object: ObjectId::new(0),
+                kind: AccessKind::Write,
+            },
             Segment::Compute(500),
         ])
         .build()?;
@@ -33,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .uam(Uam::periodic(20_000))
         .segments(vec![
             Segment::Compute(2_000),
-            Segment::Access { object: ObjectId::new(0), kind: AccessKind::Write },
+            Segment::Access {
+                object: ObjectId::new(0),
+                kind: AccessKind::Write,
+            },
             Segment::Compute(2_000),
         ])
         .build()?;
@@ -66,7 +70,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("completed: {}", outcome.metrics.completed());
     println!("AUR      : {:.3}", outcome.metrics.aur());
     println!("CMR      : {:.3}", outcome.metrics.cmr());
-    println!("retries  : {} (Theorem 2 bound per sensor job: {bound})", outcome.metrics.retries());
+    println!(
+        "retries  : {} (Theorem 2 bound per sensor job: {bound})",
+        outcome.metrics.retries()
+    );
 
     let worst_sensor_retries = outcome
         .records

@@ -35,8 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("all {} traces certified UAM-conformant", traces.len());
 
-    let params: Vec<(Uam, u64)> =
-        tasks.iter().map(|t| (*t.uam(), t.tuf().critical_time())).collect();
+    let params: Vec<(Uam, u64)> = tasks
+        .iter()
+        .map(|t| (*t.uam(), t.tuf().critical_time()))
+        .collect();
     let outcome = Engine::new(
         tasks.clone(),
         traces,
@@ -44,15 +46,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?
     .run(RuaLockFree::new());
 
-    println!("\n{:<8} {:>10} {:>12} {:>12}", "task", "bound f_i", "max retries", "jobs");
+    println!(
+        "\n{:<8} {:>10} {:>12} {:>12}",
+        "task", "bound f_i", "max retries", "jobs"
+    );
     let mut worst_margin = f64::INFINITY;
     for (i, task) in tasks.iter().enumerate() {
         let bound = RetryBoundInput::for_task(&params, i).retry_bound();
-        let records: Vec<_> = outcome.records.iter().filter(|r| r.task.index() == i).collect();
+        let records: Vec<_> = outcome
+            .records
+            .iter()
+            .filter(|r| r.task.index() == i)
+            .collect();
         let max = records.iter().map(|r| r.retries).max().unwrap_or(0);
         assert!(max <= bound, "Theorem 2 violated for {}", task.name());
         worst_margin = worst_margin.min(bound as f64 - max as f64);
-        println!("{:<8} {:>10} {:>12} {:>12}", task.name(), bound, max, records.len());
+        println!(
+            "{:<8} {:>10} {:>12} {:>12}",
+            task.name(),
+            bound,
+            max,
+            records.len()
+        );
     }
     println!("\nTheorem 2 holds for every job; smallest headroom {worst_margin} retries.");
     Ok(())

@@ -22,7 +22,10 @@ use lockfree_rt::uam::{ArrivalGenerator, ArrivalTrace, RandomUamArrivals, Uam};
 const HORIZON: u64 = 3_000_000; // 3 s (1 tick = 1 µs)
 
 fn telemetry(object: usize) -> Segment {
-    Segment::Access { object: ObjectId::new(object), kind: AccessKind::Write }
+    Segment::Access {
+        object: ObjectId::new(object),
+        kind: AccessKind::Write,
+    }
 }
 
 /// `hazard_compute` models context-dependent execution time: calm terrain
@@ -47,7 +50,11 @@ fn build(
             ])
             .build()?,
     );
-    traces.push(RandomUamArrivals::new(hazard_uam, 1).with_intensity(3.0).generate(HORIZON));
+    traces.push(
+        RandomUamArrivals::new(hazard_uam, 1)
+            .with_intensity(3.0)
+            .generate(HORIZON),
+    );
 
     // Locomotion control: periodic, important, moderate deadline.
     let loco_uam = Uam::periodic(20_000);
@@ -80,7 +87,11 @@ fn build(
             ])
             .build()?,
     );
-    traces.push(RandomUamArrivals::new(sci_uam, 3).with_intensity(2.0).generate(HORIZON));
+    traces.push(
+        RandomUamArrivals::new(sci_uam, 3)
+            .with_intensity(2.0)
+            .generate(HORIZON),
+    );
 
     let img_uam = Uam::new(1, 2, 40_000)?;
     tasks.push(
@@ -94,7 +105,11 @@ fn build(
             ])
             .build()?,
     );
-    traces.push(RandomUamArrivals::new(img_uam, 4).with_intensity(2.0).generate(HORIZON));
+    traces.push(
+        RandomUamArrivals::new(img_uam, 4)
+            .with_intensity(2.0)
+            .generate(HORIZON),
+    );
 
     Ok((tasks, traces))
 }
@@ -123,7 +138,11 @@ fn report(label: &str, outcome: &SimOutcome) {
     let (spec_met, spec_rel) = meets(outcome, 2);
     let (img_met, img_rel) = meets(outcome, 3);
     println!("\n== {label} ==");
-    println!("AUR {:.3}  CMR {:.3}", outcome.metrics.aur(), outcome.metrics.cmr());
+    println!(
+        "AUR {:.3}  CMR {:.3}",
+        outcome.metrics.aur(),
+        outcome.metrics.cmr()
+    );
     println!("hazard      {hz_met}/{hz_rel}");
     println!("locomotion  {loco_met}/{loco_rel}");
     println!("spectromtr  {spec_met}/{spec_rel}");
@@ -134,7 +153,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Rover, calm terrain (hazard scans: 2 ms — underload):");
     let calm = run(2_000, RuaLockFree::new())?;
     report("lock-free RUA, calm", &calm);
-    assert!(calm.metrics.cmr() > 0.9, "calm terrain should be (nearly) feasible");
+    assert!(
+        calm.metrics.cmr() > 0.9,
+        "calm terrain should be (nearly) feasible"
+    );
 
     println!("\nRover, rough terrain (hazard scans: 9 ms — overload):");
     let rough_rua = run(9_000, RuaLockFree::new())?;

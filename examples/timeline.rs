@@ -13,14 +13,21 @@ use lockfree_rt::tuf::Tuf;
 use lockfree_rt::uam::{ArrivalTrace, Uam};
 
 fn access(object: usize) -> Segment {
-    Segment::Access { object: ObjectId::new(object), kind: AccessKind::Write }
+    Segment::Access {
+        object: ObjectId::new(object),
+        kind: AccessKind::Write,
+    }
 }
 
 fn scenario() -> Result<(Vec<TaskSpec>, Vec<ArrivalTrace>), Box<dyn std::error::Error>> {
     let slow_logger = TaskSpec::builder("logger")
         .tuf(Tuf::step(1.0, 9_000)?)
         .uam(Uam::periodic(50_000))
-        .segments(vec![Segment::Compute(200), access(0), Segment::Compute(200)])
+        .segments(vec![
+            Segment::Compute(200),
+            access(0),
+            Segment::Compute(200),
+        ])
         .build()?;
     let urgent_a = TaskSpec::builder("urgent-a")
         .tuf(Tuf::step(10.0, 2_000)?)
@@ -44,11 +51,17 @@ fn scenario() -> Result<(Vec<TaskSpec>, Vec<ArrivalTrace>), Box<dyn std::error::
 
 fn run(sharing: SharingMode) -> Result<(), Box<dyn std::error::Error>> {
     let (tasks, traces) = scenario()?;
-    let outcome = Engine::new(tasks, traces, SimConfig::new(sharing).trace(true))?
-        .run(RuaLockFree::new());
+    let outcome =
+        Engine::new(tasks, traces, SimConfig::new(sharing).trace(true))?.run(RuaLockFree::new());
     println!("{}", outcome.trace.render_gantt(72));
-    let blocked = outcome.trace.filter(|e| matches!(e, TraceEvent::Blocked { .. })).len();
-    let retried = outcome.trace.filter(|e| matches!(e, TraceEvent::Retried { .. })).len();
+    let blocked = outcome
+        .trace
+        .filter(|e| matches!(e, TraceEvent::Blocked { .. }))
+        .len();
+    let retried = outcome
+        .trace
+        .filter(|e| matches!(e, TraceEvent::Retried { .. }))
+        .len();
     println!(
         "blockings {blocked}, retries {retried}, AUR {:.3}, CMR {:.3}\n",
         outcome.metrics.aur(),

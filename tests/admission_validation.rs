@@ -53,7 +53,10 @@ fn admitted_lock_free_sets_meet_every_critical_time() {
     for seed in 0..20 {
         for load in [0.05, 0.1, 0.2] {
             let (tasks, traces) = spec(load, seed).build().expect("valid workload");
-            let report = admit(&to_admission(&tasks), Discipline::LockFree { access_ticks: s });
+            let report = admit(
+                &to_admission(&tasks),
+                Discipline::LockFree { access_ticks: s },
+            );
             if !report.all_admitted() {
                 continue;
             }
@@ -72,7 +75,10 @@ fn admitted_lock_free_sets_meet_every_critical_time() {
             );
         }
     }
-    assert!(admitted_count >= 5, "test must actually admit some sets ({admitted_count})");
+    assert!(
+        admitted_count >= 5,
+        "test must actually admit some sets ({admitted_count})"
+    );
 }
 
 #[test]
@@ -82,8 +88,10 @@ fn admitted_lock_based_sets_meet_every_critical_time() {
     for seed in 0..20 {
         for load in [0.05, 0.1] {
             let (tasks, traces) = spec(load, seed).build().expect("valid workload");
-            let report =
-                admit(&to_admission(&tasks), Discipline::LockBased { access_ticks: r });
+            let report = admit(
+                &to_admission(&tasks),
+                Discipline::LockBased { access_ticks: r },
+            );
             if !report.all_admitted() {
                 continue;
             }
@@ -102,14 +110,23 @@ fn admitted_lock_based_sets_meet_every_critical_time() {
             );
         }
     }
-    assert!(admitted_count >= 5, "test must actually admit some sets ({admitted_count})");
+    assert!(
+        admitted_count >= 5,
+        "test must actually admit some sets ({admitted_count})"
+    );
 }
 
 #[test]
 fn overloads_are_rejected() {
     for seed in 0..5 {
         let (tasks, _) = spec(1.2, seed).build().expect("valid workload");
-        let report = admit(&to_admission(&tasks), Discipline::LockFree { access_ticks: 20 });
-        assert!(!report.all_admitted(), "seed {seed}: an overload cannot be admitted");
+        let report = admit(
+            &to_admission(&tasks),
+            Discipline::LockFree { access_ticks: 20 },
+        );
+        assert!(
+            !report.all_admitted(),
+            "seed {seed}: an overload cannot be admitted"
+        );
     }
 }

@@ -8,7 +8,7 @@ use lockfree_rt::sim::{
     AccessKind, Engine, ObjectId, Segment, SharingMode, SimConfig, TaskSpec, UaScheduler,
 };
 use lockfree_rt::tuf::Tuf;
-use lockfree_rt::uam::{ArrivalTrace, PeriodicArrivals, ArrivalGenerator, Uam};
+use lockfree_rt::uam::{ArrivalGenerator, ArrivalTrace, PeriodicArrivals, Uam};
 
 const N: usize = 5;
 const WINDOW: u64 = 100_000;
@@ -45,9 +45,7 @@ fn identical_tasks(tuf: &Tuf) -> (Vec<TaskSpec>, Vec<ArrivalTrace>) {
                 .expect("valid task"),
         );
         // Stagger phases so contention exists but the system stays feasible.
-        traces.push(
-            PeriodicArrivals::with_phase(WINDOW, i as u64 * 500).generate(HORIZON),
-        );
+        traces.push(PeriodicArrivals::with_phase(WINDOW, i as u64 * 500).generate(HORIZON));
     }
     (tasks, traces)
 }
@@ -67,18 +65,12 @@ fn lock_free_delay(access_ticks: u64) -> u64 {
     let per_other_exec = COMPUTE + ACCESSES * access_ticks + retry_time;
     let interference: u64 = others
         .iter()
-        .map(|o| {
-            u64::from(o.max_arrivals()) * (CRITICAL.div_ceil(o.window()) + 1) * per_other_exec
-        })
+        .map(|o| u64::from(o.max_arrivals()) * (CRITICAL.div_ceil(o.window()) + 1) * per_other_exec)
         .sum();
     interference + retry_time
 }
 
-fn run_and_observe<S: UaScheduler>(
-    tuf: &Tuf,
-    sharing: SharingMode,
-    scheduler: S,
-) -> (f64, u64) {
+fn run_and_observe<S: UaScheduler>(tuf: &Tuf, sharing: SharingMode, scheduler: S) -> (f64, u64) {
     let (tasks, traces) = identical_tasks(tuf);
     let outcome = Engine::new(tasks, traces, SimConfig::new(sharing))
         .expect("valid engine")
@@ -88,7 +80,12 @@ fn run_and_observe<S: UaScheduler>(
         0,
         "the lemmas require all jobs feasible"
     );
-    let max_sojourn = outcome.records.iter().map(|r| r.sojourn()).max().unwrap_or(0);
+    let max_sojourn = outcome
+        .records
+        .iter()
+        .map(|r| r.sojourn())
+        .max()
+        .unwrap_or(0);
     (outcome.metrics.aur(), max_sojourn)
 }
 
@@ -112,9 +109,15 @@ fn lemma4_step_tufs_feasible_underload_has_unit_aur() {
     let bounds = aur_bounds(&params(&tuf, delay), s as f64);
     // The conservative worst case still beats the critical time, so both
     // analytic bounds are 1 — and the measured AUR must agree.
-    assert!((bounds.lower - 1.0).abs() < 1e-12, "setup must be feasible in the worst case");
-    let (observed, _) =
-        run_and_observe(&tuf, SharingMode::LockFree { access_ticks: s }, RuaLockFree::new());
+    assert!(
+        (bounds.lower - 1.0).abs() < 1e-12,
+        "setup must be feasible in the worst case"
+    );
+    let (observed, _) = run_and_observe(
+        &tuf,
+        SharingMode::LockFree { access_ticks: s },
+        RuaLockFree::new(),
+    );
     assert!((observed - 1.0).abs() < 1e-12);
     assert!(bounds.contains(observed));
 }
@@ -127,10 +130,16 @@ fn lemma4_linear_tufs_observed_aur_within_bounds() {
     let bounds = aur_bounds(&params(&tuf, delay), s as f64);
     assert!(bounds.lower > 0.0, "bounds must be informative");
     assert!(bounds.upper <= 1.0 + 1e-12);
-    let (observed, max_sojourn) =
-        run_and_observe(&tuf, SharingMode::LockFree { access_ticks: s }, RuaLockFree::new());
+    let (observed, max_sojourn) = run_and_observe(
+        &tuf,
+        SharingMode::LockFree { access_ticks: s },
+        RuaLockFree::new(),
+    );
     let best = COMPUTE + ACCESSES * s;
-    assert!(max_sojourn >= best, "sojourns cannot beat the no-contention minimum");
+    assert!(
+        max_sojourn >= best,
+        "sojourns cannot beat the no-contention minimum"
+    );
     assert!(
         u128::from(max_sojourn) <= u128::from(best + delay),
         "measured max sojourn {max_sojourn} exceeded the analytic worst case {}",
@@ -157,7 +166,9 @@ fn lemma5_lock_based_observed_aur_within_bounds() {
     let blocking = r * ACCESSES.min(n_i);
     let per_other_exec = COMPUTE + ACCESSES * r + blocking;
     let interference: u64 = (1..N as u64)
-        .map(|_| u64::from(uam.max_arrivals()) * (CRITICAL.div_ceil(uam.window()) + 1) * per_other_exec)
+        .map(|_| {
+            u64::from(uam.max_arrivals()) * (CRITICAL.div_ceil(uam.window()) + 1) * per_other_exec
+        })
         .sum();
     let delay = interference + blocking;
     let bounds = aur_bounds(&params(&tuf, delay), r as f64);

@@ -46,10 +46,26 @@ fn run<Sched: UaScheduler>(
 #[test]
 fn underload_both_disciplines_perform_well() {
     let w = spec(0.3, 4, TufClass::Step, 1);
-    let lf = run(&w, SharingMode::LockFree { access_ticks: S }, RuaLockFree::new());
-    let lb = run(&w, SharingMode::LockBased { access_ticks: R }, RuaLockBased::new());
-    assert!(lf.metrics.aur() > 0.95, "lock-free underload AUR {}", lf.metrics.aur());
-    assert!(lb.metrics.aur() > 0.80, "lock-based underload AUR {}", lb.metrics.aur());
+    let lf = run(
+        &w,
+        SharingMode::LockFree { access_ticks: S },
+        RuaLockFree::new(),
+    );
+    let lb = run(
+        &w,
+        SharingMode::LockBased { access_ticks: R },
+        RuaLockBased::new(),
+    );
+    assert!(
+        lf.metrics.aur() > 0.95,
+        "lock-free underload AUR {}",
+        lf.metrics.aur()
+    );
+    assert!(
+        lb.metrics.aur() > 0.80,
+        "lock-based underload AUR {}",
+        lb.metrics.aur()
+    );
 }
 
 #[test]
@@ -58,8 +74,16 @@ fn overload_lock_free_beats_lock_based() {
     // RUA collapses while lock-free RUA keeps accruing.
     for seed in [2u64, 3, 4] {
         let w = spec(1.1, 10, TufClass::Heterogeneous, seed);
-        let lf = run(&w, SharingMode::LockFree { access_ticks: S }, RuaLockFree::new());
-        let lb = run(&w, SharingMode::LockBased { access_ticks: R }, RuaLockBased::new());
+        let lf = run(
+            &w,
+            SharingMode::LockFree { access_ticks: S },
+            RuaLockFree::new(),
+        );
+        let lb = run(
+            &w,
+            SharingMode::LockBased { access_ticks: R },
+            RuaLockBased::new(),
+        );
         assert!(
             lf.metrics.aur() > lb.metrics.aur(),
             "seed {seed}: lock-free AUR {} must beat lock-based {}",
@@ -81,7 +105,11 @@ fn lock_free_rua_tracks_ideal_rua() {
     // the ideal (zero-cost-object) RUA.
     let w = spec(0.7, 10, TufClass::Step, 5);
     let ideal = run(&w, SharingMode::Ideal, RuaLockFree::new());
-    let lf = run(&w, SharingMode::LockFree { access_ticks: S }, RuaLockFree::new());
+    let lf = run(
+        &w,
+        SharingMode::LockFree { access_ticks: S },
+        RuaLockFree::new(),
+    );
     assert!(
         (ideal.metrics.aur() - lf.metrics.aur()).abs() < 0.10,
         "lock-free {} should track ideal {}",
@@ -99,7 +127,11 @@ fn overload_rua_beats_edf_on_utility() {
     let mut total_edf = 0.0;
     for seed in [7u64, 8, 9, 10, 11] {
         let w = spec(1.4, 4, TufClass::Step, seed);
-        let rua = run(&w, SharingMode::LockFree { access_ticks: S }, RuaLockFree::new());
+        let rua = run(
+            &w,
+            SharingMode::LockFree { access_ticks: S },
+            RuaLockFree::new(),
+        );
         let edf = run(&w, SharingMode::LockFree { access_ticks: S }, Edf::new());
         total_rua += rua.metrics.aur();
         total_edf += edf.metrics.aur();
@@ -125,17 +157,37 @@ fn more_objects_hurt_lock_based_not_lock_free() {
         s.accesses_per_job = 8;
         s
     };
-    let lb_few = run(&few, SharingMode::LockBased { access_ticks: R }, RuaLockBased::new());
-    let lb_many = run(&many, SharingMode::LockBased { access_ticks: R }, RuaLockBased::new());
-    let lf_few = run(&few, SharingMode::LockFree { access_ticks: S }, RuaLockFree::new());
-    let lf_many = run(&many, SharingMode::LockFree { access_ticks: S }, RuaLockFree::new());
+    let lb_few = run(
+        &few,
+        SharingMode::LockBased { access_ticks: R },
+        RuaLockBased::new(),
+    );
+    let lb_many = run(
+        &many,
+        SharingMode::LockBased { access_ticks: R },
+        RuaLockBased::new(),
+    );
+    let lf_few = run(
+        &few,
+        SharingMode::LockFree { access_ticks: S },
+        RuaLockFree::new(),
+    );
+    let lf_many = run(
+        &many,
+        SharingMode::LockFree { access_ticks: S },
+        RuaLockFree::new(),
+    );
     let lb_drop = lb_few.metrics.aur() - lb_many.metrics.aur();
     let lf_drop = lf_few.metrics.aur() - lf_many.metrics.aur();
     assert!(
         lb_drop > lf_drop,
         "lock-based degradation ({lb_drop:.3}) must exceed lock-free ({lf_drop:.3})"
     );
-    assert!(lf_many.metrics.aur() > 0.9, "lock-free stays healthy: {}", lf_many.metrics.aur());
+    assert!(
+        lf_many.metrics.aur() > 0.9,
+        "lock-free stays healthy: {}",
+        lf_many.metrics.aur()
+    );
 }
 
 #[test]

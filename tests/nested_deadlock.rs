@@ -4,17 +4,19 @@
 //! the least-utility victim so the other completes.
 
 use lockfree_rt::core::RuaLockBased;
-use lockfree_rt::sim::{
-    Engine, ObjectId, Segment, SharingMode, SimConfig, SimError, TaskSpec,
-};
+use lockfree_rt::sim::{Engine, ObjectId, Segment, SharingMode, SimConfig, SimError, TaskSpec};
 use lockfree_rt::tuf::Tuf;
 use lockfree_rt::uam::{ArrivalTrace, Uam};
 
 fn acquire(o: usize) -> Segment {
-    Segment::Acquire { object: ObjectId::new(o) }
+    Segment::Acquire {
+        object: ObjectId::new(o),
+    }
 }
 fn release(o: usize) -> Segment {
-    Segment::Release { object: ObjectId::new(o) }
+    Segment::Release {
+        object: ObjectId::new(o),
+    }
 }
 
 fn nested_task(name: &str, utility: f64, critical: u64, first: usize, second: usize) -> TaskSpec {
@@ -48,8 +50,16 @@ fn opposite_order_acquisition_deadlocks_and_resolves() {
     .expect("valid engine")
     .run(RuaLockBased::new());
 
-    let cheap_rec = outcome.records.iter().find(|r| r.task.index() == 0).expect("resolved");
-    let valuable_rec = outcome.records.iter().find(|r| r.task.index() == 1).expect("resolved");
+    let cheap_rec = outcome
+        .records
+        .iter()
+        .find(|r| r.task.index() == 0)
+        .expect("resolved");
+    let valuable_rec = outcome
+        .records
+        .iter()
+        .find(|r| r.task.index() == 1)
+        .expect("resolved");
     assert!(
         valuable_rec.completed,
         "the high-utility job must survive the deadlock"
@@ -78,7 +88,11 @@ fn same_order_acquisition_never_deadlocks() {
     )
     .expect("valid engine")
     .run(RuaLockBased::new());
-    assert_eq!(outcome.metrics.completed(), 2, "ordered acquisition is deadlock-free");
+    assert_eq!(
+        outcome.metrics.completed(),
+        2,
+        "ordered acquisition is deadlock-free"
+    );
     assert_eq!(outcome.metrics.aborted(), 0);
 }
 
@@ -102,7 +116,11 @@ fn nested_holds_serialize_across_both_objects() {
     .expect("valid engine")
     .run(RuaLockBased::new());
     assert_eq!(outcome.metrics.completed(), 2);
-    let prober_rec = outcome.records.iter().find(|r| r.task.index() == 1).expect("ran");
+    let prober_rec = outcome
+        .records
+        .iter()
+        .find(|r| r.task.index() == 1)
+        .expect("ran");
     // outer acquires O1 at t=100 and releases it at t=200; the prober
     // (arriving at 150, mid-hold) cannot finish before that.
     assert!(
@@ -149,7 +167,13 @@ fn unbalanced_locking_rejected_at_build_time() {
     let err = TaskSpec::builder("bad3")
         .tuf(Tuf::step(1.0, 1_000).expect("valid"))
         .uam(Uam::periodic(1_000))
-        .segments(vec![acquire(0), acquire(1), Segment::Compute(10), release(0), release(1)])
+        .segments(vec![
+            acquire(0),
+            acquire(1),
+            Segment::Compute(10),
+            release(0),
+            release(1),
+        ])
         .build()
         .unwrap_err();
     assert!(matches!(err, SimError::UnbalancedLocking { .. }));
@@ -158,7 +182,13 @@ fn unbalanced_locking_rejected_at_build_time() {
     let err = TaskSpec::builder("bad4")
         .tuf(Tuf::step(1.0, 1_000).expect("valid"))
         .uam(Uam::periodic(1_000))
-        .segments(vec![acquire(0), acquire(0), Segment::Compute(10), release(0), release(0)])
+        .segments(vec![
+            acquire(0),
+            acquire(0),
+            Segment::Compute(10),
+            release(0),
+            release(0),
+        ])
         .build()
         .unwrap_err();
     assert!(matches!(err, SimError::UnbalancedLocking { .. }));
@@ -177,6 +207,13 @@ fn victim_selection_prefers_low_utility_job() {
     )
     .expect("valid engine")
     .run(RuaLockBased::new());
-    let valuable_rec = outcome.records.iter().find(|r| r.task.index() == 0).expect("ran");
-    assert!(valuable_rec.completed, "PUD-based victim selection must spare the valuable job");
+    let valuable_rec = outcome
+        .records
+        .iter()
+        .find(|r| r.task.index() == 0)
+        .expect("ran");
+    assert!(
+        valuable_rec.completed,
+        "PUD-based victim selection must spare the valuable job"
+    );
 }

@@ -10,32 +10,38 @@ use proptest::prelude::*;
 
 fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
     (
-        2usize..8,        // tasks
-        1usize..5,        // objects
-        0usize..5,        // accesses per job
-        0u64..3,          // tuf class selector / arrival style selector
-        20u32..130,       // load percent
-        1u32..4,          // burst
-        any::<u64>(),     // seed
+        2usize..8,    // tasks
+        1usize..5,    // objects
+        0usize..5,    // accesses per job
+        0u64..3,      // tuf class selector / arrival style selector
+        20u32..130,   // load percent
+        1u32..4,      // burst
+        any::<u64>(), // seed
     )
-        .prop_map(|(tasks, objects, accesses, style, load_pct, burst, seed)| WorkloadSpec {
-            num_tasks: tasks,
-            num_objects: objects,
-            accesses_per_job: accesses,
-            tuf_class: if style % 2 == 0 { TufClass::Step } else { TufClass::Heterogeneous },
-            target_load: f64::from(load_pct) / 100.0,
-            window_range: (3_000, 12_000),
-            max_burst: burst,
-            critical_time_frac: 0.9,
-            arrival_style: match style {
-                0 => ArrivalStyle::Periodic,
-                1 => ArrivalStyle::RandomUam { intensity: 3.0 },
-                _ => ArrivalStyle::BackToBackBurst,
+        .prop_map(
+            |(tasks, objects, accesses, style, load_pct, burst, seed)| WorkloadSpec {
+                num_tasks: tasks,
+                num_objects: objects,
+                accesses_per_job: accesses,
+                tuf_class: if style % 2 == 0 {
+                    TufClass::Step
+                } else {
+                    TufClass::Heterogeneous
+                },
+                target_load: f64::from(load_pct) / 100.0,
+                window_range: (3_000, 12_000),
+                max_burst: burst,
+                critical_time_frac: 0.9,
+                arrival_style: match style {
+                    0 => ArrivalStyle::Periodic,
+                    1 => ArrivalStyle::RandomUam { intensity: 3.0 },
+                    _ => ArrivalStyle::BackToBackBurst,
+                },
+                horizon: 120_000,
+                read_fraction: 0.0,
+                seed,
             },
-            horizon: 120_000,
-            read_fraction: 0.0,
-            seed,
-        })
+        )
 }
 
 fn run<S: UaScheduler>(spec: &WorkloadSpec, sharing: SharingMode, scheduler: S) -> SimOutcome {

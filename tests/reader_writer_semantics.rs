@@ -10,9 +10,7 @@ use lockfree_rt::analysis::RetryBoundInput;
 use lockfree_rt::core::RuaLockFree;
 use lockfree_rt::sim::mp::MpEngine;
 use lockfree_rt::sim::workload::{ArrivalStyle, TufClass, WorkloadSpec};
-use lockfree_rt::sim::{
-    AccessKind, Engine, ObjectId, Segment, SharingMode, SimConfig, TaskSpec,
-};
+use lockfree_rt::sim::{AccessKind, Engine, ObjectId, Segment, SharingMode, SimConfig, TaskSpec};
 use lockfree_rt::tuf::Tuf;
 use lockfree_rt::uam::{ArrivalTrace, Uam};
 
@@ -67,7 +65,10 @@ fn writers_cause_retries_on_the_same_workload() {
         .run(RuaLockFree::new());
         any |= outcome.metrics.retries() > 0;
     }
-    assert!(any, "the write variant of the workload must retry somewhere");
+    assert!(
+        any,
+        "the write variant of the workload must retry somewhere"
+    );
 }
 
 #[test]
@@ -80,7 +81,10 @@ fn readers_do_retry_when_writers_interfere() {
         .uam(Uam::periodic(100_000))
         .segments(vec![
             Segment::Compute(10),
-            Segment::Access { object: ObjectId::new(0), kind: AccessKind::Read },
+            Segment::Access {
+                object: ObjectId::new(0),
+                kind: AccessKind::Read,
+            },
         ])
         .build()
         .expect("valid task");
@@ -100,8 +104,15 @@ fn readers_do_retry_when_writers_interfere() {
     )
     .expect("valid engine")
     .run(RuaLockFree::new());
-    let reader_rec = outcome.records.iter().find(|r| r.task.index() == 0).expect("ran");
-    assert_eq!(reader_rec.retries, 1, "the writer's commit invalidates the in-flight read");
+    let reader_rec = outcome
+        .records
+        .iter()
+        .find(|r| r.task.index() == 0)
+        .expect("ran");
+    assert_eq!(
+        reader_rec.retries, 1,
+        "the writer's commit invalidates the in-flight read"
+    );
 }
 
 #[test]
@@ -125,7 +136,10 @@ fn true_concurrency_can_exceed_the_uniprocessor_bound() {
         }])
         .build()
         .expect("valid task");
-    let hammer_access = Segment::Access { object: ObjectId::new(0), kind: AccessKind::Write };
+    let hammer_access = Segment::Access {
+        object: ObjectId::new(0),
+        kind: AccessKind::Write,
+    };
     let mut tasks = vec![victim];
     let mut traces = vec![ArrivalTrace::new(vec![0])];
     for h in 0..2 {
@@ -137,7 +151,9 @@ fn true_concurrency_can_exceed_the_uniprocessor_bound() {
                 .build()
                 .expect("valid task"),
         );
-        traces.push(ArrivalTrace::new((0..24).map(|k| h * 50 + k * 2_500).collect()));
+        traces.push(ArrivalTrace::new(
+            (0..24).map(|k| h * 50 + k * 2_500).collect(),
+        ));
     }
     // Uniprocessor Theorem 2 bound for the victim.
     let bound = RetryBoundInput {
@@ -154,7 +170,11 @@ fn true_concurrency_can_exceed_the_uniprocessor_bound() {
     )
     .expect("valid engine")
     .run(RuaLockFree::new());
-    let victim_rec = outcome.records.iter().find(|r| r.task.index() == 0).expect("resolved");
+    let victim_rec = outcome
+        .records
+        .iter()
+        .find(|r| r.task.index() == 0)
+        .expect("resolved");
     // The victim's 100-tick attempts lose to hammer commits landing every
     // ~50 ticks; over 50 ms it racks up far more retries than the
     // event-counting bound allows.

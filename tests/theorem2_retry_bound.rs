@@ -16,8 +16,10 @@ fn check_retries_against_bound(spec: &WorkloadSpec, access_ticks: u64) {
             "trace must satisfy the UAM for the bound to apply"
         );
     }
-    let params: Vec<(Uam, u64)> =
-        tasks.iter().map(|t| (*t.uam(), t.tuf().critical_time())).collect();
+    let params: Vec<(Uam, u64)> = tasks
+        .iter()
+        .map(|t| (*t.uam(), t.tuf().critical_time()))
+        .collect();
     let bounds: Vec<u64> = (0..tasks.len())
         .map(|i| RetryBoundInput::for_task(&params, i).retry_bound())
         .collect();
@@ -28,7 +30,10 @@ fn check_retries_against_bound(spec: &WorkloadSpec, access_ticks: u64) {
     )
     .expect("valid engine")
     .run(RuaLockFree::new());
-    assert!(outcome.metrics.released() > 10, "workload must exercise the system");
+    assert!(
+        outcome.metrics.released() > 10,
+        "workload must exercise the system"
+    );
     let mut any_retry = false;
     for record in &outcome.records {
         let bound = bounds[record.task.index()];
@@ -123,8 +128,10 @@ fn many_seeds_never_violate() {
             seed,
         };
         let (tasks, traces) = spec.build().expect("valid workload");
-        let params: Vec<(Uam, u64)> =
-            tasks.iter().map(|t| (*t.uam(), t.tuf().critical_time())).collect();
+        let params: Vec<(Uam, u64)> = tasks
+            .iter()
+            .map(|t| (*t.uam(), t.tuf().critical_time()))
+            .collect();
         let bounds: Vec<u64> = (0..tasks.len())
             .map(|i| RetryBoundInput::for_task(&params, i).retry_bound())
             .collect();
@@ -167,8 +174,10 @@ fn bound_is_independent_of_object_count_in_measurement_too() {
     for accesses in [2usize, 4, 8] {
         let spec = mk(accesses, 3);
         let (tasks, traces) = spec.build().expect("valid workload");
-        let params: Vec<(Uam, u64)> =
-            tasks.iter().map(|t| (*t.uam(), t.tuf().critical_time())).collect();
+        let params: Vec<(Uam, u64)> = tasks
+            .iter()
+            .map(|t| (*t.uam(), t.tuf().critical_time()))
+            .collect();
         let outcome = Engine::new(
             tasks,
             traces,
@@ -193,7 +202,10 @@ fn hand_built_scenario_bound_is_not_vacuous() {
     use lockfree_rt::tuf::Tuf;
     use lockfree_rt::uam::ArrivalTrace;
 
-    let shared_access = Segment::Access { object: ObjectId::new(0), kind: AccessKind::Write };
+    let shared_access = Segment::Access {
+        object: ObjectId::new(0),
+        kind: AccessKind::Write,
+    };
     // Victim performs 12 back-to-back accesses of 300 ticks each; the
     // interferer (higher PUD, shorter critical time) arrives every 1000
     // ticks and stomps the object mid-access, costing one retry each time.

@@ -1,0 +1,203 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the `criterion_group!`/`criterion_main!` harness surface this
+//! workspace's benches use (`bench_function`, `benchmark_group`,
+//! `bench_with_input`, `Bencher::iter`/`iter_custom`, `BenchmarkId`), but
+//! with a deliberately tiny measurement budget: each benchmark runs a short
+//! warm-up plus a handful of timed batches and prints the mean ns/iter.
+//! There is no statistical analysis, no outlier filtering, and no report
+//! output — for real numbers, see the `lfrt-bench` experiment binaries,
+//! which carry their own statistics ([`Summary`-based] CIs) and JSON output.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter as the id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Runs one benchmark's closure under timing.
+pub struct Bencher {
+    /// Iterations per timed batch.
+    batch: u64,
+    /// Timed batches.
+    batches: u32,
+    /// Collected per-iteration nanoseconds, one entry per batch.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(batch: u64, batches: u32) -> Self {
+        Self {
+            batch,
+            batches,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Times `f`, called `batch` times per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up.
+        for _ in 0..self.batch.min(1_000) {
+            std::hint::black_box(f());
+        }
+        for _ in 0..self.batches {
+            let t0 = Instant::now();
+            for _ in 0..self.batch {
+                std::hint::black_box(f());
+            }
+            let dt = t0.elapsed();
+            self.samples.push(dt.as_nanos() as f64 / self.batch as f64);
+        }
+    }
+
+    /// Times a closure that runs `iters` iterations itself and returns the
+    /// elapsed time (for setups the harness must not time).
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        for _ in 0..self.batches {
+            let dt = f(self.batch);
+            self.samples.push(dt.as_nanos() as f64 / self.batch as f64);
+        }
+    }
+
+    fn mean_ns(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the nominal sample count (scales this stand-in's batch count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let full = format!("{}/{}", self.name, id);
+        let batches = (self.sample_size / 2).clamp(3, 20) as u32;
+        self.criterion.run_one(&full, batches, &mut f);
+    }
+
+    /// Benchmarks `f` with `input` under `id`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        self.bench_function(id.id.clone(), |b| f(b, input));
+    }
+
+    /// Ends the group (formatting no-op in this stand-in).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Benchmarks `f` under `name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        self.run_one(name, 10, &mut f);
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size: 20,
+        }
+    }
+
+    fn run_one(&mut self, name: &str, batches: u32, f: &mut dyn FnMut(&mut Bencher)) {
+        // Calibrate the batch size so one batch costs roughly a millisecond.
+        let mut probe = Bencher::new(1, 1);
+        f(&mut probe);
+        let per_iter = probe.mean_ns().max(1.0);
+        let batch = ((1_000_000.0 / per_iter) as u64).clamp(1, 100_000);
+        let mut bencher = Bencher::new(batch, batches);
+        f(&mut bencher);
+        println!("{name:<50} {:>12.1} ns/iter", bencher.mean_ns());
+    }
+}
+
+/// Collects benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_surface_compiles_and_runs() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_function("add", |b| b.iter(|| std::hint::black_box(2) * 3));
+        group.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, &n| {
+            b.iter(|| n * 2);
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(8), &8u64, |b, &n| {
+            b.iter_custom(|iters| {
+                let t0 = std::time::Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(n + 1);
+                }
+                t0.elapsed()
+            });
+        });
+        group.finish();
+    }
+}

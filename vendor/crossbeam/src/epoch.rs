@@ -1,0 +1,413 @@
+//! Epoch-style tagged atomic pointers (see the crate docs for the
+//! reclamation policy of this stand-in).
+
+use std::marker::PhantomData;
+use std::mem;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of low pointer bits available for tags, from `T`'s alignment.
+const fn low_bits<T>() -> usize {
+    mem::align_of::<T>() - 1
+}
+
+fn decompose<T>(data: usize) -> (*mut T, usize) {
+    ((data & !low_bits::<T>()) as *mut T, data & low_bits::<T>())
+}
+
+/// A pinned-region token.
+///
+/// In real crossbeam a `Guard` keeps the current epoch pinned so deferred
+/// destructions can eventually run; here destruction is deferred forever, so
+/// the guard only serves to scope [`Shared`] lifetimes exactly like the real
+/// API does.
+#[derive(Debug)]
+pub struct Guard {
+    _private: (),
+}
+
+impl Guard {
+    /// Schedules `ptr`'s pointee for destruction once no thread can hold a
+    /// reference.
+    ///
+    /// This stand-in never destroys: the allocation is intentionally leaked
+    /// (type-stable-pool semantics; see the crate docs).
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must point to a live allocation created through [`Owned`] that
+    /// is no longer reachable by new loads.
+    pub unsafe fn defer_destroy<T>(&self, ptr: Shared<'_, T>) {
+        let _ = ptr;
+    }
+}
+
+/// Pins the current thread and returns a guard scoping loaded pointers.
+pub fn pin() -> Guard {
+    Guard { _private: () }
+}
+
+/// Returns a guard usable without pinning.
+///
+/// # Safety
+///
+/// Callers must guarantee exclusive access to the data structure (e.g. from
+/// `Drop` via `&mut self`, or before the structure is shared).
+pub unsafe fn unprotected() -> &'static Guard {
+    static UNPROTECTED: Guard = Guard { _private: () };
+    &UNPROTECTED
+}
+
+/// An owned, heap-allocated pointer, analogous to `Box<T>`.
+pub struct Owned<T> {
+    data: usize,
+    _marker: PhantomData<Box<T>>,
+}
+
+impl<T> Owned<T> {
+    /// Allocates `value` on the heap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `T` is a zero-sized type (unsupported by this stand-in).
+    pub fn new(value: T) -> Self {
+        assert!(mem::size_of::<T>() != 0, "ZSTs are not supported");
+        let ptr = Box::into_raw(Box::new(value));
+        Self {
+            data: ptr as usize,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Converts into a [`Shared`] scoped by `guard`, giving up ownership.
+    pub fn into_shared<'g>(self, _guard: &'g Guard) -> Shared<'g, T> {
+        let data = self.data;
+        mem::forget(self);
+        Shared {
+            data,
+            _marker: PhantomData,
+        }
+    }
+
+    fn into_usize(self) -> usize {
+        let data = self.data;
+        mem::forget(self);
+        data
+    }
+
+    unsafe fn from_usize(data: usize) -> Self {
+        Self {
+            data,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> std::ops::Deref for Owned<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        let (ptr, _) = decompose::<T>(self.data);
+        // SAFETY: an `Owned` always holds a live, exclusively owned
+        // allocation created in `Owned::new`.
+        unsafe { &*ptr }
+    }
+}
+
+impl<T> std::ops::DerefMut for Owned<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        let (ptr, _) = decompose::<T>(self.data);
+        // SAFETY: as in `deref`, plus `&mut self` gives uniqueness.
+        unsafe { &mut *ptr }
+    }
+}
+
+impl<T> Drop for Owned<T> {
+    fn drop(&mut self) {
+        let (ptr, _) = decompose::<T>(self.data);
+        // SAFETY: the allocation is exclusively owned and was created by
+        // `Box::new` in `Owned::new`.
+        drop(unsafe { Box::from_raw(ptr) });
+    }
+}
+
+/// A tagged pointer valid for the guard lifetime `'g`.
+pub struct Shared<'g, T> {
+    data: usize,
+    _marker: PhantomData<(&'g (), *const T)>,
+}
+
+impl<T> Clone for Shared<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for Shared<'_, T> {}
+
+impl<T> PartialEq for Shared<'_, T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.data == other.data
+    }
+}
+
+impl<T> Eq for Shared<'_, T> {}
+
+impl<T> std::fmt::Debug for Shared<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (ptr, tag) = decompose::<T>(self.data);
+        f.debug_struct("Shared")
+            .field("ptr", &ptr)
+            .field("tag", &tag)
+            .finish()
+    }
+}
+
+impl<'g, T> Shared<'g, T> {
+    /// The null pointer (tag 0).
+    pub fn null() -> Self {
+        Self {
+            data: 0,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Whether the pointer part (ignoring the tag) is null.
+    pub fn is_null(&self) -> bool {
+        let (ptr, _) = decompose::<T>(self.data);
+        ptr.is_null()
+    }
+
+    /// The raw, untagged pointer.
+    pub fn as_raw(&self) -> *const T {
+        let (ptr, _) = decompose::<T>(self.data);
+        ptr
+    }
+
+    /// The tag packed into the pointer's low bits.
+    pub fn tag(&self) -> usize {
+        let (_, tag) = decompose::<T>(self.data);
+        tag
+    }
+
+    /// The same pointer with its tag replaced by `tag` (masked to fit).
+    pub fn with_tag(&self, tag: usize) -> Self {
+        let (ptr, _) = decompose::<T>(self.data);
+        Self {
+            data: ptr as usize | (tag & low_bits::<T>()),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Dereferences the pointer.
+    ///
+    /// # Safety
+    ///
+    /// The pointer must be non-null and the pointee live for `'g`.
+    pub unsafe fn deref(&self) -> &'g T {
+        &*self.as_raw()
+    }
+
+    /// Dereferences if non-null.
+    ///
+    /// # Safety
+    ///
+    /// If non-null, the pointee must be live for `'g`.
+    pub unsafe fn as_ref(&self) -> Option<&'g T> {
+        self.as_raw().as_ref()
+    }
+
+    /// Reclaims ownership of the allocation.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have exclusive access to the pointee (no concurrent
+    /// readers or writers), and the pointer must be non-null.
+    pub unsafe fn into_owned(self) -> Owned<T> {
+        debug_assert!(!self.is_null(), "into_owned on null Shared");
+        Owned::from_usize(self.as_raw() as usize)
+    }
+
+    fn into_usize(self) -> usize {
+        self.data
+    }
+
+    unsafe fn from_usize(data: usize) -> Self {
+        Self {
+            data,
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// Sealed conversion between pointer flavours and their packed form, so
+/// [`Atomic::compare_exchange`] can accept either [`Owned`] or [`Shared`]
+/// as the replacement value and hand it back intact on failure.
+pub trait Pointer<T> {
+    /// Packs into the tagged-pointer word.
+    fn into_usize(self) -> usize;
+
+    /// Unpacks from the tagged-pointer word.
+    ///
+    /// # Safety
+    ///
+    /// `data` must have come from `into_usize` of the same flavour.
+    unsafe fn from_usize(data: usize) -> Self;
+}
+
+impl<T> Pointer<T> for Owned<T> {
+    fn into_usize(self) -> usize {
+        Owned::into_usize(self)
+    }
+
+    unsafe fn from_usize(data: usize) -> Self {
+        Owned::from_usize(data)
+    }
+}
+
+impl<T> Pointer<T> for Shared<'_, T> {
+    fn into_usize(self) -> usize {
+        Shared::into_usize(self)
+    }
+
+    unsafe fn from_usize(data: usize) -> Self {
+        Shared::from_usize(data)
+    }
+}
+
+/// The error of a failed [`Atomic::compare_exchange`].
+pub struct CompareExchangeError<'g, T, P: Pointer<T>> {
+    /// The value the atomic actually held.
+    pub current: Shared<'g, T>,
+    /// The proposed replacement, handed back to the caller.
+    pub new: P,
+}
+
+/// An atomic tagged pointer to `T`.
+pub struct Atomic<T> {
+    data: AtomicUsize,
+    _marker: PhantomData<*mut T>,
+}
+
+// SAFETY: an `Atomic` is a word-sized pointer cell; all access goes through
+// atomic operations, so it moves and shares across threads exactly when the
+// pointee does.
+unsafe impl<T: Send + Sync> Send for Atomic<T> {}
+// SAFETY: as above.
+unsafe impl<T: Send + Sync> Sync for Atomic<T> {}
+
+impl<T> Atomic<T> {
+    /// The null pointer.
+    pub fn null() -> Self {
+        Self {
+            data: AtomicUsize::new(0),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Allocates `value` and points at it.
+    pub fn new(value: T) -> Self {
+        Self {
+            data: AtomicUsize::new(Owned::new(value).into_usize()),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Loads the current pointer, scoped by `guard`.
+    pub fn load<'g>(&self, ord: Ordering, _guard: &'g Guard) -> Shared<'g, T> {
+        // SAFETY: the word was stored by `store`/`compare_exchange` from a
+        // valid packed pointer.
+        unsafe { Shared::from_usize(self.data.load(ord)) }
+    }
+
+    /// Stores `new` (a [`Shared`]; this stand-in has no owned-store caller).
+    pub fn store(&self, new: Shared<'_, T>, ord: Ordering) {
+        self.data.store(new.into_usize(), ord);
+    }
+
+    /// Single compare-and-swap: replaces `current` with `new`, returning the
+    /// stored pointer on success and the observed one (plus `new`, returned
+    /// to the caller) on failure.
+    pub fn compare_exchange<'g, P: Pointer<T>>(
+        &self,
+        current: Shared<'_, T>,
+        new: P,
+        success: Ordering,
+        failure: Ordering,
+        _guard: &'g Guard,
+    ) -> Result<Shared<'g, T>, CompareExchangeError<'g, T, P>> {
+        let new_data = new.into_usize();
+        match self
+            .data
+            .compare_exchange(current.into_usize(), new_data, success, failure)
+        {
+            // SAFETY: round-trip of packed words produced by this module.
+            Ok(_) => Ok(unsafe { Shared::from_usize(new_data) }),
+            // SAFETY: as above; `new` is handed back untouched.
+            Err(observed) => Err(CompareExchangeError {
+                current: unsafe { Shared::from_usize(observed) },
+                new: unsafe { P::from_usize(new_data) },
+            }),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Atomic<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (ptr, tag) = decompose::<T>(self.data.load(Ordering::Relaxed));
+        f.debug_struct("Atomic")
+            .field("ptr", &ptr)
+            .field("tag", &tag)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering::{Acquire, Relaxed, Release};
+
+    #[test]
+    fn owned_round_trip_and_drop() {
+        let guard = pin();
+        let shared = Owned::new(41u64).into_shared(&guard);
+        // SAFETY: just created, exclusively ours.
+        assert_eq!(unsafe { *shared.deref() }, 41);
+        drop(unsafe { shared.into_owned() });
+    }
+
+    #[test]
+    fn tags_pack_into_alignment_bits() {
+        let guard = pin();
+        let a: Atomic<u64> = Atomic::new(7);
+        let p = a.load(Acquire, &guard);
+        assert_eq!(p.tag(), 0);
+        let marked = p.with_tag(1);
+        assert_eq!(marked.tag(), 1);
+        assert_eq!(marked.as_raw(), p.as_raw());
+        assert_eq!(marked.with_tag(0), p);
+        drop(unsafe { p.into_owned() });
+    }
+
+    #[test]
+    fn compare_exchange_success_and_failure() {
+        let guard = pin();
+        let a: Atomic<u64> = Atomic::null();
+        let first = Owned::new(1u64);
+        let won = a.compare_exchange(Shared::null(), first, Release, Relaxed, &guard);
+        assert!(won.is_ok());
+        let lost = a.compare_exchange(Shared::null(), Owned::new(2u64), Release, Relaxed, &guard);
+        let Err(err) = lost else {
+            panic!("CAS against stale value must fail")
+        };
+        assert_eq!(unsafe { *err.current.deref() }, 1);
+        drop(err.new); // handed back, freed normally
+        drop(unsafe { a.load(Acquire, &guard).into_owned() });
+    }
+
+    #[test]
+    fn null_is_null_regardless_of_tag() {
+        let p: Shared<'_, u64> = Shared::null().with_tag(1);
+        assert!(p.is_null());
+        assert_eq!(p.tag(), 1);
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build container has no crates.io access, so this vendors the
+//! `crossbeam::epoch` pointer API that `lfrt-lockfree` uses: tagged atomic
+//! pointers (`Atomic`/`Owned`/`Shared`) with guard-scoped loads.
+//!
+//! **Reclamation policy:** `Guard::defer_destroy` *permanently defers* — the
+//! node is leaked rather than freed. This is the moral equivalent of the
+//! paper's type-stable node pools on QNX (memory is never returned while the
+//! structure lives, so no ABA and no use-after-free), minus the reuse. The
+//! structures' `Drop` impls still free everything still linked at drop time
+//! via [`Shared::into_owned`], so quiescent teardown is leak-free; only
+//! nodes retired *during concurrent operation* stay resident. Replacing this
+//! with real epoch reclamation is tracked in ROADMAP.md.
+
+pub mod epoch;
