@@ -1,0 +1,97 @@
+//! An append-only node arena: the model analogue of epoch-based reclamation.
+//!
+//! The real queue/stack implementations lean on `crossbeam`'s epoch scheme
+//! for one guarantee: *a node is never reused while any thread may still
+//! hold a reference to it* — the property that rules out ABA. An append-only
+//! arena provides the same guarantee trivially (nodes are simply never
+//! reused within one execution), so the mirrored models inherit exactly the
+//! safety the epochs give the real code. The seeded-bug models in
+//! [`crate::models::buggy`] demonstrate what happens without it.
+
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use crate::runtime::step_write;
+
+/// Sentinel index standing in for a null pointer.
+pub const NIL: usize = usize::MAX;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Append-only storage for model nodes, addressed by index ("pointer").
+pub struct Arena<T> {
+    nodes: Mutex<Vec<Arc<T>>>,
+}
+
+impl<T> Arena<T> {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self {
+            nodes: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Allocates a node and returns its index. One scheduling step: it
+    /// mirrors the allocation at the head of the real push/enqueue, and
+    /// keeping it scheduled makes index assignment deterministic under
+    /// replay.
+    pub fn alloc(&self, node: T) -> usize {
+        step_write();
+        let mut nodes = lock(&self.nodes);
+        nodes.push(Arc::new(node));
+        nodes.len() - 1
+    }
+
+    /// Dereferences an index. Not a step: following a pointer you already
+    /// hold is not a shared-memory *access point* in the mirrored
+    /// algorithms — the fields behind it are themselves instrumented.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`NIL`] or an out-of-range index — a model bug akin to a
+    /// null/dangling dereference.
+    pub fn get(&self, index: usize) -> Arc<T> {
+        let nodes = lock(&self.nodes);
+        assert!(index != NIL, "model dereferenced NIL");
+        Arc::clone(&nodes[index])
+    }
+
+    /// Number of nodes ever allocated.
+    pub fn len(&self) -> usize {
+        lock(&self.nodes).len()
+    }
+
+    /// Whether no node was ever allocated.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.nodes).is_empty()
+    }
+}
+
+impl<T> Default for Arena<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_returns_sequential_indices() {
+        let arena = Arena::new();
+        assert_eq!(arena.alloc("a"), 0);
+        assert_eq!(arena.alloc("b"), 1);
+        assert_eq!(*arena.get(0), "a");
+        assert_eq!(*arena.get(1), "b");
+        assert_eq!(arena.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "model dereferenced NIL")]
+    fn nil_dereference_panics() {
+        let arena: Arena<u8> = Arena::new();
+        let _ = arena.get(NIL);
+    }
+}

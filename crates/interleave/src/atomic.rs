@@ -1,0 +1,141 @@
+//! Instrumented atomic cells: every operation is a scheduling yield point.
+
+use std::fmt;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use crate::runtime::{step_read, step_write};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A model atomic cell. Each `load`/`store`/`swap`/`compare_exchange`/
+/// `fetch_add` is one *step* of the owning model thread: the scheduler
+/// decides the interleaving of these operations across threads, which is
+/// exactly the granularity at which lock-free algorithms differ.
+///
+/// Exploration is sequentially consistent — every step happens at a single
+/// global point. Weak-memory reorderings are out of scope (see DESIGN.md);
+/// the real implementations' ordering annotations are validated separately
+/// by the stress suite.
+///
+/// Outside a model execution the operations behave like ordinary
+/// sequentially-consistent atomics with no yielding, so models remain usable
+/// from plain unit tests.
+pub struct Atomic<T> {
+    cell: Mutex<T>,
+}
+
+impl<T: Copy> Atomic<T> {
+    /// A cell holding `value`.
+    pub fn new(value: T) -> Self {
+        Self {
+            cell: Mutex::new(value),
+        }
+    }
+
+    /// Reads the value. One step.
+    pub fn load(&self) -> T {
+        step_read();
+        *lock(&self.cell)
+    }
+
+    /// Writes the value. One step.
+    pub fn store(&self, value: T) {
+        step_write();
+        *lock(&self.cell) = value;
+    }
+
+    /// Replaces the value, returning the previous one. One step.
+    pub fn swap(&self, value: T) -> T {
+        step_write();
+        std::mem::replace(&mut lock(&self.cell), value)
+    }
+
+    /// Compare-and-swap: if the cell equals `current`, writes `new` and
+    /// returns `Ok(current)`; otherwise returns `Err(actual)`. One step,
+    /// whether it succeeds or fails — mirroring a hardware CAS.
+    pub fn compare_exchange(&self, current: T, new: T) -> Result<T, T>
+    where
+        T: PartialEq,
+    {
+        step_write();
+        let mut guard = lock(&self.cell);
+        if *guard == current {
+            *guard = new;
+            Ok(current)
+        } else {
+            Err(*guard)
+        }
+    }
+
+    /// Adds `rhs`, returning the previous value. One step.
+    pub fn fetch_add(&self, rhs: T) -> T
+    where
+        T: std::ops::Add<Output = T>,
+    {
+        step_write();
+        let mut guard = lock(&self.cell);
+        let prev = *guard;
+        *guard = prev + rhs;
+        prev
+    }
+
+    /// Non-yielding read, for code that owns the cell exclusively by
+    /// protocol: post-CAS payload reads, post-join invariant checks, drains.
+    /// Mirrors the real implementations' non-atomic accesses to memory they
+    /// have just won exclusive ownership of.
+    pub fn load_plain(&self) -> T {
+        *lock(&self.cell)
+    }
+
+    /// Non-yielding write, for pre-publication initialization: stores that
+    /// other threads cannot observe until a later release/CAS step publishes
+    /// them (e.g. setting a new node's `next` before the push CAS).
+    pub fn store_plain(&self, value: T) {
+        *lock(&self.cell) = value;
+    }
+}
+
+impl<T: Copy + fmt::Debug> fmt::Debug for Atomic<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("Atomic").field(&self.load_plain()).finish()
+    }
+}
+
+impl<T: Copy + Default> Default for Atomic<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn behaves_like_a_plain_cell_outside_models() {
+        let a = Atomic::new(5u64);
+        assert_eq!(a.load(), 5);
+        a.store(6);
+        assert_eq!(a.swap(7), 6);
+        assert_eq!(a.compare_exchange(7, 8), Ok(7));
+        assert_eq!(a.compare_exchange(7, 9), Err(8));
+        assert_eq!(a.fetch_add(10), 8);
+        assert_eq!(a.load(), 18);
+    }
+
+    #[test]
+    fn plain_accessors_bypass_scheduling() {
+        let a = Atomic::new(1u32);
+        a.store_plain(2);
+        assert_eq!(a.load_plain(), 2);
+    }
+
+    #[test]
+    fn works_with_option_values() {
+        let a = Atomic::new(None::<u64>);
+        assert_eq!(a.swap(Some(3)), None);
+        assert_eq!(a.load(), Some(3));
+    }
+}

@@ -1,0 +1,162 @@
+//! Per-execution operation histories for linearizability checking.
+//!
+//! Model threads bracket each high-level operation with
+//! [`History::begin`]/[`History::end`]; the recorder timestamps both events
+//! on a shared logical clock. Because the runtime serializes model threads
+//! (one runs at a time), the clock induces a total order on events that is
+//! consistent with the explored interleaving, giving exact real-time
+//! precedence intervals for the checker in [`crate::linear`].
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Handle returned by [`History::begin`], consumed by [`History::end`].
+#[derive(Debug)]
+#[must_use = "an operation left pending poisons the history"]
+pub struct OpToken(usize);
+
+/// A completed operation: what was invoked, what it returned, and the
+/// real-time interval it occupied.
+#[derive(Debug, Clone)]
+pub struct CompletedOp<O, R> {
+    /// Model thread that performed the operation.
+    pub thread: usize,
+    /// The invocation.
+    pub op: O,
+    /// The response.
+    pub result: R,
+    /// Logical time of the invocation event.
+    pub call: u64,
+    /// Logical time of the response event.
+    pub ret: u64,
+}
+
+struct Pending<O, R> {
+    thread: usize,
+    op: O,
+    call: u64,
+    result: Option<(R, u64)>,
+}
+
+/// A concurrent-operation recorder, created fresh per execution.
+pub struct History<O, R> {
+    inner: Mutex<Inner<O, R>>,
+}
+
+struct Inner<O, R> {
+    clock: u64,
+    ops: Vec<Pending<O, R>>,
+}
+
+impl<O: Clone, R: Clone> History<O, R> {
+    /// An empty history.
+    pub fn new() -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                clock: 0,
+                ops: Vec::new(),
+            }),
+        }
+    }
+
+    /// Records the invocation of `op` by `thread`. Call immediately before
+    /// the operation's first shared-memory step.
+    pub fn begin(&self, thread: usize, op: O) -> OpToken {
+        let mut inner = lock(&self.inner);
+        inner.clock += 1;
+        let call = inner.clock;
+        inner.ops.push(Pending {
+            thread,
+            op,
+            call,
+            result: None,
+        });
+        OpToken(inner.ops.len() - 1)
+    }
+
+    /// Records the response of the operation opened by `token`. Call
+    /// immediately after the operation's last shared-memory step.
+    pub fn end(&self, token: OpToken, result: R) {
+        let mut inner = lock(&self.inner);
+        inner.clock += 1;
+        let ret = inner.clock;
+        let pending = &mut inner.ops[token.0];
+        debug_assert!(pending.result.is_none(), "operation completed twice");
+        pending.result = Some((result, ret));
+    }
+
+    /// The completed operations, in invocation order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any operation is still pending — histories are checked
+    /// after all model threads have joined, so a pending operation is a
+    /// scenario bug. (Aborted executions never reach a checker.)
+    pub fn completed(&self) -> Vec<CompletedOp<O, R>> {
+        lock(&self.inner)
+            .ops
+            .iter()
+            .map(|p| {
+                let (result, ret) = p
+                    .result
+                    .clone()
+                    .expect("operation still pending at history collection");
+                CompletedOp {
+                    thread: p.thread,
+                    op: p.op.clone(),
+                    result,
+                    call: p.call,
+                    ret,
+                }
+            })
+            .collect()
+    }
+
+    /// Number of operations begun so far.
+    pub fn len(&self) -> usize {
+        lock(&self.inner).ops.len()
+    }
+
+    /// Whether no operation was begun.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.inner).ops.is_empty()
+    }
+}
+
+impl<O: Clone, R: Clone> Default for History<O, R> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_intervals_on_a_shared_clock() {
+        let h: History<&str, u32> = History::new();
+        let a = h.begin(0, "push");
+        let b = h.begin(1, "pop");
+        h.end(b, 7);
+        h.end(a, 0);
+        let ops = h.completed();
+        assert_eq!(ops.len(), 2);
+        // a: call 1, ret 4; b: call 2, ret 3 — b nested inside a.
+        assert_eq!((ops[0].call, ops[0].ret), (1, 4));
+        assert_eq!((ops[1].call, ops[1].ret), (2, 3));
+        assert_eq!(ops[1].result, 7);
+        assert_eq!(ops[0].thread, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "still pending")]
+    fn pending_operation_poisons_collection() {
+        let h: History<&str, u32> = History::new();
+        let _t = h.begin(0, "op");
+        let _ = h.completed();
+    }
+}

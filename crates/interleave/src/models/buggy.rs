@@ -1,0 +1,280 @@
+//! Intentionally broken variants of the mirrored models.
+//!
+//! These exist to prove the explorer earns its keep: each struct plants one
+//! classic lock-free bug, and a test in `tests/explorer.rs` (plus the
+//! regression suite in `crates/lockfree/tests/interleavings.rs`) asserts
+//! the explorer finds a schedule exposing it — and that the faithful model
+//! of the real algorithm survives the *same* scenario.
+//!
+//! The planted bugs:
+//! - [`RacyStack`]: Treiber pop with the CAS replaced by a blind store —
+//!   the textbook lost update.
+//! - [`AbaStack`]: Treiber stack over a recycling arena that reuses freed
+//!   node slots immediately (no epoch/grace period) — the ABA problem the
+//!   paper's §1.2 discusses and crossbeam's epochs prevent in
+//!   `crates/lockfree`.
+//! - [`TornNbw`]: the NBW payload without the version protocol — readers
+//!   can observe half of one write and half of another.
+
+use std::sync::{Arc, Mutex};
+
+use crate::arena::NIL;
+use crate::atomic::Atomic;
+use crate::runtime;
+
+/// A Treiber-like stack whose pop *stores* the new top instead of CAS-ing
+/// it. Two overlapping pops can both read the same top, both "succeed", and
+/// return the same element while losing another.
+pub struct RacyStack {
+    top: Atomic<usize>,
+    nodes: Mutex<Vec<Arc<RacyNode>>>,
+}
+
+struct RacyNode {
+    value: u64,
+    next: Atomic<usize>,
+}
+
+impl RacyStack {
+    /// An empty stack.
+    pub fn new() -> Self {
+        Self {
+            top: Atomic::new(NIL),
+            nodes: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn get(&self, idx: usize) -> Arc<RacyNode> {
+        Arc::clone(&self.nodes.lock().unwrap_or_else(|e| e.into_inner())[idx])
+    }
+
+    /// Correct Treiber push (the bug is confined to `pop`).
+    pub fn push(&self, value: u64) {
+        runtime::step_write(); // allocation, like `Arena::alloc`
+        let idx = {
+            let mut nodes = self.nodes.lock().unwrap_or_else(|e| e.into_inner());
+            nodes.push(Arc::new(RacyNode {
+                value,
+                next: Atomic::new(NIL),
+            }));
+            nodes.len() - 1
+        };
+        let node = self.get(idx);
+        loop {
+            let top = self.top.load();
+            node.next.store_plain(top);
+            if self.top.compare_exchange(top, idx).is_ok() {
+                return;
+            }
+        }
+    }
+
+    /// BUG: detaches the top with a plain store. A pop that parked between
+    /// the load and the store clobbers a concurrent pop's update.
+    pub fn pop(&self) -> Option<u64> {
+        let top = self.top.load();
+        if top == NIL {
+            return None;
+        }
+        let node = self.get(top);
+        let next = node.next.load();
+        // Should be `compare_exchange(top, next)`.
+        self.top.store(next);
+        Some(node.value)
+    }
+
+    /// Post-check helper (single-threaded use only).
+    pub fn drain_plain(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut cursor = self.top.load_plain();
+        while cursor != NIL {
+            let node = self.get(cursor);
+            out.push(node.value);
+            cursor = node.next.load_plain();
+        }
+        out
+    }
+}
+
+impl Default for RacyStack {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+struct AbaNode {
+    value: Atomic<u64>,
+    next: Atomic<usize>,
+}
+
+/// A Treiber stack over a **recycling** arena: `pop` returns the node's
+/// index to a free list and `push` reuses the oldest freed index
+/// immediately. The push/pop step structure is exactly
+/// [`crate::models::ModelTreiberStack`]'s — the only difference is
+/// reclamation, which is the whole point: with reuse, a parked pop's
+/// `compare_exchange(top, next)` can succeed against a *recycled* node that
+/// happens to carry the same index (A → B → A), splicing a freed node back
+/// into the stack. The faithful model's append-only [`crate::Arena`]
+/// (standing in for crossbeam's epochs) makes that schedule harmless.
+pub struct AbaStack {
+    top: Atomic<usize>,
+    nodes: Mutex<Vec<Arc<AbaNode>>>,
+    /// Freed indices, reused FIFO.
+    free: Mutex<Vec<usize>>,
+}
+
+impl AbaStack {
+    /// An empty stack.
+    pub fn new() -> Self {
+        Self {
+            top: Atomic::new(NIL),
+            nodes: Mutex::new(Vec::new()),
+            free: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn get(&self, idx: usize) -> Arc<AbaNode> {
+        Arc::clone(&self.nodes.lock().unwrap_or_else(|e| e.into_inner())[idx])
+    }
+
+    /// BUG (half 1): allocation reuses the oldest freed slot.
+    fn alloc(&self, value: u64) -> usize {
+        runtime::step_write(); // one scheduled step, like `Arena::alloc`
+        let reused = {
+            let mut free = self.free.lock().unwrap_or_else(|e| e.into_inner());
+            if free.is_empty() {
+                None
+            } else {
+                Some(free.remove(0))
+            }
+        };
+        match reused {
+            Some(idx) => {
+                let node = self.get(idx);
+                node.value.store_plain(value);
+                node.next.store_plain(NIL);
+                idx
+            }
+            None => {
+                let mut nodes = self.nodes.lock().unwrap_or_else(|e| e.into_inner());
+                nodes.push(Arc::new(AbaNode {
+                    value: Atomic::new(value),
+                    next: Atomic::new(NIL),
+                }));
+                nodes.len() - 1
+            }
+        }
+    }
+
+    /// Same steps as `ModelTreiberStack::push`.
+    pub fn push(&self, value: u64) {
+        let idx = self.alloc(value);
+        let node = self.get(idx);
+        loop {
+            let top = self.top.load();
+            node.next.store_plain(top);
+            if self.top.compare_exchange(top, idx).is_ok() {
+                return;
+            }
+        }
+    }
+
+    /// Same steps as `ModelTreiberStack::pop`, plus: BUG (half 2) — the
+    /// winning pop frees its node immediately instead of deferring to a
+    /// grace period.
+    pub fn pop(&self) -> Option<u64> {
+        loop {
+            let top = self.top.load();
+            if top == NIL {
+                return None;
+            }
+            let node = self.get(top);
+            let next = node.next.load();
+            if self.top.compare_exchange(top, next).is_ok() {
+                let value = node.value.load_plain();
+                self.free
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push(top);
+                return Some(value);
+            }
+        }
+    }
+
+    /// Post-check helper (single-threaded use only).
+    pub fn drain_plain(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut cursor = self.top.load_plain();
+        while cursor != NIL {
+            let node = self.get(cursor);
+            out.push(node.value.load_plain());
+            cursor = node.next.load_plain();
+        }
+        out
+    }
+}
+
+impl Default for AbaStack {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The NBW payload with the version protocol deleted: a reader overlapping
+/// a write can return `a` from the new write and `b` from the old one — the
+/// torn read the real register's version check exists to reject.
+pub struct TornNbw {
+    a: Atomic<u64>,
+    b: Atomic<u64>,
+}
+
+impl TornNbw {
+    /// A register holding `(a, b)`.
+    pub fn new(a: u64, b: u64) -> Self {
+        Self {
+            a: Atomic::new(a),
+            b: Atomic::new(b),
+        }
+    }
+
+    /// BUG: publishes the two words with no version bracket.
+    pub fn write(&self, a: u64, b: u64) {
+        self.a.store(a);
+        self.b.store(b);
+    }
+
+    /// BUG: reads the two words with no consistency check.
+    pub fn read(&self) -> (u64, u64) {
+        (self.a.load(), self.b.load())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_threaded_all_behave() {
+        // Absent interference every variant looks correct — the bugs only
+        // exist in specific interleavings, which is why they need the
+        // explorer at all.
+        let racy = RacyStack::new();
+        racy.push(1);
+        racy.push(2);
+        assert_eq!(racy.pop(), Some(2));
+        assert_eq!(racy.drain_plain(), vec![1]);
+
+        let aba = AbaStack::new();
+        aba.push(1);
+        aba.push(2);
+        assert_eq!(aba.pop(), Some(2));
+        aba.push(3); // reuses node 1's slot
+        assert_eq!(aba.pop(), Some(3));
+        assert_eq!(aba.pop(), Some(1));
+        assert_eq!(aba.pop(), None);
+
+        let torn = TornNbw::new(0, 0);
+        torn.write(3, 6);
+        assert_eq!(torn.read(), (3, 6));
+    }
+}

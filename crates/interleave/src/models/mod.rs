@@ -1,0 +1,27 @@
+//! Shim models mirroring `crates/lockfree`, step for step.
+//!
+//! Each model re-expresses one real algorithm over [`crate::Atomic`] cells
+//! and an append-only [`crate::Arena`] (the stand-in for epoch
+//! reclamation), with one instrumented step per atomic operation of the
+//! real code. The "Step structure" doc section of each `crates/lockfree`
+//! source file enumerates those steps; model code carries matching `S1`/
+//! `E1`/`D1`-style comments, so a divergence between model and
+//! implementation is a reviewable diff, not a guess.
+//!
+//! [`buggy`] holds intentionally broken variants — the seeded bugs that
+//! prove the explorer actually catches ABA, lost updates, and torn reads.
+
+pub mod buggy;
+pub mod mpmc;
+pub mod nbw;
+pub mod queue;
+pub mod register;
+pub mod ring;
+pub mod stack;
+
+pub use mpmc::ModelMpmcQueue;
+pub use nbw::ModelNbw;
+pub use queue::ModelMsQueue;
+pub use register::ModelCasRegister;
+pub use ring::ModelSpscRing;
+pub use stack::ModelTreiberStack;

@@ -1,0 +1,92 @@
+//! Model of the NBW (seqlock) register, mirroring
+//! `crates/lockfree/src/nbw.rs`.
+
+use crate::atomic::Atomic;
+use crate::runtime::spin_hint;
+
+/// Non-blocking-write register over a two-word payload, with the version
+/// protocol of Kopetz & Reisinger: even version = stable, odd = a write is
+/// in flight. The real register guards an `UnsafeCell<T>` with one version
+/// word; the model splits the payload into two [`Atomic`] words so a torn
+/// read — seeing word `a` from one write and word `b` from another — is an
+/// explicit interleaving the explorer can reach and the version check must
+/// reject. Compare [`crate::models::buggy::TornNbw`], which drops the
+/// version protocol and exposes exactly that tear.
+pub struct ModelNbw {
+    /// Even: stable; odd: a write is in progress.
+    version: Atomic<u64>,
+    a: Atomic<u64>,
+    b: Atomic<u64>,
+}
+
+impl ModelNbw {
+    /// A register holding `(a, b)`.
+    pub fn new(a: u64, b: u64) -> Self {
+        Self {
+            version: Atomic::new(0),
+            a: Atomic::new(a),
+            b: Atomic::new(b),
+        }
+    }
+
+    /// Mirrors `NbwWriter::write`. Wait-free: five steps, no loop.
+    /// Single-writer protocol — scenarios must not write concurrently,
+    /// matching the real `NbwWriter` being `!Clone`.
+    pub fn write(&self, a: u64, b: u64) {
+        // W1: `version.load(Relaxed)` (even by the single-writer invariant).
+        let v = self.version.load();
+        // W2: `version.store(v + 1, Relaxed)` + Release fence — open.
+        self.version.store(v + 1);
+        // W3/W4: the payload writes (`ptr::write_volatile` on the real cell).
+        self.a.store(a);
+        self.b.store(b);
+        // W5: `version.store(v + 2, Release)` — publish.
+        self.version.store(v + 2);
+    }
+
+    /// Mirrors `NbwReader::read`: retries while a write overlaps.
+    pub fn read(&self) -> (u64, u64) {
+        loop {
+            // R1: `version.load(Acquire)`.
+            let v1 = self.version.load();
+            if !v1.is_multiple_of(2) {
+                // Mid-write: the real reader spins (`std::hint::spin_loop`).
+                // Only a writer step can change the version, so tell the
+                // scheduler this thread is blocked until someone else runs —
+                // otherwise the retry loop is an infinite subtree.
+                spin_hint();
+                continue;
+            }
+            // R2/R3: the speculative payload read (possibly torn — only
+            // *used* after the check below).
+            let a = self.a.load();
+            let b = self.b.load();
+            // R4: `version.load(Relaxed)` after the Acquire fence.
+            if self.version.load() == v1 {
+                return (a, b);
+            }
+            // A write overlapped; discard and retry. No spin_hint: the
+            // version is even again (or the odd branch above will park us),
+            // so a retry makes progress on its own.
+        }
+    }
+
+    /// Non-scheduled snapshot for post-checks.
+    pub fn read_plain(&self) -> (u64, u64) {
+        (self.a.load_plain(), self.b.load_plain())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_thread_round_trip() {
+        let r = ModelNbw::new(0, 0);
+        assert_eq!(r.read(), (0, 0));
+        r.write(21, 42);
+        assert_eq!(r.read(), (21, 42));
+        assert_eq!(r.read_plain(), (21, 42));
+    }
+}

@@ -1,0 +1,134 @@
+//! Model of the Michael–Scott queue, mirroring
+//! `crates/lockfree/src/queue.rs`.
+
+use crate::arena::{Arena, NIL};
+use crate::atomic::Atomic;
+
+/// A queue node. `value` is meaningless on the sentinel, exactly like the
+/// real node's `data: UnsafeCell<Option<T>>` being `None` there.
+pub struct QueueNode {
+    /// The element (ignored on the sentinel).
+    pub value: u64,
+    /// Index of the successor node, or [`NIL`].
+    pub next: Atomic<usize>,
+}
+
+/// Michael–Scott FIFO queue over arena indices, with the lagging-tail help
+/// protocol of the real implementation.
+pub struct ModelMsQueue {
+    head: Atomic<usize>,
+    tail: Atomic<usize>,
+    arena: Arena<QueueNode>,
+}
+
+impl ModelMsQueue {
+    /// An empty queue (head and tail on a fresh sentinel).
+    pub fn new() -> Self {
+        let arena = Arena::new();
+        // Construction happens outside any model execution (the factory
+        // runs on the controller), so this alloc is not a scheduled step —
+        // matching the real constructor's unprotected sentinel store.
+        let sentinel = arena.alloc(QueueNode {
+            value: 0,
+            next: Atomic::new(NIL),
+        });
+        Self {
+            head: Atomic::new(sentinel),
+            tail: Atomic::new(sentinel),
+            arena,
+        }
+    }
+
+    /// Mirrors `LockFreeQueue::enqueue`.
+    pub fn enqueue(&self, value: u64) {
+        // `Owned::new(..)` — node allocation (step).
+        let idx = self.arena.alloc(QueueNode {
+            value,
+            next: Atomic::new(NIL),
+        });
+        loop {
+            // E1: `self.tail.load(Acquire)`.
+            let tail = self.tail.load();
+            let tail_node = self.arena.get(tail);
+            // E2: `tail_ref.next.load(Acquire)`.
+            let next = tail_node.next.load();
+            if next != NIL {
+                // E3: tail lags — help: `self.tail.compare_exchange(tail,
+                // next, ..)`, failure benign.
+                let _ = self.tail.compare_exchange(tail, next);
+                continue;
+            }
+            // E4: `tail_ref.next.compare_exchange(null, new, Release, ..)`.
+            if tail_node.next.compare_exchange(NIL, idx).is_ok() {
+                // E5: swing the tail; failure means someone helped.
+                let _ = self.tail.compare_exchange(tail, idx);
+                return;
+            }
+        }
+    }
+
+    /// Mirrors `LockFreeQueue::dequeue`.
+    pub fn dequeue(&self) -> Option<u64> {
+        loop {
+            // D1: `self.head.load(Acquire)`.
+            let head = self.head.load();
+            let head_node = self.arena.get(head);
+            // D2: `head_ref.next.load(Acquire)`.
+            let next = head_node.next.load();
+            // `unsafe { next.as_ref() }?` — empty check.
+            if next == NIL {
+                return None;
+            }
+            // D3: `self.tail.load(Acquire)`.
+            let tail = self.tail.load();
+            if tail == head {
+                // D4: tail lags behind a non-empty queue — help advance.
+                let _ = self.tail.compare_exchange(tail, next);
+            }
+            // D5: `self.head.compare_exchange(head, next, Release, ..)`.
+            if self.head.compare_exchange(head, next).is_ok() {
+                // `(*next_ref.data.get()).take()` after winning the CAS:
+                // exclusive by protocol, not a step.
+                return Some(self.arena.get(next).value);
+            }
+        }
+    }
+
+    /// Post-check helper: the elements still queued, head to tail, without
+    /// scheduling (single-threaded use only).
+    pub fn drain_plain(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut cursor = self.arena.get(self.head.load_plain()).next.load_plain();
+        while cursor != NIL {
+            let node = self.arena.get(cursor);
+            out.push(node.value);
+            cursor = node.next.load_plain();
+        }
+        out
+    }
+}
+
+impl Default for ModelMsQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_single_threaded() {
+        let q = ModelMsQueue::new();
+        assert_eq!(q.dequeue(), None);
+        q.enqueue(1);
+        q.enqueue(2);
+        q.enqueue(3);
+        assert_eq!(q.drain_plain(), vec![1, 2, 3]);
+        assert_eq!(q.dequeue(), Some(1));
+        assert_eq!(q.dequeue(), Some(2));
+        assert_eq!(q.dequeue(), Some(3));
+        assert_eq!(q.dequeue(), None);
+    }
+}

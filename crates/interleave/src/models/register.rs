@@ -1,0 +1,64 @@
+//! Model of the CAS register, mirroring `crates/lockfree/src/register.rs`.
+
+use crate::atomic::Atomic;
+
+/// Single-word read-modify-write register: the primitive "access, check,
+/// retry" loop of the paper's §1.1.
+pub struct ModelCasRegister {
+    value: Atomic<u64>,
+}
+
+impl ModelCasRegister {
+    /// A register holding `initial`.
+    pub fn new(initial: u64) -> Self {
+        Self {
+            value: Atomic::new(initial),
+        }
+    }
+
+    /// Mirrors `CasRegister::load`.
+    pub fn load(&self) -> u64 {
+        self.value.load()
+    }
+
+    /// Mirrors `CasRegister::store`.
+    pub fn store(&self, value: u64) {
+        self.value.store(value);
+    }
+
+    /// Mirrors `CasRegister::update`: replaces the value with `f(current)`,
+    /// retrying on interference; returns the replaced value.
+    pub fn update<F: FnMut(u64) -> u64>(&self, mut f: F) -> u64 {
+        // U1: initial `self.value.load(Acquire)`.
+        let mut current = self.value.load();
+        loop {
+            let next = f(current);
+            // U2: `compare_exchange_weak(current, next, AcqRel, Acquire)` —
+            // the model CAS never fails spuriously, which only removes
+            // schedules the real loop would immediately retry.
+            match self.value.compare_exchange(current, next) {
+                Ok(prev) => return prev,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Non-scheduled read for post-checks.
+    pub fn load_plain(&self) -> u64 {
+        self.value.load_plain()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_returns_previous() {
+        let r = ModelCasRegister::new(3);
+        assert_eq!(r.update(|v| v * 2), 3);
+        assert_eq!(r.load(), 6);
+        r.store(1);
+        assert_eq!(r.load_plain(), 1);
+    }
+}

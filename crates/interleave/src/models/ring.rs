@@ -1,0 +1,109 @@
+//! Model of the SPSC ring, mirroring `crates/lockfree/src/ring.rs`.
+
+use crate::atomic::Atomic;
+
+/// Bounded single-producer/single-consumer ring over `capacity + 1` slots
+/// (one spare slot distinguishes full from empty, as in the real ring).
+///
+/// Both operations are wait-free — straight-line code, no retry loop — so
+/// exhaustive exploration of this model is tiny even at 3–4 ops per side.
+/// The model does not enforce the single-producer/single-consumer contract;
+/// scenarios must respect it, exactly as the real endpoints' `!Clone` types
+/// do statically.
+pub struct ModelSpscRing {
+    slots: Vec<Atomic<u64>>,
+    /// Next slot to pop (owned by the consumer).
+    head: Atomic<usize>,
+    /// Next slot to push (owned by the producer).
+    tail: Atomic<usize>,
+}
+
+impl ModelSpscRing {
+    /// An empty ring holding up to `capacity` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            slots: (0..capacity + 1).map(|_| Atomic::new(0)).collect(),
+            head: Atomic::new(0),
+            tail: Atomic::new(0),
+        }
+    }
+
+    fn next(&self, i: usize) -> usize {
+        (i + 1) % self.slots.len()
+    }
+
+    /// Mirrors `RingProducer::push`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(value)` when the ring is full.
+    pub fn push(&self, value: u64) -> Result<(), u64> {
+        // P1: `shared.tail.load(Relaxed)` — producer-owned index.
+        let tail = self.tail.load();
+        let next = self.next(tail);
+        // P2: `shared.head.load(Acquire)` — full check against the consumer.
+        if next == self.head.load() {
+            return Err(value);
+        }
+        // P3: the slot write. The real ring writes an `UnsafeCell` here,
+        // safe because slot `tail` is outside `[head, tail)`; the model
+        // keeps it a scheduled step so a protocol bug that lets the
+        // consumer read slot `tail` early is observable as a race.
+        self.slots[tail].store(value);
+        // P4: `shared.tail.store(next, Release)` — publication.
+        self.tail.store(next);
+        Ok(())
+    }
+
+    /// Mirrors `RingConsumer::pop`.
+    pub fn pop(&self) -> Option<u64> {
+        // C1: `shared.head.load(Relaxed)` — consumer-owned index.
+        let head = self.head.load();
+        // C2: `shared.tail.load(Acquire)` — empty check against the producer.
+        if head == self.tail.load() {
+            return None;
+        }
+        // C3: the slot read (see P3 on why this is a step).
+        let value = self.slots[head].load();
+        // C4: `shared.head.store(next, Release)` — frees the slot.
+        self.head.store(self.next(head));
+        Some(value)
+    }
+
+    /// Post-check helper: remaining elements oldest-first, without
+    /// scheduling (single-threaded use only).
+    pub fn drain_plain(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut head = self.head.load_plain();
+        let tail = self.tail.load_plain();
+        while head != tail {
+            out.push(self.slots[head].load_plain());
+            head = self.next(head);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_until_full() {
+        let ring = ModelSpscRing::new(2);
+        assert_eq!(ring.push(1), Ok(()));
+        assert_eq!(ring.push(2), Ok(()));
+        assert_eq!(ring.push(3), Err(3));
+        assert_eq!(ring.drain_plain(), vec![1, 2]);
+        assert_eq!(ring.pop(), Some(1));
+        assert_eq!(ring.push(3), Ok(()));
+        assert_eq!(ring.pop(), Some(2));
+        assert_eq!(ring.pop(), Some(3));
+        assert_eq!(ring.pop(), None);
+    }
+}

@@ -1,0 +1,111 @@
+//! Model of Treiber's stack, mirroring `crates/lockfree/src/stack.rs`.
+
+use crate::arena::{Arena, NIL};
+use crate::atomic::Atomic;
+
+/// A stack node: payload plus the `next` link published by the push CAS.
+pub struct StackNode {
+    /// The element.
+    pub value: u64,
+    /// Index of the node below, or [`NIL`].
+    pub next: Atomic<usize>,
+}
+
+/// Treiber stack over arena indices. The arena is append-only, which is
+/// precisely the guarantee crossbeam's epochs give the real stack: a node
+/// observed by a concurrent `pop` is never recycled under it, so the ABA
+/// case cannot arise. Compare [`crate::models::buggy::AbaStack`].
+pub struct ModelTreiberStack {
+    top: Atomic<usize>,
+    arena: Arena<StackNode>,
+}
+
+impl ModelTreiberStack {
+    /// An empty stack.
+    pub fn new() -> Self {
+        Self {
+            top: Atomic::new(NIL),
+            arena: Arena::new(),
+        }
+    }
+
+    /// Mirrors `TreiberStack::push`.
+    pub fn push(&self, value: u64) {
+        // Owned::new — node allocation (step, for deterministic indices).
+        let idx = self.arena.alloc(StackNode {
+            value,
+            next: Atomic::new(NIL),
+        });
+        let node = self.arena.get(idx);
+        loop {
+            // S1: `self.top.load(Acquire)`.
+            let top = self.top.load();
+            // Pre-publication `new.next.store(top, Relaxed)`: not a step —
+            // unreachable by other threads until the CAS below.
+            node.next.store_plain(top);
+            // S2: `self.top.compare_exchange(top, new, Release, ..)`.
+            if self.top.compare_exchange(top, idx).is_ok() {
+                return;
+            }
+            // Err(e) => retry with the node we still own.
+        }
+    }
+
+    /// Mirrors `TreiberStack::pop`.
+    pub fn pop(&self) -> Option<u64> {
+        loop {
+            // S1: `self.top.load(Acquire)`.
+            let top = self.top.load();
+            // `unsafe { top.as_ref() }?` — empty check.
+            if top == NIL {
+                return None;
+            }
+            let node = self.arena.get(top);
+            // S2: `top_ref.next.load(Relaxed)`.
+            let next = node.next.load();
+            // S3: `self.top.compare_exchange(top, next, Release, ..)`.
+            if self.top.compare_exchange(top, next).is_ok() {
+                // `ptr::read(&top_ref.data)` after winning the CAS:
+                // exclusive by protocol, not a step.
+                return Some(node.value);
+            }
+        }
+    }
+
+    /// Post-check helper: drains remaining elements top-down without
+    /// scheduling (single-threaded use only).
+    pub fn drain_plain(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut cursor = self.top.load_plain();
+        while cursor != NIL {
+            let node = self.arena.get(cursor);
+            out.push(node.value);
+            cursor = node.next.load_plain();
+        }
+        out
+    }
+}
+
+impl Default for ModelTreiberStack {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_single_threaded() {
+        let s = ModelTreiberStack::new();
+        s.push(1);
+        s.push(2);
+        s.push(3);
+        assert_eq!(s.pop(), Some(3));
+        assert_eq!(s.drain_plain(), vec![2, 1]);
+        assert_eq!(s.pop(), Some(2));
+        assert_eq!(s.pop(), Some(1));
+        assert_eq!(s.pop(), None);
+    }
+}

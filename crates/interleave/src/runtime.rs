@@ -1,0 +1,525 @@
+//! The execution engine: model threads as step-wise coroutines.
+//!
+//! Each model thread is a real OS thread, but only one runs at a time: every
+//! instrumented shared-memory access ([`crate::Atomic`] operations,
+//! [`crate::Arena::alloc`]) parks the thread at a *yield point* and waits for
+//! the controller to grant it the next step. One scheduling decision
+//! therefore equals "this thread performs its next shared-memory operation
+//! (and whatever thread-local code follows it)" — the granularity at which
+//! interleavings of CAS loops differ.
+//!
+//! Thread-local code before a thread's first yield point runs unscheduled;
+//! by construction it cannot touch shared state (all sharing goes through
+//! the instrumented cells), so it cannot introduce nondeterminism.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// Maximum model threads per execution. Exploration cost is exponential in
+/// thread count; this is a sanity rail, not a tuning knob.
+pub const MAX_THREADS: usize = 8;
+
+/// One execution of a concurrency scenario: the model threads to run and an
+/// optional single-threaded post-condition check.
+///
+/// Built fresh by the scenario factory for every explored interleaving, so
+/// each execution starts from identical initial state.
+#[derive(Default)]
+pub struct Plan {
+    pub(crate) threads: Vec<Box<dyn FnOnce() + Send>>,
+    pub(crate) check: Option<Box<dyn FnOnce()>>,
+}
+
+impl Plan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a model thread. Threads get ids `0, 1, ...` in registration
+    /// order; those ids appear in [`crate::Schedule`] strings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`MAX_THREADS`] threads are registered.
+    #[must_use]
+    pub fn thread(mut self, body: impl FnOnce() + Send + 'static) -> Self {
+        assert!(
+            self.threads.len() < MAX_THREADS,
+            "at most {MAX_THREADS} model threads per plan"
+        );
+        self.threads.push(Box::new(body));
+        self
+    }
+
+    /// Registers a post-condition: runs single-threaded on the controller
+    /// after every model thread has finished. Panic here fails the execution
+    /// exactly like a panic inside a model thread.
+    #[must_use]
+    pub fn check(mut self, check: impl FnOnce() + 'static) -> Self {
+        self.check = Some(Box::new(check));
+        self
+    }
+}
+
+/// How one execution ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Outcome {
+    /// All threads completed and the post-check passed.
+    Ok,
+    /// A model thread or the post-check panicked.
+    Failed(String),
+    /// All unfinished threads were spin-parked with nobody left to make
+    /// progress: a livelock under this schedule.
+    Livelock,
+    /// The per-execution step budget ran out — an unfair schedule (e.g. a
+    /// reader spinning against a paused writer); pruned, not a failure.
+    Pruned,
+}
+
+/// The result of running one interleaving.
+pub(crate) struct RunResult {
+    pub outcome: Outcome,
+    /// One entry per scheduling decision, in order. The explorer rebuilds
+    /// schedules from its own DFS stack; this trace exists for the runtime's
+    /// tests and debugging.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub decisions: Vec<Decision>,
+}
+
+/// One scheduling decision: which thread stepped, out of which enabled set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Decision {
+    pub chosen: usize,
+    pub enabled: Vec<usize>,
+}
+
+/// What the pending operation at a yield point does to shared state.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum StepKind {
+    /// Pure observation (`load`): cannot unblock a spinning thread.
+    Read,
+    /// Mutation (`store`, `swap`, CAS, `fetch_add`, arena alloc).
+    Write,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    /// Spawned; running toward its first yield point.
+    Launching,
+    /// Parked at a yield point, eligible for the next grant.
+    Parked(StepKind),
+    /// Parked after [`spin_hint`]: disabled until another thread performs a
+    /// *write* step. Under the sequentially-consistent model, nothing a
+    /// spinner re-reads can change until someone writes, so read steps
+    /// leave spinners disabled — otherwise two spinning readers could
+    /// re-enable each other with pure loads forever, making the schedule
+    /// tree infinite.
+    Spinning,
+    /// Granted; executing its step and trailing local code.
+    Running,
+    /// Returned or unwound.
+    Done,
+}
+
+struct RtState {
+    status: Vec<Status>,
+    /// The thread currently allowed to run, if any.
+    granted: Option<usize>,
+    /// Set when an execution must unwind early (panic, livelock, prune).
+    abort: bool,
+    /// First real panic message observed, if any.
+    failure: Option<String>,
+}
+
+struct Runtime {
+    state: Mutex<RtState>,
+    cv: Condvar,
+}
+
+/// Panic payload used to unwind model threads when an execution aborts.
+/// Filtered out of panic reporting; never treated as a model failure.
+struct AbortToken;
+
+thread_local! {
+    /// `(runtime, thread id)` of the model thread running on this OS thread.
+    static CURRENT: RefCell<Option<(Arc<Runtime>, usize)>> = const { RefCell::new(None) };
+}
+
+/// Ignore mutex poisoning: the runtime's own invariants never break on a
+/// model-thread panic (we abort and unwind deliberately).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Installs (once per process) a panic hook that silences the expected
+/// panics of exploration — [`AbortToken`] unwinds and model-thread failures,
+/// which the explorer reports itself with a schedule attached — and forwards
+/// everything else to the previous hook.
+fn install_panic_filter() {
+    static INSTALLED: OnceLock<()> = OnceLock::new();
+    INSTALLED.get_or_init(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let in_model = CURRENT
+                .try_with(|c| c.try_borrow().map(|b| b.is_some()).unwrap_or(true))
+                .unwrap_or(false);
+            if !in_model && info.payload().downcast_ref::<AbortToken>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Read yield point: called by instrumented loads *before* they read shared
+/// state. No-op outside a model execution.
+pub(crate) fn step_read() {
+    if let Some((rt, tid)) = current() {
+        rt.arrive(tid, Some(StepKind::Read));
+    }
+}
+
+/// Write yield point: called by instrumented mutations (`store`, `swap`,
+/// CAS, `fetch_add`, arena allocation) *before* they touch shared state.
+/// No-op outside a model execution.
+pub(crate) fn step_write() {
+    if let Some((rt, tid)) = current() {
+        rt.arrive(tid, Some(StepKind::Write));
+    }
+}
+
+/// Declares that this thread cannot make progress until *another* thread
+/// writes shared state — the model analogue of `std::hint::spin_loop()` in a
+/// retry loop that waits out a concurrent in-flight operation (e.g. an NBW
+/// reader seeing an odd version).
+///
+/// Under exploration the thread is disabled until some other thread performs
+/// a write step, which (a) keeps the schedule tree finite — read steps can't
+/// wake a spinner, so spinners can't ping-pong each other — and (b) lets the
+/// explorer report a *livelock* when every unfinished thread is spin-parked
+/// with no writer left to wake it. No-op outside a model execution.
+pub fn spin_hint() {
+    if let Some((rt, tid)) = current() {
+        rt.arrive(tid, None);
+    }
+}
+
+fn current() -> Option<(Arc<Runtime>, usize)> {
+    CURRENT
+        .try_with(|c| c.try_borrow().ok().and_then(|b| b.clone()))
+        .ok()
+        .flatten()
+}
+
+impl Runtime {
+    fn new(threads: usize) -> Self {
+        Self {
+            state: Mutex::new(RtState {
+                status: vec![Status::Launching; threads],
+                granted: None,
+                abort: false,
+                failure: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Parks the calling model thread at a yield point and blocks until the
+    /// controller grants it the next step (or the execution aborts).
+    /// `kind` is the pending operation's effect, or `None` for a spin park.
+    fn arrive(&self, tid: usize, kind: Option<StepKind>) {
+        let mut st = lock(&self.state);
+        if st.granted == Some(tid) {
+            st.granted = None;
+        }
+        st.status[tid] = match kind {
+            Some(k) => Status::Parked(k),
+            None => Status::Spinning,
+        };
+        self.cv.notify_all();
+        loop {
+            if st.abort {
+                drop(st);
+                std::panic::panic_any(AbortToken);
+            }
+            if st.granted == Some(tid) {
+                st.status[tid] = Status::Running;
+                return;
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Marks `tid` finished; a non-[`AbortToken`] panic aborts the execution
+    /// and records the first message.
+    fn finish(&self, tid: usize, panic: Option<Box<dyn std::any::Any + Send>>) {
+        let mut st = lock(&self.state);
+        if st.granted == Some(tid) {
+            st.granted = None;
+        }
+        st.status[tid] = Status::Done;
+        if let Some(payload) = panic {
+            if payload.downcast_ref::<AbortToken>().is_none() {
+                st.abort = true;
+                if st.failure.is_none() {
+                    st.failure = Some(panic_message(&payload));
+                }
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Blocks until every thread is parked or done (no one launching or
+    /// running, nothing granted). Returns the enabled set and whether any
+    /// thread is spin-parked, or `None` once all threads are done.
+    fn await_quiescent(&self) -> Option<(Vec<usize>, bool)> {
+        let mut st = lock(&self.state);
+        loop {
+            let busy = st.granted.is_some()
+                || st
+                    .status
+                    .iter()
+                    .any(|s| matches!(s, Status::Launching | Status::Running));
+            if !busy {
+                if st.status.iter().all(|s| *s == Status::Done) {
+                    return None;
+                }
+                if st.abort {
+                    // Aborting: parked threads will unwind on wake-up.
+                    self.cv.notify_all();
+                } else {
+                    let enabled: Vec<usize> = st
+                        .status
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, s)| matches!(s, Status::Parked(_)))
+                        .map(|(i, _)| i)
+                        .collect();
+                    let spinning = st.status.contains(&Status::Spinning);
+                    return Some((enabled, spinning));
+                }
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Grants the next step to `tid`. When the pending step is a write, the
+    /// shared state is about to change, so spin-parked threads are
+    /// re-enabled (their next re-check happens strictly after the write —
+    /// grants are serialized). Read grants leave spinners disabled: nothing
+    /// they could re-observe has changed.
+    fn grant(&self, tid: usize) {
+        let mut st = lock(&self.state);
+        let kind = match st.status[tid] {
+            Status::Parked(kind) => kind,
+            other => unreachable!("granting thread {tid} in state {other:?}"),
+        };
+        if kind == StepKind::Write {
+            for s in st.status.iter_mut() {
+                if *s == Status::Spinning {
+                    *s = Status::Parked(StepKind::Read);
+                }
+            }
+        }
+        st.granted = Some(tid);
+        self.cv.notify_all();
+    }
+
+    /// Aborts the execution: all parked threads unwind with [`AbortToken`].
+    fn abort(&self) {
+        let mut st = lock(&self.state);
+        st.abort = true;
+        self.cv.notify_all();
+    }
+
+    /// Blocks until every model thread has finished.
+    fn await_all_done(&self) {
+        let mut st = lock(&self.state);
+        while !st.status.iter().all(|s| *s == Status::Done) {
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model thread panicked with a non-string payload".to_string()
+    }
+}
+
+/// Runs one execution of `plan` under the scheduling decisions of `choose`.
+///
+/// `choose(enabled, last)` is called at each quiescent point with the sorted
+/// enabled thread ids and the previously chosen thread; it must return a
+/// member of `enabled`. `max_steps` bounds the number of decisions; beyond
+/// it the execution is pruned as unfair.
+pub(crate) fn run_once(
+    plan: Plan,
+    max_steps: usize,
+    choose: &mut dyn FnMut(&[usize], Option<usize>) -> usize,
+) -> RunResult {
+    install_panic_filter();
+    let n = plan.threads.len();
+    let rt = Arc::new(Runtime::new(n));
+    let mut decisions = Vec::new();
+    let mut outcome: Option<Outcome> = None;
+
+    std::thread::scope(|scope| {
+        for (tid, body) in plan.threads.into_iter().enumerate() {
+            let rt = Arc::clone(&rt);
+            scope.spawn(move || {
+                CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&rt), tid)));
+                let result = catch_unwind(AssertUnwindSafe(body));
+                CURRENT.with(|c| *c.borrow_mut() = None);
+                rt.finish(tid, result.err());
+            });
+        }
+
+        let mut last: Option<usize> = None;
+        while let Some((enabled, spinning)) = rt.await_quiescent() {
+            if enabled.is_empty() {
+                // Every unfinished thread is spin-parked and nobody can
+                // unblock them: livelock.
+                debug_assert!(spinning);
+                outcome = Some(Outcome::Livelock);
+                rt.abort();
+                continue;
+            }
+            if decisions.len() >= max_steps {
+                outcome = Some(Outcome::Pruned);
+                rt.abort();
+                continue;
+            }
+            let chosen = choose(&enabled, last);
+            assert!(
+                enabled.contains(&chosen),
+                "scheduler chose thread {chosen} outside enabled set {enabled:?}"
+            );
+            decisions.push(Decision { chosen, enabled });
+            last = Some(chosen);
+            rt.grant(chosen);
+        }
+        rt.await_all_done();
+    });
+
+    let failure = lock(&rt.state).failure.take();
+    let outcome = match (failure, outcome) {
+        // A real panic wins over livelock/prune bookkeeping.
+        (Some(msg), _) => Outcome::Failed(msg),
+        (None, Some(o)) => o,
+        (None, None) => match plan.check {
+            Some(check) => match catch_unwind(AssertUnwindSafe(check)) {
+                Ok(()) => Outcome::Ok,
+                Err(payload) => Outcome::Failed(panic_message(&payload)),
+            },
+            None => Outcome::Ok,
+        },
+    };
+    RunResult { outcome, decisions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atomic::Atomic;
+    use std::sync::Arc as StdArc;
+
+    /// Scheduler: always pick the lowest enabled tid.
+    fn lowest(enabled: &[usize], _last: Option<usize>) -> usize {
+        enabled[0]
+    }
+
+    #[test]
+    fn single_thread_runs_to_completion() {
+        let cell = StdArc::new(Atomic::new(0u64));
+        let c = StdArc::clone(&cell);
+        let plan = Plan::new().thread(move || {
+            c.store(1);
+            c.store(2);
+        });
+        let result = run_once(plan, 100, &mut lowest);
+        assert_eq!(result.outcome, Outcome::Ok);
+        assert_eq!(result.decisions.len(), 2);
+        assert_eq!(cell.load(), 2);
+    }
+
+    #[test]
+    fn decisions_record_enabled_sets() {
+        let cell = StdArc::new(Atomic::new(0u64));
+        let mk = |c: StdArc<Atomic<u64>>| move || c.store(1);
+        let plan = Plan::new()
+            .thread(mk(StdArc::clone(&cell)))
+            .thread(mk(StdArc::clone(&cell)));
+        let result = run_once(plan, 100, &mut lowest);
+        assert_eq!(result.outcome, Outcome::Ok);
+        assert_eq!(result.decisions.len(), 2);
+        assert_eq!(result.decisions[0].enabled, vec![0, 1]);
+        assert_eq!(result.decisions[0].chosen, 0);
+        assert_eq!(result.decisions[1].enabled, vec![1]);
+    }
+
+    #[test]
+    fn panic_in_model_thread_fails_with_message() {
+        let cell = StdArc::new(Atomic::new(0u64));
+        let c = StdArc::clone(&cell);
+        let c2 = StdArc::clone(&cell);
+        let plan = Plan::new()
+            .thread(move || {
+                c.store(1);
+                panic!("seeded failure");
+            })
+            .thread(move || {
+                // This thread gets aborted mid-run without failing the test
+                // runner.
+                c2.store(2);
+                c2.store(3);
+                c2.store(4);
+            });
+        let result = run_once(plan, 100, &mut lowest);
+        assert_eq!(result.outcome, Outcome::Failed("seeded failure".into()));
+    }
+
+    #[test]
+    fn check_runs_after_threads_and_can_fail() {
+        let cell = StdArc::new(Atomic::new(0u64));
+        let c = StdArc::clone(&cell);
+        let c2 = StdArc::clone(&cell);
+        let plan = Plan::new()
+            .thread(move || c.store(7))
+            .check(move || assert_eq!(c2.load(), 8, "post-check sees 7"));
+        let result = run_once(plan, 100, &mut lowest);
+        match result.outcome {
+            Outcome::Failed(msg) => assert!(msg.contains("post-check sees 7"), "{msg}"),
+            other => panic!("expected failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spin_only_threads_report_livelock() {
+        let cell = StdArc::new(Atomic::new(0u64));
+        let c = StdArc::clone(&cell);
+        let plan = Plan::new().thread(move || loop {
+            if c.load() == 1 {
+                return;
+            }
+            spin_hint();
+        });
+        let result = run_once(plan, 100, &mut lowest);
+        assert_eq!(result.outcome, Outcome::Livelock);
+    }
+
+    #[test]
+    fn step_budget_prunes_unfair_schedules() {
+        let cell = StdArc::new(Atomic::new(0u64));
+        let c = StdArc::clone(&cell);
+        // A retry loop without spin_hint: the budget backstop catches it.
+        let plan = Plan::new().thread(move || while c.load() != 1 {});
+        let result = run_once(plan, 50, &mut lowest);
+        assert_eq!(result.outcome, Outcome::Pruned);
+    }
+}

@@ -1,0 +1,118 @@
+use std::fmt;
+use std::str::FromStr;
+
+/// A serialized interleaving: the sequence of thread ids chosen at each
+/// scheduling decision of one execution.
+///
+/// The string form is the thread ids joined by `.` — `"0.1.1.0.2"` means
+/// "thread 0 steps, then thread 1 twice, then 0, then 2". A failing
+/// exploration prints this string; feeding it to [`crate::replay`] re-runs
+/// the exact interleaving.
+///
+/// # Examples
+///
+/// ```
+/// use lfrt_interleave::Schedule;
+///
+/// let s: Schedule = "0.1.1.0".parse().unwrap();
+/// assert_eq!(s.steps(), &[0, 1, 1, 0]);
+/// assert_eq!(s.to_string(), "0.1.1.0");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schedule(Vec<usize>);
+
+impl Schedule {
+    /// A schedule making the given choices in order.
+    pub fn new(choices: Vec<usize>) -> Self {
+        Self(choices)
+    }
+
+    /// The thread chosen at each decision, in order.
+    pub fn steps(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of scheduling decisions recorded.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the schedule is empty (no decisions).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, tid) in self.0.iter().enumerate() {
+            if i > 0 {
+                f.write_str(".")?;
+            }
+            write!(f, "{tid}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error parsing a [`Schedule`] string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseScheduleError(String);
+
+impl fmt::Display for ParseScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid schedule string: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseScheduleError {}
+
+impl FromStr for Schedule {
+    type Err = ParseScheduleError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Ok(Self(Vec::new()));
+        }
+        s.split('.')
+            .map(|part| {
+                part.trim()
+                    .parse::<usize>()
+                    .map_err(|_| ParseScheduleError(format!("bad thread id {part:?} in {s:?}")))
+            })
+            .collect::<Result<Vec<_>, _>>()
+            .map(Self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_display() {
+        let s = Schedule::new(vec![0, 1, 2, 1, 0]);
+        let text = s.to_string();
+        assert_eq!(text, "0.1.2.1.0");
+        assert_eq!(text.parse::<Schedule>().unwrap(), s);
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let s: Schedule = "".parse().unwrap();
+        assert!(s.is_empty());
+        assert_eq!(s.to_string(), "");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!("0.x.1".parse::<Schedule>().is_err());
+    }
+
+    #[test]
+    fn tolerates_whitespace() {
+        let s: Schedule = " 0 . 10 . 2 ".parse().unwrap();
+        assert_eq!(s.steps(), &[0, 10, 2]);
+    }
+}

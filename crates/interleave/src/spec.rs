@@ -1,0 +1,303 @@
+//! Sequential reference models for the linearizability checker.
+//!
+//! One spec per shared-object family in `crates/lockfree`: FIFO queue
+//! (Michael–Scott, Vyukov bounded), LIFO stack (Treiber), single-word
+//! register (CAS register), bounded FIFO with full/empty responses
+//! (SPSC ring, bounded MPMC), and a pair register (the NBW protocol's
+//! two-word payload, where torn reads show up as impossible pairs).
+
+use std::collections::VecDeque;
+
+use crate::linear::SeqSpec;
+
+/// An unbounded FIFO queue of `u64`s.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct QueueSpec(VecDeque<u64>);
+
+/// Queue invocations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueueOp {
+    /// Append a value at the tail.
+    Enqueue(u64),
+    /// Remove the head value, if any.
+    Dequeue,
+}
+
+/// Queue responses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueueRet {
+    /// An enqueue completed.
+    Pushed,
+    /// A dequeue returned this head (or `None` on empty).
+    Popped(Option<u64>),
+}
+
+impl QueueSpec {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SeqSpec for QueueSpec {
+    type Op = QueueOp;
+    type Ret = QueueRet;
+
+    fn apply(&mut self, op: &QueueOp) -> QueueRet {
+        match op {
+            QueueOp::Enqueue(v) => {
+                self.0.push_back(*v);
+                QueueRet::Pushed
+            }
+            QueueOp::Dequeue => QueueRet::Popped(self.0.pop_front()),
+        }
+    }
+}
+
+/// A LIFO stack of `u64`s.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct StackSpec(Vec<u64>);
+
+/// Stack invocations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StackOp {
+    /// Push a value.
+    Push(u64),
+    /// Pop the top value, if any.
+    Pop,
+}
+
+/// Stack responses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StackRet {
+    /// A push completed.
+    Pushed,
+    /// A pop returned this top (or `None` on empty).
+    Popped(Option<u64>),
+}
+
+impl StackSpec {
+    /// An empty stack.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SeqSpec for StackSpec {
+    type Op = StackOp;
+    type Ret = StackRet;
+
+    fn apply(&mut self, op: &StackOp) -> StackRet {
+        match op {
+            StackOp::Push(v) => {
+                self.0.push(*v);
+                StackRet::Pushed
+            }
+            StackOp::Pop => StackRet::Popped(self.0.pop()),
+        }
+    }
+}
+
+/// A single-word read-modify-write register (the `CasRegister` spec).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct RegisterSpec(u64);
+
+/// Register invocations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegisterOp {
+    /// Read the value.
+    Load,
+    /// Overwrite the value.
+    Store(u64),
+    /// Atomically add, returning the previous value (`update(|v| v + k)`).
+    Add(u64),
+}
+
+/// Register responses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegisterRet {
+    /// The value read.
+    Value(u64),
+    /// A store completed.
+    Stored,
+    /// The value an `Add` replaced.
+    Replaced(u64),
+}
+
+impl RegisterSpec {
+    /// A register holding `initial`.
+    pub fn new(initial: u64) -> Self {
+        Self(initial)
+    }
+}
+
+impl SeqSpec for RegisterSpec {
+    type Op = RegisterOp;
+    type Ret = RegisterRet;
+
+    fn apply(&mut self, op: &RegisterOp) -> RegisterRet {
+        match op {
+            RegisterOp::Load => RegisterRet::Value(self.0),
+            RegisterOp::Store(v) => {
+                self.0 = *v;
+                RegisterRet::Stored
+            }
+            RegisterOp::Add(k) => {
+                let prev = self.0;
+                self.0 += k;
+                RegisterRet::Replaced(prev)
+            }
+        }
+    }
+}
+
+/// A bounded FIFO queue (SPSC ring / bounded MPMC spec): pushes report
+/// whether they fit, pops report the head.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BoundedQueueSpec {
+    items: VecDeque<u64>,
+    capacity: usize,
+}
+
+/// Bounded-queue invocations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoundedOp {
+    /// Try to append a value.
+    Push(u64),
+    /// Remove the head value, if any.
+    Pop,
+}
+
+/// Bounded-queue responses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoundedRet {
+    /// Whether the push fit (`false` = full, value handed back).
+    Pushed(bool),
+    /// The popped head (or `None` on empty).
+    Popped(Option<u64>),
+}
+
+impl BoundedQueueSpec {
+    /// An empty bounded queue of the given capacity.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            items: VecDeque::new(),
+            capacity,
+        }
+    }
+}
+
+impl SeqSpec for BoundedQueueSpec {
+    type Op = BoundedOp;
+    type Ret = BoundedRet;
+
+    fn apply(&mut self, op: &BoundedOp) -> BoundedRet {
+        match op {
+            BoundedOp::Push(v) => {
+                if self.items.len() < self.capacity {
+                    self.items.push_back(*v);
+                    BoundedRet::Pushed(true)
+                } else {
+                    BoundedRet::Pushed(false)
+                }
+            }
+            BoundedOp::Pop => BoundedRet::Popped(self.items.pop_front()),
+        }
+    }
+}
+
+/// An atomic pair register: the NBW protocol's spec. A torn read surfaces
+/// as a pair that was never written.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct PairSpec(u64, u64);
+
+/// Pair-register invocations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PairOp {
+    /// Publish a pair.
+    Write(u64, u64),
+    /// Read the current pair.
+    Read,
+}
+
+/// Pair-register responses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PairRet {
+    /// A write completed.
+    Written,
+    /// The pair read.
+    Pair(u64, u64),
+}
+
+impl PairSpec {
+    /// A register holding `(a, b)`.
+    pub fn new(a: u64, b: u64) -> Self {
+        Self(a, b)
+    }
+}
+
+impl SeqSpec for PairSpec {
+    type Op = PairOp;
+    type Ret = PairRet;
+
+    fn apply(&mut self, op: &PairOp) -> PairRet {
+        match op {
+            PairOp::Write(a, b) => {
+                self.0 = *a;
+                self.1 = *b;
+                PairRet::Written
+            }
+            PairOp::Read => PairRet::Pair(self.0, self.1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_is_fifo() {
+        let mut q = QueueSpec::new();
+        assert_eq!(q.apply(&QueueOp::Enqueue(1)), QueueRet::Pushed);
+        assert_eq!(q.apply(&QueueOp::Enqueue(2)), QueueRet::Pushed);
+        assert_eq!(q.apply(&QueueOp::Dequeue), QueueRet::Popped(Some(1)));
+        assert_eq!(q.apply(&QueueOp::Dequeue), QueueRet::Popped(Some(2)));
+        assert_eq!(q.apply(&QueueOp::Dequeue), QueueRet::Popped(None));
+    }
+
+    #[test]
+    fn stack_is_lifo() {
+        let mut s = StackSpec::new();
+        s.apply(&StackOp::Push(1));
+        s.apply(&StackOp::Push(2));
+        assert_eq!(s.apply(&StackOp::Pop), StackRet::Popped(Some(2)));
+        assert_eq!(s.apply(&StackOp::Pop), StackRet::Popped(Some(1)));
+        assert_eq!(s.apply(&StackOp::Pop), StackRet::Popped(None));
+    }
+
+    #[test]
+    fn register_add_returns_previous() {
+        let mut r = RegisterSpec::new(10);
+        assert_eq!(r.apply(&RegisterOp::Add(5)), RegisterRet::Replaced(10));
+        assert_eq!(r.apply(&RegisterOp::Load), RegisterRet::Value(15));
+        assert_eq!(r.apply(&RegisterOp::Store(1)), RegisterRet::Stored);
+        assert_eq!(r.apply(&RegisterOp::Load), RegisterRet::Value(1));
+    }
+
+    #[test]
+    fn bounded_queue_reports_full() {
+        let mut q = BoundedQueueSpec::new(1);
+        assert_eq!(q.apply(&BoundedOp::Push(1)), BoundedRet::Pushed(true));
+        assert_eq!(q.apply(&BoundedOp::Push(2)), BoundedRet::Pushed(false));
+        assert_eq!(q.apply(&BoundedOp::Pop), BoundedRet::Popped(Some(1)));
+        assert_eq!(q.apply(&BoundedOp::Pop), BoundedRet::Popped(None));
+    }
+
+    #[test]
+    fn pair_register_round_trips() {
+        let mut p = PairSpec::new(0, 0);
+        assert_eq!(p.apply(&PairOp::Write(3, 6)), PairRet::Written);
+        assert_eq!(p.apply(&PairOp::Read), PairRet::Pair(3, 6));
+    }
+}

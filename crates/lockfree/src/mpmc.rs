@@ -19,6 +19,11 @@ use crate::stats::OpStats;
 /// allocates once at construction — the usual choice for embedded systems
 /// that forbid dynamic allocation after initialization.
 ///
+/// The step structure (P1–P5/C1–C5 below) is mirrored by
+/// `lfrt-interleave`'s `ModelMpmcQueue`; exploring that model is what
+/// surfaced the capacity-1 defect fixed in [`BoundedMpmcQueue::new`]
+/// (regression test: `tests/interleavings.rs`).
+///
 /// # Examples
 ///
 /// ```
@@ -51,14 +56,22 @@ unsafe impl<T: Send> Sync for BoundedMpmcQueue<T> {}
 
 impl<T: Send> BoundedMpmcQueue<T> {
     /// Creates a queue holding up to `capacity` elements (rounded up to the
-    /// next power of two internally).
+    /// next power of two internally, with a minimum of 2).
+    ///
+    /// The minimum matters: the sequence protocol needs at least two slots
+    /// to tell "free for this lap" from "published by this lap". With a
+    /// single slot, a producer's published sequence `t + 1` equals the next
+    /// ticket, so a second push would claim the slot and overwrite the
+    /// unconsumed element — and the skipped sequence then livelocks `pop`.
+    /// The deterministic interleaving model caught exactly that history
+    /// (`crates/interleave`); the same floor is applied there.
     ///
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "capacity must be positive");
-        let cap = capacity.next_power_of_two();
+        let cap = capacity.next_power_of_two().max(2);
         let slots: Box<[Slot<T>]> = (0..cap)
             .map(|i| Slot {
                 sequence: AtomicUsize::new(i),
@@ -220,6 +233,20 @@ mod tests {
         }
         assert_eq!(q.pop(), None);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn capacity_one_gets_two_slots_and_conserves_elements() {
+        // Regression: with a single slot, the second push used to claim the
+        // slot of the still-unconsumed first element (sequence t + 1 equals
+        // the next ticket), losing it and livelocking the next pop.
+        let q = BoundedMpmcQueue::new(1);
+        assert!(q.push(1).is_ok());
+        assert!(q.push(2).is_ok(), "rounded up to two slots");
+        assert_eq!(q.push(3), Err(3), "full at two");
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
     }
 
     #[test]

@@ -14,6 +14,11 @@ use crate::stats::OpStats;
 /// a bounded number of steps, regardless of readers), while **readers
 /// retry** when a write overlaps their read — the familiar seqlock scheme.
 ///
+/// The version-bracket protocol is mirrored step for step by
+/// `lfrt-interleave`'s `ModelNbw`; the explorer proves the bracket is
+/// load-bearing by tearing an unversioned variant (`TornNbw`) on a concrete
+/// replayable schedule (`crates/interleave/tests/explorer.rs`).
+///
 /// # Examples
 ///
 /// ```

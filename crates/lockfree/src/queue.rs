@@ -19,6 +19,11 @@ use crate::stats::OpStats;
 /// [`LockFreeQueue::stats`] — the measured analogue of the retry count `f_i`
 /// that the paper's Theorem 2 bounds under the UAM.
 ///
+/// The enqueue/dequeue step structure (E1–E5/D1–D5 below, including the
+/// lagging-tail help protocol) is mirrored step for step by
+/// `lfrt-interleave`'s `ModelMsQueue`, whose interleavings are checked for
+/// linearizability in `crates/interleave` and `tests/interleavings.rs`.
+///
 /// # Examples
 ///
 /// ```

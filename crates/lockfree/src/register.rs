@@ -10,6 +10,10 @@ use crate::stats::OpStats;
 /// [`CasRegister::update`] is a read–compute–CAS loop; a failed CAS is one
 /// retry of the kind bounded per job by Theorem 2.
 ///
+/// The load→CAS loop is mirrored by `lfrt-interleave`'s `ModelCasRegister`
+/// and checked linearizable over every interleaving of concurrent updates
+/// in `crates/interleave/tests/linearizability.rs`.
+///
 /// # Examples
 ///
 /// ```

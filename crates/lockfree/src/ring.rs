@@ -13,6 +13,10 @@ use std::sync::Arc;
 /// each index has exactly one writer. Bounded rings like this are the
 /// bread-and-butter of embedded ISR-to-task communication.
 ///
+/// The index protocol is mirrored step for step by `lfrt-interleave`'s
+/// `ModelSpscRing`, checked linearizable over its exhaustive small-bound
+/// schedule space in `crates/interleave` and `tests/interleavings.rs`.
+///
 /// The usable capacity is `capacity` elements (one extra internal slot
 /// distinguishes full from empty).
 ///

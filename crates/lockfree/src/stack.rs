@@ -14,6 +14,12 @@ use crate::stats::OpStats;
 /// read and the CAS — precisely the interference the paper's Theorem 2
 /// bounds per job under the UAM.
 ///
+/// The push/pop step structure — load the top, publish `next`, CAS the top —
+/// is mirrored step for step by `lfrt-interleave`'s `ModelTreiberStack`
+/// (with the epoch reclamation modeled as an append-only arena), and that
+/// model's small-bound interleavings are explored exhaustively in
+/// `crates/interleave` and this crate's `tests/interleavings.rs`.
+///
 /// # Examples
 ///
 /// ```

@@ -1,18 +1,44 @@
-//! Cross-structure stress tests: several threads hammer every concurrent
-//! structure at once for a bounded number of operations, checking global
-//! conservation invariants at the end. Catches reclamation and ordering
-//! regressions that single-structure tests can miss.
+//! Stress tests: several threads hammer the concurrent structures for a
+//! bounded number of operations, checking conservation invariants at the
+//! end. The mixed test interleaves every structure at once; the
+//! per-structure tests focus contention on one object so its CAS loops
+//! actually collide, and check the [`lfrt_lockfree::OpStats`] accounting
+//! identity (`attempts == successes + retries`, so attempts ≥ successes)
+//! alongside element conservation. Catches reclamation and ordering
+//! regressions that single-structure unit tests can miss.
+//!
+//! These are probabilistic: they exercise real schedules under real
+//! contention. Their deterministic counterparts — exhaustive small-bound
+//! explorations of step-faithful models — live in `tests/interleavings.rs`
+//! and `crates/interleave`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use lfrt_lockfree::{
-    nbw_register, AtomicSnapshot, BoundedMpmcQueue, CasRegister, LockFreeList, LockFreeQueue,
-    TreiberStack,
+    nbw_register, spsc_ring, AtomicSnapshot, BoundedMpmcQueue, CasRegister, LockFreeList,
+    LockFreeQueue, StatsSnapshot, TreiberStack,
 };
 
 const THREADS: usize = 4;
 const OPS_PER_THREAD: u64 = 10_000;
+
+/// `attempts == successes + retries` by construction, so attempts can never
+/// undercount successes; and a loop that succeeded at least once must have
+/// attempted at least once.
+fn check_stats(snapshot: StatsSnapshot, min_successes: u64, what: &str) {
+    assert!(
+        snapshot.attempts >= snapshot.successes(),
+        "{what}: attempts {} < successes {}",
+        snapshot.attempts,
+        snapshot.successes()
+    );
+    assert!(
+        snapshot.successes() >= min_successes,
+        "{what}: {} successes, expected at least {min_successes}",
+        snapshot.successes()
+    );
+}
 
 #[test]
 fn mixed_structure_stress_conserves_everything() {
@@ -118,4 +144,201 @@ fn mixed_structure_stress_conserves_everything() {
     );
     // List drained by its own branch.
     assert!(list.is_empty(), "leftover keys: {:?}", list.to_vec());
+}
+
+/// N producers and N consumers on one Michael–Scott queue: every enqueued
+/// tag is dequeued exactly once.
+#[test]
+fn queue_mpmc_stress_conserves_elements() {
+    let queue = Arc::new(LockFreeQueue::new());
+    let total = (THREADS as u64) * OPS_PER_THREAD;
+    let consumed = Arc::new(AtomicU64::new(0));
+
+    std::thread::scope(|s| {
+        for w in 0..THREADS {
+            let queue = Arc::clone(&queue);
+            s.spawn(move || {
+                for i in 0..OPS_PER_THREAD {
+                    queue.enqueue((w as u64) << 32 | i);
+                }
+            });
+        }
+        let sum = Arc::new(AtomicU64::new(0));
+        for _ in 0..THREADS {
+            let queue = Arc::clone(&queue);
+            let consumed = Arc::clone(&consumed);
+            let sum = Arc::clone(&sum);
+            s.spawn(move || {
+                while consumed.load(Ordering::Relaxed) < total {
+                    match queue.dequeue() {
+                        Some(tag) => {
+                            sum.fetch_add(tag, Ordering::Relaxed);
+                            consumed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        None => std::thread::yield_now(),
+                    }
+                }
+            });
+        }
+    });
+
+    assert_eq!(consumed.load(Ordering::Relaxed), total);
+    assert_eq!(queue.dequeue(), None, "queue drained");
+    check_stats(queue.stats().snapshot(), total, "ms-queue");
+}
+
+/// N pushers and N poppers on one Treiber stack: conservation of the popped
+/// multiset (order is unconstrained under concurrency).
+#[test]
+fn stack_mpmc_stress_conserves_elements() {
+    let stack = Arc::new(TreiberStack::new());
+    let total = (THREADS as u64) * OPS_PER_THREAD;
+    let consumed = Arc::new(AtomicU64::new(0));
+    let sum = Arc::new(AtomicU64::new(0));
+
+    std::thread::scope(|s| {
+        for w in 0..THREADS {
+            let stack = Arc::clone(&stack);
+            s.spawn(move || {
+                for i in 0..OPS_PER_THREAD {
+                    // Small tags so the checksum cannot overflow.
+                    stack.push((w as u64) * OPS_PER_THREAD + i);
+                }
+            });
+        }
+        for _ in 0..THREADS {
+            let stack = Arc::clone(&stack);
+            let consumed = Arc::clone(&consumed);
+            let sum = Arc::clone(&sum);
+            s.spawn(move || {
+                while consumed.load(Ordering::Relaxed) < total {
+                    match stack.pop() {
+                        Some(tag) => {
+                            sum.fetch_add(tag, Ordering::Relaxed);
+                            consumed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        None => std::thread::yield_now(),
+                    }
+                }
+            });
+        }
+    });
+
+    assert!(stack.pop().is_none(), "stack drained");
+    // Sum of 0..total — each tag exactly once.
+    assert_eq!(sum.load(Ordering::Relaxed), total * (total - 1) / 2);
+    check_stats(stack.stats().snapshot(), total, "treiber-stack");
+}
+
+/// Insert/remove churn on the sorted list from disjoint key ranges, plus a
+/// shared contended range: disjoint keys must all resolve, and the list must
+/// end empty.
+#[test]
+fn list_mpmc_stress_resolves_all_keys() {
+    let list = Arc::new(LockFreeList::new());
+    let per_thread = OPS_PER_THREAD / 10;
+
+    std::thread::scope(|s| {
+        for w in 0..THREADS {
+            let list = Arc::clone(&list);
+            s.spawn(move || {
+                let base = (w as u64 + 1) << 32;
+                for i in 0..per_thread {
+                    // Private key: both ops must succeed.
+                    assert!(list.insert(base + i), "private insert");
+                    // Shared key: contended, any outcome — just exercise it.
+                    let shared = i % 17;
+                    let _ = list.insert(shared);
+                    let _ = list.remove(shared);
+                    assert!(list.remove(base + i), "private remove");
+                }
+            });
+        }
+    });
+
+    // Clear any shared-range stragglers, then the list must be empty.
+    for shared in 0..17 {
+        list.remove(shared);
+    }
+    assert!(list.is_empty(), "leftover keys: {:?}", list.to_vec());
+    check_stats(
+        list.stats().snapshot(),
+        2 * (THREADS as u64) * per_thread,
+        "lock-free list",
+    );
+}
+
+/// N producers and N consumers on the bounded Vyukov ring: producers retry
+/// on full, consumers on empty, and every element crosses exactly once.
+#[test]
+fn bounded_mpmc_stress_conserves_elements() {
+    let queue = Arc::new(BoundedMpmcQueue::new(64));
+    let total = (THREADS as u64) * OPS_PER_THREAD;
+    let consumed = Arc::new(AtomicU64::new(0));
+    let sum = Arc::new(AtomicU64::new(0));
+
+    std::thread::scope(|s| {
+        for w in 0..THREADS {
+            let queue = Arc::clone(&queue);
+            s.spawn(move || {
+                for i in 0..OPS_PER_THREAD {
+                    let mut value = (w as u64) * OPS_PER_THREAD + i;
+                    while let Err(v) = queue.push(value) {
+                        value = v;
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        }
+        for _ in 0..THREADS {
+            let queue = Arc::clone(&queue);
+            let consumed = Arc::clone(&consumed);
+            let sum = Arc::clone(&sum);
+            s.spawn(move || {
+                while consumed.load(Ordering::Relaxed) < total {
+                    match queue.pop() {
+                        Some(tag) => {
+                            sum.fetch_add(tag, Ordering::Relaxed);
+                            consumed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        None => std::thread::yield_now(),
+                    }
+                }
+            });
+        }
+    });
+
+    assert_eq!(queue.pop(), None, "ring drained");
+    assert_eq!(sum.load(Ordering::Relaxed), total * (total - 1) / 2);
+    check_stats(queue.stats().snapshot(), total, "bounded-mpmc");
+}
+
+/// The SPSC ring under its contract (exactly one producer, one consumer):
+/// elements arrive in order, none lost, none duplicated — even through a
+/// tiny capacity that forces constant full/empty collisions.
+#[test]
+fn spsc_ring_stress_preserves_fifo() {
+    let (mut producer, mut consumer) = spsc_ring::<u64>(4);
+    let total = OPS_PER_THREAD;
+
+    let handle = std::thread::spawn(move || {
+        for mut i in 0..total {
+            while let Err(v) = producer.push(i) {
+                i = v;
+                std::thread::yield_now();
+            }
+        }
+    });
+    let mut expected = 0u64;
+    while expected < total {
+        match consumer.pop() {
+            Some(v) => {
+                assert_eq!(v, expected, "FIFO order violated");
+                expected += 1;
+            }
+            None => std::thread::yield_now(),
+        }
+    }
+    handle.join().expect("producer panicked");
+    assert_eq!(consumer.pop(), None, "ring drained");
 }

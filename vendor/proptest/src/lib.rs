@@ -16,8 +16,16 @@
 //!   (default 64) without touching code.
 //! * `prop_assert!`/`prop_assert_eq!` panic immediately instead of
 //!   returning `Err`, which under this runner reports the same failure.
+//!
+//! Like the real crate, the runner honors `*.proptest-regressions` files:
+//! before generating novel cases, each test re-runs the seeds recorded in
+//! the `cc <hex>` lines of the sibling regressions file (the first 16 hex
+//! digits are the [`TestRng`] state, so files written by real proptest
+//! remain parseable). When a generated case fails, the runner prints a
+//! ready-to-paste `cc` line for that case.
 
 use std::ops::{Range, RangeInclusive};
+use std::path::PathBuf;
 
 pub mod collection;
 
@@ -61,6 +69,19 @@ impl TestRng {
             h = h.wrapping_mul(0x100_0000_01b3);
         }
         Self { state: h }
+    }
+
+    /// A generator resumed from a recorded state (the value of a `cc` line
+    /// in a `*.proptest-regressions` file).
+    pub fn from_seed(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// The current internal state. Recording it immediately before
+    /// generating a case makes that case replayable via
+    /// [`TestRng::from_seed`].
+    pub fn state(&self) -> u64 {
+        self.state
     }
 
     /// Next 64 random bits.
@@ -287,6 +308,97 @@ impl<T> Strategy for Union<T> {
     }
 }
 
+/// The sibling regressions file for a test source path: `foo/bar.rs` →
+/// `foo/bar.proptest-regressions`, resolved against the working directory
+/// first (cargo runs test binaries from the package root) and
+/// `CARGO_MANIFEST_DIR` second.
+fn regression_path(source_file: &str) -> PathBuf {
+    let relative = PathBuf::from(source_file).with_extension("proptest-regressions");
+    if relative.exists() {
+        return relative;
+    }
+    match std::env::var_os("CARGO_MANIFEST_DIR") {
+        Some(root) => {
+            let joined = PathBuf::from(root).join(&relative);
+            if joined.exists() {
+                joined
+            } else {
+                relative
+            }
+        }
+        None => relative,
+    }
+}
+
+/// Parses the seeds out of a regressions file body: one per `cc <hex>` line,
+/// taking the first 16 hex digits as the RNG state. Tolerates the 64-digit
+/// hashes real proptest writes as well as this runner's 16-digit seeds;
+/// comments (`#`) and blank lines are skipped.
+fn parse_regression_seeds(body: &str) -> Vec<u64> {
+    body.lines()
+        .filter_map(|line| {
+            let rest = line.trim().strip_prefix("cc ")?;
+            let token = rest.split_whitespace().next()?;
+            let head: String = token.chars().take(16).collect();
+            u64::from_str_radix(&head, 16).ok()
+        })
+        .collect()
+}
+
+/// Recorded case seeds for a test source file (empty when the file has no
+/// sibling `*.proptest-regressions`). Called by the [`proptest!`] expansion
+/// with `file!()`; each returned seed is re-run before novel cases.
+#[doc(hidden)]
+pub fn persisted_seeds(source_file: &str) -> Vec<u64> {
+    match std::fs::read_to_string(regression_path(source_file)) {
+        Ok(body) => parse_regression_seeds(&body),
+        Err(_) => Vec::new(),
+    }
+}
+
+/// Armed across one case's execution: if the case panics, prints the
+/// ready-to-paste `cc` line that replays it. Disarmed on success.
+#[doc(hidden)]
+pub struct PersistGuard {
+    seed: u64,
+    source_file: &'static str,
+    test: &'static str,
+    armed: bool,
+}
+
+impl PersistGuard {
+    /// Arms the guard for one case.
+    pub fn new(seed: u64, source_file: &'static str, test: &'static str) -> Self {
+        Self {
+            seed,
+            source_file,
+            test,
+            armed: true,
+        }
+    }
+
+    /// The case completed without panicking.
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for PersistGuard {
+    fn drop(&mut self) {
+        if self.armed && std::thread::panicking() {
+            let path = regression_path(self.source_file);
+            eprintln!(
+                "proptest: test {} failed; replay this case by adding the line below to {}:\n\
+                 cc {:016x} # seed for {}",
+                self.test,
+                path.display(),
+                self.seed,
+                self.test
+            );
+        }
+    }
+}
+
 /// Everything a property test file usually imports.
 pub mod prelude {
     pub use crate::collection;
@@ -345,10 +457,22 @@ macro_rules! __proptest_tests {
         $(#[$meta])*
         fn $name() {
             let config: $crate::ProptestConfig = $config;
+            // Persisted failures first: every `cc` seed from the sibling
+            // `*.proptest-regressions` file replays before novel cases.
+            for __seed in $crate::persisted_seeds(file!()) {
+                let mut __rng = $crate::TestRng::from_seed(__seed);
+                let __guard = $crate::PersistGuard::new(__seed, file!(), stringify!($name));
+                let ($($pat,)+) = ($($crate::Strategy::generate(&($strategy), &mut __rng),)+);
+                $body
+                __guard.disarm();
+            }
             let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
             for __case in 0..config.cases {
+                let __seed = rng.state();
+                let __guard = $crate::PersistGuard::new(__seed, file!(), stringify!($name));
                 let ($($pat,)+) = ($($crate::Strategy::generate(&($strategy), &mut rng),)+);
                 $body
+                __guard.disarm();
             }
         }
         $crate::__proptest_tests! { ($config); $($rest)* }
@@ -389,6 +513,35 @@ mod tests {
             let v = s.generate(&mut rng);
             assert!((2..5).contains(&v.len()));
         }
+    }
+
+    #[test]
+    fn regression_lines_parse_both_formats() {
+        let body = "# comment\n\n\
+                    cc 95ebcaf36e8ec286dbc49a18b6871c31a08b80cd23f996eab1f23c172bd2e615 # real proptest hash\n\
+                    cc 00000000deadbeef # this runner's short form\n\
+                    not a cc line\n\
+                    cc xyz # unparseable, skipped\n";
+        assert_eq!(
+            crate::parse_regression_seeds(body),
+            vec![0x95eb_caf3_6e8e_c286, 0xdead_beef]
+        );
+    }
+
+    #[test]
+    fn from_seed_replays_the_recorded_case() {
+        let mut rng = TestRng::deterministic("replay");
+        rng.next_u64();
+        let seed = rng.state();
+        let strategy = collection::vec(0u32..1000, 3..8);
+        let original = strategy.generate(&mut rng);
+        let mut replay = TestRng::from_seed(seed);
+        assert_eq!(strategy.generate(&mut replay), original);
+    }
+
+    #[test]
+    fn missing_regression_file_yields_no_seeds() {
+        assert!(crate::persisted_seeds("src/lib.rs").is_empty());
     }
 
     #[test]
