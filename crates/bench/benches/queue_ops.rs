@@ -1,8 +1,10 @@
 //! Criterion micro-benchmarks for the Figure 8 building blocks: lock-free
 //! versus mutex-based queue operations, uncontended and contended, plus the
-//! CAS register retry loop.
+//! CAS register retry loop and the cost of over-strong memory orderings.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -123,11 +125,197 @@ fn other_structures(c: &mut Criterion) {
     group.finish();
 }
 
+/// An all-`SeqCst` mirror of [`BoundedMpmcQueue`] (same slot protocol,
+/// every ordering maximal). `lfrt-ordlint` flags every site here as ORD004
+/// ("SeqCst with no local Dekker pattern") — the baseline entries in
+/// `ordlint.toml` keep it as a deliberate measuring stick, and the
+/// `mpmc_ordering_cost` group below quantifies what the tuned orderings in
+/// `crates/lockfree/src/mpmc.rs` buy. If someone re-strengthens the real
+/// queue, the lint (and the gap in these numbers) is the regression guard.
+struct SeqCstMpmcQueue {
+    slots: Box<[SeqCstSlot]>,
+    head: AtomicUsize,
+    tail: AtomicUsize,
+}
+
+struct SeqCstSlot {
+    sequence: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<u64>>,
+}
+
+// SAFETY: identical hand-off discipline to `BoundedMpmcQueue` — exactly one
+// thread touches a slot's value between sequence transitions.
+unsafe impl Send for SeqCstMpmcQueue {}
+// SAFETY: as above.
+unsafe impl Sync for SeqCstMpmcQueue {}
+
+impl SeqCstMpmcQueue {
+    fn new(capacity: usize) -> Self {
+        let cap = capacity.next_power_of_two().max(2);
+        let slots: Box<[SeqCstSlot]> = (0..cap)
+            .map(|i| SeqCstSlot {
+                sequence: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        Self {
+            slots,
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+        }
+    }
+
+    fn push(&self, value: u64) -> Result<(), u64> {
+        let mask = self.slots.len() - 1;
+        loop {
+            let tail = self.tail.load(Ordering::SeqCst);
+            let slot = &self.slots[tail & mask];
+            let seq = slot.sequence.load(Ordering::SeqCst);
+            match seq as isize - tail as isize {
+                0 if self
+                    .tail
+                    .compare_exchange_weak(
+                        tail,
+                        tail.wrapping_add(1),
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    )
+                    .is_ok() =>
+                {
+                    // SAFETY: winning the tail CAS grants exclusive write
+                    // access until the sequence store hands the slot over.
+                    unsafe { (*slot.value.get()).write(value) };
+                    slot.sequence.store(tail.wrapping_add(1), Ordering::SeqCst);
+                    return Ok(());
+                }
+                d if d < 0 => return Err(value),
+                _ => {}
+            }
+        }
+    }
+
+    fn pop(&self) -> Option<u64> {
+        let mask = self.slots.len() - 1;
+        loop {
+            let head = self.head.load(Ordering::SeqCst);
+            let slot = &self.slots[head & mask];
+            let seq = slot.sequence.load(Ordering::SeqCst);
+            match seq as isize - (head.wrapping_add(1)) as isize {
+                0 if self
+                    .head
+                    .compare_exchange_weak(
+                        head,
+                        head.wrapping_add(1),
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    )
+                    .is_ok() =>
+                {
+                    // SAFETY: winning the head CAS grants exclusive read
+                    // access; the producer initialized the slot first.
+                    let value = unsafe { (*slot.value.get()).assume_init_read() };
+                    slot.sequence
+                        .store(head.wrapping_add(mask + 1), Ordering::SeqCst);
+                    return Some(value);
+                }
+                d if d < 0 => return None,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Object-safe push/pop facade so the contended harness can drive the tuned
+/// queue and its SeqCst mirror through one code path.
+trait PushPop: Send + Sync + 'static {
+    fn push64(&self, v: u64) -> Result<(), u64>;
+    fn pop64(&self) -> Option<u64>;
+}
+
+impl PushPop for BoundedMpmcQueue<u64> {
+    fn push64(&self, v: u64) -> Result<(), u64> {
+        self.push(v)
+    }
+    fn pop64(&self) -> Option<u64> {
+        self.pop()
+    }
+}
+
+impl PushPop for SeqCstMpmcQueue {
+    fn push64(&self, v: u64) -> Result<(), u64> {
+        self.push(v)
+    }
+    fn pop64(&self) -> Option<u64> {
+        self.pop()
+    }
+}
+
+fn ordering_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpmc_ordering_cost");
+    group.bench_function("tuned_push_pop", |b| {
+        let q = BoundedMpmcQueue::new(64);
+        b.iter(|| {
+            let _ = q.push(std::hint::black_box(1u64));
+            std::hint::black_box(q.pop());
+        });
+    });
+    group.bench_function("seqcst_push_pop", |b| {
+        let q = SeqCstMpmcQueue::new(64);
+        b.iter(|| {
+            let _ = q.push(std::hint::black_box(1u64));
+            std::hint::black_box(q.pop());
+        });
+    });
+    group.sample_size(20);
+    for name in ["tuned", "seqcst"] {
+        group.bench_with_input(
+            BenchmarkId::new("contended_4_threads", name),
+            &name,
+            |b, &name| {
+                b.iter_custom(|iters| {
+                    let queue: Arc<dyn PushPop> = match name {
+                        "tuned" => Arc::new(BoundedMpmcQueue::new(64)),
+                        _ => Arc::new(SeqCstMpmcQueue::new(64)),
+                    };
+                    let stop = Arc::new(AtomicBool::new(false));
+                    let workers: Vec<_> = (0..3)
+                        .map(|w| {
+                            let queue = Arc::clone(&queue);
+                            let stop = Arc::clone(&stop);
+                            std::thread::spawn(move || {
+                                let mut i = w as u64;
+                                while !stop.load(Ordering::Relaxed) {
+                                    let _ = queue.push64(i);
+                                    let _ = queue.pop64();
+                                    i = i.wrapping_add(1);
+                                }
+                            })
+                        })
+                        .collect();
+                    let start = std::time::Instant::now();
+                    for i in 0..iters {
+                        let _ = queue.push64(i);
+                        let _ = queue.pop64();
+                    }
+                    let elapsed = start.elapsed();
+                    stop.store(true, Ordering::Relaxed);
+                    for w in workers {
+                        w.join().expect("worker panicked");
+                    }
+                    elapsed
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     uncontended,
     contended,
     cas_register,
-    other_structures
+    other_structures,
+    ordering_cost
 );
 criterion_main!(benches);

@@ -1,12 +1,29 @@
 //! Instrumented atomic cells: every operation is a scheduling yield point.
 
+use std::collections::VecDeque;
 use std::fmt;
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
-use crate::runtime::{step_read, step_write};
+use crate::runtime::{step_read, step_write, weak_session, WeakSession, MAX_THREADS};
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The shared storage behind an [`Atomic`]. Kept behind an `Arc` so the
+/// type-erased commit closures handed to the runtime's store buffers can
+/// outlive the borrow of the cell that issued them.
+struct Inner<T> {
+    /// The globally visible value.
+    main: Mutex<T>,
+    /// Per model thread: values of this cell sitting in that thread's store
+    /// buffer, oldest first. The runtime's `BufferedStore` entries for this
+    /// cell correspond 1:1 and in order, so each commit pops the front.
+    pending: Mutex<Vec<VecDeque<T>>>,
+    /// `(run id, location id)` assigned by the current store-buffer
+    /// execution; the run id guard stops ids leaking across executions.
+    loc: Mutex<Option<(u64, usize)>>,
 }
 
 /// A model atomic cell. Each `load`/`store`/`swap`/`compare_exchange`/
@@ -14,53 +31,82 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 /// decides the interleaving of these operations across threads, which is
 /// exactly the granularity at which lock-free algorithms differ.
 ///
-/// Exploration is sequentially consistent — every step happens at a single
-/// global point. Weak-memory reorderings are out of scope (see DESIGN.md);
-/// the real implementations' ordering annotations are validated separately
-/// by the stress suite.
+/// The ordering-less legacy operations behave as `SeqCst`. The `_ord`
+/// variants declare the `std::sync::atomic::Ordering` the mirrored real code
+/// uses; under [`crate::MemoryMode::Sc`] the declaration is recorded but
+/// changes nothing, while under [`crate::MemoryMode::StoreBuffer`] `Relaxed`
+/// and `Release` stores sit in a per-thread store buffer until a flush step
+/// commits them (see `MemoryMode`'s docs for the full visibility rules).
 ///
 /// Outside a model execution the operations behave like ordinary
 /// sequentially-consistent atomics with no yielding, so models remain usable
 /// from plain unit tests.
 pub struct Atomic<T> {
-    cell: Mutex<T>,
+    inner: Arc<Inner<T>>,
 }
 
 impl<T: Copy> Atomic<T> {
     /// A cell holding `value`.
     pub fn new(value: T) -> Self {
         Self {
-            cell: Mutex::new(value),
+            inner: Arc::new(Inner {
+                main: Mutex::new(value),
+                pending: Mutex::new((0..MAX_THREADS).map(|_| VecDeque::new()).collect()),
+                loc: Mutex::new(None),
+            }),
         }
     }
 
-    /// Reads the value. One step.
+    /// The value this thread observes: its own newest buffered store to this
+    /// cell if one exists (store-to-load forwarding), else global memory.
+    fn observe(&self, session: Option<&WeakSession>) -> T {
+        if let Some(session) = session {
+            let pending = lock(&self.inner.pending);
+            if let Some(v) = pending[session.tid()].back() {
+                return *v;
+            }
+        }
+        *lock(&self.inner.main)
+    }
+
+    /// Reads the value. One step. Equivalent to `load_ord(SeqCst)`.
     pub fn load(&self) -> T {
         step_read();
-        *lock(&self.cell)
+        self.observe(weak_session().as_ref())
     }
 
-    /// Writes the value. One step.
+    /// Writes the value. One step. Equivalent to `store_ord(value, SeqCst)`:
+    /// under a store-buffer mode the issuing thread's buffer drains first and
+    /// the store becomes globally visible at this step.
     pub fn store(&self, value: T) {
         step_write();
-        *lock(&self.cell) = value;
+        if let Some(session) = weak_session() {
+            session.drain();
+        }
+        *lock(&self.inner.main) = value;
     }
 
-    /// Replaces the value, returning the previous one. One step.
+    /// Replaces the value, returning the previous one. One step, `SeqCst`.
     pub fn swap(&self, value: T) -> T {
         step_write();
-        std::mem::replace(&mut lock(&self.cell), value)
+        if let Some(session) = weak_session() {
+            session.drain();
+        }
+        std::mem::replace(&mut lock(&self.inner.main), value)
     }
 
     /// Compare-and-swap: if the cell equals `current`, writes `new` and
     /// returns `Ok(current)`; otherwise returns `Err(actual)`. One step,
-    /// whether it succeeds or fails — mirroring a hardware CAS.
+    /// whether it succeeds or fails — mirroring a hardware CAS. `SeqCst`.
     pub fn compare_exchange(&self, current: T, new: T) -> Result<T, T>
     where
         T: PartialEq,
     {
         step_write();
-        let mut guard = lock(&self.cell);
+        if let Some(session) = weak_session() {
+            session.drain();
+        }
+        let mut guard = lock(&self.inner.main);
         if *guard == current {
             *guard = new;
             Ok(current)
@@ -69,13 +115,16 @@ impl<T: Copy> Atomic<T> {
         }
     }
 
-    /// Adds `rhs`, returning the previous value. One step.
+    /// Adds `rhs`, returning the previous value. One step, `SeqCst`.
     pub fn fetch_add(&self, rhs: T) -> T
     where
         T: std::ops::Add<Output = T>,
     {
         step_write();
-        let mut guard = lock(&self.cell);
+        if let Some(session) = weak_session() {
+            session.drain();
+        }
+        let mut guard = lock(&self.inner.main);
         let prev = *guard;
         *guard = prev + rhs;
         prev
@@ -84,16 +133,203 @@ impl<T: Copy> Atomic<T> {
     /// Non-yielding read, for code that owns the cell exclusively by
     /// protocol: post-CAS payload reads, post-join invariant checks, drains.
     /// Mirrors the real implementations' non-atomic accesses to memory they
-    /// have just won exclusive ownership of.
+    /// have just won exclusive ownership of. Reads global memory only —
+    /// never another thread's buffered stores.
     pub fn load_plain(&self) -> T {
-        *lock(&self.cell)
+        *lock(&self.inner.main)
     }
 
     /// Non-yielding write, for pre-publication initialization: stores that
     /// other threads cannot observe until a later release/CAS step publishes
-    /// them (e.g. setting a new node's `next` before the push CAS).
+    /// them (e.g. setting a new node's `next` before the push CAS). Writes
+    /// global memory directly, bypassing any store buffer — a model that
+    /// wants initialization to be *reorderable* must use
+    /// [`Atomic::store_ord`] with `Relaxed` instead.
     pub fn store_plain(&self, value: T) {
-        *lock(&self.cell) = value;
+        *lock(&self.inner.main) = value;
+    }
+}
+
+/// The `_ord` operations buffer typed values inside runtime-owned closures,
+/// hence the extra `Send + 'static` bounds (model values are `Copy` ids and
+/// counters, so this costs nothing in practice).
+impl<T: Copy + Send + 'static> Atomic<T> {
+    /// Buffers one store of `value` in the issuing thread's store buffer.
+    fn buffer(&self, session: &WeakSession, value: T, release: bool) {
+        let loc = session.loc(&self.inner.loc);
+        let tid = session.tid();
+        lock(&self.inner.pending)[tid].push_back(value);
+        let inner = Arc::clone(&self.inner);
+        session.buffer_store(
+            loc,
+            release,
+            Box::new(move || {
+                let v = lock(&inner.pending)[tid]
+                    .pop_front()
+                    .expect("runtime flushed a store this cell never buffered");
+                *lock(&inner.main) = v;
+            }),
+        );
+    }
+
+    /// Drains per the success-ordering class of a read-modify-write: a
+    /// `Release`-or-stronger RMW does not overtake the store buffer (full
+    /// drain); a `Relaxed`/`Acquire` RMW acts on coherent memory, so only
+    /// this cell's own buffered stores must land first.
+    fn rmw_drain(&self, session: &WeakSession, success: Ordering) {
+        match success {
+            Ordering::Release | Ordering::AcqRel | Ordering::SeqCst => session.drain(),
+            Ordering::Relaxed | Ordering::Acquire => {
+                session.drain_location(session.loc(&self.inner.loc));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// Reads the value with a declared load ordering. One step.
+    ///
+    /// No load–load reordering is modeled (see DESIGN.md §6b), so the
+    /// ordering does not change what the load returns — the declaration
+    /// exists so models document the real code faithfully. Loads always
+    /// forward from the issuing thread's own buffered stores.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `Release`/`AcqRel`, which are invalid for loads (as in
+    /// `std`).
+    pub fn load_ord(&self, order: Ordering) -> T {
+        assert!(
+            !matches!(order, Ordering::Release | Ordering::AcqRel),
+            "there is no such thing as a release load"
+        );
+        step_read();
+        self.observe(weak_session().as_ref())
+    }
+
+    /// Writes the value with a declared store ordering. One step.
+    ///
+    /// Under a store-buffer mode, `Relaxed` and `Release` stores are
+    /// *buffered*: globally invisible until a later flush step commits them
+    /// (`Release` only from the front of the buffer). `SeqCst` drains the
+    /// buffer and commits immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `Acquire`/`AcqRel`, which are invalid for stores (as in
+    /// `std`).
+    pub fn store_ord(&self, value: T, order: Ordering) {
+        assert!(
+            !matches!(order, Ordering::Acquire | Ordering::AcqRel),
+            "there is no such thing as an acquire store"
+        );
+        step_write();
+        match weak_session() {
+            Some(session) => match order {
+                Ordering::SeqCst => {
+                    session.drain();
+                    *lock(&self.inner.main) = value;
+                }
+                Ordering::Release => self.buffer(&session, value, true),
+                Ordering::Relaxed => self.buffer(&session, value, false),
+                _ => unreachable!(),
+            },
+            None => *lock(&self.inner.main) = value,
+        }
+    }
+
+    /// Replaces the value, returning the previous one, with a declared RMW
+    /// ordering. One step; the written value is globally visible at this
+    /// step (hardware RMWs do not sit in the store buffer).
+    pub fn swap_ord(&self, value: T, order: Ordering) -> T {
+        step_write();
+        if let Some(session) = weak_session() {
+            self.rmw_drain(&session, order);
+        }
+        std::mem::replace(&mut lock(&self.inner.main), value)
+    }
+
+    /// Compare-and-swap with declared success and failure orderings. One
+    /// step either way. The failure ordering affects only the returned
+    /// load's synchronization, which the store-buffer mode does not model;
+    /// it is declared so the mirror matches the real call site (and so the
+    /// lint layer can check the pair).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a `Release`/`AcqRel` failure ordering (invalid, as in
+    /// `std`).
+    pub fn compare_exchange_ord(
+        &self,
+        current: T,
+        new: T,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<T, T>
+    where
+        T: PartialEq,
+    {
+        assert!(
+            !matches!(failure, Ordering::Release | Ordering::AcqRel),
+            "there is no such thing as a release failure ordering"
+        );
+        step_write();
+        if let Some(session) = weak_session() {
+            self.rmw_drain(&session, success);
+        }
+        let mut guard = lock(&self.inner.main);
+        if *guard == current {
+            *guard = new;
+            Ok(current)
+        } else {
+            Err(*guard)
+        }
+    }
+
+    /// Adds `rhs`, returning the previous value, with a declared RMW
+    /// ordering. One step; globally visible at this step.
+    pub fn fetch_add_ord(&self, rhs: T, order: Ordering) -> T
+    where
+        T: std::ops::Add<Output = T>,
+    {
+        step_write();
+        if let Some(session) = weak_session() {
+            self.rmw_drain(&session, order);
+        }
+        let mut guard = lock(&self.inner.main);
+        let prev = *guard;
+        *guard = prev + rhs;
+        prev
+    }
+}
+
+/// A model memory fence with a declared ordering.
+///
+/// Under [`crate::MemoryMode::Sc`] (and outside model executions) this is a
+/// no-op — sequential consistency already orders everything. Under a
+/// store-buffer mode a `Release`-or-stronger fence is one write step that
+/// drains the issuing thread's store buffer: everything stored before the
+/// fence is globally visible before anything stored after it, which is the
+/// guarantee the real fence provides (the model commits eagerly at the
+/// fence, a conservative subset of the orderings real hardware allows — see
+/// DESIGN.md §6b). An `Acquire` fence is a no-op because load–load
+/// reordering is not modeled.
+///
+/// # Panics
+///
+/// Panics on `Relaxed`, which is invalid for fences (as in `std`).
+pub fn fence(order: Ordering) {
+    assert!(
+        order != Ordering::Relaxed,
+        "fence with Relaxed ordering is a no-op and invalid"
+    );
+    if let Some(session) = weak_session() {
+        if matches!(
+            order,
+            Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+        ) {
+            step_write();
+            session.drain();
+        }
     }
 }
 
@@ -137,5 +373,36 @@ mod tests {
         let a = Atomic::new(None::<u64>);
         assert_eq!(a.swap(Some(3)), None);
         assert_eq!(a.load(), Some(3));
+    }
+
+    #[test]
+    fn ord_variants_match_outside_models() {
+        let a = Atomic::new(1u64);
+        assert_eq!(a.load_ord(Ordering::Acquire), 1);
+        a.store_ord(2, Ordering::Release);
+        assert_eq!(a.swap_ord(3, Ordering::AcqRel), 2);
+        assert_eq!(
+            a.compare_exchange_ord(3, 4, Ordering::AcqRel, Ordering::Acquire),
+            Ok(3)
+        );
+        assert_eq!(
+            a.compare_exchange_ord(3, 5, Ordering::Relaxed, Ordering::Relaxed),
+            Err(4)
+        );
+        assert_eq!(a.fetch_add_ord(6, Ordering::Relaxed), 4);
+        assert_eq!(a.load_ord(Ordering::Relaxed), 10);
+        fence(Ordering::SeqCst); // no-op outside models, must not panic
+    }
+
+    #[test]
+    #[should_panic(expected = "release load")]
+    fn release_load_is_rejected() {
+        Atomic::new(0u64).load_ord(Ordering::Release);
+    }
+
+    #[test]
+    #[should_panic(expected = "acquire store")]
+    fn acquire_store_is_rejected() {
+        Atomic::new(0u64).store_ord(1, Ordering::Acquire);
     }
 }

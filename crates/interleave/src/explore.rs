@@ -2,7 +2,7 @@
 
 use std::str::FromStr;
 
-use crate::runtime::{run_once, Outcome, Plan};
+use crate::runtime::{run_once, MemoryMode, Outcome, Plan, FLUSH_BASE};
 use crate::schedule::Schedule;
 
 /// Exploration settings.
@@ -15,6 +15,11 @@ pub struct Config {
     /// a preemption is switching away from a thread that could have
     /// continued. `None` explores exhaustively. Small bounds (2–3) catch
     /// almost all known concurrency bugs at a fraction of the cost.
+    ///
+    /// Under a store-buffer memory mode a flush step taken while the
+    /// last-run thread is still enabled counts as a preemption too, so
+    /// bounded search under-explores weak behaviors — prefer exhaustive
+    /// exploration (with tight scenarios) for weak-memory runs.
     pub preemption_bound: Option<usize>,
     /// Hard cap on explored schedules; exceeding it panics so an
     /// accidentally unbounded test fails loudly instead of hanging CI.
@@ -22,6 +27,9 @@ pub struct Config {
     /// Per-execution decision budget; schedules that exceed it (unfair
     /// spinning) are pruned, not failed.
     pub max_steps: usize,
+    /// The memory model executions run under; [`MemoryMode::Sc`] unless the
+    /// config asks for store buffering.
+    pub memory: MemoryMode,
 }
 
 impl Default for Config {
@@ -31,6 +39,7 @@ impl Default for Config {
             preemption_bound: None,
             max_schedules: 500_000,
             max_steps: 10_000,
+            memory: MemoryMode::Sc,
         }
     }
 }
@@ -50,6 +59,20 @@ impl Config {
         Self {
             name,
             preemption_bound: Some(bound),
+            ..Self::default()
+        }
+    }
+
+    /// An exhaustive config running under [`MemoryMode::StoreBuffer`] with
+    /// the default buffer depth: `Relaxed`/`Release` stores made through the
+    /// `_ord` operations commit at explicit flush steps the explorer
+    /// enumerates alongside thread steps.
+    pub fn store_buffer(name: &'static str) -> Self {
+        Self {
+            name,
+            memory: MemoryMode::StoreBuffer {
+                bound: MemoryMode::DEFAULT_BOUND,
+            },
             ..Self::default()
         }
     }
@@ -200,45 +223,50 @@ pub fn explore<F: FnMut() -> Plan>(config: &Config, mut factory: F) -> Report {
         }
 
         let mut depth = 0usize;
-        let result = run_once(factory(), config.max_steps, &mut |enabled, last| {
-            let k = depth;
-            depth += 1;
-            if k < stack.len() {
-                let frame = &stack[k];
-                assert_eq!(
-                    frame.enabled, enabled,
-                    "scenario '{}' is nondeterministic: decision {k} saw \
+        let result = run_once(
+            factory(),
+            config.max_steps,
+            config.memory,
+            &mut |enabled, last| {
+                let k = depth;
+                depth += 1;
+                if k < stack.len() {
+                    let frame = &stack[k];
+                    assert_eq!(
+                        frame.enabled, enabled,
+                        "scenario '{}' is nondeterministic: decision {k} saw \
                      enabled set {enabled:?}, previously {:?} — model state \
                      must be a pure function of the schedule",
-                    config.name, frame.enabled
-                );
-                frame.chosen()
-            } else {
-                // Default continuation: keep running the last thread when
-                // possible (zero preemptions), else the lowest enabled tid.
-                // Bounded-preemption search stays sound because the default
-                // suffix never adds a preemption.
-                let chosen = match last {
-                    Some(l) if enabled.contains(&l) => l,
-                    _ => enabled[0],
-                };
-                let preemptions = stack
-                    .last()
-                    .map(|f| f.preemptions + usize::from(f.preempts(f.order[f.pos])))
-                    .unwrap_or(0);
-                let first = enabled.iter().position(|&t| t == chosen).unwrap();
-                let mut order = vec![first];
-                order.extend((0..enabled.len()).filter(|&i| i != first));
-                stack.push(Frame {
-                    enabled: enabled.to_vec(),
-                    order,
-                    pos: 0,
-                    last,
-                    preemptions,
-                });
-                chosen
-            }
-        });
+                        config.name, frame.enabled
+                    );
+                    frame.chosen()
+                } else {
+                    // Default continuation: keep running the last thread when
+                    // possible (zero preemptions), else the lowest enabled tid.
+                    // Bounded-preemption search stays sound because the default
+                    // suffix never adds a preemption.
+                    let chosen = match last {
+                        Some(l) if enabled.contains(&l) => l,
+                        _ => enabled[0],
+                    };
+                    let preemptions = stack
+                        .last()
+                        .map(|f| f.preemptions + usize::from(f.preempts(f.order[f.pos])))
+                        .unwrap_or(0);
+                    let first = enabled.iter().position(|&t| t == chosen).unwrap();
+                    let mut order = vec![first];
+                    order.extend((0..enabled.len()).filter(|&i| i != first));
+                    stack.push(Frame {
+                        enabled: enabled.to_vec(),
+                        order,
+                        pos: 0,
+                        last,
+                        preemptions,
+                    });
+                    chosen
+                }
+            },
+        );
 
         match result.outcome {
             Outcome::Ok => {}
@@ -314,8 +342,9 @@ fn schedule_of(stack: &[Frame], depth: usize) -> Schedule {
 }
 
 /// Re-runs the exact interleaving described by `schedule` (as printed by a
-/// failing exploration). Decisions beyond the schedule's end fall back to
-/// the default continuation, so a prefix is enough to reach the bug.
+/// failing exploration) under [`MemoryMode::Sc`]. Decisions beyond the
+/// schedule's end fall back to the default continuation, so a prefix is
+/// enough to reach the bug.
 ///
 /// # Panics
 ///
@@ -323,26 +352,52 @@ fn schedule_of(stack: &[Frame], depth: usize) -> Schedule {
 /// replayed failing schedule fails again, as a normal test failure — and
 /// panics if the schedule diverges from the model's enabled sets.
 pub fn replay<F: FnOnce() -> Plan>(schedule: &Schedule, factory: F) {
+    replay_in(MemoryMode::Sc, schedule, factory);
+}
+
+/// [`replay`] under an explicit memory mode: a schedule found by a
+/// [`Config::store_buffer`] exploration contains flush decisions (ids ≥
+/// [`crate::FLUSH_BASE`]) and only replays under the same mode.
+///
+/// # Panics
+///
+/// As [`replay`]; additionally panics up front when `schedule` contains
+/// flush decisions but `memory` is [`MemoryMode::Sc`].
+pub fn replay_in<F: FnOnce() -> Plan>(memory: MemoryMode, schedule: &Schedule, factory: F) {
     let steps = schedule.steps();
-    let mut depth = 0usize;
-    let result = run_once(factory(), 10_000 + steps.len(), &mut |enabled, last| {
-        let k = depth;
-        depth += 1;
-        match steps.get(k) {
-            Some(&tid) => {
-                assert!(
-                    enabled.contains(&tid),
-                    "schedule diverged at decision {k}: wants thread {tid}, \
-                     enabled {enabled:?}"
-                );
-                tid
-            }
-            None => match last {
-                Some(l) if enabled.contains(&l) => l,
-                _ => enabled[0],
-            },
+    if memory == MemoryMode::Sc {
+        if let Some(flush) = steps.iter().find(|&&id| id >= FLUSH_BASE) {
+            panic!(
+                "schedule {schedule} contains flush decision {flush} but is \
+                 being replayed under MemoryMode::Sc — use replay_in with the \
+                 store-buffer mode that produced it"
+            );
         }
-    });
+    }
+    let mut depth = 0usize;
+    let result = run_once(
+        factory(),
+        10_000 + steps.len(),
+        memory,
+        &mut |enabled, last| {
+            let k = depth;
+            depth += 1;
+            match steps.get(k) {
+                Some(&tid) => {
+                    assert!(
+                        enabled.contains(&tid),
+                        "schedule diverged at decision {k}: wants decision {tid}, \
+                         enabled {enabled:?}"
+                    );
+                    tid
+                }
+                None => match last {
+                    Some(l) if enabled.contains(&l) => l,
+                    _ => enabled[0],
+                },
+            }
+        },
+    );
     match result.outcome {
         Outcome::Ok => {}
         Outcome::Failed(message) => panic!("replay of schedule {schedule} failed: {message}"),

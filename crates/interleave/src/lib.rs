@@ -59,11 +59,16 @@
 //!
 //! # Scope
 //!
-//! The model executes under **sequential consistency**: exploration covers
-//! every interleaving of the instrumented steps but no weak-memory
-//! reordering, and only schedules within the configured preemption bound
-//! (see [`Config`]). See `DESIGN.md` ("What the interleaving checker does —
-//! and does not — prove") for the full caveats.
+//! By default the model executes under **sequential consistency**:
+//! exploration covers every interleaving of the instrumented steps but no
+//! weak-memory reordering, and only schedules within the configured
+//! preemption bound (see [`Config`]). [`Config::store_buffer`] adds a
+//! TSO/PSO-style **store-buffer mode**: the `_ord` operations of [`Atomic`]
+//! declare the orderings the mirrored real code uses, `Relaxed`/`Release`
+//! stores commit at explicit flush steps the explorer enumerates, and a
+//! failing weak-memory schedule replays with [`replay_in`]. Load–load
+//! reordering is still not modeled. See `DESIGN.md` ("What the interleaving
+//! checker does — and does not — prove") for the full caveats.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -80,9 +85,14 @@ pub mod models;
 pub mod spec;
 
 pub use arena::{Arena, NIL};
-pub use atomic::Atomic;
-pub use explore::{explore, replay, replay_str, Config, Failure, FailureKind, Report};
+pub use atomic::{fence, Atomic};
+pub use explore::{explore, replay, replay_in, replay_str, Config, Failure, FailureKind, Report};
 pub use history::{CompletedOp, History, OpToken};
 pub use linear::SeqSpec;
-pub use runtime::{spin_hint, Plan, MAX_THREADS};
+pub use runtime::{spin_hint, MemoryMode, Plan, FLUSH_BASE, FLUSH_STRIDE, MAX_THREADS};
 pub use schedule::{ParseScheduleError, Schedule};
+
+/// The memory-ordering vocabulary of the `_ord` operations — re-exported
+/// from `std` so models and the mirrored real code name orderings
+/// identically.
+pub use std::sync::atomic::Ordering;

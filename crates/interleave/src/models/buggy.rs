@@ -15,12 +15,27 @@
 //!   `crates/lockfree`.
 //! - [`TornNbw`]: the NBW payload without the version protocol — readers
 //!   can observe half of one write and half of another.
+//!
+//! Two further variants are **weak-memory** bugs: correct under every
+//! sequentially consistent interleaving, broken only once stores can
+//! reorder, so they need [`crate::Config::store_buffer`] exploration
+//! (`tests/weak_memory.rs`) — the demonstrators that the store-buffer mode
+//! is strictly stronger than SC exploration:
+//! - [`RelaxedPubStack`]: a node published with a `Relaxed` store, so the
+//!   publication can commit before the node's initialization (ordlint rule
+//!   ORD001's dynamic counterpart).
+//! - [`FencelessNbw`]: the NBW writer without its `Release` fence, so a
+//!   payload write can commit before the version goes odd and a reader
+//!   accepts a torn snapshot.
 
+use std::sync::atomic::Ordering;
+use std::sync::atomic::Ordering::{Acquire, Relaxed, Release};
 use std::sync::{Arc, Mutex};
 
 use crate::arena::NIL;
-use crate::atomic::Atomic;
+use crate::atomic::{fence, Atomic};
 use crate::runtime;
+use crate::runtime::spin_hint;
 
 /// A Treiber-like stack whose pop *stores* the new top instead of CAS-ing
 /// it. Two overlapping pops can both read the same top, both "succeed", and
@@ -249,6 +264,153 @@ impl TornNbw {
     }
 }
 
+/// A single-producer linked stack whose push *publishes* the node with a
+/// store of configurable ordering — the publish-before-initialize bug of
+/// ordlint rule ORD001, in executable form.
+///
+/// `push` initializes the node's payload and link with `Relaxed` stores and
+/// then makes the node reachable by storing its index to `top`. With a
+/// `Relaxed` publish ([`RelaxedPubStack::relaxed`]) nothing orders the
+/// publication after the initialization: under
+/// [`crate::MemoryMode::StoreBuffer`] the `top` store may commit first, and
+/// a concurrent `peek` dereferences a node whose payload write is still
+/// sitting in the producer's store buffer — it reads the slot's stale
+/// sentinel. Under sequential consistency the program-order steps are the
+/// visibility order, so SC exploration passes every schedule; the same
+/// structure with a `Release` publish ([`RelaxedPubStack::release`]) passes
+/// even under the store buffer, because a `Release` store only commits once
+/// the initialization has.
+pub struct RelaxedPubStack {
+    top: Atomic<usize>,
+    nodes: Vec<PubNode>,
+    publish: Ordering,
+}
+
+struct PubNode {
+    value: Atomic<u64>,
+    next: Atomic<usize>,
+}
+
+impl RelaxedPubStack {
+    /// A stack with `slots` preallocated nodes, payloads zeroed (so a leaked
+    /// uninitialized read is observable as `0`), publishing with `publish`.
+    pub fn new(slots: usize, publish: Ordering) -> Self {
+        Self {
+            top: Atomic::new(NIL),
+            nodes: (0..slots)
+                .map(|_| PubNode {
+                    value: Atomic::new(0),
+                    next: Atomic::new(NIL),
+                })
+                .collect(),
+            publish,
+        }
+    }
+
+    /// The buggy variant: `Relaxed` publication.
+    pub fn relaxed(slots: usize) -> Self {
+        Self::new(slots, Relaxed)
+    }
+
+    /// The fixed counterpart: `Release` publication, same step structure.
+    pub fn release(slots: usize) -> Self {
+        Self::new(slots, Release)
+    }
+
+    /// Initializes node `slot` with `value` and publishes it as the new top.
+    /// Single-producer: callers must not push the same slot twice or push
+    /// concurrently (matching the SPSC-style ownership the pattern models).
+    pub fn push(&self, slot: usize, value: u64) {
+        let node = &self.nodes[slot];
+        // The producer owns `top` for writing, so a `Relaxed` read suffices.
+        let top = self.top.load_ord(Relaxed);
+        // Node initialization: `Relaxed` on purpose — ordering is supposed
+        // to come from the *publish* store below.
+        node.value.store_ord(value, Relaxed);
+        node.next.store_ord(top, Relaxed);
+        // Publication. BUG when `self.publish` is `Relaxed`: may become
+        // visible before the two initialization stores above.
+        self.top.store_ord(slot, self.publish);
+    }
+
+    /// Dereferences the current top's payload, or `None` on an empty stack.
+    pub fn peek(&self) -> Option<u64> {
+        let top = self.top.load_ord(Acquire);
+        if top == NIL {
+            return None;
+        }
+        Some(self.nodes[top].value.load_ord(Relaxed))
+    }
+}
+
+/// The NBW writer with its `Release` fence deleted. The version protocol is
+/// intact — under sequential consistency every interleaving still passes —
+/// but with nothing ordering the version-odd store before the payload
+/// stores, a payload write can commit *first*: a reader then observes the
+/// old even version, a half-new payload, and a recheck that still sees the
+/// old even version, accepting the torn snapshot
+/// [`crate::models::ModelNbw`]'s fence exists to prevent.
+pub struct FencelessNbw {
+    version: Atomic<u64>,
+    a: Atomic<u64>,
+    b: Atomic<u64>,
+    /// When true, the `Release` fence is restored — the fixed counterpart,
+    /// step-identical otherwise.
+    fenced: bool,
+}
+
+impl FencelessNbw {
+    /// A register holding `(a, b)` with the writer's fence deleted.
+    pub fn new(a: u64, b: u64) -> Self {
+        Self::with_fence(a, b, false)
+    }
+
+    /// The fixed counterpart: same steps, fence restored.
+    pub fn fixed(a: u64, b: u64) -> Self {
+        Self::with_fence(a, b, true)
+    }
+
+    fn with_fence(a: u64, b: u64, fenced: bool) -> Self {
+        Self {
+            version: Atomic::new(0),
+            a: Atomic::new(a),
+            b: Atomic::new(b),
+            fenced,
+        }
+    }
+
+    /// `ModelNbw::write` minus the `Release` fence (unless `fixed`).
+    pub fn write(&self, a: u64, b: u64) {
+        let v = self.version.load_ord(Relaxed);
+        self.version.store_ord(v + 1, Relaxed);
+        // BUG: `ModelNbw` fences here; without it the payload stores below
+        // may commit before the version goes odd.
+        if self.fenced {
+            fence(Release);
+        }
+        self.a.store_ord(a, Relaxed);
+        self.b.store_ord(b, Relaxed);
+        self.version.store_ord(v + 2, Release);
+    }
+
+    /// Identical to `ModelNbw::read`.
+    pub fn read(&self) -> (u64, u64) {
+        loop {
+            let v1 = self.version.load_ord(Acquire);
+            if !v1.is_multiple_of(2) {
+                spin_hint();
+                continue;
+            }
+            let a = self.a.load_ord(Relaxed);
+            let b = self.b.load_ord(Relaxed);
+            fence(Acquire);
+            if self.version.load_ord(Relaxed) == v1 {
+                return (a, b);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -276,5 +438,17 @@ mod tests {
         let torn = TornNbw::new(0, 0);
         torn.write(3, 6);
         assert_eq!(torn.read(), (3, 6));
+
+        // The weak-memory variants are indistinguishable from their fixed
+        // counterparts outside a store-buffer execution.
+        let pubstack = RelaxedPubStack::relaxed(2);
+        assert_eq!(pubstack.peek(), None);
+        pubstack.push(0, 41);
+        pubstack.push(1, 42);
+        assert_eq!(pubstack.peek(), Some(42));
+
+        let fenceless = FencelessNbw::new(0, 0);
+        fenceless.write(3, 6);
+        assert_eq!(fenceless.read(), (3, 6));
     }
 }

@@ -8,8 +8,13 @@
 //! `E1`/`D1`-style comments, so a divergence between model and
 //! implementation is a reviewable diff, not a guess.
 //!
+//! Each model declares the *real* code's memory orderings through the
+//! `_ord` operations, so the same model explores soundly under sequential
+//! consistency and under [`crate::Config::store_buffer`]'s weak-memory mode.
+//!
 //! [`buggy`] holds intentionally broken variants — the seeded bugs that
-//! prove the explorer actually catches ABA, lost updates, and torn reads.
+//! prove the explorer actually catches ABA, lost updates, torn reads, and
+//! (under the store-buffer mode) `Relaxed`-publication reorderings.
 
 pub mod buggy;
 pub mod mpmc;

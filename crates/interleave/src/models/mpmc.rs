@@ -2,6 +2,7 @@
 //! mirroring `crates/lockfree/src/mpmc.rs`.
 
 use crate::atomic::Atomic;
+use std::sync::atomic::Ordering::{Acquire, Relaxed, Release};
 
 struct Slot {
     sequence: Atomic<usize>,
@@ -63,16 +64,22 @@ impl ModelMpmcQueue {
     pub fn push(&self, value: u64) -> Result<(), u64> {
         let mask = self.mask();
         // P1: `self.tail.load(Relaxed)` — the ticket guess.
-        let mut tail = self.tail.load();
+        let mut tail = self.tail.load_ord(Relaxed);
         loop {
             let slot = &self.slots[tail & mask];
             // P2: `slot.sequence.load(Acquire)`.
-            let seq = slot.sequence.load();
+            let seq = slot.sequence.load_ord(Acquire);
             match seq as isize - tail as isize {
                 0 => {
-                    // P3: `self.tail.compare_exchange_weak(tail, tail + 1)` —
-                    // claim the slot (the model CAS never fails spuriously).
-                    match self.tail.compare_exchange(tail, tail.wrapping_add(1)) {
+                    // P3: `self.tail.compare_exchange_weak(tail, tail + 1,
+                    // Relaxed, Relaxed)` — claim the slot (the model CAS
+                    // never fails spuriously).
+                    match self.tail.compare_exchange_ord(
+                        tail,
+                        tail.wrapping_add(1),
+                        Relaxed,
+                        Relaxed,
+                    ) {
                         Ok(_) => {
                             // Slot write: exclusive by the ticket hand-off
                             // (like the queue's post-CAS data take) — not a
@@ -80,7 +87,7 @@ impl ModelMpmcQueue {
                             slot.value.store_plain(value);
                             // P4: `slot.sequence.store(tail + 1, Release)` —
                             // hand the slot to consumers.
-                            slot.sequence.store(tail.wrapping_add(1));
+                            slot.sequence.store_ord(tail.wrapping_add(1), Release);
                             return Ok(());
                         }
                         Err(actual) => tail = actual,
@@ -89,7 +96,7 @@ impl ModelMpmcQueue {
                 d if d < 0 => return Err(value), // a full lap behind: full
                 _ => {
                     // P5: another producer advanced; reload and retry.
-                    tail = self.tail.load();
+                    tail = self.tail.load_ord(Relaxed);
                 }
             }
         }
@@ -99,22 +106,29 @@ impl ModelMpmcQueue {
     pub fn pop(&self) -> Option<u64> {
         let mask = self.mask();
         // C1: `self.head.load(Relaxed)` — the ticket guess.
-        let mut head = self.head.load();
+        let mut head = self.head.load_ord(Relaxed);
         loop {
             let slot = &self.slots[head & mask];
             // C2: `slot.sequence.load(Acquire)`.
-            let seq = slot.sequence.load();
+            let seq = slot.sequence.load_ord(Acquire);
             match seq as isize - (head.wrapping_add(1)) as isize {
                 0 => {
-                    // C3: `self.head.compare_exchange_weak(head, head + 1)`.
-                    match self.head.compare_exchange(head, head.wrapping_add(1)) {
+                    // C3: `self.head.compare_exchange_weak(head, head + 1,
+                    // Relaxed, Relaxed)`.
+                    match self.head.compare_exchange_ord(
+                        head,
+                        head.wrapping_add(1),
+                        Relaxed,
+                        Relaxed,
+                    ) {
                         Ok(_) => {
                             // Slot read: exclusive by the hand-off — not a
                             // step.
                             let value = slot.value.load_plain();
                             // C4: `slot.sequence.store(head + mask + 1,
                             // Release)` — free the slot for the next lap.
-                            slot.sequence.store(head.wrapping_add(mask + 1));
+                            slot.sequence
+                                .store_ord(head.wrapping_add(mask + 1), Release);
                             return Some(value);
                         }
                         Err(actual) => head = actual,
@@ -123,7 +137,7 @@ impl ModelMpmcQueue {
                 d if d < 0 => return None, // nothing published yet: empty
                 _ => {
                     // C5: another consumer advanced; reload and retry.
-                    head = self.head.load();
+                    head = self.head.load_ord(Relaxed);
                 }
             }
         }

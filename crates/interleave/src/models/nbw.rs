@@ -1,8 +1,9 @@
 //! Model of the NBW (seqlock) register, mirroring
 //! `crates/lockfree/src/nbw.rs`.
 
-use crate::atomic::Atomic;
+use crate::atomic::{fence, Atomic};
 use crate::runtime::spin_hint;
+use std::sync::atomic::Ordering::{Acquire, Relaxed, Release};
 
 /// Non-blocking-write register over a two-word payload, with the version
 /// protocol of Kopetz & Reisinger: even version = stable, odd = a write is
@@ -34,21 +35,24 @@ impl ModelNbw {
     /// matching the real `NbwWriter` being `!Clone`.
     pub fn write(&self, a: u64, b: u64) {
         // W1: `version.load(Relaxed)` (even by the single-writer invariant).
-        let v = self.version.load();
-        // W2: `version.store(v + 1, Relaxed)` + Release fence — open.
-        self.version.store(v + 1);
+        let v = self.version.load_ord(Relaxed);
+        // W2: `version.store(v + 1, Relaxed)` + Release fence — open. The
+        // fence keeps the odd version visible before any payload write; see
+        // `crate::models::buggy::FencelessNbw` for what its absence costs.
+        self.version.store_ord(v + 1, Relaxed);
+        fence(Release);
         // W3/W4: the payload writes (`ptr::write_volatile` on the real cell).
-        self.a.store(a);
-        self.b.store(b);
+        self.a.store_ord(a, Relaxed);
+        self.b.store_ord(b, Relaxed);
         // W5: `version.store(v + 2, Release)` — publish.
-        self.version.store(v + 2);
+        self.version.store_ord(v + 2, Release);
     }
 
     /// Mirrors `NbwReader::read`: retries while a write overlaps.
     pub fn read(&self) -> (u64, u64) {
         loop {
             // R1: `version.load(Acquire)`.
-            let v1 = self.version.load();
+            let v1 = self.version.load_ord(Acquire);
             if !v1.is_multiple_of(2) {
                 // Mid-write: the real reader spins (`std::hint::spin_loop`).
                 // Only a writer step can change the version, so tell the
@@ -59,10 +63,12 @@ impl ModelNbw {
             }
             // R2/R3: the speculative payload read (possibly torn — only
             // *used* after the check below).
-            let a = self.a.load();
-            let b = self.b.load();
-            // R4: `version.load(Relaxed)` after the Acquire fence.
-            if self.version.load() == v1 {
+            let a = self.a.load_ord(Relaxed);
+            let b = self.b.load_ord(Relaxed);
+            // R4: `version.load(Relaxed)` after the Acquire fence (a no-op
+            // in the model: load–load reordering is not explored).
+            fence(Acquire);
+            if self.version.load_ord(Relaxed) == v1 {
                 return (a, b);
             }
             // A write overlapped; discard and retry. No spin_hint: the

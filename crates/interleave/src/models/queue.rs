@@ -3,6 +3,7 @@
 
 use crate::arena::{Arena, NIL};
 use crate::atomic::Atomic;
+use std::sync::atomic::Ordering::{Acquire, Relaxed, Release};
 
 /// A queue node. `value` is meaningless on the sentinel, exactly like the
 /// real node's `data: UnsafeCell<Option<T>>` being `None` there.
@@ -48,20 +49,25 @@ impl ModelMsQueue {
         });
         loop {
             // E1: `self.tail.load(Acquire)`.
-            let tail = self.tail.load();
+            let tail = self.tail.load_ord(Acquire);
             let tail_node = self.arena.get(tail);
             // E2: `tail_ref.next.load(Acquire)`.
-            let next = tail_node.next.load();
+            let next = tail_node.next.load_ord(Acquire);
             if next != NIL {
                 // E3: tail lags — help: `self.tail.compare_exchange(tail,
-                // next, ..)`, failure benign.
-                let _ = self.tail.compare_exchange(tail, next);
+                // next, Release, Relaxed)`, failure benign.
+                let _ = self.tail.compare_exchange_ord(tail, next, Release, Relaxed);
                 continue;
             }
-            // E4: `tail_ref.next.compare_exchange(null, new, Release, ..)`.
-            if tail_node.next.compare_exchange(NIL, idx).is_ok() {
+            // E4: `tail_ref.next.compare_exchange(null, new, Release,
+            // Relaxed)`.
+            if tail_node
+                .next
+                .compare_exchange_ord(NIL, idx, Release, Relaxed)
+                .is_ok()
+            {
                 // E5: swing the tail; failure means someone helped.
-                let _ = self.tail.compare_exchange(tail, idx);
+                let _ = self.tail.compare_exchange_ord(tail, idx, Release, Relaxed);
                 return;
             }
         }
@@ -71,22 +77,26 @@ impl ModelMsQueue {
     pub fn dequeue(&self) -> Option<u64> {
         loop {
             // D1: `self.head.load(Acquire)`.
-            let head = self.head.load();
+            let head = self.head.load_ord(Acquire);
             let head_node = self.arena.get(head);
             // D2: `head_ref.next.load(Acquire)`.
-            let next = head_node.next.load();
+            let next = head_node.next.load_ord(Acquire);
             // `unsafe { next.as_ref() }?` — empty check.
             if next == NIL {
                 return None;
             }
             // D3: `self.tail.load(Acquire)`.
-            let tail = self.tail.load();
+            let tail = self.tail.load_ord(Acquire);
             if tail == head {
                 // D4: tail lags behind a non-empty queue — help advance.
-                let _ = self.tail.compare_exchange(tail, next);
+                let _ = self.tail.compare_exchange_ord(tail, next, Release, Relaxed);
             }
-            // D5: `self.head.compare_exchange(head, next, Release, ..)`.
-            if self.head.compare_exchange(head, next).is_ok() {
+            // D5: `self.head.compare_exchange(head, next, Release, Relaxed)`.
+            if self
+                .head
+                .compare_exchange_ord(head, next, Release, Relaxed)
+                .is_ok()
+            {
                 // `(*next_ref.data.get()).take()` after winning the CAS:
                 // exclusive by protocol, not a step.
                 return Some(self.arena.get(next).value);

@@ -1,6 +1,7 @@
 //! Model of the CAS register, mirroring `crates/lockfree/src/register.rs`.
 
 use crate::atomic::Atomic;
+use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed, Release};
 
 /// Single-word read-modify-write register: the primitive "access, check,
 /// retry" loop of the paper's §1.1.
@@ -18,25 +19,30 @@ impl ModelCasRegister {
 
     /// Mirrors `CasRegister::load`.
     pub fn load(&self) -> u64 {
-        self.value.load()
+        self.value.load_ord(Acquire)
     }
 
     /// Mirrors `CasRegister::store`.
     pub fn store(&self, value: u64) {
-        self.value.store(value);
+        self.value.store_ord(value, Release);
     }
 
     /// Mirrors `CasRegister::update`: replaces the value with `f(current)`,
     /// retrying on interference; returns the replaced value.
     pub fn update<F: FnMut(u64) -> u64>(&self, mut f: F) -> u64 {
         // U1: initial `self.value.load(Acquire)`.
-        let mut current = self.value.load();
+        let mut current = self.value.load_ord(Acquire);
         loop {
             let next = f(current);
-            // U2: `compare_exchange_weak(current, next, AcqRel, Acquire)` —
+            // U2: `compare_exchange_weak(current, next, AcqRel, Relaxed)` —
             // the model CAS never fails spuriously, which only removes
-            // schedules the real loop would immediately retry.
-            match self.value.compare_exchange(current, next) {
+            // schedules the real loop would immediately retry. The failure
+            // value is only fed back as the next expected value, never
+            // dereferenced, so `Relaxed` failure suffices (ordlint ORD005).
+            match self
+                .value
+                .compare_exchange_ord(current, next, AcqRel, Relaxed)
+            {
                 Ok(prev) => return prev,
                 Err(actual) => current = actual,
             }

@@ -1,6 +1,7 @@
 //! Model of the SPSC ring, mirroring `crates/lockfree/src/ring.rs`.
 
 use crate::atomic::Atomic;
+use std::sync::atomic::Ordering::{Acquire, Relaxed, Release};
 
 /// Bounded single-producer/single-consumer ring over `capacity + 1` slots
 /// (one spare slot distinguishes full from empty, as in the real ring).
@@ -44,34 +45,37 @@ impl ModelSpscRing {
     /// Returns `Err(value)` when the ring is full.
     pub fn push(&self, value: u64) -> Result<(), u64> {
         // P1: `shared.tail.load(Relaxed)` — producer-owned index.
-        let tail = self.tail.load();
+        let tail = self.tail.load_ord(Relaxed);
         let next = self.next(tail);
         // P2: `shared.head.load(Acquire)` — full check against the consumer.
-        if next == self.head.load() {
+        if next == self.head.load_ord(Acquire) {
             return Err(value);
         }
         // P3: the slot write. The real ring writes an `UnsafeCell` here,
         // safe because slot `tail` is outside `[head, tail)`; the model
         // keeps it a scheduled step so a protocol bug that lets the
-        // consumer read slot `tail` early is observable as a race.
-        self.slots[tail].store(value);
+        // consumer read slot `tail` early is observable as a race. Declared
+        // `Relaxed`: the plain write is ordered only by P4's `Release`, so
+        // under a store buffer it may sit unbuffered past P3's step — the
+        // publication must still commit after it.
+        self.slots[tail].store_ord(value, Relaxed);
         // P4: `shared.tail.store(next, Release)` — publication.
-        self.tail.store(next);
+        self.tail.store_ord(next, Release);
         Ok(())
     }
 
     /// Mirrors `RingConsumer::pop`.
     pub fn pop(&self) -> Option<u64> {
         // C1: `shared.head.load(Relaxed)` — consumer-owned index.
-        let head = self.head.load();
+        let head = self.head.load_ord(Relaxed);
         // C2: `shared.tail.load(Acquire)` — empty check against the producer.
-        if head == self.tail.load() {
+        if head == self.tail.load_ord(Acquire) {
             return None;
         }
         // C3: the slot read (see P3 on why this is a step).
-        let value = self.slots[head].load();
+        let value = self.slots[head].load_ord(Relaxed);
         // C4: `shared.head.store(next, Release)` — frees the slot.
-        self.head.store(self.next(head));
+        self.head.store_ord(self.next(head), Release);
         Some(value)
     }
 

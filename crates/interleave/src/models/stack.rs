@@ -2,6 +2,7 @@
 
 use crate::arena::{Arena, NIL};
 use crate::atomic::Atomic;
+use std::sync::atomic::Ordering::{Acquire, Relaxed, Release};
 
 /// A stack node: payload plus the `next` link published by the push CAS.
 pub struct StackNode {
@@ -39,12 +40,16 @@ impl ModelTreiberStack {
         let node = self.arena.get(idx);
         loop {
             // S1: `self.top.load(Acquire)`.
-            let top = self.top.load();
+            let top = self.top.load_ord(Acquire);
             // Pre-publication `new.next.store(top, Relaxed)`: not a step —
             // unreachable by other threads until the CAS below.
             node.next.store_plain(top);
-            // S2: `self.top.compare_exchange(top, new, Release, ..)`.
-            if self.top.compare_exchange(top, idx).is_ok() {
+            // S2: `self.top.compare_exchange(top, new, Release, Relaxed)`.
+            if self
+                .top
+                .compare_exchange_ord(top, idx, Release, Relaxed)
+                .is_ok()
+            {
                 return;
             }
             // Err(e) => retry with the node we still own.
@@ -55,16 +60,20 @@ impl ModelTreiberStack {
     pub fn pop(&self) -> Option<u64> {
         loop {
             // S1: `self.top.load(Acquire)`.
-            let top = self.top.load();
+            let top = self.top.load_ord(Acquire);
             // `unsafe { top.as_ref() }?` — empty check.
             if top == NIL {
                 return None;
             }
             let node = self.arena.get(top);
             // S2: `top_ref.next.load(Relaxed)`.
-            let next = node.next.load();
-            // S3: `self.top.compare_exchange(top, next, Release, ..)`.
-            if self.top.compare_exchange(top, next).is_ok() {
+            let next = node.next.load_ord(Relaxed);
+            // S3: `self.top.compare_exchange(top, next, Release, Relaxed)`.
+            if self
+                .top
+                .compare_exchange_ord(top, next, Release, Relaxed)
+                .is_ok()
+            {
                 // `ptr::read(&top_ref.data)` after winning the CAS:
                 // exclusive by protocol, not a step.
                 return Some(node.value);

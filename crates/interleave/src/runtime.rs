@@ -13,12 +13,108 @@
 //! the instrumented cells), so it cannot introduce nondeterminism.
 
 use std::cell::RefCell;
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 
 /// Maximum model threads per execution. Exploration cost is exponential in
 /// thread count; this is a sanity rail, not a tuning knob.
 pub const MAX_THREADS: usize = 8;
+
+/// The memory model an execution runs under.
+///
+/// Under [`MemoryMode::Sc`] (the default) every instrumented operation takes
+/// effect at its scheduled step — sequential consistency, the model PR 2
+/// shipped. Under [`MemoryMode::StoreBuffer`] each thread owns a FIFO store
+/// buffer in the style of TSO/PSO hardware: `Relaxed` and `Release` stores
+/// (made through the `_ord` operations of [`crate::Atomic`]) are *buffered*
+/// at their step and become globally visible only when a separate **flush**
+/// step commits them. Flushes are ordinary scheduling decisions, so the
+/// explorer enumerates exactly which reorderings other threads can observe:
+///
+/// * per-location coherence always holds (stores to one location commit in
+///   program order);
+/// * a `Relaxed` store may commit *before* an older buffered store to a
+///   different location — the store–store reordering that breaks
+///   publish-before-initialize bugs loose;
+/// * a `Release` store commits only once the issuing thread's buffer holds
+///   nothing older, so everything written before it is visible first;
+/// * `SeqCst` stores, read-modify-writes with a `Release`-or-stronger
+///   success ordering, and `Release`-or-stronger fences drain the issuing
+///   thread's buffer at their step (hardware RMWs and SC fences do not
+///   overtake the store buffer), while a `Relaxed`/`Acquire` RMW leaves
+///   older stores to *other* locations buffered;
+/// * loads forward from the issuing thread's own newest buffered store to
+///   that location (store-to-load forwarding), and other threads never see
+///   buffered values.
+///
+/// Load–load reordering is **not** modeled (see DESIGN.md §6b): this mode
+/// catches the store-side ordering bugs (`Relaxed` publication), not
+/// missing-`Acquire` loads, which remain the lint layer's job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoryMode {
+    /// Sequentially consistent: every step takes effect immediately.
+    Sc,
+    /// TSO/PSO-style per-thread store buffers with explicit flush steps.
+    StoreBuffer {
+        /// Maximum buffered stores per thread; a store issued against a full
+        /// buffer commits the oldest entry as part of its own step.
+        bound: usize,
+    },
+}
+
+impl MemoryMode {
+    /// The default store-buffer depth used by
+    /// [`crate::Config::store_buffer`].
+    pub const DEFAULT_BOUND: usize = 4;
+}
+
+/// Scheduling-decision ids at or above this value denote *flush* steps, not
+/// thread steps: `FLUSH_BASE + tid * FLUSH_STRIDE + loc` commits thread
+/// `tid`'s oldest buffered store to location `loc`. Thread ids stay below
+/// [`MAX_THREADS`], so the two ranges never collide and schedule strings
+/// remain plain dot-joined numbers that replay byte-for-byte.
+pub const FLUSH_BASE: usize = 100;
+/// Stride between threads in the flush-id encoding; also the per-execution
+/// cap on distinct buffered locations.
+pub const FLUSH_STRIDE: usize = 100;
+
+fn encode_flush(tid: usize, loc: usize) -> usize {
+    assert!(
+        loc < FLUSH_STRIDE,
+        "model uses more than {FLUSH_STRIDE} buffered atomic locations"
+    );
+    FLUSH_BASE + tid * FLUSH_STRIDE + loc
+}
+
+fn decode_flush(id: usize) -> (usize, usize) {
+    debug_assert!(id >= FLUSH_BASE);
+    (
+        (id - FLUSH_BASE) / FLUSH_STRIDE,
+        (id - FLUSH_BASE) % FLUSH_STRIDE,
+    )
+}
+
+/// Distinguishes executions so an [`crate::Atomic`]'s cached location id is
+/// never reused across runs.
+static RUN_COUNTER: AtomicU64 = AtomicU64::new(1);
+
+/// One store sitting in a thread's buffer: enough metadata to decide when it
+/// may commit, plus the type-erased commit action (the typed value lives in
+/// the owning `Atomic`'s own pending queue).
+struct BufferedStore {
+    loc: usize,
+    /// `Release`-or-stronger: may only commit from the front of the buffer.
+    release: bool,
+    commit: Box<dyn FnOnce() + Send>,
+}
+
+struct WeakState {
+    bound: usize,
+    next_loc: usize,
+    pending: Vec<VecDeque<BufferedStore>>,
+}
 
 /// One execution of a concurrency scenario: the model threads to run and an
 /// optional single-threaded post-condition check.
@@ -136,6 +232,10 @@ struct RtState {
 struct Runtime {
     state: Mutex<RtState>,
     cv: Condvar,
+    /// Store-buffer bookkeeping; `None` under [`MemoryMode::Sc`].
+    weak: Option<Mutex<WeakState>>,
+    /// Unique per execution; guards cached location ids in `Atomic`s.
+    run_id: u64,
 }
 
 /// Panic payload used to unwind model threads when an execution aborts.
@@ -213,7 +313,7 @@ fn current() -> Option<(Arc<Runtime>, usize)> {
 }
 
 impl Runtime {
-    fn new(threads: usize) -> Self {
+    fn new(threads: usize, memory: MemoryMode) -> Self {
         Self {
             state: Mutex::new(RtState {
                 status: vec![Status::Launching; threads],
@@ -222,7 +322,163 @@ impl Runtime {
                 failure: None,
             }),
             cv: Condvar::new(),
+            weak: match memory {
+                MemoryMode::Sc => None,
+                MemoryMode::StoreBuffer { bound } => Some(Mutex::new(WeakState {
+                    bound: bound.max(1),
+                    next_loc: 0,
+                    pending: (0..threads).map(|_| VecDeque::new()).collect(),
+                })),
+            },
+            run_id: RUN_COUNTER.fetch_add(1, AtomicOrdering::Relaxed),
         }
+    }
+
+    /// The flush decisions currently available: for each thread and each
+    /// location, the oldest buffered store that per-location FIFO and the
+    /// release-from-front rule allow to commit. Sorted, so the enabled set
+    /// handed to the scheduler is deterministic.
+    fn flushable(&self) -> Vec<usize> {
+        let Some(weak) = &self.weak else {
+            return Vec::new();
+        };
+        let weak = lock(weak);
+        let mut out = Vec::new();
+        for (tid, queue) in weak.pending.iter().enumerate() {
+            let mut seen = Vec::new();
+            for (i, entry) in queue.iter().enumerate() {
+                let blocked = seen.contains(&entry.loc) || (entry.release && i != 0);
+                if !blocked {
+                    out.push(encode_flush(tid, entry.loc));
+                }
+                seen.push(entry.loc);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Commits the buffered store named by an encoded flush decision: the
+    /// oldest entry of that thread for that location. Performed by the
+    /// controller between grants; wakes spin-parked threads, since global
+    /// memory just changed.
+    fn perform_flush(&self, id: usize) {
+        let (tid, loc) = decode_flush(id);
+        let commit = {
+            let weak = self.weak.as_ref().expect("flush decision under SC mode");
+            let mut weak = lock(weak);
+            let queue = &mut weak.pending[tid];
+            let pos = queue
+                .iter()
+                .position(|e| e.loc == loc)
+                .unwrap_or_else(|| panic!("no buffered store for flush decision {id}"));
+            queue.remove(pos).expect("position just found").commit
+        };
+        commit();
+        let mut st = lock(&self.state);
+        for s in st.status.iter_mut() {
+            if *s == Status::Spinning {
+                *s = Status::Parked(StepKind::Read);
+            }
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Commits every buffered store of `tid` in program order. Used by
+    /// `SeqCst`/`Release`-class operations (which do not overtake the store
+    /// buffer) and when a thread finishes (joining a thread synchronizes
+    /// with everything it did).
+    fn drain_thread(&self, tid: usize) -> usize {
+        let Some(weak) = &self.weak else {
+            return 0;
+        };
+        let mut drained = 0;
+        loop {
+            let entry = {
+                let mut weak = lock(weak);
+                weak.pending[tid].pop_front()
+            };
+            match entry {
+                Some(e) => {
+                    (e.commit)();
+                    drained += 1;
+                }
+                None => return drained,
+            }
+        }
+    }
+
+    /// Commits `tid`'s buffered stores *to one location* in program order —
+    /// per-location coherence for a `Relaxed`/`Acquire` RMW, which acts on
+    /// coherent memory without draining stores to other locations.
+    fn drain_location(&self, tid: usize, loc: usize) {
+        let Some(weak) = &self.weak else {
+            return;
+        };
+        loop {
+            let entry = {
+                let mut weak = lock(weak);
+                let queue = &mut weak.pending[tid];
+                match queue.iter().position(|e| e.loc == loc) {
+                    Some(pos) => queue.remove(pos),
+                    None => None,
+                }
+            };
+            match entry {
+                Some(e) => (e.commit)(),
+                None => return,
+            }
+        }
+    }
+
+    /// Buffers one store of `tid`, committing the oldest entry first if the
+    /// buffer is at its bound (so a runaway writer cannot grow state
+    /// unboundedly — mirroring a finite hardware buffer).
+    fn buffer_store(
+        &self,
+        tid: usize,
+        loc: usize,
+        release: bool,
+        commit: Box<dyn FnOnce() + Send>,
+    ) {
+        let weak = self.weak.as_ref().expect("buffer_store under SC mode");
+        loop {
+            let evicted = {
+                let mut weak = lock(weak);
+                if weak.pending[tid].len() < weak.bound {
+                    weak.pending[tid].push_back(BufferedStore {
+                        loc,
+                        release,
+                        commit,
+                    });
+                    return;
+                }
+                weak.pending[tid].pop_front().expect("bound is at least 1")
+            };
+            (evicted.commit)();
+        }
+    }
+
+    /// Commits every thread's remaining buffered stores, program order per
+    /// thread, ascending tid. Used only past the decision budget, where the
+    /// commit order is no longer being explored.
+    fn drain_all(&self) {
+        let Some(weak) = &self.weak else {
+            return;
+        };
+        let threads = lock(weak).pending.len();
+        for tid in 0..threads {
+            self.drain_thread(tid);
+        }
+    }
+
+    fn alloc_loc(&self) -> usize {
+        let weak = self.weak.as_ref().expect("alloc_loc under SC mode");
+        let mut weak = lock(weak);
+        let loc = weak.next_loc;
+        weak.next_loc += 1;
+        loc
     }
 
     /// Parks the calling model thread at a yield point and blocks until the
@@ -252,7 +508,13 @@ impl Runtime {
     }
 
     /// Marks `tid` finished; a non-[`AbortToken`] panic aborts the execution
-    /// and records the first message.
+    /// and records the first message. Buffered stores of the finished thread
+    /// deliberately stay buffered: a hardware store buffer drains
+    /// asynchronously, so a store issued by a thread's *last* instruction
+    /// can still be reordered against other threads' observations. The
+    /// controller keeps offering them as flush decisions and commits any
+    /// remainder before the post-check (joining synchronizes with the
+    /// execution as a whole).
     fn finish(&self, tid: usize, panic: Option<Box<dyn std::any::Any + Send>>) {
         let mut st = lock(&self.state);
         if st.granted == Some(tid) {
@@ -342,6 +604,60 @@ impl Runtime {
     }
 }
 
+/// Handle that lets an [`crate::Atomic`] talk to the store-buffer machinery
+/// of the model execution running on this OS thread. Obtainable only inside
+/// a model thread of a [`MemoryMode::StoreBuffer`] execution — `None`
+/// everywhere else, so SC runs and plain (un-modeled) usage pay nothing.
+pub(crate) struct WeakSession {
+    rt: Arc<Runtime>,
+    tid: usize,
+}
+
+/// The store-buffer session of the calling model thread, if any.
+pub(crate) fn weak_session() -> Option<WeakSession> {
+    let (rt, tid) = current()?;
+    rt.weak.as_ref()?;
+    Some(WeakSession { rt, tid })
+}
+
+impl WeakSession {
+    /// The model-thread id this session belongs to.
+    pub(crate) fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// Resolves the stable per-execution location id for an atomic cell,
+    /// allocating one on first use. The cell-side cache is keyed by run id so
+    /// an id from a previous execution is never reused.
+    pub(crate) fn loc(&self, cache: &Mutex<Option<(u64, usize)>>) -> usize {
+        let mut cached = lock(cache);
+        match *cached {
+            Some((run, loc)) if run == self.rt.run_id => loc,
+            _ => {
+                let loc = self.rt.alloc_loc();
+                *cached = Some((self.rt.run_id, loc));
+                loc
+            }
+        }
+    }
+
+    /// Buffers a store of the calling thread; `release` stores only ever
+    /// commit from the front of the buffer.
+    pub(crate) fn buffer_store(&self, loc: usize, release: bool, commit: Box<dyn FnOnce() + Send>) {
+        self.rt.buffer_store(self.tid, loc, release, commit);
+    }
+
+    /// Commits every buffered store of the calling thread, in program order.
+    pub(crate) fn drain(&self) {
+        self.rt.drain_thread(self.tid);
+    }
+
+    /// Commits the calling thread's buffered stores to one location only.
+    pub(crate) fn drain_location(&self, loc: usize) {
+        self.rt.drain_location(self.tid, loc);
+    }
+}
+
 fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
@@ -355,17 +671,19 @@ fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
 /// Runs one execution of `plan` under the scheduling decisions of `choose`.
 ///
 /// `choose(enabled, last)` is called at each quiescent point with the sorted
-/// enabled thread ids and the previously chosen thread; it must return a
-/// member of `enabled`. `max_steps` bounds the number of decisions; beyond
-/// it the execution is pruned as unfair.
+/// enabled decision ids — thread ids, plus encoded flush ids (≥
+/// [`FLUSH_BASE`]) when `memory` buffers stores — and the previously chosen
+/// thread; it must return a member of `enabled`. `max_steps` bounds the
+/// number of decisions; beyond it the execution is pruned as unfair.
 pub(crate) fn run_once(
     plan: Plan,
     max_steps: usize,
+    memory: MemoryMode,
     choose: &mut dyn FnMut(&[usize], Option<usize>) -> usize,
 ) -> RunResult {
     install_panic_filter();
     let n = plan.threads.len();
-    let rt = Arc::new(Runtime::new(n));
+    let rt = Arc::new(Runtime::new(n, memory));
     let mut decisions = Vec::new();
     let mut outcome: Option<Outcome> = None;
 
@@ -381,16 +699,39 @@ pub(crate) fn run_once(
         }
 
         let mut last: Option<usize> = None;
-        while let Some((enabled, spinning)) = rt.await_quiescent() {
+        loop {
+            let quiescent = rt.await_quiescent();
+            let (mut enabled, spinning) = quiescent.clone().unwrap_or((Vec::new(), false));
+            if quiescent.is_none() && outcome.is_some() {
+                // Aborted (livelock/prune) and every thread has unwound:
+                // discard whatever is still buffered, nobody observes it.
+                break;
+            }
+            // Pending flushes are decisions too: committing a buffered store
+            // is exactly the visibility choice weak hardware makes for us.
+            // They remain on offer after their thread finishes — and once
+            // *all* threads are done, they are the only decisions left, so
+            // the final commit order is explored rather than assumed.
+            enabled.extend(rt.flushable());
             if enabled.is_empty() {
-                // Every unfinished thread is spin-parked and nobody can
-                // unblock them: livelock.
+                if quiescent.is_none() {
+                    break; // all threads done, all stores committed
+                }
+                // Every unfinished thread is spin-parked, no store is waiting
+                // to commit, and nobody can unblock them: livelock.
                 debug_assert!(spinning);
                 outcome = Some(Outcome::Livelock);
                 rt.abort();
                 continue;
             }
             if decisions.len() >= max_steps {
+                if quiescent.is_none() {
+                    // Only flushes remain; committing them cannot spin.
+                    // Flush in program order without recording decisions so
+                    // an execution at its budget still terminates.
+                    rt.drain_all();
+                    break;
+                }
                 outcome = Some(Outcome::Pruned);
                 rt.abort();
                 continue;
@@ -401,8 +742,15 @@ pub(crate) fn run_once(
                 "scheduler chose thread {chosen} outside enabled set {enabled:?}"
             );
             decisions.push(Decision { chosen, enabled });
-            last = Some(chosen);
-            rt.grant(chosen);
+            if chosen >= FLUSH_BASE {
+                // A flush is performed by the controller; `last` keeps
+                // pointing at the previously running thread so the default
+                // continuation still prefers it.
+                rt.perform_flush(chosen);
+            } else {
+                last = Some(chosen);
+                rt.grant(chosen);
+            }
         }
         rt.await_all_done();
     });
@@ -442,7 +790,7 @@ mod tests {
             c.store(1);
             c.store(2);
         });
-        let result = run_once(plan, 100, &mut lowest);
+        let result = run_once(plan, 100, MemoryMode::Sc, &mut lowest);
         assert_eq!(result.outcome, Outcome::Ok);
         assert_eq!(result.decisions.len(), 2);
         assert_eq!(cell.load(), 2);
@@ -455,7 +803,7 @@ mod tests {
         let plan = Plan::new()
             .thread(mk(StdArc::clone(&cell)))
             .thread(mk(StdArc::clone(&cell)));
-        let result = run_once(plan, 100, &mut lowest);
+        let result = run_once(plan, 100, MemoryMode::Sc, &mut lowest);
         assert_eq!(result.outcome, Outcome::Ok);
         assert_eq!(result.decisions.len(), 2);
         assert_eq!(result.decisions[0].enabled, vec![0, 1]);
@@ -480,7 +828,7 @@ mod tests {
                 c2.store(3);
                 c2.store(4);
             });
-        let result = run_once(plan, 100, &mut lowest);
+        let result = run_once(plan, 100, MemoryMode::Sc, &mut lowest);
         assert_eq!(result.outcome, Outcome::Failed("seeded failure".into()));
     }
 
@@ -492,7 +840,7 @@ mod tests {
         let plan = Plan::new()
             .thread(move || c.store(7))
             .check(move || assert_eq!(c2.load(), 8, "post-check sees 7"));
-        let result = run_once(plan, 100, &mut lowest);
+        let result = run_once(plan, 100, MemoryMode::Sc, &mut lowest);
         match result.outcome {
             Outcome::Failed(msg) => assert!(msg.contains("post-check sees 7"), "{msg}"),
             other => panic!("expected failure, got {other:?}"),
@@ -509,7 +857,7 @@ mod tests {
             }
             spin_hint();
         });
-        let result = run_once(plan, 100, &mut lowest);
+        let result = run_once(plan, 100, MemoryMode::Sc, &mut lowest);
         assert_eq!(result.outcome, Outcome::Livelock);
     }
 
@@ -519,7 +867,7 @@ mod tests {
         let c = StdArc::clone(&cell);
         // A retry loop without spin_hint: the budget backstop catches it.
         let plan = Plan::new().thread(move || while c.load() != 1 {});
-        let result = run_once(plan, 50, &mut lowest);
+        let result = run_once(plan, 50, MemoryMode::Sc, &mut lowest);
         assert_eq!(result.outcome, Outcome::Pruned);
     }
 }

@@ -60,11 +60,15 @@ impl CasRegister {
         loop {
             self.stats.attempt();
             let next = f(current);
+            // Relaxed failure ordering: the observed value is only fed back
+            // as the next expected value, never dereferenced, so the retry
+            // needs no acquire edge (ordlint ORD005; pinned by
+            // tests/ordering_pins.rs).
             match self.value.compare_exchange_weak(
                 current,
                 next,
                 Ordering::AcqRel,
-                Ordering::Acquire,
+                Ordering::Relaxed,
             ) {
                 Ok(prev) => return prev,
                 Err(actual) => {

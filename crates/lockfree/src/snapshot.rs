@@ -70,7 +70,11 @@ impl AtomicSnapshot {
         loop {
             let (_, seq) = unpack(current);
             let next = pack(value, seq.wrapping_add(1));
-            match cell.compare_exchange_weak(current, next, Ordering::AcqRel, Ordering::Acquire) {
+            // Relaxed failure ordering: the observed word is only unpacked
+            // for its sequence number and retried, never dereferenced, so
+            // no acquire edge is needed (ordlint ORD005; pinned by
+            // tests/ordering_pins.rs).
+            match cell.compare_exchange_weak(current, next, Ordering::AcqRel, Ordering::Relaxed) {
                 Ok(_) => return,
                 Err(actual) => current = actual,
             }

@@ -1,0 +1,164 @@
+//! Pins the memory orderings of audited atomic sites.
+//!
+//! The workspace's ordering audit (PR 3: `lfrt-ordlint` + the store-buffer
+//! explorer) settled each of these sites deliberately; this test freezes
+//! them as source-text assertions so a future edit that strengthens or
+//! weakens an ordering has to touch this file and restate the argument.
+//! The assertions are deliberately syntactic — the same literal tokens
+//! `lfrt-ordlint` scans — so the pin and the lint can never drift apart.
+
+use std::path::Path;
+
+fn src(file: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("src").join(file);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+}
+
+/// Strips whitespace so multi-line call sites compare stably under rustfmt.
+fn squash(text: &str) -> String {
+    text.chars().filter(|c| !c.is_whitespace()).collect()
+}
+
+fn assert_site(file: &str, needle: &str, why: &str) {
+    let haystack = squash(&src(file));
+    assert!(
+        haystack.contains(&squash(needle)),
+        "{file}: expected pinned site `{needle}` ({why}); \
+         if the ordering changed on purpose, restate the argument here"
+    );
+}
+
+/// The audit's two downgrades: a CAS retry loop feeds the failure value
+/// back as the next expectation and never dereferences it, so the failure
+/// ordering carries no acquire obligation (ordlint ORD005).
+#[test]
+fn cas_failure_orderings_stay_relaxed() {
+    assert_site(
+        "register.rs",
+        "compare_exchange_weak(current, next, Ordering::AcqRel, Ordering::Relaxed,)",
+        "update() retry loop: failure value only re-seeds `current`",
+    );
+    assert_site(
+        "snapshot.rs",
+        "compare_exchange_weak(current, next, Ordering::AcqRel, Ordering::Relaxed)",
+        "write() retry loop: failure word only re-seeds `current`",
+    );
+}
+
+/// The success orderings those same sites must keep: `update`/`write`
+/// both read the old value on success (AcqRel = Acquire for the read,
+/// Release for the publication of the new value).
+#[test]
+fn cas_success_orderings_stay_acqrel() {
+    for file in ["register.rs", "snapshot.rs"] {
+        let text = src(file);
+        assert!(
+            text.contains("Ordering::AcqRel"),
+            "{file}: the CAS success ordering must stay AcqRel"
+        );
+        assert!(
+            !squash(&text).contains(&squash("Ordering::AcqRel, Ordering::Acquire")),
+            "{file}: the audit downgraded the Acquire failure ordering; \
+             re-upgrading it needs a new argument here"
+        );
+    }
+}
+
+/// Treiber stack hot path (push/pop): Acquire top load, Release/Relaxed
+/// CAS — the publication edge the store-buffer explorer exercises through
+/// `ModelTreiberStack`.
+#[test]
+fn stack_hot_path_orderings() {
+    assert_site(
+        "stack.rs",
+        "self.top.load(Acquire, guard)",
+        "push/pop must acquire the published top node",
+    );
+    assert_site(
+        "stack.rs",
+        "compare_exchange(top, new, Release, Relaxed, guard)",
+        "push publishes the new node with Release",
+    );
+    assert_site(
+        "stack.rs",
+        "compare_exchange(top, next, Release, Relaxed, guard)",
+        "pop unlinks with Release, Relaxed failure",
+    );
+    assert_site(
+        "stack.rs",
+        "new.next.store(top, Relaxed)",
+        "pre-publication init of the new node needs no ordering",
+    );
+}
+
+/// Michael–Scott queue hot path: every CAS publishes with Release and
+/// retries with Relaxed failure; head/tail/next loads are Acquire.
+#[test]
+fn queue_hot_path_orderings() {
+    let text = src("queue.rs");
+    let squashed = squash(&text);
+    for site in [
+        "compare_exchange(tail, next, Release, Relaxed, guard)",
+        "compare_exchange(Shared::null(), new, Release, Relaxed, guard)",
+        "compare_exchange(tail, new, Release, Relaxed, guard)",
+        "compare_exchange(head, next, Release, Relaxed, guard)",
+    ] {
+        assert!(
+            squashed.contains(&squash(site)),
+            "queue.rs: expected pinned site `{site}`"
+        );
+    }
+    assert!(
+        !text.contains("load(Relaxed, guard)") || text.contains("fn drop"),
+        "queue.rs: Relaxed loads are only justified in Drop (exclusive access)"
+    );
+}
+
+/// Vyukov MPMC queue: Relaxed ticket loads and ticket CAS, Acquire
+/// sequence loads, Release sequence stores — the per-slot hand-off
+/// protocol (baselined ORD002: the ticket is an index, not a pointer).
+#[test]
+fn mpmc_hot_path_orderings() {
+    assert_site(
+        "mpmc.rs",
+        "slot.sequence.load(Ordering::Acquire)",
+        "the sequence load is the slot's acquire edge",
+    );
+    assert_site(
+        "mpmc.rs",
+        "slot.sequence.store(tail.wrapping_add(1), Ordering::Release)",
+        "the producer hands the slot over with Release",
+    );
+    assert_site(
+        "mpmc.rs",
+        "Ordering::Relaxed, Ordering::Relaxed,",
+        "ticket CAS needs no ordering: the sequence protocol synchronizes",
+    );
+}
+
+/// NBW (Kopetz/Reisinger) seqlock: the version stores straddle the payload
+/// with a Release fence + Release store; the reader pairs an Acquire load
+/// with an Acquire fence before the recheck.
+#[test]
+fn nbw_fence_pairing_orderings() {
+    assert_site(
+        "nbw.rs",
+        "fence(Ordering::Release)",
+        "writer: version bump must not sink below payload stores",
+    );
+    assert_site(
+        "nbw.rs",
+        "shared.version.store(v + 2, Ordering::Release)",
+        "writer: closing version store publishes the payload",
+    );
+    assert_site(
+        "nbw.rs",
+        "fence(Ordering::Acquire)",
+        "reader: payload reads must not sink below the recheck",
+    );
+    assert_site(
+        "nbw.rs",
+        "shared.version.load(Ordering::Acquire)",
+        "reader: opening version load acquires the last publication",
+    );
+}

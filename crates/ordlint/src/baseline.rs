@@ -1,0 +1,264 @@
+//! The justified-findings baseline (`ordlint.toml`).
+//!
+//! A finding that is *intentional* — a constructor publishing with
+//! `Relaxed` before the object escapes, a `Drop` walking nodes it owns
+//! exclusively — gets an `[[allow]]` entry instead of a code change. Every
+//! entry **must** carry a non-empty `justification`; an entry that matches
+//! no current finding is *stale* and fails the run just like an
+//! unbaselined finding, so the baseline can only ever shrink or be
+//! consciously re-justified.
+//!
+//! The format is the tiny TOML subset below, parsed by hand (the build is
+//! offline; no toml crate):
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "ORD002"
+//! file = "crates/lockfree/src/stack.rs"
+//! function = "drop"
+//! receiver = "self.top"
+//! justification = "Drop takes &mut self: exclusive access, nothing to acquire."
+//! ```
+
+use crate::rules::Finding;
+
+/// One `[[allow]]` entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Rule ID the entry silences.
+    pub rule: String,
+    /// File of the allowed finding (relative, `/` separators).
+    pub file: String,
+    /// Enclosing function of the allowed finding.
+    pub function: String,
+    /// Normalized receiver of the allowed finding.
+    pub receiver: String,
+    /// Why the finding is intentional. Required, non-empty.
+    pub justification: String,
+    /// 1-based line of the entry's `[[allow]]` header, for error messages.
+    pub line: usize,
+}
+
+impl Entry {
+    fn key(&self) -> (String, String, String, String) {
+        (
+            self.rule.clone(),
+            self.file.clone(),
+            self.function.clone(),
+            self.receiver.clone(),
+        )
+    }
+}
+
+/// Parses the baseline file.
+///
+/// # Errors
+///
+/// Returns a `line: message` string for unknown keys, values that are not
+/// double-quoted strings, content outside an `[[allow]]` block, duplicate
+/// entries, or entries missing `rule`/`file`/`justification`.
+pub fn parse(text: &str) -> Result<Vec<Entry>, String> {
+    let mut entries: Vec<Entry> = Vec::new();
+    let mut current: Option<Entry> = None;
+    for (idx, raw_line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[allow]]" {
+            finish(&mut entries, current.take(), lineno)?;
+            current = Some(Entry {
+                rule: String::new(),
+                file: String::new(),
+                function: String::new(),
+                receiver: String::new(),
+                justification: String::new(),
+                line: lineno,
+            });
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!(
+                "{lineno}: expected `key = \"value\"`, got `{line}`"
+            ));
+        };
+        let Some(entry) = current.as_mut() else {
+            return Err(format!("{lineno}: `{line}` outside an [[allow]] entry"));
+        };
+        let value = value.trim();
+        let unquoted = value
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .ok_or_else(|| {
+                format!(
+                    "{lineno}: value of `{}` must be a quoted string",
+                    key.trim()
+                )
+            })?
+            .replace("\\\"", "\"");
+        match key.trim() {
+            "rule" => entry.rule = unquoted,
+            "file" => entry.file = unquoted,
+            "function" => entry.function = unquoted,
+            "receiver" => entry.receiver = unquoted,
+            "justification" => entry.justification = unquoted,
+            other => return Err(format!("{lineno}: unknown key `{other}`")),
+        }
+    }
+    let end = text.lines().count();
+    finish(&mut entries, current.take(), end)?;
+    Ok(entries)
+}
+
+fn strip_comment(line: &str) -> &str {
+    // A `#` inside a quoted value stays; this subset never nests quotes.
+    let mut in_str = false;
+    let bytes = line.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'"' if i == 0 || bytes[i - 1] != b'\\' => in_str = !in_str,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn finish(entries: &mut Vec<Entry>, entry: Option<Entry>, lineno: usize) -> Result<(), String> {
+    let Some(entry) = entry else { return Ok(()) };
+    if entry.rule.is_empty() || entry.file.is_empty() {
+        return Err(format!(
+            "{}: [[allow]] entry needs at least `rule` and `file`",
+            entry.line
+        ));
+    }
+    if entry.justification.trim().is_empty() {
+        return Err(format!(
+            "{}: [[allow]] entry for {} in {} has no justification — every \
+             baselined finding must say why it is intentional",
+            entry.line, entry.rule, entry.file
+        ));
+    }
+    if entries.iter().any(|e| e.key() == entry.key()) {
+        return Err(format!(
+            "{lineno}: duplicate [[allow]] entry for {:?}",
+            entry.key()
+        ));
+    }
+    entries.push(entry);
+    Ok(())
+}
+
+/// The outcome of matching findings against the baseline.
+#[derive(Debug, Default)]
+pub struct MatchResult {
+    /// Findings covered by an entry, with the entry's justification.
+    pub baselined: Vec<(Finding, String)>,
+    /// Findings with no matching entry — these fail the run.
+    pub unbaselined: Vec<Finding>,
+    /// Entries matching no finding — these fail the run too.
+    pub stale: Vec<Entry>,
+}
+
+/// Matches `findings` against `entries` on (rule, file, function,
+/// receiver). One entry may cover several findings at the same key (e.g. a
+/// rule firing twice in one function on the same receiver).
+pub fn apply(findings: Vec<Finding>, entries: &[Entry]) -> MatchResult {
+    let mut result = MatchResult::default();
+    let mut used = vec![false; entries.len()];
+    for finding in findings {
+        let key = finding.key();
+        match entries.iter().position(|e| e.key() == key) {
+            Some(i) => {
+                used[i] = true;
+                result
+                    .baselined
+                    .push((finding, entries[i].justification.clone()));
+            }
+            None => result.unbaselined.push(finding),
+        }
+    }
+    result.stale = entries
+        .iter()
+        .zip(&used)
+        .filter(|&(_, u)| !u)
+        .map(|(e, _)| e.clone())
+        .collect();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"
+# The workspace baseline.
+[[allow]]
+rule = "ORD002"
+file = "crates/lockfree/src/stack.rs"
+function = "drop"
+receiver = "self.top"
+justification = "Drop takes &mut self: exclusive access."
+"#;
+
+    fn finding(rule: &'static str, file: &str, function: &str, receiver: &str) -> Finding {
+        Finding {
+            rule,
+            severity: "error",
+            file: file.into(),
+            line: 1,
+            function: function.into(),
+            receiver: receiver.into(),
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn parses_a_valid_entry() {
+        let entries = parse(GOOD).expect("valid");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].rule, "ORD002");
+        assert_eq!(entries[0].receiver, "self.top");
+        assert!(entries[0].justification.contains("exclusive"));
+    }
+
+    #[test]
+    fn missing_justification_is_an_error() {
+        let bad = "[[allow]]\nrule = \"ORD001\"\nfile = \"a.rs\"\n";
+        let err = parse(bad).expect_err("must fail");
+        assert!(err.contains("justification"), "{err}");
+    }
+
+    #[test]
+    fn unknown_keys_and_bare_values_rejected() {
+        assert!(parse("[[allow]]\nrule = \"R\"\nfile = \"f\"\nwhy = \"x\"\n").is_err());
+        assert!(parse("[[allow]]\nrule = ORD001\n").is_err());
+        assert!(parse("rule = \"ORD001\"\n").is_err());
+    }
+
+    #[test]
+    fn duplicate_entries_rejected() {
+        let dup = format!("{GOOD}\n{GOOD}");
+        assert!(parse(&dup).expect_err("dup").contains("duplicate"));
+    }
+
+    #[test]
+    fn matching_splits_baselined_unbaselined_stale() {
+        let entries = parse(GOOD).expect("valid");
+        let covered = finding("ORD002", "crates/lockfree/src/stack.rs", "drop", "self.top");
+        let novel = finding(
+            "ORD001",
+            "crates/lockfree/src/queue.rs",
+            "new",
+            "queue.head",
+        );
+        let result = apply(vec![covered, novel], &entries);
+        assert_eq!(result.baselined.len(), 1);
+        assert_eq!(result.unbaselined.len(), 1);
+        assert_eq!(result.unbaselined[0].rule, "ORD001");
+        assert!(result.stale.is_empty());
+        let stale = apply(Vec::new(), &entries);
+        assert_eq!(stale.stale.len(), 1);
+    }
+}

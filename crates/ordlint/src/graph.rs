@@ -1,0 +1,100 @@
+//! Per-module publication graph.
+//!
+//! For each file, sites are grouped by their normalized receiver: the
+//! store-like sites of a receiver are its *writers* (they publish data),
+//! the load-like sites its *readers*. A receiver with both is a
+//! publication edge — the pairings a human reviewer would walk to check
+//! that every Release store meets an Acquire load. The graph is pure
+//! inventory (no rule fires from it); it goes into the report so the
+//! hand-review gap this crate closes stays visible.
+
+use crate::scan::{Kind, ScanResult};
+
+/// One endpoint of a publication edge.
+#[derive(Debug, Clone)]
+pub struct Access {
+    /// Enclosing function.
+    pub function: String,
+    /// 1-based line.
+    pub line: usize,
+    /// The site's first literal ordering token.
+    pub ordering: String,
+    /// Access class name (`load`, `store`, `cas`, ...).
+    pub kind: &'static str,
+}
+
+/// All accesses of one receiver in one file.
+#[derive(Debug, Clone)]
+pub struct GraphEntry {
+    /// File the receiver lives in.
+    pub file: String,
+    /// Normalized receiver chain.
+    pub receiver: String,
+    /// Store-like sites (publishers).
+    pub writers: Vec<Access>,
+    /// Load-like sites (observers).
+    pub readers: Vec<Access>,
+}
+
+/// Builds the publication graph for one scanned file.
+pub fn publication_graph(file: &str, scan: &ScanResult) -> Vec<GraphEntry> {
+    let mut entries: Vec<GraphEntry> = Vec::new();
+    for site in &scan.sites {
+        if site.kind == Kind::Fence {
+            continue;
+        }
+        let access = Access {
+            function: site.function.clone(),
+            line: site.line,
+            ordering: site.orderings.first().cloned().unwrap_or_default(),
+            kind: site.kind.name(),
+        };
+        let entry = match entries.iter_mut().find(|e| e.receiver == site.receiver) {
+            Some(e) => e,
+            None => {
+                entries.push(GraphEntry {
+                    file: file.to_string(),
+                    receiver: site.receiver.clone(),
+                    writers: Vec::new(),
+                    readers: Vec::new(),
+                });
+                entries.last_mut().expect("just pushed")
+            }
+        };
+        if site.kind.is_store_like() {
+            entry.writers.push(access.clone());
+        }
+        if site.kind.is_load_like() {
+            entry.readers.push(access);
+        }
+    }
+    entries.sort_by(|a, b| a.receiver.cmp(&b.receiver));
+    entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan_file;
+    use crate::source::SourceFile;
+
+    #[test]
+    fn groups_receivers_into_writers_and_readers() {
+        let src = "
+fn push(&self) {
+    let top = self.top.load(Acquire, g);
+    self.top.compare_exchange(top, new, Release, Relaxed, g);
+}
+fn is_empty(&self) { self.top.load(Acquire, g); }
+";
+        let sf = SourceFile::new("s.rs", src);
+        let g = publication_graph("s.rs", &scan_file(&sf));
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].receiver, "self.top");
+        // The CAS is both writer and reader; the two loads are readers.
+        assert_eq!(g[0].writers.len(), 1);
+        assert_eq!(g[0].readers.len(), 3);
+        assert_eq!(g[0].writers[0].function, "push");
+        assert_eq!(g[0].writers[0].ordering, "Release");
+    }
+}

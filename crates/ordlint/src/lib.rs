@@ -1,0 +1,187 @@
+//! Memory-ordering lint pass over the workspace's atomics.
+//!
+//! Reviewing the `Ordering` argument of every atomic access by hand is the
+//! weakest link in a lock-free codebase: the SC interleaving explorer
+//! (`lfrt-interleave` before its store-buffer mode) cannot see
+//! weak-memory bugs, and nothing machine-checked watched the orderings
+//! themselves. This crate closes that gap *statically*:
+//!
+//! 1. [`scan`] inventories every atomic access site whose arguments carry a
+//!    literal `Ordering` token — load/store/swap/CAS/fetch and the `_ord`
+//!    twins `lfrt-interleave`'s models use — with file, line, enclosing
+//!    function, and normalized receiver.
+//! 2. [`graph`] groups sites per file into a publication graph (which
+//!    receivers are written where, read where, at which ordering).
+//! 3. [`rules`] applies six local heuristics (ORD001–ORD006) over a
+//!    forward-textual [`dataflow`] approximation.
+//! 4. [`baseline`] matches the findings against the checked-in
+//!    `ordlint.toml`; intentional patterns carry a written justification,
+//!    and both unbaselined findings *and* stale entries fail the run.
+//!
+//! The companion dynamic check is `lfrt-interleave`'s
+//! `MemoryMode::StoreBuffer`: what a rule merely suspects, a store-buffer
+//! schedule can confirm with a replayable counterexample (see
+//! `crates/interleave/tests/weak_memory.rs` and DESIGN.md §6b).
+//!
+//! Run it as `cargo run -p lfrt-ordlint` (add `--json <path>` for the CI
+//! artifact, `--list` for the full inventory).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod dataflow;
+pub mod graph;
+pub mod report;
+pub mod rules;
+pub mod scan;
+pub mod source;
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use baseline::MatchResult;
+use graph::GraphEntry;
+use rules::Finding;
+use scan::Site;
+use source::SourceFile;
+
+/// Everything one run produces, pre-baseline-matching included.
+#[derive(Debug)]
+pub struct Analysis {
+    /// Scan root as given on the command line.
+    pub root: String,
+    /// Relative paths of every scanned file.
+    pub files: Vec<String>,
+    /// Every qualifying site, as (file, site), in scan order.
+    pub sites: Vec<(String, Site)>,
+    /// Publication graph over all files.
+    pub graph: Vec<GraphEntry>,
+    /// Baseline match outcome.
+    pub matched: MatchResult,
+}
+
+/// Scan roots inside a workspace checkout: the root package's `src/` plus
+/// every crate's `src/` and `benches/`. Vendored stand-ins and `tests/`
+/// directories are deliberately out of scope — vendor code mirrors
+/// external crates' published APIs (orderings arrive in variables there
+/// anyway), and test code exercises odd orderings on purpose.
+fn workspace_dirs(root: &Path) -> Vec<PathBuf> {
+    let mut dirs = vec![root.join("src")];
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        let mut crates: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        crates.sort();
+        for c in crates {
+            dirs.push(c.join("src"));
+            dirs.push(c.join("benches"));
+        }
+    }
+    dirs.retain(|d| d.is_dir());
+    dirs
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            walk_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Loads every source file under `root`.
+///
+/// A workspace checkout (a `crates/` directory exists) is scanned through
+/// [`workspace_dirs`]; any other root — a fixture directory in tests — is
+/// walked recursively for `.rs` files.
+///
+/// # Errors
+///
+/// Propagates I/O errors from directory walks and file reads.
+pub fn collect_sources(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut paths = Vec::new();
+    if root.join("crates").is_dir() {
+        for dir in workspace_dirs(root) {
+            walk_rs(&dir, &mut paths)?;
+        }
+    } else {
+        walk_rs(root, &mut paths)?;
+    }
+    let mut files = Vec::with_capacity(paths.len());
+    for path in paths {
+        let raw = std::fs::read_to_string(&path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        files.push(SourceFile::new(rel, raw));
+    }
+    Ok(files)
+}
+
+/// Scans `root` and applies the rules; the result still needs
+/// [`baseline::apply`] (see [`analyze_with_baseline`]).
+///
+/// # Errors
+///
+/// Propagates I/O errors from [`collect_sources`].
+pub fn analyze(root: &Path) -> io::Result<(Analysis, Vec<Finding>)> {
+    let sources = collect_sources(root)?;
+    let mut analysis = Analysis {
+        root: root.display().to_string(),
+        files: Vec::new(),
+        sites: Vec::new(),
+        graph: Vec::new(),
+        matched: MatchResult::default(),
+    };
+    let mut findings = Vec::new();
+    for sf in &sources {
+        let scanned = scan::scan_file(sf);
+        findings.extend(rules::run_rules(sf, &scanned));
+        analysis
+            .graph
+            .extend(graph::publication_graph(&sf.rel_path, &scanned));
+        analysis
+            .sites
+            .extend(scanned.sites.into_iter().map(|s| (sf.rel_path.clone(), s)));
+        analysis.files.push(sf.rel_path.clone());
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok((analysis, findings))
+}
+
+/// Full pipeline: scan, rules, baseline match.
+///
+/// `baseline_text` is the content of `ordlint.toml`; pass `""` for an
+/// empty baseline.
+///
+/// # Errors
+///
+/// I/O errors from the scan, or the baseline parse error string.
+pub fn analyze_with_baseline(root: &Path, baseline_text: &str) -> Result<Analysis, String> {
+    let entries = baseline::parse(baseline_text)?;
+    let (mut analysis, findings) = analyze(root).map_err(|e| format!("scan failed: {e}"))?;
+    analysis.matched = baseline::apply(findings, &entries);
+    Ok(analysis)
+}
+
+/// The workspace root this crate was built in (two levels above the crate
+/// manifest) — the default `--root`.
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| PathBuf::from("."))
+}

@@ -1,0 +1,527 @@
+//! Atomic-access-site extraction.
+//!
+//! A single pass over the cleaned text of one file finds every call of an
+//! atomic method (`load`, `store`, `swap`, `compare_exchange[_weak]`,
+//! `fetch_*`, and their `_ord` twins from `lfrt-interleave`) plus free
+//! `fence`/`compiler_fence` calls, records the enclosing function and the
+//! receiver expression, and parses the literal `Ordering` tokens out of the
+//! argument list.
+//!
+//! A call **qualifies as a site only if its arguments contain at least one
+//! literal ordering token** (`Relaxed`, `Acquire`, `Release`, `AcqRel`,
+//! `SeqCst`). Calls passing orderings through variables — the vendored
+//! crossbeam stand-in's internals, the SC-only model operations — carry no
+//! local evidence to lint and are skipped by design; the weak-memory
+//! explorer covers them dynamically.
+//!
+//! `#[cfg(test)]` items are skipped entirely: the lint targets production
+//! code, and test bodies deliberately exercise odd orderings.
+
+use crate::source::SourceFile;
+
+/// The access class of a site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// A plain atomic load.
+    Load,
+    /// A plain atomic store.
+    Store,
+    /// An unconditional read-modify-write returning the old value.
+    Swap,
+    /// A compare-and-swap (success + failure orderings).
+    Cas,
+    /// A `fetch_*` read-modify-write.
+    Rmw,
+    /// A free `fence`/`compiler_fence` call.
+    Fence,
+}
+
+impl Kind {
+    /// Whether the site can make a value visible to other threads.
+    pub fn is_store_like(self) -> bool {
+        matches!(self, Kind::Store | Kind::Swap | Kind::Cas | Kind::Rmw)
+    }
+
+    /// Whether the site observes values written by other threads.
+    pub fn is_load_like(self) -> bool {
+        matches!(self, Kind::Load | Kind::Swap | Kind::Cas | Kind::Rmw)
+    }
+
+    /// Stable lowercase name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kind::Load => "load",
+            Kind::Store => "store",
+            Kind::Swap => "swap",
+            Kind::Cas => "cas",
+            Kind::Rmw => "rmw",
+            Kind::Fence => "fence",
+        }
+    }
+}
+
+/// The five literal ordering tokens the scanner recognizes.
+pub const ORDER_TOKENS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// One qualifying atomic access site.
+#[derive(Debug, Clone)]
+pub struct Site {
+    /// Byte offset of the method/function name in the file.
+    pub offset: usize,
+    /// 1-based line of the site.
+    pub line: usize,
+    /// Name of the enclosing function (`""` at item level).
+    pub function: String,
+    /// Normalized receiver chain (`self.slots[_].sequence`); empty for
+    /// fences.
+    pub receiver: String,
+    /// Leading identifier of the receiver chain (`self`, `node`, ...).
+    pub base_ident: String,
+    /// The method or function identifier as written.
+    pub method: String,
+    /// Access class.
+    pub kind: Kind,
+    /// Literal ordering tokens, in argument order. For CAS sites the first
+    /// is the success ordering and the second the failure ordering.
+    pub orderings: Vec<String>,
+    /// Cleaned argument text (parens stripped).
+    pub args: String,
+    /// Byte offset just past the closing paren of the call.
+    pub args_end: usize,
+}
+
+/// Span of one function body in the cleaned text.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// The function's name.
+    pub name: String,
+    /// Byte offset of the opening `{`.
+    pub start: usize,
+    /// Byte offset just past the closing `}`.
+    pub end: usize,
+}
+
+/// Everything the scanner extracts from one file.
+#[derive(Debug, Default)]
+pub struct ScanResult {
+    /// Qualifying sites, in source order.
+    pub sites: Vec<Site>,
+    /// Function body spans, in order of their closing brace.
+    pub functions: Vec<FnSpan>,
+}
+
+fn method_kind(name: &str) -> Option<Kind> {
+    Some(match name {
+        "load" | "load_ord" => Kind::Load,
+        "store" | "store_ord" => Kind::Store,
+        "swap" | "swap_ord" => Kind::Swap,
+        "compare_exchange" | "compare_exchange_weak" | "compare_exchange_ord" => Kind::Cas,
+        "fetch_add" | "fetch_sub" | "fetch_and" | "fetch_or" | "fetch_xor" | "fetch_nand"
+        | "fetch_max" | "fetch_min" | "fetch_update" | "fetch_add_ord" => Kind::Rmw,
+        _ => return None,
+    })
+}
+
+fn is_ident_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Scans one cleaned file for qualifying sites and function spans.
+pub fn scan_file(sf: &SourceFile) -> ScanResult {
+    let bytes = sf.clean.as_bytes();
+    let mut result = ScanResult::default();
+    // Function-body stack: (name, depth of the body's braces).
+    let mut fn_stack: Vec<(String, usize, usize)> = Vec::new();
+    let mut pending_fn: Option<String> = None;
+    let mut awaiting_fn_name = false;
+    // `#[cfg(test)]` skip: once armed, the next braced item is skipped.
+    let mut skip_pending = false;
+    let mut skip_depth: Option<usize> = None;
+    let mut depth = 0usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'{' => {
+                depth += 1;
+                let pending = pending_fn.take();
+                if skip_pending {
+                    skip_pending = false;
+                    skip_depth = Some(depth);
+                } else if let Some(name) = pending {
+                    fn_stack.push((name, depth, i));
+                }
+                i += 1;
+            }
+            b'}' => {
+                if let Some((name, d, start)) = fn_stack.last().cloned() {
+                    if d == depth {
+                        fn_stack.pop();
+                        if skip_depth.is_none() {
+                            result.functions.push(FnSpan {
+                                name,
+                                start,
+                                end: i + 1,
+                            });
+                        }
+                    }
+                }
+                if skip_depth == Some(depth) {
+                    skip_depth = None;
+                }
+                depth = depth.saturating_sub(1);
+                i += 1;
+            }
+            b';' => {
+                // A trait method declaration ends without a body.
+                pending_fn = None;
+                i += 1;
+            }
+            b'#' if sf.clean[i..].starts_with("#[cfg(test)]") && skip_depth.is_none() => {
+                skip_pending = true;
+                i += "#[cfg(test)]".len();
+            }
+            _ if is_ident_char(b) && (i == 0 || !is_ident_char(bytes[i - 1])) => {
+                let start = i;
+                while i < bytes.len() && is_ident_char(bytes[i]) {
+                    i += 1;
+                }
+                let word = &sf.clean[start..i];
+                if awaiting_fn_name {
+                    awaiting_fn_name = false;
+                    pending_fn = Some(word.to_string());
+                    continue;
+                }
+                if word == "fn" {
+                    awaiting_fn_name = true;
+                    continue;
+                }
+                if skip_depth.is_some() {
+                    continue;
+                }
+                let preceded_by_dot = prev_sig(bytes, start) == Some(b'.');
+                if let Some(kind) = method_kind(word) {
+                    if preceded_by_dot {
+                        if let Some(site) = build_site(sf, start, i, word, kind, &fn_stack) {
+                            result.sites.push(site);
+                        }
+                    }
+                } else if (word == "fence" || word == "compiler_fence") && !preceded_by_dot {
+                    if let Some(site) = build_site(sf, start, i, word, Kind::Fence, &fn_stack) {
+                        result.sites.push(site);
+                    }
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    result
+}
+
+/// The last non-whitespace byte before `pos`.
+fn prev_sig(bytes: &[u8], pos: usize) -> Option<u8> {
+    bytes[..pos]
+        .iter()
+        .rev()
+        .copied()
+        .find(|b| !b.is_ascii_whitespace())
+}
+
+fn build_site(
+    sf: &SourceFile,
+    name_start: usize,
+    name_end: usize,
+    method: &str,
+    kind: Kind,
+    fn_stack: &[(String, usize, usize)],
+) -> Option<Site> {
+    let bytes = sf.clean.as_bytes();
+    // The call's opening paren (generic turbofish never appears on these).
+    let mut open = name_end;
+    while open < bytes.len() && bytes[open].is_ascii_whitespace() {
+        open += 1;
+    }
+    if bytes.get(open) != Some(&b'(') {
+        return None;
+    }
+    let close = matching(bytes, open, b'(', b')')?;
+    let args = sf.clean[open + 1..close].to_string();
+    let orderings: Vec<String> = ordering_tokens(&args);
+    if orderings.is_empty() {
+        return None;
+    }
+    let (receiver, base_ident) = if kind == Kind::Fence {
+        (String::new(), String::new())
+    } else {
+        receiver_chain(&sf.clean, name_start)
+    };
+    Some(Site {
+        offset: name_start,
+        line: sf.line_of(name_start),
+        function: fn_stack
+            .last()
+            .map(|(n, _, _)| n.clone())
+            .unwrap_or_default(),
+        receiver,
+        base_ident,
+        method: method.to_string(),
+        kind,
+        orderings,
+        args,
+        args_end: close + 1,
+    })
+}
+
+/// Byte offset of the bracket matching `bytes[open]`.
+fn matching(bytes: &[u8], open: usize, op: u8, cl: u8) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        if b == op {
+            depth += 1;
+        } else if b == cl {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// Literal ordering tokens in `text`, in order of appearance.
+pub fn ordering_tokens(text: &str) -> Vec<String> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if is_ident_char(bytes[i]) && (i == 0 || !is_ident_char(bytes[i - 1])) {
+            let start = i;
+            while i < bytes.len() && is_ident_char(bytes[i]) {
+                i += 1;
+            }
+            let word = &text[start..i];
+            if ORDER_TOKENS.contains(&word) {
+                out.push(word.to_string());
+            }
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Walks backwards from the `.` before a method name, collecting the
+/// receiver chain (identifiers, field accesses, balanced `()` and `[]`).
+/// Returns the normalized chain (whitespace stripped, index expressions
+/// collapsed to `[_]`, call arguments to `()`) and its leading identifier.
+fn receiver_chain(clean: &str, name_start: usize) -> (String, String) {
+    let bytes = clean.as_bytes();
+    // name_start points at the method ident; the significant byte before it
+    // is the `.` (guaranteed by the caller).
+    let mut i = name_start;
+    while i > 0 && bytes[i - 1].is_ascii_whitespace() {
+        i -= 1;
+    }
+    debug_assert_eq!(bytes.get(i - 1), Some(&b'.'));
+    i -= 1; // now at the `.`
+    let chain_end = i;
+    let mut start = i;
+    loop {
+        while start > 0 && bytes[start - 1].is_ascii_whitespace() {
+            start -= 1;
+        }
+        if start == 0 {
+            break;
+        }
+        match bytes[start - 1] {
+            b')' => match matching_back(bytes, start - 1, b'(', b')') {
+                Some(open) => start = open,
+                None => break,
+            },
+            b']' => match matching_back(bytes, start - 1, b'[', b']') {
+                Some(open) => start = open,
+                None => break,
+            },
+            b'.' => start -= 1,
+            c if is_ident_char(c) => {
+                while start > 0 && is_ident_char(bytes[start - 1]) {
+                    start -= 1;
+                }
+                // A `::` path prefix ends the chain at this identifier.
+                if start >= 2 && &bytes[start - 2..start] == b"::" {
+                    break;
+                }
+                // Continue only through a field access.
+                let mut j = start;
+                while j > 0 && bytes[j - 1].is_ascii_whitespace() {
+                    j -= 1;
+                }
+                if j > 0 && bytes[j - 1] == b'.' {
+                    start = j - 1;
+                } else {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    let span = &clean[start..chain_end];
+    (normalize_receiver(span), leading_ident(span))
+}
+
+fn matching_back(bytes: &[u8], close: usize, op: u8, cl: u8) -> Option<usize> {
+    let mut depth = 0usize;
+    for i in (0..=close).rev() {
+        if bytes[i] == cl {
+            depth += 1;
+        } else if bytes[i] == op {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+fn normalize_receiver(span: &str) -> String {
+    let bytes = span.as_bytes();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'[' => {
+                out.push_str("[_]");
+                i = matching(bytes, i, b'[', b']').map_or(bytes.len(), |c| c + 1);
+            }
+            b'(' => {
+                out.push_str("()");
+                i = matching(bytes, i, b'(', b')').map_or(bytes.len(), |c| c + 1);
+            }
+            b if b.is_ascii_whitespace() => i += 1,
+            b => {
+                out.push(b as char);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn leading_ident(span: &str) -> String {
+    span.trim_start()
+        .bytes()
+        .take_while(|&b| is_ident_char(b))
+        .map(|b| b as char)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str) -> ScanResult {
+        scan_file(&SourceFile::new("t.rs", src))
+    }
+
+    #[test]
+    fn finds_qualifying_sites_with_receiver_and_function() {
+        let src = "
+impl S {
+    fn push(&self) {
+        let top = self.top.load(Acquire, guard);
+        self.slots[tail & mask].sequence.store(1, Ordering::Release);
+        plain.store_plain(1);
+        untracked.load(order);
+    }
+}
+";
+        let r = scan(src);
+        assert_eq!(r.sites.len(), 2, "{:?}", r.sites);
+        assert_eq!(r.sites[0].function, "push");
+        assert_eq!(r.sites[0].receiver, "self.top");
+        assert_eq!(r.sites[0].base_ident, "self");
+        assert_eq!(r.sites[0].kind, Kind::Load);
+        assert_eq!(r.sites[0].orderings, ["Acquire"]);
+        assert_eq!(r.sites[1].receiver, "self.slots[_].sequence");
+        assert_eq!(r.sites[1].orderings, ["Release"]);
+        assert_eq!(r.functions.len(), 1);
+    }
+
+    #[test]
+    fn cas_orderings_in_argument_order() {
+        let src = "fn f() { self.top.compare_exchange(top, new, Release, Relaxed, guard); }";
+        let r = scan(src);
+        assert_eq!(r.sites.len(), 1);
+        assert_eq!(r.sites[0].kind, Kind::Cas);
+        assert_eq!(r.sites[0].orderings, ["Release", "Relaxed"]);
+    }
+
+    #[test]
+    fn free_fence_but_not_fn_definition() {
+        let src = "
+fn fence_helper() { fence(Ordering::Release); }
+pub fn fence(order: Ordering) { other(order); }
+fn qualified() { std::sync::atomic::fence(Ordering::Acquire); }
+";
+        let r = scan(src);
+        assert_eq!(r.sites.len(), 2, "{:?}", r.sites);
+        assert!(r.sites.iter().all(|s| s.kind == Kind::Fence));
+        assert_eq!(r.sites[0].function, "fence_helper");
+        assert_eq!(r.sites[1].function, "qualified");
+    }
+
+    #[test]
+    fn multiline_receiver_chain() {
+        let src =
+            "fn f() { tail_ref\n    .next\n    .compare_exchange(a, b, Release, Relaxed, g); }";
+        let r = scan(src);
+        assert_eq!(r.sites[0].receiver, "tail_ref.next");
+        assert_eq!(r.sites[0].base_ident, "tail_ref");
+    }
+
+    #[test]
+    fn deref_chain_receiver() {
+        let src = "fn f() { node.deref().next.load(Relaxed, guard); }";
+        let r = scan(src);
+        assert_eq!(r.sites[0].receiver, "node.deref().next");
+        assert_eq!(r.sites[0].base_ident, "node");
+    }
+
+    #[test]
+    fn cfg_test_modules_are_skipped() {
+        let src = "
+fn real() { a.load(Relaxed); }
+#[cfg(test)]
+mod tests {
+    fn t() { b.store(1, SeqCst); }
+}
+fn after() { c.swap(2, AcqRel); }
+";
+        let r = scan(src);
+        let fns: Vec<&str> = r.sites.iter().map(|s| s.function.as_str()).collect();
+        assert_eq!(fns, ["real", "after"], "{:?}", r.sites);
+    }
+
+    #[test]
+    fn path_prefix_is_not_part_of_the_receiver() {
+        let src = "fn f() { Ordering::Relaxed; epoch::pin().top.load(Acquire, g); }";
+        let r = scan(src);
+        assert_eq!(r.sites.len(), 1);
+        assert_eq!(r.sites[0].receiver, "pin().top");
+    }
+
+    #[test]
+    fn comments_and_strings_never_produce_sites() {
+        let src = "
+// a.load(Relaxed)
+fn f() {
+    let s = \"b.store(1, SeqCst)\";
+    real.load(Acquire);
+}
+";
+        let r = scan(src);
+        assert_eq!(r.sites.len(), 1);
+        assert_eq!(r.sites[0].receiver, "real");
+    }
+}

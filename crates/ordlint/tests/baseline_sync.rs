@@ -1,0 +1,36 @@
+//! The committed `ordlint.toml` must exactly match a clean run over the
+//! workspace: zero unbaselined findings, zero stale entries. This is the
+//! same check CI's ordlint job performs, pinned as a plain test so
+//! `cargo test --workspace` catches drift without the extra job.
+
+use lfrt_ordlint::{analyze_with_baseline, workspace_root};
+
+#[test]
+fn committed_baseline_matches_a_clean_run() {
+    let root = workspace_root();
+    let text = std::fs::read_to_string(root.join("ordlint.toml"))
+        .expect("ordlint.toml is committed at the workspace root");
+    let analysis = analyze_with_baseline(&root, &text).expect("workspace scan");
+    assert!(
+        analysis.matched.unbaselined.is_empty(),
+        "unbaselined findings — run `cargo run -p lfrt-ordlint`, then either \
+         fix the site or add a justified ordlint.toml entry: {:#?}",
+        analysis.matched.unbaselined
+    );
+    assert!(
+        analysis.matched.stale.is_empty(),
+        "stale baseline entries match no current finding — delete them: {:#?}",
+        analysis.matched.stale
+    );
+    assert!(
+        !analysis.matched.baselined.is_empty(),
+        "the workspace is known to carry justified findings; an empty match \
+         means the scan roots moved"
+    );
+    for (finding, justification) in &analysis.matched.baselined {
+        assert!(
+            !justification.trim().is_empty(),
+            "empty justification for {finding:?}"
+        );
+    }
+}

@@ -1,0 +1,12 @@
+//! Clean fixture: tuned orderings that fire no rule.
+
+fn publish(top: &Atomic) {
+    let node = Box::new(Node::default());
+    node.next.store(existing, Relaxed);
+    let _ = top.compare_exchange(existing, node, Release, Relaxed, guard);
+}
+
+fn consume(top: &Atomic) {
+    let node = top.load(Acquire, guard);
+    let _ = node.deref();
+}

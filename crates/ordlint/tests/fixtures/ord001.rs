@@ -1,0 +1,11 @@
+//! ORD001 fixture: Relaxed publication of a fresh allocation.
+
+fn publish_relaxed(top: &Atomic) {
+    let node = Box::new(Node::default());
+    top.store(node, Relaxed);
+}
+
+fn publish_release(top: &Atomic) {
+    let node = Box::new(Node::default());
+    top.store(node, Release);
+}

@@ -1,0 +1,20 @@
+//! ORD002 fixture: dereferencing the value of a Relaxed load.
+
+fn deref_via_binding(head: &Atomic) {
+    let node = head.load(Relaxed, guard);
+    let next = node.deref().next;
+}
+
+fn deref_in_chain(head: &Atomic) {
+    let next = head.load(Relaxed, guard).deref().next;
+}
+
+fn acquire_is_fine(head: &Atomic) {
+    let node = head.load(Acquire, guard);
+    let next = node.deref().next;
+}
+
+fn plain_value_is_fine(version: &AtomicU64) {
+    let v = version.load(Relaxed);
+    let w = v + 1;
+}

@@ -1,0 +1,13 @@
+//! ORD003 fixture: failure ordering stronger than success. The swapped
+//! pair also fires ORD005: its Acquire failure value goes unused.
+
+fn swapped_pair(v: &AtomicUsize) {
+    let _ = v.compare_exchange(0, 1, Relaxed, Acquire);
+}
+
+fn ordered_pair(v: &Atomic) {
+    match v.compare_exchange(a, b, AcqRel, Acquire) {
+        Ok(_) => {}
+        Err(seen) => drop(seen.deref()),
+    }
+}

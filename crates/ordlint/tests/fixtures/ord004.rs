@@ -1,0 +1,15 @@
+//! ORD004 fixture: SeqCst without a local store→load (Dekker) pattern.
+
+fn lonely_seqcst(count: &AtomicUsize) {
+    count.fetch_add(1, SeqCst);
+}
+
+fn dekker(flag: &AtomicBool, other: &AtomicBool) {
+    flag.store(true, SeqCst);
+    let _ = other.load(SeqCst);
+}
+
+fn fenced(flag: &AtomicBool) {
+    flag.store(true, SeqCst);
+    fence(SeqCst);
+}

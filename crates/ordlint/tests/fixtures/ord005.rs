@@ -1,0 +1,22 @@
+//! ORD005 fixture: Acquire failure ordering with an unused failure value.
+
+fn feedback_only(v: &AtomicU64) {
+    let mut cur = v.load(Acquire);
+    loop {
+        match v.compare_exchange_weak(cur, next, AcqRel, Acquire) {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+fn failure_value_dereferenced(head: &Atomic) {
+    match head.compare_exchange(a, b, Release, Acquire) {
+        Ok(_) => {}
+        Err(seen) => drop(seen.deref()),
+    }
+}
+
+fn relaxed_failure(v: &AtomicU64) {
+    let _ = v.compare_exchange(0, 1, AcqRel, Relaxed);
+}

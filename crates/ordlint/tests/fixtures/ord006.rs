@@ -1,0 +1,17 @@
+//! ORD006 fixture: fences with nothing to pair with in their function.
+
+fn dead_release_fence(v: &AtomicU64) {
+    v.store(1, Relaxed);
+    fence(Release);
+}
+
+fn dead_acquire_fence(v: &AtomicU64) {
+    fence(Acquire);
+    let _ = v.load(Relaxed);
+}
+
+fn seqlock_writer(version: &AtomicU64) {
+    let v = version.load(Relaxed);
+    fence(Release);
+    version.store(next, Release);
+}
