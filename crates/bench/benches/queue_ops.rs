@@ -310,12 +310,199 @@ fn ordering_cost(c: &mut Criterion) {
     group.finish();
 }
 
+/// A "before" mirror of [`BoundedMpmcQueue`] with this PR's contention
+/// engineering stripped back out: unpadded slots and indices (head, tail
+/// and the first slots share cache lines), a single shared attempt/retry
+/// counter pair `fetch_add`ed from every thread, and no backoff on CAS
+/// failure. Memory orderings are identical to the tuned queue, so the
+/// `contention_engineering` group isolates exactly what padding, striping
+/// and backoff buy — not what the orderings buy (that is `ordering_cost`'s
+/// job).
+struct LegacyMpmcQueue {
+    slots: Box<[SeqCstSlot]>,
+    head: AtomicUsize,
+    tail: AtomicUsize,
+    attempts: std::sync::atomic::AtomicU64,
+    retries: std::sync::atomic::AtomicU64,
+}
+
+// SAFETY: identical hand-off discipline to `BoundedMpmcQueue` — exactly one
+// thread touches a slot's value between sequence transitions.
+unsafe impl Send for LegacyMpmcQueue {}
+// SAFETY: as above.
+unsafe impl Sync for LegacyMpmcQueue {}
+
+impl LegacyMpmcQueue {
+    fn new(capacity: usize) -> Self {
+        let cap = capacity.next_power_of_two().max(2);
+        let slots: Box<[SeqCstSlot]> = (0..cap)
+            .map(|i| SeqCstSlot {
+                sequence: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        Self {
+            slots,
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+            attempts: std::sync::atomic::AtomicU64::new(0),
+            retries: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    fn push(&self, value: u64) -> Result<(), u64> {
+        let mask = self.slots.len() - 1;
+        let mut tail = self.tail.load(Ordering::Relaxed);
+        loop {
+            self.attempts.fetch_add(1, Ordering::Relaxed);
+            let slot = &self.slots[tail & mask];
+            let seq = slot.sequence.load(Ordering::Acquire);
+            match seq as isize - tail as isize {
+                0 => match self.tail.compare_exchange_weak(
+                    tail,
+                    tail.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: winning the tail CAS grants exclusive
+                        // write access until the sequence store below.
+                        unsafe { (*slot.value.get()).write(value) };
+                        slot.sequence.store(tail.wrapping_add(1), Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(actual) => {
+                        self.retries.fetch_add(1, Ordering::Relaxed);
+                        tail = actual;
+                    }
+                },
+                d if d < 0 => return Err(value),
+                _ => {
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    tail = self.tail.load(Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    fn pop(&self) -> Option<u64> {
+        let mask = self.slots.len() - 1;
+        let mut head = self.head.load(Ordering::Relaxed);
+        loop {
+            self.attempts.fetch_add(1, Ordering::Relaxed);
+            let slot = &self.slots[head & mask];
+            let seq = slot.sequence.load(Ordering::Acquire);
+            match seq as isize - (head.wrapping_add(1)) as isize {
+                0 => match self.head.compare_exchange_weak(
+                    head,
+                    head.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: winning the head CAS grants exclusive
+                        // read access; the producer initialized the slot.
+                        let value = unsafe { (*slot.value.get()).assume_init_read() };
+                        slot.sequence
+                            .store(head.wrapping_add(mask + 1), Ordering::Release);
+                        return Some(value);
+                    }
+                    Err(actual) => {
+                        self.retries.fetch_add(1, Ordering::Relaxed);
+                        head = actual;
+                    }
+                },
+                d if d < 0 => return None,
+                _ => {
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    head = self.head.load(Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+impl PushPop for LegacyMpmcQueue {
+    fn push64(&self, v: u64) -> Result<(), u64> {
+        self.push(v)
+    }
+    fn pop64(&self) -> Option<u64> {
+        self.pop()
+    }
+}
+
+/// Before/after measurement for this PR's tentpole: the same Vyukov queue
+/// with and without cache padding, striped stats, and CAS backoff.
+/// Uncontended must be within noise (padding and striping only move bytes
+/// around; backoff never fires without a failed CAS); contended is where
+/// the win lives.
+fn contention_engineering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("contention_engineering");
+    group.bench_function("legacy_uncontended", |b| {
+        let q = LegacyMpmcQueue::new(64);
+        b.iter(|| {
+            let _ = q.push(std::hint::black_box(1u64));
+            std::hint::black_box(q.pop());
+        });
+    });
+    group.bench_function("tuned_uncontended", |b| {
+        let q = BoundedMpmcQueue::new(64);
+        b.iter(|| {
+            let _ = q.push(std::hint::black_box(1u64));
+            std::hint::black_box(q.pop());
+        });
+    });
+    group.sample_size(20);
+    for name in ["legacy", "tuned"] {
+        group.bench_with_input(
+            BenchmarkId::new("contended_4_threads", name),
+            &name,
+            |b, &name| {
+                b.iter_custom(|iters| {
+                    let queue: Arc<dyn PushPop> = match name {
+                        "legacy" => Arc::new(LegacyMpmcQueue::new(64)),
+                        _ => Arc::new(BoundedMpmcQueue::new(64)),
+                    };
+                    let stop = Arc::new(AtomicBool::new(false));
+                    let workers: Vec<_> = (0..3)
+                        .map(|w| {
+                            let queue = Arc::clone(&queue);
+                            let stop = Arc::clone(&stop);
+                            std::thread::spawn(move || {
+                                let mut i = w as u64;
+                                while !stop.load(Ordering::Relaxed) {
+                                    let _ = queue.push64(i);
+                                    let _ = queue.pop64();
+                                    i = i.wrapping_add(1);
+                                }
+                            })
+                        })
+                        .collect();
+                    let start = std::time::Instant::now();
+                    for i in 0..iters {
+                        let _ = queue.push64(i);
+                        let _ = queue.pop64();
+                    }
+                    let elapsed = start.elapsed();
+                    stop.store(true, Ordering::Relaxed);
+                    for w in workers {
+                        w.join().expect("worker panicked");
+                    }
+                    elapsed
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     uncontended,
     contended,
     cas_register,
     other_structures,
-    ordering_cost
+    ordering_cost,
+    contention_engineering
 );
 criterion_main!(benches);

@@ -1,0 +1,158 @@
+//! **Memory footprint under sustained churn** — the observable difference
+//! between real epoch-based reclamation and the leak-forever stand-in it
+//! replaced.
+//!
+//! A counting global allocator tracks live heap bytes while worker threads
+//! push/pop through a [`LockFreeQueue`] and a [`TreiberStack`] for millions
+//! of operations. With the old stand-in every retired node stayed allocated,
+//! so live bytes grew linearly with operation count (~24 B/op: this run's
+//! default churn would leak tens of megabytes). With epoch reclamation the
+//! footprint must stay *flat*: bounded by the in-flight elements plus the
+//! per-thread deferred-garbage bags, independent of how long the run lasts.
+//!
+//! `--check` turns the bound into an exit code for CI: peak live growth over
+//! the pre-churn baseline must stay under `--bound-bytes` (default 4 MiB —
+//! two orders of magnitude below what the leak would produce, two above
+//! normal jitter from thread stacks and collector bags).
+//!
+//! Usage: `cargo run -p lfrt-bench --release --bin churn_footprint --
+//! [--ops 250000] [--threads 4] [--bound-bytes 4194304] [--check] [--quick]`
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use lfrt_bench::Args;
+use lfrt_lockfree::{LockFreeQueue, TreiberStack};
+
+/// Wraps the system allocator and tracks the current live byte count.
+struct CountingAlloc;
+
+static LIVE_BYTES: AtomicUsize = AtomicUsize::new(0);
+
+// SAFETY: delegates every operation to `System` unchanged; the counter is
+// pure bookkeeping on the side.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = unsafe { System.alloc(layout) };
+        if !ptr.is_null() {
+            LIVE_BYTES.fetch_add(layout.size(), Ordering::Relaxed);
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) };
+        LIVE_BYTES.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let new_ptr = unsafe { System.realloc(ptr, layout, new_size) };
+        if !new_ptr.is_null() {
+            LIVE_BYTES.fetch_add(new_size, Ordering::Relaxed);
+            LIVE_BYTES.fetch_sub(layout.size(), Ordering::Relaxed);
+        }
+        new_ptr
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn live() -> usize {
+    LIVE_BYTES.load(Ordering::Relaxed)
+}
+
+/// Runs `threads` workers doing `ops` push+pop pairs each against both
+/// structures, sampling peak live bytes from the main thread. Returns
+/// `(total_ops, peak_live_bytes)`.
+fn churn(threads: usize, ops: usize) -> (usize, usize) {
+    let queue = Arc::new(LockFreeQueue::new());
+    let stack = Arc::new(TreiberStack::new());
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let workers: Vec<_> = (0..threads)
+        .map(|w| {
+            let queue = Arc::clone(&queue);
+            let stack = Arc::clone(&stack);
+            std::thread::spawn(move || {
+                for i in 0..ops {
+                    let v = (w * ops + i) as u64;
+                    queue.enqueue(v);
+                    let _ = queue.dequeue();
+                    stack.push(v);
+                    let _ = stack.pop();
+                }
+            })
+        })
+        .collect();
+
+    // Sample the footprint while the workers churn.
+    let sampler = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut peak = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                peak = peak.max(live());
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            peak.max(live())
+        })
+    };
+
+    for h in workers {
+        h.join().expect("churn worker panicked");
+    }
+    stop.store(true, Ordering::Relaxed);
+    let peak = sampler.join().expect("sampler panicked");
+    // 2 structures × ops per worker × workers push/pop pairs.
+    (2 * threads * ops, peak)
+}
+
+fn main() {
+    let args = Args::from_env();
+    let quick = args.quick();
+    let threads = args.get_usize("threads", 4);
+    let ops = args.get_usize("ops", if quick { 50_000 } else { 250_000 });
+    let bound = args.get_usize("bound-bytes", 4 * 1024 * 1024);
+    let check = args.get_bool("check");
+
+    println!("# Live-heap footprint under sustained lock-free churn");
+    println!("# {threads} threads x {ops} push/pop pairs on LockFreeQueue + TreiberStack");
+
+    // Warm up thread-local epoch records and take the baseline afterwards so
+    // one-time allocations (thread stacks cached by the runtime, collector
+    // registry) don't count against the churn.
+    let (_, _) = churn(threads, 100);
+    let baseline = live();
+
+    let (total_ops, peak) = churn(threads, ops);
+    let growth = peak.saturating_sub(baseline);
+    let final_live = live();
+
+    // The leak-forever stand-in grew ~24 B per queue/stack op pair.
+    let leak_estimate = total_ops.saturating_mul(24);
+
+    println!("baseline_live_bytes = {baseline}");
+    println!("peak_live_bytes     = {peak}");
+    println!("final_live_bytes    = {final_live}");
+    println!("peak_growth_bytes   = {growth}");
+    println!("total_ops           = {total_ops}");
+    println!("old_leak_estimate   = {leak_estimate} (linear growth before epoch reclamation)");
+    println!(
+        "{{\"bench\":\"churn_footprint\",\"threads\":{threads},\"ops_per_thread\":{ops},\
+         \"total_ops\":{total_ops},\"baseline_bytes\":{baseline},\"peak_bytes\":{peak},\
+         \"growth_bytes\":{growth},\"bound_bytes\":{bound}}}"
+    );
+
+    if check {
+        if growth > bound {
+            eprintln!(
+                "FAIL: peak live growth {growth} B exceeds bound {bound} B — \
+                 retired nodes are accumulating instead of being reclaimed"
+            );
+            std::process::exit(1);
+        }
+        println!("OK: peak live growth {growth} B within bound {bound} B");
+    }
+}

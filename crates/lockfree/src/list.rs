@@ -2,6 +2,7 @@ use std::fmt;
 use std::sync::atomic::Ordering::{Acquire, Relaxed, Release};
 
 use crossbeam::epoch::{self, Atomic, Guard, Owned, Shared};
+use crossbeam::utils::Backoff;
 
 use crate::stats::OpStats;
 
@@ -66,10 +67,12 @@ impl LockFreeList {
             key,
             next: Atomic::null(),
         });
+        let backoff = Backoff::new();
         loop {
             self.stats.attempt();
             let Some((prev, curr)) = self.search(key, guard) else {
                 self.stats.retry();
+                backoff.spin();
                 continue;
             };
             // SAFETY: `curr` protected by `guard`.
@@ -84,6 +87,7 @@ impl LockFreeList {
                 Err(e) => {
                     new = e.new;
                     self.stats.retry();
+                    backoff.spin();
                 }
             }
         }
@@ -92,10 +96,12 @@ impl LockFreeList {
     /// Removes `key`; returns `false` if it was absent.
     pub fn remove(&self, key: u64) -> bool {
         let guard = &epoch::pin();
+        let backoff = Backoff::new();
         loop {
             self.stats.attempt();
             let Some((prev, curr)) = self.search(key, guard) else {
                 self.stats.retry();
+                backoff.spin();
                 continue;
             };
             // SAFETY: `curr` protected by `guard`.
@@ -109,6 +115,7 @@ impl LockFreeList {
             if next.tag() & MARK != 0 {
                 // Someone else is already deleting it.
                 self.stats.retry();
+                backoff.spin();
                 continue;
             }
             // Logical deletion: mark the node's next pointer.
@@ -124,6 +131,7 @@ impl LockFreeList {
                 .is_err()
             {
                 self.stats.retry();
+                backoff.spin();
                 continue;
             }
             // Physical unlink (best effort; search() also helps).

@@ -3,6 +3,8 @@ use std::fmt;
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use crossbeam::utils::{Backoff, CachePadded};
+
 use crate::stats::OpStats;
 
 /// A bounded lock-free multi-producer/multi-consumer queue (Vyukov's
@@ -37,9 +39,14 @@ use crate::stats::OpStats;
 /// assert_eq!(q.pop(), None);
 /// ```
 pub struct BoundedMpmcQueue<T> {
-    slots: Box<[Slot<T>]>,
-    head: AtomicUsize,
-    tail: AtomicUsize,
+    /// Each slot is cache-line padded: a producer publishing slot `i` and a
+    /// consumer draining slot `i ± 1` must not invalidate each other's
+    /// lines (8 unpadded `u64` slots would share one line).
+    slots: Box<[CachePadded<Slot<T>>]>,
+    /// Enqueue/dequeue tickets live on separate lines from each other and
+    /// from the slots — the two most contended words in the structure.
+    head: CachePadded<AtomicUsize>,
+    tail: CachePadded<AtomicUsize>,
     stats: OpStats,
 }
 
@@ -72,16 +79,18 @@ impl<T: Send> BoundedMpmcQueue<T> {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "capacity must be positive");
         let cap = capacity.next_power_of_two().max(2);
-        let slots: Box<[Slot<T>]> = (0..cap)
-            .map(|i| Slot {
-                sequence: AtomicUsize::new(i),
-                value: UnsafeCell::new(MaybeUninit::uninit()),
+        let slots: Box<[CachePadded<Slot<T>>]> = (0..cap)
+            .map(|i| {
+                CachePadded::new(Slot {
+                    sequence: AtomicUsize::new(i),
+                    value: UnsafeCell::new(MaybeUninit::uninit()),
+                })
             })
             .collect();
         Self {
             slots,
-            head: AtomicUsize::new(0),
-            tail: AtomicUsize::new(0),
+            head: CachePadded::new(AtomicUsize::new(0)),
+            tail: CachePadded::new(AtomicUsize::new(0)),
             stats: OpStats::new(),
         }
     }
@@ -97,6 +106,7 @@ impl<T: Send> BoundedMpmcQueue<T> {
     /// Returns `Err(value)` when the queue is full.
     pub fn push(&self, value: T) -> Result<(), T> {
         let mask = self.mask();
+        let backoff = Backoff::new();
         let mut tail = self.tail.load(Ordering::Relaxed);
         loop {
             self.stats.attempt();
@@ -121,6 +131,7 @@ impl<T: Send> BoundedMpmcQueue<T> {
                         }
                         Err(actual) => {
                             self.stats.retry();
+                            backoff.spin();
                             tail = actual;
                         }
                     }
@@ -129,6 +140,7 @@ impl<T: Send> BoundedMpmcQueue<T> {
                 _ => {
                     // Another producer advanced; reload and retry.
                     self.stats.retry();
+                    backoff.spin();
                     tail = self.tail.load(Ordering::Relaxed);
                 }
             }
@@ -138,6 +150,7 @@ impl<T: Send> BoundedMpmcQueue<T> {
     /// Removes the oldest element, or `None` if the queue is empty.
     pub fn pop(&self) -> Option<T> {
         let mask = self.mask();
+        let backoff = Backoff::new();
         let mut head = self.head.load(Ordering::Relaxed);
         loop {
             self.stats.attempt();
@@ -162,6 +175,7 @@ impl<T: Send> BoundedMpmcQueue<T> {
                         }
                         Err(actual) => {
                             self.stats.retry();
+                            backoff.spin();
                             head = actual;
                         }
                     }
@@ -169,6 +183,7 @@ impl<T: Send> BoundedMpmcQueue<T> {
                 d if d < 0 => return None, // nothing published yet: empty
                 _ => {
                     self.stats.retry();
+                    backoff.spin();
                     head = self.head.load(Ordering::Relaxed);
                 }
             }

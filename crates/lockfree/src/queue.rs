@@ -3,6 +3,7 @@ use std::fmt;
 use std::sync::atomic::Ordering::{Acquire, Relaxed, Release};
 
 use crossbeam::epoch::{self, Atomic, Owned, Shared};
+use crossbeam::utils::Backoff;
 
 use crate::object::ConcurrentQueue;
 use crate::stats::OpStats;
@@ -12,8 +13,11 @@ use crate::stats::OpStats;
 /// Multi-producer, multi-consumer, linearizable, and lock-free: some
 /// operation always completes in a finite number of steps; an individual
 /// operation may retry when a concurrent operation wins its CAS. Memory is
-/// reclaimed with `crossbeam`'s epoch scheme, standing in for the paper's
-/// type-stable node pools on QNX.
+/// reclaimed with `crossbeam`'s epoch scheme: a dequeued node is retired
+/// via `defer_destroy` and freed once two epoch advances guarantee no
+/// pinned thread can still hold a reference — so sustained traffic runs in
+/// bounded space, where the paper's QNX prototype used type-stable node
+/// pools to the same end (no use-after-free, no unbounded growth).
 ///
 /// Retries are counted in an [`OpStats`] readable via
 /// [`LockFreeQueue::stats`] — the measured analogue of the retry count `f_i`
@@ -87,6 +91,9 @@ impl<T> LockFreeQueue<T> {
             next: Atomic::null(),
         })
         .into_shared(guard);
+        // Backoff paces contended retries without touching shared state;
+        // the loop's step structure (mirrored by `ModelMsQueue`) is intact.
+        let backoff = Backoff::new();
         loop {
             self.stats.attempt();
             let tail = self.tail.load(Acquire, guard);
@@ -100,6 +107,7 @@ impl<T> LockFreeQueue<T> {
                     .tail
                     .compare_exchange(tail, next, Release, Relaxed, guard);
                 self.stats.retry();
+                backoff.spin();
                 continue;
             }
             match tail_ref
@@ -113,7 +121,10 @@ impl<T> LockFreeQueue<T> {
                         .compare_exchange(tail, new, Release, Relaxed, guard);
                     return;
                 }
-                Err(_) => self.stats.retry(),
+                Err(_) => {
+                    self.stats.retry();
+                    backoff.spin();
+                }
             }
         }
     }
@@ -121,6 +132,7 @@ impl<T> LockFreeQueue<T> {
     /// Removes and returns the element at the head, or `None` if empty.
     pub fn dequeue(&self) -> Option<T> {
         let guard = &epoch::pin();
+        let backoff = Backoff::new();
         loop {
             self.stats.attempt();
             let head = self.head.load(Acquire, guard);
@@ -151,7 +163,10 @@ impl<T> LockFreeQueue<T> {
                     unsafe { guard.defer_destroy(head) };
                     return data;
                 }
-                Err(_) => self.stats.retry(),
+                Err(_) => {
+                    self.stats.retry();
+                    backoff.spin();
+                }
             }
         }
     }
@@ -190,7 +205,10 @@ impl<T> Drop for LockFreeQueue<T> {
     fn drop(&mut self) {
         // SAFETY: `&mut self` guarantees exclusive access; no other thread
         // can be inside an operation, so walking and freeing without epoch
-        // protection is sound.
+        // protection is sound. Only nodes still *linked* are freed here —
+        // nodes already retired by `dequeue` belong to the epoch collector,
+        // which frees them after their grace period (they are unreachable
+        // from `head`, so there is no double free).
         unsafe {
             let guard = epoch::unprotected();
             let mut node = self.head.load(Relaxed, guard);

@@ -4,6 +4,8 @@ use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use crossbeam::utils::CachePadded;
+
 /// Creates a bounded single-producer/single-consumer ring of the given
 /// capacity, split into its two endpoints.
 ///
@@ -44,8 +46,8 @@ pub fn spsc_ring<T: Send>(capacity: usize) -> (RingProducer<T>, RingConsumer<T>)
         buffer: (0..slots)
             .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
             .collect(),
-        head: AtomicUsize::new(0),
-        tail: AtomicUsize::new(0),
+        head: CachePadded::new(AtomicUsize::new(0)),
+        tail: CachePadded::new(AtomicUsize::new(0)),
     });
     (
         RingProducer {
@@ -57,10 +59,14 @@ pub fn spsc_ring<T: Send>(capacity: usize) -> (RingProducer<T>, RingConsumer<T>)
 
 struct Shared<T> {
     buffer: Box<[UnsafeCell<MaybeUninit<T>>]>,
-    /// Next slot to pop (owned by the consumer).
-    head: AtomicUsize,
-    /// Next slot to push (owned by the producer).
-    tail: AtomicUsize,
+    /// Next slot to pop (owned by the consumer). Padded onto its own cache
+    /// line: the producer re-reads `head` on every push, and an unpadded
+    /// pair would put the consumer's store and the producer's store on the
+    /// same line — steady-state SPSC streaming would then ping-pong that
+    /// line on every element instead of only when an index is re-read.
+    head: CachePadded<AtomicUsize>,
+    /// Next slot to push (owned by the producer); padded likewise.
+    tail: CachePadded<AtomicUsize>,
 }
 
 // SAFETY: head is written only by the consumer, tail only by the producer;

@@ -3,6 +3,7 @@ use std::mem::ManuallyDrop;
 use std::sync::atomic::Ordering::{Acquire, Relaxed, Release};
 
 use crossbeam::epoch::{self, Atomic, Owned};
+use crossbeam::utils::Backoff;
 
 use crate::object::ConcurrentStack;
 use crate::stats::OpStats;
@@ -66,6 +67,10 @@ impl<T> TreiberStack<T> {
             data: ManuallyDrop::new(value),
             next: Atomic::null(),
         });
+        // Bounded exponential backoff between passes: pure spinning, no
+        // atomics, so the loop's step structure (and its interleave mirror)
+        // is unchanged — only the retry *pacing* under contention is.
+        let backoff = Backoff::new();
         loop {
             self.stats.attempt();
             let top = self.top.load(Acquire, guard);
@@ -75,6 +80,7 @@ impl<T> TreiberStack<T> {
                 Err(e) => {
                     new = e.new;
                     self.stats.retry();
+                    backoff.spin();
                 }
             }
         }
@@ -83,6 +89,7 @@ impl<T> TreiberStack<T> {
     /// Pops the top element, or returns `None` if the stack is empty.
     pub fn pop(&self) -> Option<T> {
         let guard = &epoch::pin();
+        let backoff = Backoff::new();
         loop {
             self.stats.attempt();
             let top = self.top.load(Acquire, guard);
@@ -104,7 +111,10 @@ impl<T> TreiberStack<T> {
                     unsafe { guard.defer_destroy(top) };
                     return Some(data);
                 }
-                Err(_) => self.stats.retry(),
+                Err(_) => {
+                    self.stats.retry();
+                    backoff.spin();
+                }
             }
         }
     }

@@ -1,4 +1,44 @@
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use crossbeam::utils::CachePadded;
+
+/// Stripes per [`OpStats`] (power of two). Sixteen keeps cross-thread
+/// collisions rare at the thread counts the experiments use while costing
+/// only `16 * 128` bytes per instrumented object.
+const STRIPES: usize = 16;
+
+/// Monotone thread counter backing the per-thread stripe choice.
+static NEXT_THREAD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// This thread's stripe index, chosen once by hashing a process-wide
+    /// thread ordinal (Fibonacci hashing spreads consecutive ordinals
+    /// across stripes even when `STRIPES` grows).
+    static STRIPE: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+#[inline]
+fn stripe_index() -> usize {
+    STRIPE.with(|s| {
+        let cached = s.get();
+        if cached != usize::MAX {
+            return cached;
+        }
+        let ordinal = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+        let hashed = (ordinal.wrapping_mul(0x9E37_79B9_7F4A_7C15_u64 as usize)) >> 7;
+        let index = hashed & (STRIPES - 1);
+        s.set(index);
+        index
+    })
+}
+
+/// One cache line of counters; each thread hammers only its own stripe.
+#[derive(Debug, Default)]
+struct Stripe {
+    attempts: AtomicU64,
+    retries: AtomicU64,
+}
 
 /// Attempt/retry counters for a lock-free object.
 ///
@@ -7,12 +47,26 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// `attempts == successes + retries` and a contention-free run has
 /// `retries == 0`.
 ///
+/// Counters are **striped**: each thread picks one of [`STRIPES`]
+/// cache-line-padded counter pairs by a hash of its thread ordinal, so the
+/// bookkeeping inside a CAS loop touches a line no other core is writing —
+/// a shared `fetch_add` here would reintroduce exactly the cache-line
+/// ping-pong the lock-free fast path exists to avoid. Reads
+/// ([`OpStats::attempts`], [`OpStats::snapshot`], …) sum over the stripes.
+///
 /// Counters use relaxed atomics: they are monotone statistics, not
 /// synchronization.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct OpStats {
-    attempts: AtomicU64,
-    retries: AtomicU64,
+    stripes: Box<[CachePadded<Stripe>; STRIPES]>,
+}
+
+impl Default for OpStats {
+    fn default() -> Self {
+        Self {
+            stripes: Box::new(std::array::from_fn(|_| CachePadded::default())),
+        }
+    }
 }
 
 impl OpStats {
@@ -24,42 +78,63 @@ impl OpStats {
     /// Records one pass through an operation loop.
     #[inline]
     pub fn attempt(&self) {
-        self.attempts.fetch_add(1, Ordering::Relaxed);
+        self.stripes[stripe_index()]
+            .attempts
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records one failed pass (the operation will retry).
     #[inline]
     pub fn retry(&self) {
-        self.retries.fetch_add(1, Ordering::Relaxed);
+        self.stripes[stripe_index()]
+            .retries
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// Total passes through operation loops so far.
     pub fn attempts(&self) -> u64 {
-        self.attempts.load(Ordering::Relaxed)
+        self.stripes
+            .iter()
+            .map(|s| s.attempts.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Total failed passes (retries) so far.
     pub fn retries(&self) -> u64 {
-        self.retries.load(Ordering::Relaxed)
+        self.stripes
+            .iter()
+            .map(|s| s.retries.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Total successful operations so far.
     pub fn successes(&self) -> u64 {
-        self.attempts().saturating_sub(self.retries())
+        let snap = self.snapshot();
+        snap.successes()
     }
 
     /// Takes a consistent-enough snapshot for reporting.
+    ///
+    /// All retry stripes are read **before** any attempt stripe. Every
+    /// `retry()` is preceded by an `attempt()` on the same stripe, so
+    /// attempts read later can only be larger: a snapshot can never report
+    /// `retries > attempts`, no matter how many operations race with it.
+    /// (Reading attempts first had exactly that torn-read bug: an
+    /// attempt+retry pair landing between the two loads inflated retries
+    /// past the already-read attempts. Regression test:
+    /// `stats::tests::snapshot_never_tears_under_concurrency`.)
     pub fn snapshot(&self) -> StatsSnapshot {
-        StatsSnapshot {
-            attempts: self.attempts(),
-            retries: self.retries(),
-        }
+        let retries = self.retries();
+        let attempts = self.attempts();
+        StatsSnapshot { attempts, retries }
     }
 
     /// Resets both counters to zero.
     pub fn reset(&self) {
-        self.attempts.store(0, Ordering::Relaxed);
-        self.retries.store(0, Ordering::Relaxed);
+        for stripe in self.stripes.iter() {
+            stripe.attempts.store(0, Ordering::Relaxed);
+            stripe.retries.store(0, Ordering::Relaxed);
+        }
     }
 }
 
@@ -92,6 +167,8 @@ impl StatsSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
 
     #[test]
     fn counters_accumulate() {
@@ -131,5 +208,65 @@ mod tests {
             retries: 10,
         };
         assert!((snap.retries_per_op() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stripes_from_many_threads_sum_exactly() {
+        const THREADS: usize = 8;
+        const OPS: u64 = 10_000;
+        let s = Arc::new(OpStats::new());
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for i in 0..OPS {
+                        s.attempt();
+                        if i % 3 == 0 {
+                            s.retry();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("counter thread panicked");
+        }
+        assert_eq!(s.attempts(), THREADS as u64 * OPS);
+        assert_eq!(s.retries(), THREADS as u64 * OPS.div_ceil(3));
+    }
+
+    /// Regression test for the snapshot torn read: retries must be loaded
+    /// before attempts, otherwise an `attempt(); retry();` pair landing
+    /// between the two loads yields a snapshot with `retries > attempts`
+    /// (i.e. `successes()` silently saturating at zero).
+    #[test]
+    fn snapshot_never_tears_under_concurrency() {
+        let s = Arc::new(OpStats::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let writers: Vec<_> = (0..4)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        s.attempt();
+                        s.retry();
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..50_000 {
+            let snap = s.snapshot();
+            assert!(
+                snap.retries <= snap.attempts,
+                "torn snapshot: {} retries > {} attempts",
+                snap.retries,
+                snap.attempts
+            );
+        }
+        stop.store(true, Ordering::Relaxed);
+        for w in writers {
+            w.join().expect("writer panicked");
+        }
     }
 }

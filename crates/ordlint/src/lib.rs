@@ -62,10 +62,14 @@ pub struct Analysis {
 }
 
 /// Scan roots inside a workspace checkout: the root package's `src/` plus
-/// every crate's `src/` and `benches/`. Vendored stand-ins and `tests/`
-/// directories are deliberately out of scope — vendor code mirrors
-/// external crates' published APIs (orderings arrive in variables there
-/// anyway), and test code exercises odd orderings on purpose.
+/// every crate's `src/` and `benches/`, plus `vendor/crossbeam/src`. Most
+/// vendored stand-ins and all `tests/` directories are deliberately out of
+/// scope — vendor code usually mirrors external crates' published APIs
+/// (orderings arrive in variables there anyway), and test code exercises
+/// odd orderings on purpose. The vendored `crossbeam` is the exception:
+/// since it grew a real epoch reclamation scheme (global-epoch/record
+/// protocol with its own fence pairing), its orderings are first-party
+/// lock-free algorithm code and get the same scrutiny as `crates/`.
 fn workspace_dirs(root: &Path) -> Vec<PathBuf> {
     let mut dirs = vec![root.join("src")];
     if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
@@ -79,6 +83,7 @@ fn workspace_dirs(root: &Path) -> Vec<PathBuf> {
             dirs.push(c.join("benches"));
         }
     }
+    dirs.push(root.join("vendor").join("crossbeam").join("src"));
     dirs.retain(|d| d.is_dir());
     dirs
 }

@@ -1,9 +1,36 @@
-//! Epoch-style tagged atomic pointers (see the crate docs for the
-//! reclamation policy of this stand-in).
+//! Epoch-based memory reclamation with tagged atomic pointers.
+//!
+//! This is a real (if compact) implementation of epoch-based reclamation
+//! (EBR), the scheme of Fraser's thesis and the `crossbeam-epoch` crate —
+//! no longer the leak-forever stand-in this module started as:
+//!
+//! * a global epoch counter ([`EPOCH`], advancing in steps of 2 so the low
+//!   bit of a thread record can carry the *pinned* flag);
+//! * a registry of per-thread records ([`Record`], each cache-line padded
+//!   so pinning never false-shares), published once per thread and reused
+//!   across short-lived threads;
+//! * per-thread deferred-garbage bags: [`Guard::defer_destroy`] stamps the
+//!   retired node with the current epoch and queues it thread-locally;
+//! * amortized maintenance on [`pin`]: every few pins the thread tries to
+//!   advance the global epoch (possible only when every pinned thread has
+//!   observed the current one) and frees its garbage that is at least two
+//!   advances old — the grace period that guarantees no pinned thread can
+//!   still hold a reference.
+//!
+//! Garbage owned by a thread that exits is handed to a global orphan list
+//! and freed by whichever thread next collects. [`Guard::flush`] forces a
+//! collection cycle, which tests use to reach quiescence deterministically;
+//! [`retired_count`]/[`destroyed_count`] expose lifetime totals so tests
+//! can assert both "eventually freed" and "never freed early".
 
+use std::cell::{Cell, RefCell};
 use std::marker::PhantomData;
 use std::mem;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::ptr;
+use std::sync::atomic::{fence, AtomicBool, AtomicPtr, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::utils::CachePadded;
 
 /// Number of low pointer bits available for tags, from `T`'s alignment.
 const fn low_bits<T>() -> usize {
@@ -14,47 +41,363 @@ fn decompose<T>(data: usize) -> (*mut T, usize) {
     ((data & !low_bits::<T>()) as *mut T, data & low_bits::<T>())
 }
 
-/// A pinned-region token.
-///
-/// In real crossbeam a `Guard` keeps the current epoch pinned so deferred
-/// destructions can eventually run; here destruction is deferred forever, so
-/// the guard only serves to scope [`Shared`] lifetimes exactly like the real
-/// API does.
-#[derive(Debug)]
-pub struct Guard {
-    _private: (),
+/// The global epoch. Advances in steps of 2 (the low bit is the *pinned*
+/// flag in thread records), so "one advance" is a numeric distance of 2.
+static EPOCH: CachePadded<AtomicUsize> = CachePadded::new(AtomicUsize::new(0));
+
+/// Head of the lock-free singly-linked registry of thread records.
+static REGISTRY: AtomicPtr<Record> = AtomicPtr::new(ptr::null_mut());
+
+/// Garbage inherited from exited threads, freed by later collections.
+static ORPHANS: Mutex<Vec<Deferred>> = Mutex::new(Vec::new());
+
+/// Lifetime totals, for the reclamation-safety tests: nodes handed to
+/// `defer_destroy` and nodes whose destructor has actually run. Padded so
+/// the counters don't share a line with each other or the epoch.
+static RETIRED: CachePadded<AtomicUsize> = CachePadded::new(AtomicUsize::new(0));
+static DESTROYED: CachePadded<AtomicUsize> = CachePadded::new(AtomicUsize::new(0));
+
+/// Total nodes ever passed to [`Guard::defer_destroy`] (process lifetime).
+pub fn retired_count() -> usize {
+    RETIRED.load(Ordering::Relaxed)
 }
 
-impl Guard {
-    /// Schedules `ptr`'s pointee for destruction once no thread can hold a
-    /// reference.
-    ///
-    /// This stand-in never destroys: the allocation is intentionally leaked
-    /// (type-stable-pool semantics; see the crate docs).
+/// Total deferred destructors that have actually run (process lifetime).
+///
+/// `retired_count() - destroyed_count()` is the number of retired nodes
+/// still awaiting their grace period — bounded under churn, zero at
+/// quiescence once collections have caught up (see [`Guard::flush`]).
+pub fn destroyed_count() -> usize {
+    DESTROYED.load(Ordering::Relaxed)
+}
+
+/// One thread's slot in the global registry.
+///
+/// `state` holds `epoch | 1` while the thread is pinned and `0` while it is
+/// not; the whole record is cache-line padded because every `pin`/`unpin`
+/// writes it and every `try_advance` on any thread reads it.
+struct Record {
+    state: CachePadded<AtomicUsize>,
+    in_use: AtomicBool,
+    next: AtomicPtr<Record>,
+}
+
+/// A retired allocation awaiting its grace period.
+struct Deferred {
+    ptr: *mut u8,
+    drop_fn: unsafe fn(*mut u8),
+    /// Global epoch at retirement time.
+    epoch: usize,
+}
+
+// SAFETY: a `Deferred` is an unreachable retired allocation; the only thing
+// ever done with it is running `drop_fn` exactly once, on whichever thread
+// performs the collection. The structures that retire nodes require
+// `T: Send`, so freeing on another thread is sound.
+unsafe impl Send for Deferred {}
+
+impl Deferred {
+    /// Whether the grace period has passed: two full epoch advances (the
+    /// epoch steps by 2, hence the distance of 4) guarantee every thread
+    /// pinned at retirement time has since unpinned or repinned.
+    fn expired(&self, global: usize) -> bool {
+        global.wrapping_sub(self.epoch) >= 4
+    }
+
+    /// Runs the destructor.
     ///
     /// # Safety
     ///
-    /// `ptr` must point to a live allocation created through [`Owned`] that
-    /// is no longer reachable by new loads.
+    /// Must be called at most once, after the grace period.
+    unsafe fn destroy(self) {
+        (self.drop_fn)(self.ptr);
+        DESTROYED.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+unsafe fn drop_box<T>(ptr: *mut u8) {
+    // SAFETY: `ptr` came from `Box::into_raw` in `Owned::new` (cast via
+    // `defer_destroy`), and `destroy` runs at most once.
+    drop(unsafe { Box::from_raw(ptr.cast::<T>()) });
+}
+
+/// Claims a registry record for a new thread: reuses a released one if
+/// available, otherwise publishes a fresh record (records themselves are
+/// never freed, so the registry size is bounded by the peak number of
+/// concurrently live threads).
+fn acquire_record() -> &'static Record {
+    let mut cursor = REGISTRY.load(Ordering::Acquire);
+    while let Some(record) = unsafe { cursor.as_ref() } {
+        if !record.in_use.load(Ordering::Relaxed)
+            && record
+                .in_use
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+        {
+            return record;
+        }
+        cursor = record.next.load(Ordering::Acquire);
+    }
+    let record: &'static Record = Box::leak(Box::new(Record {
+        state: CachePadded::new(AtomicUsize::new(0)),
+        in_use: AtomicBool::new(true),
+        next: AtomicPtr::new(ptr::null_mut()),
+    }));
+    let mut head = REGISTRY.load(Ordering::Acquire);
+    loop {
+        record.next.store(head, Ordering::Relaxed);
+        match REGISTRY.compare_exchange(
+            head,
+            record as *const Record as *mut Record,
+            Ordering::Release,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => return record,
+            Err(actual) => head = actual,
+        }
+    }
+}
+
+/// Tries to advance the global epoch by one step. Succeeds only when every
+/// currently pinned thread has observed the current epoch.
+fn try_advance() -> usize {
+    let global = EPOCH.load(Ordering::Relaxed);
+    // Pairs with the fence in `Local::pin`: after this fence, every record
+    // whose owner pinned before our scan is visible to the loads below.
+    fence(Ordering::SeqCst);
+    let mut cursor = REGISTRY.load(Ordering::Acquire);
+    while let Some(record) = unsafe { cursor.as_ref() } {
+        let state = record.state.load(Ordering::Relaxed);
+        if state & 1 == 1 && state & !1 != global {
+            // A thread is pinned in an older epoch; cannot advance yet.
+            return global;
+        }
+        cursor = record.next.load(Ordering::Acquire);
+    }
+    match EPOCH.compare_exchange(
+        global,
+        global.wrapping_add(2),
+        Ordering::Release,
+        Ordering::Relaxed,
+    ) {
+        Ok(_) => global.wrapping_add(2),
+        Err(actual) => actual,
+    }
+}
+
+/// Moves every grace-period-expired item out of `items`, preserving the
+/// rest. Separate from [`Local::collect`] so the caller controls when the
+/// bag borrow (or orphan lock) is released before destructors run.
+fn drain_expired(items: &mut Vec<Deferred>, global: usize) -> Vec<Deferred> {
+    let mut expired = Vec::new();
+    let mut i = 0;
+    while i < items.len() {
+        if items[i].expired(global) {
+            expired.push(items.swap_remove(i));
+        } else {
+            i += 1;
+        }
+    }
+    expired
+}
+
+/// Collect on every Nth pin (power of two; amortizes the registry scan).
+const PINS_BETWEEN_COLLECT: usize = 16;
+/// Collect eagerly once a thread's bag holds this many retired nodes.
+const BAG_COLLECT_THRESHOLD: usize = 64;
+
+/// Per-thread epoch state: the registry record, the pin depth, and the
+/// deferred-garbage bag.
+struct Local {
+    record: &'static Record,
+    guard_count: Cell<usize>,
+    pins_until_collect: Cell<usize>,
+    bag: RefCell<Vec<Deferred>>,
+}
+
+thread_local! {
+    static LOCAL: Local = Local {
+        record: acquire_record(),
+        guard_count: Cell::new(0),
+        pins_until_collect: Cell::new(PINS_BETWEEN_COLLECT),
+        bag: RefCell::new(Vec::new()),
+    };
+}
+
+impl Local {
+    fn pin(&self) {
+        let count = self.guard_count.get();
+        self.guard_count.set(count + 1);
+        if count == 0 {
+            let epoch = EPOCH.load(Ordering::Relaxed);
+            self.record.state.store(epoch | 1, Ordering::Relaxed);
+            // Pairs with the fence in `try_advance`: either the advancing
+            // thread's scan sees this pin (and refuses to advance past us),
+            // or this fence orders after its scan and our subsequent loads
+            // see every unlink that preceded the advance — so nothing freed
+            // by it is reachable to us.
+            fence(Ordering::SeqCst);
+            let pins = self.pins_until_collect.get() - 1;
+            if pins == 0 {
+                self.pins_until_collect.set(PINS_BETWEEN_COLLECT);
+                self.collect();
+            } else {
+                self.pins_until_collect.set(pins);
+            }
+        }
+    }
+
+    fn unpin(&self) {
+        let count = self.guard_count.get();
+        self.guard_count.set(count - 1);
+        if count == 1 {
+            self.record.state.store(0, Ordering::Release);
+        }
+    }
+
+    fn defer(&self, deferred: Deferred) {
+        let len = {
+            let mut bag = self.bag.borrow_mut();
+            bag.push(deferred);
+            bag.len()
+        };
+        if len >= BAG_COLLECT_THRESHOLD {
+            self.collect();
+        }
+    }
+
+    /// One maintenance cycle: try to advance the epoch, then free every
+    /// bagged (and orphaned) node whose grace period has passed.
+    fn collect(&self) {
+        let global = try_advance();
+        let expired = drain_expired(&mut self.bag.borrow_mut(), global);
+        // Destructors run with the bag borrow released: a payload `Drop`
+        // that re-enters `pin`/`defer_destroy` must not hit the RefCell.
+        for d in expired {
+            // SAFETY: grace period passed; each item destroyed exactly once
+            // (it was removed from the bag above).
+            unsafe { d.destroy() };
+        }
+        // Scavenge garbage inherited from exited threads. `try_lock`: the
+        // orphan list is a slow path and never worth contending for.
+        if let Ok(mut orphans) = ORPHANS.try_lock() {
+            let expired = drain_expired(&mut orphans, global);
+            drop(orphans);
+            for d in expired {
+                // SAFETY: as above.
+                unsafe { d.destroy() };
+            }
+        }
+    }
+}
+
+impl Drop for Local {
+    fn drop(&mut self) {
+        // Thread exit: orphan any garbage still waiting for its grace
+        // period and release the registry record for reuse.
+        let bag = mem::take(&mut *self.bag.borrow_mut());
+        if !bag.is_empty() {
+            ORPHANS.lock().expect("orphan list poisoned").extend(bag);
+        }
+        self.record.state.store(0, Ordering::Release);
+        self.record.in_use.store(false, Ordering::Release);
+    }
+}
+
+/// A pinned-region token.
+///
+/// While a `Guard` lives, the current thread is *pinned*: the global epoch
+/// cannot advance two steps past the epoch it observed, so no node retired
+/// after pinning is freed while any [`Shared`] loaded through this guard is
+/// still usable. Dropping the last guard on a thread unpins it.
+#[derive(Debug)]
+pub struct Guard {
+    /// The owning thread's `Local`, or null for [`unprotected`] guards.
+    local: *const Local,
+}
+
+impl Guard {
+    /// Schedules `ptr`'s pointee for destruction once no pinned thread can
+    /// hold a reference (two epoch advances from now).
+    ///
+    /// On an [`unprotected`] guard the destruction runs immediately — the
+    /// caller asserted exclusive access.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must be non-null, point to a live allocation created through
+    /// [`Owned`], be unreachable to new loads (already unlinked), and not
+    /// be retired twice.
     pub unsafe fn defer_destroy<T>(&self, ptr: Shared<'_, T>) {
-        let _ = ptr;
+        let raw = ptr.as_raw().cast_mut().cast::<u8>();
+        debug_assert!(!raw.is_null(), "defer_destroy on null Shared");
+        RETIRED.fetch_add(1, Ordering::Relaxed);
+        let deferred = Deferred {
+            ptr: raw,
+            drop_fn: drop_box::<T>,
+            epoch: EPOCH.load(Ordering::Relaxed),
+        };
+        match unsafe { self.local.as_ref() } {
+            Some(local) => local.defer(deferred),
+            // SAFETY: unprotected guard — the caller guarantees exclusive
+            // access, so the grace period is vacuous.
+            None => unsafe { deferred.destroy() },
+        }
+    }
+
+    /// Forces a maintenance cycle: one epoch-advance attempt plus a sweep
+    /// of this thread's bag and the orphan list.
+    ///
+    /// Repeated `pin` + `flush` cycles reach quiescence (every retired node
+    /// freed) in a bounded number of iterations once no other thread is
+    /// pinned — the deterministic lever the reclamation tests use.
+    pub fn flush(&self) {
+        // SAFETY: non-null `local` points to the calling thread's `Local`,
+        // alive for as long as any of its guards.
+        if let Some(local) = unsafe { self.local.as_ref() } {
+            local.collect();
+        }
+    }
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        // SAFETY: as in `flush`.
+        if let Some(local) = unsafe { self.local.as_ref() } {
+            local.unpin();
+        }
     }
 }
 
 /// Pins the current thread and returns a guard scoping loaded pointers.
+///
+/// Nested pins are cheap (a counter bump); only the outermost pin writes
+/// the thread's registry record and runs amortized garbage collection.
 pub fn pin() -> Guard {
-    Guard { _private: () }
+    LOCAL.with(|local| {
+        local.pin();
+        Guard {
+            local: local as *const Local,
+        }
+    })
 }
 
 /// Returns a guard usable without pinning.
+///
+/// Deferred destructions through this guard run immediately.
 ///
 /// # Safety
 ///
 /// Callers must guarantee exclusive access to the data structure (e.g. from
 /// `Drop` via `&mut self`, or before the structure is shared).
 pub unsafe fn unprotected() -> &'static Guard {
-    static UNPROTECTED: Guard = Guard { _private: () };
-    &UNPROTECTED
+    // Wrapper so `Guard` itself stays `!Sync` (a pinned guard carries
+    // thread-local state); the unprotected guard has none.
+    struct UnprotectedGuard(Guard);
+    // SAFETY: the null-local guard touches no thread-local state.
+    unsafe impl Sync for UnprotectedGuard {}
+    static UNPROTECTED: UnprotectedGuard = UnprotectedGuard(Guard { local: ptr::null() });
+    &UNPROTECTED.0
 }
 
 /// An owned, heap-allocated pointer, analogous to `Box<T>`.
@@ -366,6 +709,34 @@ mod tests {
     use super::*;
     use std::sync::atomic::Ordering::{Acquire, Relaxed, Release};
 
+    use std::sync::Arc;
+
+    /// A payload whose deferred destruction is directly observable, making
+    /// the tests immune to the other (parallel) tests that also drive the
+    /// process-global retired/destroyed counters.
+    struct CountOnDrop(Arc<AtomicUsize>);
+
+    impl Drop for CountOnDrop {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Pin+flush until `done` holds (other tests may hold pins briefly, so
+    /// a single cycle is not guaranteed to advance the epoch).
+    fn collect_until(done: impl Fn() -> bool) -> bool {
+        for _ in 0..10_000 {
+            if done() {
+                return true;
+            }
+            let guard = pin();
+            guard.flush();
+            drop(guard);
+            std::thread::yield_now();
+        }
+        done()
+    }
+
     #[test]
     fn owned_round_trip_and_drop() {
         let guard = pin();
@@ -409,5 +780,111 @@ mod tests {
         let p: Shared<'_, u64> = Shared::null().with_tag(1);
         assert!(p.is_null());
         assert_eq!(p.tag(), 1);
+    }
+
+    #[test]
+    fn deferred_destruction_eventually_runs() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let guard = pin();
+            for _ in 0..10 {
+                let shared = Owned::new(CountOnDrop(Arc::clone(&drops))).into_shared(&guard);
+                // SAFETY: never linked anywhere; exclusively ours.
+                unsafe { guard.defer_destroy(shared) };
+            }
+            assert_eq!(
+                drops.load(Ordering::Relaxed),
+                0,
+                "nothing is freed while the retiring guard is still pinned \
+                 in the retirement epoch"
+            );
+        }
+        assert!(
+            collect_until(|| drops.load(Ordering::Relaxed) == 10),
+            "all 10 retired nodes must be freed at quiescence"
+        );
+    }
+
+    #[test]
+    fn no_destruction_while_a_guard_stays_pinned() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let reader = pin();
+        {
+            let guard = pin();
+            let shared = Owned::new(CountOnDrop(Arc::clone(&drops))).into_shared(&guard);
+            // SAFETY: never linked anywhere; exclusively ours.
+            unsafe { guard.defer_destroy(shared) };
+        }
+        // The reader guard pins this thread in the retirement epoch: the
+        // global epoch can advance at most once, so the two-advance grace
+        // period can never pass no matter how often we flush.
+        for _ in 0..64 {
+            reader.flush();
+        }
+        assert_eq!(
+            drops.load(Ordering::Relaxed),
+            0,
+            "retired node freed while a guard from its epoch is pinned"
+        );
+        drop(reader);
+        assert!(
+            collect_until(|| drops.load(Ordering::Relaxed) == 1),
+            "unpinning releases the node for collection"
+        );
+    }
+
+    #[test]
+    fn nested_pins_share_one_epoch_slot() {
+        let outer = pin();
+        let inner = pin();
+        drop(inner);
+        // Still pinned: the record must show the pinned bit.
+        let pinned = LOCAL.with(|l| l.record.state.load(Relaxed));
+        assert_eq!(pinned & 1, 1, "outer guard still pins the thread");
+        drop(outer);
+        let unpinned = LOCAL.with(|l| l.record.state.load(Relaxed));
+        assert_eq!(unpinned, 0, "last guard unpins");
+    }
+
+    #[test]
+    fn epoch_advances_over_pin_cycles() {
+        let start = EPOCH.load(Relaxed);
+        assert!(
+            collect_until(|| EPOCH.load(Relaxed).wrapping_sub(start) >= 2),
+            "repeated pin+flush must advance the epoch"
+        );
+    }
+
+    #[test]
+    fn unprotected_defer_destroy_is_immediate() {
+        let before = destroyed_count();
+        // SAFETY: nothing else references the allocation.
+        unsafe {
+            let guard = unprotected();
+            let shared = Owned::new(5u64).into_shared(guard);
+            guard.defer_destroy(shared);
+        }
+        assert!(
+            destroyed_count() > before,
+            "unprotected defer_destroy frees immediately"
+        );
+    }
+
+    #[test]
+    fn exited_threads_orphan_their_garbage() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let thread_drops = Arc::clone(&drops);
+        std::thread::spawn(move || {
+            let guard = pin();
+            let shared = Owned::new(CountOnDrop(thread_drops)).into_shared(&guard);
+            // SAFETY: never linked; exclusively ours.
+            unsafe { guard.defer_destroy(shared) };
+        })
+        .join()
+        .expect("retiring thread panicked");
+        assert!(
+            collect_until(|| drops.load(Ordering::Relaxed) == 1),
+            "garbage orphaned at thread exit is scavenged by survivors"
+        );
     }
 }

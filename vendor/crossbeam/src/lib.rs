@@ -1,16 +1,25 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! The build container has no crates.io access, so this vendors the
-//! `crossbeam::epoch` pointer API that `lfrt-lockfree` uses: tagged atomic
-//! pointers (`Atomic`/`Owned`/`Shared`) with guard-scoped loads.
+//! The build container has no crates.io access, so this vendors the parts
+//! of `crossbeam` that `lfrt-lockfree` uses:
 //!
-//! **Reclamation policy:** `Guard::defer_destroy` *permanently defers* — the
-//! node is leaked rather than freed. This is the moral equivalent of the
-//! paper's type-stable node pools on QNX (memory is never returned while the
-//! structure lives, so no ABA and no use-after-free), minus the reuse. The
-//! structures' `Drop` impls still free everything still linked at drop time
-//! via [`Shared::into_owned`], so quiescent teardown is leak-free; only
-//! nodes retired *during concurrent operation* stay resident. Replacing this
-//! with real epoch reclamation is tracked in ROADMAP.md.
+//! * [`epoch`] — tagged atomic pointers (`Atomic`/`Owned`/`Shared`) with
+//!   guard-scoped loads and **real epoch-based reclamation**: a global
+//!   epoch counter, cache-line-padded per-thread pinned-epoch records, and
+//!   per-thread deferred-garbage bags collected amortized on pin.
+//!   `Guard::defer_destroy` actually frees a retired node once two epoch
+//!   advances guarantee no pinned thread can still hold a reference — the
+//!   dynamic analogue of the paper's type-stable node pools on QNX, but
+//!   with memory returned to the allocator, so sustained churn runs in
+//!   bounded space (verified by the `churn_footprint` bench and the
+//!   reclamation tests in `crates/lockfree/tests/reclamation.rs`).
+//! * [`utils`] — [`CachePadded`] (false-sharing armor for hot indices and
+//!   epoch records) and [`Backoff`] (bounded spin-then-yield for contended
+//!   CAS loops), mirroring `crossbeam_utils`.
+//!
+//! Keep the API aligned with the real crates this mirrors.
 
 pub mod epoch;
+pub mod utils;
+
+pub use utils::{Backoff, CachePadded};

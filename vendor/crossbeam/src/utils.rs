@@ -1,0 +1,202 @@
+//! Contention-engineering utilities: [`CachePadded`] and [`Backoff`],
+//! mirroring `crossbeam_utils`.
+//!
+//! Both exist to shave cycles off the lock-free hot paths the paper's
+//! Theorem 3 trades against lock-based access times: `CachePadded` stops
+//! false sharing (two hot atomics on one line ping-ponging between cores),
+//! and `Backoff` stops contended CAS loops from hammering a line that a
+//! winner is about to release.
+
+use std::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to 128 bytes so it occupies its own cache
+/// line(s).
+///
+/// 128 rather than 64 because modern x86 prefetches cache lines in pairs
+/// (and Apple/ARM big cores use 128-byte lines outright); this is the same
+/// constant `crossbeam_utils::CachePadded` uses on those targets.
+///
+/// # Examples
+///
+/// ```
+/// use crossbeam::utils::CachePadded;
+/// use std::sync::atomic::AtomicUsize;
+///
+/// let head = CachePadded::new(AtomicUsize::new(0));
+/// let tail = CachePadded::new(AtomicUsize::new(0));
+/// assert!(std::mem::align_of_val(&head) >= 128);
+/// assert_eq!(*head.into_inner().get_mut(), 0);
+/// let _ = tail;
+/// ```
+#[derive(Default, Clone, Copy, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps `value` in its own cache line.
+    pub const fn new(value: T) -> Self {
+        Self { value }
+    }
+
+    /// Unwraps the value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("CachePadded").field(&self.value).finish()
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        Self::new(value)
+    }
+}
+
+/// Exponential spin-then-yield backoff for contended retry loops.
+///
+/// `spin()` busy-waits `2^step` pauses (capped at `2^SPIN_LIMIT`);
+/// `snooze()` does the same but switches to `thread::yield_now` once
+/// spinning stops paying — the crossbeam policy. The backoff performs **no
+/// atomic accesses**, so inserting it between two passes of a CAS loop is
+/// invisible to the interleaving explorer's step structure (DESIGN.md §6b):
+/// it changes *when* a retry happens, never *what* it does.
+///
+/// # Examples
+///
+/// ```
+/// use crossbeam::utils::Backoff;
+///
+/// let backoff = Backoff::new();
+/// for _ in 0..12 {
+///     backoff.spin(); // bounded: saturates at 2^6 pauses, never completes
+/// }
+/// assert!(!backoff.is_completed());
+/// for _ in 0..12 {
+///     backoff.snooze(); // escalates past spinning to yield_now
+/// }
+/// assert!(backoff.is_completed());
+/// ```
+#[derive(Debug, Default)]
+pub struct Backoff {
+    step: std::cell::Cell<u32>,
+}
+
+impl Backoff {
+    const SPIN_LIMIT: u32 = 6;
+    const YIELD_LIMIT: u32 = 10;
+
+    /// Fresh backoff at step zero (first `spin` pauses once).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets to step zero.
+    pub fn reset(&self) {
+        self.step.set(0);
+    }
+
+    /// Busy-waits `2^step` pauses, bounded by `2^6`, and advances the step.
+    ///
+    /// Use in lock-free retry loops where another thread's *progress* (not
+    /// its descheduling) unblocks us: the wait stays on-core and bounded.
+    #[inline]
+    pub fn spin(&self) {
+        let step = self.step.get().min(Self::SPIN_LIMIT);
+        for _ in 0..1u32 << step {
+            std::hint::spin_loop();
+        }
+        if self.step.get() <= Self::SPIN_LIMIT {
+            self.step.set(self.step.get() + 1);
+        }
+    }
+
+    /// Like [`Backoff::spin`] up to the spin limit, then yields the thread.
+    ///
+    /// Use when waiting on another thread that may need our core to make
+    /// progress (e.g. a full/empty bounded queue).
+    #[inline]
+    pub fn snooze(&self) {
+        let step = self.step.get();
+        if step <= Self::SPIN_LIMIT {
+            for _ in 0..1u32 << step {
+                std::hint::spin_loop();
+            }
+        } else {
+            std::thread::yield_now();
+        }
+        if step <= Self::YIELD_LIMIT {
+            self.step.set(step + 1);
+        }
+    }
+
+    /// Whether backoff has saturated (callers blocking on external progress
+    /// should switch to parking/OS waiting instead of spinning further).
+    pub fn is_completed(&self) -> bool {
+        self.step.get() > Self::YIELD_LIMIT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::mem;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn cache_padded_is_line_aligned_and_sized() {
+        assert_eq!(mem::align_of::<CachePadded<u8>>(), 128);
+        assert_eq!(mem::size_of::<CachePadded<u8>>(), 128);
+        assert_eq!(mem::align_of::<CachePadded<[u8; 200]>>(), 128);
+        assert_eq!(mem::size_of::<CachePadded<[u8; 200]>>(), 256);
+    }
+
+    #[test]
+    fn cache_padded_derefs_transparently() {
+        let mut padded = CachePadded::new(AtomicUsize::new(7));
+        assert_eq!(*padded.get_mut(), 7);
+        *padded.get_mut() = 9;
+        assert_eq!(padded.into_inner().into_inner(), 9);
+    }
+
+    #[test]
+    fn adjacent_padded_values_share_no_line() {
+        let pair = [CachePadded::new(0u8), CachePadded::new(0u8)];
+        let a = &pair[0].value as *const u8 as usize;
+        let b = &pair[1].value as *const u8 as usize;
+        assert!(b.abs_diff(a) >= 128);
+    }
+
+    #[test]
+    fn backoff_spin_is_bounded_and_snooze_completes() {
+        let b = Backoff::new();
+        for _ in 0..64 {
+            b.spin(); // saturates at 2^SPIN_LIMIT pauses; never "completed"
+        }
+        assert!(!b.is_completed());
+        b.reset();
+        for _ in 0..64 {
+            b.snooze();
+        }
+        assert!(b.is_completed());
+    }
+}
