@@ -15,13 +15,20 @@
 //! two orders of magnitude below what the leak would produce, two above
 //! normal jitter from thread stacks and collector bags).
 //!
+//! `--json <path>` writes the footprint as a report document whose numbers
+//! all live under `timing` (live-heap peaks are host-dependent); the
+//! `peak_growth_bytes` value is one of the metrics the CI perf gate
+//! (`compare_reports`) tracks against `BENCH_baseline.json`.
+//!
 //! Usage: `cargo run -p lfrt-bench --release --bin churn_footprint --
-//! [--ops 250000] [--threads 4] [--bound-bytes 4194304] [--check] [--quick]`
+//! [--ops 250000] [--threads 4] [--bound-bytes 4194304] [--check] [--quick]
+//! [--json <path>]`
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use lfrt_bench::json::{self, Point, Report};
 use lfrt_bench::Args;
 use lfrt_lockfree::{LockFreeQueue, TreiberStack};
 
@@ -110,8 +117,10 @@ fn churn(threads: usize, ops: usize) -> (usize, usize) {
 }
 
 fn main() {
+    let started = std::time::Instant::now();
     let args = Args::from_env();
     let quick = args.quick();
+    let trace = lfrt_bench::trace::Session::from_args(&args, "churn_footprint");
     let threads = args.get_usize("threads", 4);
     let ops = args.get_usize("ops", if quick { 50_000 } else { 250_000 });
     let bound = args.get_usize("bound-bytes", 4 * 1024 * 1024);
@@ -144,6 +153,35 @@ fn main() {
          \"total_ops\":{total_ops},\"baseline_bytes\":{baseline},\"peak_bytes\":{peak},\
          \"growth_bytes\":{growth},\"bound_bytes\":{bound}}}"
     );
+
+    if let Some(path) = args.json_path() {
+        let mut report = Report::new(
+            "churn_footprint",
+            "table:churn",
+            "Live-heap growth under sustained lock-free churn",
+        )
+        .config("bound_bytes", bound);
+        // Worker count and op count go under `timing`, not `params`: both
+        // follow the forwarded `--threads`/`--quick` flags, and the payload
+        // of a report must be identical across worker counts (the CI
+        // determinism check diffs `--threads 1` against `--threads 8`).
+        report.points.push(Point {
+            params: vec![("structures".into(), "queue+stack".into())],
+            timing: vec![
+                ("workers".into(), threads.into()),
+                ("ops_per_worker".into(), ops.into()),
+                ("baseline_live_bytes".into(), baseline.into()),
+                ("peak_live_bytes".into(), peak.into()),
+                ("final_live_bytes".into(), final_live.into()),
+                ("peak_growth_bytes".into(), growth.into()),
+                ("total_ops".into(), total_ops.into()),
+            ],
+            ..Default::default()
+        });
+        let meta = json::RunMeta::capture(threads, quick);
+        json::write_reports(&path, &[report], meta, started).expect("write json report");
+    }
+    trace.finish(threads, quick);
 
     if check {
         if growth > bound {

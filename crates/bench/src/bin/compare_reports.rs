@@ -1,0 +1,111 @@
+//! **The CI perf-regression gate.** Diffs a fresh report document against
+//! the committed baseline and exits non-zero when a gated metric regressed
+//! past the threshold (see [`lfrt_bench::gate`] for which metrics and why).
+//!
+//! Typical CI invocation, after `paper_all --quick --json report.json`:
+//!
+//! ```text
+//! compare_reports --report report.json
+//! ```
+//!
+//! Re-baselining (after an intentional perf change; commit the result):
+//!
+//! ```text
+//! compare_reports --report report.json --write-baseline
+//! ```
+//!
+//! `--scale F` multiplies every fresh metric by `F` before comparing. It
+//! exists to prove the gate fires: `--scale 2` simulates an across-the-board
+//! 2x regression and must exit 1 (exercised in EXPERIMENTS.md and by the
+//! `gate` unit tests).
+//!
+//! Usage: `cargo run -p lfrt-bench --release --bin compare_reports --
+//! --report <path> [--baseline BENCH_baseline.json] [--threshold 0.15]
+//! [--scale 1.0] [--write-baseline]`
+
+use std::path::PathBuf;
+
+use lfrt_bench::gate;
+use lfrt_bench::json;
+use lfrt_bench::Args;
+
+fn load(path: &PathBuf, what: &str) -> json::Json {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("read {what} {}: {e}", path.display()));
+    json::parse(&text).unwrap_or_else(|e| panic!("parse {what} {}: {e}", path.display()))
+}
+
+fn main() {
+    let args = Args::from_env();
+    let report_path = PathBuf::from(args.get_str("report", "report.json"));
+    let baseline_path = PathBuf::from(args.get_str("baseline", "BENCH_baseline.json"));
+    let threshold = args.get_f64("threshold", gate::DEFAULT_THRESHOLD);
+    let scale = args.get_f64("scale", 1.0);
+
+    let report = load(&report_path, "report");
+    let mut fresh = gate::extract(&report);
+    assert!(
+        !fresh.is_empty(),
+        "{}: no gated metrics found — did the run include uncontended_ops and churn_footprint?",
+        report_path.display()
+    );
+    if scale != 1.0 {
+        println!("# injecting synthetic regression: all fresh metrics x{scale}");
+        for (_, v) in &mut fresh {
+            *v *= scale;
+        }
+    }
+
+    if args.get_bool("write-baseline") {
+        let doc = gate::baseline_document(&fresh, &json::git_rev(), args.threads(), args.quick());
+        std::fs::write(&baseline_path, doc.to_string_pretty())
+            .unwrap_or_else(|e| panic!("write {}: {e}", baseline_path.display()));
+        println!(
+            "wrote baseline with {} metric(s) to {}",
+            fresh.len(),
+            baseline_path.display()
+        );
+        return;
+    }
+
+    let baseline_doc = load(&baseline_path, "baseline");
+    let baseline = gate::baseline_metrics(&baseline_doc)
+        .unwrap_or_else(|e| panic!("{}: {e}", baseline_path.display()));
+    let outcome = gate::compare(&baseline, &fresh, threshold);
+
+    println!(
+        "# perf gate: {} vs {} (threshold {:.0}%)",
+        report_path.display(),
+        baseline_path.display(),
+        threshold * 100.0
+    );
+    println!(
+        "{:<45} {:>12} {:>12} {:>8}",
+        "metric", "baseline", "fresh", "delta"
+    );
+    for row in &outcome.rows {
+        println!(
+            "{:<45} {:>12.1} {:>12.1} {:>+7.1}% {}",
+            row.key,
+            row.baseline,
+            row.fresh,
+            row.delta * 100.0,
+            if row.regressed { "REGRESSED" } else { "ok" }
+        );
+    }
+    for key in &outcome.unbaselined {
+        println!(
+            "{key:<45} {:>12} (new metric — re-baseline to start gating it)",
+            "-"
+        );
+    }
+
+    if outcome.failures.is_empty() {
+        println!("PASS: no gated metric regressed past the threshold");
+    } else {
+        for failure in &outcome.failures {
+            eprintln!("FAIL: {failure}");
+        }
+        std::process::exit(1);
+    }
+}

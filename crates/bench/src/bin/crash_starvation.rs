@@ -89,6 +89,7 @@ fn run<S: UaScheduler>(
 fn main() {
     let started = std::time::Instant::now();
     let args = Args::from_env();
+    let trace = lfrt_bench::trace::Session::from_args(&args, "crash_starvation");
     let quick = args.quick();
     let seeds = args.get_u64("seeds", if quick { 2 } else { 5 });
     println!("# §1.1 crash starvation: a lock holder dies mid-critical-section");
@@ -169,4 +170,5 @@ fn main() {
         let meta = json::RunMeta::capture(args.threads(), quick);
         json::write_reports(&path, &[report], meta, started).expect("write JSON report");
     }
+    trace.finish(args.threads(), args.quick());
 }

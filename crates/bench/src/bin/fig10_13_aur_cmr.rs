@@ -33,6 +33,7 @@ use lfrt_sim::{Engine, OverheadModel, SharingMode, SimConfig, UaScheduler};
 fn main() {
     let started = std::time::Instant::now();
     let args = Args::from_env();
+    let trace = lfrt_bench::trace::Session::from_args(&args, "fig10_13_aur_cmr");
     let quick = args.quick();
     let load = args.get_f64("load", 0.4);
     let tufs = match args.get_str("tufs", "step").as_str() {
@@ -152,6 +153,7 @@ fn main() {
         let meta = json::RunMeta::capture(args.threads(), quick);
         json::write_reports(&path, &[report], meta, started).expect("write JSON report");
     }
+    trace.finish(args.threads(), args.quick());
 }
 
 fn run<S: UaScheduler>(

@@ -30,6 +30,7 @@ type Cell = [f64; 4];
 fn main() {
     let started = std::time::Instant::now();
     let args = Args::from_env();
+    let trace = lfrt_bench::trace::Session::from_args(&args, "fig14_readers");
     let quick = args.quick();
     let seeds = args.get_u64("seeds", if quick { 2 } else { 5 });
     let r = args.get_u64("r", 400);
@@ -158,6 +159,7 @@ fn main() {
         json::write_reports(&path, &[report_a, report_b], meta, started)
             .expect("write JSON report");
     }
+    trace.finish(args.threads(), args.quick());
 }
 
 fn column(cells: &[Cell], j: usize) -> Vec<f64> {

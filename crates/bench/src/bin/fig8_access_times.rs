@@ -46,6 +46,7 @@ const TASKS: usize = 10;
 fn main() {
     let started = std::time::Instant::now();
     let args = Args::from_env();
+    let trace = lfrt_bench::trace::Session::from_args(&args, "fig8_access_times");
     let quick = args.quick();
     let samples = args.get_u64("samples", if quick { 400 } else { 2_000 }) as usize;
     let contention = args.get_u64("contention", TASKS as u64) as usize;
@@ -121,6 +122,7 @@ fn main() {
         let meta = json::RunMeta::capture(1, quick);
         json::write_reports(&path, &[report], meta, started).expect("write JSON report");
     }
+    trace.finish(args.threads(), args.quick());
 }
 
 /// Mean per-op latency (ns) of `threads` workers performing

@@ -43,6 +43,7 @@ enum Discipline {
 fn main() {
     let started = std::time::Instant::now();
     let args = Args::from_env();
+    let trace = lfrt_bench::trace::Session::from_args(&args, "fig9_cml");
     let quick = args.quick();
     let r = args.get_u64("r", 400);
     let s = args.get_u64("s", 5);
@@ -121,6 +122,7 @@ fn main() {
         let meta = json::RunMeta::capture(args.threads(), quick);
         json::write_reports(&path, &[report], meta, started).expect("write JSON report");
     }
+    trace.finish(args.threads(), args.quick());
 }
 
 /// Binary-searches the largest AL at which the discipline misses no

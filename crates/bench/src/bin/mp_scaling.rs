@@ -26,6 +26,7 @@ use lfrt_sim::{SharingMode, SimConfig};
 fn main() {
     let started = std::time::Instant::now();
     let args = Args::from_env();
+    let trace = lfrt_bench::trace::Session::from_args(&args, "mp_scaling");
     let quick = args.quick();
     let seeds = args.get_u64("seeds", if quick { 2 } else { 5 });
     let s = args.get_u64("s", 50);
@@ -120,4 +121,5 @@ fn main() {
         let meta = json::RunMeta::capture(args.threads(), quick);
         json::write_reports(&path, &[report], meta, started).expect("write JSON report");
     }
+    trace.finish(args.threads(), args.quick());
 }

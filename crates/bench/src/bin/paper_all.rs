@@ -5,13 +5,18 @@
 //! The shared runner flags pass straight through: `--quick` and
 //! `--threads N` are forwarded to every child, and `--json <path>` makes
 //! each child write its own report to a scratch directory, after which the
-//! reports are merged into one document (13 `experiments` entries — figures
-//! 8, 9, 10–13, 14a/14b and the five tables) at `<path>`. The merged
-//! document keeps each child's deterministic payload byte-for-byte, so the
-//! `--threads 1` vs `--threads 8` identity check works on it too.
+//! reports are merged into one document (15 `experiments` entries — figures
+//! 8, 9, 10–13, 14a/14b, the five tables, plus the `uncontended_ops` and
+//! `churn_footprint` points the CI perf gate consumes) at `<path>`. The
+//! merged document keeps each child's deterministic payload byte-for-byte,
+//! so the `--threads 1` vs `--threads 8` identity check works on it too.
+//!
+//! `--trace <path>` likewise hands every child its own flight-recorder
+//! destination (see `lfrt_bench::trace`) and merges the per-child trace
+//! reports into one document at `<path>`.
 //!
 //! Usage: `cargo run -p lfrt-bench --release --bin paper_all --
-//! [--quick] [--threads N] [--json <path>]`
+//! [--quick] [--threads N] [--json <path>] [--trace <path>]`
 
 use std::path::PathBuf;
 use std::process::Command;
@@ -24,6 +29,7 @@ fn main() {
     let args = Args::from_env();
     let quick = args.quick();
     let json_path = args.json_path();
+    let trace_path = args.trace_path();
 
     let me = std::env::current_exe().expect("own path");
     let bin_dir = me.parent().expect("bin directory").to_path_buf();
@@ -40,10 +46,12 @@ fn main() {
         ("taxonomy_table", &[]),
         ("crash_starvation", &[]),
         ("mp_scaling", &[]),
+        ("uncontended_ops", &[]),
+        ("churn_footprint", &[]),
     ];
 
     // Scratch directory for the children's individual reports.
-    let scratch = json_path.as_ref().map(|_| {
+    let scratch = (json_path.is_some() || trace_path.is_some()).then(|| {
         let dir = std::env::temp_dir().join(format!("paper_all_{}", std::process::id()));
         std::fs::create_dir_all(&dir).expect("create scratch dir");
         dir
@@ -52,6 +60,7 @@ fn main() {
     let threads = args.threads().to_string();
     let mut failed = Vec::new();
     let mut child_reports: Vec<PathBuf> = Vec::new();
+    let mut child_traces: Vec<PathBuf> = Vec::new();
     for (i, (bin, extra)) in runs.iter().enumerate() {
         println!(
             "\n==================== {bin} {} ====================",
@@ -62,10 +71,15 @@ fn main() {
         if quick {
             command.arg("--quick");
         }
-        if let Some(dir) = &scratch {
+        if let (Some(dir), true) = (&scratch, json_path.is_some()) {
             let child_path = dir.join(format!("{i:02}_{bin}.json"));
             command.arg("--json").arg(&child_path);
             child_reports.push(child_path);
+        }
+        if let (Some(dir), true) = (&scratch, trace_path.is_some()) {
+            let child_path = dir.join(format!("{i:02}_{bin}.trace.json"));
+            command.arg("--trace").arg(&child_path);
+            child_traces.push(child_path);
         }
         let status = command
             .status()
@@ -77,6 +91,9 @@ fn main() {
 
     if let (Some(path), true) = (&json_path, failed.is_empty()) {
         merge(path, &child_reports, args.threads(), quick, started);
+    }
+    if let (Some(path), true) = (&trace_path, failed.is_empty()) {
+        merge(path, &child_traces, args.threads(), quick, started);
     }
     if let Some(dir) = &scratch {
         let _ = std::fs::remove_dir_all(dir);

@@ -23,6 +23,7 @@ use lfrt_uam::Uam;
 fn main() {
     let started = std::time::Instant::now();
     let args = Args::from_env();
+    let trace = lfrt_bench::trace::Session::from_args(&args, "retry_bound_table");
     let quick = args.quick();
     let seed = args.get_u64("seed", 5);
     let s = args.get_u64("s", 200);
@@ -162,5 +163,6 @@ fn main() {
         let meta = json::RunMeta::capture(args.threads(), quick);
         json::write_reports(&path, &[report], meta, started).expect("write JSON report");
     }
+    trace.finish(args.threads(), args.quick());
     assert!(!violated, "Theorem 2 bound violated");
 }

@@ -24,6 +24,7 @@ use lfrt_uam::Uam;
 fn main() {
     let started = std::time::Instant::now();
     let args = Args::from_env();
+    let trace = lfrt_bench::trace::Session::from_args(&args, "sojourn_crossover");
     let quick = args.quick();
     let r = args.get_u64("r", 400);
     let seed = args.get_u64("seed", 3);
@@ -172,6 +173,7 @@ fn main() {
         let meta = json::RunMeta::capture(args.threads(), quick);
         json::write_reports(&path, &[report], meta, started).expect("write JSON report");
     }
+    trace.finish(args.threads(), args.quick());
 }
 
 fn worst_sojourn(outcome: &lfrt_sim::SimOutcome, task: usize) -> u64 {

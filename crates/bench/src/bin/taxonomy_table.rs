@@ -28,6 +28,7 @@ const SCHEDULERS: [(&str, &str); 5] = [
 fn main() {
     let started = std::time::Instant::now();
     let args = Args::from_env();
+    let trace = lfrt_bench::trace::Session::from_args(&args, "taxonomy_table");
     let quick = args.quick();
     let seed = args.get_u64("seed", 3);
     let load = args.get_f64("load", 1.3);
@@ -137,4 +138,5 @@ fn main() {
         let meta = json::RunMeta::capture(args.threads(), quick);
         json::write_reports(&path, &[report], meta, started).expect("write JSON report");
     }
+    trace.finish(args.threads(), args.quick());
 }

@@ -1,0 +1,144 @@
+//! **Uncontended single-thread cost per operation** — the numbers the CI
+//! perf-regression gate watches.
+//!
+//! One thread drives each lock-free structure through push/pop (or
+//! insert/remove) pairs in timed batches; the per-op figure for a batch is
+//! `batch wall time / ops in batch`, and the reported value is the median
+//! across batches — robust against a descheduled batch on a noisy runner.
+//! Uncontended cost is the one latency that is stable on a 1-CPU CI box
+//! (contended behavior needs real parallelism to mean anything), which is
+//! why exactly these medians feed `compare_reports` / `BENCH_baseline.json`.
+//!
+//! All measured values live under each point's `timing` section: they are
+//! host wall-clock, excluded from the deterministic payload by design.
+//!
+//! Usage: `cargo run -p lfrt-bench --release --bin uncontended_ops --
+//! [--batches 30] [--ops 20000] [--quick] [--json <path>] [--trace <path>]`
+
+use std::time::Instant;
+
+use lfrt_bench::json::{self, Point, Report};
+use lfrt_bench::{trace, Args};
+use lfrt_lockfree::{spsc_ring, BoundedMpmcQueue, LockFreeList, LockFreeQueue, TreiberStack};
+
+/// Times `batches` runs of `op_pair` (one push+pop round trip per call)
+/// and returns ns/op samples, counting 2 ops per pair.
+fn measure(batches: usize, ops_per_batch: usize, mut op_pair: impl FnMut(u64)) -> Vec<f64> {
+    let mut samples = Vec::with_capacity(batches);
+    for batch in 0..batches {
+        let start = Instant::now();
+        for i in 0..ops_per_batch {
+            op_pair((batch * ops_per_batch + i) as u64);
+        }
+        let nanos = start.elapsed().as_nanos() as f64;
+        samples.push(nanos / (2.0 * ops_per_batch as f64));
+    }
+    samples
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    let mid = samples.len() / 2;
+    if samples.len().is_multiple_of(2) {
+        (samples[mid - 1] + samples[mid]) / 2.0
+    } else {
+        samples[mid]
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let quick = args.quick();
+    let trace = trace::Session::from_args(&args, "uncontended_ops");
+    let started = Instant::now();
+
+    let batches = args.get_usize("batches", if quick { 10 } else { 30 });
+    let ops = args.get_usize("ops", if quick { 5_000 } else { 20_000 });
+
+    println!("# Uncontended per-op cost (1 thread, median of {batches} batches x {ops} pairs)");
+
+    let stack = TreiberStack::new();
+    let queue = LockFreeQueue::new();
+    let mpmc = BoundedMpmcQueue::new(1024);
+    let (mut producer, mut consumer) = spsc_ring(1024);
+    let list = LockFreeList::new();
+
+    let structures: Vec<(&str, Vec<f64>)> = vec![
+        (
+            "stack",
+            measure(batches, ops, |i| {
+                stack.push(i);
+                let _ = stack.pop();
+            }),
+        ),
+        (
+            "queue",
+            measure(batches, ops, |i| {
+                queue.enqueue(i);
+                let _ = queue.dequeue();
+            }),
+        ),
+        (
+            "mpmc",
+            measure(batches, ops, |i| {
+                let _ = mpmc.push(i);
+                let _ = mpmc.pop();
+            }),
+        ),
+        (
+            "spsc_ring",
+            measure(batches, ops, |i| {
+                let _ = producer.push(i);
+                let _ = consumer.pop();
+            }),
+        ),
+        // Keep the list short (key space = 64) so this measures CAS cost,
+        // not O(n) traversal of an ever-growing list.
+        (
+            "list",
+            measure(batches, ops, |i| {
+                let _ = list.insert(i % 64);
+                let _ = list.remove(i % 64);
+            }),
+        ),
+    ];
+
+    let mut report = Report::new(
+        "uncontended_ops",
+        "table:uncontended",
+        "Single-thread ns/op medians gated by compare_reports",
+    )
+    .config("batches", batches)
+    .config("ops_per_batch", ops);
+
+    println!(
+        "{:<10} {:>10} {:>10} {:>10}",
+        "structure", "median", "min", "max"
+    );
+    for (name, mut samples) in structures {
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let med = median(&mut samples);
+        println!("{name:<10} {med:>10.1} {min:>10.1} {max:>10.1}   ns/op");
+        report.points.push(Point {
+            params: vec![("structure".into(), name.into())],
+            timing: vec![
+                ("ns_per_op_median".into(), med.into()),
+                ("ns_per_op_min".into(), min.into()),
+                ("ns_per_op_max".into(), max.into()),
+                ("batches".into(), batches.into()),
+                ("ops_per_batch".into(), ops.into()),
+            ],
+            ..Default::default()
+        });
+    }
+
+    if let Some(path) = args.json_path() {
+        let meta = json::RunMeta::capture(args.threads(), quick);
+        json::write_reports(&path, &[report], meta, started).expect("write json report");
+    } else {
+        // Still exercise the renderer so the table and JSON can't drift.
+        let _ = report.to_json();
+    }
+    trace.finish(args.threads(), quick);
+}

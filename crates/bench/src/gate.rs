@@ -1,0 +1,310 @@
+//! The CI perf-regression gate: extracts the few metrics that are honest on
+//! a 1-CPU CI runner from a full report document, compares them against a
+//! committed baseline (`BENCH_baseline.json`), and fails past a threshold.
+//!
+//! **Gated metrics** (see ISSUE/EXPERIMENTS for why exactly these):
+//!
+//! * `uncontended_ops/<structure>/ns_per_op_median` — single-threaded
+//!   median cost per operation for each lock-free structure. Uncontended
+//!   numbers are stable on one CPU; contended deltas are not observable
+//!   there and are deliberately *not* gated.
+//! * `churn_footprint/peak_growth_bytes` — peak live heap growth of the
+//!   allocation-churn workload: the reclamation regression canary.
+//!
+//! The baseline file is a small standalone document:
+//!
+//! ```text
+//! {
+//!   "schema_version": 1,
+//!   "kind": "lfrt-bench-baseline",
+//!   "meta": { "git_rev": "...", "threads": N, "quick": bool },
+//!   "gate_metrics": { "<key>": <value>, ... }
+//! }
+//! ```
+//!
+//! written by `compare_reports --write-baseline` (the re-baseline
+//! workflow; see README). Comparison is asymmetric on purpose: only
+//! *worse* (larger) values past the threshold fail; improvements and
+//! metrics present only in the fresh report are reported but pass — adding
+//! a structure must not break CI before the baseline catches up. A metric
+//! present in the baseline but missing from the fresh report **fails**:
+//! silently losing coverage is itself a regression.
+
+use crate::json::Json;
+
+/// Relative-regression threshold the gate defaults to: 15% worse fails.
+pub const DEFAULT_THRESHOLD: f64 = 0.15;
+
+/// Flat `key -> value` view of the gated metrics of a document.
+pub type Metrics = Vec<(String, f64)>;
+
+/// Pulls the gated metrics out of a full report document (the
+/// `paper_all --json` / single-binary `--json` format).
+pub fn extract(doc: &Json) -> Metrics {
+    let mut out = Metrics::new();
+    let Some(experiments) = doc.get("experiments").and_then(Json::as_array) else {
+        return out;
+    };
+    for exp in experiments {
+        let name = exp.get("experiment").and_then(Json::as_str).unwrap_or("");
+        let Some(points) = exp.get("points").and_then(Json::as_array) else {
+            continue;
+        };
+        match name {
+            "uncontended_ops" => {
+                for point in points {
+                    let structure = point
+                        .get("params")
+                        .and_then(|p| p.get("structure"))
+                        .and_then(Json::as_str);
+                    let median = point
+                        .get("timing")
+                        .and_then(|t| t.get("ns_per_op_median"))
+                        .and_then(Json::as_f64);
+                    if let (Some(structure), Some(median)) = (structure, median) {
+                        out.push((format!("{name}/{structure}/ns_per_op_median"), median));
+                    }
+                }
+            }
+            "churn_footprint" => {
+                for point in points {
+                    if let Some(peak) = point
+                        .get("timing")
+                        .and_then(|t| t.get("peak_growth_bytes"))
+                        .and_then(Json::as_f64)
+                    {
+                        out.push((format!("{name}/peak_growth_bytes"), peak));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Parses the committed baseline document into its gated metrics.
+///
+/// # Errors
+///
+/// Returns a description of what is malformed.
+pub fn baseline_metrics(doc: &Json) -> Result<Metrics, String> {
+    if doc.get("kind").and_then(Json::as_str) != Some("lfrt-bench-baseline") {
+        return Err("not a baseline document (missing kind = lfrt-bench-baseline)".into());
+    }
+    let Some(Json::Obj(fields)) = doc.get("gate_metrics") else {
+        return Err("baseline document has no gate_metrics object".into());
+    };
+    fields
+        .iter()
+        .map(|(k, v)| {
+            v.as_f64()
+                .map(|v| (k.clone(), v))
+                .ok_or_else(|| format!("gate metric {k} is not a number"))
+        })
+        .collect()
+}
+
+/// Renders the baseline document for `metrics` (the `--write-baseline`
+/// output).
+pub fn baseline_document(metrics: &Metrics, git_rev: &str, threads: usize, quick: bool) -> Json {
+    Json::Obj(vec![
+        ("schema_version".into(), 1u64.into()),
+        ("kind".into(), "lfrt-bench-baseline".into()),
+        (
+            "meta".into(),
+            Json::Obj(vec![
+                ("generator".into(), "lfrt-bench".into()),
+                ("git_rev".into(), git_rev.into()),
+                ("threads".into(), threads.into()),
+                ("quick".into(), quick.into()),
+            ]),
+        ),
+        (
+            "gate_metrics".into(),
+            Json::Obj(
+                metrics
+                    .iter()
+                    .map(|(k, v)| (k.clone(), (*v).into()))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// One gate comparison row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Metric key (`experiment/point/metric`).
+    pub key: String,
+    /// Committed baseline value.
+    pub baseline: f64,
+    /// Freshly measured value (after any `--scale` injection).
+    pub fresh: f64,
+    /// `(fresh - baseline) / baseline`; positive is worse.
+    pub delta: f64,
+    /// Whether this row alone fails the gate.
+    pub regressed: bool,
+}
+
+/// Result of one gate run.
+#[derive(Debug, Clone, Default)]
+pub struct Outcome {
+    /// Per-metric comparisons, in baseline order.
+    pub rows: Vec<Row>,
+    /// Metrics in the fresh report with no baseline (pass, but should
+    /// prompt a re-baseline).
+    pub unbaselined: Vec<String>,
+    /// Failures: regressed rows and baseline metrics missing from the
+    /// fresh report. Empty means the gate passes.
+    pub failures: Vec<String>,
+}
+
+/// Compares fresh metrics against the baseline at `threshold` (relative).
+pub fn compare(baseline: &Metrics, fresh: &Metrics, threshold: f64) -> Outcome {
+    let mut out = Outcome::default();
+    for (key, base) in baseline {
+        let Some((_, measured)) = fresh.iter().find(|(k, _)| k == key) else {
+            out.failures.push(format!(
+                "{key}: present in baseline but missing from report"
+            ));
+            continue;
+        };
+        let delta = if *base != 0.0 {
+            (measured - base) / base
+        } else if *measured == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        };
+        let regressed = delta > threshold;
+        if regressed {
+            out.failures.push(format!(
+                "{key}: {measured:.2} vs baseline {base:.2} (+{:.1}% > {:.0}% threshold)",
+                delta * 100.0,
+                threshold * 100.0
+            ));
+        }
+        out.rows.push(Row {
+            key: key.clone(),
+            baseline: *base,
+            fresh: *measured,
+            delta,
+            regressed,
+        });
+    }
+    for (key, _) in fresh {
+        if !baseline.iter().any(|(k, _)| k == key) {
+            out.unbaselined.push(key.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn report_doc(stack_ns: f64, peak: f64) -> Json {
+        parse(&format!(
+            r#"{{
+              "schema_version": 1,
+              "meta": {{"generator": "lfrt-bench"}},
+              "experiments": [
+                {{
+                  "experiment": "uncontended_ops",
+                  "figure": "table:uncontended",
+                  "title": "t",
+                  "config": {{}},
+                  "points": [
+                    {{"params": {{"structure": "stack"}}, "seeds": [], "metrics": {{}},
+                      "timing": {{"ns_per_op_median": {stack_ns}}}}}
+                  ]
+                }},
+                {{
+                  "experiment": "churn_footprint",
+                  "figure": "table:churn",
+                  "title": "t",
+                  "config": {{}},
+                  "points": [
+                    {{"params": {{"threads": 4}}, "seeds": [], "metrics": {{}},
+                      "timing": {{"peak_growth_bytes": {peak}}}}}
+                  ]
+                }}
+              ]
+            }}"#
+        ))
+        .expect("valid test doc")
+    }
+
+    #[test]
+    fn extracts_the_two_gated_experiments() {
+        let metrics = extract(&report_doc(27.5, 400000.0));
+        assert_eq!(
+            metrics,
+            vec![
+                ("uncontended_ops/stack/ns_per_op_median".to_string(), 27.5),
+                ("churn_footprint/peak_growth_bytes".to_string(), 400000.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn baseline_roundtrips_through_its_document() {
+        let metrics = extract(&report_doc(27.5, 400000.0));
+        let doc = baseline_document(&metrics, "abc", 4, true);
+        let parsed = parse(&doc.to_string_pretty()).expect("baseline parses");
+        assert_eq!(baseline_metrics(&parsed).expect("well-formed"), metrics);
+        // A full report is not a baseline.
+        assert!(baseline_metrics(&report_doc(1.0, 1.0)).is_err());
+    }
+
+    #[test]
+    fn within_threshold_passes_and_improvement_passes() {
+        let base = extract(&report_doc(27.5, 400000.0));
+        let fresh = extract(&report_doc(29.0, 200000.0)); // +5.5%, -50%
+        let outcome = compare(&base, &fresh, DEFAULT_THRESHOLD);
+        assert!(outcome.failures.is_empty(), "{:?}", outcome.failures);
+        assert_eq!(outcome.rows.len(), 2);
+        assert!(!outcome.rows[0].regressed);
+    }
+
+    #[test]
+    fn injected_2x_regression_fails() {
+        let base = extract(&report_doc(27.5, 400000.0));
+        let fresh = extract(&report_doc(55.0, 400000.0)); // 2x slower stack
+        let outcome = compare(&base, &fresh, DEFAULT_THRESHOLD);
+        assert_eq!(outcome.failures.len(), 1);
+        assert!(outcome.failures[0].contains("uncontended_ops/stack"));
+        assert!(outcome.rows[0].regressed);
+    }
+
+    #[test]
+    fn missing_metric_fails_but_new_metric_passes() {
+        let base = vec![
+            ("uncontended_ops/stack/ns_per_op_median".to_string(), 27.5),
+            ("uncontended_ops/gone/ns_per_op_median".to_string(), 10.0),
+        ];
+        let fresh = vec![
+            ("uncontended_ops/stack/ns_per_op_median".to_string(), 27.0),
+            ("uncontended_ops/new/ns_per_op_median".to_string(), 5.0),
+        ];
+        let outcome = compare(&base, &fresh, DEFAULT_THRESHOLD);
+        assert_eq!(outcome.failures.len(), 1);
+        assert!(outcome.failures[0].contains("gone"));
+        assert_eq!(
+            outcome.unbaselined,
+            vec!["uncontended_ops/new/ns_per_op_median".to_string()]
+        );
+    }
+
+    #[test]
+    fn zero_baseline_edge_cases() {
+        let base = vec![("churn_footprint/peak_growth_bytes".to_string(), 0.0)];
+        let ok = vec![("churn_footprint/peak_growth_bytes".to_string(), 0.0)];
+        assert!(compare(&base, &ok, DEFAULT_THRESHOLD).failures.is_empty());
+        let bad = vec![("churn_footprint/peak_growth_bytes".to_string(), 1.0)];
+        assert_eq!(compare(&base, &bad, DEFAULT_THRESHOLD).failures.len(), 1);
+    }
+}

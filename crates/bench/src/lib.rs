@@ -16,11 +16,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod gate;
 pub mod json;
 pub mod runner;
 pub mod stats;
 pub mod synth;
 pub mod table;
+pub mod trace;
 pub mod workloads;
 
 use std::collections::HashMap;
@@ -149,6 +151,13 @@ impl Args {
     /// Destination for the JSON report, if `--json <path>` was given.
     pub fn json_path(&self) -> Option<std::path::PathBuf> {
         self.values.get("json").map(std::path::PathBuf::from)
+    }
+
+    /// Destination for the flight-recorder report, if `--trace <path>` was
+    /// given. Presence of the flag also turns the recorder on (see
+    /// [`trace::Session`]).
+    pub fn trace_path(&self) -> Option<std::path::PathBuf> {
+        self.values.get("trace").map(std::path::PathBuf::from)
     }
 }
 

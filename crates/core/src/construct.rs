@@ -81,6 +81,17 @@ pub(crate) fn build_schedule(
         }
         if tentative.is_feasible(ctx, ops) {
             schedule = tentative;
+            lfrt_trace::emit(
+                lfrt_trace::EventKind::SchedAdmit,
+                lfrt_trace::Site::Sched,
+                ranked.chain.len() as u64,
+            );
+        } else {
+            lfrt_trace::emit(
+                lfrt_trace::EventKind::SchedAbort,
+                lfrt_trace::Site::Sched,
+                ranked.chain.len() as u64,
+            );
         }
     }
     schedule

@@ -89,6 +89,13 @@ impl UaScheduler for RuaLockBased {
         let schedule = build_schedule(ctx, &chains, &mut ops);
         // Deadlock victims are handed to the engine for immediate abortion
         // (the abort-exception model of §3.5 resolves the deadlock).
+        for victim in &excluded {
+            lfrt_trace::emit(
+                lfrt_trace::EventKind::SchedAbort,
+                lfrt_trace::Site::Sched,
+                victim.index() as u64,
+            );
+        }
         Decision {
             order: schedule.jobs(),
             ops: ops.total(),

@@ -62,6 +62,7 @@ impl LockFreeList {
 
     /// Inserts `key`; returns `false` if it was already present.
     pub fn insert(&self, key: u64) -> bool {
+        let mut trace = lfrt_trace::CasOp::start(lfrt_trace::Site::ListInsert);
         let guard = &epoch::pin();
         let mut new = Owned::new(Node {
             key,
@@ -70,23 +71,30 @@ impl LockFreeList {
         let backoff = Backoff::new();
         loop {
             self.stats.attempt();
+            trace.attempt();
             let Some((prev, curr)) = self.search(key, guard) else {
                 self.stats.retry();
+                trace.retry();
                 backoff.spin();
                 continue;
             };
             // SAFETY: `curr` protected by `guard`.
             if let Some(node) = unsafe { curr.as_ref() } {
                 if node.key == key {
+                    trace.success(); // completed: key already present
                     return false;
                 }
             }
             new.next.store(curr, Relaxed);
             match prev.compare_exchange(curr, new, Release, Relaxed, guard) {
-                Ok(_) => return true,
+                Ok(_) => {
+                    trace.success();
+                    return true;
+                }
                 Err(e) => {
                     new = e.new;
                     self.stats.retry();
+                    trace.retry();
                     backoff.spin();
                 }
             }
@@ -95,26 +103,32 @@ impl LockFreeList {
 
     /// Removes `key`; returns `false` if it was absent.
     pub fn remove(&self, key: u64) -> bool {
+        let mut trace = lfrt_trace::CasOp::start(lfrt_trace::Site::ListRemove);
         let guard = &epoch::pin();
         let backoff = Backoff::new();
         loop {
             self.stats.attempt();
+            trace.attempt();
             let Some((prev, curr)) = self.search(key, guard) else {
                 self.stats.retry();
+                trace.retry();
                 backoff.spin();
                 continue;
             };
             // SAFETY: `curr` protected by `guard`.
             let Some(node) = (unsafe { curr.as_ref() }) else {
+                trace.success(); // completed: key absent
                 return false;
             };
             if node.key != key {
+                trace.success(); // completed: key absent
                 return false;
             }
             let next = node.next.load(Acquire, guard);
             if next.tag() & MARK != 0 {
                 // Someone else is already deleting it.
                 self.stats.retry();
+                trace.retry();
                 backoff.spin();
                 continue;
             }
@@ -131,6 +145,7 @@ impl LockFreeList {
                 .is_err()
             {
                 self.stats.retry();
+                trace.retry();
                 backoff.spin();
                 continue;
             }
@@ -142,6 +157,7 @@ impl LockFreeList {
                 // SAFETY: unlinked; destruction deferred past all pins.
                 unsafe { guard.defer_destroy(curr) };
             }
+            trace.success();
             return true;
         }
     }

@@ -105,11 +105,13 @@ impl<T: Send> BoundedMpmcQueue<T> {
     ///
     /// Returns `Err(value)` when the queue is full.
     pub fn push(&self, value: T) -> Result<(), T> {
+        let mut trace = lfrt_trace::CasOp::start(lfrt_trace::Site::MpmcPush);
         let mask = self.mask();
         let backoff = Backoff::new();
         let mut tail = self.tail.load(Ordering::Relaxed);
         loop {
             self.stats.attempt();
+            trace.attempt();
             let slot = &self.slots[tail & mask];
             let seq = slot.sequence.load(Ordering::Acquire);
             match seq as isize - tail as isize {
@@ -127,19 +129,25 @@ impl<T: Send> BoundedMpmcQueue<T> {
                             // store below hands it to a consumer.
                             unsafe { (*slot.value.get()).write(value) };
                             slot.sequence.store(tail.wrapping_add(1), Ordering::Release);
+                            trace.success();
                             return Ok(());
                         }
                         Err(actual) => {
                             self.stats.retry();
+                            trace.retry();
                             backoff.spin();
                             tail = actual;
                         }
                     }
                 }
-                d if d < 0 => return Err(value), // a full lap behind: full
+                d if d < 0 => {
+                    trace.success(); // completed: observed full
+                    return Err(value); // a full lap behind: full
+                }
                 _ => {
                     // Another producer advanced; reload and retry.
                     self.stats.retry();
+                    trace.retry();
                     backoff.spin();
                     tail = self.tail.load(Ordering::Relaxed);
                 }
@@ -149,11 +157,13 @@ impl<T: Send> BoundedMpmcQueue<T> {
 
     /// Removes the oldest element, or `None` if the queue is empty.
     pub fn pop(&self) -> Option<T> {
+        let mut trace = lfrt_trace::CasOp::start(lfrt_trace::Site::MpmcPop);
         let mask = self.mask();
         let backoff = Backoff::new();
         let mut head = self.head.load(Ordering::Relaxed);
         loop {
             self.stats.attempt();
+            trace.attempt();
             let slot = &self.slots[head & mask];
             let seq = slot.sequence.load(Ordering::Acquire);
             match seq as isize - (head.wrapping_add(1)) as isize {
@@ -171,18 +181,24 @@ impl<T: Send> BoundedMpmcQueue<T> {
                             let value = unsafe { (*slot.value.get()).assume_init_read() };
                             slot.sequence
                                 .store(head.wrapping_add(mask + 1), Ordering::Release);
+                            trace.success();
                             return Some(value);
                         }
                         Err(actual) => {
                             self.stats.retry();
+                            trace.retry();
                             backoff.spin();
                             head = actual;
                         }
                     }
                 }
-                d if d < 0 => return None, // nothing published yet: empty
+                d if d < 0 => {
+                    trace.success(); // completed: observed empty
+                    return None; // nothing published yet: empty
+                }
                 _ => {
                     self.stats.retry();
+                    trace.retry();
                     backoff.spin();
                     head = self.head.load(Ordering::Relaxed);
                 }

@@ -85,6 +85,7 @@ impl<T> LockFreeQueue<T> {
     /// Lock-free: retries only when a concurrent enqueue wins the tail CAS;
     /// each retry is recorded in [`LockFreeQueue::stats`].
     pub fn enqueue(&self, value: T) {
+        let mut trace = lfrt_trace::CasOp::start(lfrt_trace::Site::QueueEnqueue);
         let guard = &epoch::pin();
         let new = Owned::new(Node {
             data: UnsafeCell::new(Some(value)),
@@ -96,6 +97,7 @@ impl<T> LockFreeQueue<T> {
         let backoff = Backoff::new();
         loop {
             self.stats.attempt();
+            trace.attempt();
             let tail = self.tail.load(Acquire, guard);
             // SAFETY: `tail` was read under `guard`, so the node cannot have
             // been reclaimed; head/tail are never null after construction.
@@ -107,6 +109,7 @@ impl<T> LockFreeQueue<T> {
                     .tail
                     .compare_exchange(tail, next, Release, Relaxed, guard);
                 self.stats.retry();
+                trace.retry();
                 backoff.spin();
                 continue;
             }
@@ -119,10 +122,12 @@ impl<T> LockFreeQueue<T> {
                     let _ = self
                         .tail
                         .compare_exchange(tail, new, Release, Relaxed, guard);
+                    trace.success();
                     return;
                 }
                 Err(_) => {
                     self.stats.retry();
+                    trace.retry();
                     backoff.spin();
                 }
             }
@@ -131,16 +136,21 @@ impl<T> LockFreeQueue<T> {
 
     /// Removes and returns the element at the head, or `None` if empty.
     pub fn dequeue(&self) -> Option<T> {
+        let mut trace = lfrt_trace::CasOp::start(lfrt_trace::Site::QueueDequeue);
         let guard = &epoch::pin();
         let backoff = Backoff::new();
         loop {
             self.stats.attempt();
+            trace.attempt();
             let head = self.head.load(Acquire, guard);
             // SAFETY: protected by `guard`; never null after construction.
             let head_ref = unsafe { head.deref() };
             let next = head_ref.next.load(Acquire, guard);
             // SAFETY: protected by `guard`.
-            let next_ref = unsafe { next.as_ref() }?;
+            let Some(next_ref) = (unsafe { next.as_ref() }) else {
+                trace.success(); // completed: observed empty
+                return None;
+            };
             let tail = self.tail.load(Acquire, guard);
             if tail == head {
                 // Tail lags behind a non-empty queue: help advance it.
@@ -161,10 +171,12 @@ impl<T> LockFreeQueue<T> {
                     // SAFETY: `head` is unlinked; defer destruction until all
                     // pinned threads move on.
                     unsafe { guard.defer_destroy(head) };
+                    trace.success();
                     return data;
                 }
                 Err(_) => {
                     self.stats.retry();
+                    trace.retry();
                     backoff.spin();
                 }
             }

@@ -109,16 +109,21 @@ impl<T: Send> RingProducer<T> {
     ///
     /// Returns `Err(value)` when the ring is full.
     pub fn push(&mut self, value: T) -> Result<(), T> {
+        // Wait-free: no retry loop, so the trace guard only ever records a
+        // zero-retry completion (its latency).
+        let trace = lfrt_trace::CasOp::start(lfrt_trace::Site::RingPush);
         let shared = &*self.shared;
         let tail = shared.tail.load(Ordering::Relaxed);
         let next = shared.next(tail);
         if next == shared.head.load(Ordering::Acquire) {
+            trace.success(); // completed: observed full
             return Err(value);
         }
         // SAFETY: slot `tail` is outside [head, tail), so the consumer will
         // not read it until the store below publishes it.
         unsafe { (*shared.buffer[tail].get()).write(value) };
         shared.tail.store(next, Ordering::Release);
+        trace.success();
         Ok(())
     }
 
@@ -145,9 +150,11 @@ impl<T: Send> RingConsumer<T> {
     /// Removes the oldest element, or `None` if the ring is empty.
     /// Wait-free.
     pub fn pop(&mut self) -> Option<T> {
+        let trace = lfrt_trace::CasOp::start(lfrt_trace::Site::RingPop);
         let shared = &*self.shared;
         let head = shared.head.load(Ordering::Relaxed);
         if head == shared.tail.load(Ordering::Acquire) {
+            trace.success(); // completed: observed empty
             return None;
         }
         // SAFETY: slot `head` is inside [head, tail): initialized by the
@@ -155,6 +162,7 @@ impl<T: Send> RingConsumer<T> {
         // reuse it until our store below frees it.
         let value = unsafe { (*shared.buffer[head].get()).assume_init_read() };
         shared.head.store(shared.next(head), Ordering::Release);
+        trace.success();
         Some(value)
     }
 

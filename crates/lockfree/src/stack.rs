@@ -62,6 +62,7 @@ impl<T> TreiberStack<T> {
 
     /// Pushes `value` on top of the stack.
     pub fn push(&self, value: T) {
+        let mut trace = lfrt_trace::CasOp::start(lfrt_trace::Site::StackPush);
         let guard = &epoch::pin();
         let mut new = Owned::new(Node {
             data: ManuallyDrop::new(value),
@@ -73,13 +74,18 @@ impl<T> TreiberStack<T> {
         let backoff = Backoff::new();
         loop {
             self.stats.attempt();
+            trace.attempt();
             let top = self.top.load(Acquire, guard);
             new.next.store(top, Relaxed);
             match self.top.compare_exchange(top, new, Release, Relaxed, guard) {
-                Ok(_) => return,
+                Ok(_) => {
+                    trace.success();
+                    return;
+                }
                 Err(e) => {
                     new = e.new;
                     self.stats.retry();
+                    trace.retry();
                     backoff.spin();
                 }
             }
@@ -88,13 +94,18 @@ impl<T> TreiberStack<T> {
 
     /// Pops the top element, or returns `None` if the stack is empty.
     pub fn pop(&self) -> Option<T> {
+        let mut trace = lfrt_trace::CasOp::start(lfrt_trace::Site::StackPop);
         let guard = &epoch::pin();
         let backoff = Backoff::new();
         loop {
             self.stats.attempt();
+            trace.attempt();
             let top = self.top.load(Acquire, guard);
             // SAFETY: protected by `guard`; `as_ref` handles null.
-            let top_ref = unsafe { top.as_ref() }?;
+            let Some(top_ref) = (unsafe { top.as_ref() }) else {
+                trace.success(); // completed: observed empty
+                return None;
+            };
             let next = top_ref.next.load(Relaxed, guard);
             match self
                 .top
@@ -109,10 +120,12 @@ impl<T> TreiberStack<T> {
                     // SAFETY: the node is unlinked; destruction is deferred
                     // until all pinned threads move on.
                     unsafe { guard.defer_destroy(top) };
+                    trace.success();
                     return Some(data);
                 }
                 Err(_) => {
                     self.stats.retry();
+                    trace.retry();
                     backoff.spin();
                 }
             }

@@ -690,6 +690,11 @@ impl Engine {
             if self.running != Some(prev) && self.jobs[prev.index()].phase == JobPhase::Ready {
                 self.jobs[prev.index()].preemptions += 1;
                 self.trace_event(TraceEvent::Preempted { job: prev });
+                lfrt_trace::emit(
+                    lfrt_trace::EventKind::SchedPreempt,
+                    lfrt_trace::Site::Sched,
+                    prev.index() as u64,
+                );
             }
         }
         if self.running != previously_running {

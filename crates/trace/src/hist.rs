@@ -1,0 +1,234 @@
+//! Log-bucketed (HDR-style) histograms for the drain/snapshot aggregator.
+//!
+//! A bucket per power of two keeps the footprint constant (65 counters)
+//! while spanning the full 48-bit event-value range with bounded relative
+//! error — the same trade HdrHistogram makes at precision 1. That is the
+//! right shape for latency and retry distributions, whose tails matter more
+//! than their means (Alistarh et al.: the practical-progress story lives in
+//! the tail).
+
+/// Power-of-two-bucketed histogram of `u64` samples.
+///
+/// Bucket `0` holds the value `0`; bucket `b ≥ 1` holds values in
+/// `[2^(b-1), 2^b)`. Exact count/sum/min/max ride along, so means are exact
+/// and only percentiles are bucket-quantized (reported as the bucket's
+/// upper bound: pessimistic, never flattering).
+///
+/// # Examples
+///
+/// ```
+/// use lfrt_trace::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in [1, 2, 3, 100, 1000] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.min(), 1);
+/// assert_eq!(h.max(), 1000);
+/// assert!(h.percentile(50.0) >= 3);
+/// assert!(h.percentile(100.0) >= 1000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; Histogram::BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// One bucket for zero plus one per possible bit width.
+    pub const BUCKETS: usize = 65;
+
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: [0; Histogram::BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Bucket index for a value: its bit width (0 for 0).
+    pub fn bucket_of(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// Inclusive upper bound of a bucket (`2^b - 1`; 0 for bucket 0).
+    pub fn bucket_ceiling(bucket: usize) -> u64 {
+        if bucket >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << bucket) - 1
+        }
+    }
+
+    /// Adds one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact mean of all samples, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Value at or below which `p` percent of samples fall, quantized to
+    /// the containing bucket's upper bound (but never above the exact max).
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (bucket, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_ceiling(bucket).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Non-empty buckets as `(ceiling, count)` pairs, in value order — the
+    /// sparse export format for JSON reports.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(b, &n)| (Self::bucket_ceiling(b), n))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_powers_of_two() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_ceiling(0), 0);
+        assert_eq!(Histogram::bucket_ceiling(2), 3);
+        assert_eq!(Histogram::bucket_ceiling(64), u64::MAX);
+    }
+
+    #[test]
+    fn summary_stats_are_exact() {
+        let mut h = Histogram::new();
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(99.0), 0);
+        for v in [5, 10, 15] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 30);
+        assert_eq!(h.min(), 5);
+        assert_eq!(h.max(), 15);
+        assert_eq!(h.mean(), 10.0);
+    }
+
+    #[test]
+    fn percentiles_are_pessimistic_but_bounded() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.percentile(50.0);
+        // Median 500 lives in bucket [256, 512) → ceiling 511.
+        assert!((500..=511).contains(&p50), "p50 = {p50}");
+        assert_eq!(h.percentile(100.0), 1000); // clamped to exact max
+        let p99 = h.percentile(99.0);
+        assert!((990..=1023).contains(&p99), "p99 = {p99}");
+    }
+
+    #[test]
+    fn merge_matches_recording_everything() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in 0..100u64 {
+            if v % 2 == 0 {
+                a.record(v * 7)
+            } else {
+                b.record(v * 7)
+            }
+            all.record(v * 7);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn sparse_export_roundtrips_counts() {
+        let mut h = Histogram::new();
+        for v in [0, 0, 3, 3, 3, 700] {
+            h.record(v);
+        }
+        let buckets = h.nonzero_buckets();
+        assert_eq!(buckets, vec![(0, 2), (3, 3), (1023, 1)]);
+        let total: u64 = buckets.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, h.count());
+    }
+}

@@ -1,0 +1,536 @@
+//! `lfrt-trace`: a lock-free flight recorder for the workspace's hot paths.
+//!
+//! The paper's case for lock-free sharing rests on *distributions* — how
+//! often a CAS loop retries, how long an operation takes under interference,
+//! when the epoch reclaimer advances — yet the aggregate `OpStats` counters
+//! only report totals after the fact. This crate records individual events
+//! as they happen, cheaply enough to leave compiled in everywhere:
+//!
+//! * **Always compiled, runtime-toggleable.** Every instrumentation site
+//!   costs one `Relaxed` load and a predictable branch while the recorder is
+//!   disabled (the default). [`set_enabled`] flips it on at runtime.
+//! * **Hot path is wait-free and allocation-free.** Each thread owns a
+//!   cache-padded fixed-capacity ring of 16-byte events ([`ring`]): a slot
+//!   is written with `Relaxed` stores and published by a `Release` store of
+//!   the ring head (single writer, overwrite-oldest). Registration — the
+//!   only allocation — happens once per thread, on its first *enabled*
+//!   event.
+//! * **Cold path drains without stopping writers.** [`drain`] snapshots
+//!   every ring seqlock-style (read head, copy, re-read head, discard the
+//!   overwrite window) and [`snapshot`] folds events into per-event-type
+//!   log-bucketed histograms ([`hist`]).
+//!
+//! The event vocabulary is deliberately small ([`EventKind`]): CAS
+//! attempt/retry/success from the lock-free structures, backoff spin/yield,
+//! epoch pin/advance/collect/defer from the reclaimer, and scheduler
+//! admit/preempt/abort. [`CasOp`] packages the per-operation protocol
+//! (timestamp at start, retry events, a success event carrying
+//! `retries | latency`) so call sites stay two lines long.
+//!
+//! This crate sits *below* everything else in the workspace — the vendored
+//! `crossbeam` emits into it — so it depends on nothing and implements its
+//! own cache padding.
+//!
+//! # Examples
+//!
+//! ```
+//! use lfrt_trace as trace;
+//!
+//! let _guard = trace::tests_serialize(); // recorder state is process-global
+//! trace::set_enabled(true);
+//! let mut op = trace::CasOp::start(trace::Site::StackPush);
+//! op.attempt();
+//! op.retry(); // lost a CAS race, going around again
+//! op.attempt();
+//! op.success();
+//! trace::set_enabled(false);
+//!
+//! let snap = trace::snapshot();
+//! let cas = snap.kind(trace::EventKind::CasSuccess).unwrap();
+//! assert_eq!(cas.count, 1);
+//! assert_eq!(snap.kind(trace::EventKind::CasRetry).unwrap().count, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod ring;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+pub use hist::Histogram;
+pub use ring::{DrainStats, Event, RING_CAPACITY};
+
+/// What happened. Packed into the top byte of an event's data word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum EventKind {
+    /// One pass of a lock-free retry loop began (value: pass index).
+    CasAttempt = 0,
+    /// A pass lost its race and will go around (value: retry count so far).
+    CasRetry = 1,
+    /// The operation completed (value: [`pack_op`] of retries and latency).
+    CasSuccess = 2,
+    /// `Backoff::spin` busy-waited (value: number of pause hints).
+    BackoffSpin = 3,
+    /// `Backoff::snooze` escalated to `yield_now` (value: backoff step).
+    BackoffYield = 4,
+    /// A thread pinned the epoch at the outermost level (value: epoch).
+    EpochPin = 5,
+    /// The global epoch advanced (value: new epoch).
+    EpochAdvance = 6,
+    /// A collection pass freed expired garbage (value: objects destroyed).
+    EpochCollect = 7,
+    /// An object was deferred into the current bag (value: bag length).
+    EpochDefer = 8,
+    /// The scheduler admitted a job/chain as feasible (value: chain length).
+    SchedAdmit = 9,
+    /// The running job was preempted (value: job index).
+    SchedPreempt = 10,
+    /// A job/chain was rejected or aborted (value: chain length).
+    SchedAbort = 11,
+}
+
+impl EventKind {
+    /// Every kind, in discriminant order.
+    pub const ALL: [EventKind; 12] = [
+        EventKind::CasAttempt,
+        EventKind::CasRetry,
+        EventKind::CasSuccess,
+        EventKind::BackoffSpin,
+        EventKind::BackoffYield,
+        EventKind::EpochPin,
+        EventKind::EpochAdvance,
+        EventKind::EpochCollect,
+        EventKind::EpochDefer,
+        EventKind::SchedAdmit,
+        EventKind::SchedPreempt,
+        EventKind::SchedAbort,
+    ];
+
+    /// Decodes a discriminant; `None` for out-of-range bytes.
+    pub fn from_u8(raw: u8) -> Option<EventKind> {
+        EventKind::ALL.get(raw as usize).copied()
+    }
+
+    /// Stable lower-case name, used in JSON reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::CasAttempt => "cas_attempt",
+            EventKind::CasRetry => "cas_retry",
+            EventKind::CasSuccess => "cas_success",
+            EventKind::BackoffSpin => "backoff_spin",
+            EventKind::BackoffYield => "backoff_yield",
+            EventKind::EpochPin => "epoch_pin",
+            EventKind::EpochAdvance => "epoch_advance",
+            EventKind::EpochCollect => "epoch_collect",
+            EventKind::EpochDefer => "epoch_defer",
+            EventKind::SchedAdmit => "sched_admit",
+            EventKind::SchedPreempt => "sched_preempt",
+            EventKind::SchedAbort => "sched_abort",
+        }
+    }
+}
+
+/// Where it happened. Packed into the second byte of an event's data word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Site {
+    /// Treiber stack push loop.
+    StackPush = 0,
+    /// Treiber stack pop loop.
+    StackPop = 1,
+    /// Michael–Scott queue enqueue loop.
+    QueueEnqueue = 2,
+    /// Michael–Scott queue dequeue loop.
+    QueueDequeue = 3,
+    /// Harris-style list insert loop.
+    ListInsert = 4,
+    /// Harris-style list remove loop.
+    ListRemove = 5,
+    /// Vyukov bounded MPMC push loop.
+    MpmcPush = 6,
+    /// Vyukov bounded MPMC pop loop.
+    MpmcPop = 7,
+    /// Wait-free SPSC ring push.
+    RingPush = 8,
+    /// Wait-free SPSC ring pop.
+    RingPop = 9,
+    /// The vendored epoch reclaimer (pin/advance/collect/defer).
+    Epoch = 10,
+    /// Scheduler decisions (admit/preempt/abort).
+    Sched = 11,
+    /// Backoff and anything without a more specific site.
+    Other = 12,
+}
+
+impl Site {
+    /// Every site, in discriminant order.
+    pub const ALL: [Site; 13] = [
+        Site::StackPush,
+        Site::StackPop,
+        Site::QueueEnqueue,
+        Site::QueueDequeue,
+        Site::ListInsert,
+        Site::ListRemove,
+        Site::MpmcPush,
+        Site::MpmcPop,
+        Site::RingPush,
+        Site::RingPop,
+        Site::Epoch,
+        Site::Sched,
+        Site::Other,
+    ];
+
+    /// Decodes a discriminant; `None` for out-of-range bytes.
+    pub fn from_u8(raw: u8) -> Option<Site> {
+        Site::ALL.get(raw as usize).copied()
+    }
+
+    /// Stable lower-case name, used in JSON reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Site::StackPush => "stack_push",
+            Site::StackPop => "stack_pop",
+            Site::QueueEnqueue => "queue_enqueue",
+            Site::QueueDequeue => "queue_dequeue",
+            Site::ListInsert => "list_insert",
+            Site::ListRemove => "list_remove",
+            Site::MpmcPush => "mpmc_push",
+            Site::MpmcPop => "mpmc_pop",
+            Site::RingPush => "ring_push",
+            Site::RingPop => "ring_pop",
+            Site::Epoch => "epoch",
+            Site::Sched => "sched",
+            Site::Other => "other",
+        }
+    }
+}
+
+/// Event values are truncated to this many bits (48) so kind and site fit
+/// in the same word.
+pub const VALUE_BITS: u32 = 48;
+const VALUE_MASK: u64 = (1 << VALUE_BITS) - 1;
+
+/// Master switch. `false` at startup; every instrumentation site loads it
+/// `Relaxed` and bails before touching anything else.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turns the recorder on or off, process-wide.
+///
+/// Toggling is `Relaxed`: sites racing with the flip may record (or skip) a
+/// few boundary events, which a lossy flight recorder tolerates by design.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether the recorder is currently on. This is the entire disabled-mode
+/// hot path: one `Relaxed` load and a branch.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Monotonic nanoseconds since the recorder's first use in this process.
+///
+/// All event timestamps share this origin, so events from different threads
+/// order correctly when merged.
+#[inline]
+pub fn now_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = EPOCH.get_or_init(Instant::now);
+    epoch.elapsed().as_nanos() as u64
+}
+
+/// Records one event on the calling thread's ring. No-op while disabled.
+///
+/// `value` is truncated to [`VALUE_BITS`]. Never blocks, never allocates
+/// (after the thread's one-time ring registration), never fails: if the
+/// thread is mid-teardown the event is silently dropped.
+#[inline]
+pub fn emit(kind: EventKind, site: Site, value: u64) {
+    if !enabled() {
+        return;
+    }
+    ring::write(now_ns(), pack(kind, site, value));
+}
+
+#[inline]
+fn pack(kind: EventKind, site: Site, value: u64) -> u64 {
+    ((kind as u64) << 56) | ((site as u64) << 48) | (value & VALUE_MASK)
+}
+
+/// Packs a completed operation's retry count and latency into one event
+/// value: `retries` in the top 16 bits, nanoseconds in the bottom 32.
+/// Both saturate.
+pub fn pack_op(retries: u64, latency_ns: u64) -> u64 {
+    (retries.min(0xFFFF) << 32) | latency_ns.min(u32::MAX as u64)
+}
+
+/// Retry count from a [`pack_op`] value.
+pub fn op_retries(value: u64) -> u64 {
+    value >> 32
+}
+
+/// Latency in nanoseconds from a [`pack_op`] value.
+pub fn op_latency_ns(value: u64) -> u64 {
+    value & u32::MAX as u64
+}
+
+/// Per-operation recording guard for a lock-free retry loop.
+///
+/// Created at the top of an operation, it captures the start timestamp
+/// *once* (only if the recorder is enabled); [`CasOp::attempt`] and
+/// [`CasOp::retry`] mark loop passes; [`CasOp::success`] emits a
+/// [`EventKind::CasSuccess`] event whose value packs the retry count and
+/// the operation's latency. When the recorder is disabled, `start` costs
+/// one load and a branch and everything else is a branch on a local bool.
+#[derive(Debug)]
+pub struct CasOp {
+    site: Site,
+    start_ns: u64,
+    retries: u32,
+    active: bool,
+}
+
+impl CasOp {
+    /// Begins recording one operation at `site` (no-op while disabled).
+    #[inline]
+    pub fn start(site: Site) -> CasOp {
+        let active = enabled();
+        CasOp {
+            site,
+            start_ns: if active { now_ns() } else { 0 },
+            retries: 0,
+            active,
+        }
+    }
+
+    /// Whether this guard is actually recording (recorder was enabled at
+    /// [`CasOp::start`]).
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Marks the start of a loop pass.
+    #[inline]
+    pub fn attempt(&mut self) {
+        if self.active {
+            emit(EventKind::CasAttempt, self.site, self.retries as u64);
+        }
+    }
+
+    /// Marks a lost race: the pass failed and the loop will retry.
+    #[inline]
+    pub fn retry(&mut self) {
+        if self.active {
+            self.retries += 1;
+            emit(EventKind::CasRetry, self.site, self.retries as u64);
+        }
+    }
+
+    /// Marks completion, emitting retries + latency in one event.
+    ///
+    /// "Success" means the operation finished — a pop observing an empty
+    /// stack completes (wait-free) just like one returning a value.
+    #[inline]
+    pub fn success(self) {
+        if self.active {
+            let latency = now_ns().saturating_sub(self.start_ns);
+            emit(
+                EventKind::CasSuccess,
+                self.site,
+                pack_op(self.retries as u64, latency),
+            );
+        }
+    }
+}
+
+/// Drains every registered ring and returns the merged raw events (ordered
+/// by timestamp) plus loss accounting. See [`ring::drain_all`].
+pub fn drain() -> (Vec<Event>, DrainStats) {
+    ring::drain_all()
+}
+
+/// Drains every ring and folds the events into per-kind and per-site
+/// histograms. The cheap way to turn a run into numbers.
+pub fn snapshot() -> TraceSnapshot {
+    let (events, stats) = drain();
+    TraceSnapshot::from_events(&events, stats)
+}
+
+/// Aggregated view of one drain: per-event-kind histograms plus per-site
+/// operation latency/retry distributions (from `CasSuccess` events).
+#[derive(Debug, Clone)]
+pub struct TraceSnapshot {
+    /// Number of rings (≈ threads) that contributed events.
+    pub rings: usize,
+    /// Events kept in this drain.
+    pub events: u64,
+    /// Events lost to ring overwrite before the drain reached them.
+    pub overwritten: u64,
+    /// Copied events discarded because the writer may have been overwriting
+    /// them mid-drain (the seqlock-style tear window).
+    pub discarded: u64,
+    /// Per-kind summaries, only for kinds that appeared.
+    pub kinds: Vec<KindSummary>,
+    /// Per-site operation summaries, only for sites with completed ops.
+    pub sites: Vec<SiteSummary>,
+}
+
+/// Distribution of one event kind's values across a drain.
+#[derive(Debug, Clone)]
+pub struct KindSummary {
+    /// The event kind.
+    pub kind: EventKind,
+    /// Events of this kind.
+    pub count: u64,
+    /// Histogram of event values. For [`EventKind::CasSuccess`] this holds
+    /// the unpacked latency in nanoseconds.
+    pub value: Histogram,
+    /// For [`EventKind::CasSuccess`] only: histogram of retries per op.
+    pub retries: Option<Histogram>,
+}
+
+/// Per-site operation latency/retry distributions (from `CasSuccess`).
+#[derive(Debug, Clone)]
+pub struct SiteSummary {
+    /// The instrumentation site.
+    pub site: Site,
+    /// Completed operations observed at this site.
+    pub ops: u64,
+    /// Latency per completed operation, nanoseconds.
+    pub latency_ns: Histogram,
+    /// Retries per completed operation.
+    pub retries: Histogram,
+}
+
+impl TraceSnapshot {
+    /// Builds a snapshot from already-drained events.
+    pub fn from_events(events: &[Event], stats: DrainStats) -> TraceSnapshot {
+        let mut kind_hist: Vec<(u64, Histogram, Histogram)> = EventKind::ALL
+            .iter()
+            .map(|_| (0, Histogram::new(), Histogram::new()))
+            .collect();
+        let mut site_hist: Vec<(u64, Histogram, Histogram)> = Site::ALL
+            .iter()
+            .map(|_| (0, Histogram::new(), Histogram::new()))
+            .collect();
+        for ev in events {
+            let slot = &mut kind_hist[ev.kind as usize];
+            slot.0 += 1;
+            if ev.kind == EventKind::CasSuccess {
+                slot.1.record(op_latency_ns(ev.value));
+                slot.2.record(op_retries(ev.value));
+                let site = &mut site_hist[ev.site as usize];
+                site.0 += 1;
+                site.1.record(op_latency_ns(ev.value));
+                site.2.record(op_retries(ev.value));
+            } else {
+                slot.1.record(ev.value);
+            }
+        }
+        TraceSnapshot {
+            rings: stats.rings,
+            events: events.len() as u64,
+            overwritten: stats.overwritten,
+            discarded: stats.discarded,
+            kinds: kind_hist
+                .into_iter()
+                .enumerate()
+                .filter(|(_, (count, _, _))| *count > 0)
+                .map(|(i, (count, value, retries))| KindSummary {
+                    kind: EventKind::ALL[i],
+                    count,
+                    retries: (EventKind::ALL[i] == EventKind::CasSuccess).then(|| retries.clone()),
+                    value,
+                })
+                .collect(),
+            sites: site_hist
+                .into_iter()
+                .enumerate()
+                .filter(|(_, (ops, _, _))| *ops > 0)
+                .map(|(i, (ops, latency_ns, retries))| SiteSummary {
+                    site: Site::ALL[i],
+                    ops,
+                    latency_ns,
+                    retries,
+                })
+                .collect(),
+        }
+    }
+
+    /// Summary for one kind, if any events of it were seen.
+    pub fn kind(&self, kind: EventKind) -> Option<&KindSummary> {
+        self.kinds.iter().find(|k| k.kind == kind)
+    }
+
+    /// Summary for one site, if any operations completed there.
+    pub fn site(&self, site: Site) -> Option<&SiteSummary> {
+        self.sites.iter().find(|s| s.site == site)
+    }
+}
+
+/// Serializes tests (and other callers) that manipulate the process-global
+/// recorder: enable/emit/drain under this guard to keep parallel tests from
+/// seeing each other's events.
+///
+/// Ignores mutex poisoning — a panicked test must not cascade.
+pub fn tests_serialize() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packing_roundtrips() {
+        for kind in EventKind::ALL {
+            assert_eq!(EventKind::from_u8(kind as u8), Some(kind));
+            assert!(!kind.name().is_empty());
+        }
+        for site in Site::ALL {
+            assert_eq!(Site::from_u8(site as u8), Some(site));
+            assert!(!site.name().is_empty());
+        }
+        assert_eq!(EventKind::from_u8(200), None);
+        assert_eq!(Site::from_u8(200), None);
+
+        let v = pack_op(3, 1_234);
+        assert_eq!(op_retries(v), 3);
+        assert_eq!(op_latency_ns(v), 1_234);
+        // Saturation, not wrap.
+        let big = pack_op(u64::MAX, u64::MAX);
+        assert_eq!(op_retries(big), 0xFFFF);
+        assert_eq!(op_latency_ns(big), u32::MAX as u64);
+        assert!(big <= VALUE_MASK);
+    }
+
+    #[test]
+    fn timestamps_are_monotonic() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn disabled_casop_is_inert() {
+        let _guard = tests_serialize();
+        set_enabled(false);
+        drain(); // flush anything an earlier serialized test left behind
+        let mut op = CasOp::start(Site::StackPush);
+        assert!(!op.is_active());
+        op.attempt();
+        op.retry();
+        op.success();
+        // Nothing was recorded and nothing to drain beyond possible leftovers
+        // from other tests (which the guard excludes).
+        let snap = snapshot();
+        assert_eq!(snap.events, 0);
+    }
+}

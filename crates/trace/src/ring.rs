@@ -1,0 +1,284 @@
+//! Per-thread event rings: the recorder's wait-free hot path and its
+//! seqlock-style drain.
+//!
+//! Each thread that records while the recorder is enabled owns one
+//! [`RING_CAPACITY`]-slot ring for life (rings of exited threads are parked
+//! and reused by later threads, the same registry idiom as the epoch
+//! reclaimer's `Record` list — except registration is cold, so a plain
+//! mutex-guarded `Vec` replaces the lock-free list). A slot holds one event
+//! as two `AtomicU64` words: the timestamp and the packed
+//! kind/site/value.
+//!
+//! **Write protocol** (single writer per ring): store both slot words
+//! `Release`, then publish by storing `head = seq + 1` with `Release`. The
+//! head's `Release` makes both slot words visible to any reader that
+//! `Acquire`s a head value `> seq`. The slot words carry `Release` too —
+//! not for publication, but to keep the ring's stores committing in program
+//! order on weakly ordered hardware: with plain `Relaxed` slot stores, a
+//! *later* event's slot write may overtake an *earlier* buffered head
+//! publish (PSO-style store–store reordering; legal under this repo's
+//! store-buffer model and on ARM, where later stores may be reordered
+//! before an earlier `stlr`). A drain could then copy the newer event's
+//! words while `h2` still reads the old head, defeating the seqlock
+//! validation below and keeping a torn event. The interleave mirror
+//! (`tests/interleave_mirror.rs`) catches exactly that demotion; on x86 a
+//! `Release` store compiles to a plain `mov`, so the hardening is free
+//! where the benchmarks run.
+//!
+//! **Drain protocol** (any thread, serialized by a mutex): `Acquire` the
+//! head (`h1`), copy the undrained window `[max(drained, h1 - cap), h1)`
+//! with `Relaxed` loads, then re-read the head (`h2`). Any copied event
+//! with `seq + cap <= h2` sits in a slot the writer may have been
+//! overwriting during the copy — its two words may belong to different
+//! events — so it is discarded and counted, seqlock-style. Events the ring
+//! overwrote before the drain arrived are counted as `overwritten`. A
+//! drain never blocks or retries against the writer: it is the writer that
+//! wins every race, by design — a flight recorder must never slow down the
+//! flight.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+use crate::{EventKind, Site, VALUE_BITS};
+
+/// Events per ring (per thread). 4096 events × 16 bytes = 64 KiB/thread.
+pub const RING_CAPACITY: usize = 1 << 12;
+
+/// Pads a value to 128 bytes (its own cache-line pair) so the ring head the
+/// writer hammers never false-shares with registry or slot data. Local
+/// re-implementation of `crossbeam::utils::CachePadded` — this crate sits
+/// below the vendored crossbeam and cannot depend on it.
+#[repr(align(128))]
+struct Pad<T>(T);
+
+struct Slot {
+    ts: AtomicU64,
+    data: AtomicU64,
+}
+
+struct Ring {
+    /// Next sequence number to write; `seq & (RING_CAPACITY - 1)` indexes
+    /// `slots`. Published with `Release` after the slot words are stored.
+    head: Pad<AtomicU64>,
+    /// Drain cursor: sequences below this were already returned by a drain.
+    /// Owned by the drainer (all drains serialize on [`registry`]).
+    drained: AtomicU64,
+    /// Whether a live thread currently owns this ring.
+    in_use: AtomicBool,
+    slots: Vec<Slot>,
+}
+
+impl Ring {
+    fn new() -> Ring {
+        Ring {
+            head: Pad(AtomicU64::new(0)),
+            drained: AtomicU64::new(0),
+            in_use: AtomicBool::new(true),
+            slots: (0..RING_CAPACITY)
+                .map(|_| Slot {
+                    ts: AtomicU64::new(0),
+                    data: AtomicU64::new(0),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// All rings ever created, living for the process lifetime. Only touched on
+/// the cold paths: thread registration, thread exit, and drains.
+fn registry() -> MutexGuard<'static, Vec<&'static Ring>> {
+    static REGISTRY: Mutex<Vec<&'static Ring>> = Mutex::new(Vec::new());
+    REGISTRY
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// The calling thread's ring handle; releases the ring at thread exit.
+struct Handle {
+    ring: &'static Ring,
+}
+
+impl Handle {
+    fn acquire() -> Handle {
+        let mut rings = registry();
+        for ring in rings.iter() {
+            if !ring.in_use.load(Ordering::Relaxed) {
+                ring.in_use.store(true, Ordering::Relaxed);
+                return Handle { ring };
+            }
+        }
+        let ring: &'static Ring = Box::leak(Box::new(Ring::new()));
+        rings.push(ring);
+        Handle { ring }
+    }
+}
+
+impl Drop for Handle {
+    fn drop(&mut self) {
+        // Park the ring for reuse; its undrained events stay readable, which
+        // is exactly what a flight recorder wants from a crashed thread.
+        self.ring.in_use.store(false, Ordering::Relaxed);
+    }
+}
+
+thread_local! {
+    static HANDLE: Handle = Handle::acquire();
+}
+
+/// Writes one packed event to the calling thread's ring (registering the
+/// ring on first use). Drops the event silently during thread teardown.
+#[inline]
+pub(crate) fn write(ts: u64, data: u64) {
+    let _ = HANDLE.try_with(|h| {
+        let ring = h.ring;
+        let seq = ring.head.0.load(Ordering::Relaxed);
+        let slot = &ring.slots[seq as usize & (RING_CAPACITY - 1)];
+        // Release on the slot words keeps every ring store committing in
+        // program order: a later event's Relaxed slot store could otherwise
+        // overtake an older buffered head publish (PSO), letting a drain
+        // keep a torn event (module docs; tests/interleave_mirror.rs).
+        slot.ts.store(ts, Ordering::Release);
+        slot.data.store(data, Ordering::Release);
+        ring.head.0.store(seq + 1, Ordering::Release);
+    });
+}
+
+/// One decoded flight-recorder event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Nanoseconds since the recorder's process-wide origin ([`crate::now_ns`]).
+    pub ts_ns: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Where it happened.
+    pub site: Site,
+    /// Kind-specific payload (48 bits).
+    pub value: u64,
+}
+
+/// Loss accounting for one drain.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DrainStats {
+    /// Rings that contributed at least one kept event.
+    pub rings: usize,
+    /// Events overwritten by the ring before this drain reached them.
+    pub overwritten: u64,
+    /// Copied events discarded because the writer may have been mid-
+    /// overwrite during the copy (possible torn slot).
+    pub discarded: u64,
+}
+
+/// Drains every ring: returns all undrained events merged and sorted by
+/// timestamp, plus loss accounting. Writers are never blocked; concurrent
+/// drains serialize on the registry mutex.
+pub(crate) fn drain_all() -> (Vec<Event>, DrainStats) {
+    let rings = registry();
+    let mut events = Vec::new();
+    let mut stats = DrainStats::default();
+    for ring in rings.iter() {
+        let h1 = ring.head.0.load(Ordering::Acquire);
+        let cursor = ring.drained.load(Ordering::Relaxed);
+        let start = cursor.max(h1.saturating_sub(RING_CAPACITY as u64));
+        stats.overwritten += start - cursor;
+        let mut copied = Vec::with_capacity((h1 - start) as usize);
+        for seq in start..h1 {
+            let slot = &ring.slots[seq as usize & (RING_CAPACITY - 1)];
+            // Relaxed is enough: slots in [start, h1) were published by the
+            // Release store of a head value <= h1, which the Acquire load
+            // of h1 synchronized with.
+            copied.push((
+                seq,
+                slot.ts.load(Ordering::Relaxed),
+                slot.data.load(Ordering::Relaxed),
+            ));
+        }
+        // Seqlock-style validation: anything the writer might have started
+        // overwriting while we copied is torn-suspect. With the head now at
+        // h2, the writer may be mid-write of sequence h2 — so slots of
+        // sequences <= h2 - capacity are suspect; later ones are intact.
+        let h2 = ring.head.0.load(Ordering::Acquire);
+        let mut kept = 0u64;
+        for (seq, ts, data) in copied {
+            if seq + RING_CAPACITY as u64 <= h2 {
+                stats.discarded += 1;
+                continue;
+            }
+            if let Some(ev) = decode(ts, data) {
+                events.push(ev);
+                kept += 1;
+            }
+        }
+        if kept > 0 {
+            stats.rings += 1;
+        }
+        ring.drained.store(h1, Ordering::Relaxed);
+    }
+    drop(rings);
+    events.sort_by_key(|ev| ev.ts_ns);
+    (events, stats)
+}
+
+fn decode(ts: u64, data: u64) -> Option<Event> {
+    Some(Event {
+        ts_ns: ts,
+        kind: EventKind::from_u8((data >> 56) as u8)?,
+        site: Site::from_u8((data >> 48) as u8)?,
+        value: data & ((1 << VALUE_BITS) - 1),
+    })
+}
+
+/// Number of rings ever registered (diagnostic; used by the disabled-mode
+/// tests to prove the fast path allocates nothing).
+pub fn rings_registered() -> usize {
+    registry().len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{emit, set_enabled, tests_serialize};
+
+    #[test]
+    fn write_and_drain_roundtrip() {
+        let _guard = tests_serialize();
+        set_enabled(true);
+        crate::drain(); // flush leftovers from other serialized tests
+        emit(EventKind::EpochAdvance, Site::Epoch, 42);
+        set_enabled(false);
+        let (events, stats) = crate::drain();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, EventKind::EpochAdvance);
+        assert_eq!(events[0].site, Site::Epoch);
+        assert_eq!(events[0].value, 42);
+        assert_eq!(stats.rings, 1);
+        assert_eq!(stats.overwritten, 0);
+        assert_eq!(stats.discarded, 0);
+    }
+
+    #[test]
+    fn value_truncates_to_48_bits() {
+        let _guard = tests_serialize();
+        set_enabled(true);
+        crate::drain();
+        emit(EventKind::EpochDefer, Site::Epoch, u64::MAX);
+        set_enabled(false);
+        let (events, _) = crate::drain();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].value, (1u64 << VALUE_BITS) - 1);
+    }
+
+    #[test]
+    fn disabled_thread_registers_no_ring() {
+        let _guard = tests_serialize();
+        set_enabled(false);
+        let before = rings_registered();
+        std::thread::spawn(|| {
+            for _ in 0..100 {
+                emit(EventKind::CasAttempt, Site::Other, 0);
+            }
+        })
+        .join()
+        .unwrap();
+        assert_eq!(rings_registered(), before);
+    }
+}

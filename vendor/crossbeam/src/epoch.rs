@@ -30,6 +30,8 @@ use std::ptr;
 use std::sync::atomic::{fence, AtomicBool, AtomicPtr, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use lfrt_trace as trace;
+
 use crate::utils::CachePadded;
 
 /// Number of low pointer bits available for tags, from `T`'s alignment.
@@ -180,7 +182,15 @@ fn try_advance() -> usize {
         Ordering::Release,
         Ordering::Relaxed,
     ) {
-        Ok(_) => global.wrapping_add(2),
+        Ok(_) => {
+            let advanced = global.wrapping_add(2);
+            trace::emit(
+                trace::EventKind::EpochAdvance,
+                trace::Site::Epoch,
+                (advanced >> 1) as u64,
+            );
+            advanced
+        }
         Err(actual) => actual,
     }
 }
@@ -237,6 +247,11 @@ impl Local {
             // see every unlink that preceded the advance — so nothing freed
             // by it is reachable to us.
             fence(Ordering::SeqCst);
+            trace::emit(
+                trace::EventKind::EpochPin,
+                trace::Site::Epoch,
+                (epoch >> 1) as u64,
+            );
             let pins = self.pins_until_collect.get() - 1;
             if pins == 0 {
                 self.pins_until_collect.set(PINS_BETWEEN_COLLECT);
@@ -261,6 +276,7 @@ impl Local {
             bag.push(deferred);
             bag.len()
         };
+        trace::emit(trace::EventKind::EpochDefer, trace::Site::Epoch, len as u64);
         if len >= BAG_COLLECT_THRESHOLD {
             self.collect();
         }
@@ -271,6 +287,7 @@ impl Local {
     fn collect(&self) {
         let global = try_advance();
         let expired = drain_expired(&mut self.bag.borrow_mut(), global);
+        let mut freed = expired.len();
         // Destructors run with the bag borrow released: a payload `Drop`
         // that re-enters `pin`/`defer_destroy` must not hit the RefCell.
         for d in expired {
@@ -283,11 +300,17 @@ impl Local {
         if let Ok(mut orphans) = ORPHANS.try_lock() {
             let expired = drain_expired(&mut orphans, global);
             drop(orphans);
+            freed += expired.len();
             for d in expired {
                 // SAFETY: as above.
                 unsafe { d.destroy() };
             }
         }
+        trace::emit(
+            trace::EventKind::EpochCollect,
+            trace::Site::Epoch,
+            freed as u64,
+        );
     }
 }
 

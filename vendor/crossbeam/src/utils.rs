@@ -77,9 +77,13 @@ impl<T> From<T> for CachePadded<T> {
 /// `spin()` busy-waits `2^step` pauses (capped at `2^SPIN_LIMIT`);
 /// `snooze()` does the same but switches to `thread::yield_now` once
 /// spinning stops paying — the crossbeam policy. The backoff performs **no
-/// atomic accesses**, so inserting it between two passes of a CAS loop is
-/// invisible to the interleaving explorer's step structure (DESIGN.md §6b):
-/// it changes *when* a retry happens, never *what* it does.
+/// atomic accesses on shared algorithm state**, so inserting it between two
+/// passes of a CAS loop is invisible to the interleaving explorer's step
+/// structure (DESIGN.md §6b): it changes *when* a retry happens, never
+/// *what* it does. (Each step does check the flight recorder's enable flag
+/// and, when tracing is on, logs a `backoff_spin`/`backoff_yield` event to
+/// the thread's private ring — trace-local state, outside every model;
+/// DESIGN.md §7.)
 ///
 /// # Examples
 ///
@@ -125,6 +129,11 @@ impl Backoff {
         for _ in 0..1u32 << step {
             std::hint::spin_loop();
         }
+        lfrt_trace::emit(
+            lfrt_trace::EventKind::BackoffSpin,
+            lfrt_trace::Site::Other,
+            1u64 << step,
+        );
         if self.step.get() <= Self::SPIN_LIMIT {
             self.step.set(self.step.get() + 1);
         }
@@ -141,8 +150,18 @@ impl Backoff {
             for _ in 0..1u32 << step {
                 std::hint::spin_loop();
             }
+            lfrt_trace::emit(
+                lfrt_trace::EventKind::BackoffSpin,
+                lfrt_trace::Site::Other,
+                1u64 << step,
+            );
         } else {
             std::thread::yield_now();
+            lfrt_trace::emit(
+                lfrt_trace::EventKind::BackoffYield,
+                lfrt_trace::Site::Other,
+                step as u64,
+            );
         }
         if step <= Self::YIELD_LIMIT {
             self.step.set(step + 1);
