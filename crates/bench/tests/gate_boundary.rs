@@ -1,0 +1,238 @@
+//! Boundary tests for the `compare_reports` perf gate binary: the exact
+//! behaviors a CI gate must pin, because each one decides whether a red X
+//! appears on a PR.
+//!
+//! * a metric sitting *exactly* at the threshold passes (the comparison is
+//!   strictly `delta > threshold`, so +15.0% at the default 15% is green);
+//! * an improvement-only report passes and says so;
+//! * a gated metric present in the baseline but missing from the fresh
+//!   report fails (losing coverage is a regression);
+//! * zero medians: 0 → 0 passes, 0 → nonzero fails (infinite relative
+//!   regression), and a NaN-poisoned fresh metric passes the strict
+//!   comparison — pinned here as *documented* behavior so a future fix has
+//!   to update this test deliberately;
+//! * a report with no gated metrics at all aborts loudly rather than
+//!   passing vacuously.
+//!
+//! Each case drives the real binary via `CARGO_BIN_EXE_compare_reports`
+//! and asserts on exit code *and* message, in a fresh temp dir.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lfrt-gate-boundary-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// A minimal report document carrying both gated experiments.
+fn report_doc(stack_ns: f64, peak: f64) -> String {
+    format!(
+        r#"{{
+  "schema_version": 1,
+  "meta": {{"generator": "lfrt-bench"}},
+  "experiments": [
+    {{
+      "experiment": "uncontended_ops",
+      "figure": "table:uncontended",
+      "title": "t",
+      "config": {{}},
+      "points": [
+        {{"params": {{"structure": "stack"}}, "seeds": [], "metrics": {{}},
+          "timing": {{"ns_per_op_median": {stack_ns}}}}}
+      ]
+    }},
+    {{
+      "experiment": "churn_footprint",
+      "figure": "table:churn",
+      "title": "t",
+      "config": {{}},
+      "points": [
+        {{"params": {{"threads": 4}}, "seeds": [], "metrics": {{}},
+          "timing": {{"peak_growth_bytes": {peak}}}}}
+      ]
+    }}
+  ]
+}}"#
+    )
+}
+
+/// A baseline document with the given gate metrics.
+fn baseline_doc(metrics: &[(&str, f64)]) -> String {
+    let fields: Vec<String> = metrics
+        .iter()
+        .map(|(k, v)| format!("    \"{k}\": {v}"))
+        .collect();
+    format!(
+        "{{\n  \"schema_version\": 1,\n  \"kind\": \"lfrt-bench-baseline\",\n  \
+         \"meta\": {{\"generator\": \"lfrt-bench\", \"git_rev\": \"test\", \
+         \"threads\": 1, \"quick\": true}},\n  \"gate_metrics\": {{\n{}\n  }}\n}}\n",
+        fields.join(",\n")
+    )
+}
+
+const STACK_KEY: &str = "uncontended_ops/stack/ns_per_op_median";
+const CHURN_KEY: &str = "churn_footprint/peak_growth_bytes";
+
+fn run(dir: &Path, report: &str, baseline: &str, extra_args: &[&str]) -> Output {
+    let report_path = dir.join("report.json");
+    let baseline_path = dir.join("baseline.json");
+    std::fs::write(&report_path, report).expect("write report");
+    std::fs::write(&baseline_path, baseline).expect("write baseline");
+    Command::new(env!("CARGO_BIN_EXE_compare_reports"))
+        .arg("--report")
+        .arg(&report_path)
+        .arg("--baseline")
+        .arg(&baseline_path)
+        .args(extra_args)
+        .output()
+        .expect("run compare_reports")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn metric_exactly_at_threshold_passes_and_one_past_fails() {
+    let dir = temp_dir("at-threshold");
+    let baseline = baseline_doc(&[(STACK_KEY, 100.0), (CHURN_KEY, 400000.0)]);
+    // +15.0% on the stack metric: delta == threshold, strictly-greater
+    // comparison ⇒ green. This is the contract boundary: the gate fails
+    // *past* the threshold, not *at* it.
+    let out = run(&dir, &report_doc(115.0, 400000.0), &baseline, &[]);
+    assert!(
+        out.status.success(),
+        "exactly-at-threshold must pass: stdout={} stderr={}",
+        stdout(&out),
+        stderr(&out)
+    );
+    assert!(
+        stdout(&out).contains("PASS: no gated metric regressed past the threshold"),
+        "{}",
+        stdout(&out)
+    );
+    // One more percent and the same report is red, with the offending
+    // metric named on stderr.
+    let out = run(&dir, &report_doc(116.0, 400000.0), &baseline, &[]);
+    assert_eq!(out.status.code(), Some(1), "past-threshold must exit 1");
+    let err = stderr(&out);
+    assert!(
+        err.contains("FAIL:") && err.contains(STACK_KEY),
+        "failure must name the regressed metric: {err}"
+    );
+    assert!(stdout(&out).contains("REGRESSED"), "{}", stdout(&out));
+}
+
+#[test]
+fn improvement_only_report_passes() {
+    let dir = temp_dir("improvement");
+    let baseline = baseline_doc(&[(STACK_KEY, 100.0), (CHURN_KEY, 400000.0)]);
+    // Everything got faster/smaller — large negative deltas must not trip
+    // an absolute-value comparison.
+    let out = run(&dir, &report_doc(40.0, 100000.0), &baseline, &[]);
+    assert!(out.status.success(), "stderr={}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("PASS: no gated metric regressed past the threshold"),
+        "{text}"
+    );
+    assert!(!text.contains("REGRESSED"), "{text}");
+}
+
+#[test]
+fn missing_gated_metric_fails_with_exit_one() {
+    let dir = temp_dir("missing-metric");
+    // The baseline gates a metric the fresh report no longer produces.
+    let baseline = baseline_doc(&[
+        (STACK_KEY, 100.0),
+        (CHURN_KEY, 400000.0),
+        ("uncontended_ops/gone/ns_per_op_median", 10.0),
+    ]);
+    let out = run(&dir, &report_doc(100.0, 400000.0), &baseline, &[]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "silently losing gate coverage must fail"
+    );
+    let err = stderr(&out);
+    assert!(
+        err.contains("uncontended_ops/gone") && err.contains("missing from report"),
+        "{err}"
+    );
+}
+
+#[test]
+fn zero_to_zero_passes_but_zero_to_nonzero_fails() {
+    let dir = temp_dir("zero-medians");
+    let baseline = baseline_doc(&[(STACK_KEY, 100.0), (CHURN_KEY, 0.0)]);
+    // 0 → 0: no regression expressible, passes.
+    let out = run(&dir, &report_doc(100.0, 0.0), &baseline, &[]);
+    assert!(out.status.success(), "0 -> 0 must pass: {}", stderr(&out));
+    // 0 → anything: infinite relative regression, fails at any threshold.
+    let out = run(&dir, &report_doc(100.0, 1.0), &baseline, &[]);
+    assert_eq!(out.status.code(), Some(1), "0 -> 1 must fail");
+    assert!(stderr(&out).contains(CHURN_KEY), "{}", stderr(&out));
+}
+
+#[test]
+fn nan_scaled_metrics_pass_the_strict_comparison() {
+    let dir = temp_dir("nan-scale");
+    let baseline = baseline_doc(&[(STACK_KEY, 100.0), (CHURN_KEY, 400000.0)]);
+    // `--scale NaN` poisons every fresh metric; every delta becomes NaN and
+    // `NaN > threshold` is false, so the gate passes. Documented behavior:
+    // the gate is deliberately strict-greater (a NaN median would indicate
+    // a broken *report*, which schema validation — not the gate — owns).
+    // If compare() ever learns to reject NaN, this test must flip.
+    let out = run(
+        &dir,
+        &report_doc(100.0, 400000.0),
+        &baseline,
+        &["--scale", "NaN"],
+    );
+    assert!(
+        out.status.success(),
+        "NaN deltas currently pass the strict comparison: {}",
+        stderr(&out)
+    );
+    assert!(stdout(&out).contains("PASS"), "{}", stdout(&out));
+}
+
+#[test]
+fn threshold_flag_moves_the_boundary() {
+    let dir = temp_dir("threshold-flag");
+    let baseline = baseline_doc(&[(STACK_KEY, 100.0), (CHURN_KEY, 400000.0)]);
+    // +50% fails the default gate but sits exactly at a 50% threshold.
+    let report = report_doc(150.0, 400000.0);
+    let out = run(&dir, &report, &baseline, &[]);
+    assert_eq!(out.status.code(), Some(1), "+50% must fail the default 15%");
+    let out = run(&dir, &report, &baseline, &["--threshold", "0.5"]);
+    assert!(
+        out.status.success(),
+        "+50% sits exactly at --threshold 0.5: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn report_without_gated_metrics_aborts_loudly() {
+    let dir = temp_dir("no-metrics");
+    let baseline = baseline_doc(&[(STACK_KEY, 100.0)]);
+    let empty_report = r#"{"schema_version": 1, "meta": {}, "experiments": []}"#;
+    let out = run(&dir, empty_report, &baseline, &[]);
+    assert!(
+        !out.status.success(),
+        "a vacuous report must not pass the gate"
+    );
+    assert!(
+        stderr(&out).contains("no gated metrics found"),
+        "{}",
+        stderr(&out)
+    );
+}

@@ -21,6 +21,13 @@ struct Inner<T> {
     /// buffer, oldest first. The runtime's `BufferedStore` entries for this
     /// cell correspond 1:1 and in order, so each commit pops the front.
     pending: Mutex<Vec<VecDeque<T>>>,
+    /// Superseded values, oldest first, kept `window` deep under
+    /// [`crate::MemoryMode::Relaxed`] (empty otherwise): `history[len - a]`
+    /// is the value `a` versions older than `main`. Tracks the runtime's
+    /// per-location version counter in lockstep — every commit is
+    /// serialized through the controller, and exploration factories build
+    /// fresh cells per execution, so entries never leak across runs.
+    history: Mutex<Vec<T>>,
     /// `(run id, location id)` assigned by the current store-buffer
     /// execution; the run id guard stops ids leaking across executions.
     loc: Mutex<Option<(u64, usize)>>,
@@ -52,6 +59,7 @@ impl<T: Copy> Atomic<T> {
             inner: Arc::new(Inner {
                 main: Mutex::new(value),
                 pending: Mutex::new((0..MAX_THREADS).map(|_| VecDeque::new()).collect()),
+                history: Mutex::new(Vec::new()),
                 loc: Mutex::new(None),
             }),
         }
@@ -69,10 +77,61 @@ impl<T: Copy> Atomic<T> {
         *lock(&self.inner.main)
     }
 
-    /// Reads the value. One step. Equivalent to `load_ord(SeqCst)`.
+    /// Replaces the globally visible value, pushing the superseded one into
+    /// the bounded stale-value history when the mode keeps one (`window` >
+    /// 0, i.e. [`crate::MemoryMode::Relaxed`]). An associated function so
+    /// the type-erased flush closures can commit through the `Arc`.
+    fn commit_value(inner: &Inner<T>, value: T, window: usize) {
+        let old = std::mem::replace(&mut *lock(&inner.main), value);
+        if window > 0 {
+            let mut history = lock(&inner.history);
+            history.push(old);
+            if history.len() > window {
+                history.remove(0);
+            }
+        }
+    }
+
+    /// Commits `value` at this step (globally visible immediately — `SeqCst`
+    /// stores and RMW writes) and records the version bump with the runtime
+    /// when the mode keeps a stale window.
+    fn commit_now(&self, session: Option<&WeakSession>, value: T) {
+        let window = session.map_or(0, |s| s.window());
+        Self::commit_value(&self.inner, value, window);
+        if window > 0 {
+            let session = session.expect("a stale window implies a session");
+            session.committed(session.loc(&self.inner.loc));
+        }
+    }
+
+    /// Applies the stale-set effect of an RMW's outcome ordering: an
+    /// `Acquire`-class outcome drains the calling thread's stale set, like
+    /// an acquire load.
+    fn rmw_stale(session: Option<&WeakSession>, outcome: Ordering) {
+        if let Some(s) = session {
+            if s.window() > 0
+                && matches!(
+                    outcome,
+                    Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+                )
+            {
+                s.drain_stale();
+            }
+        }
+    }
+
+    /// Reads the value. One step. Equivalent to `load_ord(SeqCst)`: under
+    /// [`crate::MemoryMode::Relaxed`] the stale set drains first (a `SeqCst`
+    /// load is acquire-class), so the freshest committed value is returned.
     pub fn load(&self) -> T {
         step_read();
-        self.observe(weak_session().as_ref())
+        let session = weak_session();
+        if let Some(s) = &session {
+            if s.window() > 0 {
+                s.drain_stale();
+            }
+        }
+        self.observe(session.as_ref())
     }
 
     /// Writes the value. One step. Equivalent to `store_ord(value, SeqCst)`:
@@ -80,19 +139,24 @@ impl<T: Copy> Atomic<T> {
     /// the store becomes globally visible at this step.
     pub fn store(&self, value: T) {
         step_write();
-        if let Some(session) = weak_session() {
-            session.drain();
+        let session = weak_session();
+        if let Some(s) = &session {
+            s.drain();
         }
-        *lock(&self.inner.main) = value;
+        self.commit_now(session.as_ref(), value);
     }
 
     /// Replaces the value, returning the previous one. One step, `SeqCst`.
     pub fn swap(&self, value: T) -> T {
         step_write();
-        if let Some(session) = weak_session() {
-            session.drain();
+        let session = weak_session();
+        if let Some(s) = &session {
+            s.drain();
         }
-        std::mem::replace(&mut lock(&self.inner.main), value)
+        let prev = *lock(&self.inner.main);
+        self.commit_now(session.as_ref(), value);
+        Self::rmw_stale(session.as_ref(), Ordering::SeqCst);
+        prev
     }
 
     /// Compare-and-swap: if the cell equals `current`, writes `new` and
@@ -103,16 +167,19 @@ impl<T: Copy> Atomic<T> {
         T: PartialEq,
     {
         step_write();
-        if let Some(session) = weak_session() {
-            session.drain();
+        let session = weak_session();
+        if let Some(s) = &session {
+            s.drain();
         }
-        let mut guard = lock(&self.inner.main);
-        if *guard == current {
-            *guard = new;
+        let actual = *lock(&self.inner.main);
+        let result = if actual == current {
+            self.commit_now(session.as_ref(), new);
             Ok(current)
         } else {
-            Err(*guard)
-        }
+            Err(actual)
+        };
+        Self::rmw_stale(session.as_ref(), Ordering::SeqCst);
+        result
     }
 
     /// Adds `rhs`, returning the previous value. One step, `SeqCst`.
@@ -121,12 +188,13 @@ impl<T: Copy> Atomic<T> {
         T: std::ops::Add<Output = T>,
     {
         step_write();
-        if let Some(session) = weak_session() {
-            session.drain();
+        let session = weak_session();
+        if let Some(s) = &session {
+            s.drain();
         }
-        let mut guard = lock(&self.inner.main);
-        let prev = *guard;
-        *guard = prev + rhs;
+        let prev = *lock(&self.inner.main);
+        self.commit_now(session.as_ref(), prev + rhs);
+        Self::rmw_stale(session.as_ref(), Ordering::SeqCst);
         prev
     }
 
@@ -158,6 +226,7 @@ impl<T: Copy + Send + 'static> Atomic<T> {
     fn buffer(&self, session: &WeakSession, value: T, release: bool) {
         let loc = session.loc(&self.inner.loc);
         let tid = session.tid();
+        let window = session.window();
         lock(&self.inner.pending)[tid].push_back(value);
         let inner = Arc::clone(&self.inner);
         session.buffer_store(
@@ -167,7 +236,7 @@ impl<T: Copy + Send + 'static> Atomic<T> {
                 let v = lock(&inner.pending)[tid]
                     .pop_front()
                     .expect("runtime flushed a store this cell never buffered");
-                *lock(&inner.main) = v;
+                Self::commit_value(&inner, v, window);
             }),
         );
     }
@@ -188,10 +257,16 @@ impl<T: Copy + Send + 'static> Atomic<T> {
 
     /// Reads the value with a declared load ordering. One step.
     ///
-    /// No load–load reordering is modeled (see DESIGN.md §6b), so the
-    /// ordering does not change what the load returns — the declaration
-    /// exists so models document the real code faithfully. Loads always
-    /// forward from the issuing thread's own buffered stores.
+    /// Under [`crate::MemoryMode::Sc`] and [`crate::MemoryMode::StoreBuffer`]
+    /// the ordering does not change what the load returns (no load–load
+    /// reordering there — see DESIGN.md §6b); the declaration exists so
+    /// models document the real code faithfully. Under
+    /// [`crate::MemoryMode::Relaxed`] a `Relaxed` load is eligible for
+    /// stale-read decisions (it may return a value up to `window` versions
+    /// old, within the thread's coherence floor), while an
+    /// `Acquire`/`SeqCst` load drains the stale set and returns the
+    /// freshest committed value. Loads always forward from the issuing
+    /// thread's own buffered stores first.
     ///
     /// # Panics
     ///
@@ -202,8 +277,35 @@ impl<T: Copy + Send + 'static> Atomic<T> {
             !matches!(order, Ordering::Release | Ordering::AcqRel),
             "there is no such thing as a release load"
         );
+        let session = weak_session();
+        if let Some(s) = &session {
+            if s.window() > 0 {
+                if order == Ordering::Relaxed {
+                    // Store-to-load forwarding wins over staleness: with an
+                    // own buffered store pending, the load returns it.
+                    let forwards = !lock(&self.inner.pending)[s.tid()].is_empty();
+                    if !forwards {
+                        let loc = s.loc(&self.inner.loc);
+                        // The park itself: the explorer picks fresh (plain
+                        // thread id) or one of the readable stale ages.
+                        return match s.relaxed_load(loc) {
+                            Some(age) => {
+                                let history = lock(&self.inner.history);
+                                history[history.len() - age]
+                            }
+                            None => *lock(&self.inner.main),
+                        };
+                    }
+                } else {
+                    // Acquire/SeqCst: drain the stale set, read fresh.
+                    step_read();
+                    s.drain_stale();
+                    return self.observe(session.as_ref());
+                }
+            }
+        }
         step_read();
-        self.observe(weak_session().as_ref())
+        self.observe(session.as_ref())
     }
 
     /// Writes the value with a declared store ordering. One step.
@@ -227,7 +329,7 @@ impl<T: Copy + Send + 'static> Atomic<T> {
             Some(session) => match order {
                 Ordering::SeqCst => {
                     session.drain();
-                    *lock(&self.inner.main) = value;
+                    self.commit_now(Some(&session), value);
                 }
                 Ordering::Release => self.buffer(&session, value, true),
                 Ordering::Relaxed => self.buffer(&session, value, false),
@@ -239,13 +341,19 @@ impl<T: Copy + Send + 'static> Atomic<T> {
 
     /// Replaces the value, returning the previous one, with a declared RMW
     /// ordering. One step; the written value is globally visible at this
-    /// step (hardware RMWs do not sit in the store buffer).
+    /// step (hardware RMWs do not sit in the store buffer, and always act
+    /// on the latest value — RMWs are coherent even under
+    /// [`crate::MemoryMode::Relaxed`]).
     pub fn swap_ord(&self, value: T, order: Ordering) -> T {
         step_write();
-        if let Some(session) = weak_session() {
-            self.rmw_drain(&session, order);
+        let session = weak_session();
+        if let Some(s) = &session {
+            self.rmw_drain(s, order);
         }
-        std::mem::replace(&mut lock(&self.inner.main), value)
+        let prev = *lock(&self.inner.main);
+        self.commit_now(session.as_ref(), value);
+        Self::rmw_stale(session.as_ref(), order);
+        prev
     }
 
     /// Compare-and-swap with declared success and failure orderings. One
@@ -273,16 +381,27 @@ impl<T: Copy + Send + 'static> Atomic<T> {
             "there is no such thing as a release failure ordering"
         );
         step_write();
-        if let Some(session) = weak_session() {
-            self.rmw_drain(&session, success);
+        let session = weak_session();
+        if let Some(s) = &session {
+            self.rmw_drain(s, success);
         }
-        let mut guard = lock(&self.inner.main);
-        if *guard == current {
-            *guard = new;
+        let actual = *lock(&self.inner.main);
+        let result = if actual == current {
+            self.commit_now(session.as_ref(), new);
             Ok(current)
         } else {
-            Err(*guard)
-        }
+            // The failed CAS still observed the latest value (RMWs are
+            // coherent), so the thread's floor here rises to it.
+            if let Some(s) = &session {
+                if s.window() > 0 {
+                    s.observed_latest(s.loc(&self.inner.loc));
+                }
+            }
+            Err(actual)
+        };
+        let outcome = if result.is_ok() { success } else { failure };
+        Self::rmw_stale(session.as_ref(), outcome);
+        result
     }
 
     /// Adds `rhs`, returning the previous value, with a declared RMW
@@ -292,12 +411,13 @@ impl<T: Copy + Send + 'static> Atomic<T> {
         T: std::ops::Add<Output = T>,
     {
         step_write();
-        if let Some(session) = weak_session() {
-            self.rmw_drain(&session, order);
+        let session = weak_session();
+        if let Some(s) = &session {
+            self.rmw_drain(s, order);
         }
-        let mut guard = lock(&self.inner.main);
-        let prev = *guard;
-        *guard = prev + rhs;
+        let prev = *lock(&self.inner.main);
+        self.commit_now(session.as_ref(), prev + rhs);
+        Self::rmw_stale(session.as_ref(), order);
         prev
     }
 }
@@ -311,8 +431,12 @@ impl<T: Copy + Send + 'static> Atomic<T> {
 /// fence is globally visible before anything stored after it, which is the
 /// guarantee the real fence provides (the model commits eagerly at the
 /// fence, a conservative subset of the orderings real hardware allows — see
-/// DESIGN.md §6b). An `Acquire` fence is a no-op because load–load
-/// reordering is not modeled.
+/// DESIGN.md §6b). Under [`crate::MemoryMode::StoreBuffer`] an `Acquire`
+/// fence is a no-op because load–load reordering is not modeled there;
+/// under [`crate::MemoryMode::Relaxed`] it is one read step that drains the
+/// issuing thread's stale set (nothing read after the fence may be older
+/// than what was current at it — the invalidate-queue flush). `AcqRel` and
+/// `SeqCst` fences apply both effects in a single write step.
 ///
 /// # Panics
 ///
@@ -323,12 +447,23 @@ pub fn fence(order: Ordering) {
         "fence with Relaxed ordering is a no-op and invalid"
     );
     if let Some(session) = weak_session() {
-        if matches!(
+        let releases = matches!(
             order,
             Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
-        ) {
+        );
+        let acquires = matches!(
+            order,
+            Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+        ) && session.window() > 0;
+        if releases {
             step_write();
             session.drain();
+            if acquires {
+                session.drain_stale();
+            }
+        } else if acquires {
+            step_read();
+            session.drain_stale();
         }
     }
 }

@@ -2,7 +2,9 @@
 
 use std::str::FromStr;
 
-use crate::runtime::{run_once, MemoryMode, Outcome, Plan, FLUSH_BASE};
+use crate::runtime::{
+    decision_thread, run_once, MemoryMode, Outcome, Plan, FLUSH_BASE, REORDER_BASE,
+};
 use crate::schedule::Schedule;
 
 /// Exploration settings.
@@ -72,6 +74,23 @@ impl Config {
             name,
             memory: MemoryMode::StoreBuffer {
                 bound: MemoryMode::DEFAULT_BOUND,
+            },
+            ..Self::default()
+        }
+    }
+
+    /// An exhaustive config running under [`MemoryMode::Relaxed`]
+    /// (ARM/POWER-class) with the default buffer depth and stale-value
+    /// window: on top of the store-buffer flush steps, `Relaxed` loads may
+    /// be granted *stale-read* decisions (ids ≥ [`crate::REORDER_BASE`])
+    /// returning values up to [`MemoryMode::DEFAULT_WINDOW`] versions old —
+    /// the load–load/load–store reorderings TSO forbids.
+    pub fn relaxed(name: &'static str) -> Self {
+        Self {
+            name,
+            memory: MemoryMode::Relaxed {
+                bound: MemoryMode::DEFAULT_BOUND,
+                window: MemoryMode::DEFAULT_WINDOW,
             },
             ..Self::default()
         }
@@ -181,9 +200,15 @@ impl Frame {
     }
 
     /// Whether picking `enabled[idx]` here preempts a runnable thread.
+    /// Decisions are resolved to the thread they step ([`decision_thread`]):
+    /// granting the last-run thread a *stale* read continues it — no
+    /// preemption — while a flush (no thread) taken where it could have
+    /// continued is one.
     fn preempts(&self, idx: usize) -> bool {
         match self.last {
-            Some(last) => self.enabled.contains(&last) && self.enabled[idx] != last,
+            Some(last) => {
+                self.enabled.contains(&last) && decision_thread(self.enabled[idx]) != Some(last)
+            }
             None => false,
         }
     }
@@ -357,12 +382,16 @@ pub fn replay<F: FnOnce() -> Plan>(schedule: &Schedule, factory: F) {
 
 /// [`replay`] under an explicit memory mode: a schedule found by a
 /// [`Config::store_buffer`] exploration contains flush decisions (ids ≥
-/// [`crate::FLUSH_BASE`]) and only replays under the same mode.
+/// [`crate::FLUSH_BASE`]), one found by a [`Config::relaxed`] exploration
+/// may additionally contain stale-read decisions (ids ≥
+/// [`crate::REORDER_BASE`]), and either only replays under a mode that
+/// models those steps.
 ///
 /// # Panics
 ///
 /// As [`replay`]; additionally panics up front when `schedule` contains
-/// flush decisions but `memory` is [`MemoryMode::Sc`].
+/// flush decisions but `memory` is [`MemoryMode::Sc`], or stale-read
+/// decisions but `memory` keeps no version window.
 pub fn replay_in<F: FnOnce() -> Plan>(memory: MemoryMode, schedule: &Schedule, factory: F) {
     let steps = schedule.steps();
     if memory == MemoryMode::Sc {
@@ -371,6 +400,17 @@ pub fn replay_in<F: FnOnce() -> Plan>(memory: MemoryMode, schedule: &Schedule, f
                 "schedule {schedule} contains flush decision {flush} but is \
                  being replayed under MemoryMode::Sc — use replay_in with the \
                  store-buffer mode that produced it"
+            );
+        }
+    }
+    let windowless = !matches!(memory, MemoryMode::Relaxed { window, .. } if window > 0);
+    if windowless {
+        if let Some(reorder) = steps.iter().find(|&&id| id >= REORDER_BASE) {
+            panic!(
+                "schedule {schedule} contains stale-read decision {reorder} \
+                 but is being replayed under {memory:?}, which models no load \
+                 reordering — use replay_in with the relaxed mode that \
+                 produced it"
             );
         }
     }

@@ -66,9 +66,15 @@
 //! TSO/PSO-style **store-buffer mode**: the `_ord` operations of [`Atomic`]
 //! declare the orderings the mirrored real code uses, `Relaxed`/`Release`
 //! stores commit at explicit flush steps the explorer enumerates, and a
-//! failing weak-memory schedule replays with [`replay_in`]. Load–load
-//! reordering is still not modeled. See `DESIGN.md` ("What the interleaving
-//! checker does — and does not — prove") for the full caveats.
+//! failing weak-memory schedule replays with [`replay_in`].
+//! [`Config::relaxed`] goes further to an ARM/POWER-class **relaxed mode**:
+//! on top of the store buffers, each location keeps a bounded history of
+//! superseded values and a `Relaxed` load may be granted a *stale-read*
+//! decision (ids ≥ [`REORDER_BASE`]) returning one of them — modeling the
+//! load–load/load–store reorderings TSO forbids — while `Acquire` loads and
+//! fences drain the thread's stale set. IRIW / multi-copy atomicity remains
+//! out of scope. See `DESIGN.md` ("What the interleaving checker does — and
+//! does not — prove") for the full caveats.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -89,7 +95,10 @@ pub use atomic::{fence, Atomic};
 pub use explore::{explore, replay, replay_in, replay_str, Config, Failure, FailureKind, Report};
 pub use history::{CompletedOp, History, OpToken};
 pub use linear::SeqSpec;
-pub use runtime::{spin_hint, MemoryMode, Plan, FLUSH_BASE, FLUSH_STRIDE, MAX_THREADS};
+pub use runtime::{
+    spin_hint, MemoryMode, Plan, FLUSH_BASE, FLUSH_STRIDE, MAX_THREADS, REORDER_BASE,
+    REORDER_STRIDE,
+};
 pub use schedule::{ParseScheduleError, Schedule};
 
 /// The memory-ordering vocabulary of the `_ord` operations — re-exported

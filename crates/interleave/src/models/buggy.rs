@@ -27,6 +27,24 @@
 //! - [`FencelessNbw`]: the NBW writer without its `Release` fence, so a
 //!   payload write can commit before the version goes odd and a reader
 //!   accepts a torn snapshot.
+//!
+//! Three final variants are **load-reordering** bugs: their store side is
+//! fully correct (`Release` publication, fenced writer), so they pass
+//! exhaustively under SC *and* under the store-buffer mode — only
+//! [`crate::Config::relaxed`] exploration (`tests/relaxed_memory.rs`),
+//! where `Relaxed` loads may read stale values, catches them. They are the
+//! demonstrators that the relaxed mode is strictly stronger than TSO:
+//! - [`MsgPassing`]: a message-passing consumer whose flag *and* data loads
+//!   are `Relaxed` — the classic load-buffering shape; the data load
+//!   effectively hoists above the flag load and reads the pre-publication
+//!   value.
+//! - [`StaleNbwReader`]: a seqlock/NBW reader with the `Acquire` fence
+//!   between the payload reads and the version recheck deleted — the
+//!   recheck may read a *stale* even version and validate a torn snapshot.
+//! - [`StalePubRing`]: a ring consumer that reads the `Release`-published
+//!   tail with `Relaxed` — it can observe the producer's slot/tail
+//!   publication pair in the wrong order (the reader-visible face of
+//!   store–store reordering) and dereference an unwritten slot.
 
 use std::sync::atomic::Ordering;
 use std::sync::atomic::Ordering::{Acquire, Relaxed, Release};
@@ -411,6 +429,205 @@ impl FencelessNbw {
     }
 }
 
+/// The classic message-passing litmus test with a load-buffering consumer.
+///
+/// The producer is *correct*: it initializes `data` and then publishes with
+/// a `Release` store to `flag`, so under TSO the store buffer commits `data`
+/// before `flag` and a consumer that sees `flag == 1` always sees
+/// `data == MSG`. The BUG is on the consumer: both its loads are `Relaxed`,
+/// so on ARM/POWER-class hardware the `data` load may effectively hoist
+/// above the `flag` load — it reads a *stale* pre-publication `data` even
+/// though `flag` already reads 1. Store-buffer exploration cannot catch
+/// this (loads there always read the freshest committed value); only
+/// [`crate::Config::relaxed`], where the stale read is an explicit
+/// `REORDER`-range decision, does.
+pub struct MsgPassing {
+    data: Atomic<u64>,
+    flag: Atomic<u64>,
+    /// Ordering of the consumer's `flag` load: `Relaxed` is the bug,
+    /// `Acquire` the fix (it drains the consumer's stale set, so the
+    /// subsequent `data` load must see the publication).
+    consume: Ordering,
+}
+
+/// The value [`MsgPassing::publish`] hands over; `data`'s initial value is 0.
+pub const MSG: u64 = 42;
+
+impl MsgPassing {
+    /// The buggy variant: consumer reads the flag with `Relaxed`.
+    pub fn relaxed() -> Self {
+        Self::with_consume(Relaxed)
+    }
+
+    /// The fixed counterpart: consumer reads the flag with `Acquire`.
+    pub fn acquire() -> Self {
+        Self::with_consume(Acquire)
+    }
+
+    fn with_consume(consume: Ordering) -> Self {
+        Self {
+            data: Atomic::new(0),
+            flag: Atomic::new(0),
+            consume,
+        }
+    }
+
+    /// Correct producer: initialize, then `Release`-publish.
+    pub fn publish(&self) {
+        self.data.store_ord(MSG, Relaxed);
+        self.flag.store_ord(1, Release);
+    }
+
+    /// Consumer: if the flag is up, read the message. Returns `None` when
+    /// the publication is not (yet) visible — only a `Some` carries the
+    /// correctness obligation that the message is complete.
+    pub fn consume(&self) -> Option<u64> {
+        if self.flag.load_ord(self.consume) == 1 {
+            // BUG (when `consume` is `Relaxed`): nothing orders this load
+            // after the flag load, so it may read the stale 0.
+            Some(self.data.load_ord(Relaxed))
+        } else {
+            None
+        }
+    }
+}
+
+/// The NBW/seqlock reader with its `Acquire` fence deleted — the read-side
+/// dual of [`FencelessNbw`].
+///
+/// The *writer* here is fully correct (identical to
+/// [`crate::models::ModelNbw::write`], `Release` fence and all), so the
+/// store side can never commit out of order: under SC and under the
+/// store-buffer mode every interleaving passes. The BUG is that without the
+/// `Acquire` fence between the payload loads and the version recheck, the
+/// recheck — a `Relaxed` load — may read a *stale* copy of the version that
+/// still equals `v1`, validating a snapshot whose payload loads in fact
+/// straddled a concurrent write. Catching it needs a stale-value window of
+/// at least 2: the recheck must read past both the odd and the new even
+/// version ([`crate::runtime::MemoryMode`]'s `DEFAULT_WINDOW` is sized for
+/// exactly this).
+pub struct StaleNbwReader {
+    version: Atomic<u64>,
+    a: Atomic<u64>,
+    b: Atomic<u64>,
+    /// When true, the reader's `Acquire` fence is restored — the fixed
+    /// counterpart, step-identical under SC and store-buffer modes.
+    fenced: bool,
+}
+
+impl StaleNbwReader {
+    /// A register holding `(a, b)` with the reader's fence deleted.
+    pub fn new(a: u64, b: u64) -> Self {
+        Self::with_fence(a, b, false)
+    }
+
+    /// The fixed counterpart: same steps, fence restored.
+    pub fn fixed(a: u64, b: u64) -> Self {
+        Self::with_fence(a, b, true)
+    }
+
+    fn with_fence(a: u64, b: u64, fenced: bool) -> Self {
+        Self {
+            version: Atomic::new(0),
+            a: Atomic::new(a),
+            b: Atomic::new(b),
+            fenced,
+        }
+    }
+
+    /// Identical to `ModelNbw::write` — the correct, fenced writer.
+    pub fn write(&self, a: u64, b: u64) {
+        let v = self.version.load_ord(Relaxed);
+        self.version.store_ord(v + 1, Relaxed);
+        fence(Release);
+        self.a.store_ord(a, Relaxed);
+        self.b.store_ord(b, Relaxed);
+        self.version.store_ord(v + 2, Release);
+    }
+
+    /// `ModelNbw::read` minus the `Acquire` fence (unless `fixed`).
+    pub fn read(&self) -> (u64, u64) {
+        loop {
+            let v1 = self.version.load_ord(Acquire);
+            if !v1.is_multiple_of(2) {
+                spin_hint();
+                continue;
+            }
+            let a = self.a.load_ord(Relaxed);
+            let b = self.b.load_ord(Relaxed);
+            // BUG: `ModelNbw` fences here; without it the recheck below may
+            // read a stale even version from before a concurrent write.
+            if self.fenced {
+                fence(Acquire);
+            }
+            if self.version.load_ord(Relaxed) == v1 {
+                return (a, b);
+            }
+        }
+    }
+}
+
+/// A two-entry publication ring whose consumer reads the tail with
+/// `Relaxed` — the reader-visible face of store–store reordering.
+///
+/// The producer is *correct*: each slot is written before the tail is
+/// advanced with a `Release` store, so the slot/tail pair always commits in
+/// order. The BUG is the consumer's `Relaxed` tail load: with no acquire
+/// edge, the consumer can observe the pair in the *wrong* order — a fresh
+/// tail alongside a stale, still-sentinel slot — exactly as if the
+/// producer's stores had been reordered. Under SC and store-buffer modes
+/// the `Release` tail store makes this unobservable; only relaxed-mode
+/// stale reads expose it.
+pub struct StalePubRing {
+    slots: [Atomic<u64>; 2],
+    tail: Atomic<u64>,
+    /// Ordering of the consumer's tail load: `Relaxed` is the bug,
+    /// `Acquire` the fix.
+    observe: Ordering,
+}
+
+impl StalePubRing {
+    /// The buggy variant: consumer reads the tail with `Relaxed`.
+    pub fn relaxed() -> Self {
+        Self::with_observe(Relaxed)
+    }
+
+    /// The fixed counterpart: consumer reads the tail with `Acquire`.
+    pub fn acquire() -> Self {
+        Self::with_observe(Acquire)
+    }
+
+    fn with_observe(observe: Ordering) -> Self {
+        Self {
+            // 0 is the sentinel for "never written".
+            slots: [Atomic::new(0), Atomic::new(0)],
+            tail: Atomic::new(0),
+            observe,
+        }
+    }
+
+    /// Correct producer: publish entries `1` and `2` into the two slots,
+    /// each slot write ordered before its tail advance by `Release`.
+    pub fn produce(&self) {
+        for (i, slot) in self.slots.iter().enumerate() {
+            slot.store_ord(i as u64 + 1, Relaxed);
+            self.tail.store_ord(i as u64 + 1, Release);
+        }
+    }
+
+    /// Consumer: snapshot the tail, then read every published slot.
+    /// Returns the slot values read; the caller asserts none is the
+    /// sentinel 0, which is the obligation the tail publication carries.
+    pub fn consume(&self) -> Vec<u64> {
+        // BUG (when `observe` is `Relaxed`): no acquire edge, so the slot
+        // loads below may read stale sentinels despite a fresh tail.
+        let t = self.tail.load_ord(self.observe);
+        (0..t as usize)
+            .map(|i| self.slots[i].load_ord(Relaxed))
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -450,5 +667,21 @@ mod tests {
         let fenceless = FencelessNbw::new(0, 0);
         fenceless.write(3, 6);
         assert_eq!(fenceless.read(), (3, 6));
+
+        // The load-reordering variants are additionally indistinguishable
+        // under store-buffer executions — they need the relaxed mode.
+        let mp = MsgPassing::relaxed();
+        assert_eq!(mp.consume(), None);
+        mp.publish();
+        assert_eq!(mp.consume(), Some(MSG));
+
+        let stale = StaleNbwReader::new(0, 0);
+        stale.write(3, 6);
+        assert_eq!(stale.read(), (3, 6));
+
+        let ring = StalePubRing::relaxed();
+        assert_eq!(ring.consume(), Vec::<u64>::new());
+        ring.produce();
+        assert_eq!(ring.consume(), vec![1, 2]);
     }
 }

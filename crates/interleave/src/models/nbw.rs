@@ -65,8 +65,11 @@ impl ModelNbw {
             // *used* after the check below).
             let a = self.a.load_ord(Relaxed);
             let b = self.b.load_ord(Relaxed);
-            // R4: `version.load(Relaxed)` after the Acquire fence (a no-op
-            // in the model: load–load reordering is not explored).
+            // R4: `version.load(Relaxed)` after the Acquire fence. Under
+            // SC and store-buffer modes the fence is a no-op; under
+            // `Config::relaxed` it drains the reader's stale set, which is
+            // what keeps the recheck from reading a stale even version
+            // (delete it and you get `buggy::StaleNbwReader`).
             fence(Acquire);
             if self.version.load_ord(Relaxed) == v1 {
                 return (a, b);

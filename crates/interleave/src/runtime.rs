@@ -49,9 +49,39 @@ pub const MAX_THREADS: usize = 8;
 ///   that location (store-to-load forwarding), and other threads never see
 ///   buffered values.
 ///
-/// Load–load reordering is **not** modeled (see DESIGN.md §6b): this mode
-/// catches the store-side ordering bugs (`Relaxed` publication), not
-/// missing-`Acquire` loads, which remain the lint layer's job.
+/// Load–load reordering is **not** modeled by [`MemoryMode::StoreBuffer`]
+/// (see DESIGN.md §6b): that mode catches the store-side ordering bugs
+/// (`Relaxed` publication), not missing-`Acquire` loads.
+///
+/// [`MemoryMode::Relaxed`] closes that gap with an ARM/POWER-class model: it
+/// keeps the TSO/PSO store buffers above and *additionally* gives every
+/// location a bounded history of superseded values (`window` deep) from
+/// which a `Relaxed` load may read — the operational analogue of an
+/// invalidate queue that has not yet been processed. Each stale read is its
+/// own explorer-chosen decision (ids ≥ [`REORDER_BASE`]), so schedules stay
+/// deterministic and replayable:
+///
+/// * per-location coherence still holds: each thread tracks a monotone
+///   *floor* per location (the newest version it has observed) and never
+///   reads older than its floor — reads of one location never go backwards,
+///   and a thread always sees its own committed stores;
+/// * a `Relaxed` load may return any value between its floor and the
+///   current value, at most `window` versions old — modeling the load–load
+///   and load–store reorderings TSO forbids;
+/// * an `Acquire` (or `SeqCst`) load, `Acquire`-class fence, or
+///   `Acquire`-class RMW outcome *drains the stale set*: every location's
+///   floor rises to its current version, so nothing older is observable
+///   afterwards — the invalidate-queue drain a real acquire performs;
+/// * read-modify-writes always act on the latest value (hardware RMWs are
+///   coherent), and store-to-load forwarding still wins over staleness;
+/// * `Release` stores keep their store-buffer semantics (commit only from
+///   the front of the buffer), so everything written before them is
+///   globally visible first.
+///
+/// The acquire model is deliberately a *strengthening*: an `Acquire` load
+/// reads the newest committed value rather than merely a
+/// release-synchronized one, so some real ARM outcomes are not explored
+/// (IRIW / multi-copy-atomicity is out of scope; see DESIGN.md §6b).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MemoryMode {
     /// Sequentially consistent: every step takes effect immediately.
@@ -62,12 +92,26 @@ pub enum MemoryMode {
         /// buffer commits the oldest entry as part of its own step.
         bound: usize,
     },
+    /// ARM/POWER-class: store buffers *plus* stale `Relaxed` loads drawn
+    /// from a bounded per-location version history, each an explicit
+    /// reorder decision (ids ≥ [`REORDER_BASE`]).
+    Relaxed {
+        /// Store-buffer depth, as in [`MemoryMode::StoreBuffer`].
+        bound: usize,
+        /// How many superseded values per location stay readable. `0`
+        /// degenerates to [`MemoryMode::StoreBuffer`] behavior.
+        window: usize,
+    },
 }
 
 impl MemoryMode {
     /// The default store-buffer depth used by
     /// [`crate::Config::store_buffer`].
     pub const DEFAULT_BOUND: usize = 4;
+    /// The default stale-value window used by [`crate::Config::relaxed`]:
+    /// two versions deep, enough to read past a full seqlock-style
+    /// odd/even version bump.
+    pub const DEFAULT_WINDOW: usize = 2;
 }
 
 /// Scheduling-decision ids at or above this value denote *flush* steps, not
@@ -89,11 +133,53 @@ fn encode_flush(tid: usize, loc: usize) -> usize {
 }
 
 fn decode_flush(id: usize) -> (usize, usize) {
-    debug_assert!(id >= FLUSH_BASE);
+    debug_assert!((FLUSH_BASE..REORDER_BASE).contains(&id));
     (
         (id - FLUSH_BASE) / FLUSH_STRIDE,
         (id - FLUSH_BASE) % FLUSH_STRIDE,
     )
+}
+
+/// Scheduling-decision ids at or above this value denote *stale-read* steps
+/// under [`MemoryMode::Relaxed`]: `REORDER_BASE + tid * REORDER_STRIDE +
+/// age` grants thread `tid` its pending `Relaxed` load, reading the value
+/// `age` versions older than the location's current one (`age` ≥ 1; the
+/// plain thread id remains the fresh-read decision). Flush ids top out at
+/// `FLUSH_BASE + MAX_THREADS * FLUSH_STRIDE`, far below this base, so all
+/// three id ranges stay disjoint and schedule strings remain plain
+/// dot-joined numbers.
+pub const REORDER_BASE: usize = 10_000;
+/// Stride between threads in the reorder-id encoding; also the cap on the
+/// stale-value window.
+pub const REORDER_STRIDE: usize = 100;
+
+fn encode_reorder(tid: usize, age: usize) -> usize {
+    debug_assert!((1..REORDER_STRIDE).contains(&age));
+    REORDER_BASE + tid * REORDER_STRIDE + age
+}
+
+fn decode_reorder(id: usize) -> (usize, usize) {
+    debug_assert!(id >= REORDER_BASE);
+    (
+        (id - REORDER_BASE) / REORDER_STRIDE,
+        (id - REORDER_BASE) % REORDER_STRIDE,
+    )
+}
+
+/// The model thread a decision id grants a step to: the id itself for a
+/// thread step, the issuing thread for a stale-read (reorder) decision, and
+/// `None` for a flush (performed by the controller). Used by the CHESS
+/// preemption accounting: continuing the last-run thread via a stale read
+/// is not a preemption, while a flush taken where that thread could have
+/// continued is.
+pub(crate) fn decision_thread(id: usize) -> Option<usize> {
+    if id < FLUSH_BASE {
+        Some(id)
+    } else if id >= REORDER_BASE {
+        Some(decode_reorder(id).0)
+    } else {
+        None
+    }
 }
 
 /// Distinguishes executions so an [`crate::Atomic`]'s cached location id is
@@ -112,8 +198,21 @@ struct BufferedStore {
 
 struct WeakState {
     bound: usize,
+    /// Stale-value window depth; `0` under [`MemoryMode::StoreBuffer`]
+    /// (no load reordering — exactly the pre-Relaxed behavior).
+    window: usize,
     next_loc: usize,
     pending: Vec<VecDeque<BufferedStore>>,
+    /// Per location: how many stores have committed to it this execution
+    /// (the location's current *version*; the initial value is version 0).
+    latest: Vec<u64>,
+    /// Per thread, per location: the newest version that thread has
+    /// observed — the coherence *floor* below which it may not read.
+    /// Monotone; raised by fresh reads, own commits, and acquire drains.
+    floors: Vec<Vec<u64>>,
+    /// Per thread: the location of a `Relaxed` load the thread is parked
+    /// on, eligible for stale-read (reorder) decisions.
+    pending_load: Vec<Option<usize>>,
 }
 
 /// One execution of a concurrency scenario: the model threads to run and an
@@ -223,6 +322,10 @@ struct RtState {
     status: Vec<Status>,
     /// The thread currently allowed to run, if any.
     granted: Option<usize>,
+    /// When the grant came from a reorder decision: how many versions stale
+    /// the granted thread's pending `Relaxed` load must read. Consumed by
+    /// the thread as it wakes.
+    granted_stale: Option<usize>,
     /// Set when an execution must unwind early (panic, livelock, prune).
     abort: bool,
     /// First real panic message observed, if any.
@@ -314,21 +417,34 @@ fn current() -> Option<(Arc<Runtime>, usize)> {
 
 impl Runtime {
     fn new(threads: usize, memory: MemoryMode) -> Self {
+        let weak_state = |bound: usize, window: usize| {
+            assert!(
+                window < REORDER_STRIDE,
+                "stale-value window must stay below {REORDER_STRIDE}"
+            );
+            Mutex::new(WeakState {
+                bound: bound.max(1),
+                window,
+                next_loc: 0,
+                pending: (0..threads).map(|_| VecDeque::new()).collect(),
+                latest: Vec::new(),
+                floors: (0..threads).map(|_| Vec::new()).collect(),
+                pending_load: vec![None; threads],
+            })
+        };
         Self {
             state: Mutex::new(RtState {
                 status: vec![Status::Launching; threads],
                 granted: None,
+                granted_stale: None,
                 abort: false,
                 failure: None,
             }),
             cv: Condvar::new(),
             weak: match memory {
                 MemoryMode::Sc => None,
-                MemoryMode::StoreBuffer { bound } => Some(Mutex::new(WeakState {
-                    bound: bound.max(1),
-                    next_loc: 0,
-                    pending: (0..threads).map(|_| VecDeque::new()).collect(),
-                })),
+                MemoryMode::StoreBuffer { bound } => Some(weak_state(bound, 0)),
+                MemoryMode::Relaxed { bound, window } => Some(weak_state(bound, window)),
             },
             run_id: RUN_COUNTER.fetch_add(1, AtomicOrdering::Relaxed),
         }
@@ -358,6 +474,77 @@ impl Runtime {
         out
     }
 
+    /// The stale-read decisions currently available: for each thread parked
+    /// on a `Relaxed` load, one decision per readable older version of the
+    /// loaded location — ages `1..=k` where `k` is bounded by the window
+    /// depth and the thread's coherence floor. Sorted, like [`flushable`].
+    ///
+    /// [`flushable`]: Runtime::flushable
+    fn reorderable(&self) -> Vec<usize> {
+        let Some(weak) = &self.weak else {
+            return Vec::new();
+        };
+        let weak = lock(weak);
+        if weak.window == 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for (tid, pending) in weak.pending_load.iter().enumerate() {
+            let Some(loc) = *pending else { continue };
+            let latest = weak.latest[loc];
+            let oldest = weak.floors[tid][loc].max(latest.saturating_sub(weak.window as u64));
+            for age in 1..=(latest - oldest) as usize {
+                out.push(encode_reorder(tid, age));
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Records that a store just became globally visible at `loc`, issued by
+    /// `tid`: the location's version advances and the writer's floor rises
+    /// to it (a thread always reads its own committed stores). No-op when
+    /// the mode keeps no version history.
+    fn committed(&self, tid: usize, loc: usize) {
+        let Some(weak) = &self.weak else { return };
+        let mut weak = lock(weak);
+        if weak.window == 0 {
+            return;
+        }
+        weak.latest[loc] += 1;
+        let v = weak.latest[loc];
+        weak.floors[tid][loc] = v;
+    }
+
+    /// Raises `tid`'s floor at `loc` to the current version: the thread just
+    /// observed the latest value (fresh read, RMW, or CAS failure load).
+    fn observed_latest(&self, tid: usize, loc: usize) {
+        let Some(weak) = &self.weak else { return };
+        let mut weak = lock(weak);
+        if weak.window == 0 {
+            return;
+        }
+        let v = weak.latest[loc];
+        let floor = &mut weak.floors[tid][loc];
+        *floor = (*floor).max(v);
+    }
+
+    /// Acquire drain: raises every floor of `tid` to the current version of
+    /// its location — the model's invalidate-queue flush. Nothing stale is
+    /// observable by `tid` afterwards.
+    fn drain_stale(&self, tid: usize) {
+        let Some(weak) = &self.weak else { return };
+        let mut weak = lock(weak);
+        if weak.window == 0 {
+            return;
+        }
+        let latest = std::mem::take(&mut weak.latest);
+        for (floor, v) in weak.floors[tid].iter_mut().zip(latest.iter()) {
+            *floor = (*floor).max(*v);
+        }
+        weak.latest = latest;
+    }
+
     /// Commits the buffered store named by an encoded flush decision: the
     /// oldest entry of that thread for that location. Performed by the
     /// controller between grants; wakes spin-parked threads, since global
@@ -375,6 +562,7 @@ impl Runtime {
             queue.remove(pos).expect("position just found").commit
         };
         commit();
+        self.committed(tid, loc);
         let mut st = lock(&self.state);
         for s in st.status.iter_mut() {
             if *s == Status::Spinning {
@@ -401,7 +589,9 @@ impl Runtime {
             };
             match entry {
                 Some(e) => {
+                    let loc = e.loc;
                     (e.commit)();
+                    self.committed(tid, loc);
                     drained += 1;
                 }
                 None => return drained,
@@ -426,7 +616,10 @@ impl Runtime {
                 }
             };
             match entry {
-                Some(e) => (e.commit)(),
+                Some(e) => {
+                    (e.commit)();
+                    self.committed(tid, loc);
+                }
                 None => return,
             }
         }
@@ -456,7 +649,9 @@ impl Runtime {
                 }
                 weak.pending[tid].pop_front().expect("bound is at least 1")
             };
+            let evicted_loc = evicted.loc;
             (evicted.commit)();
+            self.committed(tid, evicted_loc);
         }
     }
 
@@ -478,13 +673,19 @@ impl Runtime {
         let mut weak = lock(weak);
         let loc = weak.next_loc;
         weak.next_loc += 1;
+        weak.latest.push(0);
+        for floors in weak.floors.iter_mut() {
+            floors.push(0);
+        }
         loc
     }
 
     /// Parks the calling model thread at a yield point and blocks until the
     /// controller grants it the next step (or the execution aborts).
     /// `kind` is the pending operation's effect, or `None` for a spin park.
-    fn arrive(&self, tid: usize, kind: Option<StepKind>) {
+    /// Returns the stale-read age when the grant came from a reorder
+    /// decision (`None` for ordinary grants).
+    fn arrive(&self, tid: usize, kind: Option<StepKind>) -> Option<usize> {
         let mut st = lock(&self.state);
         if st.granted == Some(tid) {
             st.granted = None;
@@ -501,7 +702,7 @@ impl Runtime {
             }
             if st.granted == Some(tid) {
                 st.status[tid] = Status::Running;
-                return;
+                return st.granted_stale.take();
             }
             st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
         }
@@ -570,8 +771,10 @@ impl Runtime {
     /// shared state is about to change, so spin-parked threads are
     /// re-enabled (their next re-check happens strictly after the write —
     /// grants are serialized). Read grants leave spinners disabled: nothing
-    /// they could re-observe has changed.
-    fn grant(&self, tid: usize) {
+    /// they could re-observe has changed. `stale` carries the age of a
+    /// reorder decision — the granted thread's pending `Relaxed` load reads
+    /// that many versions behind (always a read step).
+    fn grant(&self, tid: usize, stale: Option<usize>) {
         let mut st = lock(&self.state);
         let kind = match st.status[tid] {
             Status::Parked(kind) => kind,
@@ -585,6 +788,7 @@ impl Runtime {
             }
         }
         st.granted = Some(tid);
+        st.granted_stale = stale;
         self.cv.notify_all();
     }
 
@@ -656,6 +860,45 @@ impl WeakSession {
     pub(crate) fn drain_location(&self, loc: usize) {
         self.rt.drain_location(self.tid, loc);
     }
+
+    /// The stale-value window of the execution's memory mode (`0` unless
+    /// running under [`MemoryMode::Relaxed`] with a nonzero window).
+    pub(crate) fn window(&self) -> usize {
+        self.rt.weak.as_ref().map_or(0, |w| lock(w).window)
+    }
+
+    /// Parks the calling thread on a `Relaxed` load of `loc`, offering the
+    /// explorer stale-read decisions alongside the fresh one. Returns the
+    /// chosen stale age (`None` = fresh), with the thread's coherence floor
+    /// already raised to the version it is about to observe.
+    pub(crate) fn relaxed_load(&self, loc: usize) -> Option<usize> {
+        let weak = self.rt.weak.as_ref().expect("relaxed_load under SC mode");
+        lock(weak).pending_load[self.tid] = Some(loc);
+        let stale = self.rt.arrive(self.tid, Some(StepKind::Read));
+        let mut st = lock(weak);
+        st.pending_load[self.tid] = None;
+        let observed = st.latest[loc] - stale.unwrap_or(0) as u64;
+        let floor = &mut st.floors[self.tid][loc];
+        *floor = (*floor).max(observed);
+        stale
+    }
+
+    /// Records a store of the calling thread becoming globally visible at
+    /// `loc` outside the flush path (`SeqCst` stores, RMW commits).
+    pub(crate) fn committed(&self, loc: usize) {
+        self.rt.committed(self.tid, loc);
+    }
+
+    /// Raises the calling thread's floor at `loc` to the current version
+    /// (it just observed the latest value, e.g. through a failed CAS).
+    pub(crate) fn observed_latest(&self, loc: usize) {
+        self.rt.observed_latest(self.tid, loc);
+    }
+
+    /// Acquire drain: nothing stale stays observable by the calling thread.
+    pub(crate) fn drain_stale(&self) {
+        self.rt.drain_stale(self.tid);
+    }
 }
 
 fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
@@ -672,9 +915,10 @@ fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
 ///
 /// `choose(enabled, last)` is called at each quiescent point with the sorted
 /// enabled decision ids — thread ids, plus encoded flush ids (≥
-/// [`FLUSH_BASE`]) when `memory` buffers stores — and the previously chosen
-/// thread; it must return a member of `enabled`. `max_steps` bounds the
-/// number of decisions; beyond it the execution is pruned as unfair.
+/// [`FLUSH_BASE`]) when `memory` buffers stores, plus encoded stale-read ids
+/// (≥ [`REORDER_BASE`]) when it keeps a version window — and the previously
+/// chosen thread; it must return a member of `enabled`. `max_steps` bounds
+/// the number of decisions; beyond it the execution is pruned as unfair.
 pub(crate) fn run_once(
     plan: Plan,
     max_steps: usize,
@@ -712,7 +956,12 @@ pub(crate) fn run_once(
             // They remain on offer after their thread finishes — and once
             // *all* threads are done, they are the only decisions left, so
             // the final commit order is explored rather than assumed.
+            // Stale-read (reorder) decisions follow: a thread parked on a
+            // Relaxed load may be granted an older readable version instead
+            // of the fresh one. Ids are disjoint and each range is sorted,
+            // so the combined enabled set stays sorted and deterministic.
             enabled.extend(rt.flushable());
+            enabled.extend(rt.reorderable());
             if enabled.is_empty() {
                 if quiescent.is_none() {
                     break; // all threads done, all stores committed
@@ -742,14 +991,21 @@ pub(crate) fn run_once(
                 "scheduler chose thread {chosen} outside enabled set {enabled:?}"
             );
             decisions.push(Decision { chosen, enabled });
-            if chosen >= FLUSH_BASE {
+            if chosen >= REORDER_BASE {
+                // A stale read: grant the issuing thread its pending Relaxed
+                // load at the decoded age. It is that thread's step, so the
+                // default continuation keeps preferring it.
+                let (tid, age) = decode_reorder(chosen);
+                last = Some(tid);
+                rt.grant(tid, Some(age));
+            } else if chosen >= FLUSH_BASE {
                 // A flush is performed by the controller; `last` keeps
                 // pointing at the previously running thread so the default
                 // continuation still prefers it.
                 rt.perform_flush(chosen);
             } else {
                 last = Some(chosen);
-                rt.grant(chosen);
+                rt.grant(chosen, None);
             }
         }
         rt.await_all_done();

@@ -1,0 +1,358 @@
+//! The cross-mode catch matrix: one table-driven suite asserting, for every
+//! seeded-bug model × {Sc, StoreBuffer, Relaxed}, the *exact* expected
+//! outcome — so the mode hierarchy (each mode catches everything the weaker
+//! ones catch, plus its own row of bugs) is pinned as a single artifact
+//! rather than scattered across suites. For every Caught cell the failing
+//! schedule is additionally re-replayed in-test under the producing mode
+//! (same panic must reproduce) and offered to every weaker mode (a schedule
+//! bearing decisions the weaker mode cannot honor must be *refused*, not
+//! silently diverge).
+//!
+//! The matrix, in table form (P = passes exhaustively within the row's
+//! bounds, C = caught with a deterministically replayable schedule):
+//!
+//! | model                    | Sc | StoreBuffer | Relaxed |
+//! |--------------------------|----|-------------|---------|
+//! | `TornNbw`                | C  | C           | C       |
+//! | `RelaxedPubStack` (bug)  | P  | C           | C       |
+//! | `FencelessNbw` (bug)     | P  | C           | C       |
+//! | `MsgPassing` (bug)       | P  | P           | C       |
+//! | `StaleNbwReader` (bug)   | P  | P           | C       |
+//! | `StalePubRing` (bug)     | P  | P           | C       |
+//! | every fixed counterpart  | P  | P           | P       |
+
+use std::sync::Arc;
+
+use lfrt_interleave::models::buggy::{
+    FencelessNbw, MsgPassing, RelaxedPubStack, StaleNbwReader, StalePubRing, TornNbw, MSG,
+};
+use lfrt_interleave::{
+    explore, replay_in, Config, MemoryMode, Plan, Schedule, FLUSH_BASE, REORDER_BASE,
+};
+
+/// Expected outcome of one (model, mode) cell.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Cell {
+    /// Every schedule within the row's bounds passes.
+    P,
+    /// At least one schedule fails, with the row's panic message.
+    C,
+}
+use Cell::{C, P};
+
+/// One row of the matrix: a scenario factory, the panic message its seeded
+/// bug produces, a CHESS bound shared by *all three* modes (so the cells
+/// are comparable), and the expected outcome per mode.
+struct Row {
+    name: &'static str,
+    scenario: fn() -> Plan,
+    needle: &'static str,
+    bound: Option<usize>,
+    /// Expected outcomes in mode order: [Sc, StoreBuffer, Relaxed].
+    expect: [Cell; 3],
+}
+
+fn modes() -> [(&'static str, MemoryMode); 3] {
+    [
+        ("sc", MemoryMode::Sc),
+        (
+            "tso",
+            MemoryMode::StoreBuffer {
+                bound: MemoryMode::DEFAULT_BOUND,
+            },
+        ),
+        (
+            "relaxed",
+            MemoryMode::Relaxed {
+                bound: MemoryMode::DEFAULT_BOUND,
+                window: MemoryMode::DEFAULT_WINDOW,
+            },
+        ),
+    ]
+}
+
+// --- Scenario factories (self-contained so they can be plain fn items) ---
+
+fn torn_nbw() -> Plan {
+    let reg = Arc::new(TornNbw::new(0, 0));
+    let w = Arc::clone(&reg);
+    let r = Arc::clone(&reg);
+    Plan::new().thread(move || w.write(1, 2)).thread(move || {
+        let got = r.read();
+        assert!(got == (0, 0) || got == (1, 2), "torn read: {got:?}");
+    })
+}
+
+fn pub_stack(make: fn(usize) -> RelaxedPubStack) -> Plan {
+    let stack = Arc::new(make(1));
+    let producer = Arc::clone(&stack);
+    let reader = Arc::clone(&stack);
+    Plan::new()
+        .thread(move || producer.push(0, 42))
+        .thread(move || {
+            let seen = reader.peek();
+            assert!(
+                seen.is_none() || seen == Some(42),
+                "dereferenced a published but uninitialized node: {seen:?}"
+            );
+        })
+}
+fn pub_stack_bug() -> Plan {
+    pub_stack(RelaxedPubStack::relaxed)
+}
+fn pub_stack_fixed() -> Plan {
+    pub_stack(RelaxedPubStack::release)
+}
+
+fn fenceless_nbw(fenced: bool) -> Plan {
+    let nbw = Arc::new(if fenced {
+        FencelessNbw::fixed(0, 0)
+    } else {
+        FencelessNbw::new(0, 0)
+    });
+    let w = Arc::clone(&nbw);
+    let r = Arc::clone(&nbw);
+    Plan::new().thread(move || w.write(1, 2)).thread(move || {
+        let got = r.read();
+        assert!(got == (0, 0) || got == (1, 2), "torn NBW read: {got:?}");
+    })
+}
+fn fenceless_nbw_bug() -> Plan {
+    fenceless_nbw(false)
+}
+fn fenceless_nbw_fixed() -> Plan {
+    fenceless_nbw(true)
+}
+
+fn msg_passing(make: fn() -> MsgPassing) -> Plan {
+    let mp = Arc::new(make());
+    let producer = Arc::clone(&mp);
+    let consumer = Arc::clone(&mp);
+    Plan::new()
+        .thread(move || producer.publish())
+        .thread(move || {
+            if let Some(got) = consumer.consume() {
+                assert_eq!(got, MSG, "flag visible but message incomplete: {got}");
+            }
+        })
+}
+fn msg_passing_bug() -> Plan {
+    msg_passing(MsgPassing::relaxed)
+}
+fn msg_passing_fixed() -> Plan {
+    msg_passing(MsgPassing::acquire)
+}
+
+fn stale_nbw(fenced: bool) -> Plan {
+    let nbw = Arc::new(if fenced {
+        StaleNbwReader::fixed(0, 0)
+    } else {
+        StaleNbwReader::new(0, 0)
+    });
+    let w = Arc::clone(&nbw);
+    let r = Arc::clone(&nbw);
+    Plan::new().thread(move || w.write(1, 1)).thread(move || {
+        let got = r.read();
+        assert!(got == (0, 0) || got == (1, 1), "torn NBW read: {got:?}");
+    })
+}
+fn stale_nbw_bug() -> Plan {
+    stale_nbw(false)
+}
+fn stale_nbw_fixed() -> Plan {
+    stale_nbw(true)
+}
+
+fn pub_ring(make: fn() -> StalePubRing) -> Plan {
+    let ring = Arc::new(make());
+    let producer = Arc::clone(&ring);
+    let consumer = Arc::clone(&ring);
+    Plan::new()
+        .thread(move || producer.produce())
+        .thread(move || {
+            for (i, v) in consumer.consume().into_iter().enumerate() {
+                assert_ne!(v, 0, "published slot {i} read as sentinel");
+            }
+        })
+}
+fn pub_ring_bug() -> Plan {
+    pub_ring(StalePubRing::relaxed)
+}
+fn pub_ring_fixed() -> Plan {
+    pub_ring(StalePubRing::acquire)
+}
+
+/// The bound the NBW-shaped rows need: their reader retry loops make
+/// exhaustive weak exploration explode, and `tests/weak_memory.rs` /
+/// `tests/relaxed_memory.rs` establish 3 preemptions reach every seeded
+/// reordering for this shape.
+const NBW_BOUND: Option<usize> = Some(3);
+
+fn matrix() -> Vec<Row> {
+    vec![
+        Row {
+            name: "torn-nbw",
+            scenario: torn_nbw,
+            needle: "torn read",
+            bound: None,
+            expect: [C, C, C],
+        },
+        Row {
+            name: "relaxed-pub-stack",
+            scenario: pub_stack_bug,
+            needle: "uninitialized node",
+            bound: None,
+            expect: [P, C, C],
+        },
+        Row {
+            name: "fenceless-nbw",
+            scenario: fenceless_nbw_bug,
+            needle: "torn NBW read",
+            bound: NBW_BOUND,
+            expect: [P, C, C],
+        },
+        Row {
+            name: "msg-passing",
+            scenario: msg_passing_bug,
+            needle: "message incomplete",
+            bound: None,
+            expect: [P, P, C],
+        },
+        Row {
+            name: "stale-nbw-reader",
+            scenario: stale_nbw_bug,
+            needle: "torn NBW read",
+            bound: NBW_BOUND,
+            expect: [P, P, C],
+        },
+        Row {
+            name: "stale-pub-ring",
+            scenario: pub_ring_bug,
+            needle: "read as sentinel",
+            bound: None,
+            expect: [P, P, C],
+        },
+        Row {
+            name: "release-pub-stack-fixed",
+            scenario: pub_stack_fixed,
+            needle: "",
+            bound: None,
+            expect: [P, P, P],
+        },
+        Row {
+            name: "fenced-nbw-fixed",
+            scenario: fenceless_nbw_fixed,
+            needle: "",
+            bound: NBW_BOUND,
+            expect: [P, P, P],
+        },
+        Row {
+            name: "acquire-msg-passing-fixed",
+            scenario: msg_passing_fixed,
+            needle: "",
+            bound: None,
+            expect: [P, P, P],
+        },
+        Row {
+            name: "fenced-nbw-reader-fixed",
+            scenario: stale_nbw_fixed,
+            needle: "",
+            bound: NBW_BOUND,
+            expect: [P, P, P],
+        },
+        Row {
+            name: "acquire-pub-ring-fixed",
+            scenario: pub_ring_fixed,
+            needle: "",
+            bound: None,
+            expect: [P, P, P],
+        },
+    ]
+}
+
+/// Replays `schedule` under `mode` expecting the row's panic to reproduce.
+fn assert_reproduces(mode: MemoryMode, schedule: &Schedule, needle: &str, scenario: fn() -> Plan) {
+    let err = std::panic::catch_unwind(|| replay_in(mode, schedule, scenario))
+        .expect_err("replay under the producing mode must reproduce the failure");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(
+        msg.contains(needle),
+        "replay produced a different panic: {msg}"
+    );
+}
+
+/// Offers `schedule` to a weaker `mode`: if it bears decisions the mode
+/// cannot honor it must be refused with a message naming them; otherwise it
+/// must reproduce the same failure (a pure-preemption schedule means the
+/// bug does not need the stronger mode at all, which would falsify the
+/// matrix row — the caller only gets here for Caught cells whose weaker
+/// cells pass, so decision-free schedules are asserted away).
+fn assert_weaker_mode_refuses(mode: MemoryMode, schedule: &Schedule, scenario: fn() -> Plan) {
+    let has_reorder = schedule.steps().iter().any(|&id| id >= REORDER_BASE);
+    let has_flush = schedule
+        .steps()
+        .iter()
+        .any(|&id| (FLUSH_BASE..REORDER_BASE).contains(&id));
+    let windowless = !matches!(mode, MemoryMode::Relaxed { window, .. } if window > 0);
+    let bufferless = matches!(mode, MemoryMode::Sc);
+    let expected_refusal = if has_flush && bufferless {
+        // Flush decisions are rejected first, whatever else the schedule
+        // carries.
+        "flush decision"
+    } else if has_reorder && windowless {
+        "stale-read decision"
+    } else {
+        panic!(
+            "matrix violation: schedule {schedule} caught under a stronger mode \
+             carries no decision the weaker {mode:?} lacks"
+        );
+    };
+    let err = std::panic::catch_unwind(|| replay_in(mode, schedule, scenario))
+        .expect_err("a weaker mode must refuse the schedule");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(
+        msg.contains(expected_refusal),
+        "expected a refusal naming the {expected_refusal}, got: {msg}"
+    );
+}
+
+#[test]
+fn every_cell_of_the_catch_matrix_holds() {
+    for row in matrix() {
+        let mode_list = modes();
+        for (i, (mode_name, mode)) in mode_list.iter().enumerate() {
+            let config = Config {
+                memory: *mode,
+                preemption_bound: row.bound,
+                // Static str leak: one tiny allocation per (row, mode), test
+                // process only — Config wants a 'static name.
+                ..Config::exhaustive(Box::leak(
+                    format!("matrix-{}-{}", row.name, mode_name).into_boxed_str(),
+                ))
+            };
+            let report = explore(&config, row.scenario);
+            match row.expect[i] {
+                P => report.assert_ok(),
+                C => {
+                    let failure = report.assert_fails();
+                    assert!(
+                        failure.message.contains(row.needle),
+                        "{}/{}: wrong failure: {:?}",
+                        row.name,
+                        mode_name,
+                        failure
+                    );
+                    // The caught schedule replays deterministically under
+                    // the mode that produced it...
+                    assert_reproduces(*mode, &failure.schedule, row.needle, row.scenario);
+                    // ...and every weaker mode whose cell is P refuses it.
+                    for (j, (_, weaker)) in mode_list.iter().enumerate().take(i) {
+                        if row.expect[j] == P {
+                            assert_weaker_mode_refuses(*weaker, &failure.schedule, row.scenario);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

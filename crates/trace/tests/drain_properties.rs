@@ -1,0 +1,225 @@
+//! Property-based tests for the flight recorder's drain accounting and the
+//! histogram aggregator: random write/drain/wraparound interleavings must
+//! preserve the conservation law
+//!
+//! ```text
+//! kept + overwritten + discarded == written
+//! ```
+//!
+//! (no event is ever double-counted or silently lost — it is kept, lost to
+//! overwrite, or discarded as torn-suspect, exactly one of the three), and
+//! histogram bucket totals must partition the recorded samples. Failing
+//! cases persist to `drain_properties.proptest-regressions` next to this
+//! file and replay before novel cases on the next run.
+//!
+//! The recorder is process-global, so every case serializes on
+//! [`lfrt_trace::tests_serialize`] and flushes leftovers first; all writes
+//! happen on the runner thread, so within a case the drain is quiescent and
+//! the accounting must balance *exactly* — the fuzzing is over the op
+//! sequence, not over concurrency (real-thread tearing is
+//! `ring_properties.rs`; deterministic interleavings are
+//! `interleave_mirror.rs`).
+
+use proptest::prelude::*;
+
+use lfrt_trace::{
+    drain, emit, op_latency_ns, op_retries, set_enabled, EventKind, Histogram, Site, TraceSnapshot,
+    RING_CAPACITY,
+};
+
+/// One step of a randomized recorder workload.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Emit this many events (values are the running write index).
+    Write(usize),
+    /// Drain mid-stream.
+    Drain,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        // Bursts long enough that a handful of ops can lap the ring
+        // (RING_CAPACITY = 4096).
+        (1..3000usize).prop_map(Op::Write),
+        Just(Op::Drain),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The conservation law over arbitrary write/drain interleavings,
+    /// including multi-lap wraparounds and empty drains.
+    #[test]
+    fn drain_accounting_balances(ops in proptest::collection::vec(op_strategy(), 1..12)) {
+        let _guard = lfrt_trace::tests_serialize();
+        set_enabled(true);
+        let _ = drain(); // flush another test's leftovers
+        let mut written: u64 = 0;
+        // Kept events must surface in write order, and only events that
+        // were actually written.
+        fn account(
+            events: &[lfrt_trace::Event],
+            stats: &lfrt_trace::DrainStats,
+            written: u64,
+            totals: &mut (u64, u64, u64),
+        ) {
+            for pair in events.windows(2) {
+                assert!(pair[0].value < pair[1].value, "drain reordered events");
+            }
+            if let Some(last) = events.last() {
+                assert!(last.value < written, "drained an event never written");
+            }
+            totals.0 += events.len() as u64;
+            totals.1 += stats.overwritten;
+            totals.2 += stats.discarded;
+        }
+        let mut totals = (0u64, 0u64, 0u64);
+        for op in ops {
+            match op {
+                Op::Write(n) => {
+                    for _ in 0..n {
+                        emit(EventKind::EpochDefer, Site::Other, written);
+                        written += 1;
+                    }
+                }
+                Op::Drain => {
+                    let (events, stats) = drain();
+                    account(&events, &stats, written, &mut totals);
+                }
+            }
+        }
+        let (events, stats) = drain();
+        account(&events, &stats, written, &mut totals);
+        let (kept, overwritten, discarded) = totals;
+        set_enabled(false);
+        prop_assert_eq!(
+            kept + overwritten + discarded,
+            written,
+            "conservation violated: kept {} + overwritten {} + discarded {} != written {}",
+            kept, overwritten, discarded, written
+        );
+    }
+
+    /// Single-burst wraparound: what survives is exactly the newest window
+    /// (minus the one torn-suspect slot), in order, ending at the last
+    /// write.
+    #[test]
+    fn wraparound_keeps_the_newest_window(extra in 1..5000usize) {
+        let _guard = lfrt_trace::tests_serialize();
+        set_enabled(true);
+        let _ = drain();
+        let total = (RING_CAPACITY + extra) as u64;
+        for i in 0..total {
+            emit(EventKind::EpochPin, Site::Epoch, i);
+        }
+        set_enabled(false);
+        let (events, stats) = drain();
+        prop_assert_eq!(stats.overwritten, extra as u64);
+        prop_assert_eq!(stats.discarded, 1);
+        prop_assert_eq!(events.len(), RING_CAPACITY - 1);
+        prop_assert_eq!(events.first().unwrap().value, extra as u64 + 1);
+        prop_assert_eq!(events.last().unwrap().value, total - 1);
+    }
+
+    /// Histogram bucket totals partition the samples: every sample lands in
+    /// exactly one bucket, bucket bounds actually contain their samples,
+    /// and the exact count/sum/min/max ride along unquantized.
+    #[test]
+    fn histogram_buckets_partition_samples(values in proptest::collection::vec(any::<u64>(), 0..200)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+            let b = Histogram::bucket_of(v);
+            prop_assert!(v <= Histogram::bucket_ceiling(b), "sample above its bucket ceiling");
+            if b > 0 {
+                prop_assert!(v > Histogram::bucket_ceiling(b - 1), "sample below its bucket floor");
+            }
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        let bucket_total: u64 = h.nonzero_buckets().iter().map(|(_, n)| n).sum();
+        prop_assert_eq!(bucket_total, h.count(), "bucket totals must partition the count");
+        let exact_sum = values.iter().fold(0u64, |acc, &v| acc.saturating_add(v));
+        prop_assert_eq!(h.sum(), exact_sum);
+        prop_assert_eq!(h.min(), values.iter().min().copied().unwrap_or(0));
+        prop_assert_eq!(h.max(), values.iter().max().copied().unwrap_or(0));
+        if !values.is_empty() {
+            // Percentiles are bucket-quantized but never above the exact max
+            // and never below the exact min.
+            for p in [0.0, 50.0, 99.0, 100.0] {
+                let q = h.percentile(p);
+                prop_assert!(q <= h.max() && q >= h.min().min(h.max()), "percentile {p} = {q} escapes [min, max]");
+            }
+        }
+    }
+
+    /// Merging histograms is the same as recording everything into one —
+    /// the property the per-thread aggregation in `snapshot()` relies on.
+    #[test]
+    fn histogram_merge_matches_recording_everything(
+        a in proptest::collection::vec(any::<u64>(), 0..100),
+        b in proptest::collection::vec(any::<u64>(), 0..100),
+    ) {
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        let mut all = Histogram::new();
+        for &v in &a {
+            ha.record(v);
+            all.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            all.record(v);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha, all);
+    }
+
+    /// The snapshot aggregator partitions kept events: per-kind counts sum
+    /// to the drain's event count, each kind's value histogram holds
+    /// exactly that kind's events, and `CasSuccess` ops additionally
+    /// partition across sites with their packed latency/retry fields
+    /// unpacked into the right histograms.
+    #[test]
+    fn snapshot_kind_and_site_counts_partition_events(
+        events in proptest::collection::vec(
+            (0..EventKind::ALL.len(), 0..Site::ALL.len(), any::<u64>()),
+            0..300,
+        )
+    ) {
+        let _guard = lfrt_trace::tests_serialize();
+        set_enabled(true);
+        let _ = drain();
+        for &(kind, site, value) in &events {
+            emit(EventKind::ALL[kind], Site::ALL[site], value);
+        }
+        set_enabled(false);
+        let (drained, stats) = drain();
+        // Below RING_CAPACITY nothing is lost, so the aggregator sees every
+        // written event.
+        prop_assert_eq!(drained.len(), events.len());
+        let snap = TraceSnapshot::from_events(&drained, stats);
+        let kind_total: u64 = snap.kinds.iter().map(|k| k.count).sum();
+        prop_assert_eq!(kind_total, snap.events, "kind counts must partition the drain");
+        for summary in &snap.kinds {
+            prop_assert_eq!(
+                summary.value.count(),
+                summary.count,
+                "kind {:?}: histogram holds a different population than its count",
+                summary.kind
+            );
+            if let Some(retries) = &summary.retries {
+                prop_assert_eq!(retries.count(), summary.count);
+            }
+        }
+        let cas_total = snap.kind(EventKind::CasSuccess).map_or(0, |k| k.count);
+        let site_total: u64 = snap.sites.iter().map(|s| s.ops).sum();
+        prop_assert_eq!(site_total, cas_total, "site ops must partition CasSuccess events");
+        // Spot-check the packed-field unpacking against a recomputation.
+        if let Some(first_cas) = drained.iter().find(|e| e.kind == EventKind::CasSuccess) {
+            let site = snap.site(first_cas.site).expect("site with a CAS op must be summarized");
+            prop_assert!(site.latency_ns.max() >= op_latency_ns(first_cas.value) || site.ops > 1);
+            prop_assert!(site.retries.max() >= op_retries(first_cas.value) || site.ops > 1);
+        }
+    }
+}

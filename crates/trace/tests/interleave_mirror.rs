@@ -21,7 +21,7 @@
 use std::sync::Arc;
 
 use lfrt_interleave::{
-    explore, Atomic, Config, FailureKind, MemoryMode, Ordering, Plan, FLUSH_BASE,
+    explore, Atomic, Config, FailureKind, MemoryMode, Ordering, Plan, FLUSH_BASE, REORDER_BASE,
 };
 
 const CAP: u64 = 2;
@@ -75,8 +75,10 @@ impl ModelRing {
 
     /// The drain from `ring.rs`, verbatim in miniature: Acquire h1, Relaxed
     /// slot copies, re-read h2, keep only sequences the writer cannot have
-    /// been overwriting (`seq + CAP > h2`).
-    fn drain_and_check(&self) {
+    /// been overwriting (`seq + CAP > h2`). The h2 re-read ordering is a
+    /// parameter so the relaxed-mode runs below can prove it load-bearing:
+    /// demoted to `Relaxed`, a stale h2 un-discards a torn-suspect slot.
+    fn drain_and_check(&self, h2_order: Ordering) {
         let h1 = self.head.load_ord(Ordering::Acquire);
         let start = h1.saturating_sub(CAP);
         let mut copied = Vec::new();
@@ -88,7 +90,7 @@ impl ModelRing {
                 self.data[slot].load_ord(Ordering::Relaxed),
             ));
         }
-        let h2 = self.head.load_ord(Ordering::Acquire);
+        let h2 = self.head.load_ord(h2_order);
         for (seq, ts, data) in copied {
             if seq + CAP <= h2 {
                 continue; // torn-suspect: discarded, never inspected
@@ -102,6 +104,10 @@ impl ModelRing {
 }
 
 fn scenario(slots: Ordering, publish: Ordering, slots_first: bool) -> Plan {
+    scenario_h2(slots, publish, slots_first, Ordering::Acquire)
+}
+
+fn scenario_h2(slots: Ordering, publish: Ordering, slots_first: bool, h2: Ordering) -> Plan {
     let ring = Arc::new(ModelRing::new());
     let writer = Arc::clone(&ring);
     let drainer = Arc::clone(&ring);
@@ -111,7 +117,7 @@ fn scenario(slots: Ordering, publish: Ordering, slots_first: bool) -> Plan {
                 writer.write(seq, slots, publish, slots_first);
             }
         })
-        .thread(move || drainer.drain_and_check())
+        .thread(move || drainer.drain_and_check(h2))
 }
 
 /// Runs an exploration that must fail with the torn/unpublished panic and
@@ -192,4 +198,86 @@ fn relaxed_slot_words_pass_sc_but_store_buffer_catches_the_torn_keep() {
         true,
     );
     assert!(weak, "failure must involve a flush decision");
+}
+
+/// Relaxed-mode (ARM/POWER-class) runs: same CHESS bound as the
+/// store-buffer explorations, now with stale-read decisions in the tree.
+fn bounded_relaxed(name: &'static str) -> Config {
+    // The nightly extended-exploration CI job sets INTERLEAVE_EXTENDED=1
+    // to deepen the stale window/buffer bound; per-PR runs use the
+    // defaults so the suite stays fast.
+    let (bound, window) = if std::env::var_os("INTERLEAVE_EXTENDED").is_some() {
+        (6, 3)
+    } else {
+        (MemoryMode::DEFAULT_BOUND, MemoryMode::DEFAULT_WINDOW)
+    };
+    Config {
+        preemption_bound: Some(3),
+        memory: MemoryMode::Relaxed { bound, window },
+        ..Config::exhaustive(name)
+    }
+}
+
+#[test]
+fn faithful_protocol_passes_relaxed() {
+    // The real drain's Acquire h1/h2 pair survives stale reads: h1 drains
+    // the drainer's stale set before the copies, and the Acquire h2 re-read
+    // cannot observe an old head, so every overwrite-raced slot is still
+    // discarded.
+    explore(&bounded_relaxed("trace-ring-relaxed"), || {
+        scenario(Ordering::Release, Ordering::Release, true)
+    })
+    .assert_ok();
+}
+
+#[test]
+fn relaxed_h2_recheck_passes_tso_but_relaxed_catches_the_stale_undiscard() {
+    // Demote only the h2 re-read to `Relaxed`. Under SC and under TSO loads
+    // always observe the freshest committed head, so the seqlock validation
+    // still discards everything the writer might have been overwriting...
+    explore(&Config::exhaustive("trace-ring-stale-h2-sc"), || {
+        scenario_h2(
+            Ordering::Release,
+            Ordering::Release,
+            true,
+            Ordering::Relaxed,
+        )
+    })
+    .assert_ok();
+    explore(&bounded_weak("trace-ring-stale-h2-weak"), || {
+        scenario_h2(
+            Ordering::Release,
+            Ordering::Release,
+            true,
+            Ordering::Relaxed,
+        )
+    })
+    .assert_ok();
+    // ...but a stale h2 can read a head from before the overwriting event
+    // was published, un-discarding a torn slot copy. Only the relaxed
+    // mode's stale-read decisions reach this — the load–load ordering the
+    // Acquire re-read exists to provide.
+    let report = explore(&bounded_relaxed("trace-ring-stale-h2-relaxed"), || {
+        scenario_h2(
+            Ordering::Release,
+            Ordering::Release,
+            true,
+            Ordering::Relaxed,
+        )
+    });
+    let failure = report.assert_fails();
+    assert_eq!(failure.kind, FailureKind::Panic);
+    assert!(
+        failure.message.contains("torn or unpublished"),
+        "{failure:?}"
+    );
+    assert!(
+        failure
+            .schedule
+            .steps()
+            .iter()
+            .any(|&id| id >= REORDER_BASE),
+        "failing schedule {} has no stale-read decision",
+        failure.schedule
+    );
 }
