@@ -3,6 +3,8 @@ use std::fmt;
 use std::sync::atomic::{fence, AtomicU64, Ordering};
 use std::sync::Arc;
 
+use crossbeam::utils::Backoff;
+
 use crate::stats::OpStats;
 
 /// Creates a non-blocking write (NBW) register holding `initial`, split into
@@ -106,12 +108,13 @@ impl<T: Copy + Send> NbwReader<T> {
     /// bounds for scheduled real-time tasks.
     pub fn read(&self) -> T {
         let shared = &*self.shared;
+        let backoff = Backoff::new();
         loop {
             shared.stats.attempt();
             let v1 = shared.version.load(Ordering::Acquire);
             if !v1.is_multiple_of(2) {
                 shared.stats.retry();
-                std::hint::spin_loop();
+                backoff.spin();
                 continue;
             }
             // SAFETY: a torn value is possible here, but it is only *used*
@@ -123,6 +126,7 @@ impl<T: Copy + Send> NbwReader<T> {
                 return value;
             }
             shared.stats.retry();
+            backoff.spin();
         }
     }
 

@@ -1,5 +1,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crossbeam::utils::Backoff;
+
 use crate::stats::OpStats;
 
 /// A single-word lock-free read-modify-write register.
@@ -56,6 +58,7 @@ impl CasRegister {
     ///
     /// `f` may run multiple times and must be a pure function of its input.
     pub fn update<F: FnMut(u64) -> u64>(&self, mut f: F) -> u64 {
+        let backoff = Backoff::new();
         let mut current = self.value.load(Ordering::Acquire);
         loop {
             self.stats.attempt();
@@ -74,6 +77,7 @@ impl CasRegister {
                 Err(actual) => {
                     self.stats.retry();
                     current = actual;
+                    backoff.spin();
                 }
             }
         }

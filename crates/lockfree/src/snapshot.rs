@@ -1,5 +1,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crossbeam::utils::Backoff;
+
 use crate::stats::OpStats;
 
 /// A lock-free atomic multi-cell snapshot.
@@ -65,6 +67,7 @@ impl AtomicSnapshot {
     ///
     /// Panics if `index` is out of bounds.
     pub fn write(&self, index: usize, value: u32) {
+        let backoff = Backoff::new();
         let cell = &self.cells[index];
         let mut current = cell.load(Ordering::Acquire);
         loop {
@@ -76,7 +79,10 @@ impl AtomicSnapshot {
             // tests/ordering_pins.rs).
             match cell.compare_exchange_weak(current, next, Ordering::AcqRel, Ordering::Relaxed) {
                 Ok(_) => return,
-                Err(actual) => current = actual,
+                Err(actual) => {
+                    current = actual;
+                    backoff.spin();
+                }
             }
         }
     }
@@ -94,6 +100,7 @@ impl AtomicSnapshot {
     /// all coexisted at one instant. Retries while writers interfere; each
     /// retry is recorded in [`AtomicSnapshot::stats`].
     pub fn scan(&self) -> Vec<u32> {
+        let backoff = Backoff::new();
         loop {
             self.stats.attempt();
             let first: Vec<u64> = self
@@ -110,6 +117,7 @@ impl AtomicSnapshot {
                 return first.into_iter().map(|w| unpack(w).0).collect();
             }
             self.stats.retry();
+            backoff.spin();
         }
     }
 

@@ -20,9 +20,7 @@ pub struct Binding {
     pub rhs: (usize, usize),
 }
 
-fn is_ident_char(b: u8) -> bool {
-    b.is_ascii_alphanumeric() || b == b'_'
-}
+use lfrt_srcscan::lex::is_ident_char;
 
 /// Collects `let [mut] x = rhs;` bindings and simple `x = rhs;`
 /// assignments inside `clean[span]`, in source order.

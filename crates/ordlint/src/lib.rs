@@ -35,7 +35,9 @@ pub mod graph;
 pub mod report;
 pub mod rules;
 pub mod scan;
-pub mod source;
+/// Comment/string blanking and [`source::SourceFile`], shared with
+/// `lfrt-progress` via `lfrt-srcscan`.
+pub use lfrt_srcscan::source;
 
 use std::io;
 use std::path::{Path, PathBuf};
@@ -88,21 +90,6 @@ fn workspace_dirs(root: &Path) -> Vec<PathBuf> {
     dirs
 }
 
-fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
-    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
-        .filter_map(|e| e.ok().map(|e| e.path()))
-        .collect();
-    entries.sort();
-    for path in entries {
-        if path.is_dir() {
-            walk_rs(&path, out)?;
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-    Ok(())
-}
-
 /// Loads every source file under `root`.
 ///
 /// A workspace checkout (a `crates/` directory exists) is scanned through
@@ -113,27 +100,11 @@ fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
 ///
 /// Propagates I/O errors from directory walks and file reads.
 pub fn collect_sources(root: &Path) -> io::Result<Vec<SourceFile>> {
-    let mut paths = Vec::new();
     if root.join("crates").is_dir() {
-        for dir in workspace_dirs(root) {
-            walk_rs(&dir, &mut paths)?;
-        }
+        lfrt_srcscan::walk::collect_dirs(root, &workspace_dirs(root))
     } else {
-        walk_rs(root, &mut paths)?;
+        lfrt_srcscan::walk::collect_recursive(root)
     }
-    let mut files = Vec::with_capacity(paths.len());
-    for path in paths {
-        let raw = std::fs::read_to_string(&path)?;
-        let rel = path
-            .strip_prefix(root)
-            .unwrap_or(&path)
-            .components()
-            .map(|c| c.as_os_str().to_string_lossy())
-            .collect::<Vec<_>>()
-            .join("/");
-        files.push(SourceFile::new(rel, raw));
-    }
-    Ok(files)
 }
 
 /// Scans `root` and applies the rules; the result still needs

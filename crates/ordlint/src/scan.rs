@@ -18,6 +18,7 @@
 //! code, and test bodies deliberately exercise odd orderings.
 
 use crate::source::SourceFile;
+use lfrt_srcscan::lex::{is_ident_char, matching, prev_sig, receiver_chain};
 
 /// The access class of a site.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,10 +123,6 @@ fn method_kind(name: &str) -> Option<Kind> {
     })
 }
 
-fn is_ident_char(b: u8) -> bool {
-    b.is_ascii_alphanumeric() || b == b'_'
-}
-
 /// Scans one cleaned file for qualifying sites and function spans.
 pub fn scan_file(sf: &SourceFile) -> ScanResult {
     let bytes = sf.clean.as_bytes();
@@ -218,15 +215,6 @@ pub fn scan_file(sf: &SourceFile) -> ScanResult {
     result
 }
 
-/// The last non-whitespace byte before `pos`.
-fn prev_sig(bytes: &[u8], pos: usize) -> Option<u8> {
-    bytes[..pos]
-        .iter()
-        .rev()
-        .copied()
-        .find(|b| !b.is_ascii_whitespace())
-}
-
 fn build_site(
     sf: &SourceFile,
     name_start: usize,
@@ -272,22 +260,6 @@ fn build_site(
     })
 }
 
-/// Byte offset of the bracket matching `bytes[open]`.
-fn matching(bytes: &[u8], open: usize, op: u8, cl: u8) -> Option<usize> {
-    let mut depth = 0usize;
-    for (i, &b) in bytes.iter().enumerate().skip(open) {
-        if b == op {
-            depth += 1;
-        } else if b == cl {
-            depth -= 1;
-            if depth == 0 {
-                return Some(i);
-            }
-        }
-    }
-    None
-}
-
 /// Literal ordering tokens in `text`, in order of appearance.
 pub fn ordering_tokens(text: &str) -> Vec<String> {
     let bytes = text.as_bytes();
@@ -308,112 +280,6 @@ pub fn ordering_tokens(text: &str) -> Vec<String> {
         }
     }
     out
-}
-
-/// Walks backwards from the `.` before a method name, collecting the
-/// receiver chain (identifiers, field accesses, balanced `()` and `[]`).
-/// Returns the normalized chain (whitespace stripped, index expressions
-/// collapsed to `[_]`, call arguments to `()`) and its leading identifier.
-fn receiver_chain(clean: &str, name_start: usize) -> (String, String) {
-    let bytes = clean.as_bytes();
-    // name_start points at the method ident; the significant byte before it
-    // is the `.` (guaranteed by the caller).
-    let mut i = name_start;
-    while i > 0 && bytes[i - 1].is_ascii_whitespace() {
-        i -= 1;
-    }
-    debug_assert_eq!(bytes.get(i - 1), Some(&b'.'));
-    i -= 1; // now at the `.`
-    let chain_end = i;
-    let mut start = i;
-    loop {
-        while start > 0 && bytes[start - 1].is_ascii_whitespace() {
-            start -= 1;
-        }
-        if start == 0 {
-            break;
-        }
-        match bytes[start - 1] {
-            b')' => match matching_back(bytes, start - 1, b'(', b')') {
-                Some(open) => start = open,
-                None => break,
-            },
-            b']' => match matching_back(bytes, start - 1, b'[', b']') {
-                Some(open) => start = open,
-                None => break,
-            },
-            b'.' => start -= 1,
-            c if is_ident_char(c) => {
-                while start > 0 && is_ident_char(bytes[start - 1]) {
-                    start -= 1;
-                }
-                // A `::` path prefix ends the chain at this identifier.
-                if start >= 2 && &bytes[start - 2..start] == b"::" {
-                    break;
-                }
-                // Continue only through a field access.
-                let mut j = start;
-                while j > 0 && bytes[j - 1].is_ascii_whitespace() {
-                    j -= 1;
-                }
-                if j > 0 && bytes[j - 1] == b'.' {
-                    start = j - 1;
-                } else {
-                    break;
-                }
-            }
-            _ => break,
-        }
-    }
-    let span = &clean[start..chain_end];
-    (normalize_receiver(span), leading_ident(span))
-}
-
-fn matching_back(bytes: &[u8], close: usize, op: u8, cl: u8) -> Option<usize> {
-    let mut depth = 0usize;
-    for i in (0..=close).rev() {
-        if bytes[i] == cl {
-            depth += 1;
-        } else if bytes[i] == op {
-            depth -= 1;
-            if depth == 0 {
-                return Some(i);
-            }
-        }
-    }
-    None
-}
-
-fn normalize_receiver(span: &str) -> String {
-    let bytes = span.as_bytes();
-    let mut out = String::new();
-    let mut i = 0;
-    while i < bytes.len() {
-        match bytes[i] {
-            b'[' => {
-                out.push_str("[_]");
-                i = matching(bytes, i, b'[', b']').map_or(bytes.len(), |c| c + 1);
-            }
-            b'(' => {
-                out.push_str("()");
-                i = matching(bytes, i, b'(', b')').map_or(bytes.len(), |c| c + 1);
-            }
-            b if b.is_ascii_whitespace() => i += 1,
-            b => {
-                out.push(b as char);
-                i += 1;
-            }
-        }
-    }
-    out
-}
-
-fn leading_ident(span: &str) -> String {
-    span.trim_start()
-        .bytes()
-        .take_while(|&b| is_ident_char(b))
-        .map(|b| b as char)
-        .collect()
 }
 
 #[cfg(test)]

@@ -94,8 +94,25 @@ fn fixture_scan_sees_every_file() {
             "ord003.rs",
             "ord004.rs",
             "ord005.rs",
-            "ord006.rs"
+            "ord006.rs",
+            "rawstr.rs"
         ]
     );
     assert_eq!(findings.len(), 9, "{findings:?}");
+}
+
+#[test]
+fn byte_string_escape_does_not_hide_the_following_site() {
+    let (analysis, _) = analyze(&fixtures_root()).expect("fixture scan");
+    let site = analysis
+        .sites
+        .iter()
+        .find(|(file, _)| file == "rawstr.rs")
+        .map(|(_, s)| s)
+        .expect("the load after the byte string must be scanned as a site");
+    assert_eq!(site.method, "load");
+    assert_eq!(site.function, "tagged");
+    assert_eq!(site.orderings, ["Acquire"]);
+    // ...and the fixture is otherwise clean.
+    assert_eq!(findings_in("rawstr.rs"), pairs(&[]));
 }

@@ -1,0 +1,8 @@
+//! Regression fixture for byte-string blanking: the `\"` inside `b"x\"y"`
+//! is a real escape (byte strings are not raw strings), so the literal
+//! must not close early — a desync here used to swallow the load below.
+
+fn tagged(flag: &AtomicUsize) -> usize {
+    let _tag = b"x\"y";
+    flag.load(Acquire)
+}

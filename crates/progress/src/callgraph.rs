@@ -1,0 +1,249 @@
+//! Name-based call-graph construction and reachability.
+//!
+//! The graph is built from the [`crate::scan`] call sites with a
+//! resolution precedence that trades a little recall for a lot of
+//! precision:
+//!
+//! 1. `Qualifier::name(...)` resolves exactly: to `Qualifier::name` if
+//!    that type has such an associated fn, otherwise (module qualifiers
+//!    like `epoch::pin`) to free fns named `name`.
+//! 2. `self.name(...)` resolves within the enclosing impl type only.
+//! 3. `receiver.name(...)` with any other receiver resolves to *every*
+//!    known method named `name` — except names on the ubiquity denylist
+//!    (`len`, `is_empty`, `push`, ...), which overwhelmingly hit std
+//!    types and would otherwise wire, say, a `Vec::is_empty` call to
+//!    `LockedQueue::is_empty` and poison every reachability query.
+//! 4. `name(...)` resolves to free fns named `name`.
+//!
+//! Known blind spots (documented in DESIGN.md §6b): trait-object dispatch
+//! (`dyn ConcurrentQueue` calls are denylisted or unresolvable by
+//! design), macro-generated calls (`thread_local!` initializer bodies are
+//! item-level, so the trace ring's registration lock and the epoch
+//! record acquisition are reachable only at thread birth, not through
+//! any edge), and function pointers.
+
+use std::collections::HashMap;
+
+use crate::scan::{Call, CallStyle, FnInfo};
+
+/// Method names too ubiquitous on std types to resolve by name alone.
+/// Applies only to unqualified non-`self` method calls (style 3 above);
+/// `Type::name(...)` and `self.name(...)` still resolve these exactly.
+pub const METHOD_DENYLIST: [&str; 50] = [
+    "new",
+    "len",
+    "is_empty",
+    "push",
+    "pop",
+    "insert",
+    "remove",
+    "get",
+    "get_mut",
+    "contains",
+    "contains_key",
+    "clone",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "next",
+    "collect",
+    "extend",
+    "map",
+    "filter",
+    "take",
+    "unwrap",
+    "expect",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "to_vec",
+    "to_string",
+    "to_owned",
+    "drain",
+    "is_null",
+    "as_ref",
+    "as_raw",
+    "as_mut",
+    "deref",
+    "with",
+    "try_with",
+    "write",
+    "read",
+];
+
+/// The call graph over every scanned function, by flat index.
+#[derive(Debug, Default)]
+pub struct Graph {
+    /// Adjacency: callee indices per function.
+    pub edges: Vec<Vec<usize>>,
+    by_qname: HashMap<String, Vec<usize>>,
+    methods_by_name: HashMap<String, Vec<usize>>,
+    free_by_name: HashMap<String, Vec<usize>>,
+}
+
+impl Graph {
+    /// Builds the graph over `fns` (one flat list across all files).
+    pub fn build(fns: &[FnInfo]) -> Self {
+        let mut g = Graph {
+            edges: vec![Vec::new(); fns.len()],
+            ..Graph::default()
+        };
+        for (i, f) in fns.iter().enumerate() {
+            g.by_qname.entry(f.qname.clone()).or_default().push(i);
+            if f.is_method {
+                g.methods_by_name.entry(f.name.clone()).or_default().push(i);
+            } else {
+                g.free_by_name.entry(f.name.clone()).or_default().push(i);
+            }
+        }
+        for (i, f) in fns.iter().enumerate() {
+            let caller_type = f
+                .qname
+                .strip_suffix(&format!("::{}", f.name))
+                .map(String::from);
+            let mut callees: Vec<usize> = f
+                .calls
+                .iter()
+                .flat_map(|c| g.resolve(c, caller_type.as_deref()))
+                .collect();
+            callees.sort_unstable();
+            callees.dedup();
+            callees.retain(|&c| c != i);
+            g.edges[i] = callees;
+        }
+        g
+    }
+
+    /// All function indices with qualified name `qname`.
+    pub fn by_qname(&self, qname: &str) -> &[usize] {
+        self.by_qname.get(qname).map_or(&[], |v| v.as_slice())
+    }
+
+    fn resolve(&self, call: &Call, caller_type: Option<&str>) -> Vec<usize> {
+        match call.style {
+            CallStyle::Path => {
+                if let Some(q) = &call.qualifier {
+                    let q = if q == "Self" {
+                        caller_type.unwrap_or(q)
+                    } else {
+                        q
+                    };
+                    if let Some(hits) = self.by_qname.get(&format!("{q}::{}", call.name)) {
+                        return hits.clone();
+                    }
+                }
+                // Module-qualified free fn (`epoch::pin`, `trace::emit`).
+                self.free_by_name
+                    .get(&call.name)
+                    .cloned()
+                    .unwrap_or_default()
+            }
+            CallStyle::SelfMethod => caller_type
+                .and_then(|t| self.by_qname.get(&format!("{t}::{}", call.name)))
+                .cloned()
+                .unwrap_or_default(),
+            CallStyle::Method => {
+                if METHOD_DENYLIST.contains(&call.name.as_str()) {
+                    Vec::new()
+                } else {
+                    self.methods_by_name
+                        .get(&call.name)
+                        .cloned()
+                        .unwrap_or_default()
+                }
+            }
+            CallStyle::Bare => self
+                .free_by_name
+                .get(&call.name)
+                .cloned()
+                .unwrap_or_default(),
+        }
+    }
+
+    /// BFS from `roots`; returns, for every reached function (roots
+    /// included), the path of function indices from a root to it.
+    pub fn reachable(&self, roots: &[usize]) -> HashMap<usize, Vec<usize>> {
+        let mut paths: HashMap<usize, Vec<usize>> = HashMap::new();
+        let mut queue: std::collections::VecDeque<usize> = Default::default();
+        for &r in roots {
+            if let std::collections::hash_map::Entry::Vacant(e) = paths.entry(r) {
+                e.insert(vec![r]);
+                queue.push_back(r);
+            }
+        }
+        while let Some(n) = queue.pop_front() {
+            let base = paths[&n].clone();
+            for &m in &self.edges[n] {
+                if let std::collections::hash_map::Entry::Vacant(e) = paths.entry(m) {
+                    let mut p = base.clone();
+                    p.push(m);
+                    e.insert(p);
+                    queue.push_back(m);
+                }
+            }
+        }
+        paths
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lfrt_srcscan::source::SourceFile;
+
+    fn fns(src: &str) -> Vec<FnInfo> {
+        crate::scan::scan_file(&SourceFile::new("t.rs", src))
+    }
+
+    #[test]
+    fn denylist_blocks_only_unqualified_method_calls() {
+        let src = "
+impl LockedQueue {
+    pub fn is_empty(&self) -> bool { self.inner.lock().unwrap().is_empty() }
+}
+impl LockFreeList {
+    pub fn probe(&self) -> bool { self.to_vec_helper().is_empty() }
+    pub fn exact(&self) -> bool { LockedQueue::is_empty(self) }
+    fn to_vec_helper(&self) -> Vec<u64> { Vec::new() }
+}
+";
+        let fns = fns(src);
+        let g = Graph::build(&fns);
+        let idx = |q: &str| g.by_qname(q)[0];
+        // `.is_empty()` on a Vec receiver: denylisted, no edge to the
+        // locking method.
+        assert!(!g.edges[idx("LockFreeList::probe")].contains(&idx("LockedQueue::is_empty")));
+        // Self-call resolves within the impl type.
+        assert!(g.edges[idx("LockFreeList::probe")].contains(&idx("LockFreeList::to_vec_helper")));
+        // Fully qualified call resolves exactly even for denylisted names.
+        assert!(g.edges[idx("LockFreeList::exact")].contains(&idx("LockedQueue::is_empty")));
+    }
+
+    #[test]
+    fn reachability_paths_lead_from_root() {
+        let src = "
+fn a() { b(); }
+fn b() { c(); }
+fn c() {}
+fn unrelated() {}
+";
+        let fns = fns(src);
+        let g = Graph::build(&fns);
+        let a = g.by_qname("a")[0];
+        let c = g.by_qname("c")[0];
+        let reached = g.reachable(&[a]);
+        assert_eq!(reached.len(), 3);
+        assert_eq!(reached[&c].len(), 3, "a -> b -> c");
+    }
+}

@@ -1,0 +1,956 @@
+//! Function extraction and per-body feature scanning.
+//!
+//! One pass over each cleaned file recovers the item structure the rules
+//! need: every function body with its impl-qualified name (`Type::method`)
+//! and visibility, plus the lexical features inside each body — call
+//! sites, loops, CAS sites, backoff pacing, blocking/allocation tokens,
+//! `defer_destroy` sites, and epoch-guard bindings with their taint and
+//! escapes. Like `ordlint`, everything runs on blanked text
+//! (`lfrt_srcscan::source`) so strings and comments can't fake a site,
+//! and `#[cfg(test)]` items are skipped entirely.
+
+use lfrt_srcscan::lex::{is_ident_char, matching, matching_back, prev_sig, receiver_chain};
+use lfrt_srcscan::source::SourceFile;
+
+/// How a call site names its callee — drives resolution precedence in
+/// [`crate::callgraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallStyle {
+    /// `Qualifier::name(...)` — an associated fn or module-qualified free
+    /// fn; resolved exactly.
+    Path,
+    /// `self.name(...)` — resolved within the enclosing impl type.
+    SelfMethod,
+    /// `receiver.name(...)` with any other receiver — resolved by name
+    /// against every known method, behind the ubiquity denylist.
+    Method,
+    /// `name(...)` — resolved against free fns.
+    Bare,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Callee identifier as written.
+    pub name: String,
+    /// `Qualifier` of a [`CallStyle::Path`] call (`epoch`, `Owned`, ...);
+    /// the enclosing impl type for [`CallStyle::SelfMethod`].
+    pub qualifier: Option<String>,
+    /// Resolution style.
+    pub style: CallStyle,
+    /// Byte offset of the callee identifier.
+    pub offset: usize,
+}
+
+/// A named token occurrence (blocking primitive, allocation, escape use).
+#[derive(Debug, Clone)]
+pub struct TokenSite {
+    /// The token (`lock`, `Box::new`, a tainted identifier, ...).
+    pub token: String,
+    /// Byte offset.
+    pub offset: usize,
+}
+
+/// A `compare_exchange[_weak]` call site.
+#[derive(Debug, Clone)]
+pub struct CasSite {
+    /// Byte offset of the method identifier.
+    pub offset: usize,
+    /// Normalized receiver chain (`self.top`, `REGISTRY`, ...).
+    pub receiver: String,
+}
+
+/// An unbounded-iteration construct (`loop` or `while`; `for` is bounded
+/// by its iterator and exempt).
+#[derive(Debug, Clone)]
+pub struct LoopInfo {
+    /// Byte offset of the `loop`/`while` keyword.
+    pub offset: usize,
+    /// `"loop"` or `"while"`.
+    pub kind: &'static str,
+    /// Half-open byte range of the body braces (condition included for
+    /// `while`, so a CAS in the condition counts as inside).
+    pub span: (usize, usize),
+}
+
+/// One scanned function with everything the rules consume.
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    /// Qualified name: `Type::name` inside an impl/trait block, bare name
+    /// for free fns.
+    pub qname: String,
+    /// Bare name.
+    pub name: String,
+    /// Whether the fn is `pub` (not `pub(crate)`/`pub(super)`).
+    pub is_pub: bool,
+    /// Whether the fn is defined inside an impl or trait block.
+    pub is_method: bool,
+    /// 1-based line of the body's opening brace.
+    pub line: usize,
+    /// Half-open byte range of the body (including braces).
+    pub span: (usize, usize),
+    /// Call sites, in source order.
+    pub calls: Vec<Call>,
+    /// `loop`/`while` constructs.
+    pub loops: Vec<LoopInfo>,
+    /// Blocking-primitive call tokens (`lock`, `park`, `sleep`, ...).
+    pub blocking: Vec<TokenSite>,
+    /// Heap-allocation tokens (`Box::new`, `vec!`, `.to_vec(`, ...).
+    pub allocs: Vec<TokenSite>,
+    /// Backoff pacing calls (`.spin(`/`.snooze(`) by offset.
+    pub pacing: Vec<usize>,
+    /// `defer_destroy` call sites by offset.
+    pub defers: Vec<usize>,
+    /// CAS sites.
+    pub cas: Vec<CasSite>,
+    /// Guard-derived pointers used after the guard's scope (PRG003).
+    pub guard_escapes: Vec<TokenSite>,
+}
+
+/// Blocking-primitive call names (PRG002). Whole-identifier matched, so
+/// `try_lock` — the non-blocking probe the epoch collector uses — never
+/// matches `lock`.
+const BLOCKING_CALLS: [&str; 9] = [
+    "lock",
+    "park",
+    "park_timeout",
+    "sleep",
+    "recv",
+    "recv_timeout",
+    "wait",
+    "wait_timeout",
+    "join",
+];
+
+/// Allocating `Qualifier::name` associated calls (PRG006).
+const ALLOC_PATH_CALLS: [(&str, &str); 10] = [
+    ("Box", "new"),
+    ("Box", "leak"),
+    ("Vec", "new"),
+    ("Vec", "with_capacity"),
+    ("Vec", "from"),
+    ("Arc", "new"),
+    ("Rc", "new"),
+    ("String", "new"),
+    ("String", "from"),
+    ("String", "with_capacity"),
+];
+
+/// Allocating method names (PRG006).
+const ALLOC_METHODS: [&str; 4] = ["to_vec", "to_owned", "to_string", "collect"];
+
+/// Allocating macros (PRG006).
+const ALLOC_MACROS: [&str; 2] = ["vec", "format"];
+
+const KEYWORDS: [&str; 25] = [
+    "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "fn", "let",
+    "as", "in", "move", "ref", "mut", "dyn", "where", "unsafe", "impl", "use", "pub", "const",
+    "static", "await",
+];
+
+/// Scans one cleaned file into its function inventory.
+pub fn scan_file(sf: &SourceFile) -> Vec<FnInfo> {
+    let spans = fn_spans(sf);
+    spans
+        .into_iter()
+        .map(|s| {
+            let mut info = FnInfo {
+                qname: s.qname,
+                name: s.name,
+                is_pub: s.is_pub,
+                is_method: s.is_method,
+                line: sf.line_of(s.start),
+                span: (s.start, s.end),
+                calls: Vec::new(),
+                loops: Vec::new(),
+                blocking: Vec::new(),
+                allocs: Vec::new(),
+                pacing: Vec::new(),
+                defers: Vec::new(),
+                cas: Vec::new(),
+                guard_escapes: Vec::new(),
+            };
+            scan_body(sf, &mut info);
+            guard_escapes(sf, &mut info);
+            info
+        })
+        .collect()
+}
+
+struct RawSpan {
+    qname: String,
+    name: String,
+    is_pub: bool,
+    is_method: bool,
+    start: usize,
+    end: usize,
+}
+
+/// First pass: function body spans with impl-qualified names, visibility,
+/// and `#[cfg(test)]` skipping. Nested fns get the innermost enclosing
+/// impl's qualification (same as their parent).
+fn fn_spans(sf: &SourceFile) -> Vec<RawSpan> {
+    let bytes = sf.clean.as_bytes();
+    let mut out = Vec::new();
+    // (qname, name, is_pub, is_method, depth, start)
+    let mut fn_stack: Vec<(String, String, bool, bool, usize, usize)> = Vec::new();
+    let mut impl_stack: Vec<(String, usize)> = Vec::new();
+    let mut pending_fn: Option<(String, bool)> = None;
+    let mut pending_impl: Option<String> = None;
+    let mut awaiting_fn_name = false;
+    let mut item_pub = false;
+    let mut skip_pending = false;
+    let mut skip_depth: Option<usize> = None;
+    let mut depth = 0usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'{' => {
+                depth += 1;
+                let fn_pending = pending_fn.take();
+                let impl_pending = pending_impl.take();
+                if skip_pending {
+                    skip_pending = false;
+                    skip_depth = Some(depth);
+                } else if let Some((name, is_pub)) = fn_pending {
+                    let (qname, is_method) = match impl_stack.last() {
+                        Some((ty, _)) => (format!("{ty}::{name}"), true),
+                        None => (name.clone(), false),
+                    };
+                    fn_stack.push((qname, name, is_pub, is_method, depth, i));
+                } else if let Some(ty) = impl_pending {
+                    impl_stack.push((ty, depth));
+                }
+                item_pub = false;
+                i += 1;
+            }
+            b'}' => {
+                if let Some((qname, name, is_pub, is_method, d, start)) = fn_stack.last().cloned() {
+                    if d == depth {
+                        fn_stack.pop();
+                        if skip_depth.is_none() {
+                            out.push(RawSpan {
+                                qname,
+                                name,
+                                is_pub,
+                                is_method,
+                                start,
+                                end: i + 1,
+                            });
+                        }
+                    }
+                }
+                if impl_stack.last().is_some_and(|&(_, d)| d == depth) {
+                    impl_stack.pop();
+                }
+                if skip_depth == Some(depth) {
+                    skip_depth = None;
+                }
+                depth = depth.saturating_sub(1);
+                item_pub = false;
+                i += 1;
+            }
+            b';' => {
+                // A trait method declaration (or `impl Trait for X;`-style
+                // nonsense) ends without a body.
+                pending_fn = None;
+                item_pub = false;
+                i += 1;
+            }
+            b'#' if sf.clean[i..].starts_with("#[cfg(test)]") && skip_depth.is_none() => {
+                skip_pending = true;
+                i += "#[cfg(test)]".len();
+            }
+            _ if is_ident_char(b) && (i == 0 || !is_ident_char(bytes[i - 1])) => {
+                let start = i;
+                while i < bytes.len() && is_ident_char(bytes[i]) {
+                    i += 1;
+                }
+                let word = &sf.clean[start..i];
+                if awaiting_fn_name {
+                    awaiting_fn_name = false;
+                    pending_fn = Some((word.to_string(), item_pub));
+                    item_pub = false;
+                    continue;
+                }
+                match word {
+                    "fn" => awaiting_fn_name = true,
+                    "pub" => {
+                        // `pub(crate)`/`pub(super)` are not public API.
+                        let mut j = i;
+                        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+                            j += 1;
+                        }
+                        item_pub = bytes.get(j) != Some(&b'(');
+                    }
+                    // A return-position/argument-position `impl Trait`
+                    // appears only after `fn name` is pending; the guard
+                    // below keeps it from opening a phantom impl block.
+                    "impl" | "trait" if pending_fn.is_none() && skip_depth.is_none() => {
+                        pending_impl = impl_type(&sf.clean[i..]);
+                    }
+                    _ => {}
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Extracts the implemented type's name from an impl/trait header (the
+/// text after the keyword, up to the body brace): the last path segment of
+/// the type after a top-level `for` (if any), generics stripped.
+/// `impl<T: Send> ConcurrentQueue<T> for LockedQueue<T>` → `LockedQueue`;
+/// `impl fmt::Debug for NbwWriter<T>` → `NbwWriter`; `trait Queue<T>` →
+/// `Queue`.
+fn impl_type(after_kw: &str) -> Option<String> {
+    let header_end = after_kw.find('{').unwrap_or(after_kw.len());
+    let mut s = after_kw[..header_end].trim();
+    // Leading generic parameters.
+    if let Some(rest) = s.strip_prefix('<') {
+        let mut d = 1usize;
+        let mut cut = rest.len();
+        for (k, c) in rest.char_indices() {
+            match c {
+                '<' => d += 1,
+                '>' => {
+                    d -= 1;
+                    if d == 0 {
+                        cut = k + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        s = rest[cut..].trim_start();
+    }
+    // A top-level ` for ` splits trait from implementing type.
+    let bytes = s.as_bytes();
+    let mut d = 0usize;
+    let mut k = 0usize;
+    while k < bytes.len() {
+        match bytes[k] {
+            b'<' => d += 1,
+            b'>' => d = d.saturating_sub(1),
+            b'f' if d == 0
+                && s[k..].starts_with("for")
+                && (k == 0 || !is_ident_char(bytes[k - 1]))
+                && !is_ident_char(*bytes.get(k + 3).unwrap_or(&b' ')) =>
+            {
+                s = s[k + 3..].trim_start();
+                break;
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    // Trailing where clause, bounds, generics.
+    let s = s.split("where").next().unwrap_or(s).trim();
+    let s = s.split(':').next().unwrap_or(s).trim();
+    let base = s.split('<').next().unwrap_or(s).trim();
+    let name = base
+        .rsplit("::")
+        .next()
+        .unwrap_or(base)
+        .trim_start_matches('&')
+        .trim_start_matches("mut ")
+        .trim();
+    if name.is_empty() || !name.bytes().all(is_ident_char) {
+        return None;
+    }
+    Some(name.to_string())
+}
+
+/// Second pass over one body: calls, loops, and token features.
+fn scan_body(sf: &SourceFile, info: &mut FnInfo) {
+    let clean = &sf.clean;
+    let bytes = clean.as_bytes();
+    let (body_start, body_end) = info.span;
+    let mut i = body_start + 1;
+    let mut last_word = String::new();
+    while i < body_end.saturating_sub(1) {
+        let b = bytes[i];
+        if !(is_ident_char(b) && (i == 0 || !is_ident_char(bytes[i - 1]))) {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < body_end && is_ident_char(bytes[i]) {
+            i += 1;
+        }
+        let word = &clean[start..i];
+        // Loops.
+        if word == "loop" || word == "while" {
+            if let Some(open) = loop_body_brace(bytes, clean, i, body_end) {
+                if let Some(close) = matching(bytes, open, b'{', b'}') {
+                    info.loops.push(LoopInfo {
+                        offset: start,
+                        kind: if word == "loop" { "loop" } else { "while" },
+                        span: (start, close + 1),
+                    });
+                }
+            }
+            last_word = word.to_string();
+            continue;
+        }
+        // Macros: `name!(...)` — only the allocating ones matter.
+        if bytes.get(i) == Some(&b'!') {
+            if ALLOC_MACROS.contains(&word) {
+                info.allocs.push(TokenSite {
+                    token: format!("{word}!"),
+                    offset: start,
+                });
+            }
+            last_word = word.to_string();
+            continue;
+        }
+        // Call sites: identifier (+ optional turbofish) followed by `(`,
+        // not a keyword, not a definition (`fn name(`).
+        let mut k = i;
+        while k < body_end && bytes[k].is_ascii_whitespace() {
+            k += 1;
+        }
+        if clean[k..].starts_with("::<") {
+            if let Some(close) = matching(&bytes[..body_end], k + 2, b'<', b'>') {
+                k = close + 1;
+                while k < body_end && bytes[k].is_ascii_whitespace() {
+                    k += 1;
+                }
+            }
+        }
+        let is_call = bytes.get(k) == Some(&b'(') && !KEYWORDS.contains(&word) && last_word != "fn";
+        if is_call {
+            let prev = prev_sig(bytes, start);
+            let (style, qualifier) = if prev == Some(b'.') {
+                if self_receiver(bytes, start) {
+                    (CallStyle::SelfMethod, None)
+                } else {
+                    (CallStyle::Method, None)
+                }
+            } else if path_qualified(bytes, start) {
+                (CallStyle::Path, path_qualifier(clean, start))
+            } else {
+                (CallStyle::Bare, None)
+            };
+            if BLOCKING_CALLS.contains(&word) {
+                info.blocking.push(TokenSite {
+                    token: word.to_string(),
+                    offset: start,
+                });
+            }
+            if word == "compare_exchange" || word == "compare_exchange_weak" {
+                let receiver = if style == CallStyle::Method || style == CallStyle::SelfMethod {
+                    receiver_chain(clean, start).0
+                } else {
+                    String::new()
+                };
+                info.cas.push(CasSite {
+                    offset: start,
+                    receiver,
+                });
+            }
+            if word == "spin" || word == "snooze" {
+                info.pacing.push(start);
+            }
+            if word == "defer_destroy" {
+                info.defers.push(start);
+            }
+            let is_alloc = match style {
+                CallStyle::Path => qualifier
+                    .as_deref()
+                    .is_some_and(|q| ALLOC_PATH_CALLS.contains(&(q, word))),
+                CallStyle::Method | CallStyle::SelfMethod => ALLOC_METHODS.contains(&word),
+                CallStyle::Bare => false,
+            };
+            if is_alloc {
+                let token = match &qualifier {
+                    Some(q) => format!("{q}::{word}"),
+                    None => format!(".{word}()"),
+                };
+                info.allocs.push(TokenSite {
+                    token,
+                    offset: start,
+                });
+            }
+            info.calls.push(Call {
+                name: word.to_string(),
+                qualifier,
+                style,
+                offset: start,
+            });
+        }
+        last_word = word.to_string();
+    }
+}
+
+/// The next `{` at or after `from` (skipping everything else — `while`
+/// conditions cannot contain a bare block).
+fn next_brace(bytes: &[u8], from: usize, end: usize) -> Option<usize> {
+    (from..end).find(|&k| bytes[k] == b'{')
+}
+
+/// The opening brace of a `loop`/`while` body, searching from just past
+/// the keyword. Skips header-position `unsafe { .. }` blocks — as in
+/// `while let Some(r) = unsafe { p.as_ref() } { .. }` — which are the one
+/// kind of block expression Rust allows in a loop header without
+/// parentheses; taking the first `{` there would truncate the loop span
+/// to the header block and hide every CAS in the real body.
+fn loop_body_brace(bytes: &[u8], clean: &str, from: usize, end: usize) -> Option<usize> {
+    let mut from = from;
+    loop {
+        let open = next_brace(bytes, from, end)?;
+        if prev_word(clean, open) == Some("unsafe") {
+            from = matching(bytes, open, b'{', b'}')? + 1;
+            continue;
+        }
+        return Some(open);
+    }
+}
+
+/// The identifier immediately (modulo whitespace) before `offset`, if any.
+fn prev_word(clean: &str, offset: usize) -> Option<&str> {
+    let bytes = clean.as_bytes();
+    let mut i = offset;
+    while i > 0 && bytes[i - 1].is_ascii_whitespace() {
+        i -= 1;
+    }
+    let end = i;
+    while i > 0 && is_ident_char(bytes[i - 1]) {
+        i -= 1;
+    }
+    (i < end).then(|| &clean[i..end])
+}
+
+/// Whether the method call at `name_start` has exactly `self` as its
+/// receiver (`self.m(...)`, not `self.field.m(...)`).
+fn self_receiver(bytes: &[u8], name_start: usize) -> bool {
+    let mut i = name_start;
+    while i > 0 && bytes[i - 1].is_ascii_whitespace() {
+        i -= 1;
+    }
+    if i == 0 || bytes[i - 1] != b'.' {
+        return false;
+    }
+    i -= 1;
+    while i > 0 && bytes[i - 1].is_ascii_whitespace() {
+        i -= 1;
+    }
+    if i < 4 || &bytes[i - 4..i] != b"self" {
+        return false;
+    }
+    let before = i - 4;
+    if before > 0 && (is_ident_char(bytes[before - 1]) || bytes[before - 1] == b'.') {
+        return false;
+    }
+    true
+}
+
+/// Whether the call at `name_start` is `Qualifier::name(...)`.
+fn path_qualified(bytes: &[u8], name_start: usize) -> bool {
+    name_start >= 2 && &bytes[name_start - 2..name_start] == b"::"
+}
+
+/// The immediate qualifier of a path call: the path segment right before
+/// the final `::` (`epoch::pin` → `epoch`, `lfrt_trace::CasOp::start` →
+/// `CasOp`, `Shared::<T>::null` → `Shared`).
+fn path_qualifier(clean: &str, name_start: usize) -> Option<String> {
+    let bytes = clean.as_bytes();
+    let mut i = name_start.checked_sub(2)?;
+    // A turbofish between qualifier and name: `Q::<T>::name`.
+    if i > 0 && bytes[i - 1] == b'>' {
+        i = matching_back(bytes, i - 1, b'<', b'>')?;
+        if i >= 2 && &bytes[i - 2..i] == b"::" {
+            i -= 2;
+        }
+    }
+    let end = i;
+    let mut start = end;
+    while start > 0 && is_ident_char(bytes[start - 1]) {
+        start -= 1;
+    }
+    if start == end {
+        return None;
+    }
+    Some(clean[start..end].to_string())
+}
+
+/// PRG003 detection: for each `let g = [&]epoch::pin();` binding, compute
+/// the guard's lexical scope (its innermost block, shortened by a
+/// `drop(g)`), taint identifiers bound from statements mentioning the
+/// guard, and record word-uses of tainted identifiers past the scope end.
+fn guard_escapes(sf: &SourceFile, info: &mut FnInfo) {
+    let clean = &sf.clean;
+    let bytes = clean.as_bytes();
+    let (body_start, body_end) = info.span;
+    let pins: Vec<usize> = info
+        .calls
+        .iter()
+        .filter(|c| c.name == "pin" && c.style == CallStyle::Path)
+        .map(|c| c.offset)
+        .collect();
+    for pin_offset in pins {
+        let bind_stmt = stmt_start(bytes, body_start, pin_offset);
+        let Some(guard) = let_binding_ident(clean, bind_stmt, pin_offset) else {
+            continue;
+        };
+        // Scope: innermost block containing the binding...
+        let mut scope_end = enclosing_block_end(bytes, body_start, body_end, pin_offset);
+        // ...shortened by an explicit `drop(guard)`.
+        for c in &info.calls {
+            if c.name == "drop" && c.style == CallStyle::Bare && c.offset > pin_offset {
+                if let Some(open) = next_paren(bytes, c.offset, body_end) {
+                    if let Some(close) = matching(bytes, open, b'(', b')') {
+                        if clean[open + 1..close].trim() == guard && close < scope_end {
+                            scope_end = close + 1;
+                        }
+                    }
+                }
+            }
+        }
+        // Taint: identifiers bound or assigned from a statement whose RHS
+        // mentions the guard inside its scope.
+        let mut tainted: Vec<String> = Vec::new();
+        for use_offset in word_occurrences(clean, &guard, pin_offset + 1, scope_end) {
+            let s = stmt_start(bytes, body_start, use_offset);
+            if let Some(ident) = let_binding_ident(clean, s, use_offset)
+                .or_else(|| assignment_ident(clean, s, use_offset))
+            {
+                if ident != guard && !tainted.contains(&ident) {
+                    tainted.push(ident);
+                }
+            }
+        }
+        // Escapes: any word-use of a tainted identifier after the scope.
+        for t in &tainted {
+            for esc in word_occurrences(clean, t, scope_end, body_end) {
+                info.guard_escapes.push(TokenSite {
+                    token: t.clone(),
+                    offset: esc,
+                });
+            }
+        }
+    }
+    info.guard_escapes.sort_by_key(|t| t.offset);
+    info.guard_escapes.dedup_by(|a, b| a.offset == b.offset);
+}
+
+/// Start of the statement containing `offset`: just past the previous
+/// `;`, `{`, or `}` in the body.
+fn stmt_start(bytes: &[u8], body_start: usize, offset: usize) -> usize {
+    (body_start..offset)
+        .rev()
+        .find(|&k| matches!(bytes[k], b';' | b'{' | b'}'))
+        .map_or(body_start, |k| k + 1)
+}
+
+/// If the statement starting at `stmt` is `let [mut] IDENT = ...` (a plain
+/// identifier pattern, not a destructuring), the identifier.
+fn let_binding_ident(clean: &str, stmt: usize, limit: usize) -> Option<String> {
+    let s = clean[stmt..limit].trim_start();
+    let rest = s.strip_prefix("let")?;
+    if rest.bytes().next().is_some_and(is_ident_char) {
+        return None; // `letx`-style non-keyword
+    }
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+    let ident: String = rest
+        .bytes()
+        .take_while(|&b| is_ident_char(b))
+        .map(|b| b as char)
+        .collect();
+    if ident.is_empty() {
+        return None;
+    }
+    let after = rest[ident.len()..].trim_start();
+    // Plain binding only: `=` (type-ascribed or not), never `(`/`{` of a
+    // destructuring pattern like `let Some(x) =`.
+    if after.starts_with('=') || after.starts_with(':') {
+        Some(ident)
+    } else {
+        None
+    }
+}
+
+/// If the statement starting at `stmt` is `IDENT = ...` (simple
+/// assignment, not `==`), the identifier.
+fn assignment_ident(clean: &str, stmt: usize, limit: usize) -> Option<String> {
+    let s = clean[stmt..limit].trim_start();
+    let ident: String = s
+        .bytes()
+        .take_while(|&b| is_ident_char(b))
+        .map(|b| b as char)
+        .collect();
+    if ident.is_empty() || ident == "let" {
+        return None;
+    }
+    let after = s[ident.len()..].trim_start();
+    if after.starts_with('=') && !after.starts_with("==") {
+        Some(ident)
+    } else {
+        None
+    }
+}
+
+/// Byte offset just past the closing brace of the innermost block
+/// containing `offset`.
+fn enclosing_block_end(bytes: &[u8], body_start: usize, body_end: usize, offset: usize) -> usize {
+    let mut stack: Vec<usize> = Vec::new();
+    let mut innermost_open = body_start;
+    let mut i = body_start;
+    while i < offset {
+        match bytes[i] {
+            b'{' => stack.push(i),
+            b'}' => {
+                stack.pop();
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    if let Some(&open) = stack.last() {
+        innermost_open = open;
+    }
+    matching(bytes, innermost_open, b'{', b'}').map_or(body_end, |c| c + 1)
+}
+
+fn next_paren(bytes: &[u8], from: usize, end: usize) -> Option<usize> {
+    (from..end).find(|&k| bytes[k] == b'(')
+}
+
+/// Word-boundary occurrences of `ident` in `clean[from..to]`.
+fn word_occurrences(clean: &str, ident: &str, from: usize, to: usize) -> Vec<usize> {
+    let bytes = clean.as_bytes();
+    let mut out = Vec::new();
+    let to = to.min(clean.len());
+    if from >= to {
+        return out;
+    }
+    let mut search = from;
+    while let Some(pos) = clean[search..to].find(ident) {
+        let at = search + pos;
+        let before_ok = at == 0 || !is_ident_char(bytes[at - 1]);
+        let after = at + ident.len();
+        let after_ok = after >= bytes.len() || !is_ident_char(bytes[after]);
+        if before_ok && after_ok {
+            out.push(at);
+        }
+        search = at + ident.len().max(1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str) -> Vec<FnInfo> {
+        scan_file(&SourceFile::new("t.rs", src))
+    }
+
+    #[test]
+    fn qualifies_methods_with_their_impl_type() {
+        let src = "
+pub struct S;
+impl S {
+    pub fn op(&self) { self.helper(); }
+    fn helper(&self) {}
+}
+impl<T: Send> Default for Q<T> {
+    fn default() -> Self { Q::new() }
+}
+fn free() {}
+";
+        let fns = scan(src);
+        let names: Vec<(&str, bool, bool)> = fns
+            .iter()
+            .map(|f| (f.qname.as_str(), f.is_pub, f.is_method))
+            .collect();
+        assert_eq!(
+            names,
+            [
+                ("S::op", true, true),
+                ("S::helper", false, true),
+                ("Q::default", false, true),
+                ("free", false, false),
+            ]
+        );
+    }
+
+    #[test]
+    fn call_styles_are_classified() {
+        let src = "
+impl S {
+    fn op(&self) {
+        self.own();
+        other.method();
+        epoch::pin();
+        Owned::new(1);
+        free_call();
+        self.field.chained();
+    }
+}
+";
+        let f = &scan(src)[0];
+        let styles: Vec<(&str, CallStyle)> =
+            f.calls.iter().map(|c| (c.name.as_str(), c.style)).collect();
+        assert_eq!(
+            styles,
+            [
+                ("own", CallStyle::SelfMethod),
+                ("method", CallStyle::Method),
+                ("pin", CallStyle::Path),
+                ("new", CallStyle::Path),
+                ("free_call", CallStyle::Bare),
+                ("chained", CallStyle::Method),
+            ]
+        );
+        assert_eq!(f.calls[2].qualifier.as_deref(), Some("epoch"));
+        assert_eq!(f.calls[3].qualifier.as_deref(), Some("Owned"));
+    }
+
+    #[test]
+    fn loops_cas_pacing_and_blocking_tokens() {
+        let src = "
+impl S {
+    fn paced(&self) {
+        let backoff = Backoff::new();
+        loop {
+            match self.top.compare_exchange_weak(a, b, AcqRel, Relaxed) {
+                Ok(_) => return,
+                Err(_) => backoff.spin(),
+            }
+        }
+    }
+    fn blocking(&self) {
+        let g = self.inner.lock().unwrap();
+        for x in g.iter() {}
+    }
+}
+";
+        let fns = scan(src);
+        let paced = &fns[0];
+        assert_eq!(paced.loops.len(), 1);
+        assert_eq!(paced.loops[0].kind, "loop");
+        assert_eq!(paced.cas.len(), 1);
+        assert_eq!(paced.cas[0].receiver, "self.top");
+        assert_eq!(paced.pacing.len(), 1);
+        let blocking = &fns[1];
+        assert_eq!(blocking.blocking.len(), 1);
+        assert_eq!(blocking.blocking[0].token, "lock");
+        assert!(blocking.loops.is_empty(), "for loops are bounded: exempt");
+    }
+
+    #[test]
+    fn while_let_unsafe_header_does_not_truncate_the_loop_span() {
+        let src = "
+fn walk(mut cursor: Shared<Record>) -> bool {
+    while let Some(record) = unsafe { cursor.as_ref() } {
+        if record.in_use.compare_exchange(false, true, Acquire, Relaxed).is_ok() {
+            return true;
+        }
+        cursor = record.next.load(Acquire);
+    }
+    false
+}
+";
+        let f = &scan(src)[0];
+        assert_eq!(f.loops.len(), 1);
+        assert_eq!(f.loops[0].kind, "while");
+        assert_eq!(f.cas.len(), 1);
+        let (lo, hi) = f.loops[0].span;
+        assert!(
+            lo <= f.cas[0].offset && f.cas[0].offset < hi,
+            "the CAS in the while-let body must fall inside the loop span"
+        );
+    }
+
+    #[test]
+    fn try_lock_is_not_a_blocking_token() {
+        let src = "fn f() { if let Some(g) = ORPHANS.try_lock() { g.len(); } }";
+        assert!(scan(src)[0].blocking.is_empty());
+    }
+
+    #[test]
+    fn alloc_tokens() {
+        let src = "
+fn f() {
+    let a = Box::new(1);
+    let b = vec![1, 2];
+    let c = xs.to_vec();
+    let d = std::mem::size_of::<u64>();
+}
+";
+        let tokens: Vec<String> = scan(src)[0]
+            .allocs
+            .iter()
+            .map(|t| t.token.clone())
+            .collect();
+        assert_eq!(tokens, ["Box::new", "vec!", ".to_vec()"]);
+    }
+
+    #[test]
+    fn guard_escape_out_of_block_and_after_drop() {
+        let src = "
+impl S {
+    fn block_escape(&self) -> u64 {
+        let p;
+        {
+            let guard = epoch::pin();
+            p = self.head.load(Acquire, &guard).as_raw();
+        }
+        unsafe { *p }
+    }
+    fn drop_escape(&self) -> u64 {
+        let guard = epoch::pin();
+        let p = self.head.load(Acquire, &guard).as_raw();
+        drop(guard);
+        unsafe { *p }
+    }
+    fn clean(&self) -> u64 {
+        let guard = epoch::pin();
+        let p = self.head.load(Acquire, &guard).as_raw();
+        unsafe { *p }
+    }
+}
+";
+        let fns = scan(src);
+        assert_eq!(fns[0].guard_escapes.len(), 1, "{:?}", fns[0].guard_escapes);
+        assert_eq!(fns[0].guard_escapes[0].token, "p");
+        assert_eq!(fns[1].guard_escapes.len(), 1, "{:?}", fns[1].guard_escapes);
+        assert!(
+            fns[2].guard_escapes.is_empty(),
+            "{:?}",
+            fns[2].guard_escapes
+        );
+    }
+
+    #[test]
+    fn cfg_test_functions_are_skipped() {
+        let src = "
+fn real() {}
+#[cfg(test)]
+mod tests {
+    fn fake() { x.lock(); }
+}
+";
+        let fns = scan(src);
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].qname, "real");
+    }
+
+    #[test]
+    fn return_position_impl_trait_does_not_open_an_impl_block() {
+        let src = "
+fn make() -> impl Iterator<Item = u64> {
+    (0..3).map(|x| x)
+}
+fn after() {}
+";
+        let fns = scan(src);
+        let names: Vec<&str> = fns.iter().map(|f| f.qname.as_str()).collect();
+        assert_eq!(names, ["make", "after"]);
+    }
+}

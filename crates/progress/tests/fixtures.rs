@@ -1,0 +1,160 @@
+//! Fixture tests: every progress rule fires at exactly the expected file
+//! lines — no more, no fewer — over the seeded-violation sources in
+//! `tests/fixtures/`, and each broken twin's clean twin stays silent.
+//! (The fixture directory has no `crates/` subdirectory, so [`analyze`]
+//! walks it recursively and puts every file in the coverage scope.)
+
+use std::path::{Path, PathBuf};
+
+use lfrt_progress::{analyze, Analysis};
+
+fn fixtures_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn manifest_text() -> String {
+    std::fs::read_to_string(fixtures_root().join("progress.toml")).expect("fixture manifest")
+}
+
+fn run() -> Analysis {
+    analyze(&fixtures_root(), &manifest_text()).expect("fixture analysis")
+}
+
+/// `(rule, line, detail)` triples of every unbaselined finding in one
+/// fixture file, in report order.
+fn findings_in(analysis: &Analysis, file: &str) -> Vec<(String, usize, String)> {
+    analysis
+        .matched
+        .unbaselined
+        .iter()
+        .filter(|f| f.file == file)
+        .map(|f| (f.rule.clone(), f.line, f.detail.clone()))
+        .collect()
+}
+
+fn triples(raw: &[(&str, usize, &str)]) -> Vec<(String, usize, String)> {
+    raw.iter()
+        .map(|(r, l, d)| (r.to_string(), *l, d.to_string()))
+        .collect()
+}
+
+#[test]
+fn fixture_manifest_covers_the_fixture_api_exactly() {
+    let analysis = run();
+    assert_eq!(analysis.undeclared, Vec::<String>::new());
+    assert_eq!(analysis.unresolved, Vec::<String>::new());
+    assert_eq!(analysis.ops.len(), 13);
+}
+
+#[test]
+fn prg001_fires_on_the_unpaced_cas_loop_only() {
+    assert_eq!(
+        findings_in(&run(), "prg001.rs"),
+        triples(&[("PRG001", 11, "self.head")])
+    );
+}
+
+#[test]
+fn prg002_fires_per_declared_class() {
+    // The same `.lock()` helper body appears under both types; only the
+    // lock_free-declared op's copy fires.
+    let analysis = run();
+    assert_eq!(
+        findings_in(&analysis, "prg002.rs"),
+        triples(&[("PRG002", 14, "lock")])
+    );
+    let f = &analysis
+        .matched
+        .unbaselined
+        .iter()
+        .find(|f| f.rule == "PRG002")
+        .unwrap();
+    assert_eq!(f.function, "Prg002Broken::sample");
+    assert!(f.message.contains("Prg002Broken::op"));
+    assert!(!f.message.contains("Prg002Blocking"));
+}
+
+#[test]
+fn prg003_fires_on_block_and_drop_escapes_only() {
+    assert_eq!(
+        findings_in(&run(), "prg003.rs"),
+        triples(&[("PRG003", 10, "shared"), ("PRG003", 17, "shared")])
+    );
+}
+
+#[test]
+fn prg004_fires_on_retire_before_unlink_only() {
+    let analysis = run();
+    assert_eq!(
+        findings_in(&analysis, "prg004.rs"),
+        triples(&[("PRG004", 10, "defer_destroy")])
+    );
+    let f = &analysis
+        .matched
+        .unbaselined
+        .iter()
+        .find(|f| f.rule == "PRG004")
+        .unwrap();
+    assert_eq!(f.function, "Prg004Broken::op");
+}
+
+#[test]
+fn prg005_fires_only_under_a_wait_free_declaration() {
+    assert_eq!(
+        findings_in(&run(), "prg005.rs"),
+        triples(&[("PRG005", 10, "loop")])
+    );
+}
+
+#[test]
+fn prg006_fires_through_a_call_graph_hop() {
+    let analysis = run();
+    assert_eq!(
+        findings_in(&analysis, "prg006.rs"),
+        triples(&[("PRG006", 12, "Box::new")])
+    );
+    let f = &analysis
+        .matched
+        .unbaselined
+        .iter()
+        .find(|f| f.rule == "PRG006")
+        .unwrap();
+    assert_eq!(f.function, "Prg006Broken::record");
+}
+
+#[test]
+fn total_finding_count_is_pinned() {
+    let analysis = run();
+    assert_eq!(analysis.matched.unbaselined.len(), 7, "one per seeded rule");
+    assert_eq!(analysis.matched.baselined.len(), 0);
+    assert_eq!(analysis.matched.stale.len(), 0);
+}
+
+#[test]
+fn baseline_entry_absorbs_a_finding_and_unused_entries_go_stale() {
+    let mut text = manifest_text();
+    text.push_str(
+        "\n[[baseline]]\n\
+         rule = \"PRG001\"\n\
+         file = \"prg001.rs\"\n\
+         function = \"Prg001Broken::update\"\n\
+         detail = \"self.head\"\n\
+         justification = \"seeded fixture, intentionally unpaced\"\n\
+         \n\
+         [[baseline]]\n\
+         rule = \"PRG001\"\n\
+         file = \"prg001.rs\"\n\
+         function = \"Prg001Clean::update\"\n\
+         detail = \"self.head\"\n\
+         justification = \"matches nothing: the clean twin never fires\"\n",
+    );
+    let analysis = analyze(&fixtures_root(), &text).expect("fixture analysis");
+    assert!(findings_in(&analysis, "prg001.rs").is_empty());
+    assert_eq!(analysis.matched.baselined.len(), 1);
+    assert_eq!(
+        analysis.matched.stale.len(),
+        1,
+        "the clean-twin entry is stale"
+    );
+    assert_eq!(analysis.matched.stale[0].function, "Prg001Clean::update");
+}

@@ -1,0 +1,34 @@
+//! PRG001 fixtures: CAS retry loops with and without bounded backoff.
+
+pub struct Prg001Broken {
+    head: AtomicUsize,
+}
+
+impl Prg001Broken {
+    pub fn update(&self) -> usize {
+        loop {
+            let cur = self.head.load(Acquire);
+            match self.head.compare_exchange(cur, cur + 1, AcqRel, Acquire) {
+                Ok(v) => return v,
+                Err(_) => continue,
+            }
+        }
+    }
+}
+
+pub struct Prg001Clean {
+    head: AtomicUsize,
+}
+
+impl Prg001Clean {
+    pub fn update(&self) -> usize {
+        let backoff = Backoff::new();
+        loop {
+            let cur = self.head.load(Acquire);
+            match self.head.compare_exchange(cur, cur + 1, AcqRel, Acquire) {
+                Ok(v) => return v,
+                Err(_) => backoff.spin(),
+            }
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! PRG002 fixtures: the same blocking helper behind a lock_free-declared
+//! op (fires) and a blocking-declared op (class gating: clean).
+
+pub struct Prg002Broken {
+    inner: Mutex<Vec<u64>>,
+}
+
+impl Prg002Broken {
+    pub fn op(&self) -> u64 {
+        self.sample()
+    }
+
+    fn sample(&self) -> u64 {
+        *self.inner.lock().unwrap().first().unwrap_or(&0)
+    }
+}
+
+pub struct Prg002Blocking {
+    inner: Mutex<Vec<u64>>,
+}
+
+impl Prg002Blocking {
+    pub fn op(&self) -> u64 {
+        self.sample()
+    }
+
+    fn sample(&self) -> u64 {
+        *self.inner.lock().unwrap().first().unwrap_or(&0)
+    }
+}

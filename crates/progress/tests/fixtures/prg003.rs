@@ -1,0 +1,24 @@
+//! PRG003 fixtures: Guard-derived values escaping the guard's scope —
+//! out of its block, past an explicit `drop`, and (clean) neither.
+
+pub fn escapes_block(head: &Atomic<u64>) -> u64 {
+    let shared;
+    {
+        let guard = epoch::pin();
+        shared = head.load(Acquire, &guard);
+    }
+    unsafe { *shared.as_raw() }
+}
+
+pub fn escapes_drop(head: &Atomic<u64>) -> u64 {
+    let guard = epoch::pin();
+    let shared = head.load(Acquire, &guard);
+    drop(guard);
+    unsafe { *shared.as_raw() }
+}
+
+pub fn clean_use(head: &Atomic<u64>) -> u64 {
+    let guard = epoch::pin();
+    let shared = head.load(Acquire, &guard);
+    unsafe { *shared.as_raw() }
+}

@@ -1,0 +1,29 @@
+//! PRG004 fixtures: retiring a node before vs. after the unlink CAS.
+
+pub struct Prg004Broken {
+    head: Atomic<u64>,
+}
+
+impl Prg004Broken {
+    pub fn op(&self, guard: &Guard) {
+        let cur = self.head.load(Acquire, guard);
+        unsafe { guard.defer_destroy(cur) };
+        let _ = self
+            .head
+            .compare_exchange(cur, Shared::null(), AcqRel, Acquire, guard);
+    }
+}
+
+pub struct Prg004Clean {
+    head: Atomic<u64>,
+}
+
+impl Prg004Clean {
+    pub fn op(&self, guard: &Guard) {
+        let cur = self.head.load(Acquire, guard);
+        let _ = self
+            .head
+            .compare_exchange(cur, Shared::null(), AcqRel, Acquire, guard);
+        unsafe { guard.defer_destroy(cur) };
+    }
+}

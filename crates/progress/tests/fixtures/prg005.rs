@@ -1,0 +1,32 @@
+//! PRG005 fixtures: the same retry-until-even seqlock read loop, once
+//! declared wait_free (fires) and once declared lock_free (clean).
+
+pub struct Prg005Broken {
+    seq: AtomicUsize,
+}
+
+impl Prg005Broken {
+    pub fn read(&self) -> usize {
+        loop {
+            let s = self.seq.load(Acquire);
+            if s % 2 == 0 {
+                return s;
+            }
+        }
+    }
+}
+
+pub struct Prg005Clean {
+    seq: AtomicUsize,
+}
+
+impl Prg005Clean {
+    pub fn read(&self) -> usize {
+        loop {
+            let s = self.seq.load(Acquire);
+            if s % 2 == 0 {
+                return s;
+            }
+        }
+    }
+}

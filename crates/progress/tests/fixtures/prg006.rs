@@ -1,0 +1,27 @@
+//! PRG006 fixtures: a heap allocation behind a no_alloc-declared op
+//! (fires, through one call-graph hop) and an alloc-free twin (clean).
+
+pub struct Prg006Broken;
+
+impl Prg006Broken {
+    pub fn op(&self) -> usize {
+        self.record()
+    }
+
+    fn record(&self) -> usize {
+        let boxed = Box::new(7u64);
+        *boxed as usize
+    }
+}
+
+pub struct Prg006Clean;
+
+impl Prg006Clean {
+    pub fn op(&self) -> usize {
+        self.record()
+    }
+
+    fn record(&self) -> usize {
+        7
+    }
+}

@@ -1,0 +1,66 @@
+//! The checked-in `progress.toml` must hold against the checked-in
+//! sources: zero unbaselined findings, zero stale baseline entries, and
+//! every baseline entry actually absorbing a live finding. Also proves
+//! the staleness contract end to end: deleting one justified entry flips
+//! the analysis to failing.
+
+use std::path::{Path, PathBuf};
+
+use lfrt_progress::{analyze, report};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root")
+}
+
+fn manifest_text() -> String {
+    std::fs::read_to_string(repo_root().join("progress.toml")).expect("progress.toml")
+}
+
+#[test]
+fn committed_manifest_is_clean_and_every_baseline_entry_is_live() {
+    let analysis = analyze(&repo_root(), &manifest_text()).expect("workspace analysis");
+    assert!(
+        report::is_clean(&analysis),
+        "workspace progress check failed: unbaselined={:?} stale={:?} undeclared={:?} \
+         unresolved={:?}",
+        analysis.matched.unbaselined,
+        analysis.matched.stale,
+        analysis.undeclared,
+        analysis.unresolved
+    );
+    assert!(
+        !analysis.matched.baselined.is_empty(),
+        "the justified baseline should absorb the known acquire_record/search findings"
+    );
+}
+
+#[test]
+fn deleting_a_justified_baseline_entry_fails_the_run() {
+    let text = manifest_text();
+    let marker = "detail = \"REGISTRY\"";
+    let start = text.find("[[baseline]]").expect("baseline section");
+    let entry_start = text[..text.find(marker).expect("REGISTRY entry")]
+        .rfind("[[baseline]]")
+        .expect("entry header");
+    assert!(entry_start >= start);
+    let entry_end = text[entry_start + 1..]
+        .find("[[baseline]]")
+        .map_or(text.len(), |k| entry_start + 1 + k);
+    let mut pruned = String::new();
+    pruned.push_str(&text[..entry_start]);
+    pruned.push_str(&text[entry_end..]);
+
+    let analysis = analyze(&repo_root(), &pruned).expect("workspace analysis");
+    assert!(
+        !report::is_clean(&analysis),
+        "removing a justification must surface its finding again"
+    );
+    assert!(analysis
+        .matched
+        .unbaselined
+        .iter()
+        .any(|f| f.rule == "PRG001" && f.detail == "REGISTRY"));
+}

@@ -1,0 +1,25 @@
+//! Shared lexical machinery for the workspace's static checkers.
+//!
+//! Both `lfrt-ordlint` (memory-ordering lint) and `lfrt-progress`
+//! (progress-guarantee lint) work the same way: load source files, blank
+//! comments and string literals byte-for-byte so pattern matching cannot
+//! trip over `".load("` inside a doc comment, then run token-level
+//! analyses over the cleaned text. This crate is that common substrate,
+//! extracted so the two checkers cannot drift apart on the subtle parts
+//! (raw-string blanking, receiver-chain walking, deterministic file
+//! ordering):
+//!
+//! * [`source`] — [`source::SourceFile`] and the offset-preserving
+//!   [`source::blank`] pass (comments, strings, raw strings, byte
+//!   strings, char literals vs lifetimes).
+//! * [`lex`] — identifier/bracket helpers and the backwards
+//!   receiver-chain walker shared by site extraction in both linters.
+//! * [`walk`] — deterministic `.rs` inventory under a set of roots, with
+//!   `/`-separated paths relative to the scan root.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lex;
+pub mod source;
+pub mod walk;

@@ -1,6 +1,6 @@
 //! Source loading and lexical cleaning.
 //!
-//! The scanner works on a *cleaned* copy of each file in which every
+//! The scanners work on a *cleaned* copy of each file in which every
 //! comment, string literal, and char literal has been blanked out with
 //! spaces, byte for byte. Blanking (instead of removing) keeps every byte
 //! offset and line number identical between the raw and cleaned text, so
@@ -72,6 +72,10 @@ enum State {
 /// Replaces comments and string/char literals with spaces, preserving byte
 /// offsets and newlines. Lifetimes (`'a`) are kept; raw strings, byte
 /// strings, nested block comments, and escapes are handled.
+///
+/// Byte strings (`b"..."`) process `\"` escapes exactly like ordinary
+/// strings; only the `r"..."` / `r#"..."#` / `br"..."` forms are raw
+/// (escapes inert, closing decided by the quote-and-hashes sequence).
 pub fn blank(src: &str) -> String {
     let mut out = Vec::with_capacity(src.len());
     let mut state = State::Normal;
@@ -107,21 +111,31 @@ pub fn blank(src: &str) -> String {
                 }
                 'r' | 'b' if !prev_is_ident(&chars, i) => {
                     // Possible raw/byte string prefix: r", r#", br", b"...
+                    // Only prefixes containing `r` are *raw*; a plain `b"`
+                    // opens an ordinary (escape-processing) string body.
                     let mut j = i + 1;
+                    let mut is_raw = ch == 'r';
                     if ch == 'b' && chars.get(j).map(|&(_, c)| c) == Some('r') {
+                        is_raw = true;
                         j += 1;
                     }
                     let mut hashes = 0;
-                    while chars.get(j).map(|&(_, c)| c) == Some('#') {
-                        hashes += 1;
-                        j += 1;
+                    if is_raw {
+                        while chars.get(j).map(|&(_, c)| c) == Some('#') {
+                            hashes += 1;
+                            j += 1;
+                        }
                     }
                     if chars.get(j).map(|&(_, c)| c) == Some('"') {
                         for &(_, c) in &chars[i..=j] {
                             emit(&mut out, c, false);
                         }
                         i = j;
-                        state = State::RawStr(hashes);
+                        state = if is_raw {
+                            State::RawStr(hashes)
+                        } else {
+                            State::Str
+                        };
                     } else if ch == 'b' && chars.get(i + 1).map(|&(_, c)| c) == Some('\'') {
                         emit(&mut out, ch, false);
                         emit(&mut out, '\'', false);
@@ -289,5 +303,45 @@ mod tests {
         let clean = blank(src);
         assert_eq!(clean.len(), src.len());
         assert!(clean.contains("let x = 1;"));
+    }
+
+    // Regression: byte strings are NOT raw strings. The pre-extraction
+    // blanker routed `b"..."` into the raw-string state, so an escaped
+    // `\"` inside one terminated the literal early and the trailing real
+    // quote re-opened a phantom string — desynchronizing every site after
+    // it in the file.
+    #[test]
+    fn escaped_quote_in_byte_string_does_not_desync() {
+        let src = "let v = b\"x\\\"y\"; real.load(Acquire); tail";
+        let clean = blank(src);
+        assert_eq!(clean.len(), src.len());
+        assert!(
+            clean.contains("real.load(Acquire)"),
+            "code after the byte string must survive blanking: {clean:?}"
+        );
+        assert!(!clean.contains('x'), "byte-string body must be blanked");
+        assert!(clean.contains("tail"));
+    }
+
+    // Regression companion: a lone `"` inside a hashed raw string must not
+    // close it, and the `"#` terminator must.
+    #[test]
+    fn quote_inside_hashed_raw_string_does_not_close_it() {
+        let src = "let s = r#\"has \" quote .load(SeqCst) \"# ; live.store(1, Release); end";
+        let clean = blank(src);
+        assert_eq!(clean.len(), src.len());
+        assert!(!clean.contains("SeqCst"));
+        assert!(clean.contains("live.store(1, Release)"));
+        assert!(clean.contains("end"));
+    }
+
+    // `br"..."` stays raw: backslashes are inert, the quote closes it.
+    #[test]
+    fn raw_byte_string_backslash_is_inert() {
+        let src = "let v = br\"a\\\"; after.load(AcqRel); end";
+        let clean = blank(src);
+        assert_eq!(clean.len(), src.len());
+        assert!(clean.contains("after.load(AcqRel)"));
+        assert!(clean.contains("end"));
     }
 }

@@ -1,0 +1,92 @@
+//! Deterministic source inventory.
+//!
+//! Both checkers must scan the same files in the same order on every
+//! machine (findings are diffed against committed baselines, so ordering
+//! and coverage are part of the contract). The walk sorts directory
+//! entries and emits `/`-separated paths relative to the scan root.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::source::SourceFile;
+
+/// Recursively collects every `.rs` file under `dir`, sorted.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the directory walk.
+pub fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            walk_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Loads `paths` as [`SourceFile`]s with paths relative to `root`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from file reads.
+pub fn load_files(root: &Path, paths: Vec<PathBuf>) -> io::Result<Vec<SourceFile>> {
+    let mut files = Vec::with_capacity(paths.len());
+    for path in paths {
+        let raw = std::fs::read_to_string(&path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        files.push(SourceFile::new(rel, raw));
+    }
+    Ok(files)
+}
+
+/// Loads every `.rs` file under each of `dirs` (skipping directories that
+/// do not exist), with paths relative to `root`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the walk and file reads.
+pub fn collect_dirs(root: &Path, dirs: &[PathBuf]) -> io::Result<Vec<SourceFile>> {
+    let mut paths = Vec::new();
+    for dir in dirs {
+        if dir.is_dir() {
+            walk_rs(dir, &mut paths)?;
+        }
+    }
+    load_files(root, paths)
+}
+
+/// Loads every `.rs` file under `root` recursively — the fixture-directory
+/// mode of both checkers.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the walk and file reads.
+pub fn collect_recursive(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut paths = Vec::new();
+    walk_rs(root, &mut paths)?;
+    load_files(root, paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_dirs_are_skipped_not_errors() {
+        let missing = PathBuf::from("/definitely/not/a/real/dir");
+        let files = collect_dirs(Path::new("/"), &[missing]).unwrap();
+        assert!(files.is_empty());
+    }
+}

@@ -133,3 +133,26 @@ fn stack_push_retries_stay_under_theorem2_bound() {
     let expected: Vec<u64> = (0..(TASKS as u64) * ROUNDS).collect();
     assert_eq!(drained, expected);
 }
+
+#[test]
+fn measured_ops_are_declared_lock_free_in_the_progress_manifest() {
+    // Theorem 2's retry bound is meaningless for an op that can block, so
+    // the two ops this file measures must carry (at least) a lock_free
+    // declaration in progress.toml — the statically checked contract
+    // (`cargo run -p lfrt-progress`). If either ever degrades to
+    // `blocking`, this test fails before the bound comparison can lie.
+    let manifest_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("progress.toml");
+    let text = std::fs::read_to_string(manifest_path).expect("progress.toml");
+    let manifest = lfrt_progress::manifest::parse(&text).expect("progress.toml parses");
+    for op in ["CasRegister::update", "TreiberStack::push"] {
+        let decl = manifest
+            .op(op)
+            .unwrap_or_else(|| panic!("{op} must be declared in progress.toml"));
+        assert!(
+            decl.class.at_least_lock_free(),
+            "{op} is measured against the Theorem 2 retry bound and must be \
+             lock_free or stronger, not {}",
+            decl.class
+        );
+    }
+}
