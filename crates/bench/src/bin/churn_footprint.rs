@@ -15,10 +15,19 @@
 //! two orders of magnitude below what the leak would produce, two above
 //! normal jitter from thread stacks and collector bags).
 //!
+//! **Pool churn (PR 9):** a second, single-threaded phase measures
+//! *allocator calls per operation* in steady state for each structure in
+//! both its pooled mode (nodes recycle through `lfrt_lockfree::pool`) and
+//! the boxed passthrough baseline. The boxed mode pays ~1 allocation per
+//! push/pop pair; the pooled mode must be allocation-free once its caches
+//! are warm — `--check` asserts `allocs_per_op < 0.05` for the pooled
+//! structures, and the `allocs_per_op` values feed the CI perf gate.
+//!
 //! `--json <path>` writes the footprint as a report document whose numbers
-//! all live under `timing` (live-heap peaks are host-dependent); the
-//! `peak_growth_bytes` value is one of the metrics the CI perf gate
-//! (`compare_reports`) tracks against `BENCH_baseline.json`.
+//! all live under `timing` (live-heap peaks and allocator-call rates are
+//! host-dependent); `peak_growth_bytes` and the `pool_churn` rows'
+//! `allocs_per_op` are metrics the CI perf gate (`compare_reports`) tracks
+//! against `BENCH_baseline.json`.
 //!
 //! Usage: `cargo run -p lfrt-bench --release --bin churn_footprint --
 //! [--ops 250000] [--threads 4] [--bound-bytes 4194304] [--check] [--quick]
@@ -36,14 +45,16 @@ use lfrt_lockfree::{LockFreeQueue, TreiberStack};
 struct CountingAlloc;
 
 static LIVE_BYTES: AtomicUsize = AtomicUsize::new(0);
+static ALLOC_CALLS: AtomicUsize = AtomicUsize::new(0);
 
-// SAFETY: delegates every operation to `System` unchanged; the counter is
+// SAFETY: delegates every operation to `System` unchanged; the counters are
 // pure bookkeeping on the side.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let ptr = unsafe { System.alloc(layout) };
         if !ptr.is_null() {
             LIVE_BYTES.fetch_add(layout.size(), Ordering::Relaxed);
+            ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
         }
         ptr
     }
@@ -58,6 +69,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
         if !new_ptr.is_null() {
             LIVE_BYTES.fetch_add(new_size, Ordering::Relaxed);
             LIVE_BYTES.fetch_sub(layout.size(), Ordering::Relaxed);
+            ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
         }
         new_ptr
     }
@@ -68,6 +80,10 @@ static ALLOC: CountingAlloc = CountingAlloc;
 
 fn live() -> usize {
     LIVE_BYTES.load(Ordering::Relaxed)
+}
+
+fn alloc_calls() -> usize {
+    ALLOC_CALLS.load(Ordering::Relaxed)
 }
 
 /// Runs `threads` workers doing `ops` push+pop pairs each against both
@@ -116,6 +132,61 @@ fn churn(threads: usize, ops: usize) -> (usize, usize) {
     (2 * threads * ops, peak)
 }
 
+/// Steady-state allocator calls per operation: run `warmup` push/pop pairs
+/// to heat the pool's per-thread cache (the epoch collector runs every 16
+/// pins, recycling retired nodes back into it), then count allocator calls
+/// across `pairs` more. One "op" is one push+pop pair — one node lifecycle
+/// — so the boxed baseline lands at ~1.0 and the warm pool at ~0.0.
+fn steady_state_allocs(warmup: usize, pairs: usize, mut pair: impl FnMut(u64)) -> f64 {
+    for i in 0..warmup {
+        pair(i as u64);
+    }
+    let before = alloc_calls();
+    for i in 0..pairs {
+        pair((warmup + i) as u64);
+    }
+    (alloc_calls() - before) as f64 / pairs as f64
+}
+
+/// The pooled-vs-boxed allocator-call rates: `(label, allocs_per_op)` for
+/// the stack and queue in both node-sourcing modes.
+fn pool_churn(warmup: usize, pairs: usize) -> Vec<(&'static str, f64)> {
+    let stack = TreiberStack::new();
+    let stack_boxed = TreiberStack::new_boxed();
+    let queue = LockFreeQueue::new();
+    let queue_boxed = LockFreeQueue::new_boxed();
+    vec![
+        (
+            "stack_pooled",
+            steady_state_allocs(warmup, pairs, |i| {
+                stack.push(i);
+                let _ = stack.pop();
+            }),
+        ),
+        (
+            "stack_boxed",
+            steady_state_allocs(warmup, pairs, |i| {
+                stack_boxed.push(i);
+                let _ = stack_boxed.pop();
+            }),
+        ),
+        (
+            "queue_pooled",
+            steady_state_allocs(warmup, pairs, |i| {
+                queue.enqueue(i);
+                let _ = queue.dequeue();
+            }),
+        ),
+        (
+            "queue_boxed",
+            steady_state_allocs(warmup, pairs, |i| {
+                queue_boxed.enqueue(i);
+                let _ = queue_boxed.dequeue();
+            }),
+        ),
+    ]
+}
+
 fn main() {
     let started = std::time::Instant::now();
     let args = Args::from_env();
@@ -142,12 +213,23 @@ fn main() {
     // The leak-forever stand-in grew ~24 B per queue/stack op pair.
     let leak_estimate = total_ops.saturating_mul(24);
 
+    // Pool churn: steady-state allocator calls per node lifecycle, pooled
+    // vs boxed. Single-threaded on purpose — the question is whether the
+    // warm hot path touches the allocator at all, not how it scales.
+    let churn_pairs = args.get_usize("pool-pairs", if quick { 5_000 } else { 20_000 });
+    let churn_warmup = args.get_usize("pool-warmup", if quick { 2_000 } else { 4_000 });
+    let pool_rows = pool_churn(churn_warmup, churn_pairs);
+
     println!("baseline_live_bytes = {baseline}");
     println!("peak_live_bytes     = {peak}");
     println!("final_live_bytes    = {final_live}");
     println!("peak_growth_bytes   = {growth}");
     println!("total_ops           = {total_ops}");
     println!("old_leak_estimate   = {leak_estimate} (linear growth before epoch reclamation)");
+    println!("# pool churn: allocator calls per push+pop pair, steady state ({churn_pairs} pairs after {churn_warmup} warmup)");
+    for (label, apo) in &pool_rows {
+        println!("allocs_per_op[{label}] = {apo:.4}");
+    }
     println!(
         "{{\"bench\":\"churn_footprint\",\"threads\":{threads},\"ops_per_thread\":{ops},\
          \"total_ops\":{total_ops},\"baseline_bytes\":{baseline},\"peak_bytes\":{peak},\
@@ -178,6 +260,21 @@ fn main() {
             ],
             ..Default::default()
         });
+        // One point per pool-churn row. `pool_churn` (not `structure`) is
+        // the param key so the gate can tell these rows from the footprint
+        // point above; `allocs_per_op` is gated (floored at 0.05 by the
+        // gate so near-zero pooled rates compare stably).
+        for (label, apo) in &pool_rows {
+            report.points.push(Point {
+                params: vec![("pool_churn".into(), (*label).into())],
+                timing: vec![
+                    ("allocs_per_op".into(), (*apo).into()),
+                    ("pairs".into(), churn_pairs.into()),
+                    ("warmup_pairs".into(), churn_warmup.into()),
+                ],
+                ..Default::default()
+            });
+        }
         let meta = json::RunMeta::capture(threads, quick);
         json::write_reports(&path, &[report], meta, started).expect("write json report");
     }
@@ -192,5 +289,19 @@ fn main() {
             std::process::exit(1);
         }
         println!("OK: peak live growth {growth} B within bound {bound} B");
+        // The pooled structures must be allocation-free in steady state:
+        // a warm cache that still reaches the allocator means recycling
+        // broke (nodes leak out of the pool and every op pays a miss).
+        const POOLED_ALLOCS_BOUND: f64 = 0.05;
+        for (label, apo) in &pool_rows {
+            if label.ends_with("_pooled") && *apo >= POOLED_ALLOCS_BOUND {
+                eprintln!(
+                    "FAIL: {label} makes {apo:.4} allocator calls per op in steady \
+                     state (bound {POOLED_ALLOCS_BOUND}) — the node pool is not recycling"
+                );
+                std::process::exit(1);
+            }
+        }
+        println!("OK: pooled steady-state allocs/op below {POOLED_ALLOCS_BOUND} (boxed ~1.0)");
     }
 }

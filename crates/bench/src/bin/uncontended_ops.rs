@@ -12,8 +12,15 @@
 //! All measured values live under each point's `timing` section: they are
 //! host wall-clock, excluded from the deterministic payload by design.
 //!
+//! The `stack`/`queue` rows use the pooled node mode (PR 9); `stack_boxed`
+//! and `queue_boxed` run the same loops on the allocate/free passthrough
+//! baseline, so the pool's per-op win is a same-binary diff.
+//! `--assert-pooled-faster` exits 1 unless each pooled median beats its
+//! boxed twin (the CI regression tripwire for the pool hot path).
+//!
 //! Usage: `cargo run -p lfrt-bench --release --bin uncontended_ops --
-//! [--batches 30] [--ops 20000] [--quick] [--json <path>] [--trace <path>]`
+//! [--batches 30] [--ops 20000] [--quick] [--assert-pooled-faster]
+//! [--json <path>] [--trace <path>]`
 
 use std::time::Instant;
 
@@ -58,7 +65,9 @@ fn main() {
     println!("# Uncontended per-op cost (1 thread, median of {batches} batches x {ops} pairs)");
 
     let stack = TreiberStack::new();
+    let stack_boxed = TreiberStack::new_boxed();
     let queue = LockFreeQueue::new();
+    let queue_boxed = LockFreeQueue::new_boxed();
     let mpmc = BoundedMpmcQueue::new(1024);
     let (mut producer, mut consumer) = spsc_ring(1024);
     let list = LockFreeList::new();
@@ -72,10 +81,24 @@ fn main() {
             }),
         ),
         (
+            "stack_boxed",
+            measure(batches, ops, |i| {
+                stack_boxed.push(i);
+                let _ = stack_boxed.pop();
+            }),
+        ),
+        (
             "queue",
             measure(batches, ops, |i| {
                 queue.enqueue(i);
                 let _ = queue.dequeue();
+            }),
+        ),
+        (
+            "queue_boxed",
+            measure(batches, ops, |i| {
+                queue_boxed.enqueue(i);
+                let _ = queue_boxed.dequeue();
             }),
         ),
         (
@@ -112,14 +135,16 @@ fn main() {
     .config("ops_per_batch", ops);
 
     println!(
-        "{:<10} {:>10} {:>10} {:>10}",
+        "{:<12} {:>10} {:>10} {:>10}",
         "structure", "median", "min", "max"
     );
+    let mut medians: Vec<(&str, f64)> = Vec::new();
     for (name, mut samples) in structures {
         let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
         let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let med = median(&mut samples);
-        println!("{name:<10} {med:>10.1} {min:>10.1} {max:>10.1}   ns/op");
+        medians.push((name, med));
+        println!("{name:<12} {med:>10.1} {min:>10.1} {max:>10.1}   ns/op");
         report.points.push(Point {
             params: vec![("structure".into(), name.into())],
             timing: vec![
@@ -141,4 +166,30 @@ fn main() {
         let _ = report.to_json();
     }
     trace.finish(args.threads(), quick);
+
+    if args.get_bool("assert-pooled-faster") {
+        let med = |name: &str| {
+            medians
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, m)| *m)
+                .expect("structure measured")
+        };
+        let mut failed = false;
+        for (pooled, boxed) in [("stack", "stack_boxed"), ("queue", "queue_boxed")] {
+            let (p, b) = (med(pooled), med(boxed));
+            if p < b {
+                println!("OK: {pooled} {p:.1} ns/op beats {boxed} {b:.1} ns/op");
+            } else {
+                eprintln!(
+                    "FAIL: {pooled} {p:.1} ns/op is not faster than {boxed} {b:.1} ns/op \
+                     — the node pool lost its uncontended win"
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    }
 }

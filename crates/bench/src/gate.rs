@@ -10,6 +10,12 @@
 //!   there and are deliberately *not* gated.
 //! * `churn_footprint/peak_growth_bytes` — peak live heap growth of the
 //!   allocation-churn workload: the reclamation regression canary.
+//! * `churn_footprint/pool_churn/<structure>/allocs_per_op` — steady-state
+//!   allocator calls per push+pop pair, pooled and boxed (PR 9). Values are
+//!   floored at [`ALLOCS_PER_OP_FLOOR`] on extraction: the pooled rates sit
+//!   at ~0.0 where relative deltas are meaningless jitter, so the gate
+//!   compares against the floor and only a real regression (a pooled
+//!   structure re-heating the allocator toward the boxed ~1.0) trips it.
 //!
 //! The baseline file is a small standalone document:
 //!
@@ -34,6 +40,9 @@ use crate::json::Json;
 
 /// Relative-regression threshold the gate defaults to: 15% worse fails.
 pub const DEFAULT_THRESHOLD: f64 = 0.15;
+
+/// Extraction floor for the `allocs_per_op` metrics (see module docs).
+pub const ALLOCS_PER_OP_FLOOR: f64 = 0.05;
 
 /// Flat `key -> value` view of the gated metrics of a document.
 pub type Metrics = Vec<(String, f64)>;
@@ -74,6 +83,20 @@ pub fn extract(doc: &Json) -> Metrics {
                         .and_then(Json::as_f64)
                     {
                         out.push((format!("{name}/peak_growth_bytes"), peak));
+                    }
+                    let row = point
+                        .get("params")
+                        .and_then(|p| p.get("pool_churn"))
+                        .and_then(Json::as_str);
+                    let apo = point
+                        .get("timing")
+                        .and_then(|t| t.get("allocs_per_op"))
+                        .and_then(Json::as_f64);
+                    if let (Some(row), Some(apo)) = (row, apo) {
+                        out.push((
+                            format!("{name}/pool_churn/{row}/allocs_per_op"),
+                            apo.max(ALLOCS_PER_OP_FLOOR),
+                        ));
                     }
                 }
             }
@@ -229,7 +252,11 @@ mod tests {
                   "config": {{}},
                   "points": [
                     {{"params": {{"threads": 4}}, "seeds": [], "metrics": {{}},
-                      "timing": {{"peak_growth_bytes": {peak}}}}}
+                      "timing": {{"peak_growth_bytes": {peak}}}}},
+                    {{"params": {{"pool_churn": "stack_pooled"}}, "seeds": [], "metrics": {{}},
+                      "timing": {{"allocs_per_op": 0.0}}}},
+                    {{"params": {{"pool_churn": "stack_boxed"}}, "seeds": [], "metrics": {{}},
+                      "timing": {{"allocs_per_op": 1.0}}}}
                   ]
                 }}
               ]
@@ -246,8 +273,33 @@ mod tests {
             vec![
                 ("uncontended_ops/stack/ns_per_op_median".to_string(), 27.5),
                 ("churn_footprint/peak_growth_bytes".to_string(), 400000.0),
+                (
+                    // Floored: the measured 0.0 compares as the floor so
+                    // near-zero jitter cannot divide by zero or explode.
+                    "churn_footprint/pool_churn/stack_pooled/allocs_per_op".to_string(),
+                    ALLOCS_PER_OP_FLOOR,
+                ),
+                (
+                    "churn_footprint/pool_churn/stack_boxed/allocs_per_op".to_string(),
+                    1.0,
+                ),
             ]
         );
+    }
+
+    #[test]
+    fn pooled_allocs_regression_to_boxed_rates_fails_the_gate() {
+        let base = extract(&report_doc(27.5, 400000.0));
+        let mut fresh = base.clone();
+        // The pool stops recycling: pooled allocs/op jumps to the boxed ~1.0.
+        for (k, v) in &mut fresh {
+            if k.ends_with("stack_pooled/allocs_per_op") {
+                *v = 1.0;
+            }
+        }
+        let outcome = compare(&base, &fresh, DEFAULT_THRESHOLD);
+        assert_eq!(outcome.failures.len(), 1);
+        assert!(outcome.failures[0].contains("stack_pooled/allocs_per_op"));
     }
 
     #[test]
@@ -266,7 +318,7 @@ mod tests {
         let fresh = extract(&report_doc(29.0, 200000.0)); // +5.5%, -50%
         let outcome = compare(&base, &fresh, DEFAULT_THRESHOLD);
         assert!(outcome.failures.is_empty(), "{:?}", outcome.failures);
-        assert_eq!(outcome.rows.len(), 2);
+        assert_eq!(outcome.rows.len(), 4);
         assert!(!outcome.rows[0].regressed);
     }
 

@@ -15,10 +15,14 @@
 //! [`buggy`] holds intentionally broken variants — the seeded bugs that
 //! prove the explorer actually catches ABA, lost updates, torn reads, and
 //! (under the store-buffer mode) `Relaxed`-publication reorderings.
+//! [`pool`] carries its twins inline: the reuse-before-grace and
+//! unversioned-overflow bugs live beside the faithful pool models as
+//! alternate constructors, since they differ only in reclamation policy.
 
 pub mod buggy;
 pub mod mpmc;
 pub mod nbw;
+pub mod pool;
 pub mod queue;
 pub mod register;
 pub mod ring;
@@ -26,6 +30,7 @@ pub mod stack;
 
 pub use mpmc::ModelMpmcQueue;
 pub use nbw::ModelNbw;
+pub use pool::{ModelOverflow, ModelPoolStack};
 pub use queue::ModelMsQueue;
 pub use register::ModelCasRegister;
 pub use ring::ModelSpscRing;

@@ -1,0 +1,424 @@
+//! Models of the epoch-recycling node pool, mirroring
+//! `crates/lockfree/src/pool.rs` and the pooled hot path of
+//! `crates/lockfree/src/stack.rs`.
+//!
+//! Two algorithms are mirrored, each with a seeded-bug twin:
+//!
+//! - [`ModelPoolStack`] — a Treiber stack whose nodes come from a free
+//!   cache and return to it through a **limbo** (the model of the epoch
+//!   grace period). The faithful variant ([`ModelPoolStack::new`]) parks a
+//!   retired node in limbo and only moves it to the reusable cache when all
+//!   threads are quiescent ([`ModelPoolStack::advance_grace_plain`]) — the
+//!   conservative rendering of "after two epoch advances". The seeded bug
+//!   ([`ModelPoolStack::immediate_reuse`]) recycles straight into the cache,
+//!   which is exactly the reuse-before-grace hazard `Guard::defer_recycle`
+//!   exists to prevent: a parked pop can CAS against a node that was
+//!   recycled and re-published under it (A → B → A), splicing stale state
+//!   into the structure.
+//! - [`ModelOverflow`] — the pool's cross-thread overflow stack: a Treiber
+//!   stack of spill segments behind a packed `(pointer, version)` head.
+//!   The faithful variant bumps the version on every successful CAS, so a
+//!   segment popped and re-pushed while another refiller is parked makes
+//!   that refiller's CAS *fail* (the version moved) instead of splicing a
+//!   stale chain word. The seeded bug ([`ModelOverflow::unversioned`])
+//!   compares only the pointer half — the classic counted-pointer omission.
+//!
+//! As everywhere in [`crate::models`], cache/limbo bookkeeping that the real
+//! code keeps in thread-local storage (invisible to other threads) is
+//! modeled with mutexes and takes no scheduled step; every shared atomic of
+//! the real hot path is an `_ord` operation with the real code's orderings,
+//! so the same models explore soundly under sequential consistency,
+//! [`crate::Config::store_buffer`], and [`crate::Config::relaxed`].
+
+use std::sync::atomic::Ordering::{Acquire, Relaxed, Release};
+use std::sync::{Arc, Mutex};
+
+use crate::arena::NIL;
+use crate::atomic::Atomic;
+use crate::runtime;
+
+/// A reusable stack node: payload and link are atomics because, unlike the
+/// append-only [`crate::Arena`], a recycled node's fields are overwritten.
+struct PoolNode {
+    value: Atomic<u64>,
+    next: Atomic<usize>,
+}
+
+/// A Treiber stack over a recycling node pool; see the module docs.
+///
+/// Step structure (matching `TreiberStack::push_in`/`pop_in` plus
+/// `RawPool::acquire`/`recycle`):
+/// - `alloc`: one scheduled write step for the acquire (like `Arena::alloc`),
+///   then plain re-initialization stores (pre-publication memory).
+/// - push: S1 `top.load(Acquire)`; plain `next` store; S2
+///   `top.compare_exchange(top, new, Release, Relaxed)`.
+/// - pop: S1 `top.load(Acquire)`; S2 `next.load(Relaxed)`; S3
+///   `top.compare_exchange(top, next, Release, Relaxed)`; then the retire —
+///   limbo (faithful) or straight back to the cache (seeded bug).
+pub struct ModelPoolStack {
+    top: Atomic<usize>,
+    nodes: Mutex<Vec<Arc<PoolNode>>>,
+    /// Reusable node indices — the model of the per-thread cache plus the
+    /// overflow (TLS and `Vec` operations in the real code: not steps).
+    cache: Mutex<Vec<usize>>,
+    /// Retired nodes still inside their grace period.
+    limbo: Mutex<Vec<usize>>,
+    /// `true` = faithful (retire to limbo); `false` = seeded bug (retire
+    /// straight to the cache).
+    grace: bool,
+}
+
+impl ModelPoolStack {
+    /// The faithful model: recycled nodes wait out the grace period.
+    pub fn new() -> Self {
+        Self::with_grace(true)
+    }
+
+    /// The seeded bug: a popped node is reusable immediately — no grace
+    /// period. Reuse is FIFO (oldest freed first), the adversarial order
+    /// that exposes the hazard in the smallest scenario; *any* order is
+    /// unsound without grace, the real pool's LIFO included.
+    pub fn immediate_reuse() -> Self {
+        Self::with_grace(false)
+    }
+
+    fn with_grace(grace: bool) -> Self {
+        Self {
+            top: Atomic::new(NIL),
+            nodes: Mutex::new(Vec::new()),
+            cache: Mutex::new(Vec::new()),
+            limbo: Mutex::new(Vec::new()),
+            grace,
+        }
+    }
+
+    fn get(&self, idx: usize) -> Arc<PoolNode> {
+        Arc::clone(&self.nodes.lock().unwrap_or_else(|e| e.into_inner())[idx])
+    }
+
+    /// Mirrors `RawPool::acquire` + node init: one scheduled step for the
+    /// acquire, then plain stores — the block is exclusively owned (or so
+    /// the buggy variant wrongly assumes) until the publish CAS.
+    fn alloc(&self, value: u64) -> usize {
+        runtime::step_write();
+        let reused = {
+            let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+            if cache.is_empty() {
+                None
+            } else if self.grace {
+                cache.pop() // LIFO, like the real `Vec` cache
+            } else {
+                Some(cache.remove(0)) // adversarial FIFO (see `immediate_reuse`)
+            }
+        };
+        match reused {
+            Some(idx) => {
+                let node = self.get(idx);
+                node.value.store_plain(value);
+                node.next.store_plain(NIL);
+                idx
+            }
+            None => {
+                let mut nodes = self.nodes.lock().unwrap_or_else(|e| e.into_inner());
+                nodes.push(Arc::new(PoolNode {
+                    value: Atomic::new(value),
+                    next: Atomic::new(NIL),
+                }));
+                nodes.len() - 1
+            }
+        }
+    }
+
+    /// Mirrors the pooled `TreiberStack::push`.
+    pub fn push(&self, value: u64) {
+        let idx = self.alloc(value);
+        let node = self.get(idx);
+        loop {
+            // S1: `self.top.load(Acquire)`.
+            let top = self.top.load_ord(Acquire);
+            // Pre-publication `new.next.store(top, Relaxed)`: not a step.
+            node.next.store_plain(top);
+            // S2: `self.top.compare_exchange(top, new, Release, Relaxed)`.
+            if self
+                .top
+                .compare_exchange_ord(top, idx, Release, Relaxed)
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+
+    /// Mirrors the pooled `TreiberStack::pop`: the winning CAS is followed
+    /// by the retire — `defer_recycle` in the real code.
+    pub fn pop(&self) -> Option<u64> {
+        loop {
+            // S1: `self.top.load(Acquire)`.
+            let top = self.top.load_ord(Acquire);
+            if top == NIL {
+                return None;
+            }
+            let node = self.get(top);
+            // S2: `top_ref.next.load(Relaxed)`.
+            let next = node.next.load_ord(Relaxed);
+            // S3: `self.top.compare_exchange(top, next, Release, Relaxed)`.
+            if self
+                .top
+                .compare_exchange_ord(top, next, Release, Relaxed)
+                .is_ok()
+            {
+                let value = node.value.load_plain();
+                let retire_to = if self.grace { &self.limbo } else { &self.cache };
+                retire_to
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push(top);
+                return Some(value);
+            }
+        }
+    }
+
+    /// Models the epoch collector after every pre-retirement guard has
+    /// unpinned: limbo drains into the reusable cache. Single-threaded use
+    /// only (between exploration phases or in checks), which is what makes
+    /// the faithful model *conservative* — during exploration a retired
+    /// node is never reused at all, just as the real collector never
+    /// recycles a node some pinned thread may still reach.
+    pub fn advance_grace_plain(&self) {
+        let mut limbo = self.limbo.lock().unwrap_or_else(|e| e.into_inner());
+        self.cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .extend(limbo.drain(..));
+    }
+
+    /// Post-check helper: drains remaining elements top-down without
+    /// scheduling (single-threaded use only).
+    pub fn drain_plain(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut cursor = self.top.load_plain();
+        while cursor != NIL {
+            let node = self.get(cursor);
+            out.push(node.value.load_plain());
+            cursor = node.next.load_plain();
+        }
+        out
+    }
+
+    /// Post-check helper: `(live-in-stack, cached, in-limbo, ever-created)`
+    /// node counts for the handout invariant — every node is in exactly one
+    /// place.
+    pub fn accounting_plain(&self) -> (usize, usize, usize, usize) {
+        let mut live = 0;
+        let mut cursor = self.top.load_plain();
+        while cursor != NIL {
+            live += 1;
+            cursor = self.get(cursor).next.load_plain();
+        }
+        let cached = self.cache.lock().unwrap_or_else(|e| e.into_inner()).len();
+        let limbo = self.limbo.lock().unwrap_or_else(|e| e.into_inner()).len();
+        let created = self.nodes.lock().unwrap_or_else(|e| e.into_inner()).len();
+        (live, cached, limbo, created)
+    }
+}
+
+impl Default for ModelPoolStack {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Segment-index sentinel for an empty overflow (6-bit packed index).
+pub const SEG_NONE: usize = 0x3F;
+
+fn pack(idx: usize, ver: usize) -> usize {
+    debug_assert!(idx <= SEG_NONE);
+    (ver << 6) | idx
+}
+
+fn unpack(word: usize) -> (usize, usize) {
+    (word & SEG_NONE, word >> 6)
+}
+
+/// One spill segment: only its chain word matters to the protocol (the
+/// real segment's `word1`; the blocks hanging off `word0` are inert here).
+struct Seg {
+    next: Atomic<usize>,
+}
+
+/// The pool's overflow stack: spill segments behind a packed
+/// `(index, version)` head — see the module docs.
+///
+/// Step structure (matching `RawPool::push_segment`/`refill`):
+/// - push: W1 `overflow.load(Relaxed)`; W2 `write_word1(seg, head)` — a
+///   scheduled `Relaxed` store, because a stale refiller may concurrently
+///   read the chain word of a segment it no longer owns; W3
+///   `overflow.compare_exchange(cur, pack(seg, ver+1), Release, Relaxed)`.
+/// - pop: R1 `overflow.load(Acquire)`; R2 `read_word1(seg)` — a `Relaxed`
+///   load that may target a segment the head no longer owns, which is
+///   exactly why the CAS must be version-checked; R3
+///   `overflow.compare_exchange(cur, pack(next, ver+1), Acquire, Acquire)`.
+pub struct ModelOverflow {
+    head: Atomic<usize>,
+    segs: Vec<Seg>,
+    /// `true` = faithful (version bumps on every CAS); `false` = seeded
+    /// bug (the version half is always 0, so the CAS compares pointers
+    /// only).
+    versioned: bool,
+}
+
+impl ModelOverflow {
+    /// The faithful model with `segments` pre-created (none pushed yet).
+    pub fn new(segments: usize) -> Self {
+        Self::with_versioning(segments, true)
+    }
+
+    /// The seeded bug: the head carries no version, so pop's CAS can
+    /// succeed against a re-pushed segment and splice a stale chain word.
+    pub fn unversioned(segments: usize) -> Self {
+        Self::with_versioning(segments, false)
+    }
+
+    fn with_versioning(segments: usize, versioned: bool) -> Self {
+        assert!(segments < SEG_NONE);
+        Self {
+            head: Atomic::new(pack(SEG_NONE, 0)),
+            segs: (0..segments)
+                .map(|_| Seg {
+                    next: Atomic::new(SEG_NONE),
+                })
+                .collect(),
+            versioned,
+        }
+    }
+
+    fn ver(&self, ver: usize) -> usize {
+        if self.versioned {
+            ver
+        } else {
+            0
+        }
+    }
+
+    /// Mirrors `RawPool::push_segment`: publishes segment `idx`, which the
+    /// caller must own exclusively.
+    pub fn push(&self, idx: usize) {
+        loop {
+            // W1: `self.overflow.load(Relaxed)`.
+            let cur = self.head.load_ord(Relaxed);
+            let (head, ver) = unpack(cur);
+            // W2: `write_word1(seg, head)` — scheduled, see struct docs.
+            self.segs[idx].next.store_ord(head, Relaxed);
+            // W3: publish with Release; failure value discarded (Relaxed).
+            if self
+                .head
+                .compare_exchange_ord(
+                    cur,
+                    pack(idx, self.ver(ver.wrapping_add(1))),
+                    Release,
+                    Relaxed,
+                )
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+
+    /// Mirrors `RawPool::refill`'s segment pop: returns the detached
+    /// segment's index, or `None` when the overflow is empty.
+    pub fn pop(&self) -> Option<usize> {
+        loop {
+            // R1: `self.overflow.load(Acquire)`.
+            let cur = self.head.load_ord(Acquire);
+            let (idx, ver) = unpack(cur);
+            if idx == SEG_NONE {
+                return None;
+            }
+            // R2: `read_word1(seg)` — may read a segment the head no longer
+            // owns; the versioned CAS below rejects any such stale read.
+            let next = self.segs[idx].next.load_ord(Relaxed);
+            // R3: Acquire on success *and* failure (see ordlint baseline:
+            // the failure value's segment is dereferenced pre-CAS).
+            if self
+                .head
+                .compare_exchange_ord(
+                    cur,
+                    pack(next, self.ver(ver.wrapping_add(1))),
+                    Acquire,
+                    Acquire,
+                )
+                .is_ok()
+            {
+                return Some(idx);
+            }
+        }
+    }
+
+    /// Post-check helper: segment indices still chained in the overflow,
+    /// head first (single-threaded use only).
+    pub fn drain_plain(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        let (mut cursor, _) = unpack(self.head.load_plain());
+        while cursor != SEG_NONE {
+            out.push(cursor);
+            cursor = self.segs[cursor].next.load_plain();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_stack_single_threaded_lifo_and_reuse() {
+        let s = ModelPoolStack::new();
+        s.push(1);
+        s.push(2);
+        assert_eq!(s.pop(), Some(2));
+        assert_eq!(s.pop(), Some(1));
+        assert_eq!(s.pop(), None);
+        // Retired nodes sit in limbo until grace advances…
+        let (live, cached, limbo, created) = s.accounting_plain();
+        assert_eq!((live, cached, limbo, created), (0, 0, 2, 2));
+        // …after which pushes reuse them instead of creating new nodes.
+        s.advance_grace_plain();
+        s.push(3);
+        s.push(4);
+        let (live, cached, limbo, created) = s.accounting_plain();
+        assert_eq!((live, cached, limbo, created), (2, 0, 0, 2));
+        assert_eq!(s.drain_plain(), vec![4, 3]);
+    }
+
+    #[test]
+    fn immediate_reuse_single_threaded_behaves() {
+        // Absent interference the bug is invisible — that is the point.
+        let s = ModelPoolStack::immediate_reuse();
+        s.push(1);
+        s.push(2);
+        assert_eq!(s.pop(), Some(2));
+        s.push(3); // reuses node of 2 immediately
+        assert_eq!(s.pop(), Some(3));
+        assert_eq!(s.pop(), Some(1));
+        assert_eq!(s.pop(), None);
+        let (_, _, _, created) = s.accounting_plain();
+        assert_eq!(created, 2, "the third push reused a freed node");
+    }
+
+    #[test]
+    fn overflow_single_threaded_round_trip() {
+        let o = ModelOverflow::new(3);
+        o.push(0);
+        o.push(1);
+        o.push(2);
+        assert_eq!(o.drain_plain(), vec![2, 1, 0]);
+        assert_eq!(o.pop(), Some(2));
+        assert_eq!(o.pop(), Some(1));
+        o.push(1);
+        assert_eq!(o.pop(), Some(1));
+        assert_eq!(o.pop(), Some(0));
+        assert_eq!(o.pop(), None);
+    }
+}

@@ -1,0 +1,291 @@
+//! Pool-mirror exploration: the two seeded reclamation bugs must be caught
+//! with deterministically replayable schedules, and the faithful pool
+//! models must survive the same scenarios — and survive them under *every*
+//! memory mode (SC, TSO-style store buffer, ARM/POWER-class relaxed), since
+//! the pool's safety argument ("reuse is gated on the same epoch advance
+//! that gates the free") is a claim about weak memory too.
+
+use std::sync::{Arc, Mutex};
+
+use lfrt_interleave::models::{ModelOverflow, ModelPoolStack};
+use lfrt_interleave::{explore, replay, Config, FailureKind, MemoryMode, Plan};
+
+type Cell = Arc<Mutex<Vec<u64>>>;
+
+fn cell() -> Cell {
+    Arc::new(Mutex::new(Vec::new()))
+}
+
+fn conservation_check(pushed: Vec<u64>, popped: Vec<Cell>, remaining: Vec<u64>) {
+    let mut seen: Vec<u64> = popped
+        .iter()
+        .flat_map(|c| c.lock().unwrap().clone())
+        .chain(remaining)
+        .collect();
+    seen.sort_unstable();
+    let mut expected = pushed;
+    expected.sort_unstable();
+    assert_eq!(seen, expected, "elements lost or duplicated");
+}
+
+/// The CHESS preemption bound shared by every cross-mode run, so the
+/// faithful-pass cells are comparable to the buggy-catch cells (the weak
+/// modes explode without one; 3 preemptions reach every seeded hazard of
+/// this shape, as `tests/weak_memory.rs` establishes for retry loops).
+const BOUND: Option<usize> = Some(3);
+
+fn config(name: &'static str, memory: MemoryMode) -> Config {
+    Config {
+        memory,
+        preemption_bound: BOUND,
+        ..Config::exhaustive(name)
+    }
+}
+
+fn all_modes() -> [(&'static str, MemoryMode); 3] {
+    [
+        ("sc", MemoryMode::Sc),
+        (
+            "tso",
+            MemoryMode::StoreBuffer {
+                bound: MemoryMode::DEFAULT_BOUND,
+            },
+        ),
+        (
+            "relaxed",
+            MemoryMode::Relaxed {
+                bound: MemoryMode::DEFAULT_BOUND,
+                window: MemoryMode::DEFAULT_WINDOW,
+            },
+        ),
+    ]
+}
+
+/// Reuse-before-grace on the pooled stack. Scenario: stack `[1, 2]` (2 on
+/// top); t0 pops once; t1 pops twice then pushes 3. With immediate reuse
+/// the push re-acquires the very node t0's parked pop still points at
+/// (A → B → A), its CAS succeeds against the recycled node, and an element
+/// is duplicated. With grace-deferred recycling the node sits in limbo for
+/// the whole exploration, so the schedule is harmless.
+mod reuse_before_grace {
+    use super::*;
+
+    fn scenario(immediate: bool) -> Plan {
+        let stack = Arc::new(if immediate {
+            ModelPoolStack::immediate_reuse()
+        } else {
+            ModelPoolStack::new()
+        });
+        stack.push(1);
+        stack.push(2);
+        let (pop0, pop1) = (cell(), cell());
+        let s0 = Arc::clone(&stack);
+        let r0 = Arc::clone(&pop0);
+        let s1 = Arc::clone(&stack);
+        let r1 = Arc::clone(&pop1);
+        Plan::new()
+            .thread(move || {
+                let popped = s0.pop();
+                r0.lock().unwrap().extend(popped);
+            })
+            .thread(move || {
+                let mut out = Vec::new();
+                out.extend(s1.pop());
+                out.extend(s1.pop());
+                s1.push(3);
+                r1.lock().unwrap().extend(out);
+            })
+            .check(move || {
+                conservation_check(
+                    vec![1, 2, 3],
+                    vec![pop0.clone(), pop1.clone()],
+                    stack.drain_plain(),
+                );
+            })
+    }
+
+    #[test]
+    fn immediate_reuse_is_caught_and_replayable() {
+        let report = explore(&Config::exhaustive("pool-reuse-before-grace"), || {
+            scenario(true)
+        });
+        let failure = report.assert_fails();
+        assert_eq!(failure.kind, FailureKind::Panic);
+        assert!(
+            failure.message.contains("lost or duplicated"),
+            "{failure:?}"
+        );
+        let schedule = failure.schedule.clone();
+        let err = std::panic::catch_unwind(move || replay(&schedule, || scenario(true)))
+            .expect_err("replay must reproduce the reuse corruption");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("lost or duplicated"), "{msg}");
+    }
+
+    #[test]
+    fn grace_deferred_recycling_survives_every_memory_mode() {
+        for (mode_name, memory) in all_modes() {
+            explore(
+                &config(
+                    Box::leak(format!("pool-grace-{mode_name}").into_boxed_str()),
+                    memory,
+                ),
+                || scenario(false),
+            )
+            .assert_ok();
+        }
+    }
+}
+
+/// Grace-expired reuse is *allowed*: nodes recycled while every thread was
+/// quiescent may be re-acquired concurrently, and the faithful model must
+/// stay sound doing so under every memory mode — this is the pool's steady
+/// state (hit path), where no allocation happens at all.
+mod steady_state_hit_path {
+    use super::*;
+
+    fn scenario() -> Plan {
+        let stack = Arc::new(ModelPoolStack::new());
+        // Warm the cache the way the real pool does: churn, then quiesce
+        // (grace advances), leaving two reusable nodes and an empty stack.
+        stack.push(1);
+        stack.push(2);
+        assert_eq!(stack.pop(), Some(2));
+        assert_eq!(stack.pop(), Some(1));
+        stack.advance_grace_plain();
+
+        let (pop0, pop1) = (cell(), cell());
+        let s0 = Arc::clone(&stack);
+        let r0 = Arc::clone(&pop0);
+        let s1 = Arc::clone(&stack);
+        let r1 = Arc::clone(&pop1);
+        Plan::new()
+            .thread(move || {
+                s0.push(10);
+                let popped = s0.pop();
+                r0.lock().unwrap().extend(popped);
+            })
+            .thread(move || {
+                s1.push(11);
+                let popped = s1.pop();
+                r1.lock().unwrap().extend(popped);
+            })
+            .check(move || {
+                conservation_check(
+                    vec![10, 11],
+                    vec![pop0.clone(), pop1.clone()],
+                    stack.drain_plain(),
+                );
+                // Handout invariant: both pushes were cache hits (no node
+                // created beyond the warm-up two) and every node is in
+                // exactly one place.
+                let (live, cached, limbo, created) = stack.accounting_plain();
+                assert_eq!(created, 2, "steady state must be allocation-free");
+                assert_eq!(
+                    live + cached + limbo,
+                    created,
+                    "a node leaked or is in two places"
+                );
+            })
+    }
+
+    #[test]
+    fn cache_hits_stay_sound_under_every_memory_mode() {
+        for (mode_name, memory) in all_modes() {
+            explore(
+                &config(
+                    Box::leak(format!("pool-steady-{mode_name}").into_boxed_str()),
+                    memory,
+                ),
+                scenario,
+            )
+            .assert_ok();
+        }
+    }
+}
+
+/// Segment-pop ABA on the overflow stack. Scenario: overflow `[1, 0]` (1 at
+/// the head); t0 refills once; t1 refills twice and spills its first
+/// segment back. Without the version the re-push makes t0's parked CAS
+/// succeed with a *stale* chain word, splicing a segment t1 still owns back
+/// into the overflow (double ownership). The versioned head turns that CAS
+/// into a failure.
+mod overflow_versioning {
+    use super::*;
+
+    type SegCell = Arc<Mutex<Vec<usize>>>;
+
+    fn seg_cell() -> SegCell {
+        Arc::new(Mutex::new(Vec::new()))
+    }
+
+    fn scenario(versioned: bool) -> Plan {
+        let overflow = Arc::new(if versioned {
+            ModelOverflow::new(2)
+        } else {
+            ModelOverflow::unversioned(2)
+        });
+        overflow.push(0);
+        overflow.push(1);
+        let (own0, own1) = (seg_cell(), seg_cell());
+        let o0 = Arc::clone(&overflow);
+        let c0 = Arc::clone(&own0);
+        let o1 = Arc::clone(&overflow);
+        let c1 = Arc::clone(&own1);
+        Plan::new()
+            .thread(move || {
+                c0.lock().unwrap().extend(o0.pop());
+            })
+            .thread(move || {
+                let first = o1.pop().expect("two segments, at most one other popper");
+                let second = o1.pop();
+                o1.push(first); // spill the first segment back
+                c1.lock().unwrap().extend(second);
+            })
+            .check(move || {
+                let mut seen: Vec<usize> = own0
+                    .lock()
+                    .unwrap()
+                    .iter()
+                    .chain(own1.lock().unwrap().iter())
+                    .copied()
+                    .chain(overflow.drain_plain())
+                    .collect();
+                seen.sort_unstable();
+                assert_eq!(
+                    seen,
+                    vec![0, 1],
+                    "segment lost or doubly owned after the spill race"
+                );
+            })
+    }
+
+    #[test]
+    fn unversioned_head_is_caught_and_replayable() {
+        let report = explore(&Config::exhaustive("pool-overflow-unversioned"), || {
+            scenario(false)
+        });
+        let failure = report.assert_fails();
+        assert_eq!(failure.kind, FailureKind::Panic);
+        assert!(failure.message.contains("doubly owned"), "{failure:?}");
+        let schedule = failure.schedule.clone();
+        let err = std::panic::catch_unwind(move || replay(&schedule, || scenario(false)))
+            .expect_err("replay must reproduce the segment ABA");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("doubly owned"), "{msg}");
+    }
+
+    #[test]
+    fn versioned_head_survives_every_memory_mode() {
+        for (mode_name, memory) in all_modes() {
+            explore(
+                &config(
+                    Box::leak(format!("pool-overflow-{mode_name}").into_boxed_str()),
+                    memory,
+                ),
+                || scenario(true),
+            )
+            .assert_ok();
+        }
+    }
+}

@@ -29,7 +29,10 @@
 //!   the wait-free scheme the paper contrasts lock-free sharing against;
 //! * [`LockedQueue`], [`LockedStack`] — mutual-exclusion counterparts;
 //! * [`OpStats`] — per-object attempt/retry counters, the measured analogue
-//!   of the retry count `f_i` bounded by the paper's Theorem 2.
+//!   of the retry count `f_i` bounded by the paper's Theorem 2;
+//! * [`pool`] — epoch-recycling node pools (the paper's type-stable memory):
+//!   stack/queue/list nodes are recycled through the epoch grace period
+//!   instead of freed, making steady-state hot paths allocation-free.
 //!
 //! # Examples
 //!
@@ -53,6 +56,7 @@ mod locked;
 mod mpmc;
 mod nbw;
 mod object;
+pub mod pool;
 mod queue;
 mod register;
 mod ring;
@@ -65,6 +69,7 @@ pub use locked::{LockedQueue, LockedStack};
 pub use mpmc::BoundedMpmcQueue;
 pub use nbw::{nbw_register, NbwReader, NbwWriter};
 pub use object::{ConcurrentQueue, ConcurrentStack};
+pub use pool::{PoolStats, RawPool};
 pub use queue::LockFreeQueue;
 pub use register::CasRegister;
 pub use ring::{spsc_ring, RingConsumer, RingProducer};

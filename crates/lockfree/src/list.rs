@@ -4,6 +4,7 @@ use std::sync::atomic::Ordering::{Acquire, Relaxed, Release};
 use crossbeam::epoch::{self, Atomic, Guard, Owned, Shared};
 use crossbeam::utils::Backoff;
 
+use crate::pool::{self, RawPool};
 use crate::stats::OpStats;
 
 /// A lock-free sorted linked list (set of `u64` keys).
@@ -35,6 +36,9 @@ use crate::stats::OpStats;
 pub struct LockFreeList {
     head: Atomic<Node>,
     stats: OpStats,
+    /// Node allocations come from (and unlinked nodes recycle into) this
+    /// epoch-integrated pool; see [`crate::pool`].
+    pool: &'static RawPool,
 }
 
 struct Node {
@@ -52,11 +56,28 @@ unsafe impl Send for LockFreeList {}
 unsafe impl Sync for LockFreeList {}
 
 impl LockFreeList {
-    /// Creates an empty list.
+    /// Creates an empty list whose nodes come from (and recycle into) the
+    /// shared epoch-integrated node pool — allocation-free in steady state.
     pub fn new() -> Self {
         Self {
             head: Atomic::null(),
             stats: OpStats::new(),
+            pool: RawPool::of::<Node>(),
+        }
+    }
+
+    /// Acquires a block from the pool and initializes it as a node.
+    fn alloc_node(&self, key: u64) -> Owned<Node> {
+        let block = self.pool.acquire().cast::<Node>();
+        // SAFETY: `acquire` hands out an exclusively owned, properly
+        // aligned global-allocator block of `Node`'s layout; `write`
+        // initializes every field without reading the old contents.
+        unsafe {
+            block.write(Node {
+                key,
+                next: Atomic::null(),
+            });
+            Owned::from_raw(block)
         }
     }
 
@@ -64,10 +85,7 @@ impl LockFreeList {
     pub fn insert(&self, key: u64) -> bool {
         let mut trace = lfrt_trace::CasOp::start(lfrt_trace::Site::ListInsert);
         let guard = &epoch::pin();
-        let mut new = Owned::new(Node {
-            key,
-            next: Atomic::null(),
-        });
+        let mut new = self.alloc_node(key);
         let backoff = Backoff::new();
         loop {
             self.stats.attempt();
@@ -154,12 +172,19 @@ impl LockFreeList {
                 .compare_exchange(curr, next.with_tag(0), Release, Relaxed, guard)
                 .is_ok()
             {
-                // SAFETY: unlinked; destruction deferred past all pins.
-                unsafe { guard.defer_destroy(curr) };
+                // SAFETY: unlinked; a node is a plain key plus a pointer
+                // (nothing to drop), so it recycles into the pool after the
+                // same grace period that used to gate its free.
+                unsafe { guard.defer_recycle(curr, pool::recycle_raw, self.pool.ctx()) };
             }
             trace.success();
             return true;
         }
+    }
+
+    /// The node pool backing this list (for stats and teardown accounting).
+    pub fn node_pool(&self) -> &'static RawPool {
+        self.pool
     }
 
     /// Whether `key` is present (and not logically deleted).
@@ -235,8 +260,9 @@ impl LockFreeList {
                     guard,
                 ) {
                     Ok(_) => {
-                        // SAFETY: unlinked; deferred destruction.
-                        unsafe { guard.defer_destroy(curr) };
+                        // SAFETY: unlinked; trivially droppable node, so
+                        // recycle it after its grace period (see `remove`).
+                        unsafe { guard.defer_recycle(curr, pool::recycle_raw, self.pool.ctx()) };
                         curr = next.with_tag(0);
                         continue;
                     }

@@ -2,10 +2,11 @@ use std::cell::UnsafeCell;
 use std::fmt;
 use std::sync::atomic::Ordering::{Acquire, Relaxed, Release};
 
-use crossbeam::epoch::{self, Atomic, Owned, Shared};
+use crossbeam::epoch::{self, Atomic, Guard, Owned, Shared};
 use crossbeam::utils::Backoff;
 
 use crate::object::ConcurrentQueue;
+use crate::pool::{self, RawPool};
 use crate::stats::OpStats;
 
 /// The Michael–Scott lock-free FIFO queue (Michael & Scott, JPDC'98).
@@ -42,6 +43,9 @@ pub struct LockFreeQueue<T> {
     head: Atomic<Node<T>>,
     tail: Atomic<Node<T>>,
     stats: OpStats,
+    /// Node allocations come from (and retired sentinels recycle into)
+    /// this epoch-integrated pool; see [`crate::pool`].
+    pool: &'static RawPool,
 }
 
 struct Node<T> {
@@ -60,17 +64,27 @@ unsafe impl<T: Send> Send for LockFreeQueue<T> {}
 unsafe impl<T: Send> Sync for LockFreeQueue<T> {}
 
 impl<T> LockFreeQueue<T> {
-    /// Creates an empty queue.
+    /// Creates an empty queue whose nodes come from (and recycle into) the
+    /// shared epoch-integrated node pool — allocation-free in steady state.
     pub fn new() -> Self {
+        Self::with_pool(RawPool::of::<Node<T>>())
+    }
+
+    /// Creates an empty queue on the *boxed* baseline: every node is
+    /// allocated from and freed to the global allocator, exactly the
+    /// pre-pool behavior. Exists so the benches can measure the pool's win.
+    pub fn new_boxed() -> Self {
+        Self::with_pool(RawPool::of_boxed::<Node<T>>())
+    }
+
+    fn with_pool(pool: &'static RawPool) -> Self {
         let queue = Self {
             head: Atomic::null(),
             tail: Atomic::null(),
             stats: OpStats::new(),
+            pool,
         };
-        let sentinel = Owned::new(Node {
-            data: UnsafeCell::new(None),
-            next: Atomic::null(),
-        });
+        let sentinel = queue.alloc_node(None);
         // SAFETY: the queue is not yet shared; no other thread can observe
         // these stores, so the unprotected guard is sound.
         let guard = unsafe { epoch::unprotected() };
@@ -80,18 +94,45 @@ impl<T> LockFreeQueue<T> {
         queue
     }
 
+    /// Acquires a block from the pool and initializes it as a node
+    /// (`None` = sentinel).
+    fn alloc_node(&self, value: Option<T>) -> Owned<Node<T>> {
+        let block = self.pool.acquire().cast::<Node<T>>();
+        // SAFETY: `acquire` hands out an exclusively owned, properly
+        // aligned global-allocator block of `Node<T>`'s layout; `write`
+        // initializes every field without reading the old contents.
+        unsafe {
+            block.write(Node {
+                data: UnsafeCell::new(value),
+                next: Atomic::null(),
+            });
+            Owned::from_raw(block)
+        }
+    }
+
     /// Appends `value` at the tail.
     ///
     /// Lock-free: retries only when a concurrent enqueue wins the tail CAS;
     /// each retry is recorded in [`LockFreeQueue::stats`].
     pub fn enqueue(&self, value: T) {
-        let mut trace = lfrt_trace::CasOp::start(lfrt_trace::Site::QueueEnqueue);
         let guard = &epoch::pin();
-        let new = Owned::new(Node {
-            data: UnsafeCell::new(Some(value)),
-            next: Atomic::null(),
-        })
-        .into_shared(guard);
+        self.enqueue_in(value, guard);
+    }
+
+    /// Enqueues every value of `values` in iteration order, amortizing the
+    /// epoch pin (and the pool's segment refill) across the whole batch:
+    /// one pin, not one per element. Not atomic — a concurrent dequeuer may
+    /// observe a prefix of the batch.
+    pub fn enqueue_batch<I: IntoIterator<Item = T>>(&self, values: I) {
+        let guard = &epoch::pin();
+        for value in values {
+            self.enqueue_in(value, guard);
+        }
+    }
+
+    fn enqueue_in(&self, value: T, guard: &Guard) {
+        let mut trace = lfrt_trace::CasOp::start(lfrt_trace::Site::QueueEnqueue);
+        let new = self.alloc_node(Some(value)).into_shared(guard);
         // Backoff paces contended retries without touching shared state;
         // the loop's step structure (mirrored by `ModelMsQueue`) is intact.
         let backoff = Backoff::new();
@@ -136,8 +177,27 @@ impl<T> LockFreeQueue<T> {
 
     /// Removes and returns the element at the head, or `None` if empty.
     pub fn dequeue(&self) -> Option<T> {
-        let mut trace = lfrt_trace::CasOp::start(lfrt_trace::Site::QueueDequeue);
         let guard = &epoch::pin();
+        self.dequeue_in(guard)
+    }
+
+    /// Dequeues up to `n` elements under a single epoch pin, stopping early
+    /// if the queue is observed empty. Returns the elements in FIFO order.
+    /// (The returned `Vec` is the one allocation of the batch.)
+    pub fn dequeue_batch(&self, n: usize) -> Vec<T> {
+        let guard = &epoch::pin();
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            match self.dequeue_in(guard) {
+                Some(v) => out.push(v),
+                None => break,
+            }
+        }
+        out
+    }
+
+    fn dequeue_in(&self, guard: &Guard) -> Option<T> {
+        let mut trace = lfrt_trace::CasOp::start(lfrt_trace::Site::QueueDequeue);
         let backoff = Backoff::new();
         loop {
             self.stats.attempt();
@@ -168,9 +228,13 @@ impl<T> LockFreeQueue<T> {
                     // data is never read again by any other operation.
                     let data = unsafe { (*next_ref.data.get()).take() };
                     debug_assert!(data.is_some(), "non-sentinel node had no data");
-                    // SAFETY: `head` is unlinked; defer destruction until all
-                    // pinned threads move on.
-                    unsafe { guard.defer_destroy(head) };
+                    // SAFETY: `head` (the retiring sentinel) is unlinked and
+                    // its data slot holds `None` (taken by the dequeue that
+                    // made it the sentinel, or never set), so skipping its
+                    // destructor is sound and it can recycle into the pool
+                    // once all pinned threads move on — the same grace
+                    // period that used to gate its free.
+                    unsafe { guard.defer_recycle(head, pool::recycle_raw, self.pool.ctx()) };
                     trace.success();
                     return data;
                 }
@@ -181,6 +245,11 @@ impl<T> LockFreeQueue<T> {
                 }
             }
         }
+    }
+
+    /// The node pool backing this queue (for stats and teardown accounting).
+    pub fn node_pool(&self) -> &'static RawPool {
+        self.pool
     }
 
     /// Whether the queue is observed empty (a snapshot; other threads may
@@ -305,6 +374,26 @@ mod tests {
             q.enqueue(Box::new(i));
         }
         drop(q); // must free the 10 boxes and all nodes
+    }
+
+    #[test]
+    fn batched_enqueue_dequeue_round_trip() {
+        let q = LockFreeQueue::new();
+        q.enqueue_batch(0..100);
+        assert_eq!(q.dequeue_batch(60), (0..60).collect::<Vec<_>>());
+        assert_eq!(q.dequeue_batch(1000), (60..100).collect::<Vec<_>>());
+        assert!(q.dequeue_batch(5).is_empty());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn boxed_baseline_behaves_identically() {
+        let q = LockFreeQueue::new_boxed();
+        q.enqueue_batch(0..50);
+        for i in 0..50 {
+            assert_eq!(q.dequeue(), Some(i));
+        }
+        assert_eq!(q.dequeue(), None);
     }
 
     #[test]

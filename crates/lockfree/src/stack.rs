@@ -2,10 +2,11 @@ use std::fmt;
 use std::mem::ManuallyDrop;
 use std::sync::atomic::Ordering::{Acquire, Relaxed, Release};
 
-use crossbeam::epoch::{self, Atomic, Owned};
+use crossbeam::epoch::{self, Atomic, Guard, Owned};
 use crossbeam::utils::Backoff;
 
 use crate::object::ConcurrentStack;
+use crate::pool::{self, RawPool};
 use crate::stats::OpStats;
 
 /// Treiber's lock-free LIFO stack (R. K. Treiber, IBM RJ 5118, 1986).
@@ -36,6 +37,11 @@ use crate::stats::OpStats;
 pub struct TreiberStack<T> {
     top: Atomic<Node<T>>,
     stats: OpStats,
+    /// Node allocations come from (and retired nodes recycle into) this
+    /// epoch-integrated pool; see [`crate::pool`]. [`TreiberStack::new`]
+    /// uses the pooled mode, [`TreiberStack::new_boxed`] the passthrough
+    /// (allocate/free) baseline.
+    pool: &'static RawPool,
 }
 
 struct Node<T> {
@@ -52,22 +58,62 @@ unsafe impl<T: Send> Send for TreiberStack<T> {}
 unsafe impl<T: Send> Sync for TreiberStack<T> {}
 
 impl<T> TreiberStack<T> {
-    /// Creates an empty stack.
+    /// Creates an empty stack whose nodes come from (and recycle into) the
+    /// shared epoch-integrated node pool — allocation-free in steady state.
     pub fn new() -> Self {
+        Self::with_pool(RawPool::of::<Node<T>>())
+    }
+
+    /// Creates an empty stack on the *boxed* baseline: every node is
+    /// allocated from and freed to the global allocator, exactly the
+    /// pre-pool behavior. Exists so the benches can measure the pool's win.
+    pub fn new_boxed() -> Self {
+        Self::with_pool(RawPool::of_boxed::<Node<T>>())
+    }
+
+    fn with_pool(pool: &'static RawPool) -> Self {
         Self {
             top: Atomic::null(),
             stats: OpStats::new(),
+            pool,
+        }
+    }
+
+    /// Acquires a block from the pool and initializes it as a node.
+    fn alloc_node(&self, value: T) -> Owned<Node<T>> {
+        let block = self.pool.acquire().cast::<Node<T>>();
+        // SAFETY: `acquire` hands out an exclusively owned, properly
+        // aligned global-allocator block of `Node<T>`'s layout; `write`
+        // initializes every field without reading the old contents.
+        unsafe {
+            block.write(Node {
+                data: ManuallyDrop::new(value),
+                next: Atomic::null(),
+            });
+            Owned::from_raw(block)
         }
     }
 
     /// Pushes `value` on top of the stack.
     pub fn push(&self, value: T) {
-        let mut trace = lfrt_trace::CasOp::start(lfrt_trace::Site::StackPush);
         let guard = &epoch::pin();
-        let mut new = Owned::new(Node {
-            data: ManuallyDrop::new(value),
-            next: Atomic::null(),
-        });
+        self.push_in(value, guard);
+    }
+
+    /// Pushes every value of `values`, amortizing the epoch pin (and the
+    /// pool's segment refill) across the whole batch: one pin, not one per
+    /// element. Elements are pushed in iteration order, so they pop in
+    /// reverse.
+    pub fn push_n<I: IntoIterator<Item = T>>(&self, values: I) {
+        let guard = &epoch::pin();
+        for value in values {
+            self.push_in(value, guard);
+        }
+    }
+
+    fn push_in(&self, value: T, guard: &Guard) {
+        let mut trace = lfrt_trace::CasOp::start(lfrt_trace::Site::StackPush);
+        let mut new = self.alloc_node(value);
         // Bounded exponential backoff between passes: pure spinning, no
         // atomics, so the loop's step structure (and its interleave mirror)
         // is unchanged — only the retry *pacing* under contention is.
@@ -94,8 +140,27 @@ impl<T> TreiberStack<T> {
 
     /// Pops the top element, or returns `None` if the stack is empty.
     pub fn pop(&self) -> Option<T> {
-        let mut trace = lfrt_trace::CasOp::start(lfrt_trace::Site::StackPop);
         let guard = &epoch::pin();
+        self.pop_in(guard)
+    }
+
+    /// Pops up to `n` elements under a single epoch pin, stopping early if
+    /// the stack is observed empty. Returns the popped elements in pop
+    /// order. (The returned `Vec` is the one allocation of the batch.)
+    pub fn pop_n(&self, n: usize) -> Vec<T> {
+        let guard = &epoch::pin();
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            match self.pop_in(guard) {
+                Some(v) => out.push(v),
+                None => break,
+            }
+        }
+        out
+    }
+
+    fn pop_in(&self, guard: &Guard) -> Option<T> {
+        let mut trace = lfrt_trace::CasOp::start(lfrt_trace::Site::StackPop);
         let backoff = Backoff::new();
         loop {
             self.stats.attempt();
@@ -114,12 +179,14 @@ impl<T> TreiberStack<T> {
                 Ok(_) => {
                     // SAFETY: winning the CAS unlinked `top`; we are the only
                     // thread that will ever read its payload. `ManuallyDrop`
-                    // guarantees the node's deferred destruction will not
+                    // guarantees the node's deferred reclamation will not
                     // drop the payload a second time.
                     let data = unsafe { ManuallyDrop::into_inner(std::ptr::read(&top_ref.data)) };
-                    // SAFETY: the node is unlinked; destruction is deferred
-                    // until all pinned threads move on.
-                    unsafe { guard.defer_destroy(top) };
+                    // SAFETY: the node is unlinked and its payload moved out
+                    // (the leftover fields are trivially droppable), so it
+                    // can recycle into the pool once all pinned threads move
+                    // on — the same grace period that used to gate its free.
+                    unsafe { guard.defer_recycle(top, pool::recycle_raw, self.pool.ctx()) };
                     trace.success();
                     return Some(data);
                 }
@@ -130,6 +197,11 @@ impl<T> TreiberStack<T> {
                 }
             }
         }
+    }
+
+    /// The node pool backing this stack (for stats and teardown accounting).
+    pub fn node_pool(&self) -> &'static RawPool {
+        self.pool
     }
 
     /// Whether the stack is observed empty (a snapshot under concurrency).
@@ -226,6 +298,28 @@ mod tests {
             s.push(Box::new(i));
         }
         drop(s);
+    }
+
+    #[test]
+    fn batched_push_pop_round_trip() {
+        let s = TreiberStack::new();
+        s.push_n(0..100);
+        let popped = s.pop_n(60);
+        assert_eq!(popped, (40..100).rev().collect::<Vec<_>>());
+        let rest = s.pop_n(1000);
+        assert_eq!(rest, (0..40).rev().collect::<Vec<_>>());
+        assert!(s.pop_n(5).is_empty());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn boxed_baseline_behaves_identically() {
+        let s = TreiberStack::new_boxed();
+        s.push_n(0..50);
+        for i in (0..50).rev() {
+            assert_eq!(s.pop(), Some(i));
+        }
+        assert_eq!(s.pop(), None);
     }
 
     #[test]

@@ -136,6 +136,35 @@ fn mpmc_hot_path_orderings() {
     );
 }
 
+/// Node-pool overflow stack (a Treiber stack of spill segments behind a
+/// versioned packed head): the spiller publishes a chained segment with
+/// Release; the refiller acquires the head — and keeps Acquire on the CAS
+/// *failure* path too, because `read_word1` dereferences the segment the
+/// failure value points to before the next CAS (baselined ORD005).
+#[test]
+fn pool_overflow_orderings() {
+    assert_site(
+        "pool.rs",
+        "compare_exchange(cur, pack(seg, ver.wrapping_add(1)), Ordering::Release, Ordering::Relaxed,)",
+        "push_segment publishes the chained segment with Release",
+    );
+    assert_site(
+        "pool.rs",
+        "compare_exchange(cur, pack(next_seg, ver.wrapping_add(1)), Ordering::Acquire, Ordering::Acquire,)",
+        "refill pops with Acquire on BOTH paths: the failure value's segment is dereferenced pre-CAS",
+    );
+    assert_site(
+        "pool.rs",
+        "self.overflow.load(Ordering::Acquire)",
+        "refill/purge head loads must see the spiller's chain writes",
+    );
+    assert_site(
+        "pool.rs",
+        "shard.hits.fetch_add(hits, Ordering::Relaxed)",
+        "telemetry flushes carry no synchronization (per-op counts live in plain cells)",
+    );
+}
+
 /// NBW (Kopetz/Reisinger) seqlock: the version stores straddle the payload
 /// with a Release fence + Release store; the reader pairs an Acquire load
 /// with an Acquire fence before the recheck.

@@ -1,0 +1,112 @@
+//! Pool teardown accounting under a counting allocator.
+//!
+//! A pooled structure never returns node blocks to the allocator on the hot
+//! path — they park in per-thread caches and the overflow stack. This binary
+//! installs a counting `#[global_allocator]` and proves the other half of
+//! that bargain: [`RawPool::purge`] hands **every** block back, so the pool
+//! is a cache, not a leak.
+//!
+//! The payload type is `#[repr(align(32))]`, which makes the node layout's
+//! alignment 32 — an alignment nothing else in this binary allocates with —
+//! so the counter isolates pool blocks exactly without guessing sizes. This
+//! test binary contains only this test (the allocator telemetry is global).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crossbeam::epoch;
+use lfrt_lockfree::TreiberStack;
+
+/// Counts alloc/dealloc calls whose layout alignment is 32 — i.e. exactly
+/// the pool blocks for `Node<Payload>` below.
+struct CountingAlloc;
+
+static ALIGN32_ALLOCS: AtomicUsize = AtomicUsize::new(0);
+static ALIGN32_FREES: AtomicUsize = AtomicUsize::new(0);
+
+// SAFETY: defers entirely to `System`; the counters are plain atomics.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if layout.align() == 32 {
+            ALIGN32_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        if layout.align() == 32 {
+            ALIGN32_FREES.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+/// Over-aligned payload: stamps the node layout with align 32 so the
+/// counting allocator can single it out.
+#[repr(align(32))]
+struct Payload {
+    _bytes: [u8; 24],
+}
+
+/// Drives the collector until `done()` holds or a generous bound is hit.
+fn collect_until(done: impl Fn() -> bool) -> bool {
+    for _ in 0..10_000 {
+        if done() {
+            return true;
+        }
+        epoch::pin().flush();
+        std::thread::yield_now();
+    }
+    done()
+}
+
+#[test]
+fn purge_returns_every_pooled_block_to_the_allocator() {
+    // Deep enough to overflow the local cache and exercise spill segments.
+    const N: usize = 256;
+
+    let stack = TreiberStack::new();
+    let pool = stack.node_pool();
+    let recycles_before = pool.stats().recycles;
+
+    for _ in 0..N {
+        stack.push(Payload { _bytes: [0; 24] });
+    }
+    for _ in 0..N {
+        assert!(stack.pop().is_some());
+    }
+    // Collection runs the deferred recyclers on this thread, so all N blocks
+    // land in this thread's cache and the pool's overflow stack.
+    assert!(
+        collect_until(|| pool.stats().recycles >= recycles_before + N),
+        "popped nodes never recycled into the pool"
+    );
+
+    let outstanding =
+        ALIGN32_ALLOCS.load(Ordering::Relaxed) - ALIGN32_FREES.load(Ordering::Relaxed);
+    assert!(
+        outstanding >= N,
+        "expected at least {N} pooled blocks outstanding, saw {outstanding}"
+    );
+    assert_eq!(
+        pool.stats().misses,
+        outstanding,
+        "every outstanding block is accounted for by a pool miss"
+    );
+
+    // SAFETY: the stack is empty and this thread is the only one that ever
+    // touched the pool, so nothing concurrently acquires or recycles.
+    let purged = unsafe { pool.purge() };
+    assert_eq!(
+        purged, outstanding,
+        "purge must drain the caller cache and the overflow stack completely"
+    );
+    assert_eq!(
+        ALIGN32_ALLOCS.load(Ordering::Relaxed),
+        ALIGN32_FREES.load(Ordering::Relaxed),
+        "after purge, every block the pool ever allocated has been freed"
+    );
+}

@@ -1,14 +1,19 @@
-//! Reclamation-safety tests: the epoch scheme must free retired nodes
-//! *eventually* (bounded memory under sustained traffic) and *never early*
-//! (no frees while any reader guard is pinned).
+//! Reclamation- and *reuse*-safety tests. Since the node pools landed, a
+//! retired node is no longer freed — it is **recycled** into its pool after
+//! the same grace period. The properties under test become:
+//!
+//! 1. retired nodes are eventually recycled (bounded memory under traffic);
+//! 2. a node is *never* pooled while any guard taken before its retirement
+//!    is still pinned (reuse-before-grace is the pool's ABA hazard);
+//! 3. the payload's `Drop` runs exactly once — on the popping thread, never
+//!    again when the node body recycles.
 //!
 //! Strategy: payloads carry a counting `Drop` (an `Arc<AtomicUsize>` bumped
 //! on drop), so "the payload was dropped" is observable without touching the
-//! allocator; node-level frees are observed through the collector's global
-//! `retired_count`/`destroyed_count` telemetry. Because those counters are
-//! process-global, every test here serializes on [`serial`] — the assertions
-//! are about collector state, and a concurrently running test would shift it.
-//! Forward progress of the collector is driven explicitly with
+//! allocator; node-level reclamation is observed through the collector's
+//! global `retired`/`destroyed`/`recycle_retired`/`recycled` telemetry.
+//! Because those counters are process-global, every test here serializes on
+//! [`serial`]. Forward progress of the collector is driven explicitly with
 //! `epoch::pin().flush()` cycles — production code gets the same effect
 //! amortized over ordinary pins.
 
@@ -47,14 +52,18 @@ fn collect_until(done: impl Fn() -> bool) -> bool {
     done()
 }
 
-/// Destroys every node already retired (all racing threads must have
-/// quiesced). Used to reach a clean baseline before taking deltas.
+/// Reclaims every node already retired on either path — destroy *or*
+/// recycle (all racing threads must have quiesced). Used to reach a clean
+/// baseline before taking deltas.
 fn drain_backlog() -> bool {
-    collect_until(|| epoch::destroyed_count() >= epoch::retired_count())
+    collect_until(|| {
+        epoch::destroyed_count() >= epoch::retired_count()
+            && epoch::recycled_count() >= epoch::recycle_retired_count()
+    })
 }
 
 #[test]
-fn stack_frees_popped_nodes_after_quiescence() {
+fn stack_recycles_popped_nodes_after_quiescence() {
     let _guard = serial();
     let drops = Arc::new(AtomicUsize::new(0));
     let stack = TreiberStack::new();
@@ -62,10 +71,11 @@ fn stack_frees_popped_nodes_after_quiescence() {
     for _ in 0..N {
         stack.push(CountOnDrop(Arc::clone(&drops)));
     }
-    let before_destroyed = epoch::destroyed_count();
+    let before_recycled = epoch::recycled_count();
     for _ in 0..N {
         // The popped payload is dropped here; what the epoch collector owes
-        // us is the *node* — freeing it must not double-drop the payload.
+        // us is the *node body* — recycling it must not double-drop the
+        // payload (the popper moved it out of the `ManuallyDrop` slot).
         drop(stack.pop().expect("stack has elements"));
     }
     assert_eq!(
@@ -73,21 +83,21 @@ fn stack_frees_popped_nodes_after_quiescence() {
         N,
         "each payload dropped exactly once by the popper"
     );
-    // Retired nodes must eventually be destroyed, and destruction must not
-    // re-drop payloads (the counter stays at N through collection).
+    // Retired nodes must eventually recycle into the pool, and recycling
+    // must not re-drop payloads (the counter stays at N through collection).
     assert!(
-        collect_until(|| epoch::destroyed_count() >= before_destroyed + N),
-        "popped stack nodes were never reclaimed"
+        collect_until(|| epoch::recycled_count() >= before_recycled + N),
+        "popped stack nodes were never recycled"
     );
     assert_eq!(
         drops.load(Ordering::Relaxed),
         N,
-        "node destruction must not drop payloads a second time"
+        "node recycling must not drop payloads a second time"
     );
 }
 
 #[test]
-fn queue_frees_dequeued_nodes_after_quiescence() {
+fn queue_recycles_dequeued_sentinels_after_quiescence() {
     let _guard = serial();
     let drops = Arc::new(AtomicUsize::new(0));
     let queue = LockFreeQueue::new();
@@ -95,53 +105,58 @@ fn queue_frees_dequeued_nodes_after_quiescence() {
     for _ in 0..N {
         queue.enqueue(CountOnDrop(Arc::clone(&drops)));
     }
-    let before_destroyed = epoch::destroyed_count();
+    let before_recycled = epoch::recycled_count();
     for _ in 0..N {
         drop(queue.dequeue().expect("queue has elements"));
     }
     assert_eq!(drops.load(Ordering::Relaxed), N);
+    // Each dequeue retires the *old* sentinel (whose data slot is already
+    // `None`), so N dequeues owe the pool N recycled node bodies.
     assert!(
-        collect_until(|| epoch::destroyed_count() >= before_destroyed + N),
-        "dequeued queue nodes were never reclaimed"
+        collect_until(|| epoch::recycled_count() >= before_recycled + N),
+        "dequeued queue sentinels were never recycled"
     );
     assert_eq!(
         drops.load(Ordering::Relaxed),
         N,
-        "node destruction must not drop payloads a second time"
+        "sentinel recycling must not drop payloads a second time"
     );
 }
 
 #[test]
-fn list_frees_removed_nodes_after_quiescence() {
+fn list_recycles_removed_nodes_after_quiescence() {
     let _guard = serial();
     let list = LockFreeList::new();
     const N: u64 = 100;
     for k in 0..N {
         assert!(list.insert(k));
     }
-    let before_destroyed = epoch::destroyed_count();
+    let before_recycled = epoch::recycled_count();
     for k in 0..N {
         assert!(list.remove(k));
     }
     assert!(
-        collect_until(|| epoch::destroyed_count() >= before_destroyed + N as usize),
-        "removed list nodes were never reclaimed"
+        collect_until(|| epoch::recycled_count() >= before_recycled + N as usize),
+        "removed list nodes were never recycled"
     );
 }
 
-/// The "never freed early" half: while this thread holds a guard pinned at
-/// epoch `e`, the global epoch can advance at most once (to `e + 2`), so a
-/// node retired at `e` or later sits at numeric distance ≤ 2 — short of the
-/// two-advance (distance 4) grace period — for as long as the guard lives.
-/// Nodes retired *after* the guard was taken therefore must stay alive no
-/// matter how hard other threads drive the collector. This is deterministic,
-/// not timing-dependent.
+/// The "never reused early" half — the pool's ABA safety argument. While
+/// this thread holds a guard pinned at epoch `e`, the global epoch can
+/// advance at most once (to `e + 2`), so a node retired at `e` or later sits
+/// at numeric distance ≤ 2 — short of the two-advance (distance 4) grace
+/// period — for as long as the guard lives. Nodes retired *after* the guard
+/// was taken therefore must neither be destroyed **nor pooled for reuse**,
+/// no matter how hard other threads drive the collector. A node that
+/// reached the pool here could be re-acquired and overwritten while this
+/// guard still holds a pre-retirement pointer to it — the classic
+/// reuse-before-grace ABA. This is deterministic, not timing-dependent.
 #[test]
-fn no_reclamation_while_a_reader_is_pinned() {
+fn no_recycling_while_a_reader_is_pinned() {
     let _guard = serial();
     // Reach a clean baseline first: anything retired by earlier tests gets
-    // destroyed now, so the strict equality below can only be broken by an
-    // early free of *our* nodes.
+    // reclaimed now, so the strict equalities below can only be broken by an
+    // early free/reuse of *our* nodes.
     assert!(drain_backlog(), "could not drain pre-existing garbage");
 
     let drops = Arc::new(AtomicUsize::new(0));
@@ -154,7 +169,8 @@ fn no_reclamation_while_a_reader_is_pinned() {
         stack.push(CountOnDrop(Arc::clone(&drops)));
     }
     let destroyed_at_pin = epoch::destroyed_count();
-    let retired_at_pin = epoch::retired_count();
+    let recycled_at_pin = epoch::recycled_count();
+    let recycle_retired_at_pin = epoch::recycle_retired_count();
 
     // Other threads pop everything and hammer the collector.
     let handles: Vec<_> = (0..4)
@@ -174,8 +190,13 @@ fn no_reclamation_while_a_reader_is_pinned() {
 
     assert_eq!(drops.load(Ordering::Relaxed), N, "all payloads popped");
     assert!(
-        epoch::retired_count() >= retired_at_pin + N,
-        "popped nodes were retired"
+        epoch::recycle_retired_count() >= recycle_retired_at_pin + N,
+        "popped nodes were retired onto the recycle path"
+    );
+    assert_eq!(
+        epoch::recycled_count(),
+        recycled_at_pin,
+        "nodes retired while a guard is pinned must not be pooled for reuse"
     );
     assert_eq!(
         epoch::destroyed_count(),
@@ -183,18 +204,20 @@ fn no_reclamation_while_a_reader_is_pinned() {
         "nodes retired while a guard is pinned must not be destroyed"
     );
 
-    // Unpinning releases the grace period; everything becomes collectable.
+    // Unpinning releases the grace period; everything becomes recyclable.
     drop(reader_pin);
     assert!(
-        collect_until(|| epoch::destroyed_count() >= destroyed_at_pin + N),
-        "nodes stayed unreclaimed after the last guard unpinned"
+        collect_until(|| epoch::recycled_count() >= recycled_at_pin + N),
+        "nodes stayed unrecycled after the last guard unpinned"
     );
 }
 
 /// Multi-threaded churn: concurrent producers/consumers with collection
 /// interleaved; afterwards every payload was dropped exactly once and the
 /// retired-node backlog drains to zero — the bounded-memory property the
-/// paper needs for long-running embedded workloads.
+/// paper needs for long-running embedded workloads. With the pool, "drains"
+/// means recycled, not freed: blocks park in thread caches and the overflow
+/// stack instead of going back to the allocator.
 #[test]
 fn concurrent_churn_reclaims_everything_exactly_once() {
     let _guard = serial();
@@ -241,14 +264,16 @@ fn concurrent_churn_reclaims_everything_exactly_once() {
     assert_eq!(
         drops.load(Ordering::Relaxed),
         THREADS * PER_THREAD,
-        "every payload dropped exactly once despite deferred node frees"
+        "every payload dropped exactly once despite deferred node recycling"
     );
-    // The backlog of retired-but-undestroyed nodes must drain completely
+    // The backlog of retired-but-unreclaimed nodes must drain completely
     // once all threads are quiescent: bounded memory, not a slow leak.
     assert!(
         drain_backlog(),
-        "retired-node backlog failed to drain: {} retired, {} destroyed",
+        "retired-node backlog failed to drain: {} retired / {} destroyed, {} recycle-retired / {} recycled",
         epoch::retired_count(),
-        epoch::destroyed_count()
+        epoch::destroyed_count(),
+        epoch::recycle_retired_count(),
+        epoch::recycled_count()
     );
 }

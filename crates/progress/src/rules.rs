@@ -180,27 +180,32 @@ fn prg003_guard_escape(ctx: &Ctx<'_>, findings: &mut Vec<Finding>) {
     }
 }
 
-/// PRG004: `defer_destroy` issued in a function with no preceding CAS —
-/// retiring a node before (or without) the unlink CAS that makes it
-/// unreachable. Textual-order approximation within one function body:
-/// sound for the unlink-then-retire idiom every structure here uses, and
-/// anything cleverer lands in the baseline with a justification.
+/// PRG004: `defer_destroy`/`defer_recycle` issued in a function with no
+/// preceding CAS — retiring a node before (or without) the unlink CAS that
+/// makes it unreachable. For the recycle flavor this is precisely the
+/// reuse-before-grace hazard: a reachable node handed to the pool can be
+/// re-acquired and overwritten under a concurrent reader. Textual-order
+/// approximation within one function body: sound for the unlink-then-retire
+/// idiom every structure here uses, and anything cleverer lands in the
+/// baseline with a justification.
 fn prg004_retire_before_unlink(ctx: &Ctx<'_>, findings: &mut Vec<Finding>) {
     for (i, f) in ctx.fns.iter().enumerate() {
-        for &defer in &f.defers {
-            let unlinked = f.cas.iter().any(|c| c.offset < defer);
+        for defer in &f.defers {
+            let unlinked = f.cas.iter().any(|c| c.offset < defer.offset);
             if unlinked {
                 continue;
             }
             findings.push(Finding {
                 rule: "PRG004".into(),
                 file: ctx.files[i].clone(),
-                line: ctx.line(i, defer),
+                line: ctx.line(i, defer.offset),
                 function: f.qname.clone(),
-                detail: "defer_destroy".into(),
-                message: "defer_destroy with no preceding unlink CAS in this function \
-                          — a node must be unreachable before it is retired"
-                    .into(),
+                detail: defer.token.clone(),
+                message: format!(
+                    "{} with no preceding unlink CAS in this function — a node \
+                     must be unreachable before it is retired or recycled",
+                    defer.token
+                ),
             });
         }
     }

@@ -99,8 +99,9 @@ pub struct FnInfo {
     pub allocs: Vec<TokenSite>,
     /// Backoff pacing calls (`.spin(`/`.snooze(`) by offset.
     pub pacing: Vec<usize>,
-    /// `defer_destroy` call sites by offset.
-    pub defers: Vec<usize>,
+    /// Retirement call sites (`defer_destroy`/`defer_recycle`), with the
+    /// call token.
+    pub defers: Vec<TokenSite>,
     /// CAS sites.
     pub cas: Vec<CasSite>,
     /// Guard-derived pointers used after the guard's scope (PRG003).
@@ -122,8 +123,14 @@ const BLOCKING_CALLS: [&str; 9] = [
     "join",
 ];
 
-/// Allocating `Qualifier::name` associated calls (PRG006).
-const ALLOC_PATH_CALLS: [(&str, &str); 10] = [
+/// Allocating `Qualifier::name` associated calls (PRG006). The two
+/// `alloc::*` entries catch raw global-allocator calls — the pool's cold
+/// paths are deliberately spelled `std::alloc::alloc`/`std::alloc::dealloc`
+/// so the immediate path segment matches here (`dealloc` counts too: any
+/// allocator round trip breaks a no_alloc contract).
+const ALLOC_PATH_CALLS: [(&str, &str); 12] = [
+    ("alloc", "alloc"),
+    ("alloc", "dealloc"),
     ("Box", "new"),
     ("Box", "leak"),
     ("Vec", "new"),
@@ -455,8 +462,11 @@ fn scan_body(sf: &SourceFile, info: &mut FnInfo) {
             if word == "spin" || word == "snooze" {
                 info.pacing.push(start);
             }
-            if word == "defer_destroy" {
-                info.defers.push(start);
+            if word == "defer_destroy" || word == "defer_recycle" {
+                info.defers.push(TokenSite {
+                    token: word.to_string(),
+                    offset: start,
+                });
             }
             let is_alloc = match style {
                 CallStyle::Path => qualifier

@@ -27,3 +27,31 @@ impl Prg004Clean {
         unsafe { guard.defer_destroy(cur) };
     }
 }
+
+pub struct Prg004RecycleBroken {
+    head: Atomic<u64>,
+}
+
+impl Prg004RecycleBroken {
+    pub fn op(&self, guard: &Guard) {
+        let cur = self.head.load(Acquire, guard);
+        unsafe { guard.defer_recycle(cur, recycle_raw, 0) };
+        let _ = self
+            .head
+            .compare_exchange(cur, Shared::null(), AcqRel, Acquire, guard);
+    }
+}
+
+pub struct Prg004RecycleClean {
+    head: Atomic<u64>,
+}
+
+impl Prg004RecycleClean {
+    pub fn op(&self, guard: &Guard) {
+        let cur = self.head.load(Acquire, guard);
+        let _ = self
+            .head
+            .compare_exchange(cur, Shared::null(), AcqRel, Acquire, guard);
+        unsafe { guard.defer_recycle(cur, recycle_raw, 0) };
+    }
+}

@@ -25,3 +25,29 @@ impl Prg006Clean {
         7
     }
 }
+
+pub struct Prg006SpillBroken;
+
+impl Prg006SpillBroken {
+    pub fn op(&self) -> usize {
+        self.acquire()
+    }
+
+    fn acquire(&self) -> usize {
+        let layout = Layout::new::<u64>();
+        let block = unsafe { std::alloc::alloc(layout) };
+        block as usize
+    }
+}
+
+pub struct Prg006SpillClean;
+
+impl Prg006SpillClean {
+    pub fn op(&self) -> usize {
+        self.acquire()
+    }
+
+    fn acquire(&self) -> usize {
+        CACHE_TOP.fetch_sub(1, Ordering::Relaxed)
+    }
+}

@@ -22,8 +22,9 @@
 //!
 //! The event vocabulary is deliberately small ([`EventKind`]): CAS
 //! attempt/retry/success from the lock-free structures, backoff spin/yield,
-//! epoch pin/advance/collect/defer from the reclaimer, and scheduler
-//! admit/preempt/abort. [`CasOp`] packages the per-operation protocol
+//! epoch pin/advance/collect/defer from the reclaimer, scheduler
+//! admit/preempt/abort, and node-pool hit/miss/spill/refill from the
+//! epoch-recycling pools. [`CasOp`] packages the per-operation protocol
 //! (timestamp at start, retry events, a success event carrying
 //! `retries | latency`) so call sites stay two lines long.
 //!
@@ -92,11 +93,21 @@ pub enum EventKind {
     SchedPreempt = 10,
     /// A job/chain was rejected or aborted (value: chain length).
     SchedAbort = 11,
+    /// A node pool served an acquire from the thread cache (value: pool id).
+    PoolHit = 12,
+    /// A pool acquire fell through to the global allocator (value: pool id).
+    PoolMiss = 13,
+    /// A full thread cache spilled a chunk to the shared overflow
+    /// (value: blocks spilled).
+    PoolSpill = 14,
+    /// A thread cache refilled from the shared overflow (value: blocks
+    /// taken).
+    PoolRefill = 15,
 }
 
 impl EventKind {
     /// Every kind, in discriminant order.
-    pub const ALL: [EventKind; 12] = [
+    pub const ALL: [EventKind; 16] = [
         EventKind::CasAttempt,
         EventKind::CasRetry,
         EventKind::CasSuccess,
@@ -109,6 +120,10 @@ impl EventKind {
         EventKind::SchedAdmit,
         EventKind::SchedPreempt,
         EventKind::SchedAbort,
+        EventKind::PoolHit,
+        EventKind::PoolMiss,
+        EventKind::PoolSpill,
+        EventKind::PoolRefill,
     ];
 
     /// Decodes a discriminant; `None` for out-of-range bytes.
@@ -131,6 +146,10 @@ impl EventKind {
             EventKind::SchedAdmit => "sched_admit",
             EventKind::SchedPreempt => "sched_preempt",
             EventKind::SchedAbort => "sched_abort",
+            EventKind::PoolHit => "pool_hit",
+            EventKind::PoolMiss => "pool_miss",
+            EventKind::PoolSpill => "pool_spill",
+            EventKind::PoolRefill => "pool_refill",
         }
     }
 }
@@ -165,11 +184,13 @@ pub enum Site {
     Sched = 11,
     /// Backoff and anything without a more specific site.
     Other = 12,
+    /// The epoch-recycling node pools (hit/miss/spill/refill).
+    Pool = 13,
 }
 
 impl Site {
     /// Every site, in discriminant order.
-    pub const ALL: [Site; 13] = [
+    pub const ALL: [Site; 14] = [
         Site::StackPush,
         Site::StackPop,
         Site::QueueEnqueue,
@@ -183,6 +204,7 @@ impl Site {
         Site::Epoch,
         Site::Sched,
         Site::Other,
+        Site::Pool,
     ];
 
     /// Decodes a discriminant; `None` for out-of-range bytes.
@@ -206,6 +228,7 @@ impl Site {
             Site::Epoch => "epoch",
             Site::Sched => "sched",
             Site::Other => "other",
+            Site::Pool => "pool",
         }
     }
 }

@@ -22,6 +22,16 @@
 //! collection cycle, which tests use to reach quiescence deterministically;
 //! [`retired_count`]/[`destroyed_count`] expose lifetime totals so tests
 //! can assert both "eventually freed" and "never freed early".
+//!
+//! Besides destruction, a retired node can be *recycled*:
+//! [`Guard::defer_recycle`] queues the same grace-period-gated deferral but
+//! runs a caller-supplied recycler instead of the destructor+free, routing
+//! the raw block back to a node pool (`lfrt-lockfree`'s `pool` module).
+//! Reuse is gated on the exact epoch advance that today gates the free, so
+//! a recycled block can only be handed out again once no pinned thread can
+//! still hold a pre-retirement reference — ABA safety by construction.
+//! [`recycle_retired_count`]/[`recycled_count`] mirror the destroy-side
+//! totals for the recycle path.
 
 use std::cell::{Cell, RefCell};
 use std::marker::PhantomData;
@@ -59,6 +69,11 @@ static ORPHANS: Mutex<Vec<Deferred>> = Mutex::new(Vec::new());
 static RETIRED: CachePadded<AtomicUsize> = CachePadded::new(AtomicUsize::new(0));
 static DESTROYED: CachePadded<AtomicUsize> = CachePadded::new(AtomicUsize::new(0));
 
+/// Recycle-path twins of `RETIRED`/`DESTROYED`: nodes handed to
+/// [`Guard::defer_recycle`] and nodes whose recycler has actually run.
+static RECYCLE_RETIRED: CachePadded<AtomicUsize> = CachePadded::new(AtomicUsize::new(0));
+static RECYCLED: CachePadded<AtomicUsize> = CachePadded::new(AtomicUsize::new(0));
+
 /// Total nodes ever passed to [`Guard::defer_destroy`] (process lifetime).
 pub fn retired_count() -> usize {
     RETIRED.load(Ordering::Relaxed)
@@ -73,6 +88,16 @@ pub fn destroyed_count() -> usize {
     DESTROYED.load(Ordering::Relaxed)
 }
 
+/// Total nodes ever passed to [`Guard::defer_recycle`] (process lifetime).
+pub fn recycle_retired_count() -> usize {
+    RECYCLE_RETIRED.load(Ordering::Relaxed)
+}
+
+/// Total deferred recyclers that have actually run (process lifetime).
+pub fn recycled_count() -> usize {
+    RECYCLED.load(Ordering::Relaxed)
+}
+
 /// One thread's slot in the global registry.
 ///
 /// `state` holds `epoch | 1` while the thread is pinned and `0` while it is
@@ -84,18 +109,31 @@ struct Record {
     next: AtomicPtr<Record>,
 }
 
+/// What a [`Deferred`] does once its grace period passes: run the pointee's
+/// destructor and free the block, or hand the raw block to a pool recycler.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum DeferKind {
+    Destroy,
+    Recycle,
+}
+
 /// A retired allocation awaiting its grace period.
 struct Deferred {
     ptr: *mut u8,
-    drop_fn: unsafe fn(*mut u8),
+    /// The grace-period action. For `Destroy` this is `drop_box::<T>` and
+    /// `ctx` is unused; for `Recycle` it is the caller's recycler and `ctx`
+    /// carries its context word (the pool address).
+    run: unsafe fn(*mut u8, usize),
+    ctx: usize,
+    kind: DeferKind,
     /// Global epoch at retirement time.
     epoch: usize,
 }
 
 // SAFETY: a `Deferred` is an unreachable retired allocation; the only thing
-// ever done with it is running `drop_fn` exactly once, on whichever thread
+// ever done with it is running `run` exactly once, on whichever thread
 // performs the collection. The structures that retire nodes require
-// `T: Send`, so freeing on another thread is sound.
+// `T: Send`, so freeing (or pooling) on another thread is sound.
 unsafe impl Send for Deferred {}
 
 impl Deferred {
@@ -106,18 +144,21 @@ impl Deferred {
         global.wrapping_sub(self.epoch) >= 4
     }
 
-    /// Runs the destructor.
+    /// Runs the grace-period action (destructor or recycler).
     ///
     /// # Safety
     ///
     /// Must be called at most once, after the grace period.
     unsafe fn destroy(self) {
-        (self.drop_fn)(self.ptr);
-        DESTROYED.fetch_add(1, Ordering::Relaxed);
+        (self.run)(self.ptr, self.ctx);
+        match self.kind {
+            DeferKind::Destroy => DESTROYED.fetch_add(1, Ordering::Relaxed),
+            DeferKind::Recycle => RECYCLED.fetch_add(1, Ordering::Relaxed),
+        };
     }
 }
 
-unsafe fn drop_box<T>(ptr: *mut u8) {
+unsafe fn drop_box<T>(ptr: *mut u8, _ctx: usize) {
     // SAFETY: `ptr` came from `Box::into_raw` in `Owned::new` (cast via
     // `defer_destroy`), and `destroy` runs at most once.
     drop(unsafe { Box::from_raw(ptr.cast::<T>()) });
@@ -195,20 +236,22 @@ fn try_advance() -> usize {
     }
 }
 
-/// Moves every grace-period-expired item out of `items`, preserving the
-/// rest. Separate from [`Local::collect`] so the caller controls when the
-/// bag borrow (or orphan lock) is released before destructors run.
-fn drain_expired(items: &mut Vec<Deferred>, global: usize) -> Vec<Deferred> {
-    let mut expired = Vec::new();
+/// Moves every grace-period-expired item out of `items` into `out`,
+/// preserving the rest. Separate from [`Local::collect`] so the caller
+/// controls when the bag borrow (or orphan lock) is released before
+/// destructors run. Appends into a caller-owned buffer instead of
+/// returning a fresh `Vec`: collection runs on the pin cadence of the
+/// hot paths, and allocating the drain buffer per cycle was the last
+/// steady-state allocator traffic `churn_footprint` could see.
+fn drain_expired(items: &mut Vec<Deferred>, global: usize, out: &mut Vec<Deferred>) {
     let mut i = 0;
     while i < items.len() {
         if items[i].expired(global) {
-            expired.push(items.swap_remove(i));
+            out.push(items.swap_remove(i));
         } else {
             i += 1;
         }
     }
-    expired
 }
 
 /// Collect on every Nth pin (power of two; amortizes the registry scan).
@@ -223,6 +266,11 @@ struct Local {
     guard_count: Cell<usize>,
     pins_until_collect: Cell<usize>,
     bag: RefCell<Vec<Deferred>>,
+    /// Reusable drain buffer for [`Local::collect`], so steady-state
+    /// collection cycles never touch the allocator (its capacity is
+    /// bounded by the largest expired batch, itself bounded by
+    /// `BAG_COLLECT_THRESHOLD` plus the orphan backlog).
+    scratch: RefCell<Vec<Deferred>>,
 }
 
 thread_local! {
@@ -231,6 +279,7 @@ thread_local! {
         guard_count: Cell::new(0),
         pins_until_collect: Cell::new(PINS_BETWEEN_COLLECT),
         bag: RefCell::new(Vec::new()),
+        scratch: RefCell::new(Vec::new()),
     };
 }
 
@@ -286,11 +335,16 @@ impl Local {
     /// bagged (and orphaned) node whose grace period has passed.
     fn collect(&self) {
         let global = try_advance();
-        let expired = drain_expired(&mut self.bag.borrow_mut(), global);
+        // Take the scratch buffer out by value so the RefCell borrow is
+        // released before any destructor runs (a re-entrant collect sees
+        // an empty scratch and simply pays one allocation, which is fine:
+        // re-entry is a destructor-driven rarity, not the steady state).
+        let mut expired = self.scratch.take();
+        drain_expired(&mut self.bag.borrow_mut(), global, &mut expired);
         let mut freed = expired.len();
         // Destructors run with the bag borrow released: a payload `Drop`
         // that re-enters `pin`/`defer_destroy` must not hit the RefCell.
-        for d in expired {
+        for d in expired.drain(..) {
             // SAFETY: grace period passed; each item destroyed exactly once
             // (it was removed from the bag above).
             unsafe { d.destroy() };
@@ -298,14 +352,22 @@ impl Local {
         // Scavenge garbage inherited from exited threads. `try_lock`: the
         // orphan list is a slow path and never worth contending for.
         if let Ok(mut orphans) = ORPHANS.try_lock() {
-            let expired = drain_expired(&mut orphans, global);
+            drain_expired(&mut orphans, global, &mut expired);
             drop(orphans);
             freed += expired.len();
-            for d in expired {
+            for d in expired.drain(..) {
                 // SAFETY: as above.
                 unsafe { d.destroy() };
             }
         }
+        // Hand the (empty, capacity-retaining) buffer back for the next
+        // cycle. If a re-entrant collect parked its own buffer meanwhile,
+        // the larger one wins so capacity ratchets instead of thrashing.
+        let mut slot = self.scratch.borrow_mut();
+        if slot.capacity() < expired.capacity() {
+            *slot = expired;
+        }
+        drop(slot);
         trace::emit(
             trace::EventKind::EpochCollect,
             trace::Site::Epoch,
@@ -357,13 +419,57 @@ impl Guard {
         RETIRED.fetch_add(1, Ordering::Relaxed);
         let deferred = Deferred {
             ptr: raw,
-            drop_fn: drop_box::<T>,
+            run: drop_box::<T>,
+            ctx: 0,
+            kind: DeferKind::Destroy,
             epoch: EPOCH.load(Ordering::Relaxed),
         };
         match unsafe { self.local.as_ref() } {
             Some(local) => local.defer(deferred),
             // SAFETY: unprotected guard — the caller guarantees exclusive
             // access, so the grace period is vacuous.
+            None => unsafe { deferred.destroy() },
+        }
+    }
+
+    /// Schedules `ptr`'s block for *recycling* once no pinned thread can
+    /// hold a reference: after the same two-epoch-advance grace period as
+    /// [`Guard::defer_destroy`], `recycle(ptr, ctx)` runs instead of the
+    /// destructor+free, returning the raw block to a node pool for reuse.
+    /// Because handout is gated on the very advance that today gates the
+    /// free, a recycled block cannot ABA under a reader pinned before its
+    /// retirement.
+    ///
+    /// On an [`unprotected`] guard the recycler runs immediately — the
+    /// caller asserted exclusive access.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must be non-null, unreachable to new loads (already unlinked),
+    /// and not retired twice. The pointee's destructor is **not** run: the
+    /// caller must have already moved the payload out (or the remaining
+    /// fields must be trivially droppable), and `recycle` must accept the
+    /// block with its contents left as-is.
+    pub unsafe fn defer_recycle<T>(
+        &self,
+        ptr: Shared<'_, T>,
+        recycle: unsafe fn(*mut u8, usize),
+        ctx: usize,
+    ) {
+        let raw = ptr.as_raw().cast_mut().cast::<u8>();
+        debug_assert!(!raw.is_null(), "defer_recycle on null Shared");
+        RECYCLE_RETIRED.fetch_add(1, Ordering::Relaxed);
+        let deferred = Deferred {
+            ptr: raw,
+            run: recycle,
+            ctx,
+            kind: DeferKind::Recycle,
+            epoch: EPOCH.load(Ordering::Relaxed),
+        };
+        match unsafe { self.local.as_ref() } {
+            Some(local) => local.defer(deferred),
+            // SAFETY: unprotected guard — exclusive access, grace period
+            // vacuous, so the block can be pooled right away.
             None => unsafe { deferred.destroy() },
         }
     }
@@ -438,6 +544,24 @@ impl<T> Owned<T> {
     pub fn new(value: T) -> Self {
         assert!(mem::size_of::<T>() != 0, "ZSTs are not supported");
         let ptr = Box::into_raw(Box::new(value));
+        Self {
+            data: ptr as usize,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Wraps a raw pointer to an already-initialized `T`, taking ownership
+    /// without allocating — the pool-recycling twin of [`Owned::new`].
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must be non-null, properly aligned, point to a fully
+    /// initialized `T` the caller exclusively owns, and its block must have
+    /// come from the global allocator with `T`'s layout (so the eventual
+    /// `Box::from_raw` free — via [`Owned`]'s `Drop` or `defer_destroy` —
+    /// is sound).
+    pub unsafe fn from_raw(ptr: *mut T) -> Self {
+        debug_assert!(!ptr.is_null(), "Owned::from_raw on null");
         Self {
             data: ptr as usize,
             _marker: PhantomData,
@@ -891,6 +1015,64 @@ mod tests {
             destroyed_count() > before,
             "unprotected defer_destroy frees immediately"
         );
+    }
+
+    /// Test recycler: counts into the `AtomicUsize` behind `ctx`, then
+    /// frees the block so the test leaks nothing.
+    unsafe fn recycle_into_sink(ptr: *mut u8, ctx: usize) {
+        (*(ctx as *const AtomicUsize)).fetch_add(1, Ordering::Relaxed);
+        drop(Box::from_raw(ptr.cast::<u64>()));
+    }
+
+    #[test]
+    fn deferred_recycle_waits_for_the_grace_period() {
+        static SINK: AtomicUsize = AtomicUsize::new(0);
+        let ctx = &SINK as *const AtomicUsize as usize;
+        {
+            let guard = pin();
+            let shared = Owned::new(9u64).into_shared(&guard);
+            // SAFETY: never linked anywhere; exclusively ours; u64 needs no
+            // destructor, so skipping drop is fine.
+            unsafe { guard.defer_recycle(shared, recycle_into_sink, ctx) };
+            assert_eq!(
+                SINK.load(Ordering::Relaxed),
+                0,
+                "nothing recycles while the retiring guard is still pinned"
+            );
+        }
+        assert!(
+            collect_until(|| SINK.load(Ordering::Relaxed) == 1),
+            "the recycler must run at quiescence"
+        );
+        assert!(recycled_count() >= 1);
+        assert!(recycle_retired_count() >= recycled_count());
+    }
+
+    #[test]
+    fn unprotected_defer_recycle_is_immediate() {
+        static SINK: AtomicUsize = AtomicUsize::new(0);
+        let ctx = &SINK as *const AtomicUsize as usize;
+        // SAFETY: nothing else references the allocation.
+        unsafe {
+            let guard = unprotected();
+            let shared = Owned::new(5u64).into_shared(guard);
+            guard.defer_recycle(shared, recycle_into_sink, ctx);
+        }
+        assert_eq!(
+            SINK.load(Ordering::Relaxed),
+            1,
+            "unprotected defer_recycle recycles immediately"
+        );
+    }
+
+    #[test]
+    fn owned_from_raw_round_trip() {
+        let raw = Box::into_raw(Box::new(17u64));
+        // SAFETY: `raw` is a live, exclusively owned global-allocator block
+        // holding an initialized u64.
+        let owned = unsafe { Owned::from_raw(raw) };
+        assert_eq!(*owned, 17);
+        drop(owned); // frees via Box::from_raw
     }
 
     #[test]
