@@ -16,7 +16,7 @@
 //! prove the explorer actually catches ABA, lost updates, torn reads, and
 //! (under the store-buffer mode) `Relaxed`-publication reorderings.
 //! [`pool`] carries its twins inline: the reuse-before-grace and
-//! unversioned-overflow bugs live beside the faithful pool models as
+//! stale-pop-overflow bugs live beside the faithful pool models as
 //! alternate constructors, since they differ only in reclamation policy.
 
 pub mod buggy;

@@ -16,12 +16,18 @@
 //!   recycled and re-published under it (A → B → A), splicing stale state
 //!   into the structure.
 //! - [`ModelOverflow`] — the pool's cross-thread overflow stack: a Treiber
-//!   stack of spill segments behind a packed `(pointer, version)` head.
-//!   The faithful variant bumps the version on every successful CAS, so a
-//!   segment popped and re-pushed while another refiller is parked makes
-//!   that refiller's CAS *fail* (the version moved) instead of splicing a
-//!   stale chain word. The seeded bug ([`ModelOverflow::unversioned`])
-//!   compares only the pointer half — the classic counted-pointer omission.
+//!   stack of spill segments. The faithful variant mirrors the real
+//!   **detach-all** refill: one `swap` takes the whole chain, the refiller
+//!   keeps the head segment and re-pushes the rest — no overflow step ever
+//!   reads a chain word of a segment the thread does not exclusively own.
+//!   The seeded bug ([`ModelOverflow::stale_pop`]) is the superseded
+//!   pop-one protocol: it reads the head segment's chain word *before*
+//!   winning the pop CAS, so a segment popped and re-pushed while that
+//!   refiller is parked makes its CAS succeed with a stale chain word,
+//!   splicing a segment another thread still owns back into the overflow —
+//!   the hazard (modeled here as double ownership; in the real code the
+//!   stale read itself targets memory whose new owner may already be
+//!   overwriting or freeing it) that motivated detach-all.
 //!
 //! As everywhere in [`crate::models`], cache/limbo bookkeeping that the real
 //! code keeps in thread-local storage (invisible to other threads) is
@@ -228,17 +234,8 @@ impl Default for ModelPoolStack {
     }
 }
 
-/// Segment-index sentinel for an empty overflow (6-bit packed index).
-pub const SEG_NONE: usize = 0x3F;
-
-fn pack(idx: usize, ver: usize) -> usize {
-    debug_assert!(idx <= SEG_NONE);
-    (ver << 6) | idx
-}
-
-fn unpack(word: usize) -> (usize, usize) {
-    (word & SEG_NONE, word >> 6)
-}
+/// Segment-index sentinel for an empty overflow.
+pub const SEG_NONE: usize = usize::MAX;
 
 /// One spill segment: only its chain word matters to the protocol (the
 /// real segment's `word1`; the blocks hanging off `word0` are inert here).
@@ -246,78 +243,83 @@ struct Seg {
     next: Atomic<usize>,
 }
 
-/// The pool's overflow stack: spill segments behind a packed
-/// `(index, version)` head — see the module docs.
+/// The pool's overflow stack: spill segments behind a plain head index —
+/// see the module docs.
 ///
-/// Step structure (matching `RawPool::push_segment`/`refill`):
-/// - push: W1 `overflow.load(Relaxed)`; W2 `write_word1(seg, head)` — a
-///   scheduled `Relaxed` store, because a stale refiller may concurrently
-///   read the chain word of a segment it no longer owns; W3
-///   `overflow.compare_exchange(cur, pack(seg, ver+1), Release, Relaxed)`.
-/// - pop: R1 `overflow.load(Acquire)`; R2 `read_word1(seg)` — a `Relaxed`
-///   load that may target a segment the head no longer owns, which is
-///   exactly why the CAS must be version-checked; R3
-///   `overflow.compare_exchange(cur, pack(next, ver+1), Acquire, Acquire)`.
+/// Step structure (matching `RawPool::push_segments`/`refill`):
+/// - push: W1 `overflow.load(Relaxed)`; W2 `write_word1(tail, head)` — a
+///   plain store in the faithful protocol (pre-publication memory no other
+///   thread reads; the stale-pop twin schedules it `Relaxed` instead,
+///   because *its* parked poppers do read it concurrently); W3
+///   `overflow.compare_exchange(head, chain, Release, Relaxed)`.
+/// - faithful pop (detach-all): R1 `overflow.load(Relaxed)` empty check;
+///   R2 `overflow.swap(null, Acquire)` — the whole chain detaches before
+///   any chain word is read, so the walk, the kept head segment, and the
+///   re-push of the remainder all touch exclusively owned memory (plain
+///   reads, then the push steps above).
+/// - stale pop (seeded bug, the superseded protocol): R1
+///   `overflow.load(Acquire)`; R2 `read_word1(seg)` — reads a segment the
+///   head may no longer own; R3 `overflow.compare_exchange(cur, next,
+///   Acquire, Relaxed)`, which can succeed against a re-pushed head and
+///   splice the stale R2 value.
 pub struct ModelOverflow {
     head: Atomic<usize>,
     segs: Vec<Seg>,
-    /// `true` = faithful (version bumps on every CAS); `false` = seeded
-    /// bug (the version half is always 0, so the CAS compares pointers
-    /// only).
-    versioned: bool,
+    /// `true` = faithful (detach-all refill); `false` = seeded bug (pop-one
+    /// with a pre-CAS chain-word read).
+    detach_all: bool,
 }
 
 impl ModelOverflow {
     /// The faithful model with `segments` pre-created (none pushed yet).
     pub fn new(segments: usize) -> Self {
-        Self::with_versioning(segments, true)
+        Self::with_protocol(segments, true)
     }
 
-    /// The seeded bug: the head carries no version, so pop's CAS can
-    /// succeed against a re-pushed segment and splice a stale chain word.
-    pub fn unversioned(segments: usize) -> Self {
-        Self::with_versioning(segments, false)
+    /// The seeded bug: the superseded pop-one protocol, which reads the
+    /// head segment's chain word before winning the pop CAS; a concurrent
+    /// pop + re-push makes the CAS succeed with that stale word and splice
+    /// a segment another thread owns back into the overflow.
+    pub fn stale_pop(segments: usize) -> Self {
+        Self::with_protocol(segments, false)
     }
 
-    fn with_versioning(segments: usize, versioned: bool) -> Self {
+    fn with_protocol(segments: usize, detach_all: bool) -> Self {
         assert!(segments < SEG_NONE);
         Self {
-            head: Atomic::new(pack(SEG_NONE, 0)),
+            head: Atomic::new(SEG_NONE),
             segs: (0..segments)
                 .map(|_| Seg {
                     next: Atomic::new(SEG_NONE),
                 })
                 .collect(),
-            versioned,
-        }
-    }
-
-    fn ver(&self, ver: usize) -> usize {
-        if self.versioned {
-            ver
-        } else {
-            0
+            detach_all,
         }
     }
 
     /// Mirrors `RawPool::push_segment`: publishes segment `idx`, which the
     /// caller must own exclusively.
     pub fn push(&self, idx: usize) {
+        self.push_chain(idx, idx);
+    }
+
+    /// Mirrors `RawPool::push_segments`: publishes the exclusively owned
+    /// chain `chain..=tail` with one CAS.
+    fn push_chain(&self, chain: usize, tail: usize) {
         loop {
             // W1: `self.overflow.load(Relaxed)`.
-            let cur = self.head.load_ord(Relaxed);
-            let (head, ver) = unpack(cur);
-            // W2: `write_word1(seg, head)` — scheduled, see struct docs.
-            self.segs[idx].next.store_ord(head, Relaxed);
+            let head = self.head.load_ord(Relaxed);
+            // W2: `write_word1(tail, head)` — see struct docs for why the
+            // faithful protocol may keep this plain and the bug twin not.
+            if self.detach_all {
+                self.segs[tail].next.store_plain(head);
+            } else {
+                self.segs[tail].next.store_ord(head, Relaxed);
+            }
             // W3: publish with Release; failure value discarded (Relaxed).
             if self
                 .head
-                .compare_exchange_ord(
-                    cur,
-                    pack(idx, self.ver(ver.wrapping_add(1))),
-                    Release,
-                    Relaxed,
-                )
+                .compare_exchange_ord(head, chain, Release, Relaxed)
                 .is_ok()
             {
                 return;
@@ -325,32 +327,55 @@ impl ModelOverflow {
         }
     }
 
-    /// Mirrors `RawPool::refill`'s segment pop: returns the detached
-    /// segment's index, or `None` when the overflow is empty.
+    /// Mirrors `RawPool::refill`'s segment pop: returns the index of the
+    /// segment kept, or `None` when the overflow is empty (including the
+    /// detach-all window where another refiller holds the whole chain and
+    /// has not yet pushed the remainder back — the real code's allocator
+    /// miss).
     pub fn pop(&self) -> Option<usize> {
+        if self.detach_all {
+            // R1: `self.overflow.load(Relaxed)` empty check.
+            if self.head.load_ord(Relaxed) == SEG_NONE {
+                return None;
+            }
+            // R2: `self.overflow.swap(null, Acquire)` — detach everything.
+            let seg = self.head.swap_ord(SEG_NONE, Acquire);
+            if seg == SEG_NONE {
+                return None; // lost the race to another refiller
+            }
+            // The chain is exclusively ours: plain reads, like the real
+            // `read_word1` on owned memory.
+            let rest = self.segs[seg].next.load_plain();
+            if rest != SEG_NONE {
+                let mut tail = rest;
+                loop {
+                    let next = self.segs[tail].next.load_plain();
+                    if next == SEG_NONE {
+                        break;
+                    }
+                    tail = next;
+                }
+                self.push_chain(rest, tail);
+            }
+            return Some(seg);
+        }
         loop {
             // R1: `self.overflow.load(Acquire)`.
             let cur = self.head.load_ord(Acquire);
-            let (idx, ver) = unpack(cur);
-            if idx == SEG_NONE {
+            if cur == SEG_NONE {
                 return None;
             }
             // R2: `read_word1(seg)` — may read a segment the head no longer
-            // owns; the versioned CAS below rejects any such stale read.
-            let next = self.segs[idx].next.load_ord(Relaxed);
-            // R3: Acquire on success *and* failure (see ordlint baseline:
-            // the failure value's segment is dereferenced pre-CAS).
+            // owns: the seeded hazard.
+            let next = self.segs[cur].next.load_ord(Relaxed);
+            // R3: the CAS compares only the head index, so an A→B→A
+            // re-push lets it succeed and publish the stale R2 value.
             if self
                 .head
-                .compare_exchange_ord(
-                    cur,
-                    pack(next, self.ver(ver.wrapping_add(1))),
-                    Acquire,
-                    Acquire,
-                )
+                .compare_exchange_ord(cur, next, Acquire, Relaxed)
                 .is_ok()
             {
-                return Some(idx);
+                return Some(cur);
             }
         }
     }
@@ -359,7 +384,7 @@ impl ModelOverflow {
     /// head first (single-threaded use only).
     pub fn drain_plain(&self) -> Vec<usize> {
         let mut out = Vec::new();
-        let (mut cursor, _) = unpack(self.head.load_plain());
+        let mut cursor = self.head.load_plain();
         while cursor != SEG_NONE {
             out.push(cursor);
             cursor = self.segs[cursor].next.load_plain();

@@ -204,13 +204,16 @@ mod steady_state_hit_path {
     }
 }
 
-/// Segment-pop ABA on the overflow stack. Scenario: overflow `[1, 0]` (1 at
-/// the head); t0 refills once; t1 refills twice and spills its first
-/// segment back. Without the version the re-push makes t0's parked CAS
-/// succeed with a *stale* chain word, splicing a segment t1 still owns back
-/// into the overflow (double ownership). The versioned head turns that CAS
-/// into a failure.
-mod overflow_versioning {
+/// Stale chain-word read on the overflow stack. Scenario: overflow `[1, 0]`
+/// (1 at the head); t0 refills once; t1 refills twice and spills a segment
+/// back. Under the superseded pop-one protocol t0 reads segment 1's chain
+/// word *before* its pop CAS; t1 popping both segments and re-pushing 1
+/// makes that parked CAS succeed with the *stale* word, splicing segment 0
+/// — which t1 still owns — back into the overflow (double ownership; in the
+/// real code the stale read itself targets memory whose new owner may be
+/// overwriting or freeing it). The faithful detach-all refill never reads a
+/// chain word before owning the whole chain, so no interleaving can splice.
+mod overflow_stale_pop {
     use super::*;
 
     type SegCell = Arc<Mutex<Vec<usize>>>;
@@ -219,11 +222,11 @@ mod overflow_versioning {
         Arc::new(Mutex::new(Vec::new()))
     }
 
-    fn scenario(versioned: bool) -> Plan {
-        let overflow = Arc::new(if versioned {
+    fn scenario(faithful: bool) -> Plan {
+        let overflow = Arc::new(if faithful {
             ModelOverflow::new(2)
         } else {
-            ModelOverflow::unversioned(2)
+            ModelOverflow::stale_pop(2)
         });
         overflow.push(0);
         overflow.push(1);
@@ -237,9 +240,16 @@ mod overflow_versioning {
                 c0.lock().unwrap().extend(o0.pop());
             })
             .thread(move || {
-                let first = o1.pop().expect("two segments, at most one other popper");
+                // Under detach-all either pop may see the overflow
+                // transiently empty (the other refiller holds the whole
+                // chain), so both are Options; under pop-one the first
+                // always succeeds, which is what lets the seeded schedule
+                // park t0 across t1's pop-pop-push.
+                let first = o1.pop();
                 let second = o1.pop();
-                o1.push(first); // spill the first segment back
+                if let Some(seg) = first {
+                    o1.push(seg); // spill the first segment back
+                }
                 c1.lock().unwrap().extend(second);
             })
             .check(move || {
@@ -261,8 +271,8 @@ mod overflow_versioning {
     }
 
     #[test]
-    fn unversioned_head_is_caught_and_replayable() {
-        let report = explore(&Config::exhaustive("pool-overflow-unversioned"), || {
+    fn stale_pop_is_caught_and_replayable() {
+        let report = explore(&Config::exhaustive("pool-overflow-stale-pop"), || {
             scenario(false)
         });
         let failure = report.assert_fails();
@@ -270,13 +280,13 @@ mod overflow_versioning {
         assert!(failure.message.contains("doubly owned"), "{failure:?}");
         let schedule = failure.schedule.clone();
         let err = std::panic::catch_unwind(move || replay(&schedule, || scenario(false)))
-            .expect_err("replay must reproduce the segment ABA");
+            .expect_err("replay must reproduce the stale-chain splice");
         let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
         assert!(msg.contains("doubly owned"), "{msg}");
     }
 
     #[test]
-    fn versioned_head_survives_every_memory_mode() {
+    fn detach_all_refill_survives_every_memory_mode() {
         for (mode_name, memory) in all_modes() {
             explore(
                 &config(

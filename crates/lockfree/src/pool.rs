@@ -13,11 +13,19 @@
 //! * **Shared overflow for asymmetric workloads.** When a cache fills
 //!   (a consumer thread recycling nodes it never acquires), it spills a
 //!   [`SPILL_CHUNK`]-block *segment* to a per-pool Treiber stack with one
-//!   CAS; a producer thread whose cache runs dry refills a whole segment
-//!   with one CAS. The overflow head packs a 16-bit version counter above
-//!   the 48-bit pointer, so the pop CAS cannot ABA when a segment is
-//!   popped, handed out, and its head block pushed back at the same
-//!   address.
+//!   CAS; a producer thread whose cache runs dry refills from it. The
+//!   refill protocol is **detach-all**: one atomic `swap` takes the whole
+//!   segment chain, the refiller keeps the first segment and re-pushes the
+//!   rest with one CAS. No overflow operation ever dereferences a block it
+//!   does not exclusively own — a pop-one-segment protocol would have to
+//!   read the popped segment's chain link *before* winning the pop CAS,
+//!   racing a concurrent refiller that already took the segment, handed
+//!   its blocks out, and let their new owner overwrite (or even free —
+//!   `acquire`'s contract permits direct dealloc, and the structures'
+//!   `Drop` impls use it) that very word. Detach-all removes the stale
+//!   read instead of trying to tolerate it, and makes a version-tagged
+//!   head unnecessary: Treiber *push* has no ABA hazard, and the swap
+//!   compares nothing.
 //! * **ABA safety via the epoch grace period.** Blocks enter a pool only
 //!   through `Guard::defer_recycle`, which runs the recycler after the same
 //!   two-epoch-advance grace period that gates `defer_destroy`'s free. A
@@ -63,21 +71,6 @@ const SHARDS: usize = 8;
 const MIN_BLOCK_SIZE: usize = 2 * std::mem::size_of::<*mut u8>();
 const MIN_BLOCK_ALIGN: usize = std::mem::align_of::<*mut u8>();
 
-/// Canonical x86-64/AArch64 user pointers fit in 48 bits; the 16 bits above
-/// hold the overflow stack's ABA version counter.
-const PTR_BITS: u32 = 48;
-const PTR_MASK: usize = (1 << PTR_BITS) - 1;
-
-fn pack(ptr: *mut u8, ver: usize) -> usize {
-    let p = ptr as usize;
-    debug_assert_eq!(p & !PTR_MASK, 0, "pointer exceeds {PTR_BITS} bits");
-    (ver << PTR_BITS) | p
-}
-
-fn unpack(word: usize) -> (*mut u8, usize) {
-    ((word & PTR_MASK) as *mut u8, word >> PTR_BITS)
-}
-
 /// Reads/writes of a free block's link words. `word0` is the intra-segment
 /// next-block link; `word1` (meaningful on a segment's head block only) is
 /// the next-segment link.
@@ -120,7 +113,14 @@ pub struct PoolStats {
     pub pooled: bool,
     /// Acquires served from the thread cache (steady-state fast path).
     pub hits: usize,
-    /// Acquires that fell through to the global allocator.
+    /// Acquires that fell through to the global allocator because the
+    /// cache *and* overflow were dry.
+    ///
+    /// Only meaningful in pooled mode. A passthrough pool hits the
+    /// allocator on *every* acquire by construction and deliberately does
+    /// not count them: it exists to measure the boxed baseline, and an
+    /// atomic RMW per acquire would distort the very path it measures —
+    /// so `misses` reads 0 there, as do all the other counters.
     pub misses: usize,
     /// Cache-full spills of a segment to the shared overflow.
     pub spills: usize,
@@ -138,9 +138,10 @@ pub struct RawPool {
     layout: Layout,
     /// False = passthrough: acquire allocates, recycle frees.
     pooled: bool,
-    /// Packed `(version << 48) | segment-head pointer` Treiber stack of
-    /// spilled segments.
-    overflow: CachePadded<AtomicUsize>,
+    /// Treiber stack of spilled segments, linked through each segment head
+    /// block's `word1`. Popped only whole (detach-all swap), so no ABA tag
+    /// is needed and nothing is ever dereferenced before it is owned.
+    overflow: CachePadded<AtomicPtr<u8>>,
     shards: [CachePadded<Shard>; SHARDS],
 }
 
@@ -257,7 +258,7 @@ impl RawPool {
                         id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
                         layout,
                         pooled,
-                        overflow: CachePadded::new(AtomicUsize::new(0)),
+                        overflow: CachePadded::new(AtomicPtr::new(ptr::null_mut())),
                         shards: std::array::from_fn(|_| CachePadded::new(Shard::default())),
                     },
                     next: AtomicPtr::new(ptr::null_mut()),
@@ -357,8 +358,9 @@ impl RawPool {
     /// # Safety
     ///
     /// No other thread may be operating on this pool concurrently (acquire,
-    /// recycle, or purge): a racing refill could read a segment this purge
-    /// is freeing.
+    /// recycle, or purge): a racing refill would take blocks this purge
+    /// promises to have freed, and a racing recycle could repopulate the
+    /// overflow behind the single detach below.
     pub unsafe fn purge(&'static self) -> usize {
         let mut freed = 0;
         let _ = CACHES.try_with(|caches| {
@@ -372,46 +374,21 @@ impl RawPool {
                 }
             }
         });
-        let backoff = Backoff::new();
-        let mut cur = self.overflow.load(Ordering::Acquire);
-        loop {
-            let (seg, ver) = unpack(cur);
-            if seg.is_null() {
-                break;
+        // Detach the whole chain in one swap; the quiescence contract means
+        // nothing is pushed concurrently, so one swap takes everything.
+        let mut seg = self.overflow.swap(ptr::null_mut(), Ordering::Acquire);
+        while !seg.is_null() {
+            // SAFETY: the swap detached the chain — it is exclusively ours.
+            let next_seg = unsafe { read_word1(seg) };
+            let mut b = seg;
+            while !b.is_null() {
+                // SAFETY: as above; each block freed once.
+                let next = unsafe { read_word0(b) };
+                unsafe { std::alloc::dealloc(b, self.layout) };
+                freed += 1;
+                b = next;
             }
-            // Failure ordering Relaxed: the failed value is only compared
-            // and null-checked; the chain is dereferenced only after the
-            // eventual *successful* CAS, whose Acquire success pairs with
-            // the pusher's Release.
-            match self.overflow.compare_exchange(
-                cur,
-                pack(ptr::null_mut(), ver.wrapping_add(1)),
-                Ordering::Acquire,
-                Ordering::Relaxed,
-            ) {
-                Ok(_) => {
-                    let mut s = seg;
-                    while !s.is_null() {
-                        // SAFETY: the overflow was detached above and the
-                        // quiescence contract rules out concurrent owners.
-                        let next_seg = unsafe { read_word1(s) };
-                        let mut b = s;
-                        while !b.is_null() {
-                            // SAFETY: as above; each block freed once.
-                            let next = unsafe { read_word0(b) };
-                            unsafe { std::alloc::dealloc(b, self.layout) };
-                            freed += 1;
-                            b = next;
-                        }
-                        s = next_seg;
-                    }
-                    cur = self.overflow.load(Ordering::Acquire);
-                }
-                Err(actual) => {
-                    cur = actual;
-                    backoff.spin();
-                }
-            }
+            seg = next_seg;
         }
         freed
     }
@@ -505,26 +482,7 @@ impl RawPool {
     /// Pushes an exclusively owned segment (blocks chained via `word0`,
     /// null-terminated) onto the overflow stack.
     fn push_segment(&'static self, seg: *mut u8, blocks: usize, shard: usize) {
-        let backoff = Backoff::new();
-        let mut cur = self.overflow.load(Ordering::Relaxed);
-        loop {
-            let (head, ver) = unpack(cur);
-            // SAFETY: the segment is still exclusively ours until the CAS
-            // publishes it.
-            unsafe { write_word1(seg, head) };
-            match self.overflow.compare_exchange(
-                cur,
-                pack(seg, ver.wrapping_add(1)),
-                Ordering::Release,
-                Ordering::Relaxed,
-            ) {
-                Ok(_) => break,
-                Err(actual) => {
-                    cur = actual;
-                    backoff.spin();
-                }
-            }
-        }
+        self.push_segments(seg, seg);
         self.shards[shard].spills.fetch_add(1, Ordering::Relaxed);
         trace::emit(
             trace::EventKind::PoolSpill,
@@ -533,48 +491,81 @@ impl RawPool {
         );
     }
 
-    /// Pops one segment from the overflow into `into`; returns the number
-    /// of blocks taken (0 = overflow empty).
-    fn refill(&'static self, into: &mut Vec<*mut u8>) -> usize {
-        debug_assert!(into.is_empty(), "refill into a non-empty cache");
+    /// Publishes an exclusively owned chain of segments (`chain` first,
+    /// `tail` last, linked via `word1` in between — `tail`'s own `word1` is
+    /// overwritten here) onto the overflow with one CAS. Treiber push needs
+    /// no ABA tag: the CAS writes nothing derived from a pre-CAS read of
+    /// shared memory, only `chain`, which the caller owns.
+    fn push_segments(&'static self, chain: *mut u8, tail: *mut u8) {
         let backoff = Backoff::new();
-        let mut cur = self.overflow.load(Ordering::Acquire);
+        let mut head = self.overflow.load(Ordering::Relaxed);
         loop {
-            let (seg, ver) = unpack(cur);
-            if seg.is_null() {
-                return 0;
-            }
-            // SAFETY: pool blocks are deallocated only by `purge` (which
-            // requires quiescence), so this reads live memory even if the
-            // segment was concurrently popped and handed out; the versioned
-            // CAS below rejects any such stale read.
-            let next_seg = unsafe { read_word1(seg) };
-            match self.overflow.compare_exchange(
-                cur,
-                pack(next_seg, ver.wrapping_add(1)),
-                Ordering::Acquire,
-                Ordering::Acquire,
-            ) {
-                Ok(_) => {
-                    let mut taken = 0;
-                    let mut b = seg;
-                    // Bounded: segments hold at most SPILL_CHUNK blocks.
-                    while !b.is_null() {
-                        // SAFETY: the CAS detached the segment; it is
-                        // exclusively ours now.
-                        let next = unsafe { read_word0(b) };
-                        into.push(b);
-                        taken += 1;
-                        b = next;
-                    }
-                    return taken;
-                }
+            // SAFETY: the chain (tail included) is still exclusively ours
+            // until the CAS publishes it.
+            unsafe { write_word1(tail, head) };
+            match self
+                .overflow
+                .compare_exchange(head, chain, Ordering::Release, Ordering::Relaxed)
+            {
+                Ok(_) => break,
                 Err(actual) => {
-                    cur = actual;
+                    head = actual;
                     backoff.spin();
                 }
             }
         }
+    }
+
+    /// Refills `into` with one segment's blocks from the overflow; returns
+    /// the number taken (0 = overflow empty).
+    ///
+    /// Protocol: **detach-all, keep one, push the rest back.** One `swap`
+    /// takes the entire chain; only then — owning it exclusively — do we
+    /// read any link word. A pop-one protocol would read the head segment's
+    /// chain link before winning its CAS, racing the block's next owner
+    /// (who may overwrite or legally free it); no version tag fixes the
+    /// read itself, so the protocol avoids it entirely. The cost is a small
+    /// window where a concurrent refiller sees an empty overflow (between
+    /// our swap and push-back) and falls through to the allocator — a miss
+    /// on a cold path, not a safety event.
+    fn refill(&'static self, into: &mut Vec<*mut u8>) -> usize {
+        debug_assert!(into.is_empty(), "refill into a non-empty cache");
+        if self.overflow.load(Ordering::Relaxed).is_null() {
+            return 0;
+        }
+        let seg = self.overflow.swap(ptr::null_mut(), Ordering::Acquire);
+        if seg.is_null() {
+            // Lost the race to another refiller between the check and swap.
+            return 0;
+        }
+        // SAFETY: the swap detached the whole chain; every segment and
+        // block reachable from `seg` is exclusively ours.
+        let rest = unsafe { read_word1(seg) };
+        let mut taken = 0;
+        let mut b = seg;
+        // Bounded: segments hold at most SPILL_CHUNK blocks.
+        while !b.is_null() {
+            // SAFETY: as above.
+            let next = unsafe { read_word0(b) };
+            into.push(b);
+            taken += 1;
+            b = next;
+        }
+        if !rest.is_null() {
+            // Walk to the tail (exclusively owned, plain reads) and re-push
+            // the remainder as one pre-linked chain.
+            let mut tail = rest;
+            loop {
+                // SAFETY: as above.
+                let next_seg = unsafe { read_word1(tail) };
+                if next_seg.is_null() {
+                    break;
+                }
+                tail = next_seg;
+            }
+            self.push_segments(rest, tail);
+        }
+        taken
     }
 
     fn count_miss(&'static self) {

@@ -136,27 +136,28 @@ fn mpmc_hot_path_orderings() {
     );
 }
 
-/// Node-pool overflow stack (a Treiber stack of spill segments behind a
-/// versioned packed head): the spiller publishes a chained segment with
-/// Release; the refiller acquires the head — and keeps Acquire on the CAS
-/// *failure* path too, because `read_word1` dereferences the segment the
-/// failure value points to before the next CAS (baselined ORD005).
+/// Node-pool overflow stack (a Treiber stack of spill segments, popped
+/// only whole): the spiller publishes a pre-linked chain with Release; the
+/// refiller detaches the entire chain with an Acquire `swap` *before*
+/// reading any chain word, so no overflow step dereferences memory the
+/// thread does not own — and no CAS needs an Acquire failure ordering or a
+/// version tag.
 #[test]
 fn pool_overflow_orderings() {
     assert_site(
         "pool.rs",
-        "compare_exchange(cur, pack(seg, ver.wrapping_add(1)), Ordering::Release, Ordering::Relaxed,)",
-        "push_segment publishes the chained segment with Release",
+        "compare_exchange(head, chain, Ordering::Release, Ordering::Relaxed)",
+        "push_segments publishes the pre-linked chain with Release; failure value only re-seeds head",
     );
     assert_site(
         "pool.rs",
-        "compare_exchange(cur, pack(next_seg, ver.wrapping_add(1)), Ordering::Acquire, Ordering::Acquire,)",
-        "refill pops with Acquire on BOTH paths: the failure value's segment is dereferenced pre-CAS",
+        "self.overflow.swap(ptr::null_mut(), Ordering::Acquire)",
+        "refill/purge detach-all must acquire the spiller's chain writes before walking them",
     );
     assert_site(
         "pool.rs",
-        "self.overflow.load(Ordering::Acquire)",
-        "refill/purge head loads must see the spiller's chain writes",
+        "if self.overflow.load(Ordering::Relaxed).is_null()",
+        "refill's empty probe synchronizes nothing: ownership comes from the swap, not the load",
     );
     assert_site(
         "pool.rs",
