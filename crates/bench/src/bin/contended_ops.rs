@@ -1,0 +1,230 @@
+//! **Contended sweep for the contention-adaptation layer** — where the
+//! elimination-backoff stack and the sharded MPMC queue are supposed to
+//! earn their keep.
+//!
+//! For each thread count in the sweep, every structure pair (`stack` vs
+//! `stack_elim`, `mpmc` vs `mpmc_sharded`) runs the same workload: all
+//! threads hammer push/pop (enqueue/dequeue) pairs on one shared instance
+//! behind a start barrier. Alongside ns/op, the run reports the adaptation
+//! telemetry: elimination hits/misses from the `EliminationArray` counters
+//! and shard steals from the flight recorder's `shard_steal` events (the
+//! recorder is always on in this binary — per-phase drains attribute the
+//! counts to their thread count, and `--trace <path>` additionally writes
+//! the merged histogram report from the same events).
+//!
+//! Numbers from this binary are **not** gated by `compare_reports`:
+//! contended throughput on a shared CI runner is noise, and on a 1-CPU box
+//! elimination pairs rarely overlap inside the bounded exchange window
+//! (the partner must probe the slot while the offer is parked mid-spin),
+//! so hit counts there are best-effort context, not a contract — see
+//! EXPERIMENTS.md for numbers from a real multi-core run. What IS gated is
+//! the uncontended cost of the same structures (`uncontended_ops
+//! --assert-contention-layer`).
+//!
+//! Usage: `cargo run -p lfrt-bench --release --bin contended_ops --
+//! [--threads 4] [--ops 100000] [--quick] [--json <path>] [--trace <path>]`
+
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use lfrt_bench::json::{self, Point, Report};
+use lfrt_bench::{trace, Args};
+use lfrt_lockfree::{BoundedMpmcQueue, ShardedMpmcQueue, TreiberStack};
+use lfrt_trace::{DrainStats, Event, EventKind, TraceSnapshot};
+
+/// Per-shard capacity for the queue pair: large enough that full-queue
+/// backpressure does not dominate, small enough to live in cache.
+const QUEUE_CAPACITY: usize = 1024;
+
+/// One contended phase, returning wall-clock ns per completed op.
+///
+/// With one thread the workload is `ops` push/pop pairs (the uncontended
+/// floor of the table). With more, the threads split into producers and
+/// consumers — each producer pushes `ops` elements (yielding on
+/// backpressure), each consumer keeps popping until it has taken `ops`
+/// (yielding on empty). The split is what gives the adaptation layers
+/// something to adapt to: colliding opposite operations can eliminate, and
+/// a consumer whose home shard runs dry has to steal.
+fn run_phase<S: Send + Sync + 'static>(
+    threads: usize,
+    ops: usize,
+    shared: Arc<S>,
+    push: impl Fn(&S, u64) -> bool + Send + Sync + Copy + 'static,
+    pop: impl Fn(&S) -> bool + Send + Sync + Copy + 'static,
+) -> f64 {
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let workers: Vec<_> = (0..threads)
+        .map(|w| {
+            let shared = Arc::clone(&shared);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                if threads == 1 {
+                    for i in 0..ops {
+                        while !push(&shared, i as u64) {
+                            std::thread::yield_now();
+                        }
+                        while !pop(&shared) {
+                            std::thread::yield_now();
+                        }
+                    }
+                } else if w % 2 == 0 {
+                    for i in 0..ops {
+                        while !push(&shared, (w * ops + i) as u64) {
+                            std::thread::yield_now();
+                        }
+                    }
+                } else {
+                    let mut taken = 0;
+                    while taken < ops {
+                        if pop(&shared) {
+                            taken += 1;
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    barrier.wait();
+    let start = Instant::now();
+    for worker in workers {
+        worker.join().expect("worker panicked");
+    }
+    let nanos = start.elapsed().as_nanos() as f64;
+    let total_ops = if threads == 1 { 2 * ops } else { threads * ops };
+    nanos / (total_ops as f64)
+}
+
+/// Drains the recorder and counts events of `kind`, appending the raw
+/// events so the end-of-run `--trace` report still sees everything.
+fn drain_count(kind: EventKind, all: &mut Vec<Event>, stats: &mut DrainStats) -> u64 {
+    let (events, s) = lfrt_trace::drain();
+    stats.rings = stats.rings.max(s.rings);
+    stats.overwritten += s.overwritten;
+    stats.discarded += s.discarded;
+    let count = events.iter().filter(|e| e.kind == kind).count() as u64;
+    all.extend(events);
+    count
+}
+
+fn main() {
+    let args = Args::from_env();
+    let quick = args.quick();
+    let started = Instant::now();
+
+    // Rounded up to even: the producer/consumer split must balance, or a
+    // bounded queue phase could leave producers parked on a full ring no
+    // consumer will ever drain.
+    let max_threads = (args.threads().max(2) + 1) & !1;
+    let ops = args.get_usize("ops", if quick { 20_000 } else { 100_000 });
+
+    // Sweep powers of two up to the requested thread count (always
+    // including it), so the table shows the layer switching on.
+    let mut sweep: Vec<usize> = vec![1, 2, 4, 8]
+        .into_iter()
+        .filter(|&t| t < max_threads)
+        .collect();
+    sweep.push(max_threads);
+
+    // The recorder is on for the whole run: phase drains below attribute
+    // elimination and steal events to their thread count.
+    lfrt_trace::set_enabled(true);
+    let mut all_events: Vec<Event> = Vec::new();
+    let mut drain_stats = DrainStats::default();
+
+    println!("# Contended sweep ({ops} pairs/thread): plain vs contention-adaptive");
+    println!(
+        "{:<14} {:>7} {:>10} {:>12} {:>12} {:>10}",
+        "structure", "threads", "ns/op", "elim_hits", "elim_misses", "steals"
+    );
+
+    let mut report = Report::new(
+        "contended_ops",
+        "table:contended",
+        "Contended ns/op sweep with elimination/steal telemetry (not gated)",
+    )
+    .config("ops_per_thread", ops);
+
+    for &threads in &sweep {
+        // Fresh structures per phase: counters and rings start at zero.
+        let stack_push = |s: &TreiberStack<u64>, i: u64| {
+            s.push(i);
+            true
+        };
+        let stack_pop = |s: &TreiberStack<u64>| s.pop().is_some();
+
+        let stack = Arc::new(TreiberStack::new());
+        let stack_ns = run_phase(threads, ops, stack, stack_push, stack_pop);
+        let _ = drain_count(EventKind::ElimHit, &mut all_events, &mut drain_stats);
+
+        let elim = Arc::new(TreiberStack::with_elimination());
+        let elim_ns = run_phase(threads, ops, Arc::clone(&elim), stack_push, stack_pop);
+        let array = elim.elimination().expect("constructed with elimination");
+        let (hits, misses) = (array.hits(), array.misses());
+        let _ = drain_count(EventKind::ElimHit, &mut all_events, &mut drain_stats);
+
+        let queue_push = |q: &BoundedMpmcQueue<u64>, i: u64| q.push(i).is_ok();
+        let queue_pop = |q: &BoundedMpmcQueue<u64>| q.pop().is_some();
+
+        let mpmc = Arc::new(BoundedMpmcQueue::new(QUEUE_CAPACITY));
+        let mpmc_ns = run_phase(threads, ops, mpmc, queue_push, queue_pop);
+        let _ = drain_count(EventKind::ShardSteal, &mut all_events, &mut drain_stats);
+
+        // Each shard gets the plain queue's capacity, so backpressure per
+        // home shard matches the unsharded baseline.
+        let sharded = Arc::new(ShardedMpmcQueue::new(
+            lfrt_lockfree::sharded::DEFAULT_SHARDS,
+            QUEUE_CAPACITY,
+        ));
+        let sharded_ns = run_phase(
+            threads,
+            ops,
+            sharded,
+            |q: &ShardedMpmcQueue<u64>, i: u64| q.push(i).is_ok(),
+            |q: &ShardedMpmcQueue<u64>| q.pop().is_some(),
+        );
+        let steals = drain_count(EventKind::ShardSteal, &mut all_events, &mut drain_stats);
+
+        for (name, ns, h, m, st) in [
+            ("stack", stack_ns, 0, 0, 0),
+            ("stack_elim", elim_ns, hits, misses, 0),
+            ("mpmc", mpmc_ns, 0, 0, 0),
+            ("mpmc_sharded", sharded_ns, 0, 0, steals),
+        ] {
+            println!("{name:<14} {threads:>7} {ns:>10.1} {h:>12} {m:>12} {st:>10}");
+            report.points.push(Point {
+                params: vec![
+                    ("structure".into(), name.into()),
+                    ("threads".into(), threads.to_string().into()),
+                ],
+                timing: vec![
+                    ("ns_per_op".into(), ns.into()),
+                    ("elim_hits".into(), h.into()),
+                    ("elim_misses".into(), m.into()),
+                    ("shard_steals".into(), st.into()),
+                ],
+                ..Default::default()
+            });
+        }
+    }
+
+    lfrt_trace::set_enabled(false);
+
+    if let Some(path) = args.json_path() {
+        let meta = json::RunMeta::capture(max_threads, quick);
+        json::write_reports(&path, &[report], meta, started).expect("write json report");
+    } else {
+        let _ = report.to_json();
+    }
+
+    // `--trace`: the merged histogram report over every phase's events,
+    // equivalent to what `trace::Session` would have drained at exit.
+    if let Some(path) = args.trace_path() {
+        let snap = TraceSnapshot::from_events(&all_events, drain_stats);
+        let trace_report = trace::report_from_snapshot("contended_ops", &snap);
+        let meta = json::RunMeta::capture(max_threads, quick);
+        json::write_reports(&path, &[trace_report], meta, started).expect("write trace report");
+    }
+}

@@ -23,15 +23,25 @@
 //! inversion, not a 2% wobble) while the *hard* steady-state guarantee —
 //! allocs/op ≈ 0 — is asserted exactly by the churn leak-smoke step.
 //!
+//! The `stack_elim` and `mpmc_sharded` rows run the contention-adaptive
+//! layer (elimination-backoff stack, sharded MPMC) through the same
+//! single-thread loops: uncontended, the elimination array is never
+//! entered (first CAS succeeds) and the shard scan always hits the home
+//! shard, so these rows must track `stack`/`mpmc` within noise.
+//! `--assert-contention-layer` gates exactly that (the layer must be free
+//! when there is no contention to adapt to).
+//!
 //! Usage: `cargo run -p lfrt-bench --release --bin uncontended_ops --
 //! [--batches 30] [--ops 20000] [--quick] [--assert-pooled-faster]
-//! [--json <path>] [--trace <path>]`
+//! [--assert-contention-layer] [--json <path>] [--trace <path>]`
 
 use std::time::Instant;
 
 use lfrt_bench::json::{self, Point, Report};
 use lfrt_bench::{trace, Args};
-use lfrt_lockfree::{spsc_ring, BoundedMpmcQueue, LockFreeList, LockFreeQueue, TreiberStack};
+use lfrt_lockfree::{
+    spsc_ring, BoundedMpmcQueue, LockFreeList, LockFreeQueue, ShardedMpmcQueue, TreiberStack,
+};
 
 /// Slack for `--assert-pooled-faster`: a pooled median may sit up to this
 /// fraction above its boxed twin before the gate fails. The pool's win is a
@@ -39,6 +49,14 @@ use lfrt_lockfree::{spsc_ring, BoundedMpmcQueue, LockFreeList, LockFreeQueue, Tr
 /// flags genuine inversions; exact allocs/op enforcement lives in the
 /// leak-smoke step.
 const POOLED_TOLERANCE: f64 = 0.05;
+
+/// Slack for `--assert-contention-layer`: the elimination stack and the
+/// sharded queue may cost up to this fraction more than their plain
+/// counterparts on the uncontended path. The layers are designed to be
+/// byte-identical there (elimination is only entered after a failed CAS;
+/// the home-shard hit is one hash + mask), so anything beyond noise means
+/// the fast path grew a toll.
+const CONTENTION_TOLERANCE: f64 = 0.05;
 
 /// Times `batches` runs of `op_pair` (one push+pop round trip per call)
 /// and returns ns/op samples, counting 2 ops per pair.
@@ -78,9 +96,11 @@ fn main() {
 
     let stack = TreiberStack::new();
     let stack_boxed = TreiberStack::new_boxed();
+    let stack_elim = TreiberStack::with_elimination();
     let queue = LockFreeQueue::new();
     let queue_boxed = LockFreeQueue::new_boxed();
     let mpmc = BoundedMpmcQueue::new(1024);
+    let mpmc_sharded = ShardedMpmcQueue::with_default_shards(1024);
     let (mut producer, mut consumer) = spsc_ring(1024);
     let list = LockFreeList::new();
 
@@ -114,10 +134,24 @@ fn main() {
             }),
         ),
         (
+            "stack_elim",
+            measure(batches, ops, |i| {
+                stack_elim.push(i);
+                let _ = stack_elim.pop();
+            }),
+        ),
+        (
             "mpmc",
             measure(batches, ops, |i| {
                 let _ = mpmc.push(i);
                 let _ = mpmc.pop();
+            }),
+        ),
+        (
+            "mpmc_sharded",
+            measure(batches, ops, |i| {
+                let _ = mpmc_sharded.push(i);
+                let _ = mpmc_sharded.pop();
             }),
         ),
         (
@@ -179,14 +213,38 @@ fn main() {
     }
     trace.finish(args.threads(), quick);
 
+    let med = |name: &str| {
+        medians
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, m)| *m)
+            .expect("structure measured")
+    };
+
+    if args.get_bool("assert-contention-layer") {
+        let mut failed = false;
+        for (layered, plain) in [("stack_elim", "stack"), ("mpmc_sharded", "mpmc")] {
+            let (l, p) = (med(layered), med(plain));
+            if l <= p * (1.0 + CONTENTION_TOLERANCE) {
+                println!(
+                    "OK: {layered} {l:.1} ns/op within {:.0}% of {plain} {p:.1} ns/op uncontended",
+                    CONTENTION_TOLERANCE * 100.0
+                );
+            } else {
+                eprintln!(
+                    "FAIL: {layered} {l:.1} ns/op is more than {:.0}% above {plain} {p:.1} ns/op \
+                     — the contention layer now taxes the uncontended path",
+                    CONTENTION_TOLERANCE * 100.0
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    }
+
     if args.get_bool("assert-pooled-faster") {
-        let med = |name: &str| {
-            medians
-                .iter()
-                .find(|(n, _)| *n == name)
-                .map(|(_, m)| *m)
-                .expect("structure measured")
-        };
         let mut failed = false;
         for (pooled, boxed) in [("stack", "stack_boxed"), ("queue", "queue_boxed")] {
             let (p, b) = (med(pooled), med(boxed));

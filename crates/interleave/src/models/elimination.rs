@@ -1,0 +1,325 @@
+//! Model of the elimination-backoff exchanger, mirroring
+//! `crates/lockfree/src/elimination.rs` composed with the pooled Treiber
+//! stack of `crates/lockfree/src/stack.rs` (`TreiberStack::with_elimination`).
+//!
+//! The exchanger's safety argument has two load-bearing clauses, and each
+//! gets a seeded twin here:
+//!
+//! * **Payload after the claim** ([`ModelElimStack::preread_aba`]): an
+//!   eliminated node recycles *directly* into the pool cache — no epoch
+//!   grace is owed, because an exchanged node was never published to the
+//!   stack. The flip side is that a node observed at a slot (D1) can be
+//!   cancelled, eliminated by someone else, re-acquired from the cache and
+//!   re-offered *at the same slot with a new payload* before the observer's
+//!   claim CAS (D2) runs. The faithful popper therefore reads the payload
+//!   strictly **after** winning D2; the twin pre-reads it at D1 and returns
+//!   a stale value the schedule below makes both lost and duplicated —
+//!   the exchange-slot ABA.
+//! * **Cancel by CAS, not store** ([`ModelElimStack::blind_cancel`]): a
+//!   pusher withdraws its offer with a CAS whose failure proves a popper
+//!   claimed the node first. The twin "cancels" with a blind `EMPTY` store
+//!   and treats the offer as withdrawn: racing a claim, the element comes
+//!   back through the pusher's fallback push *and* through the claiming
+//!   popper — the lost-elimination double-return.
+//!
+//! Step structure (matching `EliminationArray` — the stack ops are
+//! [`super::pool::ModelPoolStack`]'s S-steps):
+//! - offer (`try_eliminate_push`): E1 `slot.compare_exchange(EMPTY, node,
+//!   Release, Relaxed)`; E2 the bounded wait, rendered as one `Relaxed`
+//!   probe load (spin passes add no shared transitions beyond the last
+//!   probe); E3 `slot.compare_exchange(node, EMPTY, Relaxed, Relaxed)` —
+//!   on failure, the `EMPTY` acknowledgment store (Relaxed).
+//! - take (`try_eliminate_pop`): D1 `slot.load(Relaxed)` probe; D2
+//!   `slot.compare_exchange(node, BUSY, Acquire, Relaxed)`; payload read
+//!   after D2 (exclusive, not a step) — the twin moves it before D2.
+//!
+//! Cache bookkeeping is thread-local in the real code (`Vec` ops, no
+//! atomics) and takes no step, as everywhere in [`crate::models`].
+
+use std::sync::atomic::Ordering::{Acquire, Relaxed, Release};
+use std::sync::{Arc, Mutex};
+
+use crate::arena::NIL;
+use crate::atomic::Atomic;
+use crate::runtime;
+
+/// Slot state: no offer parked (the real code's null/0).
+const EMPTY: usize = NIL;
+
+/// Slot state: offer claimed, pusher acknowledgment pending (the real
+/// code's sentinel 1; node indices never collide with it).
+const BUSY: usize = NIL - 1;
+
+/// A reusable stack node, as in [`super::pool::ModelPoolStack`].
+struct ElimNode {
+    value: Atomic<u64>,
+    next: Atomic<usize>,
+}
+
+/// A pooled Treiber stack with a one-slot elimination exchanger; see the
+/// module docs. One slot is the real array at its starting width — the
+/// width adaptation only respreads *which* slot a thread probes and is
+/// invisible to the per-slot protocol being checked here.
+pub struct ModelElimStack {
+    top: Atomic<usize>,
+    slot: Atomic<usize>,
+    nodes: Mutex<Vec<Arc<ElimNode>>>,
+    /// Reusable node indices (thread caches + overflow: not steps). LIFO,
+    /// like the real per-thread cache.
+    cache: Mutex<Vec<usize>>,
+    /// Nodes retired by *stack* pops, waiting out the grace period for the
+    /// whole exploration (the conservative rendering of epoch reclamation).
+    /// Eliminated nodes never come here — direct recycle is the faithful
+    /// behavior under test.
+    limbo: Mutex<Vec<usize>>,
+    /// Seeded bug: read the payload at the D1 probe instead of after D2.
+    preread: bool,
+    /// Seeded bug: cancel with a blind store instead of the E3 CAS.
+    blind_cancel: bool,
+}
+
+impl ModelElimStack {
+    /// The faithful model.
+    pub fn new() -> Self {
+        Self::with_bugs(false, false)
+    }
+
+    /// The exchange-slot ABA twin: the popper pre-reads the payload at the
+    /// D1 probe.
+    pub fn preread_aba() -> Self {
+        Self::with_bugs(true, false)
+    }
+
+    /// The lost-elimination double-return twin: the pusher cancels with a
+    /// blind `EMPTY` store.
+    pub fn blind_cancel() -> Self {
+        Self::with_bugs(false, true)
+    }
+
+    fn with_bugs(preread: bool, blind_cancel: bool) -> Self {
+        Self {
+            top: Atomic::new(NIL),
+            slot: Atomic::new(EMPTY),
+            nodes: Mutex::new(Vec::new()),
+            cache: Mutex::new(Vec::new()),
+            limbo: Mutex::new(Vec::new()),
+            preread,
+            blind_cancel,
+        }
+    }
+
+    fn get(&self, idx: usize) -> Arc<ElimNode> {
+        Arc::clone(&self.nodes.lock().unwrap_or_else(|e| e.into_inner())[idx])
+    }
+
+    /// Mirrors `RawPool::acquire` + node init (one scheduled step, then
+    /// plain stores on exclusively owned memory).
+    fn alloc(&self, value: u64) -> usize {
+        runtime::step_write();
+        let reused = self.cache.lock().unwrap_or_else(|e| e.into_inner()).pop();
+        match reused {
+            Some(idx) => {
+                let node = self.get(idx);
+                node.value.store_plain(value);
+                node.next.store_plain(NIL);
+                idx
+            }
+            None => {
+                let mut nodes = self.nodes.lock().unwrap_or_else(|e| e.into_inner());
+                nodes.push(Arc::new(ElimNode {
+                    value: Atomic::new(value),
+                    next: Atomic::new(NIL),
+                }));
+                nodes.len() - 1
+            }
+        }
+    }
+
+    /// Returns an exclusively owned node to the cache (thread-local
+    /// bookkeeping: not a step).
+    fn recycle(&self, idx: usize) {
+        self.cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(idx);
+    }
+
+    /// Mirrors the pooled `TreiberStack::push` head loop.
+    pub fn push(&self, value: u64) {
+        let idx = self.alloc(value);
+        let node = self.get(idx);
+        loop {
+            // S1: `self.top.load(Acquire)`.
+            let top = self.top.load_ord(Acquire);
+            node.next.store_plain(top);
+            // S2: `self.top.compare_exchange(top, new, Release, Relaxed)`.
+            if self
+                .top
+                .compare_exchange_ord(top, idx, Release, Relaxed)
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+
+    /// Mirrors the pooled `TreiberStack::pop` head loop (retire → limbo:
+    /// stack-popped nodes stay grace-gated).
+    pub fn pop(&self) -> Option<u64> {
+        loop {
+            // S1: `self.top.load(Acquire)`.
+            let top = self.top.load_ord(Acquire);
+            if top == NIL {
+                return None;
+            }
+            let node = self.get(top);
+            // S2: `top_ref.next.load(Relaxed)`.
+            let next = node.next.load_ord(Relaxed);
+            // S3: `self.top.compare_exchange(top, next, Release, Relaxed)`.
+            if self
+                .top
+                .compare_exchange_ord(top, next, Release, Relaxed)
+                .is_ok()
+            {
+                let value = node.value.load_plain();
+                self.limbo
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push(top);
+                return Some(value);
+            }
+        }
+    }
+
+    /// Mirrors `EliminationArray::try_eliminate_push` for one contended
+    /// pass: `true` = a popper took the element (push complete), `false` =
+    /// cancelled or slot occupied (the real code goes back to the head
+    /// loop; callers model that with a fallback [`ModelElimStack::push`]).
+    pub fn offer_push(&self, value: u64) -> bool {
+        let idx = self.alloc(value);
+        // E1: install the offer (Release publishes the payload).
+        if self
+            .slot
+            .compare_exchange_ord(EMPTY, idx, Release, Relaxed)
+            .is_err()
+        {
+            // Occupied: the real pusher keeps its node and re-enters the
+            // head loop; handing it back to the cache models the same
+            // ownership without an extra step.
+            self.recycle(idx);
+            return false;
+        }
+        // E2: the bounded wait — one Relaxed probe step stands in for the
+        // spin loop's final read.
+        let probe = self.slot.load_ord(Relaxed);
+        let _ = probe;
+        if self.blind_cancel {
+            // Seeded bug: "cancel" unconditionally with a store. A claim
+            // racing between E2 and this store owns the node too — the
+            // fallback push then duplicates the element.
+            self.slot.store_ord(EMPTY, Relaxed);
+            self.recycle(idx);
+            return false;
+        }
+        // E3: cancel by CAS; failure proves the claim happened.
+        match self.slot.compare_exchange_ord(idx, EMPTY, Relaxed, Relaxed) {
+            Ok(_) => {
+                // Timed out: nobody saw the node; we still own it.
+                self.recycle(idx);
+                false
+            }
+            Err(_) => {
+                // Claimed (slot reads BUSY): acknowledge so the slot can
+                // host the next offer.
+                self.slot.store_ord(EMPTY, Relaxed);
+                true
+            }
+        }
+    }
+
+    /// Mirrors `EliminationArray::try_eliminate_pop` for one contended
+    /// pass: a claimed node recycles directly into the cache (no grace —
+    /// it was never published to the stack).
+    pub fn take_pop(&self) -> Option<u64> {
+        // D1: probe.
+        let observed = self.slot.load_ord(Relaxed);
+        if observed == EMPTY || observed == BUSY {
+            return None;
+        }
+        let node = self.get(observed);
+        // Seeded bug: payload read at the probe — before the claim CAS
+        // proves the node still belongs to this offer.
+        let preread_value = if self.preread {
+            Some(node.value.load_plain())
+        } else {
+            None
+        };
+        // D2: claim (Acquire pairs with E1's Release).
+        if self
+            .slot
+            .compare_exchange_ord(observed, BUSY, Acquire, Relaxed)
+            .is_ok()
+        {
+            // Faithful: the payload read happens strictly after the CAS —
+            // the node is exclusively ours (not a step).
+            let value = match preread_value {
+                Some(stale) => stale,
+                None => node.value.load_plain(),
+            };
+            self.recycle(observed);
+            Some(value)
+        } else {
+            None
+        }
+    }
+
+    /// Post-check helper: drains remaining stack elements top-down without
+    /// scheduling (single-threaded use only).
+    pub fn drain_plain(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut cursor = self.top.load_plain();
+        while cursor != NIL {
+            let node = self.get(cursor);
+            out.push(node.value.load_plain());
+            cursor = node.next.load_plain();
+        }
+        out
+    }
+}
+
+impl Default for ModelElimStack {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lone_offer_times_out_and_falls_back() {
+        let s = ModelElimStack::new();
+        assert!(!s.offer_push(1), "no popper: the offer must cancel");
+        s.push(1);
+        assert_eq!(s.take_pop(), None, "slot must be empty after a cancel");
+        assert_eq!(s.pop(), Some(1));
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    fn eliminated_node_recycles_into_cache() {
+        let s = ModelElimStack::new();
+        // Install an offer by hand (single-threaded, no waiting partner
+        // would ever meet it otherwise).
+        let idx = s.alloc(7);
+        s.slot
+            .compare_exchange_ord(EMPTY, idx, Release, Relaxed)
+            .unwrap();
+        assert_eq!(s.take_pop(), Some(7));
+        let created = s.nodes.lock().unwrap().len();
+        assert_eq!(created, 1);
+        // The next alloc reuses the eliminated node: direct recycle.
+        assert_eq!(s.alloc(8), idx);
+    }
+}

@@ -18,20 +18,27 @@
 //! [`pool`] carries its twins inline: the reuse-before-grace and
 //! stale-pop-overflow bugs live beside the faithful pool models as
 //! alternate constructors, since they differ only in reclamation policy.
+//! [`elimination`] and [`sharded`] follow the same inline-twin pattern for
+//! the contention layer: the exchange-slot ABA, the lost-elimination
+//! double-return, and the shard-scan lost-item bug.
 
 pub mod buggy;
+pub mod elimination;
 pub mod mpmc;
 pub mod nbw;
 pub mod pool;
 pub mod queue;
 pub mod register;
 pub mod ring;
+pub mod sharded;
 pub mod stack;
 
+pub use elimination::ModelElimStack;
 pub use mpmc::ModelMpmcQueue;
 pub use nbw::ModelNbw;
 pub use pool::{ModelOverflow, ModelPoolStack};
 pub use queue::ModelMsQueue;
 pub use register::ModelCasRegister;
 pub use ring::ModelSpscRing;
+pub use sharded::ModelShardedQueue;
 pub use stack::ModelTreiberStack;

@@ -36,6 +36,7 @@
 //! so the same models explore soundly under sequential consistency,
 //! [`crate::Config::store_buffer`], and [`crate::Config::relaxed`].
 
+use std::sync::atomic::AtomicBool;
 use std::sync::atomic::Ordering::{Acquire, Relaxed, Release};
 use std::sync::{Arc, Mutex};
 
@@ -70,8 +71,10 @@ pub struct ModelPoolStack {
     /// Retired nodes still inside their grace period.
     limbo: Mutex<Vec<usize>>,
     /// `true` = faithful (retire to limbo); `false` = seeded bug (retire
-    /// straight to the cache).
-    grace: bool,
+    /// straight to the cache). An atomic — *not* a modeled step, just twin
+    /// configuration — because [`ModelPoolStack::pop_n_guard_dropped`]
+    /// flips it mid-run to model a guard released in the middle of a batch.
+    grace: AtomicBool,
 }
 
 impl ModelPoolStack {
@@ -94,8 +97,12 @@ impl ModelPoolStack {
             nodes: Mutex::new(Vec::new()),
             cache: Mutex::new(Vec::new()),
             limbo: Mutex::new(Vec::new()),
-            grace,
+            grace: AtomicBool::new(grace),
         }
+    }
+
+    fn grace_on(&self) -> bool {
+        self.grace.load(Relaxed)
     }
 
     fn get(&self, idx: usize) -> Arc<PoolNode> {
@@ -111,7 +118,7 @@ impl ModelPoolStack {
             let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
             if cache.is_empty() {
                 None
-            } else if self.grace {
+            } else if self.grace_on() {
                 cache.pop() // LIFO, like the real `Vec` cache
             } else {
                 Some(cache.remove(0)) // adversarial FIFO (see `immediate_reuse`)
@@ -174,7 +181,11 @@ impl ModelPoolStack {
                 .is_ok()
             {
                 let value = node.value.load_plain();
-                let retire_to = if self.grace { &self.limbo } else { &self.cache };
+                let retire_to = if self.grace_on() {
+                    &self.limbo
+                } else {
+                    &self.cache
+                };
                 retire_to
                     .lock()
                     .unwrap_or_else(|e| e.into_inner())
@@ -182,6 +193,51 @@ impl ModelPoolStack {
                 return Some(value);
             }
         }
+    }
+
+    /// Mirrors the pooled `TreiberStack::push_n`: one guard pins the whole
+    /// batch, each element is an ordinary push. The single pin is invisible
+    /// to the model (a guard adds no shared step), so the batch is simply
+    /// the element loop — which is exactly the claim under test: batching
+    /// changes amortization, not the protocol.
+    pub fn push_n(&self, values: &[u64]) {
+        for &value in values {
+            self.push(value);
+        }
+    }
+
+    /// Mirrors the pooled `TreiberStack::pop_n`: one guard pins the whole
+    /// batch; pops stop at `n` elements or empty. Every retire of the batch
+    /// stays grace-gated behind that one guard.
+    pub fn pop_n(&self, n: usize) -> Vec<u64> {
+        let mut out = Vec::new();
+        for _ in 0..n {
+            match self.pop() {
+                Some(value) => out.push(value),
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// The partial-batch seeded twin: the guard is dropped after the first
+    /// element, as if `pop_n` re-pinned per element — from then on **every**
+    /// retire in the structure (any thread) recycles immediately, modeling
+    /// nodes whose grace period ended while this batch still holds stack
+    /// snapshots from before the drop. The parked remainder of the batch can
+    /// then CAS against a recycled-and-republished node (A → B → A) and
+    /// resurrect a stale tail.
+    pub fn pop_n_guard_dropped(&self, n: usize) -> Vec<u64> {
+        let mut out = Vec::new();
+        for _ in 0..n {
+            match self.pop() {
+                Some(value) => out.push(value),
+                None => break,
+            }
+            // Seeded bug: the batch guard dies with the first element.
+            self.grace.store(false, Relaxed);
+        }
+        out
     }
 
     /// Models the epoch collector after every pre-retirement guard has

@@ -104,6 +104,29 @@ impl ModelMsQueue {
         }
     }
 
+    /// Mirrors `LockFreeQueue::enqueue_batch`: one guard spans the batch,
+    /// each element runs the ordinary enqueue protocol. The pin itself adds
+    /// no shared step, so the mirror is the element loop — batching changes
+    /// amortization, not the protocol.
+    pub fn enqueue_batch(&self, values: &[u64]) {
+        for &value in values {
+            self.enqueue(value);
+        }
+    }
+
+    /// Mirrors `LockFreeQueue::dequeue_batch`: up to `n` ordinary dequeues
+    /// under one guard, stopping early at empty.
+    pub fn dequeue_batch(&self, n: usize) -> Vec<u64> {
+        let mut out = Vec::new();
+        for _ in 0..n {
+            match self.dequeue() {
+                Some(value) => out.push(value),
+                None => break,
+            }
+        }
+        out
+    }
+
     /// Post-check helper: the elements still queued, head to tail, without
     /// scheduling (single-threaded use only).
     pub fn drain_plain(&self) -> Vec<u64> {

@@ -1,0 +1,193 @@
+//! Batched-operation exploration: `push_n`/`pop_n` on the pooled stack and
+//! `enqueue_batch`/`dequeue_batch` on the MS queue are ordinary element
+//! loops under a single guard — the mirrors check that the claim "batching
+//! changes amortization, not the protocol" actually holds under
+//! interleaving and weak memory, and the partial-batch twin shows what the
+//! single guard is buying: drop it mid-batch and the remainder of the
+//! batch can CAS against a node that was recycled and republished in the
+//! window (A → B → A), resurrecting a stale tail.
+
+use std::sync::{Arc, Mutex};
+
+use lfrt_interleave::models::{ModelMsQueue, ModelPoolStack};
+use lfrt_interleave::{explore, replay, Config, FailureKind, MemoryMode, Plan};
+
+type Cell = Arc<Mutex<Vec<u64>>>;
+
+fn cell() -> Cell {
+    Arc::new(Mutex::new(Vec::new()))
+}
+
+fn conservation_check(pushed: Vec<u64>, popped: Vec<Cell>, remaining: Vec<u64>) {
+    let mut seen: Vec<u64> = popped
+        .iter()
+        .flat_map(|c| c.lock().unwrap().clone())
+        .chain(remaining)
+        .collect();
+    seen.sort_unstable();
+    let mut expected = pushed;
+    expected.sort_unstable();
+    assert_eq!(seen, expected, "elements lost or duplicated");
+}
+
+/// The CHESS preemption bound for the cross-mode faithful runs (see
+/// `tests/pool_model.rs` for why 3).
+const BOUND: Option<usize> = Some(3);
+
+fn config(name: &'static str, memory: MemoryMode) -> Config {
+    Config {
+        memory,
+        preemption_bound: BOUND,
+        ..Config::exhaustive(name)
+    }
+}
+
+fn all_modes() -> [(&'static str, MemoryMode); 3] {
+    [
+        ("sc", MemoryMode::Sc),
+        (
+            "tso",
+            MemoryMode::StoreBuffer {
+                bound: MemoryMode::DEFAULT_BOUND,
+            },
+        ),
+        (
+            "relaxed",
+            MemoryMode::Relaxed {
+                bound: MemoryMode::DEFAULT_BOUND,
+                window: MemoryMode::DEFAULT_WINDOW,
+            },
+        ),
+    ]
+}
+
+/// Partial-batch guard drop on the pooled stack. Scenario: stack `[1, 2, 3]`
+/// (3 on top); t0 runs a two-element batch pop; t1 pops twice and pushes 4.
+/// The twin drops the batch guard after the first element, so t1's retires
+/// recycle immediately; the hazardous schedule parks t0 mid-second-pop
+/// (holding pre-drop top/next snapshots), lets t1 drain the stack and push
+/// 4 into a recycled node, and resumes t0 — whose CAS succeeds against the
+/// recycled node and splices the stale `next` back in, resurrecting a
+/// drained element. The faithful `pop_n` keeps every retire of the batch
+/// behind the one guard, so no recycled node can match a parked CAS.
+mod partial_batch_guard_drop {
+    use super::*;
+
+    fn scenario(guard_dropped: bool) -> Plan {
+        // One constructor for both variants: the twin is selected per
+        // *operation* (`pop_n_guard_dropped`), since the bug is a batch
+        // dropping its guard, not a property of the pool.
+        let stack = Arc::new(ModelPoolStack::new());
+        stack.push_n(&[1, 2, 3]);
+        let (pop0, pop1) = (cell(), cell());
+        let s0 = Arc::clone(&stack);
+        let r0 = Arc::clone(&pop0);
+        let s1 = Arc::clone(&stack);
+        let r1 = Arc::clone(&pop1);
+        Plan::new()
+            .thread(move || {
+                let batch = if guard_dropped {
+                    s0.pop_n_guard_dropped(2)
+                } else {
+                    s0.pop_n(2)
+                };
+                r0.lock().unwrap().extend(batch);
+            })
+            .thread(move || {
+                let mut out = Vec::new();
+                out.extend(s1.pop());
+                out.extend(s1.pop());
+                s1.push(4);
+                r1.lock().unwrap().extend(out);
+            })
+            .check(move || {
+                conservation_check(
+                    vec![1, 2, 3, 4],
+                    vec![pop0.clone(), pop1.clone()],
+                    stack.drain_plain(),
+                );
+            })
+    }
+
+    #[test]
+    fn guard_drop_is_caught_and_replayable() {
+        let report = explore(&Config::exhaustive("batch-guard-drop"), || scenario(true));
+        let failure = report.assert_fails();
+        assert_eq!(failure.kind, FailureKind::Panic);
+        assert!(
+            failure.message.contains("lost or duplicated"),
+            "{failure:?}"
+        );
+        let schedule = failure.schedule.clone();
+        let err = std::panic::catch_unwind(move || replay(&schedule, || scenario(true)))
+            .expect_err("replay must reproduce the stale-tail resurrection");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("lost or duplicated"), "{msg}");
+    }
+
+    #[test]
+    fn single_guard_batch_survives_every_memory_mode() {
+        for (mode_name, memory) in all_modes() {
+            explore(
+                &config(
+                    Box::leak(format!("batch-stack-{mode_name}").into_boxed_str()),
+                    memory,
+                ),
+                || scenario(false),
+            )
+            .assert_ok();
+        }
+    }
+}
+
+/// Queue batches racing a single-element consumer: `enqueue_batch` must
+/// publish each element with the full MS protocol (no torn batch), and
+/// `dequeue_batch` must stop cleanly at empty.
+mod queue_batches {
+    use super::*;
+
+    fn scenario() -> Plan {
+        let queue = Arc::new(ModelMsQueue::new());
+        queue.enqueue(1);
+        let (pop0, pop1) = (cell(), cell());
+        let q0 = Arc::clone(&queue);
+        let r0 = Arc::clone(&pop0);
+        let q1 = Arc::clone(&queue);
+        let r1 = Arc::clone(&pop1);
+        Plan::new()
+            .thread(move || {
+                q0.enqueue_batch(&[2, 3]);
+                r0.lock().unwrap().extend(q0.dequeue());
+            })
+            .thread(move || {
+                r1.lock().unwrap().extend(q1.dequeue_batch(2));
+            })
+            .check(move || {
+                conservation_check(
+                    vec![1, 2, 3],
+                    vec![pop0.clone(), pop1.clone()],
+                    queue.drain_plain(),
+                );
+                // FIFO within each consumer: batch order must follow queue
+                // order even when the batches interleave.
+                let batch = pop1.lock().unwrap().clone();
+                let mut sorted = batch.clone();
+                sorted.sort_unstable();
+                assert_eq!(batch, sorted, "a batch dequeue reordered elements");
+            })
+    }
+
+    #[test]
+    fn interleaved_batches_survive_every_memory_mode() {
+        for (mode_name, memory) in all_modes() {
+            explore(
+                &config(
+                    Box::leak(format!("batch-queue-{mode_name}").into_boxed_str()),
+                    memory,
+                ),
+                scenario,
+            )
+            .assert_ok();
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Elimination-exchanger exploration: the two seeded exchange bugs must be
+//! caught with deterministically replayable schedules, and the faithful
+//! exchanger must survive the same scenarios under every memory mode —
+//! the elimination layer's safety argument ("the claim CAS transfers node
+//! ownership; the cancel CAS proves no claim happened") is a weak-memory
+//! claim as much as an interleaving one.
+
+use std::sync::{Arc, Mutex};
+
+use lfrt_interleave::models::ModelElimStack;
+use lfrt_interleave::{explore, replay, Config, FailureKind, MemoryMode, Plan};
+
+type Cell = Arc<Mutex<Vec<u64>>>;
+
+fn cell() -> Cell {
+    Arc::new(Mutex::new(Vec::new()))
+}
+
+fn conservation_check(pushed: Vec<u64>, popped: Vec<Cell>, remaining: Vec<u64>) {
+    let mut seen: Vec<u64> = popped
+        .iter()
+        .flat_map(|c| c.lock().unwrap().clone())
+        .chain(remaining)
+        .collect();
+    seen.sort_unstable();
+    let mut expected = pushed;
+    expected.sort_unstable();
+    assert_eq!(seen, expected, "elements lost or duplicated");
+}
+
+/// The CHESS preemption bound for the cross-mode faithful runs (see
+/// `tests/pool_model.rs` for why 3).
+const BOUND: Option<usize> = Some(3);
+
+fn config(name: &'static str, memory: MemoryMode) -> Config {
+    Config {
+        memory,
+        preemption_bound: BOUND,
+        ..Config::exhaustive(name)
+    }
+}
+
+fn all_modes() -> [(&'static str, MemoryMode); 3] {
+    [
+        ("sc", MemoryMode::Sc),
+        (
+            "tso",
+            MemoryMode::StoreBuffer {
+                bound: MemoryMode::DEFAULT_BOUND,
+            },
+        ),
+        (
+            "relaxed",
+            MemoryMode::Relaxed {
+                bound: MemoryMode::DEFAULT_BOUND,
+                window: MemoryMode::DEFAULT_WINDOW,
+            },
+        ),
+    ]
+}
+
+/// Exchange-slot ABA. Scenario: t0 takes from the slot; t1 offers 1, then
+/// offers 2, then falls back to plain pushes for whichever offers were
+/// cancelled. The hazardous schedule: t1 installs node `n` with value 1;
+/// t0 probes the slot (D1) and parks; t1 cancels, recycles `n` directly
+/// (eliminated nodes owe no grace), and re-offers the *same node* with
+/// value 2; t0's claim CAS (D2) now succeeds against the re-offer. The
+/// pre-read twin returns the stale 1 — value 2 evaporates while t1
+/// believes it was taken — where the faithful popper, reading strictly
+/// after the claim, returns 2.
+mod exchange_slot_aba {
+    use super::*;
+
+    fn scenario(preread: bool) -> Plan {
+        let stack = Arc::new(if preread {
+            ModelElimStack::preread_aba()
+        } else {
+            ModelElimStack::new()
+        });
+        let pop0 = cell();
+        let s0 = Arc::clone(&stack);
+        let r0 = Arc::clone(&pop0);
+        let s1 = Arc::clone(&stack);
+        Plan::new()
+            .thread(move || {
+                r0.lock().unwrap().extend(s0.take_pop());
+            })
+            .thread(move || {
+                // Both offers run before the fallbacks so a cancelled
+                // node is still in the cache when the second offer
+                // allocates — the direct-recycle path under test.
+                let ok1 = s1.offer_push(1);
+                let ok2 = s1.offer_push(2);
+                if !ok1 {
+                    s1.push(1);
+                }
+                if !ok2 {
+                    s1.push(2);
+                }
+            })
+            .check(move || {
+                conservation_check(vec![1, 2], vec![pop0.clone()], stack.drain_plain());
+            })
+    }
+
+    #[test]
+    fn preread_is_caught_and_replayable() {
+        let report = explore(&Config::exhaustive("elim-preread-aba"), || scenario(true));
+        let failure = report.assert_fails();
+        assert_eq!(failure.kind, FailureKind::Panic);
+        assert!(
+            failure.message.contains("lost or duplicated"),
+            "{failure:?}"
+        );
+        let schedule = failure.schedule.clone();
+        let err = std::panic::catch_unwind(move || replay(&schedule, || scenario(true)))
+            .expect_err("replay must reproduce the exchange-slot ABA");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("lost or duplicated"), "{msg}");
+    }
+
+    #[test]
+    fn claim_then_read_survives_every_memory_mode() {
+        for (mode_name, memory) in all_modes() {
+            explore(
+                &config(
+                    Box::leak(format!("elim-aba-{mode_name}").into_boxed_str()),
+                    memory,
+                ),
+                || scenario(false),
+            )
+            .assert_ok();
+        }
+    }
+}
+
+/// Lost-elimination double-return. Scenario: t1 offers 1 and falls back to
+/// a plain push if the offer reports cancelled; t0 takes from the slot.
+/// The hazardous schedule: t1 installs, t0 claims (D2 wins, returns 1),
+/// t1's blind-store twin overwrites the BUSY marker with EMPTY anyway and
+/// reports the offer cancelled — so 1 is returned through the exchange
+/// *and* pushed onto the stack. The faithful cancel CAS fails against
+/// BUSY, proving the claim, and reports the push complete.
+mod lost_elimination {
+    use super::*;
+
+    fn scenario(blind: bool) -> Plan {
+        let stack = Arc::new(if blind {
+            ModelElimStack::blind_cancel()
+        } else {
+            ModelElimStack::new()
+        });
+        let pop0 = cell();
+        let s0 = Arc::clone(&stack);
+        let r0 = Arc::clone(&pop0);
+        let s1 = Arc::clone(&stack);
+        Plan::new()
+            .thread(move || {
+                r0.lock().unwrap().extend(s0.take_pop());
+            })
+            .thread(move || {
+                if !s1.offer_push(1) {
+                    s1.push(1);
+                }
+            })
+            .check(move || {
+                conservation_check(vec![1], vec![pop0.clone()], stack.drain_plain());
+            })
+    }
+
+    #[test]
+    fn blind_cancel_is_caught_and_replayable() {
+        let report = explore(&Config::exhaustive("elim-blind-cancel"), || scenario(true));
+        let failure = report.assert_fails();
+        assert_eq!(failure.kind, FailureKind::Panic);
+        assert!(
+            failure.message.contains("lost or duplicated"),
+            "{failure:?}"
+        );
+        let schedule = failure.schedule.clone();
+        let err = std::panic::catch_unwind(move || replay(&schedule, || scenario(true)))
+            .expect_err("replay must reproduce the double-return");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("lost or duplicated"), "{msg}");
+    }
+
+    #[test]
+    fn cas_cancel_survives_every_memory_mode() {
+        for (mode_name, memory) in all_modes() {
+            explore(
+                &config(
+                    Box::leak(format!("elim-cancel-{mode_name}").into_boxed_str()),
+                    memory,
+                ),
+                || scenario(false),
+            )
+            .assert_ok();
+        }
+    }
+}
+
+/// The composed fast path: exchanges racing ordinary stack traffic. Both
+/// sides of an elimination bypass the head entirely, so the stack's own
+/// LIFO protocol must stay sound around them under every memory mode.
+mod exchange_with_stack_traffic {
+    use super::*;
+
+    fn scenario() -> Plan {
+        let stack = Arc::new(ModelElimStack::new());
+        stack.push(1);
+        let (pop0, pop1) = (cell(), cell());
+        let s0 = Arc::clone(&stack);
+        let r0 = Arc::clone(&pop0);
+        let s1 = Arc::clone(&stack);
+        let r1 = Arc::clone(&pop1);
+        Plan::new()
+            .thread(move || {
+                let mut out = Vec::new();
+                out.extend(s0.take_pop());
+                out.extend(s0.pop());
+                r0.lock().unwrap().extend(out);
+            })
+            .thread(move || {
+                if !s1.offer_push(2) {
+                    s1.push(2);
+                }
+                r1.lock().unwrap().extend(s1.pop());
+            })
+            .check(move || {
+                conservation_check(
+                    vec![1, 2],
+                    vec![pop0.clone(), pop1.clone()],
+                    stack.drain_plain(),
+                );
+            })
+    }
+
+    #[test]
+    fn mixed_traffic_survives_every_memory_mode() {
+        for (mode_name, memory) in all_modes() {
+            explore(
+                &config(
+                    Box::leak(format!("elim-mixed-{mode_name}").into_boxed_str()),
+                    memory,
+                ),
+                scenario,
+            )
+            .assert_ok();
+        }
+    }
+}

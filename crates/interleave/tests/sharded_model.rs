@@ -1,0 +1,173 @@
+//! Sharded-queue exploration: the steal-repush twin must lose an element
+//! on a deterministically replayable schedule, and the faithful
+//! steal-scan must survive the same scenario — plus symmetric cross-shard
+//! traffic — under every memory mode. The sharding layer adds no atomics
+//! of its own (all steps belong to the per-shard ring protocol), so what
+//! is being checked is the *composition*: that returning a stolen element
+//! directly, rather than re-publishing it, is what keeps the scan lossless.
+
+use std::sync::{Arc, Mutex};
+
+use lfrt_interleave::models::ModelShardedQueue;
+use lfrt_interleave::{explore, replay, Config, FailureKind, MemoryMode, Plan};
+
+type Cell = Arc<Mutex<Vec<u64>>>;
+
+fn cell() -> Cell {
+    Arc::new(Mutex::new(Vec::new()))
+}
+
+fn conservation_check(pushed: Vec<u64>, popped: Vec<Cell>, remaining: Vec<u64>) {
+    let mut seen: Vec<u64> = popped
+        .iter()
+        .flat_map(|c| c.lock().unwrap().clone())
+        .chain(remaining)
+        .collect();
+    seen.sort_unstable();
+    let mut expected = pushed;
+    expected.sort_unstable();
+    assert_eq!(seen, expected, "elements lost or duplicated");
+}
+
+/// The CHESS preemption bound for the cross-mode faithful runs (see
+/// `tests/pool_model.rs` for why 3).
+const BOUND: Option<usize> = Some(3);
+
+fn config(name: &'static str, memory: MemoryMode) -> Config {
+    Config {
+        memory,
+        preemption_bound: BOUND,
+        ..Config::exhaustive(name)
+    }
+}
+
+fn all_modes() -> [(&'static str, MemoryMode); 3] {
+    [
+        ("sc", MemoryMode::Sc),
+        (
+            "tso",
+            MemoryMode::StoreBuffer {
+                bound: MemoryMode::DEFAULT_BOUND,
+            },
+        ),
+        (
+            "relaxed",
+            MemoryMode::Relaxed {
+                bound: MemoryMode::DEFAULT_BOUND,
+                window: MemoryMode::DEFAULT_WINDOW,
+            },
+        ),
+    ]
+}
+
+/// Shard-scan lost item. Scenario: two shards of capacity 2; shard 1 holds
+/// 10; t0 (home shard 0) pops — its home is empty, so the scan steals 10
+/// from shard 1; t1 (home shard 0) pushes 20 and 21, filling shard 0. The
+/// hazardous schedule parks t0 between the steal and the twin's "restore
+/// affinity" re-push: t1 fills shard 0 in the window, the re-push meets a
+/// full ring, and 10 is silently dropped. The faithful scan returns 10
+/// directly — there is no window because a stolen element is never
+/// re-published.
+mod steal_scan_lost_item {
+    use super::*;
+
+    fn scenario(repush: bool) -> Plan {
+        let queue = Arc::new(if repush {
+            ModelShardedQueue::steal_repush(2, 2)
+        } else {
+            ModelShardedQueue::new(2, 2)
+        });
+        queue.push_from(1, 10).unwrap();
+        let pop0 = cell();
+        let q0 = Arc::clone(&queue);
+        let r0 = Arc::clone(&pop0);
+        let q1 = Arc::clone(&queue);
+        Plan::new()
+            .thread(move || {
+                r0.lock().unwrap().extend(q0.pop_from(0));
+            })
+            .thread(move || {
+                q1.push_from(0, 20).unwrap();
+                q1.push_from(0, 21).unwrap();
+            })
+            .check(move || {
+                conservation_check(vec![10, 20, 21], vec![pop0.clone()], queue.drain_plain());
+            })
+    }
+
+    #[test]
+    fn steal_repush_is_caught_and_replayable() {
+        let report = explore(&Config::exhaustive("shard-steal-repush"), || scenario(true));
+        let failure = report.assert_fails();
+        assert_eq!(failure.kind, FailureKind::Panic);
+        assert!(
+            failure.message.contains("lost or duplicated"),
+            "{failure:?}"
+        );
+        let schedule = failure.schedule.clone();
+        let err = std::panic::catch_unwind(move || replay(&schedule, || scenario(true)))
+            .expect_err("replay must reproduce the lost steal");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("lost or duplicated"), "{msg}");
+    }
+
+    #[test]
+    fn direct_steal_survives_every_memory_mode() {
+        for (mode_name, memory) in all_modes() {
+            explore(
+                &config(
+                    Box::leak(format!("shard-steal-{mode_name}").into_boxed_str()),
+                    memory,
+                ),
+                || scenario(false),
+            )
+            .assert_ok();
+        }
+    }
+}
+
+/// Symmetric cross-shard traffic: each thread enqueues at its own home and
+/// dequeues starting from the *other* home, so every pop exercises the
+/// steal path against a concurrent producer.
+mod cross_shard_traffic {
+    use super::*;
+
+    fn scenario() -> Plan {
+        let queue = Arc::new(ModelShardedQueue::new(2, 2));
+        let (pop0, pop1) = (cell(), cell());
+        let q0 = Arc::clone(&queue);
+        let r0 = Arc::clone(&pop0);
+        let q1 = Arc::clone(&queue);
+        let r1 = Arc::clone(&pop1);
+        Plan::new()
+            .thread(move || {
+                q0.push_from(0, 1).unwrap();
+                r0.lock().unwrap().extend(q0.pop_from(1));
+            })
+            .thread(move || {
+                q1.push_from(1, 2).unwrap();
+                r1.lock().unwrap().extend(q1.pop_from(0));
+            })
+            .check(move || {
+                conservation_check(
+                    vec![1, 2],
+                    vec![pop0.clone(), pop1.clone()],
+                    queue.drain_plain(),
+                );
+            })
+    }
+
+    #[test]
+    fn cross_steals_survive_every_memory_mode() {
+        for (mode_name, memory) in all_modes() {
+            explore(
+                &config(
+                    Box::leak(format!("shard-cross-{mode_name}").into_boxed_str()),
+                    memory,
+                ),
+                scenario,
+            )
+            .assert_ok();
+        }
+    }
+}

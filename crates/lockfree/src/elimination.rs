@@ -1,0 +1,372 @@
+//! Elimination-backoff exchanger for the Treiber stack (Hendler, Shavit &
+//! Shavit, SPAA'04).
+//!
+//! A push and a pop that collide on the stack's single `top` word are, in
+//! LIFO terms, inverses: the pop may take the push's element *directly* and
+//! both operations linearize at the hand-off, without either retouching the
+//! contended head. This module is that side channel: a small array of
+//! exchange slots where a contended pusher parks its (exclusively owned,
+//! never-published) node and a contended popper claims it by CAS.
+//!
+//! The layer is **strictly off the fast path**: `TreiberStack` only calls
+//! in here after a head CAS already failed and the pass's `Backoff::spin`
+//! ran — the uncontended push/pop sequence is byte-identical to the
+//! elimination-free stack (see `stack.rs`; the vendor tests in
+//! `crossbeam::utils` pin the `Backoff` thresholds this trigger rides on).
+//!
+//! # Protocol
+//!
+//! Each slot is one `AtomicUsize` with three states:
+//!
+//! * `EMPTY` (0) — nobody here;
+//! * `BUSY` (1) — an offer was just claimed; the pusher has not yet
+//!   acknowledged (transient, settled only by that pusher);
+//! * any other value — a waiting pusher's node pointer (node alignment
+//!   keeps pointers disjoint from the sentinels).
+//!
+//! Pusher (`try_eliminate_push`): E1 CAS `EMPTY → node` (Release, so the
+//! claimant acquires the node's payload); E2 bounded wait — plain spinning,
+//! probing the slot with Relaxed loads (nothing is dereferenced off the
+//! probe); E3 cancel CAS `node → EMPTY` (Relaxed — success means no one
+//! ever saw the node, failure means the claim CAS already happened and the
+//! slot reads `BUSY`), then a Relaxed `EMPTY` store to retire the `BUSY`
+//! sentinel. A cancel **must** be a CAS: a blind `EMPTY` store races the
+//! claim and hands the node to both sides — the seeded
+//! `lost-elimination double-return` twin in
+//! `lfrt-interleave::models::elimination`.
+//!
+//! Popper (`try_eliminate_pop`): D1 scan the live slots with Relaxed
+//! loads; D2 claim CAS `node → BUSY` (Acquire, pairing with E1's Release).
+//! The winning CAS *is* the transfer of ownership: the caller reads the
+//! payload strictly **after** it. Reading the payload off the D1 probe
+//! instead is the classic exchanger ABA (the node can be cancelled,
+//! recycled by the pool, and re-offered at the same address with a new
+//! payload between probe and CAS) — the seeded `exchange-slot ABA` twin.
+//!
+//! # Adaptation
+//!
+//! The live width (a power of two in `1..=SLOTS`) follows the
+//! Hendler–Shavit–Shavit heuristic on the signals the stack already
+//! produces: a pusher finding its slot occupied (pusher/pusher collision)
+//! widens; a pusher timing out (no popper arrived) narrows. Both updates
+//! are Relaxed load+store — a racy hint, not synchronization. Poppers scan
+//! the whole live width, so a wider array never hides an offer from them.
+//!
+//! # Progress
+//!
+//! Every path is bounded: one CAS to install, a constant spin wait, one
+//! CAS to cancel or claim per slot scanned. No loops retry a lost CAS —
+//! failure means the *other* side made progress (an exchange happened or
+//! an offer appeared), which is the lock-free win condition; the caller's
+//! own retry loop (Theorem 2 scope) is back in `stack.rs`. Nothing here
+//! allocates, and nothing here dereferences: payload reads stay with the
+//! stack, which owns the node type.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use crossbeam::utils::CachePadded;
+
+use crate::stats::thread_hash;
+
+/// Slot state: no offer parked.
+const EMPTY: usize = 0;
+
+/// Slot state: an offer was claimed and awaits the pusher's acknowledgment.
+/// Disjoint from real pointers because nodes are at least word-aligned.
+const BUSY: usize = 1;
+
+/// Physical slots (the adaptive width never exceeds this). Eight matches
+/// the pool's telemetry shard count: past ~8 simultaneously colliding
+/// pairs, the head CAS itself is no longer the bottleneck on the core
+/// counts this repo targets.
+const SLOTS: usize = 8;
+
+/// Spin passes a pusher waits for a claimant before cancelling: one
+/// saturated `Backoff` burst (`2^SPIN_LIMIT` pause hints), the same bound
+/// the stack's own retry pacing tops out at, so a parked offer lives about
+/// as long as the colliding popper's next backoff window.
+const WAIT_SPINS: usize = 64;
+
+/// The exchanger array. One per elimination-enabled [`crate::TreiberStack`].
+///
+/// Exchanged values are opaque pointers: the exchanger never dereferences
+/// them, it only moves exclusive ownership from a pusher to at most one
+/// popper. The stack is responsible for reading the payload (after the
+/// claim) and recycling the node.
+pub struct EliminationArray {
+    slots: [CachePadded<AtomicUsize>; SLOTS],
+    /// Live width: a power of two in `1..=SLOTS`, adapted under contention.
+    width: CachePadded<AtomicUsize>,
+    /// Completed exchanges (claim CAS wins). Relaxed telemetry.
+    hits: CachePadded<AtomicU64>,
+    /// Attempts that found no partner (timeouts, occupied slots, empty
+    /// scans). Relaxed telemetry.
+    misses: CachePadded<AtomicU64>,
+}
+
+impl EliminationArray {
+    /// An exchanger starting at width 1 (a single hot slot; collisions
+    /// widen it).
+    pub fn new() -> Self {
+        Self {
+            slots: std::array::from_fn(|_| CachePadded::new(AtomicUsize::new(EMPTY))),
+            width: CachePadded::new(AtomicUsize::new(1)),
+            hits: CachePadded::new(AtomicU64::new(0)),
+            misses: CachePadded::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Offers `node` to a concurrent popper for one bounded wait.
+    ///
+    /// Returns `true` if a popper claimed the node — the push is complete
+    /// and the caller must forget the node (ownership moved). Returns
+    /// `false` if the offer was cancelled — the caller still exclusively
+    /// owns the node and goes back to its head CAS loop.
+    ///
+    /// `node` must be a non-null pointer with alignment ≥ 2 (so it cannot
+    /// collide with the [`EMPTY`]/[`BUSY`] sentinels); the exchanger never
+    /// dereferences it.
+    pub fn try_eliminate_push(&self, node: *mut u8) -> bool {
+        let offer = node as usize;
+        debug_assert!(offer > BUSY && offer & 1 == 0, "sentinel-colliding node");
+        let width = self.live_width();
+        let slot = &self.slots[thread_hash() & (width - 1)];
+        // E1: park the offer. Release publishes the node's payload to the
+        // claimant's Acquire CAS.
+        if slot
+            .compare_exchange(EMPTY, offer, Ordering::Release, Ordering::Relaxed)
+            .is_err()
+        {
+            // Another pusher is parked here (or a claim is settling):
+            // pusher/pusher collision — widen so the next attempts spread.
+            self.widen(width);
+            self.miss();
+            return false;
+        }
+        // E2: bounded wait. Pure spinning; the Relaxed probe only decides
+        // when to stop early (the cancel CAS below is authoritative).
+        for _ in 0..WAIT_SPINS {
+            if slot.load(Ordering::Relaxed) != offer {
+                break;
+            }
+            std::hint::spin_loop();
+        }
+        // E3: cancel. Success: nobody saw the node — we still own it.
+        // Failure: the slot reads BUSY, a popper owns the node; retire the
+        // sentinel so the slot can host the next offer.
+        match slot.compare_exchange(offer, EMPTY, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => {
+                // Timed out: no popper around — narrow toward the hot slot.
+                self.narrow(width);
+                self.miss();
+                false
+            }
+            Err(_) => {
+                slot.store(EMPTY, Ordering::Relaxed);
+                self.hit();
+                true
+            }
+        }
+    }
+
+    /// Scans the live slots for a waiting offer and claims one.
+    ///
+    /// Returns the claimed node pointer — the caller now exclusively owns
+    /// it (the matching push has returned or will return success) — or
+    /// `None` if no offer could be claimed this pass.
+    pub fn try_eliminate_pop(&self) -> Option<*mut u8> {
+        let width = self.live_width();
+        let start = thread_hash();
+        for i in 0..width {
+            let slot = &self.slots[(start + i) & (width - 1)];
+            // D1: probe. Relaxed is fine — nothing is read through this
+            // value; the claim CAS below re-checks it.
+            let observed = slot.load(Ordering::Relaxed);
+            if observed <= BUSY {
+                continue;
+            }
+            // D2: claim. Acquire pairs with the offer's Release so the
+            // payload read that follows (in stack.rs, strictly after this
+            // CAS) sees the pusher's writes. Failure: the pusher cancelled
+            // or another popper won — move on, both mean progress.
+            if slot
+                .compare_exchange(observed, BUSY, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                self.hit();
+                return Some(observed as *mut u8);
+            }
+        }
+        self.miss();
+        None
+    }
+
+    /// Current live width (always a power of two in `1..=SLOTS`).
+    pub fn width(&self) -> usize {
+        self.width.load(Ordering::Relaxed).clamp(1, SLOTS)
+    }
+
+    /// Completed exchanges so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Exchange attempts that found no partner so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    fn live_width(&self) -> usize {
+        self.width()
+    }
+
+    /// Racy grow hint (lost updates are fine: this is pacing, not state).
+    fn widen(&self, observed: usize) {
+        if observed < SLOTS {
+            self.width.store(observed * 2, Ordering::Relaxed);
+        }
+    }
+
+    /// Racy shrink hint.
+    fn narrow(&self, observed: usize) {
+        if observed > 1 {
+            self.width.store(observed / 2, Ordering::Relaxed);
+        }
+    }
+
+    fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        lfrt_trace::emit(
+            lfrt_trace::EventKind::ElimHit,
+            lfrt_trace::Site::StackElim,
+            self.width() as u64,
+        );
+    }
+
+    fn miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        lfrt_trace::emit(
+            lfrt_trace::EventKind::ElimMiss,
+            lfrt_trace::Site::StackElim,
+            self.width() as u64,
+        );
+    }
+}
+
+impl Default for EliminationArray {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for EliminationArray {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EliminationArray")
+            .field("width", &self.width())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A dummy exclusively-owned "node" address (never dereferenced).
+    fn fake_node(cell: &mut u64) -> *mut u8 {
+        (cell as *mut u64).cast()
+    }
+
+    #[test]
+    fn pop_scan_finds_nothing_on_empty_array() {
+        let e = EliminationArray::new();
+        assert_eq!(e.try_eliminate_pop(), None);
+        assert_eq!(e.hits(), 0);
+        assert_eq!(e.misses(), 1);
+    }
+
+    #[test]
+    fn lone_push_times_out_and_keeps_ownership() {
+        let e = EliminationArray::new();
+        let mut cell = 7u64;
+        assert!(!e.try_eliminate_push(fake_node(&mut cell)));
+        assert_eq!(e.hits(), 0);
+        // The cancelled offer left the array empty for the next pass.
+        assert_eq!(e.try_eliminate_pop(), None);
+    }
+
+    #[test]
+    fn offer_then_claim_round_trips_the_pointer() {
+        // Drive the slot protocol directly: install an offer the way a
+        // pusher's E1 does, then claim it as a popper.
+        let e = EliminationArray::new();
+        let mut cell = 9u64;
+        let node = fake_node(&mut cell);
+        e.slots[0]
+            .compare_exchange(EMPTY, node as usize, Ordering::Release, Ordering::Relaxed)
+            .unwrap();
+        assert_eq!(e.try_eliminate_pop(), Some(node));
+        // The slot is BUSY until the pusher acknowledges: invisible to
+        // further poppers.
+        assert_eq!(e.try_eliminate_pop(), None);
+        assert_eq!(e.slots[0].load(Ordering::Relaxed), BUSY);
+    }
+
+    #[test]
+    fn width_adapts_within_bounds() {
+        let e = EliminationArray::new();
+        assert_eq!(e.width(), 1);
+        for w in [2, 4, 8, 8] {
+            e.widen(e.width());
+            assert_eq!(e.width(), w);
+        }
+        for w in [4, 2, 1, 1] {
+            e.narrow(e.width());
+            assert_eq!(e.width(), w);
+        }
+    }
+
+    #[test]
+    fn concurrent_pairs_eventually_eliminate() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        // A pusher parks offers in a loop while a popper scans: at least
+        // one exchange must land, and the exchanged pointer must be one of
+        // the pusher's (ownership transfer, not invention).
+        let e = Arc::new(EliminationArray::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let pusher = {
+            let e = Arc::clone(&e);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut cell = 0u64;
+                let node = (&mut cell as *mut u64).cast::<u8>() as usize;
+                let mut taken = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    if e.try_eliminate_push(node as *mut u8) {
+                        taken += 1;
+                    }
+                }
+                (node, taken)
+            })
+        };
+        let mut claimed = Vec::new();
+        for _ in 0..200_000 {
+            if let Some(p) = e.try_eliminate_pop() {
+                claimed.push(p as usize);
+            }
+            if !claimed.is_empty() {
+                break;
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        let (node, taken) = pusher.join().expect("pusher panicked");
+        for p in &claimed {
+            assert_eq!(*p, node, "claimed a pointer nobody offered");
+        }
+        // On a 1-CPU box the popper may never overlap a parked offer; when
+        // it did, both sides must agree on the count.
+        assert_eq!(taken as usize, claimed.len(), "hit accounting disagrees");
+    }
+}

@@ -22,6 +22,12 @@
 //! * [`BoundedMpmcQueue`] — a bounded lock-free multi-producer/
 //!   multi-consumer queue (Vyukov's sequence-stamped ring) — no allocation
 //!   after construction, the embedded-friendly sibling of the MS queue;
+//! * [`ShardedMpmcQueue`] — N independent `BoundedMpmcQueue` shards with
+//!   per-thread enqueue affinity and a stealing dequeue scan (FIFO per
+//!   shard, not globally) — the contention-adaptive MPMC layer;
+//! * [`elimination`] — the elimination-backoff exchanger behind
+//!   [`TreiberStack::with_elimination`]: colliding push/pop pairs exchange
+//!   directly instead of re-contending the stack head;
 //! * [`spsc_ring`] — a bounded wait-free single-producer/single-consumer
 //!   ring, the classic embedded ISR-to-task channel;
 //! * [`nbw_register`] — the non-blocking write protocol (Kopetz &
@@ -51,6 +57,7 @@
 // This crate contains the only `unsafe` code in the workspace: the epoch-based
 // lock-free queue and stack. Every unsafe block carries a safety comment.
 
+pub mod elimination;
 mod list;
 mod locked;
 mod mpmc;
@@ -60,10 +67,12 @@ pub mod pool;
 mod queue;
 mod register;
 mod ring;
+pub mod sharded;
 mod snapshot;
 mod stack;
 mod stats;
 
+pub use elimination::EliminationArray;
 pub use list::LockFreeList;
 pub use locked::{LockedQueue, LockedStack};
 pub use mpmc::BoundedMpmcQueue;
@@ -73,6 +82,7 @@ pub use pool::{PoolStats, RawPool};
 pub use queue::LockFreeQueue;
 pub use register::CasRegister;
 pub use ring::{spsc_ring, RingConsumer, RingProducer};
+pub use sharded::ShardedMpmcQueue;
 pub use snapshot::AtomicSnapshot;
 pub use stack::TreiberStack;
 pub use stats::{OpStats, StatsSnapshot};

@@ -154,12 +154,18 @@ struct PoolReg {
 
 static REGISTRY: AtomicPtr<PoolReg> = AtomicPtr::new(ptr::null_mut());
 static NEXT_ID: AtomicUsize = AtomicUsize::new(0);
-static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
 
 /// One thread's bounded free-block cache for one pool.
 struct Cache {
     pool: &'static RawPool,
-    /// This thread's telemetry stripe in `pool.shards`.
+    /// This thread's telemetry stripe in `pool.shards`: the Fibonacci-
+    /// hashed thread ordinal (`crate::stats::thread_hash`) masked to
+    /// [`SHARDS`] — the same lane hash `OpStats` stripes by, so both
+    /// telemetry layers put a thread in the same relative lane. The
+    /// round-robin counter this replaced (`NEXT_SHARD.fetch_add % SHARDS`)
+    /// drifted under thread churn: exits never decremented it, so
+    /// long-running processes walked the assignment around the ring and
+    /// the two layers' stripes fell out of correspondence.
     shard: usize,
     /// Per-op counters, accumulated without atomics and flushed to the
     /// shard on cold events (see [`Cache::flush_stats`]).
@@ -174,7 +180,7 @@ impl Cache {
     fn new(pool: &'static RawPool) -> Cache {
         Cache {
             pool,
-            shard: NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS,
+            shard: crate::stats::thread_hash() & (SHARDS - 1),
             hits: Cell::new(0),
             recycles: Cell::new(0),
             blocks: Vec::with_capacity(LOCAL_CAP),

@@ -5,6 +5,7 @@ use std::sync::atomic::Ordering::{Acquire, Relaxed, Release};
 use crossbeam::epoch::{self, Atomic, Guard, Owned};
 use crossbeam::utils::Backoff;
 
+use crate::elimination::EliminationArray;
 use crate::object::ConcurrentStack;
 use crate::pool::{self, RawPool};
 use crate::stats::OpStats;
@@ -42,6 +43,12 @@ pub struct TreiberStack<T> {
     /// uses the pooled mode, [`TreiberStack::new_boxed`] the passthrough
     /// (allocate/free) baseline.
     pool: &'static RawPool,
+    /// Contention side channel ([`TreiberStack::with_elimination`]): a
+    /// colliding push/pop pair exchanges directly instead of re-contending
+    /// `top`. `None` (the default) leaves the retry loops exactly as they
+    /// were — the elimination probe sits strictly inside the CAS-failure
+    /// arm, so the uncontended path never touches it either way.
+    elim: Option<EliminationArray>,
 }
 
 struct Node<T> {
@@ -71,11 +78,28 @@ impl<T> TreiberStack<T> {
         Self::with_pool(RawPool::of_boxed::<Node<T>>())
     }
 
+    /// Creates an empty pooled stack with an elimination-backoff layer
+    /// ([`crate::elimination`]): after a failed head CAS (and its backoff
+    /// spin), a push parks its node in the exchanger and a pop scans it, so
+    /// colliding inverse operations pair off without re-contending `top`.
+    /// Uncontended operations never enter the exchanger — their instruction
+    /// sequence is identical to [`TreiberStack::new`]'s.
+    ///
+    /// Eliminated nodes recycle straight into the node pool (no grace
+    /// period needed: an exchanged node was never published to the stack,
+    /// so no other thread can hold a reference to it).
+    pub fn with_elimination() -> Self {
+        let mut stack = Self::with_pool(RawPool::of::<Node<T>>());
+        stack.elim = Some(EliminationArray::new());
+        stack
+    }
+
     fn with_pool(pool: &'static RawPool) -> Self {
         Self {
             top: Atomic::null(),
             stats: OpStats::new(),
             pool,
+            elim: None,
         }
     }
 
@@ -133,6 +157,21 @@ impl<T> TreiberStack<T> {
                     self.stats.retry();
                     trace.retry();
                     backoff.spin();
+                    // Contended pass: offer the node to a colliding pop
+                    // before re-contending `top`. The exchanger never
+                    // dereferences the pointer; ownership either transfers
+                    // wholesale (push done) or stays with us (retry).
+                    if let Some(elim) = &self.elim {
+                        let raw = new.into_shared(guard).as_raw().cast_mut();
+                        if elim.try_eliminate_push(raw.cast()) {
+                            trace.success();
+                            return;
+                        }
+                        // SAFETY: the cancel CAS succeeded, so no popper
+                        // ever observed the offer — the node is still
+                        // exclusively ours and still fully initialized.
+                        new = unsafe { Owned::from_raw(raw) };
+                    }
                 }
             }
         }
@@ -194,6 +233,29 @@ impl<T> TreiberStack<T> {
                     self.stats.retry();
                     trace.retry();
                     backoff.spin();
+                    // Contended pass: claim a colliding push's offer instead
+                    // of re-contending `top`.
+                    if let Some(elim) = &self.elim {
+                        if let Some(raw) = elim.try_eliminate_pop() {
+                            let node = raw.cast::<Node<T>>();
+                            // SAFETY: winning the claim CAS (Acquire, paired
+                            // with the offer's Release) transferred the node
+                            // to us exclusively; the payload read happens
+                            // strictly after that CAS — reading it off the
+                            // scan probe instead would be the exchange-slot
+                            // ABA the interleave twin seeds.
+                            let data =
+                                unsafe { ManuallyDrop::into_inner(std::ptr::read(&(*node).data)) };
+                            // SAFETY: an exchanged node was never published
+                            // to the stack, so no epoch grace is owed:
+                            // recycle it into the pool directly. Its payload
+                            // has just been moved out and its remaining
+                            // fields are trivially droppable.
+                            unsafe { pool::recycle_raw(node.cast(), self.pool.ctx()) };
+                            trace.success();
+                            return Some(data);
+                        }
+                    }
                 }
             }
         }
@@ -202,6 +264,12 @@ impl<T> TreiberStack<T> {
     /// The node pool backing this stack (for stats and teardown accounting).
     pub fn node_pool(&self) -> &'static RawPool {
         self.pool
+    }
+
+    /// The elimination layer, if this stack was built
+    /// [`TreiberStack::with_elimination`] (for hit-rate telemetry).
+    pub fn elimination(&self) -> Option<&EliminationArray> {
+        self.elim.as_ref()
     }
 
     /// Whether the stack is observed empty (a snapshot under concurrency).
@@ -320,6 +388,55 @@ mod tests {
             assert_eq!(s.pop(), Some(i));
         }
         assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    fn elimination_stack_behaves_like_plain_single_thread() {
+        let s = TreiberStack::with_elimination();
+        s.push_n(0..100);
+        for i in (0..100).rev() {
+            assert_eq!(s.pop(), Some(i));
+        }
+        assert_eq!(s.pop(), None);
+        // Single-threaded there is no CAS failure, so the exchanger is
+        // never entered: the fast path is the plain stack's.
+        let elim = s.elimination().expect("elimination layer present");
+        assert_eq!(elim.hits(), 0);
+        assert_eq!(elim.misses(), 0);
+        assert_eq!(s.stats().retries(), 0);
+    }
+
+    #[test]
+    fn elimination_stack_conserves_elements_under_contention() {
+        const THREADS: usize = 4;
+        const PER_THREAD: usize = 2_000;
+        let s = Arc::new(TreiberStack::with_elimination());
+        let handles: Vec<_> = (0..THREADS)
+            .map(|p| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    for i in 0..PER_THREAD {
+                        s.push(p * PER_THREAD + i);
+                        if let Some(v) = s.pop() {
+                            got.push(v);
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut all: Vec<usize> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker panicked"))
+            .collect();
+        while let Some(v) = s.pop() {
+            all.push(v);
+        }
+        all.sort_unstable();
+        let expected: Vec<usize> = (0..THREADS * PER_THREAD).collect();
+        assert_eq!(all, expected);
+        assert!(s.is_empty());
     }
 
     #[test]

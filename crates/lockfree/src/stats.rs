@@ -12,25 +12,38 @@ const STRIPES: usize = 16;
 static NEXT_THREAD: AtomicUsize = AtomicUsize::new(0);
 
 thread_local! {
-    /// This thread's stripe index, chosen once by hashing a process-wide
-    /// thread ordinal (Fibonacci hashing spreads consecutive ordinals
-    /// across stripes even when `STRIPES` grows).
-    static STRIPE: Cell<usize> = const { Cell::new(usize::MAX) };
+    /// This thread's Fibonacci-hashed ordinal, computed once (see
+    /// [`thread_hash`]).
+    static HASH: Cell<usize> = const { Cell::new(usize::MAX) };
 }
 
+/// The calling thread's Fibonacci-hashed process-wide ordinal, the one
+/// lane-selection hash every striping layer in the crate shares: the
+/// [`OpStats`] counter stripes mask it to [`STRIPES`], the node pool's
+/// telemetry shards (`crate::pool`) mask it to their shard count, and the
+/// sharded MPMC queue (`crate::sharded`) masks it to its shard count for
+/// enqueue affinity. Hashing one monotone ordinal — instead of, say, a
+/// per-layer round-robin counter — keeps the layers consistent (a thread
+/// occupies the *same relative lane* everywhere) and spreads consecutive
+/// ordinals across any power-of-two lane count (Fibonacci hashing), with
+/// no global counter drifting on thread churn.
 #[inline]
-fn stripe_index() -> usize {
-    STRIPE.with(|s| {
+pub(crate) fn thread_hash() -> usize {
+    HASH.with(|s| {
         let cached = s.get();
         if cached != usize::MAX {
             return cached;
         }
         let ordinal = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
         let hashed = (ordinal.wrapping_mul(0x9E37_79B9_7F4A_7C15_u64 as usize)) >> 7;
-        let index = hashed & (STRIPES - 1);
-        s.set(index);
-        index
+        s.set(hashed);
+        hashed
     })
+}
+
+#[inline]
+fn stripe_index() -> usize {
+    thread_hash() & (STRIPES - 1)
 }
 
 /// One cache line of counters; each thread hammers only its own stripe.

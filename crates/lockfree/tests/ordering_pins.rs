@@ -166,6 +166,47 @@ fn pool_overflow_orderings() {
     );
 }
 
+/// Elimination exchanger: the install CAS is the one Release publication
+/// of the offered node; the claim CAS pairs it with Acquire; everything
+/// else — the spin probe, the cancel CAS, the acknowledgment store, and
+/// the width/hit/miss telemetry — is deliberately Relaxed, because after
+/// a won claim the node is exclusively owned and the sentinels (EMPTY,
+/// BUSY) carry no payload. The store-buffer explorer exercises this edge
+/// through `ModelElimStack`.
+#[test]
+fn elimination_exchange_orderings() {
+    assert_site(
+        "elimination.rs",
+        "compare_exchange(EMPTY, offer, Ordering::Release, Ordering::Relaxed)",
+        "E1 install must publish the node's payload with Release",
+    );
+    assert_site(
+        "elimination.rs",
+        "if slot.load(Ordering::Relaxed) != offer",
+        "E2 spin probe synchronizes nothing: the claim CAS does",
+    );
+    assert_site(
+        "elimination.rs",
+        "compare_exchange(offer, EMPTY, Ordering::Relaxed, Ordering::Relaxed)",
+        "E3 cancel withdraws our own offer: EMPTY carries no payload, failure only proves the claim",
+    );
+    assert_site(
+        "elimination.rs",
+        "slot.store(EMPTY, Ordering::Relaxed)",
+        "the post-claim acknowledgment publishes only the EMPTY sentinel",
+    );
+    assert_site(
+        "elimination.rs",
+        "compare_exchange(observed, BUSY, Ordering::Acquire, Ordering::Relaxed)",
+        "D2 claim must acquire the installer's Release before the payload read",
+    );
+    assert_site(
+        "elimination.rs",
+        "self.width.load(Ordering::Relaxed).clamp(1, SLOTS)",
+        "width adaptation is a racy hint: any torn update only respreads probes",
+    );
+}
+
 /// NBW (Kopetz/Reisinger) seqlock: the version stores straddle the payload
 /// with a Release fence + Release store; the reader pairs an Acquire load
 /// with an Acquire fence before the recheck.

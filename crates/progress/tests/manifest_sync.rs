@@ -44,11 +44,12 @@ fn manifest_covers_the_public_op_set_exactly() {
 
 #[test]
 fn the_op_inventory_does_not_shrink_silently() {
-    // 64 lockfree ops + 21 vendored-epoch ops at the time this landed.
-    // Growing is fine (the sync test above forces a classification);
-    // shrinking means public API was deleted — update deliberately.
+    // 98 lockfree ops + 21 vendored-epoch ops after the contention layer
+    // (elimination exchanger + sharded MPMC) landed. Growing is fine (the
+    // sync test above forces a classification); shrinking means public API
+    // was deleted — update deliberately.
     assert!(
-        manifest_ops().len() >= 85,
-        "op inventory shrank below the seeded 85"
+        manifest_ops().len() >= 119,
+        "op inventory shrank below the seeded 119"
     );
 }

@@ -23,8 +23,10 @@
 //! The event vocabulary is deliberately small ([`EventKind`]): CAS
 //! attempt/retry/success from the lock-free structures, backoff spin/yield,
 //! epoch pin/advance/collect/defer from the reclaimer, scheduler
-//! admit/preempt/abort, and node-pool hit/miss/spill/refill from the
-//! epoch-recycling pools. [`CasOp`] packages the per-operation protocol
+//! admit/preempt/abort, node-pool hit/miss/spill/refill from the
+//! epoch-recycling pools, elimination hit/miss from the stack's exchanger,
+//! and shard-steal from the sharded MPMC wrapper. [`CasOp`] packages the
+//! per-operation protocol
 //! (timestamp at start, retry events, a success event carrying
 //! `retries | latency`) so call sites stay two lines long.
 //!
@@ -103,11 +105,19 @@ pub enum EventKind {
     /// A thread cache refilled from the shared overflow (value: blocks
     /// taken).
     PoolRefill = 15,
+    /// A colliding push/pop pair exchanged through the elimination array
+    /// without touching the stack head (value: live exchanger width).
+    ElimHit = 16,
+    /// An elimination attempt found no partner — occupied slot, timeout,
+    /// or empty scan (value: live exchanger width).
+    ElimMiss = 17,
+    /// A sharded-queue pop drained a non-home shard (value: shard index).
+    ShardSteal = 18,
 }
 
 impl EventKind {
     /// Every kind, in discriminant order.
-    pub const ALL: [EventKind; 16] = [
+    pub const ALL: [EventKind; 19] = [
         EventKind::CasAttempt,
         EventKind::CasRetry,
         EventKind::CasSuccess,
@@ -124,6 +134,9 @@ impl EventKind {
         EventKind::PoolMiss,
         EventKind::PoolSpill,
         EventKind::PoolRefill,
+        EventKind::ElimHit,
+        EventKind::ElimMiss,
+        EventKind::ShardSteal,
     ];
 
     /// Decodes a discriminant; `None` for out-of-range bytes.
@@ -150,6 +163,9 @@ impl EventKind {
             EventKind::PoolMiss => "pool_miss",
             EventKind::PoolSpill => "pool_spill",
             EventKind::PoolRefill => "pool_refill",
+            EventKind::ElimHit => "elim_hit",
+            EventKind::ElimMiss => "elim_miss",
+            EventKind::ShardSteal => "shard_steal",
         }
     }
 }
@@ -186,11 +202,16 @@ pub enum Site {
     Other = 12,
     /// The epoch-recycling node pools (hit/miss/spill/refill).
     Pool = 13,
+    /// The Treiber stack's elimination exchanger (hit/miss).
+    StackElim = 14,
+    /// The sharded MPMC wrapper (steal events; the per-shard CAS loops
+    /// report under [`Site::MpmcPush`]/[`Site::MpmcPop`]).
+    Sharded = 15,
 }
 
 impl Site {
     /// Every site, in discriminant order.
-    pub const ALL: [Site; 14] = [
+    pub const ALL: [Site; 16] = [
         Site::StackPush,
         Site::StackPop,
         Site::QueueEnqueue,
@@ -205,6 +226,8 @@ impl Site {
         Site::Sched,
         Site::Other,
         Site::Pool,
+        Site::StackElim,
+        Site::Sharded,
     ];
 
     /// Decodes a discriminant; `None` for out-of-range bytes.
@@ -229,6 +252,8 @@ impl Site {
             Site::Sched => "sched",
             Site::Other => "other",
             Site::Pool => "pool",
+            Site::StackElim => "stack_elim",
+            Site::Sharded => "sharded",
         }
     }
 }

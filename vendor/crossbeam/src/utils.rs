@@ -218,4 +218,47 @@ mod tests {
         }
         assert!(b.is_completed());
     }
+
+    /// The elimination layer's entry trigger (PR 10) and its exchanger spin
+    /// window are calibrated against these exact limits; a vendor edit that
+    /// moves them must also revisit `lockfree/src/elimination.rs`.
+    #[test]
+    fn backoff_limits_are_pinned() {
+        assert_eq!(Backoff::SPIN_LIMIT, 6);
+        assert_eq!(Backoff::YIELD_LIMIT, 10);
+    }
+
+    /// `is_completed` flips on exactly the `YIELD_LIMIT + 1`-th snooze:
+    /// steps 0..=YIELD_LIMIT each advance, so the step counter first
+    /// exceeds the limit after that many calls and never before.
+    #[test]
+    fn snooze_completes_exactly_past_yield_limit() {
+        let b = Backoff::new();
+        for i in 0..=Backoff::YIELD_LIMIT {
+            assert!(!b.is_completed(), "completed too early at snooze {i}");
+            b.snooze();
+        }
+        assert!(b.is_completed());
+        b.reset();
+        assert!(!b.is_completed(), "reset must re-arm the threshold");
+    }
+
+    /// `spin` saturates at `SPIN_LIMIT + 1` and stops advancing, so a
+    /// spin-only loop can never reach the completion threshold — completion
+    /// is a *snooze* signal. Saturated spin history must not shorten the
+    /// snooze threshold's remaining distance by more than its step count.
+    #[test]
+    fn spin_alone_never_completes() {
+        let b = Backoff::new();
+        for _ in 0..4 * (Backoff::YIELD_LIMIT + 1) {
+            b.spin();
+        }
+        assert!(!b.is_completed());
+        // From spin saturation (step = SPIN_LIMIT + 1), the remaining
+        // snoozes to completion are YIELD_LIMIT - SPIN_LIMIT.
+        for _ in 0..(Backoff::YIELD_LIMIT - Backoff::SPIN_LIMIT) {
+            b.snooze();
+        }
+        assert!(b.is_completed());
+    }
 }
